@@ -1,0 +1,51 @@
+//! End-to-end benchmark: one full PTS run (sim engine, highway circuit)
+//! and the sequential baseline, sized to finish in seconds. Regressions
+//! here flag protocol or evaluator slowdowns across the whole stack.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pts_core::{run_pts, run_sequential_baseline, Engine, PtsConfig};
+use pts_netlist::highway;
+use pts_vcluster::topology::paper_cluster;
+use std::sync::Arc;
+
+fn cfg() -> PtsConfig {
+    PtsConfig {
+        n_tsw: 4,
+        n_clw: 2,
+        global_iters: 3,
+        local_iters: 8,
+        candidates: 6,
+        depth: 2,
+        ..PtsConfig::default()
+    }
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+
+    group.bench_function("pts_sim_highway_4x2", |b| {
+        let netlist = Arc::new(highway());
+        let cfg = cfg();
+        b.iter(|| {
+            let out = run_pts(&cfg, netlist.clone(), Engine::Sim(paper_cluster()));
+            std::hint::black_box(out.outcome.best_cost)
+        })
+    });
+
+    group.bench_function("sequential_baseline_highway", |b| {
+        let netlist = Arc::new(highway());
+        let cfg = cfg();
+        b.iter(|| {
+            let r = run_sequential_baseline(&cfg, netlist.clone());
+            std::hint::black_box(r.best_cost)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Microbenchmarks: incremental wirelength (trial + commit).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pts_netlist::{c1355, c532, CellId};
+use pts_place::layout::Layout;
+use pts_place::placement::Placement;
+use pts_place::wirelength::WirelengthModel;
+use pts_util::Rng;
+
+fn bench_hpwl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hpwl");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for (name, netlist) in [("c532", c532()), ("c1355", c1355())] {
+        let mut rng = Rng::new(1);
+        let placement = Placement::random(
+            Layout::for_cells(netlist.num_cells()),
+            netlist.num_cells(),
+            &mut rng,
+        );
+        let mut wl = WirelengthModel::new(&netlist, &placement);
+        let n = netlist.num_cells();
+
+        group.bench_function(format!("trial_swap/{name}"), |b| {
+            let mut rng = Rng::new(2);
+            b.iter(|| {
+                let a = CellId(rng.index(n) as u32);
+                let mut bb = a;
+                while bb == a {
+                    bb = CellId(rng.index(n) as u32);
+                }
+                std::hint::black_box(wl.trial_swap(&netlist, &placement, a, bb).delta)
+            })
+        });
+
+        group.bench_function(format!("commit_swap/{name}"), |b| {
+            let mut rng = Rng::new(3);
+            b.iter_batched(
+                || {
+                    let a = CellId(rng.index(n) as u32);
+                    let mut bb = a;
+                    while bb == a {
+                        bb = CellId(rng.index(n) as u32);
+                    }
+                    (placement.clone(), wl.clone(), a, bb)
+                },
+                |(mut p, mut w, a, bb)| {
+                    p.swap_cells(a, bb);
+                    w.commit_swap(&netlist, &p, a, bb);
+                    std::hint::black_box(w.total())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+
+        group.bench_function(format!("rebuild/{name}"), |b| {
+            b.iter(|| {
+                let mut w = wl.clone();
+                w.rebuild(&netlist, &placement);
+                std::hint::black_box(w.total())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hpwl);
+criterion_main!(benches);

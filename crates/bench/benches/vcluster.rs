@@ -1,0 +1,87 @@
+//! Microbenchmarks: virtual-cluster runtime overhead — token handoffs and
+//! message round trips. These bound how much simulated-protocol activity a
+//! real second of host CPU can carry.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pts_vcluster::topology::homogeneous;
+use pts_vcluster::SimBuilder;
+
+fn bench_vcluster(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vcluster");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(20);
+
+    group.bench_function("token_handoffs_2procs_1000", |b| {
+        b.iter_batched(
+            || {
+                let mut sim: SimBuilder<()> = SimBuilder::new(homogeneous(2));
+                for m in 0..2 {
+                    sim.spawn(m, |ctx| {
+                        for _ in 0..500 {
+                            ctx.compute(1.0);
+                        }
+                    });
+                }
+                sim
+            },
+            |sim| std::hint::black_box(sim.run().end_time),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("pingpong_500_roundtrips", |b| {
+        b.iter_batched(
+            || {
+                let mut sim: SimBuilder<u32> = SimBuilder::new(homogeneous(2));
+                // Spawn in id order: p0 then p1 so ranks are known.
+                sim.spawn(0, |ctx| {
+                    let peer = pts_vcluster::ProcId(1);
+                    for i in 0..500u32 {
+                        ctx.send(peer, i);
+                        let _ = ctx.recv();
+                    }
+                });
+                sim.spawn(1, |ctx| {
+                    let peer = pts_vcluster::ProcId(0);
+                    for _ in 0..500 {
+                        let v = ctx.recv();
+                        ctx.send(peer, v);
+                    }
+                });
+                sim
+            },
+            |sim| std::hint::black_box(sim.run().total_messages()),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("fanin_12procs", |b| {
+        b.iter_batched(
+            || {
+                let mut sim: SimBuilder<u32> = SimBuilder::new(homogeneous(12));
+                sim.spawn(0, |ctx| {
+                    for _ in 0..11 * 20 {
+                        let _ = ctx.recv();
+                    }
+                });
+                for w in 1..12 {
+                    sim.spawn(w, move |ctx| {
+                        for i in 0..20u32 {
+                            ctx.compute(0.5 + w as f64 * 0.1);
+                            ctx.send(pts_vcluster::ProcId(0), i);
+                        }
+                    });
+                }
+                sim
+            },
+            |sim| std::hint::black_box(sim.run().end_time),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_vcluster);
+criterion_main!(benches);

@@ -1,0 +1,211 @@
+//! Run every figure experiment (5-11) back to back and write a summary.
+//!
+//! Equivalent to running each `figN_*` binary; see those for per-figure
+//! commentary. Writes `results/SUMMARY.md` with paper-shape checks.
+
+use pts_bench::{
+    averaged_speedup_sweep, base_config, circuit, mean_best_cost, results_dir,
+    run_on_paper_cluster, seeds, Profile,
+};
+use pts_core::SyncPolicy;
+use std::fmt::Write as _;
+
+fn main() {
+    let profile = Profile::from_env();
+    let mut md = String::new();
+    let _ = writeln!(md, "# Figure reproduction summary\n");
+    let _ = writeln!(
+        md,
+        "Profile: {:?}. Times are virtual-cluster seconds on the paper's\n\
+         12-machine topology (7 fast / 3 medium / 2 slow).\n",
+        profile
+    );
+
+    let seed_list = seeds(profile);
+
+    // ---------- Fig 5 & 6: CLW sweeps --------------------------------
+    let _ = writeln!(md, "## Fig 5 — quality vs #CLWs (TSWs=4, seed-averaged)\n");
+    let _ = writeln!(md, "| circuit | 1 CLW | 2 | 3 | 4 | shape holds? |");
+    let _ = writeln!(md, "|---|---|---|---|---|---|");
+    for name in profile.circuits() {
+        let netlist = circuit(name);
+        let mut costs = Vec::new();
+        for n_clw in 1..=4usize {
+            let mut cfg = base_config(profile);
+            cfg.n_tsw = 4;
+            cfg.n_clw = n_clw;
+            costs.push(mean_best_cost(&cfg, &netlist, &seed_list));
+        }
+        let improves = costs.last().unwrap() <= costs.first().unwrap();
+        let _ = writeln!(
+            md,
+            "| {name} | {:.4} | {:.4} | {:.4} | {:.4} | {} |",
+            costs[0],
+            costs[1],
+            costs[2],
+            costs[3],
+            if improves { "yes" } else { "NO" }
+        );
+        println!("[fig5] {name}: {costs:?}");
+    }
+
+    let _ = writeln!(md, "\n## Fig 6 — speedup vs #CLWs (geo-mean over seeds)\n");
+    let _ = writeln!(md, "| circuit | n | mean t(n,x) | speedup |");
+    let _ = writeln!(md, "|---|---|---|---|");
+    for name in profile.circuits() {
+        let netlist = circuit(name);
+        let base = {
+            let mut b = base_config(profile);
+            b.n_tsw = 4;
+            b
+        };
+        let points =
+            averaged_speedup_sweep(&netlist, &base, &[1, 2, 3, 4], &seed_list, |cfg, n| {
+                cfg.n_clw = n;
+            });
+        for p in &points {
+            let _ = writeln!(
+                md,
+                "| {name} | {} | {} | {} |",
+                p.n,
+                p.mean_time.map(|t| format!("{t:.2}")).unwrap_or("-".into()),
+                p.speedup.map(|s| format!("{s:.2}")).unwrap_or("-".into()),
+            );
+        }
+        println!(
+            "[fig6] {name}: speedups {:?}",
+            points.iter().map(|p| p.speedup).collect::<Vec<_>>()
+        );
+    }
+
+    // ---------- Fig 7 & 8: TSW sweeps --------------------------------
+    let _ = writeln!(md, "\n## Fig 7 — quality vs #TSWs (CLWs=1, seed-averaged)\n");
+    let _ = writeln!(md, "| circuit | 1 | 2 | 4 | 6 | 8 |");
+    let _ = writeln!(md, "|---|---|---|---|---|---|");
+    for name in profile.circuits() {
+        let netlist = circuit(name);
+        let mut row = Vec::new();
+        for n_tsw in [1usize, 2, 4, 6, 8] {
+            let mut cfg = base_config(profile);
+            cfg.n_tsw = n_tsw;
+            cfg.n_clw = 1;
+            row.push(mean_best_cost(&cfg, &netlist, &seed_list));
+        }
+        let _ = writeln!(
+            md,
+            "| {name} | {:.4} | {:.4} | {:.4} | {:.4} | {:.4} |",
+            row[0], row[1], row[2], row[3], row[4]
+        );
+        println!("[fig7] {name}: {row:?}");
+    }
+
+    let _ = writeln!(md, "\n## Fig 8 — speedup vs #TSWs (geo-mean over seeds)\n");
+    let _ = writeln!(md, "| circuit | n | speedup |");
+    let _ = writeln!(md, "|---|---|---|");
+    for name in profile.circuits() {
+        let netlist = circuit(name);
+        let base = {
+            let mut b = base_config(profile);
+            b.n_clw = 1;
+            b
+        };
+        let ns: Vec<usize> = vec![1, 2, 4, 6, 8];
+        let points = averaged_speedup_sweep(&netlist, &base, &ns, &seed_list, |cfg, n| {
+            cfg.n_tsw = n;
+        });
+        for p in &points {
+            let _ = writeln!(
+                md,
+                "| {name} | {} | {} |",
+                p.n,
+                p.speedup.map(|s| format!("{s:.2}")).unwrap_or("-".into()),
+            );
+        }
+        println!(
+            "[fig8] {name}: speedups {:?}",
+            points.iter().map(|p| p.speedup).collect::<Vec<_>>()
+        );
+    }
+
+    // ---------- Fig 9: diversification --------------------------------
+    let _ = writeln!(md, "\n## Fig 9 — diversification on/off (4 TSW, 1 CLW, seed-averaged)\n");
+    let _ = writeln!(md, "| circuit | diversified | plain | diversified wins? |");
+    let _ = writeln!(md, "|---|---|---|---|");
+    for name in profile.circuits() {
+        let netlist = circuit(name);
+        let mut cfg = base_config(profile);
+        cfg.n_tsw = 4;
+        cfg.n_clw = 1;
+        cfg.diversify = true;
+        let with = mean_best_cost(&cfg, &netlist, &seed_list);
+        cfg.diversify = false;
+        let without = mean_best_cost(&cfg, &netlist, &seed_list);
+        let _ = writeln!(
+            md,
+            "| {name} | {with:.4} | {without:.4} | {} |",
+            if with <= without { "yes" } else { "NO" }
+        );
+        println!("[fig9] {name}: div {with:.4} vs plain {without:.4}");
+    }
+
+    // ---------- Fig 10: local vs global --------------------------------
+    let _ = writeln!(md, "\n## Fig 10 — global x local split (constant budget)\n");
+    let _ = writeln!(md, "| circuit | split (GxL) | best cost |");
+    let _ = writeln!(md, "|---|---|---|");
+    let base = base_config(profile);
+    let budget = base.global_iters * base.local_iters;
+    for name in profile.circuits() {
+        let netlist = circuit(name);
+        for g in [budget / 15, budget / 30].iter().filter(|&&g| g >= 1) {
+            let (g, l) = (*g, budget / *g);
+            let mut cfg = base;
+            cfg.n_tsw = 4;
+            cfg.n_clw = 1;
+            cfg.global_iters = g;
+            cfg.local_iters = l;
+            let out = run_on_paper_cluster(&cfg, netlist.clone());
+            let _ = writeln!(md, "| {name} | {g}x{l} | {:.4} |", out.outcome.best_cost);
+        }
+    }
+
+    // ---------- Fig 11: heterogeneity ---------------------------------
+    let _ = writeln!(md, "\n## Fig 11 — half-report vs wait-all (4 TSW x 4 CLW)\n");
+    let _ = writeln!(
+        md,
+        "| circuit | policy | end time [vsec] | final best | forced |"
+    );
+    let _ = writeln!(md, "|---|---|---|---|---|");
+    for name in profile.circuits() {
+        let netlist = circuit(name);
+        for (label, sync) in [
+            ("half-report", SyncPolicy::HalfReport),
+            ("wait-all", SyncPolicy::WaitAll),
+        ] {
+            let mut cfg = base_config(profile);
+            cfg.n_tsw = 4;
+            cfg.n_clw = 4;
+            cfg.tsw_sync = sync;
+            cfg.clw_sync = sync;
+            let out = run_on_paper_cluster(&cfg, netlist.clone());
+            let o = &out.outcome;
+            let _ = writeln!(
+                md,
+                "| {name} | {label} | {:.2} | {:.4} | {} |",
+                o.end_time, o.best_cost, o.forced_reports
+            );
+            println!(
+                "[fig11] {name}/{label}: t={:.2} best={:.4}",
+                o.end_time, o.best_cost
+            );
+        }
+    }
+
+    let path = results_dir().join("SUMMARY.md");
+    if let Err(e) = std::fs::create_dir_all(results_dir()) {
+        eprintln!("cannot create results dir: {e}");
+    }
+    match std::fs::write(&path, &md) {
+        Ok(()) => println!("\n[summary] {}", path.display()),
+        Err(e) => eprintln!("cannot write summary: {e}"),
+    }
+}

@@ -1,0 +1,74 @@
+//! Figure 10 — Local versus global iterations.
+//!
+//! Paper setup: decrease global iterations (less diversification) while
+//! increasing local iterations (more local investigation), keeping total
+//! work roughly constant. Expected shape: "no general conclusion can be
+//! made about the best number of global vs local iterations — it depends
+//! on the problem instance".
+
+use pts_bench::{base_config, circuit, emit, run_on_paper_cluster, Profile};
+use pts_util::csv::CsvWriter;
+use pts_util::table::Table;
+
+fn main() {
+    let profile = Profile::from_env();
+    println!("== Figure 10: local vs global iteration split (4 TSWs, 1 CLW) ==\n");
+
+    // (global, local) pairs with a constant product.
+    let base = base_config(profile);
+    let budget = base.global_iters * base.local_iters;
+    let splits: Vec<(u32, u32)> = [24, 12, 6, 3]
+        .iter()
+        .filter_map(|&g| {
+            let g = g.min(budget);
+            if budget % g == 0 {
+                Some((g, budget / g))
+            } else {
+                None
+            }
+        })
+        .collect();
+
+    let mut table = Table::new(["circuit", "global", "local", "best cost"]);
+    let mut csv = CsvWriter::new(["circuit", "global_iters", "local_iters", "best_cost"]);
+
+    for name in profile.circuits() {
+        let netlist = circuit(name);
+        let mut best_split = (0u32, 0u32);
+        let mut best_cost = f64::INFINITY;
+        for &(g, l) in &splits {
+            let mut cfg = base;
+            cfg.n_tsw = 4;
+            cfg.n_clw = 1;
+            cfg.global_iters = g;
+            cfg.local_iters = l;
+            let out = run_on_paper_cluster(&cfg, netlist.clone());
+            let c = out.outcome.best_cost;
+            if c < best_cost {
+                best_cost = c;
+                best_split = (g, l);
+            }
+            table.row([
+                name.to_string(),
+                g.to_string(),
+                l.to_string(),
+                format!("{c:.4}"),
+            ]);
+            csv.row([
+                name.to_string(),
+                g.to_string(),
+                l.to_string(),
+                c.to_string(),
+            ]);
+        }
+        println!(
+            "{name}: best split = {} global x {} local\n",
+            best_split.0, best_split.1
+        );
+    }
+    emit("fig10_local_global", &table, &csv);
+    println!(
+        "\nPaper shape to check: the winning split differs per circuit — no\n\
+         universal best."
+    );
+}

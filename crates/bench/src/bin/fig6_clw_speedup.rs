@@ -1,0 +1,60 @@
+//! Figure 6 — Speedup in reaching a target quality vs number of CLWs.
+//!
+//! Paper setup: speedup `t(1,x)/t(n,x)` for CLWs 1..=4, TSWs = 4, two
+//! circuits. The target quality x is the worst final best-cost across the
+//! sweep (so every configuration reaches it); speedups are averaged over
+//! several seeds (geometric mean) since single runs of a stochastic search
+//! are noisy. Expected shape: speedup rises with CLWs, more sharply for
+//! larger circuits.
+
+use pts_bench::{averaged_speedup_sweep, base_config, circuit, emit, fmt_opt, seeds, Profile};
+use pts_util::csv::CsvWriter;
+use pts_util::table::Table;
+
+fn main() {
+    let profile = Profile::from_env();
+    println!("== Figure 6: speedup to reach quality x vs number of CLWs (TSWs = 4) ==\n");
+
+    // The paper shows two circuits for this figure.
+    let circuits: Vec<&str> = match profile {
+        Profile::Quick => vec!["c532", "c1355"],
+        Profile::Full => vec!["c532", "c3540"],
+    };
+    let seed_list = seeds(profile);
+
+    let mut table = Table::new(["circuit", "CLWs", "mean t(n,x)", "speedup (geo mean)", "seeds"]);
+    let mut csv = CsvWriter::new(["circuit", "clws", "mean_time_to_x", "speedup", "samples"]);
+
+    for name in circuits {
+        let netlist = circuit(name);
+        let base = {
+            let mut b = base_config(profile);
+            b.n_tsw = 4;
+            b
+        };
+        let points = averaged_speedup_sweep(&netlist, &base, &[1, 2, 3, 4], &seed_list, |cfg, n| {
+            cfg.n_clw = n;
+        });
+        for p in points {
+            table.row([
+                name.to_string(),
+                p.n.to_string(),
+                fmt_opt(p.mean_time),
+                fmt_opt(p.speedup),
+                p.samples.to_string(),
+            ]);
+            csv.row([
+                name.to_string(),
+                p.n.to_string(),
+                fmt_opt(p.mean_time),
+                fmt_opt(p.speedup),
+                p.samples.to_string(),
+            ]);
+        }
+    }
+    emit("fig6_clw_speedup", &table, &csv);
+    println!(
+        "\nPaper shape to check: speedup increases as CLWs go 1 -> 4; the\n\
+         sharpness depends on circuit size."
+    );
+}

@@ -1,0 +1,46 @@
+//! Figure 7 — Effect of the number of TSWs on solution quality.
+//!
+//! Paper setup: TSWs swept 1..=8, CLWs fixed at 1, all circuits. Expected
+//! shape: quality improves with TSWs but "adding TSWs beyond 4 is not
+//! useful".
+
+use pts_bench::{base_config, circuit, emit, run_on_paper_cluster, Profile};
+use pts_util::csv::CsvWriter;
+use pts_util::table::{fmt_f64, Table};
+
+fn main() {
+    let profile = Profile::from_env();
+    println!("== Figure 7: solution quality vs number of TSWs (CLWs = 1) ==\n");
+
+    let mut table = Table::new(["circuit", "TSWs", "best cost", "wire", "delay", "area"]);
+    let mut csv = CsvWriter::new(["circuit", "tsws", "best_cost", "wire", "delay", "area"]);
+
+    for name in profile.circuits() {
+        let netlist = circuit(name);
+        for n_tsw in 1..=8usize {
+            let mut cfg = base_config(profile);
+            cfg.n_tsw = n_tsw;
+            cfg.n_clw = 1;
+            let out = run_on_paper_cluster(&cfg, netlist.clone());
+            let o = &out.outcome;
+            table.row([
+                name.to_string(),
+                n_tsw.to_string(),
+                format!("{:.4}", o.best_cost),
+                fmt_f64(o.objectives.wire),
+                fmt_f64(o.objectives.delay),
+                fmt_f64(o.objectives.area),
+            ]);
+            csv.row([
+                name.to_string(),
+                n_tsw.to_string(),
+                format!("{}", o.best_cost),
+                format!("{}", o.objectives.wire),
+                format!("{}", o.objectives.delay),
+                format!("{}", o.objectives.area),
+            ]);
+        }
+    }
+    emit("fig7_tsw_quality", &table, &csv);
+    println!("\nPaper shape to check: improvement saturates around 4 TSWs.");
+}

@@ -1,0 +1,55 @@
+//! Figure 8 — Speedup in reaching a target quality vs number of TSWs.
+//!
+//! Paper setup: TSWs 1..=8, CLWs = 1, two circuits (c532 and c3540 in the
+//! paper). Speedups are seed-averaged (geometric mean). Expected shape:
+//! speedup peaks around 4 TSWs ("the critical point occurred at 4 TSWs;
+//! adding more TSWs degraded the speedup").
+
+use pts_bench::{averaged_speedup_sweep, base_config, circuit, emit, fmt_opt, seeds, Profile};
+use pts_util::csv::CsvWriter;
+use pts_util::table::Table;
+
+fn main() {
+    let profile = Profile::from_env();
+    println!("== Figure 8: speedup to reach quality x vs number of TSWs (CLWs = 1) ==\n");
+
+    let circuits: Vec<&str> = match profile {
+        Profile::Quick => vec!["c532", "c1355"],
+        Profile::Full => vec!["c532", "c3540"],
+    };
+    let seed_list = seeds(profile);
+
+    let mut table = Table::new(["circuit", "TSWs", "mean t(n,x)", "speedup (geo mean)", "seeds"]);
+    let mut csv = CsvWriter::new(["circuit", "tsws", "mean_time_to_x", "speedup", "samples"]);
+
+    for name in circuits {
+        let netlist = circuit(name);
+        let base = {
+            let mut b = base_config(profile);
+            b.n_clw = 1;
+            b
+        };
+        let ns: Vec<usize> = (1..=8).collect();
+        let points = averaged_speedup_sweep(&netlist, &base, &ns, &seed_list, |cfg, n| {
+            cfg.n_tsw = n;
+        });
+        for p in points {
+            table.row([
+                name.to_string(),
+                p.n.to_string(),
+                fmt_opt(p.mean_time),
+                fmt_opt(p.speedup),
+                p.samples.to_string(),
+            ]);
+            csv.row([
+                name.to_string(),
+                p.n.to_string(),
+                fmt_opt(p.mean_time),
+                fmt_opt(p.speedup),
+                p.samples.to_string(),
+            ]);
+        }
+    }
+    emit("fig8_tsw_speedup", &table, &csv);
+    println!("\nPaper shape to check: speedup peaks near 4 TSWs, then degrades.");
+}

@@ -1,0 +1,215 @@
+//! The Candidate-List Worker (CLW).
+//!
+//! A CLW owns a cell *range*. On `Investigate` it builds one compound move:
+//! up to `depth` elementary moves, each the best of `m` sampled swaps whose
+//! first cell lies in the range (the second comes from the whole cell
+//! space, which bounds the probability of two CLWs colliding on the same
+//! move by `1/(n-1)²` — the paper's argument for probabilistic domain
+//! decomposition). The chain stops early as soon as it improves on the
+//! starting cost; otherwise the best (least-bad) prefix is proposed. The
+//! CLW then rolls back and waits for the TSW's verdict (`ApplyMoves`).
+//!
+//! Between compound steps the CLW polls its mailbox for `CutShort` — the
+//! TSW's heterogeneity mechanism — and if cut, proposes what it has so far.
+
+use crate::config::PtsConfig;
+use crate::messages::PtsMsg;
+use crate::placement_problem::{PlacementProblem, SwapMove};
+use crate::transport::Transport;
+use pts_netlist::{Netlist, TimingGraph};
+use pts_place::eval::Evaluator;
+use pts_tabu::candidate::CandidateList;
+use pts_tabu::problem::SearchProblem;
+use pts_util::Rng;
+use std::sync::Arc;
+
+/// Derive a worker-unique RNG stream from the run seed and rank.
+pub fn worker_rng(seed: u64, rank: usize) -> Rng {
+    Rng::new(seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xCB0C)
+}
+
+/// Run the CLW protocol loop until `Stop`.
+pub fn run_clw<T: Transport>(
+    t: &mut T,
+    cfg: &PtsConfig,
+    tsw_rank: usize,
+    clw_index: usize,
+    netlist: Arc<Netlist>,
+    timing: Arc<TimingGraph>,
+) {
+    let n_cells = netlist.num_cells();
+    let range = cfg.clw_range(clw_index, n_cells);
+    // MPSS (paper default): CLW j of *every* TSW shares one stream — the
+    // searches are differentiated only by the TSW diversification step.
+    // With differentiated streams (extension), each worker explores its
+    // own trajectory.
+    let stream_salt = if cfg.differentiate_streams {
+        t.rank()
+    } else {
+        1_000 + clw_index
+    };
+    let mut rng = worker_rng(cfg.seed, stream_salt);
+
+    // Wait for the master's Init. TSW messages (AdoptPlacement,
+    // Investigate) come from a *different sender* and may overtake Init;
+    // they are buffered and replayed once the evaluator exists.
+    let mut backlog: Vec<PtsMsg> = Vec::new();
+    let mut problem = loop {
+        match t.recv() {
+            PtsMsg::Init { placement, scheme } => {
+                break PlacementProblem::new(Evaluator::with_scheme(
+                    netlist.clone(),
+                    timing.clone(),
+                    placement,
+                    cfg.alpha,
+                    scheme,
+                ));
+            }
+            PtsMsg::Stop => return,
+            other => backlog.push(other),
+        }
+    };
+
+    for msg in std::mem::take(&mut backlog) {
+        if handle(t, cfg, tsw_rank, clw_index, range, &mut rng, &mut problem, msg) {
+            return;
+        }
+    }
+    loop {
+        let msg = t.recv();
+        if handle(t, cfg, tsw_rank, clw_index, range, &mut rng, &mut problem, msg) {
+            return;
+        }
+    }
+}
+
+/// Dispatch one protocol message; returns `true` on `Stop`.
+#[allow(clippy::too_many_arguments)]
+fn handle<T: Transport>(
+    t: &mut T,
+    cfg: &PtsConfig,
+    tsw_rank: usize,
+    clw_index: usize,
+    range: (usize, usize),
+    rng: &mut Rng,
+    problem: &mut PlacementProblem,
+    msg: PtsMsg,
+) -> bool {
+    match msg {
+        PtsMsg::Investigate { seq } => {
+            let (moves, cost) = investigate(t, cfg, problem, rng, range, seq);
+            t.send(
+                tsw_rank,
+                PtsMsg::Proposal {
+                    clw: clw_index,
+                    seq,
+                    moves,
+                    cost,
+                },
+            );
+        }
+        PtsMsg::ApplyMoves { moves } => {
+            for mv in &moves {
+                problem.apply(mv);
+            }
+            t.compute(cfg.work.per_commit * moves.len() as f64);
+        }
+        PtsMsg::AdoptPlacement { placement } => {
+            problem.restore(&placement);
+            t.compute(cfg.work.per_commit);
+        }
+        PtsMsg::Stop => return true,
+        // Stale control traffic (CutShort for a finished investigation, a
+        // duplicate Init delivered late).
+        PtsMsg::CutShort { .. } | PtsMsg::Init { .. } => {}
+        other => {
+            debug_assert!(false, "CLW got unexpected {}", other.tag());
+        }
+    }
+    false
+}
+
+/// Build one compound-move proposal. Leaves the problem back at its
+/// starting state; returns the proposed move prefix and the cost it
+/// reaches.
+fn investigate<T: Transport>(
+    t: &mut T,
+    cfg: &PtsConfig,
+    problem: &mut PlacementProblem,
+    rng: &mut Rng,
+    range: (usize, usize),
+    seq: u64,
+) -> (Vec<SwapMove>, f64) {
+    let sampler = CandidateList::new(cfg.candidates);
+    let start_cost = problem.cost();
+    let mut applied: Vec<SwapMove> = Vec::with_capacity(cfg.depth);
+    let mut cost_after: Vec<f64> = Vec::with_capacity(cfg.depth);
+
+    for _step in 0..cfg.depth {
+        // m trial evaluations + one commit of the winner.
+        t.compute(cfg.work.per_trial * cfg.candidates as f64);
+        let cand = sampler.sample_best(problem, rng, Some(range));
+        problem.apply(&cand.mv);
+        t.compute(cfg.work.per_commit);
+        applied.push(cand.mv);
+        cost_after.push(problem.cost());
+
+        // Early accept: improved over the starting cost — report at once.
+        if *cost_after.last().expect("just pushed") < start_cost {
+            break;
+        }
+        // Heterogeneity: the TSW may cut the investigation short.
+        let mut cut = false;
+        while let Some(msg) = t.try_recv() {
+            match msg {
+                PtsMsg::CutShort { seq: s } if s == seq => cut = true,
+                PtsMsg::CutShort { .. } => {} // stale
+                other => {
+                    debug_assert!(false, "CLW got {} mid-investigation", other.tag());
+                }
+            }
+        }
+        if cut {
+            break;
+        }
+    }
+
+    // Best prefix (least-bad if nothing improves; always >= 1 move).
+    let mut best_len = 1;
+    let mut best_cost = cost_after[0];
+    for (i, &c) in cost_after.iter().enumerate().skip(1) {
+        if c < best_cost {
+            best_cost = c;
+            best_len = i + 1;
+        }
+    }
+
+    // Roll all moves back; the TSW decides what is actually applied.
+    for mv in applied.iter().rev() {
+        problem.undo(mv);
+    }
+    applied.truncate(best_len);
+    (applied, best_cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_rng_streams_differ_by_rank() {
+        let mut a = worker_rng(1, 1);
+        let mut b = worker_rng(1, 2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 3);
+    }
+
+    #[test]
+    fn worker_rng_deterministic() {
+        let mut a = worker_rng(7, 3);
+        let mut b = worker_rng(7, 3);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

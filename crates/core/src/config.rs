@@ -1,0 +1,358 @@
+//! Configuration of a parallel tabu search run.
+
+use pts_place::eval::{EvalConfig, SchemeChoice};
+use pts_place::fuzzy::GoalConfig;
+use serde::{Deserialize, Serialize};
+
+/// Parent/child synchronization policy — the paper's heterogeneity knob.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SyncPolicy {
+    /// "Homogeneous run": a parent waits for *all* children to report.
+    WaitAll,
+    /// "Heterogeneous run": once a fraction of children (the paper: half)
+    /// have reported, the parent forces the rest to report their current
+    /// best immediately.
+    HalfReport,
+}
+
+/// Cost-scheme selector (mirrors `pts_place::eval::SchemeChoice`, with
+/// serde support for the CLI).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum CostKind {
+    /// The paper's fuzzy goal-based cost.
+    Fuzzy,
+    /// Normalized weighted-sum baseline.
+    WeightedSum,
+}
+
+/// Virtual-CPU work charged per algorithmic operation (sim engine only).
+///
+/// Units are abstract "work units"; a speed-1.0 machine executes one unit
+/// per virtual second. Values approximate the relative real cost of each
+/// operation so the virtual timeline matches the algorithm's compute
+/// profile.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkModel {
+    /// One candidate swap evaluation (incremental HPWL + STA cone).
+    pub per_trial: f64,
+    /// Committing one swap (cache refresh).
+    pub per_commit: f64,
+    /// One tabu test + bookkeeping at the TSW.
+    pub per_tabu_check: f64,
+    /// One diversification step.
+    pub per_diversify_step: f64,
+    /// Master-side handling of one report.
+    pub per_report: f64,
+}
+
+impl Default for WorkModel {
+    fn default() -> Self {
+        WorkModel {
+            per_trial: 1.0,
+            per_commit: 2.0,
+            per_tabu_check: 0.2,
+            per_diversify_step: 1.5,
+            per_report: 0.5,
+        }
+    }
+}
+
+/// Full configuration of a PTS run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PtsConfig {
+    /// Number of tabu search workers (high-level parallelization).
+    pub n_tsw: usize,
+    /// Candidate-list workers per TSW (low-level parallelization).
+    pub n_clw: usize,
+    /// Global iterations (master broadcast rounds).
+    pub global_iters: u32,
+    /// Local iterations per TSW per global iteration.
+    pub local_iters: u32,
+    /// Candidate pairs sampled per elementary move (`m`).
+    pub candidates: usize,
+    /// Compound move depth (`d`).
+    pub depth: usize,
+    /// Tabu tenure in local iterations.
+    pub tenure: u64,
+    /// Perform the Kelly-style diversification step at the start of each
+    /// global iteration.
+    pub diversify: bool,
+    /// Number of diversification moves; `0` = auto (scaled to circuit
+    /// size, see [`PtsConfig::effective_diversify_depth`]).
+    pub diversify_depth: usize,
+    /// Moves sampled per diversification step.
+    pub diversify_width: usize,
+    /// Master ↔ TSW synchronization.
+    pub tsw_sync: SyncPolicy,
+    /// TSW ↔ CLW synchronization.
+    pub clw_sync: SyncPolicy,
+    /// Fraction of children that must report before the rest are forced
+    /// (the paper uses 0.5).
+    pub report_fraction: f64,
+    /// Net-delay coefficient (`alpha` of the timing model).
+    pub alpha: f64,
+    /// Cost scheme.
+    pub cost: CostKind,
+    /// OWA `beta` for the fuzzy scheme.
+    pub beta: f64,
+    /// Goal target fraction (fuzzy scheme).
+    pub goal_target_frac: f64,
+    /// Goal zero-membership fraction (fuzzy scheme).
+    pub goal_zero_frac: f64,
+    /// Weighted-sum weights (wire, delay, area) when `cost = WeightedSum`.
+    pub weights: [f64; 3],
+    /// Master seed; all worker streams fork from it.
+    pub seed: u64,
+    /// Search differentiation. `false` (default) is the paper's MPSS
+    /// design — "multiple points, single strategy": all TSWs run the
+    /// *same* search (shared RNG streams per role) and differ only through
+    /// the diversification step over their private cell ranges. `true` is
+    /// an extension: every worker gets an independent RNG stream, i.e. the
+    /// strategies themselves differ (closer to SPDS). See the
+    /// `ablation_streams` harness for the comparison.
+    pub differentiate_streams: bool,
+    /// Virtual work accounting (sim engine).
+    pub work: WorkModel,
+}
+
+impl Default for PtsConfig {
+    fn default() -> Self {
+        PtsConfig {
+            n_tsw: 4,
+            n_clw: 1,
+            global_iters: 10,
+            local_iters: 20,
+            candidates: 8,
+            depth: 3,
+            tenure: 7,
+            diversify: true,
+            diversify_depth: 0, // auto: scale with circuit size
+            diversify_width: 4,
+            tsw_sync: SyncPolicy::HalfReport,
+            clw_sync: SyncPolicy::HalfReport,
+            report_fraction: 0.5,
+            alpha: 0.15,
+            cost: CostKind::Fuzzy,
+            beta: 0.6,
+            goal_target_frac: 0.75,
+            goal_zero_frac: 1.30,
+            weights: [0.5, 0.3, 0.2],
+            seed: 0xC0FFEE,
+            differentiate_streams: false,
+            work: WorkModel::default(),
+        }
+    }
+}
+
+impl PtsConfig {
+    /// Total number of processes: master + TSWs + TSWs×CLWs.
+    pub fn total_procs(&self) -> usize {
+        1 + self.n_tsw + self.n_tsw * self.n_clw
+    }
+
+    /// Rank of the master process.
+    pub fn master_rank(&self) -> usize {
+        0
+    }
+
+    /// Rank of TSW `i`.
+    pub fn tsw_rank(&self, i: usize) -> usize {
+        assert!(i < self.n_tsw);
+        1 + i
+    }
+
+    /// Rank of CLW `j` of TSW `i`.
+    pub fn clw_rank(&self, i: usize, j: usize) -> usize {
+        assert!(i < self.n_tsw && j < self.n_clw);
+        1 + self.n_tsw + i * self.n_clw + j
+    }
+
+    /// All CLW ranks of TSW `i`.
+    pub fn clw_ranks(&self, i: usize) -> Vec<usize> {
+        (0..self.n_clw).map(|j| self.clw_rank(i, j)).collect()
+    }
+
+    /// Cell range assigned to TSW `i` for diversification (disjoint across
+    /// TSWs, covering all cells).
+    pub fn tsw_range(&self, i: usize, n_cells: usize) -> (usize, usize) {
+        split_range(n_cells, self.n_tsw, i)
+    }
+
+    /// Cell range anchoring CLW `j`'s neighborhood moves (disjoint across a
+    /// TSW's CLWs, covering all cells).
+    pub fn clw_range(&self, j: usize, n_cells: usize) -> (usize, usize) {
+        split_range(n_cells, self.n_clw, j)
+    }
+
+    /// Children needed before the parent may force the rest (at least one,
+    /// at most all).
+    pub fn report_quorum(&self, n_children: usize) -> usize {
+        ((n_children as f64 * self.report_fraction).ceil() as usize)
+            .clamp(1, n_children)
+    }
+
+    /// Diversification moves per global iteration. An explicit
+    /// `diversify_depth` is used as-is; `0` scales with the square root of
+    /// the circuit size (clamped to `[3, 16]`). Sub-linear scaling matters:
+    /// the paper itself warns that "too much diversification without
+    /// enough local investigation might mislead the search", and linear
+    /// depth on a 2000-cell circuit is exactly that failure mode.
+    pub fn effective_diversify_depth(&self, n_cells: usize) -> usize {
+        if self.diversify_depth > 0 {
+            self.diversify_depth
+        } else {
+            (((n_cells as f64).sqrt() / 3.0).round() as usize).clamp(3, 16)
+        }
+    }
+
+    /// Translate to the placement evaluator configuration.
+    pub fn eval_config(&self) -> EvalConfig {
+        EvalConfig {
+            alpha: self.alpha,
+            scheme: match self.cost {
+                CostKind::Fuzzy => SchemeChoice::Fuzzy { beta: self.beta },
+                CostKind::WeightedSum => SchemeChoice::WeightedSum {
+                    weights: self.weights,
+                },
+            },
+            goal: GoalConfig {
+                target_frac: self.goal_target_frac,
+                zero_frac: self.goal_zero_frac,
+            },
+        }
+    }
+
+    /// Validate structural parameters; call before running.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_tsw == 0 {
+            return Err("need at least one TSW".into());
+        }
+        if self.n_clw == 0 {
+            return Err("need at least one CLW per TSW".into());
+        }
+        if self.global_iters == 0 || self.local_iters == 0 {
+            return Err("iteration counts must be positive".into());
+        }
+        if self.candidates == 0 || self.depth == 0 {
+            return Err("candidates and depth must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.report_fraction) {
+            return Err("report_fraction must lie in [0,1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.beta) {
+            return Err("beta must lie in [0,1]".into());
+        }
+        Ok(())
+    }
+}
+
+/// `i`-th of `k` near-equal chunks of `0..n` (first chunks take the
+/// remainder). Never empty while `i < k <= n`.
+pub fn split_range(n: usize, k: usize, i: usize) -> (usize, usize) {
+    assert!(k >= 1 && i < k);
+    let base = n / k;
+    let rem = n % k;
+    let lo = i * base + i.min(rem);
+    let len = base + usize::from(i < rem);
+    (lo, lo + len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_are_disjoint_and_dense() {
+        let cfg = PtsConfig {
+            n_tsw: 3,
+            n_clw: 2,
+            ..PtsConfig::default()
+        };
+        let mut seen = vec![cfg.master_rank()];
+        for i in 0..3 {
+            seen.push(cfg.tsw_rank(i));
+            for j in 0..2 {
+                seen.push(cfg.clw_rank(i, j));
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..cfg.total_procs()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_range_partitions() {
+        for n in [10, 56, 395, 2243] {
+            for k in 1..=8 {
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for i in 0..k {
+                    let (lo, hi) = split_range(n, k, i);
+                    assert_eq!(lo, prev_end, "ranges must be contiguous");
+                    assert!(hi > lo, "ranges must be non-empty for n >= k");
+                    covered += hi - lo;
+                    prev_end = hi;
+                }
+                assert_eq!(covered, n);
+            }
+        }
+    }
+
+    #[test]
+    fn quorum_half_rounds_up() {
+        let cfg = PtsConfig::default();
+        assert_eq!(cfg.report_quorum(4), 2);
+        assert_eq!(cfg.report_quorum(5), 3);
+        assert_eq!(cfg.report_quorum(1), 1);
+    }
+
+    #[test]
+    fn quorum_clamps() {
+        let cfg = PtsConfig {
+            report_fraction: 0.0,
+            ..PtsConfig::default()
+        };
+        assert_eq!(cfg.report_quorum(4), 1);
+        let cfg = PtsConfig {
+            report_fraction: 1.0,
+            ..PtsConfig::default()
+        };
+        assert_eq!(cfg.report_quorum(4), 4);
+    }
+
+    #[test]
+    fn default_validates() {
+        PtsConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn diversify_depth_auto_scales_and_clamps() {
+        let cfg = PtsConfig::default();
+        assert_eq!(cfg.effective_diversify_depth(56), 3);
+        assert_eq!(cfg.effective_diversify_depth(395), 7);
+        assert_eq!(cfg.effective_diversify_depth(1451), 13);
+        assert_eq!(cfg.effective_diversify_depth(2243), 16);
+        let explicit = PtsConfig {
+            diversify_depth: 11,
+            ..PtsConfig::default()
+        };
+        assert_eq!(explicit.effective_diversify_depth(2243), 11);
+    }
+
+    #[test]
+    fn validation_catches_zeroes() {
+        let mut cfg = PtsConfig::default();
+        cfg.n_tsw = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = PtsConfig::default();
+        cfg.local_iters = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn config_is_serde_capable() {
+        // Compile-time check that the derives are in place (the CLI relies
+        // on them); no JSON crate is pulled in for this.
+        fn assert_serde<T: serde::Serialize + for<'a> serde::Deserialize<'a>>() {}
+        assert_serde::<PtsConfig>();
+    }
+}

@@ -1,0 +1,45 @@
+//! Parallel Tabu Search (PTS) — the primary contribution of Al-Yamani,
+//! Sait, Barada & Youssef, *"Parallel Tabu Search in a Heterogeneous
+//! Environment"*, IPDPS 2003.
+//!
+//! Two parallelization strategies are combined, exactly as in the paper:
+//!
+//! * **high level (multi-search threads, p-control)**: a [`master`]
+//!   process coordinates several Tabu Search Workers ([`tsw`]), each
+//!   running its own tabu search from the shared initial solution after a
+//!   Kelly-style diversification over a private cell subset; the master
+//!   collects bests per *global iteration* and broadcasts the winner
+//!   (solution + tabu list);
+//! * **low level (functional decomposition, 1-control)**: each TSW drives
+//!   Candidate-List Workers ([`clw`]) that explore the neighborhood in
+//!   parallel, each anchored to a cell range (probabilistic domain
+//!   decomposition), building compound moves of depth `d` from best-of-`m`
+//!   candidate swaps;
+//! * **heterogeneity**: under [`config::SyncPolicy::HalfReport`], a parent
+//!   waits only for half of its children, then forces the rest to report
+//!   immediately — at both the master/TSW and TSW/CLW levels.
+//!
+//! Runs execute either on the deterministic virtual heterogeneous cluster
+//! ([`sim_engine`], the paper's PVM-testbed substitute) or on native
+//! threads ([`thread_engine`]) for real wall-clock parallelism.
+
+pub mod clw;
+pub mod config;
+pub mod master;
+pub mod messages;
+pub mod placement_problem;
+pub mod run;
+pub mod sim_engine;
+pub mod speedup;
+pub mod thread_engine;
+pub mod transport;
+pub mod tsw;
+
+pub use config::{CostKind, PtsConfig, SyncPolicy, WorkModel};
+pub use master::MasterOutcome;
+pub use messages::PtsMsg;
+pub use placement_problem::PlacementProblem;
+pub use run::{run_pts, run_sequential_baseline, Engine, PtsOutput};
+pub use sim_engine::{run_on_sim, run_on_sim_from, SimOutput};
+pub use speedup::{common_quality_target, fractional_quality_target, speedup_sweep, SpeedupPoint};
+pub use thread_engine::{run_on_threads, run_on_threads_from};

@@ -1,0 +1,194 @@
+//! The master process.
+//!
+//! Distributes the initial solution (and frozen cost scheme) to every
+//! worker, then runs `global_iters` rounds: collect one report per TSW —
+//! under the heterogeneous policy, forcing stragglers once half have
+//! reported — select the overall best, and broadcast it (solution + tabu
+//! list) back to all TSWs. One collect+broadcast is one *global iteration*.
+
+use crate::config::{PtsConfig, SyncPolicy};
+use crate::messages::{PtsMsg, TabuEntries};
+use crate::transport::Transport;
+use pts_netlist::{Netlist, TimingGraph};
+use pts_place::cost::RawObjectives;
+use pts_place::eval::Evaluator;
+use pts_place::placement::Placement;
+use pts_tabu::search::SearchStats;
+use pts_tabu::trace::Trace;
+use std::sync::Arc;
+
+/// Everything the master learned from a run.
+#[derive(Clone, Debug)]
+pub struct MasterOutcome {
+    /// Best scalar cost found anywhere.
+    pub best_cost: f64,
+    pub best_placement: Placement,
+    /// Raw objectives of the best placement.
+    pub objectives: RawObjectives,
+    /// Cost of the initial solution (same scheme).
+    pub initial_cost: f64,
+    /// Merged best-cost-over-time curve across all workers.
+    pub trace: Trace,
+    /// Global best after each global iteration.
+    pub best_per_global_iter: Vec<f64>,
+    /// Aggregated TSW search statistics.
+    pub tsw_stats: SearchStats,
+    /// Number of ForceReport messages the master sent.
+    pub forced_reports: u64,
+    /// Virtual/wall time when the search finished.
+    pub end_time: f64,
+}
+
+/// Run the master protocol to completion.
+pub fn run_master<T: Transport>(
+    t: &mut T,
+    cfg: &PtsConfig,
+    netlist: Arc<Netlist>,
+    timing: Arc<TimingGraph>,
+    initial: Placement,
+) -> MasterOutcome {
+    // Freeze the cost scheme from the initial solution.
+    let eval = Evaluator::new(
+        netlist.clone(),
+        timing.clone(),
+        initial.clone(),
+        cfg.eval_config(),
+    );
+    let scheme = eval.scheme().clone();
+    let initial_cost = eval.cost();
+    drop(eval);
+
+    // Initialize every worker (TSWs and CLWs all need the scheme).
+    for rank in 1..cfg.total_procs() {
+        t.send(
+            rank,
+            PtsMsg::Init {
+                placement: initial.clone(),
+                scheme: scheme.clone(),
+            },
+        );
+    }
+
+    let mut best_cost = initial_cost;
+    let mut best_placement = initial;
+    let mut best_tabu: TabuEntries = Vec::new();
+    let mut merged = Trace::new();
+    merged.record(t.now(), 0, best_cost);
+    let mut best_per_global_iter = Vec::with_capacity(cfg.global_iters as usize);
+    let mut tsw_stats = SearchStats::default();
+    let mut forced_reports = 0u64;
+
+    for g in 0..cfg.global_iters {
+        let quorum = cfg.report_quorum(cfg.n_tsw);
+        let mut reported = vec![false; cfg.n_tsw];
+        let mut n_rep = 0;
+        let mut force_sent = false;
+
+        while n_rep < cfg.n_tsw {
+            match t.recv() {
+                PtsMsg::Report {
+                    tsw,
+                    global,
+                    cost,
+                    placement,
+                    tabu,
+                    trace,
+                    stats,
+                } => {
+                    debug_assert_eq!(global, g, "reports are strictly per-round");
+                    debug_assert!(!reported[tsw]);
+                    reported[tsw] = true;
+                    n_rep += 1;
+                    t.compute(cfg.work.per_report);
+                    merged = Trace::merge([&merged, &Trace::from_points(trace)]);
+                    if cost < best_cost {
+                        best_cost = cost;
+                        best_placement = placement;
+                        best_tabu = tabu;
+                    }
+                    // Accumulate per-round stats deltas (stats are
+                    // cumulative per TSW; summing the last round only would
+                    // under-count, so track max per TSW via the final
+                    // round: simplest is to sum on the last global
+                    // iteration only).
+                    if g + 1 == cfg.global_iters {
+                        tsw_stats.iterations += stats.iterations;
+                        tsw_stats.accepted += stats.accepted;
+                        tsw_stats.rejected_tabu += stats.rejected_tabu;
+                        tsw_stats.aspirated += stats.aspirated;
+                        tsw_stats.improved_best += stats.improved_best;
+                    }
+                    if cfg.tsw_sync == SyncPolicy::HalfReport
+                        && !force_sent
+                        && n_rep >= quorum
+                        && n_rep < cfg.n_tsw
+                    {
+                        for (i, done) in reported.iter().enumerate() {
+                            if !done {
+                                t.send(cfg.tsw_rank(i), PtsMsg::ForceReport { global: g });
+                                forced_reports += 1;
+                            }
+                        }
+                        force_sent = true;
+                    }
+                }
+                other => {
+                    debug_assert!(false, "master got unexpected {}", other.tag());
+                }
+            }
+        }
+
+        merged.record(t.now(), g as u64 + 1, best_cost);
+        best_per_global_iter.push(best_cost);
+
+        if g + 1 < cfg.global_iters {
+            for i in 0..cfg.n_tsw {
+                t.send(
+                    cfg.tsw_rank(i),
+                    PtsMsg::Broadcast {
+                        global: g,
+                        placement: best_placement.clone(),
+                        tabu: best_tabu.clone(),
+                    },
+                );
+            }
+        } else {
+            for i in 0..cfg.n_tsw {
+                t.send(cfg.tsw_rank(i), PtsMsg::Stop);
+            }
+        }
+    }
+
+    // Exact objectives of the winner.
+    let final_eval = Evaluator::with_scheme(
+        netlist,
+        timing,
+        best_placement.clone(),
+        cfg.alpha,
+        scheme,
+    );
+    MasterOutcome {
+        best_cost,
+        best_placement,
+        objectives: final_eval.objectives(),
+        initial_cost,
+        trace: merged,
+        best_per_global_iter,
+        tsw_stats,
+        forced_reports,
+        end_time: t.now(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_fields_are_accessible() {
+        // Structural smoke test; behavioural coverage lives in the engine
+        // integration tests.
+        fn assert_send<T: Send>() {}
+        assert_send::<MasterOutcome>();
+    }
+}

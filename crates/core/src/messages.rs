@@ -1,0 +1,142 @@
+//! The master / TSW / CLW message protocol.
+//!
+//! Mirrors the paper's process interactions: the master and TSWs exchange
+//! best solutions *plus the associated tabu list*; TSWs and CLWs exchange
+//! only best solutions (proposals). `ForceReport` and `CutShort` implement
+//! the heterogeneity mechanism ("once half have reported, force the rest").
+//!
+//! Messages carry the global-iteration / investigation sequence they belong
+//! to so that late control messages (a `ForceReport` crossing a `Report` in
+//! flight) are recognized as stale and ignored.
+
+use crate::placement_problem::{SlotAttr, SwapMove};
+use pts_place::cost::CostScheme;
+use pts_place::placement::Placement;
+use pts_tabu::search::SearchStats;
+use pts_tabu::trace::TracePoint;
+
+/// Exported tabu list: attribute + remaining tenure.
+pub type TabuEntries = Vec<(SlotAttr, u64)>;
+
+/// Protocol messages.
+#[derive(Clone, Debug)]
+pub enum PtsMsg {
+    /// Master → everyone: initial solution and the frozen cost scheme.
+    Init {
+        placement: Placement,
+        scheme: CostScheme,
+    },
+    /// Master → TSW: the global best after a global iteration, with its
+    /// tabu list.
+    Broadcast {
+        global: u32,
+        placement: Placement,
+        tabu: TabuEntries,
+    },
+    /// Master → TSW: report your current best immediately (half-report
+    /// sync).
+    ForceReport { global: u32 },
+    /// TSW → master: end-of-global-iteration report.
+    Report {
+        tsw: usize,
+        global: u32,
+        cost: f64,
+        placement: Placement,
+        tabu: TabuEntries,
+        trace: Vec<TracePoint>,
+        stats: SearchStats,
+    },
+    /// TSW → CLW: adopt this placement as the current solution.
+    AdoptPlacement { placement: Placement },
+    /// TSW → CLW: build one compound-move proposal (investigation `seq`).
+    Investigate { seq: u64 },
+    /// TSW → CLW: stop investigating `seq`, report what you have.
+    CutShort { seq: u64 },
+    /// CLW → TSW: proposed compound move and the cost it reaches.
+    Proposal {
+        clw: usize,
+        seq: u64,
+        moves: Vec<SwapMove>,
+        cost: f64,
+    },
+    /// TSW → CLW: the accepted move sequence; apply to stay in sync.
+    ApplyMoves { moves: Vec<SwapMove> },
+    /// Shut down (master → TSW → CLW).
+    Stop,
+}
+
+impl PtsMsg {
+    /// Approximate wire size in bytes, used by the virtual cluster's
+    /// bandwidth model. Placements dominate (4 bytes per cell), matching
+    /// the paper's observation that solution exchange is the main traffic.
+    pub fn wire_size(&self) -> u64 {
+        const HDR: u64 = 32;
+        match self {
+            PtsMsg::Init { placement, .. } => HDR + 4 * placement.num_cells() as u64 + 64,
+            PtsMsg::Broadcast {
+                placement, tabu, ..
+            } => HDR + 4 * placement.num_cells() as u64 + 12 * tabu.len() as u64,
+            PtsMsg::Report {
+                placement,
+                tabu,
+                trace,
+                ..
+            } => {
+                HDR + 4 * placement.num_cells() as u64
+                    + 12 * tabu.len() as u64
+                    + 20 * trace.len() as u64
+                    + 48
+            }
+            PtsMsg::AdoptPlacement { placement } => HDR + 4 * placement.num_cells() as u64,
+            PtsMsg::Proposal { moves, .. } => HDR + 8 * moves.len() as u64 + 16,
+            PtsMsg::ApplyMoves { moves } => HDR + 8 * moves.len() as u64,
+            PtsMsg::ForceReport { .. }
+            | PtsMsg::Investigate { .. }
+            | PtsMsg::CutShort { .. }
+            | PtsMsg::Stop => HDR,
+        }
+    }
+
+    /// Short tag for logging/diagnostics.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            PtsMsg::Init { .. } => "Init",
+            PtsMsg::Broadcast { .. } => "Broadcast",
+            PtsMsg::ForceReport { .. } => "ForceReport",
+            PtsMsg::Report { .. } => "Report",
+            PtsMsg::AdoptPlacement { .. } => "AdoptPlacement",
+            PtsMsg::Investigate { .. } => "Investigate",
+            PtsMsg::CutShort { .. } => "CutShort",
+            PtsMsg::Proposal { .. } => "Proposal",
+            PtsMsg::ApplyMoves { .. } => "ApplyMoves",
+            PtsMsg::Stop => "Stop",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pts_place::layout::Layout;
+
+    #[test]
+    fn placement_bearing_messages_are_heavier() {
+        let p = Placement::sequential(Layout::new(4, 25, 2.0, 1.0), 100);
+        let adopt = PtsMsg::AdoptPlacement { placement: p };
+        assert!(adopt.wire_size() > PtsMsg::Stop.wire_size() + 300);
+    }
+
+    #[test]
+    fn control_messages_are_small() {
+        assert!(PtsMsg::Stop.wire_size() <= 64);
+        assert!(PtsMsg::Investigate { seq: 1 }.wire_size() <= 64);
+        assert!(PtsMsg::CutShort { seq: 1 }.wire_size() <= 64);
+        assert!(PtsMsg::ForceReport { global: 0 }.wire_size() <= 64);
+    }
+
+    #[test]
+    fn tags_cover_all_variants() {
+        assert_eq!(PtsMsg::Stop.tag(), "Stop");
+        assert_eq!(PtsMsg::Investigate { seq: 0 }.tag(), "Investigate");
+    }
+}

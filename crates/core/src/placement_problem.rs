@@ -1,0 +1,194 @@
+//! Binding of the VLSI placement evaluator to the generic tabu search
+//! problem abstraction.
+
+use pts_netlist::CellId;
+use pts_place::eval::Evaluator;
+use pts_place::placement::Placement;
+use pts_tabu::problem::{AttrPair, SearchProblem};
+use pts_util::Rng;
+
+/// A cell-swap move.
+pub type SwapMove = (CellId, CellId);
+
+/// Tabu attribute: `(cell, slot)` — a cell is forbidden to return to a slot
+/// it recently vacated.
+pub type SlotAttr = (u32, u32);
+
+/// The placement problem as seen by the tabu engine.
+#[derive(Clone, Debug)]
+pub struct PlacementProblem {
+    eval: Evaluator,
+}
+
+impl PlacementProblem {
+    pub fn new(eval: Evaluator) -> PlacementProblem {
+        PlacementProblem { eval }
+    }
+
+    pub fn evaluator(&self) -> &Evaluator {
+        &self.eval
+    }
+
+    pub fn evaluator_mut(&mut self) -> &mut Evaluator {
+        &mut self.eval
+    }
+
+    pub fn placement(&self) -> &Placement {
+        self.eval.placement()
+    }
+}
+
+impl SearchProblem for PlacementProblem {
+    type Move = SwapMove;
+    type Attribute = SlotAttr;
+    type Snapshot = Placement;
+
+    fn cost(&self) -> f64 {
+        self.eval.cost()
+    }
+
+    fn domain_size(&self) -> usize {
+        self.eval.netlist().num_cells()
+    }
+
+    /// The paper's CLW move: the first cell comes from the worker's range,
+    /// the second from anywhere in the cell space.
+    fn sample_move(&mut self, rng: &mut Rng, range: Option<(usize, usize)>) -> SwapMove {
+        let n = self.domain_size();
+        let (lo, hi) = range.unwrap_or((0, n));
+        debug_assert!(lo < hi && hi <= n);
+        let a = rng.range(lo, hi);
+        let mut b = rng.index(n);
+        while b == a {
+            b = rng.index(n);
+        }
+        (CellId(a as u32), CellId(b as u32))
+    }
+
+    fn trial_cost(&mut self, mv: &SwapMove) -> f64 {
+        self.eval.trial_swap(mv.0, mv.1).cost
+    }
+
+    fn apply(&mut self, mv: &SwapMove) {
+        self.eval.commit_swap(mv.0, mv.1);
+    }
+
+    fn undo(&mut self, mv: &SwapMove) {
+        // Swaps are self-inverse.
+        self.eval.commit_swap(mv.0, mv.1);
+    }
+
+    fn attributes(&self, mv: &SwapMove) -> AttrPair<SlotAttr> {
+        let p = self.eval.placement();
+        (
+            (mv.0 .0, p.slot_of(mv.0).0),
+            Some((mv.1 .0, p.slot_of(mv.1).0)),
+        )
+    }
+
+    fn target_attributes(&self, mv: &SwapMove) -> AttrPair<SlotAttr> {
+        let p = self.eval.placement();
+        (
+            (mv.0 .0, p.slot_of(mv.1).0),
+            Some((mv.1 .0, p.slot_of(mv.0).0)),
+        )
+    }
+
+    fn snapshot(&self) -> Placement {
+        self.eval.snapshot()
+    }
+
+    fn restore(&mut self, snapshot: &Placement) {
+        self.eval.adopt_placement(snapshot.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pts_netlist::{highway, TimingGraph};
+    use pts_place::eval::EvalConfig;
+    use pts_place::init::random_placement;
+    use pts_tabu::search::{TabuSearch, TabuSearchConfig};
+    use std::sync::Arc;
+
+    fn problem(seed: u64) -> PlacementProblem {
+        let nl = Arc::new(highway());
+        let tg = Arc::new(TimingGraph::build(&nl).unwrap());
+        let p = random_placement(&nl, seed);
+        PlacementProblem::new(Evaluator::new(nl, tg, p, EvalConfig::default()))
+    }
+
+    #[test]
+    fn trial_predicts_apply() {
+        let mut pr = problem(1);
+        let mut rng = Rng::new(2);
+        for _ in 0..50 {
+            let mv = pr.sample_move(&mut rng, None);
+            let predicted = pr.trial_cost(&mv);
+            pr.apply(&mv);
+            assert!((pr.cost() - predicted).abs() < 1e-9);
+            pr.undo(&mv);
+        }
+    }
+
+    #[test]
+    fn range_anchors_first_cell() {
+        let mut pr = problem(3);
+        let mut rng = Rng::new(4);
+        for _ in 0..100 {
+            let (a, b) = pr.sample_move(&mut rng, Some((10, 20)));
+            assert!((10..20).contains(&(a.0 as usize)));
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn attributes_are_slots() {
+        let pr = problem(5);
+        let mv = (CellId(0), CellId(1));
+        let (src_a, src_b) = pr.attributes(&mv);
+        let (tgt_a, tgt_b) = pr.target_attributes(&mv);
+        // Source of a == target of b's slot and vice versa.
+        assert_eq!(src_a.1, tgt_b.unwrap().1);
+        assert_eq!(src_b.unwrap().1, tgt_a.1);
+        assert_eq!(src_a.0, 0);
+        assert_eq!(tgt_a.0, 0);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut pr = problem(6);
+        let snap = pr.snapshot();
+        let cost = pr.cost();
+        let mut rng = Rng::new(7);
+        for _ in 0..10 {
+            let mv = pr.sample_move(&mut rng, None);
+            pr.apply(&mv);
+        }
+        pr.restore(&snap);
+        assert_eq!(pr.placement(), &snap);
+        assert!((pr.cost() - cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sequential_tabu_search_improves_placement() {
+        let mut pr = problem(8);
+        let start = pr.cost();
+        let cfg = TabuSearchConfig {
+            iterations: 60,
+            candidates: 6,
+            depth: 2,
+            seed: 9,
+            ..TabuSearchConfig::default()
+        };
+        let result = TabuSearch::new(cfg).run(&mut pr);
+        assert!(
+            result.best_cost < start,
+            "tabu search must improve a random placement ({} -> {})",
+            start,
+            result.best_cost
+        );
+        pr.placement().check_consistency().unwrap();
+    }
+}

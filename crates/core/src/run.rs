@@ -1,0 +1,148 @@
+//! Unified run entry point and the sequential baseline.
+
+use crate::config::PtsConfig;
+use crate::master::MasterOutcome;
+use crate::placement_problem::PlacementProblem;
+use crate::sim_engine::{run_on_sim, SimOutput};
+use crate::thread_engine::run_on_threads;
+use pts_netlist::{Netlist, TimingGraph};
+use pts_place::eval::Evaluator;
+use pts_place::init::random_placement;
+use pts_tabu::aspiration::Aspiration;
+use pts_tabu::search::{SearchResult, TabuPolicy, TabuSearch, TabuSearchConfig};
+use pts_vcluster::ClusterSpec;
+use std::sync::Arc;
+
+/// Which execution engine carries the run.
+#[derive(Clone, Debug)]
+pub enum Engine {
+    /// Deterministic virtual-time cluster (the paper's testbed substitute).
+    Sim(ClusterSpec),
+    /// Native OS threads: real wall-clock parallelism.
+    Threads,
+}
+
+/// Result of [`run_pts`].
+#[derive(Clone, Debug)]
+pub struct PtsOutput {
+    pub outcome: MasterOutcome,
+    /// Cluster metrics (sim engine only).
+    pub sim_report: Option<pts_vcluster::RunReport>,
+    /// Real wall-clock duration of the run.
+    pub wall_seconds: f64,
+}
+
+/// Run parallel tabu search for a circuit on the chosen engine.
+pub fn run_pts(cfg: &PtsConfig, netlist: Arc<Netlist>, engine: Engine) -> PtsOutput {
+    let wall = std::time::Instant::now();
+    match engine {
+        Engine::Sim(cluster) => {
+            let SimOutput { outcome, report } = run_on_sim(cfg, cluster, netlist);
+            PtsOutput {
+                outcome,
+                sim_report: Some(report),
+                wall_seconds: wall.elapsed().as_secs_f64(),
+            }
+        }
+        Engine::Threads => {
+            let outcome = run_on_threads(cfg, netlist);
+            PtsOutput {
+                outcome,
+                sim_report: None,
+                wall_seconds: wall.elapsed().as_secs_f64(),
+            }
+        }
+    }
+}
+
+/// Sequential tabu search baseline with parameters matched to a PTS config
+/// (one worker doing `global_iters × local_iters` iterations, no
+/// diversification, no parallel candidate lists).
+pub fn run_sequential_baseline(
+    cfg: &PtsConfig,
+    netlist: Arc<Netlist>,
+) -> SearchResult<pts_place::placement::Placement> {
+    let timing = Arc::new(TimingGraph::build(&netlist).expect("acyclic circuit"));
+    let initial = random_placement(&netlist, cfg.seed ^ 0x1317);
+    let eval = Evaluator::new(netlist, timing, initial, cfg.eval_config());
+    let mut problem = PlacementProblem::new(eval);
+    let ts_cfg = TabuSearchConfig {
+        tenure: cfg.tenure,
+        candidates: cfg.candidates,
+        depth: cfg.depth,
+        iterations: cfg.global_iters as u64 * cfg.local_iters as u64,
+        aspiration: Aspiration::BestCost,
+        early_accept: true,
+        range: None,
+        tabu_policy: TabuPolicy::AnyConstituent,
+        seed: cfg.seed,
+    };
+    TabuSearch::new(ts_cfg).run(&mut problem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pts_netlist::highway;
+    use pts_vcluster::topology::paper_cluster;
+
+    fn tiny_cfg() -> PtsConfig {
+        PtsConfig {
+            n_tsw: 2,
+            n_clw: 2,
+            global_iters: 2,
+            local_iters: 4,
+            candidates: 4,
+            depth: 2,
+            ..PtsConfig::default()
+        }
+    }
+
+    #[test]
+    fn sim_run_improves_cost() {
+        let out = run_pts(&tiny_cfg(), Arc::new(highway()), Engine::Sim(paper_cluster()));
+        assert!(
+            out.outcome.best_cost < out.outcome.initial_cost,
+            "PTS must improve over the initial solution ({} vs {})",
+            out.outcome.best_cost,
+            out.outcome.initial_cost
+        );
+        let report = out.sim_report.expect("sim metrics present");
+        assert!(report.end_time > 0.0);
+        assert!(report.total_messages() > 0);
+        assert_eq!(out.outcome.best_per_global_iter.len(), 2);
+        out.outcome.best_placement.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn sim_run_is_deterministic() {
+        let a = run_pts(&tiny_cfg(), Arc::new(highway()), Engine::Sim(paper_cluster()));
+        let b = run_pts(&tiny_cfg(), Arc::new(highway()), Engine::Sim(paper_cluster()));
+        assert_eq!(a.outcome.best_cost, b.outcome.best_cost);
+        assert_eq!(
+            a.outcome.best_per_global_iter,
+            b.outcome.best_per_global_iter
+        );
+        assert_eq!(
+            a.sim_report.unwrap().end_time,
+            b.sim_report.unwrap().end_time
+        );
+        assert_eq!(a.outcome.best_placement, b.outcome.best_placement);
+    }
+
+    #[test]
+    fn thread_run_improves_cost() {
+        let out = run_pts(&tiny_cfg(), Arc::new(highway()), Engine::Threads);
+        assert!(out.outcome.best_cost < out.outcome.initial_cost);
+        assert!(out.sim_report.is_none());
+        out.outcome.best_placement.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn sequential_baseline_improves_cost() {
+        let cfg = tiny_cfg();
+        let r = run_sequential_baseline(&cfg, Arc::new(highway()));
+        assert!(r.best_cost < 1.0);
+        assert!(!r.trace.is_empty());
+    }
+}

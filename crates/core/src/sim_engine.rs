@@ -1,0 +1,89 @@
+//! Run the full PTS process tree on the virtual heterogeneous cluster.
+
+use crate::config::PtsConfig;
+use crate::master::{run_master, MasterOutcome};
+use crate::messages::PtsMsg;
+use crate::transport::SimTransport;
+use crate::{clw::run_clw, tsw::run_tsw};
+use parking_lot::Mutex;
+use pts_netlist::{Netlist, TimingGraph};
+use pts_place::init::random_placement;
+use pts_place::placement::Placement;
+use pts_vcluster::topology::round_robin_assignment;
+use pts_vcluster::{ClusterSpec, RunReport, SimBuilder};
+use std::sync::Arc;
+
+/// Result of a simulated run: algorithmic outcome + cluster metrics.
+#[derive(Clone, Debug)]
+pub struct SimOutput {
+    pub outcome: MasterOutcome,
+    pub report: RunReport,
+}
+
+/// Run PTS on a simulated cluster with the default (seeded-random) initial
+/// placement.
+pub fn run_on_sim(cfg: &PtsConfig, cluster: ClusterSpec, netlist: Arc<Netlist>) -> SimOutput {
+    let initial = random_placement(&netlist, cfg.seed ^ 0x1317);
+    run_on_sim_from(cfg, cluster, netlist, initial)
+}
+
+/// Run PTS on a simulated cluster from an explicit initial placement.
+pub fn run_on_sim_from(
+    cfg: &PtsConfig,
+    cluster: ClusterSpec,
+    netlist: Arc<Netlist>,
+    initial: Placement,
+) -> SimOutput {
+    cfg.validate().expect("invalid PTS configuration");
+    let timing = Arc::new(TimingGraph::build(&netlist).expect("acyclic circuit"));
+    let assignment = round_robin_assignment(&cluster, cfg.total_procs());
+    let mut sim: SimBuilder<PtsMsg> = SimBuilder::new(cluster);
+    let outcome_slot: Arc<Mutex<Option<MasterOutcome>>> = Arc::new(Mutex::new(None));
+
+    // Rank 0: master. Spawn order must equal rank order (SimTransport
+    // identifies rank with simulated pid).
+    {
+        let cfg = *cfg;
+        let netlist = netlist.clone();
+        let timing = timing.clone();
+        let slot = Arc::clone(&outcome_slot);
+        sim.spawn(assignment[0], move |ctx| {
+            let mut t = SimTransport { ctx };
+            let outcome = run_master(&mut t, &cfg, netlist, timing, initial);
+            *slot.lock() = Some(outcome);
+        });
+    }
+    // Ranks 1..=n_tsw: TSWs.
+    for i in 0..cfg.n_tsw {
+        let cfg = *cfg;
+        let netlist = netlist.clone();
+        let timing = timing.clone();
+        let rank = cfg.tsw_rank(i);
+        sim.spawn(assignment[rank], move |ctx| {
+            let mut t = SimTransport { ctx };
+            run_tsw(&mut t, &cfg, i, netlist, timing);
+        });
+    }
+    // Remaining ranks: CLWs, grouped by TSW.
+    for i in 0..cfg.n_tsw {
+        for j in 0..cfg.n_clw {
+            let cfg = *cfg;
+            let netlist = netlist.clone();
+            let timing = timing.clone();
+            let rank = cfg.clw_rank(i, j);
+            let tsw_rank = cfg.tsw_rank(i);
+            sim.spawn(assignment[rank], move |ctx| {
+                let mut t = SimTransport { ctx };
+                run_clw(&mut t, &cfg, tsw_rank, j, netlist, timing);
+            });
+        }
+    }
+    debug_assert_eq!(sim.num_spawned(), cfg.total_procs());
+
+    let report = sim.run();
+    let outcome = outcome_slot
+        .lock()
+        .take()
+        .expect("master deposits its outcome");
+    SimOutput { outcome, report }
+}

@@ -1,0 +1,148 @@
+//! Transport abstraction: the same master/TSW/CLW code runs on the virtual
+//! cluster (deterministic, heterogeneous, virtual time) and on native
+//! threads (real parallel wall-clock execution).
+
+use crate::messages::PtsMsg;
+use crossbeam::channel::{Receiver, Sender};
+use pts_vcluster::{ProcCtx, ProcId};
+use std::time::Instant;
+
+/// Process-side communication + time + work accounting.
+pub trait Transport {
+    /// This process's rank in the PTS topology.
+    fn rank(&self) -> usize;
+    /// Seconds since the run started (virtual or wall).
+    fn now(&self) -> f64;
+    /// Charge CPU work (advances virtual time; no-op on native threads,
+    /// where real computation takes real time).
+    fn compute(&mut self, work: f64);
+    fn send(&mut self, dst: usize, msg: PtsMsg);
+    fn recv(&mut self) -> PtsMsg;
+    fn try_recv(&mut self) -> Option<PtsMsg>;
+}
+
+/// Virtual-cluster transport: ranks coincide with simulated process ids
+/// (processes are spawned in rank order).
+pub struct SimTransport {
+    pub ctx: ProcCtx<PtsMsg>,
+}
+
+impl Transport for SimTransport {
+    fn rank(&self) -> usize {
+        self.ctx.id().index()
+    }
+
+    fn now(&self) -> f64 {
+        self.ctx.now()
+    }
+
+    fn compute(&mut self, work: f64) {
+        self.ctx.compute(work);
+    }
+
+    fn send(&mut self, dst: usize, msg: PtsMsg) {
+        let bytes = msg.wire_size();
+        self.ctx.send_sized(ProcId(dst), msg, bytes);
+    }
+
+    fn recv(&mut self) -> PtsMsg {
+        self.ctx.recv()
+    }
+
+    fn try_recv(&mut self) -> Option<PtsMsg> {
+        self.ctx.try_recv()
+    }
+}
+
+/// Native-thread transport over crossbeam channels.
+pub struct ThreadTransport {
+    rank: usize,
+    start: Instant,
+    senders: Vec<Sender<PtsMsg>>,
+    receiver: Receiver<PtsMsg>,
+}
+
+impl ThreadTransport {
+    pub fn new(
+        rank: usize,
+        start: Instant,
+        senders: Vec<Sender<PtsMsg>>,
+        receiver: Receiver<PtsMsg>,
+    ) -> ThreadTransport {
+        ThreadTransport {
+            rank,
+            start,
+            senders,
+            receiver,
+        }
+    }
+}
+
+impl Transport for ThreadTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn now(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    fn compute(&mut self, _work: f64) {
+        // Real computation takes real wall time; nothing to account.
+    }
+
+    fn send(&mut self, dst: usize, msg: PtsMsg) {
+        // A receiver that already processed Stop may be gone; that's fine.
+        let _ = self.senders[dst].send(msg);
+    }
+
+    fn recv(&mut self) -> PtsMsg {
+        self.receiver
+            .recv()
+            .expect("peer channels outlive the protocol")
+    }
+
+    fn try_recv(&mut self) -> Option<PtsMsg> {
+        self.receiver.try_recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+
+    #[test]
+    fn thread_transport_routes_messages() {
+        let (s0, r0) = unbounded();
+        let (s1, r1) = unbounded();
+        let start = Instant::now();
+        let mut a = ThreadTransport::new(0, start, vec![s0.clone(), s1.clone()], r0);
+        let mut b = ThreadTransport::new(1, start, vec![s0, s1], r1);
+        assert_eq!(a.rank(), 0);
+        assert_eq!(b.rank(), 1);
+        a.send(1, PtsMsg::Stop);
+        assert!(matches!(b.recv(), PtsMsg::Stop));
+        assert!(b.try_recv().is_none());
+    }
+
+    #[test]
+    fn thread_transport_send_to_dropped_receiver_is_silent() {
+        let (s0, r0) = unbounded();
+        let (s1, r1) = unbounded();
+        drop(r1);
+        let start = Instant::now();
+        let mut a = ThreadTransport::new(0, start, vec![s0, s1], r0);
+        a.send(1, PtsMsg::Stop); // must not panic
+    }
+
+    #[test]
+    fn thread_transport_clock_advances() {
+        let (s0, r0) = unbounded();
+        let start = Instant::now();
+        let a = ThreadTransport::new(0, start, vec![s0], r0);
+        let t1 = a.now();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert!(a.now() > t1);
+    }
+}

@@ -1,0 +1,270 @@
+//! The Tabu Search Worker (TSW).
+//!
+//! Each TSW runs its own tabu search (p-control at this level): per global
+//! iteration it (1) diversifies within its private cell range, (2) runs
+//! `local_iters` local iterations — each one asks its CLWs for compound-
+//! move proposals, picks the best, applies the tabu test with best-cost
+//! aspiration — and (3) reports its best solution *and tabu list* to the
+//! master, then adopts the broadcast global best.
+//!
+//! Heterogeneity handling (both directions of the paper's half-report
+//! scheme):
+//! * as a *parent*: after a quorum of CLW proposals, `CutShort` is sent to
+//!   the stragglers;
+//! * as a *child*: a master `ForceReport` makes the TSW finish its current
+//!   local iteration, report immediately, and wait for the broadcast.
+
+use crate::config::{PtsConfig, SyncPolicy};
+use crate::messages::PtsMsg;
+use crate::placement_problem::{PlacementProblem, SwapMove};
+use crate::transport::Transport;
+use pts_netlist::{Netlist, TimingGraph};
+use pts_place::eval::Evaluator;
+use pts_tabu::aspiration::Aspiration;
+use pts_tabu::compound::CompoundMove;
+use pts_tabu::diversify::diversify;
+use pts_tabu::problem::SearchProblem;
+use pts_tabu::search::{StepOutcome, TabuEngine, TabuPolicy, TabuSearchConfig};
+use std::sync::Arc;
+
+/// Run the TSW protocol until `Stop`.
+pub fn run_tsw<T: Transport>(
+    t: &mut T,
+    cfg: &PtsConfig,
+    tsw_index: usize,
+    netlist: Arc<Netlist>,
+    timing: Arc<TimingGraph>,
+) {
+    let n_cells = netlist.num_cells();
+    let my_range = cfg.tsw_range(tsw_index, n_cells);
+    let clws = cfg.clw_ranks(tsw_index);
+    let master = cfg.master_rank();
+    // MPSS (paper default): one shared diversification stream — TSWs still
+    // diverge because each diversifies over a *different* cell range.
+    let div_salt = if cfg.differentiate_streams {
+        t.rank()
+    } else {
+        2_000
+    };
+    let mut div_rng = crate::clw::worker_rng(cfg.seed, div_salt);
+
+    // Wait for Init.
+    let mut problem = loop {
+        match t.recv() {
+            PtsMsg::Init { placement, scheme } => {
+                break PlacementProblem::new(Evaluator::with_scheme(
+                    netlist.clone(),
+                    timing.clone(),
+                    placement,
+                    cfg.alpha,
+                    scheme,
+                ));
+            }
+            PtsMsg::Stop => return,
+            _ => {}
+        }
+    };
+
+    let engine_cfg = TabuSearchConfig {
+        tenure: cfg.tenure,
+        candidates: cfg.candidates,
+        depth: cfg.depth,
+        iterations: cfg.local_iters as u64,
+        aspiration: Aspiration::BestCost,
+        early_accept: true,
+        range: None,
+        tabu_policy: TabuPolicy::AnyConstituent,
+        seed: cfg.seed ^ (t.rank() as u64) << 17,
+    };
+    let mut engine: TabuEngine<PlacementProblem> = TabuEngine::new(engine_cfg, &problem, t.now());
+    let mut inv_seq: u64 = (tsw_index as u64) << 40; // globally unique streams
+
+    for g in 0..cfg.global_iters {
+        // --- Diversification over this TSW's private cell subset --------
+        if cfg.diversify {
+            let depth = cfg.effective_diversify_depth(n_cells);
+            diversify(
+                &mut problem,
+                &mut div_rng,
+                my_range,
+                depth,
+                cfg.diversify_width,
+                Some(engine.memory()),
+            );
+            t.compute(cfg.work.per_diversify_step * depth as f64);
+        }
+        // Synchronize CLWs with the (possibly diversified) current state.
+        for &c in &clws {
+            t.send(
+                c,
+                PtsMsg::AdoptPlacement {
+                    placement: problem.snapshot(),
+                },
+            );
+        }
+
+        // --- Local iterations -------------------------------------------
+        let mut force_pending = false;
+        for _li in 0..cfg.local_iters {
+            // A master ForceReport may already be queued.
+            while let Some(msg) = t.try_recv() {
+                if let PtsMsg::ForceReport { global } = msg {
+                    if global == g {
+                        force_pending = true;
+                    }
+                }
+            }
+            if force_pending {
+                break;
+            }
+
+            inv_seq += 1;
+            for &c in &clws {
+                t.send(c, PtsMsg::Investigate { seq: inv_seq });
+            }
+            let proposals = collect_proposals(
+                t,
+                cfg,
+                tsw_index,
+                g,
+                inv_seq,
+                &clws,
+                &mut force_pending,
+            );
+
+            // Paper: "The TSW selects the best solution from the CLW that
+            // achieves the maximum cost improvement or the least cost
+            // degradation."
+            let (moves, cost) = proposals
+                .into_iter()
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("costs are not NaN"))
+                .expect("every CLW answers each investigation");
+            let compound = CompoundMove {
+                start_cost: problem.cost(),
+                cost,
+                moves,
+            };
+            t.compute(cfg.work.per_tabu_check);
+            if let StepOutcome::Accepted { .. } = engine.step_with(&mut problem, &compound, t.now())
+            {
+                for &c in &clws {
+                    t.send(
+                        c,
+                        PtsMsg::ApplyMoves {
+                            moves: compound.moves.clone(),
+                        },
+                    );
+                }
+            }
+            if force_pending {
+                break;
+            }
+        }
+
+        // --- Report to the master ----------------------------------------
+        t.send(
+            master,
+            PtsMsg::Report {
+                tsw: tsw_index,
+                global: g,
+                cost: engine.best_cost(),
+                placement: engine.best().clone(),
+                tabu: engine.export_tabu(),
+                trace: engine.trace().points().to_vec(),
+                stats: *engine.stats(),
+            },
+        );
+
+        // --- Adopt the broadcast (or stop) --------------------------------
+        loop {
+            match t.recv() {
+                PtsMsg::Broadcast {
+                    global,
+                    placement,
+                    tabu,
+                } if global == g => {
+                    engine.adopt(&mut problem, &placement, &tabu, t.now());
+                    break;
+                }
+                PtsMsg::Stop => {
+                    for &c in &clws {
+                        t.send(c, PtsMsg::Stop);
+                    }
+                    return;
+                }
+                // Stale: a ForceReport that crossed our report, or leftover
+                // control traffic.
+                PtsMsg::ForceReport { .. } | PtsMsg::Broadcast { .. } => {}
+                PtsMsg::Proposal { .. } | PtsMsg::CutShort { .. } => {}
+                other => {
+                    debug_assert!(false, "TSW got unexpected {}", other.tag());
+                }
+            }
+        }
+    }
+    // All global iterations done without receiving Stop (master always
+    // terminates with Stop, so this is unreachable in practice).
+    for &c in &clws {
+        t.send(c, PtsMsg::Stop);
+    }
+}
+
+/// Collect exactly one proposal from every CLW, applying the half-report
+/// policy as a parent and watching for the master's ForceReport as a child.
+fn collect_proposals<T: Transport>(
+    t: &mut T,
+    cfg: &PtsConfig,
+    tsw_index: usize,
+    global: u32,
+    seq: u64,
+    clws: &[usize],
+    force_pending: &mut bool,
+) -> Vec<(Vec<SwapMove>, f64)> {
+    let n = clws.len();
+    let quorum = cfg.report_quorum(n);
+    let mut got: Vec<Option<(Vec<SwapMove>, f64)>> = vec![None; n];
+    let mut n_got = 0;
+    let mut cut_sent = false;
+
+    let cut_stragglers =
+        |t: &mut T, got: &[Option<(Vec<SwapMove>, f64)>], cut_sent: &mut bool| {
+            if *cut_sent {
+                return;
+            }
+            for (j, slot) in got.iter().enumerate() {
+                if slot.is_none() {
+                    t.send(cfg.clw_rank(tsw_index, j), PtsMsg::CutShort { seq });
+                }
+            }
+            *cut_sent = true;
+        };
+
+    while n_got < n {
+        match t.recv() {
+            PtsMsg::Proposal {
+                clw,
+                seq: s,
+                moves,
+                cost,
+            } if s == seq => {
+                debug_assert!(got[clw].is_none(), "duplicate proposal from CLW {clw}");
+                got[clw] = Some((moves, cost));
+                n_got += 1;
+                if cfg.clw_sync == SyncPolicy::HalfReport && n_got >= quorum && n_got < n {
+                    cut_stragglers(t, &got, &mut cut_sent);
+                }
+            }
+            PtsMsg::Proposal { .. } => {} // stale seq (cannot normally occur)
+            PtsMsg::ForceReport { global: fg } if fg == global => {
+                *force_pending = true;
+                // Hasten the stragglers so this iteration ends quickly.
+                cut_stragglers(t, &got, &mut cut_sent);
+            }
+            PtsMsg::ForceReport { .. } | PtsMsg::CutShort { .. } => {}
+            other => {
+                debug_assert!(false, "TSW collecting proposals got {}", other.tag());
+            }
+        }
+    }
+    got.into_iter().map(|o| o.expect("all collected")).collect()
+}

@@ -1,0 +1,163 @@
+//! Structural analysis of netlists: connectivity, cones, and path counts.
+//!
+//! Used to sanity-check generated circuits against the ISCAS-89 profile
+//! and by diagnostics in the experiment harness.
+
+use crate::cell::{CellId, CellKind};
+use crate::netlist::Netlist;
+use crate::timing_graph::TimingGraph;
+
+/// Size of each cell's transitive fan-out cone (number of distinct cells
+/// reachable through combinational edges, endpoints included, the cell
+/// itself excluded).
+pub fn fanout_cone_sizes(netlist: &Netlist, timing: &TimingGraph) -> Vec<usize> {
+    let n = netlist.num_cells();
+    let mut sizes = vec![0usize; n];
+    let mut stamp = vec![u32::MAX; n];
+    let mut stack: Vec<CellId> = Vec::new();
+    for (gen, src) in netlist.cell_ids().enumerate() {
+        let gen = gen as u32;
+        let mut count = 0usize;
+        stack.push(src);
+        stamp[src.index()] = gen;
+        while let Some(u) = stack.pop() {
+            for e in timing.out_edges(u) {
+                let v = e.to;
+                if stamp[v.index()] != gen {
+                    stamp[v.index()] = gen;
+                    count += 1;
+                    // Propagation stops at endpoints (FF/output).
+                    if netlist.cell(v).kind == CellKind::Logic {
+                        stack.push(v);
+                    }
+                }
+            }
+        }
+        sizes[src.index()] = count;
+    }
+    sizes
+}
+
+/// Is every cell reachable (forward or backward) from some timing source?
+/// Generated circuits must be fully connected through the timing graph.
+pub fn unreachable_cells(netlist: &Netlist, timing: &TimingGraph) -> Vec<CellId> {
+    let n = netlist.num_cells();
+    let mut reached = vec![false; n];
+    let mut stack: Vec<CellId> = timing.sources().to_vec();
+    for &s in timing.sources() {
+        reached[s.index()] = true;
+    }
+    while let Some(u) = stack.pop() {
+        for e in timing.out_edges(u) {
+            if !reached[e.to.index()] {
+                reached[e.to.index()] = true;
+                if netlist.cell(e.to).kind == CellKind::Logic {
+                    stack.push(e.to);
+                }
+            }
+        }
+    }
+    netlist
+        .cell_ids()
+        .filter(|c| !reached[c.index()])
+        .collect()
+}
+
+/// Number of distinct source-to-endpoint timing paths, saturating at
+/// `u64::MAX` (path counts are exponential in depth).
+pub fn count_timing_paths(netlist: &Netlist, timing: &TimingGraph) -> u64 {
+    let n = netlist.num_cells();
+    // paths_to[v] = number of paths from any source to v's input.
+    let mut paths_to = vec![0u64; n];
+    let count_into = |paths_to: &Vec<u64>, v: CellId, tg: &TimingGraph, nl: &Netlist| -> u64 {
+        let mut total: u64 = 0;
+        for e in tg.in_edges(v) {
+            let from_paths = if nl.cell(e.from).kind == CellKind::Logic {
+                paths_to[e.from.index()]
+            } else {
+                1 // a source edge is one path prefix
+            };
+            total = total.saturating_add(from_paths);
+        }
+        total
+    };
+    for &v in timing.topo_logic() {
+        paths_to[v.index()] = count_into(&paths_to, v, timing, netlist);
+    }
+    let mut total: u64 = 0;
+    for &ep in timing.endpoints() {
+        total = total.saturating_add(count_into(&paths_to, ep, timing, netlist));
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::{c532, highway};
+    use crate::builder::NetlistBuilder;
+    use crate::cell::Cell;
+
+    fn chain() -> (Netlist, TimingGraph) {
+        let mut b = NetlistBuilder::new("chain");
+        let i = b.add_cell(Cell::new("i", CellKind::Input, 1, 0.0));
+        let g1 = b.add_cell(Cell::new("g1", CellKind::Logic, 1, 1.0));
+        let g2 = b.add_cell(Cell::new("g2", CellKind::Logic, 1, 1.0));
+        let o = b.add_cell(Cell::new("o", CellKind::Output, 1, 0.0));
+        b.add_net("n0", i, vec![g1]).unwrap();
+        b.add_net("n1", g1, vec![g2]).unwrap();
+        b.add_net("n2", g2, vec![o]).unwrap();
+        let nl = b.finish().unwrap();
+        let tg = TimingGraph::build(&nl).unwrap();
+        (nl, tg)
+    }
+
+    #[test]
+    fn chain_cone_sizes() {
+        let (nl, tg) = chain();
+        let sizes = fanout_cone_sizes(&nl, &tg);
+        // i reaches g1,g2,o = 3; g1 reaches 2; g2 reaches 1; o reaches 0.
+        assert_eq!(sizes, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn chain_has_single_path() {
+        let (nl, tg) = chain();
+        assert_eq!(count_timing_paths(&nl, &tg), 1);
+    }
+
+    #[test]
+    fn benchmarks_fully_reachable() {
+        for nl in [highway(), c532()] {
+            let tg = TimingGraph::build(&nl).unwrap();
+            let unreachable = unreachable_cells(&nl, &tg);
+            assert!(
+                unreachable.is_empty(),
+                "{}: unreachable cells {unreachable:?}",
+                nl.name
+            );
+        }
+    }
+
+    #[test]
+    fn benchmarks_have_many_paths() {
+        let nl = highway();
+        let tg = TimingGraph::build(&nl).unwrap();
+        assert!(
+            count_timing_paths(&nl, &tg) > nl.num_cells() as u64,
+            "a real circuit has more paths than cells"
+        );
+    }
+
+    #[test]
+    fn cone_of_endpoint_is_empty() {
+        let nl = highway();
+        let tg = TimingGraph::build(&nl).unwrap();
+        let sizes = fanout_cone_sizes(&nl, &tg);
+        for (id, cell) in nl.cells() {
+            if cell.kind == CellKind::Output {
+                assert_eq!(sizes[id.index()], 0, "output pads drive nothing");
+            }
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Validated construction of [`Netlist`]s.
+
+use crate::cell::{Cell, CellId, CellKind};
+use crate::net::{Net, NetId};
+use crate::netlist::Netlist;
+
+/// Errors produced while building a netlist.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// Referenced cell id does not exist.
+    UnknownCell(CellId),
+    /// Net has no sinks.
+    EmptyNet { net: String },
+    /// A cell appears more than once on the same net.
+    DuplicatePin { net: String, cell: CellId },
+    /// A cell already drives another net.
+    MultipleDrivers { cell: CellId },
+    /// An `Input` cell was used as a sink, or an `Output` cell as a driver.
+    KindViolation { net: String, cell: CellId },
+    /// The finished netlist has a cell with no net at all.
+    DanglingCell(CellId),
+    /// The finished netlist has no cells.
+    Empty,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::UnknownCell(c) => write!(f, "unknown cell {c}"),
+            BuildError::EmptyNet { net } => write!(f, "net '{net}' has no sinks"),
+            BuildError::DuplicatePin { net, cell } => {
+                write!(f, "cell {cell} appears twice on net '{net}'")
+            }
+            BuildError::MultipleDrivers { cell } => {
+                write!(f, "cell {cell} drives more than one net")
+            }
+            BuildError::KindViolation { net, cell } => {
+                write!(f, "cell {cell} has an illegal role on net '{net}'")
+            }
+            BuildError::DanglingCell(c) => write!(f, "cell {c} is not connected to any net"),
+            BuildError::Empty => write!(f, "netlist has no cells"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Incremental builder enforcing [`Netlist`] invariants.
+#[derive(Clone, Debug)]
+pub struct NetlistBuilder {
+    name: String,
+    cells: Vec<Cell>,
+    nets: Vec<Net>,
+    has_driver: Vec<bool>,
+}
+
+impl NetlistBuilder {
+    pub fn new(name: impl Into<String>) -> Self {
+        NetlistBuilder {
+            name: name.into(),
+            cells: Vec::new(),
+            nets: Vec::new(),
+            has_driver: Vec::new(),
+        }
+    }
+
+    /// Add a cell, returning its id.
+    pub fn add_cell(&mut self, cell: Cell) -> CellId {
+        let id = CellId(self.cells.len() as u32);
+        self.cells.push(cell);
+        self.has_driver.push(false);
+        id
+    }
+
+    /// Number of cells added so far.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of nets added so far.
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Add a net from `driver` to `sinks`, validating roles and uniqueness.
+    pub fn add_net(
+        &mut self,
+        name: impl Into<String>,
+        driver: CellId,
+        sinks: Vec<CellId>,
+    ) -> Result<NetId, BuildError> {
+        let name = name.into();
+        self.check_cell(driver)?;
+        if sinks.is_empty() {
+            return Err(BuildError::EmptyNet { net: name });
+        }
+        if self.cells[driver.index()].kind == CellKind::Output {
+            return Err(BuildError::KindViolation { net: name, cell: driver });
+        }
+        if self.has_driver[driver.index()] {
+            return Err(BuildError::MultipleDrivers { cell: driver });
+        }
+        let mut seen = vec![driver];
+        for &s in &sinks {
+            self.check_cell(s)?;
+            if self.cells[s.index()].kind == CellKind::Input {
+                return Err(BuildError::KindViolation { net: name, cell: s });
+            }
+            if seen.contains(&s) {
+                return Err(BuildError::DuplicatePin { net: name, cell: s });
+            }
+            seen.push(s);
+        }
+        self.has_driver[driver.index()] = true;
+        let id = NetId(self.nets.len() as u32);
+        self.nets.push(Net::new(name, driver, sinks));
+        Ok(id)
+    }
+
+    fn check_cell(&self, id: CellId) -> Result<(), BuildError> {
+        if id.index() < self.cells.len() {
+            Ok(())
+        } else {
+            Err(BuildError::UnknownCell(id))
+        }
+    }
+
+    /// Validate global invariants and produce the immutable [`Netlist`].
+    pub fn finish(self) -> Result<Netlist, BuildError> {
+        if self.cells.is_empty() {
+            return Err(BuildError::Empty);
+        }
+        let mut connected = vec![false; self.cells.len()];
+        for net in &self.nets {
+            for c in net.cells() {
+                connected[c.index()] = true;
+            }
+        }
+        if let Some(i) = connected.iter().position(|&c| !c) {
+            return Err(BuildError::DanglingCell(CellId(i as u32)));
+        }
+        Ok(Netlist::from_parts(self.name, self.cells, self.nets))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cells3(b: &mut NetlistBuilder) -> (CellId, CellId, CellId) {
+        let a = b.add_cell(Cell::new("a", CellKind::Input, 1, 0.0));
+        let g = b.add_cell(Cell::new("g", CellKind::Logic, 1, 1.0));
+        let o = b.add_cell(Cell::new("o", CellKind::Output, 1, 0.0));
+        (a, g, o)
+    }
+
+    #[test]
+    fn happy_path() {
+        let mut b = NetlistBuilder::new("t");
+        let (a, g, o) = cells3(&mut b);
+        b.add_net("n1", a, vec![g]).unwrap();
+        b.add_net("n2", g, vec![o]).unwrap();
+        let nl = b.finish().unwrap();
+        assert_eq!(nl.num_cells(), 3);
+        assert_eq!(nl.num_nets(), 2);
+    }
+
+    #[test]
+    fn rejects_empty_net() {
+        let mut b = NetlistBuilder::new("t");
+        let (a, _, _) = cells3(&mut b);
+        assert!(matches!(
+            b.add_net("n", a, vec![]),
+            Err(BuildError::EmptyNet { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_cell() {
+        let mut b = NetlistBuilder::new("t");
+        let (a, _, _) = cells3(&mut b);
+        assert!(matches!(
+            b.add_net("n", a, vec![CellId(99)]),
+            Err(BuildError::UnknownCell(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_pin() {
+        let mut b = NetlistBuilder::new("t");
+        let (a, g, _) = cells3(&mut b);
+        assert!(matches!(
+            b.add_net("n", a, vec![g, g]),
+            Err(BuildError::DuplicatePin { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_driver_as_sink() {
+        let mut b = NetlistBuilder::new("t");
+        let (_, g, o) = cells3(&mut b);
+        assert!(matches!(
+            b.add_net("n", g, vec![g, o]),
+            Err(BuildError::DuplicatePin { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_multiple_drivers() {
+        let mut b = NetlistBuilder::new("t");
+        let (a, g, o) = cells3(&mut b);
+        b.add_net("n1", a, vec![g]).unwrap();
+        assert!(matches!(
+            b.add_net("n2", a, vec![o]),
+            Err(BuildError::MultipleDrivers { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_input_as_sink_and_output_as_driver() {
+        let mut b = NetlistBuilder::new("t");
+        let (a, g, o) = cells3(&mut b);
+        assert!(matches!(
+            b.add_net("n", g, vec![a]),
+            Err(BuildError::KindViolation { .. })
+        ));
+        assert!(matches!(
+            b.add_net("n", o, vec![g]),
+            Err(BuildError::KindViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_dangling_cell() {
+        let mut b = NetlistBuilder::new("t");
+        let (a, g, _) = cells3(&mut b);
+        b.add_net("n1", a, vec![g]).unwrap();
+        assert!(matches!(b.finish(), Err(BuildError::DanglingCell(_))));
+    }
+
+    #[test]
+    fn rejects_empty_netlist() {
+        let b = NetlistBuilder::new("t");
+        assert!(matches!(b.finish(), Err(BuildError::Empty)));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = BuildError::EmptyNet { net: "x".into() };
+        assert!(e.to_string().contains('x'));
+        let e = BuildError::UnknownCell(CellId(4));
+        assert!(e.to_string().contains("c4"));
+    }
+}

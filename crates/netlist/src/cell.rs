@@ -1,0 +1,132 @@
+//! Cells: the placeable units of a standard-cell circuit.
+
+/// Index of a cell within its [`crate::Netlist`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellId(pub u32);
+
+impl CellId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for CellId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// The functional class of a cell; determines its role in the timing DAG.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// Primary input pad: a timing start point, no fanin.
+    Input,
+    /// Primary output pad: a timing end point, no fanout.
+    Output,
+    /// Combinational logic gate.
+    Logic,
+    /// Flip-flop: both a timing end point (D side) and start point (Q side).
+    FlipFlop,
+}
+
+impl CellKind {
+    /// Timing paths begin at these cells.
+    #[inline]
+    pub fn is_timing_source(self) -> bool {
+        matches!(self, CellKind::Input | CellKind::FlipFlop)
+    }
+
+    /// Timing paths end at these cells.
+    #[inline]
+    pub fn is_timing_endpoint(self) -> bool {
+        matches!(self, CellKind::Output | CellKind::FlipFlop)
+    }
+
+    /// Short tag used by the text netlist format.
+    pub fn tag(self) -> &'static str {
+        match self {
+            CellKind::Input => "in",
+            CellKind::Output => "out",
+            CellKind::Logic => "logic",
+            CellKind::FlipFlop => "ff",
+        }
+    }
+
+    /// Parse the tag produced by [`CellKind::tag`].
+    pub fn from_tag(tag: &str) -> Option<CellKind> {
+        match tag {
+            "in" => Some(CellKind::Input),
+            "out" => Some(CellKind::Output),
+            "logic" => Some(CellKind::Logic),
+            "ff" => Some(CellKind::FlipFlop),
+            _ => None,
+        }
+    }
+}
+
+/// A placeable cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cell {
+    pub name: String,
+    pub kind: CellKind,
+    /// Width in placement sites (>= 1).
+    pub width: u32,
+    /// Intrinsic switching delay in normalized time units.
+    pub intrinsic_delay: f64,
+}
+
+impl Cell {
+    pub fn new(name: impl Into<String>, kind: CellKind, width: u32, intrinsic_delay: f64) -> Self {
+        Cell {
+            name: name.into(),
+            kind,
+            width: width.max(1),
+            intrinsic_delay,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_roles() {
+        assert!(CellKind::Input.is_timing_source());
+        assert!(CellKind::FlipFlop.is_timing_source());
+        assert!(!CellKind::Logic.is_timing_source());
+        assert!(!CellKind::Output.is_timing_source());
+
+        assert!(CellKind::Output.is_timing_endpoint());
+        assert!(CellKind::FlipFlop.is_timing_endpoint());
+        assert!(!CellKind::Logic.is_timing_endpoint());
+        assert!(!CellKind::Input.is_timing_endpoint());
+    }
+
+    #[test]
+    fn tag_roundtrip() {
+        for kind in [
+            CellKind::Input,
+            CellKind::Output,
+            CellKind::Logic,
+            CellKind::FlipFlop,
+        ] {
+            assert_eq!(CellKind::from_tag(kind.tag()), Some(kind));
+        }
+        assert_eq!(CellKind::from_tag("bogus"), None);
+    }
+
+    #[test]
+    fn width_clamped_to_one() {
+        let c = Cell::new("x", CellKind::Logic, 0, 1.0);
+        assert_eq!(c.width, 1);
+    }
+
+    #[test]
+    fn id_display_and_index() {
+        let id = CellId(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "c7");
+    }
+}

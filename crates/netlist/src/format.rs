@@ -1,0 +1,284 @@
+//! Plain-text netlist format.
+//!
+//! Allows importing real circuits (e.g. converted ISCAS-89 netlists) and
+//! saving generated ones. Line-oriented:
+//!
+//! ```text
+//! # comment
+//! circuit <name>
+//! cell <name> <kind: in|out|logic|ff> <width> <delay>
+//! net <name> <driver-cell-name> <sink-cell-name>...
+//! end
+//! ```
+//!
+//! Cells must be declared before the nets that reference them.
+
+use crate::builder::{BuildError, NetlistBuilder};
+use crate::cell::{Cell, CellId, CellKind};
+use crate::netlist::Netlist;
+use std::collections::HashMap;
+
+/// Parse error with 1-based line number.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ParseError {
+    /// Syntactic problem on a line.
+    Syntax { line: usize, message: String },
+    /// Reference to an undeclared cell name.
+    UnknownCell { line: usize, name: String },
+    /// The assembled netlist violates structural invariants.
+    Build(BuildError),
+    /// Missing `circuit` header or `end` footer.
+    Structure(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            ParseError::UnknownCell { line, name } => {
+                write!(f, "line {line}: unknown cell '{name}'")
+            }
+            ParseError::Build(e) => write!(f, "invalid netlist: {e}"),
+            ParseError::Structure(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<BuildError> for ParseError {
+    fn from(e: BuildError) -> Self {
+        ParseError::Build(e)
+    }
+}
+
+/// Serialize a netlist to the text format.
+pub fn to_text(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("circuit {}\n", netlist.name));
+    for (_, c) in netlist.cells() {
+        out.push_str(&format!(
+            "cell {} {} {} {}\n",
+            c.name,
+            c.kind.tag(),
+            c.width,
+            c.intrinsic_delay
+        ));
+    }
+    for (_, n) in netlist.nets() {
+        out.push_str(&format!("net {} {}", n.name, netlist.cell(n.driver).name));
+        for &s in &n.sinks {
+            out.push(' ');
+            out.push_str(&netlist.cell(s).name);
+        }
+        out.push('\n');
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Parse the text format into a netlist.
+pub fn from_text(text: &str) -> Result<Netlist, ParseError> {
+    let mut builder: Option<NetlistBuilder> = None;
+    let mut names: HashMap<String, CellId> = HashMap::new();
+    let mut ended = false;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if ended {
+            return Err(ParseError::Structure(format!(
+                "content after 'end' at line {line_no}"
+            )));
+        }
+        let mut tokens = line.split_whitespace();
+        let keyword = tokens.next().expect("non-empty line has a token");
+        match keyword {
+            "circuit" => {
+                if builder.is_some() {
+                    return Err(ParseError::Syntax {
+                        line: line_no,
+                        message: "duplicate 'circuit' header".into(),
+                    });
+                }
+                let name = tokens.next().ok_or_else(|| ParseError::Syntax {
+                    line: line_no,
+                    message: "circuit needs a name".into(),
+                })?;
+                builder = Some(NetlistBuilder::new(name));
+            }
+            "cell" => {
+                let b = builder.as_mut().ok_or_else(|| {
+                    ParseError::Structure("'cell' before 'circuit' header".into())
+                })?;
+                let name = tokens.next().ok_or_else(|| syntax(line_no, "cell needs a name"))?;
+                let kind_tag =
+                    tokens.next().ok_or_else(|| syntax(line_no, "cell needs a kind"))?;
+                let kind = CellKind::from_tag(kind_tag)
+                    .ok_or_else(|| syntax(line_no, &format!("bad cell kind '{kind_tag}'")))?;
+                let width: u32 = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| syntax(line_no, "cell needs a numeric width"))?;
+                let delay: f64 = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| syntax(line_no, "cell needs a numeric delay"))?;
+                if names.contains_key(name) {
+                    return Err(syntax(line_no, &format!("duplicate cell name '{name}'")));
+                }
+                let id = b.add_cell(Cell::new(name, kind, width, delay));
+                names.insert(name.to_string(), id);
+            }
+            "net" => {
+                let b = builder.as_mut().ok_or_else(|| {
+                    ParseError::Structure("'net' before 'circuit' header".into())
+                })?;
+                let name = tokens.next().ok_or_else(|| syntax(line_no, "net needs a name"))?;
+                let driver_name =
+                    tokens.next().ok_or_else(|| syntax(line_no, "net needs a driver"))?;
+                let driver = *names.get(driver_name).ok_or_else(|| ParseError::UnknownCell {
+                    line: line_no,
+                    name: driver_name.to_string(),
+                })?;
+                let mut sinks = Vec::new();
+                for sink_name in tokens {
+                    let id = *names.get(sink_name).ok_or_else(|| ParseError::UnknownCell {
+                        line: line_no,
+                        name: sink_name.to_string(),
+                    })?;
+                    sinks.push(id);
+                }
+                b.add_net(name, driver, sinks)?;
+            }
+            "end" => {
+                ended = true;
+            }
+            other => {
+                return Err(syntax(line_no, &format!("unknown keyword '{other}'")));
+            }
+        }
+    }
+    if !ended {
+        return Err(ParseError::Structure("missing 'end'".into()));
+    }
+    let builder = builder.ok_or_else(|| ParseError::Structure("missing 'circuit' header".into()))?;
+    Ok(builder.finish()?)
+}
+
+fn syntax(line: usize, message: &str) -> ParseError {
+    ParseError::Syntax {
+        line,
+        message: message.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, CircuitSpec};
+
+    const SAMPLE: &str = "\
+# a tiny circuit
+circuit tiny
+cell a in 1 0
+cell g logic 2 1.2
+cell o out 1 0
+net n1 a g
+net n2 g o
+end
+";
+
+    #[test]
+    fn parses_sample() {
+        let nl = from_text(SAMPLE).unwrap();
+        assert_eq!(nl.name, "tiny");
+        assert_eq!(nl.num_cells(), 3);
+        assert_eq!(nl.num_nets(), 2);
+        let g = nl.find_cell("g").unwrap();
+        assert_eq!(nl.cell(g).width, 2);
+        assert!((nl.cell(g).intrinsic_delay - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let spec = CircuitSpec {
+            name: "rt".into(),
+            n_inputs: 5,
+            n_outputs: 4,
+            n_flipflops: 3,
+            n_logic: 30,
+            depth: 4,
+            fanout_tail: 0.1,
+            seed: 99,
+        };
+        let original = generate(&spec);
+        let text = to_text(&original);
+        let parsed = from_text(&text).unwrap();
+        assert_eq!(parsed.num_cells(), original.num_cells());
+        assert_eq!(parsed.num_nets(), original.num_nets());
+        for ((_, a), (_, b)) in original.nets().zip(parsed.nets()) {
+            assert_eq!(a.driver, b.driver);
+            assert_eq!(a.sinks, b.sinks);
+            assert_eq!(a.name, b.name);
+        }
+        for ((_, a), (_, b)) in original.cells().zip(parsed.cells()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.width, b.width);
+        }
+    }
+
+    #[test]
+    fn reports_unknown_cell_with_line() {
+        let bad = "circuit t\ncell a in 1 0\nnet n a ghost\nend\n";
+        match from_text(bad) {
+            Err(ParseError::UnknownCell { line, name }) => {
+                assert_eq!(line, 3);
+                assert_eq!(name, "ghost");
+            }
+            other => panic!("expected UnknownCell, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_missing_end() {
+        let bad = "circuit t\ncell a in 1 0\n";
+        assert!(matches!(from_text(bad), Err(ParseError::Structure(_))));
+    }
+
+    #[test]
+    fn rejects_duplicate_cell() {
+        let bad = "circuit t\ncell a in 1 0\ncell a in 1 0\nend\n";
+        assert!(matches!(from_text(bad), Err(ParseError::Syntax { line: 3, .. })));
+    }
+
+    #[test]
+    fn rejects_bad_kind() {
+        let bad = "circuit t\ncell a widget 1 0\nend\n";
+        let err = from_text(bad).unwrap_err();
+        assert!(err.to_string().contains("widget"));
+    }
+
+    #[test]
+    fn rejects_content_after_end() {
+        let bad = "circuit t\ncell a in 1 0\ncell g logic 1 1\nnet n a g\nend\ncell z in 1 0\n";
+        assert!(matches!(from_text(bad), Err(ParseError::Structure(_))));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# hi\ncircuit t\n\ncell a in 1 0\ncell g logic 1 1\n# mid\nnet n a g\nend\n";
+        assert!(from_text(text).is_ok());
+    }
+
+    #[test]
+    fn build_error_propagates() {
+        // net with no sinks
+        let bad = "circuit t\ncell a in 1 0\nnet n a\nend\n";
+        assert!(matches!(from_text(bad), Err(ParseError::Build(_))));
+    }
+}

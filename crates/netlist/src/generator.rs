@@ -1,0 +1,382 @@
+//! Synthetic circuit generation.
+//!
+//! Produces levelized sequential circuits with ISCAS-89-like structure:
+//! primary input/output pads, flip-flops, and combinational logic arranged
+//! in levels, with fan-in 2–4 per gate and a geometric fan-out tail (a few
+//! high-fanout nets, many 1–2 fanout nets). Generation is deterministic in
+//! the seed, and the result is always a valid [`Netlist`] with an acyclic
+//! timing graph (edges only go from lower to higher logic levels; feedback
+//! exists only through flip-flops).
+
+use crate::builder::NetlistBuilder;
+use crate::cell::{Cell, CellId, CellKind};
+use crate::netlist::Netlist;
+use pts_util::Rng;
+
+/// Parameters of a synthetic circuit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CircuitSpec {
+    pub name: String,
+    pub n_inputs: usize,
+    pub n_outputs: usize,
+    pub n_flipflops: usize,
+    pub n_logic: usize,
+    /// Number of combinational levels (>= 1).
+    pub depth: usize,
+    /// Probability of growing an existing net's fanout per extra-sink round;
+    /// larger → heavier fanout tail.
+    pub fanout_tail: f64,
+    /// RNG seed; same spec + seed → identical netlist.
+    pub seed: u64,
+}
+
+impl CircuitSpec {
+    /// Total cell count.
+    pub fn n_cells(&self) -> usize {
+        self.n_inputs + self.n_outputs + self.n_flipflops + self.n_logic
+    }
+}
+
+/// Generate a synthetic circuit from a spec.
+///
+/// Panics if the spec is degenerate (no inputs, no logic, or no outputs and
+/// no flip-flops — such circuits have no timing endpoints).
+pub fn generate(spec: &CircuitSpec) -> Netlist {
+    assert!(spec.n_inputs >= 1, "need at least one input");
+    assert!(spec.n_logic >= 1, "need at least one logic cell");
+    assert!(
+        spec.n_outputs + spec.n_flipflops >= 1,
+        "need at least one timing endpoint"
+    );
+    assert!(spec.depth >= 1);
+
+    let mut rng = Rng::new(spec.seed);
+    let mut b = NetlistBuilder::new(spec.name.clone());
+
+    // --- Cells -----------------------------------------------------------
+    let inputs: Vec<CellId> = (0..spec.n_inputs)
+        .map(|i| b.add_cell(Cell::new(format!("in{i}"), CellKind::Input, 1, 0.0)))
+        .collect();
+    let outputs: Vec<CellId> = (0..spec.n_outputs)
+        .map(|i| b.add_cell(Cell::new(format!("out{i}"), CellKind::Output, 1, 0.0)))
+        .collect();
+    let flipflops: Vec<CellId> = (0..spec.n_flipflops)
+        .map(|i| {
+            let width = 2 + rng.index(2) as u32; // 2..=3 sites
+            b.add_cell(Cell::new(format!("ff{i}"), CellKind::FlipFlop, width, 0.6))
+        })
+        .collect();
+
+    // Logic cells, each assigned a level in 1..=depth. Level sizes taper
+    // slightly towards the end, as in real circuits.
+    let mut logic: Vec<(CellId, usize)> = Vec::with_capacity(spec.n_logic);
+    for i in 0..spec.n_logic {
+        let level = 1 + rng.index(spec.depth);
+        let fanin = 2 + [0, 0, 0, 1, 1, 2][rng.index(6)]; // 2,2,2,3,3,4
+        let width = 1 + rng.index(3) as u32 + (fanin as u32 - 2) / 2;
+        let delay = 0.7 + 0.15 * fanin as f64 + 0.1 * rng.next_f64();
+        let id = b.add_cell(Cell::new(
+            format!("g{i}_l{level}"),
+            CellKind::Logic,
+            width,
+            delay,
+        ));
+        logic.push((id, level));
+    }
+    // Guarantee each level is populated so the depth is realized.
+    for l in 1..=spec.depth.min(spec.n_logic) {
+        logic[l - 1].1 = l;
+    }
+    logic.sort_by_key(|&(_, l)| l);
+
+    // Fanin targets per logic cell (2..=4 as sampled above via width; resample
+    // here to keep the two independent).
+    let fanin_of: Vec<usize> = logic
+        .iter()
+        .map(|_| 2 + [0usize, 0, 0, 1, 1, 2][rng.index(6)])
+        .collect();
+
+    // --- Connectivity ------------------------------------------------------
+    // sinks_of[driver] accumulates the sink list of the net driven by that
+    // cell. Drivers: inputs, flip-flops, logic. Sinks: logic, outputs, FFs.
+    let n_cells = b.num_cells();
+    let mut sinks_of: Vec<Vec<CellId>> = vec![Vec::new(); n_cells];
+
+    // Driver pools per level: pool[0] = inputs + FF outputs; pool[l] = logic
+    // cells at level l.
+    let mut pool: Vec<Vec<CellId>> = vec![Vec::new(); spec.depth + 1];
+    pool[0].extend(inputs.iter().copied());
+    pool[0].extend(flipflops.iter().copied());
+    for &(id, l) in &logic {
+        pool[l].push(id);
+    }
+
+    let add_sink = |sinks_of: &mut Vec<Vec<CellId>>, driver: CellId, sink: CellId| -> bool {
+        if driver == sink || sinks_of[driver.index()].contains(&sink) {
+            return false;
+        }
+        sinks_of[driver.index()].push(sink);
+        true
+    };
+
+    // Pick a driver from a level strictly below `level`, biased toward the
+    // immediately preceding populated level (locality: short logical paths).
+    let pick_driver = |rng: &mut Rng, pool: &[Vec<CellId>], level: usize| -> CellId {
+        debug_assert!(level >= 1);
+        // Bias: 60% previous populated level, else uniform among lower levels.
+        let lower: Vec<usize> = (0..level).filter(|&l| !pool[l].is_empty()).collect();
+        debug_assert!(!lower.is_empty(), "level 0 is always populated");
+        let l = if rng.chance(0.6) {
+            *lower.last().unwrap()
+        } else {
+            lower[rng.index(lower.len())]
+        };
+        *rng.choose(&pool[l])
+    };
+
+    // 1) Give every logic cell its fan-in from lower levels.
+    for (i, &(id, level)) in logic.iter().enumerate() {
+        let mut connected = 0;
+        let mut attempts = 0;
+        while connected < fanin_of[i] && attempts < fanin_of[i] * 20 {
+            attempts += 1;
+            let driver = pick_driver(&mut rng, &pool, level);
+            if add_sink(&mut sinks_of, driver, id) {
+                connected += 1;
+            }
+        }
+        assert!(connected >= 1, "logic cell must receive at least one input");
+    }
+
+    // 2) Give every flip-flop a D input from logic (bias deep levels) or,
+    //    if no logic is available, an input pad.
+    for &ff in &flipflops {
+        let mut done = false;
+        for _ in 0..50 {
+            let level = 1 + rng.index(spec.depth);
+            if pool[level].is_empty() {
+                continue;
+            }
+            let driver = *rng.choose(&pool[level]);
+            if add_sink(&mut sinks_of, driver, ff) {
+                done = true;
+                break;
+            }
+        }
+        if !done {
+            let driver = *rng.choose(&inputs);
+            add_sink(&mut sinks_of, driver, ff);
+        }
+    }
+
+    // 3) Give every output pad a driver from the deepest populated levels.
+    for &out in &outputs {
+        let mut done = false;
+        for _ in 0..50 {
+            let level = spec.depth - rng.index((spec.depth / 3).max(1));
+            if pool[level].is_empty() {
+                continue;
+            }
+            let driver = *rng.choose(&pool[level]);
+            if add_sink(&mut sinks_of, driver, out) {
+                done = true;
+                break;
+            }
+        }
+        if !done {
+            // Fall back to any logic cell, then FF, then input.
+            let driver = logic
+                .last()
+                .map(|&(id, _)| id)
+                .or_else(|| flipflops.first().copied())
+                .unwrap_or(inputs[0]);
+            add_sink(&mut sinks_of, driver, out);
+        }
+    }
+
+    // 4) Every driver must actually drive something: attach dangling drivers
+    //    to a consumer above their level (or an endpoint).
+    let level_of = |c: CellId| -> usize {
+        logic
+            .iter()
+            .find(|&&(id, _)| id == c)
+            .map(|&(_, l)| l)
+            .unwrap_or(0)
+    };
+    let driver_ids: Vec<CellId> = inputs
+        .iter()
+        .chain(flipflops.iter())
+        .copied()
+        .chain(logic.iter().map(|&(id, _)| id))
+        .collect();
+    for &d in &driver_ids {
+        if !sinks_of[d.index()].is_empty() {
+            continue;
+        }
+        let dl = level_of(d);
+        let mut done = false;
+        // Try logic above this level.
+        for _ in 0..50 {
+            let hi: Vec<usize> = (dl + 1..=spec.depth).filter(|&l| !pool[l].is_empty()).collect();
+            if hi.is_empty() {
+                break;
+            }
+            let lvl = hi[rng.index(hi.len())];
+            let sink = *rng.choose(&pool[lvl]);
+            if add_sink(&mut sinks_of, d, sink) {
+                done = true;
+                break;
+            }
+        }
+        if !done {
+            // Endpoint fallback: an output pad or a flip-flop D.
+            let candidates: Vec<CellId> = outputs
+                .iter()
+                .chain(flipflops.iter().filter(|&&f| f != d))
+                .copied()
+                .collect();
+            for _ in 0..50 {
+                if candidates.is_empty() {
+                    break;
+                }
+                let sink = *rng.choose(&candidates);
+                if add_sink(&mut sinks_of, d, sink) {
+                    done = true;
+                    break;
+                }
+            }
+        }
+        assert!(done, "could not connect dangling driver {d}");
+    }
+
+    // 5) Fan-out tail: grow random nets (preferential attachment flavour) to
+    //    produce a few high-fanout nets like clock/enable distribution.
+    let extra_rounds = (spec.n_cells() as f64 * spec.fanout_tail) as usize;
+    for _ in 0..extra_rounds {
+        let d = driver_ids[rng.index(driver_ids.len())];
+        let dl = level_of(d);
+        let hi: Vec<usize> = (dl + 1..=spec.depth).filter(|&l| !pool[l].is_empty()).collect();
+        if hi.is_empty() {
+            continue;
+        }
+        let lvl = hi[rng.index(hi.len())];
+        let sink = *rng.choose(&pool[lvl]);
+        add_sink(&mut sinks_of, d, sink);
+    }
+
+    // --- Materialize nets ---------------------------------------------------
+    let mut net_idx = 0usize;
+    for &d in &driver_ids {
+        let sinks = std::mem::take(&mut sinks_of[d.index()]);
+        if sinks.is_empty() {
+            continue; // unreachable after step 4, but keep the guard
+        }
+        b.add_net(format!("net{net_idx}"), d, sinks)
+            .expect("generator produces valid nets");
+        net_idx += 1;
+    }
+
+    b.finish().expect("generator produces a connected netlist")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing_graph::TimingGraph;
+
+    fn small_spec(seed: u64) -> CircuitSpec {
+        CircuitSpec {
+            name: "small".into(),
+            n_inputs: 6,
+            n_outputs: 4,
+            n_flipflops: 5,
+            n_logic: 40,
+            depth: 5,
+            fanout_tail: 0.15,
+            seed,
+        }
+    }
+
+    #[test]
+    fn generates_requested_cell_count() {
+        let spec = small_spec(1);
+        let nl = generate(&spec);
+        assert_eq!(nl.num_cells(), spec.n_cells());
+        assert_eq!(nl.count_kind(CellKind::Input), 6);
+        assert_eq!(nl.count_kind(CellKind::Output), 4);
+        assert_eq!(nl.count_kind(CellKind::FlipFlop), 5);
+        assert_eq!(nl.count_kind(CellKind::Logic), 40);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate(&small_spec(7));
+        let b = generate(&small_spec(7));
+        assert_eq!(a.num_nets(), b.num_nets());
+        for (na, nb) in a.nets().zip(b.nets()) {
+            assert_eq!(na.1.driver, nb.1.driver);
+            assert_eq!(na.1.sinks, nb.1.sinks);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&small_spec(1));
+        let b = generate(&small_spec(2));
+        let mut differs = a.num_nets() != b.num_nets();
+        if !differs {
+            differs = a
+                .nets()
+                .zip(b.nets())
+                .any(|(x, y)| x.1.driver != y.1.driver || x.1.sinks != y.1.sinks);
+        }
+        assert!(differs);
+    }
+
+    #[test]
+    fn timing_graph_is_acyclic() {
+        for seed in 0..5 {
+            let nl = generate(&small_spec(seed));
+            let tg = TimingGraph::build(&nl).expect("generated circuits are acyclic");
+            assert_eq!(tg.topo_logic().len(), 40);
+            assert!(!tg.endpoints().is_empty());
+            assert!(!tg.sources().is_empty());
+        }
+    }
+
+    #[test]
+    fn every_logic_cell_has_fanin_and_fanout() {
+        let nl = generate(&small_spec(3));
+        let tg = TimingGraph::build(&nl).unwrap();
+        for (id, c) in nl.cells() {
+            if c.kind == CellKind::Logic {
+                assert!(!tg.in_edges(id).is_empty(), "{id} lacks fanin");
+                assert!(!tg.out_edges(id).is_empty(), "{id} lacks fanout");
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_tail_produces_multi_sink_nets() {
+        let nl = generate(&small_spec(4));
+        let max_fanout = nl.nets().map(|(_, n)| n.fanout()).max().unwrap();
+        assert!(max_fanout >= 3, "expected some net with fanout >= 3");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn rejects_no_inputs() {
+        let mut s = small_spec(1);
+        s.n_inputs = 0;
+        generate(&s);
+    }
+
+    #[test]
+    #[should_panic(expected = "timing endpoint")]
+    fn rejects_no_endpoints() {
+        let mut s = small_spec(1);
+        s.n_outputs = 0;
+        s.n_flipflops = 0;
+        generate(&s);
+    }
+}

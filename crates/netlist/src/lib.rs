@@ -1,0 +1,36 @@
+//! Circuit substrate for the parallel tabu search reproduction.
+//!
+//! The paper evaluates VLSI standard-cell placement on four ISCAS-89
+//! benchmark circuits. The real ISCAS-89 netlists are not distributable
+//! here, so this crate provides:
+//!
+//! * a cell/net **hypergraph** representation ([`Netlist`]) with one driver
+//!   and many sinks per net,
+//! * a **timing DAG** ([`timing_graph::TimingGraph`]) bounded by sequential
+//!   elements (flip-flops) and primary inputs/outputs, used by the placement
+//!   crate's static timing analysis,
+//! * **synthetic benchmark generators** ([`benchmarks`]) matched to the
+//!   paper's circuit sizes (highway=56 cells, c532=395, c1355=1451,
+//!   c3540=2243) with ISCAS-like fanout statistics, and
+//! * a plain-text netlist **format** ([`format`]) so real netlists can be
+//!   imported.
+
+pub mod analysis;
+pub mod benchmarks;
+pub mod builder;
+pub mod cell;
+pub mod format;
+pub mod generator;
+pub mod net;
+pub mod netlist;
+pub mod stats;
+pub mod timing_graph;
+
+pub use benchmarks::{benchmark_names, by_name, c1355, c3540, c532, highway};
+pub use builder::NetlistBuilder;
+pub use cell::{Cell, CellId, CellKind};
+pub use generator::{CircuitSpec, generate};
+pub use net::{Net, NetId};
+pub use netlist::Netlist;
+pub use stats::NetlistStats;
+pub use timing_graph::TimingGraph;

@@ -1,0 +1,83 @@
+//! Nets: hyperedges connecting one driver cell to one or more sink cells.
+
+use crate::cell::CellId;
+
+/// Index of a net within its [`crate::Netlist`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(pub u32);
+
+impl NetId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A signal net: one driver, `>= 1` sinks.
+///
+/// Standard-cell netlists are modeled with a single output pin per cell, so
+/// a cell drives at most one net, but may sink arbitrarily many.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Net {
+    pub name: String,
+    pub driver: CellId,
+    pub sinks: Vec<CellId>,
+}
+
+impl Net {
+    pub fn new(name: impl Into<String>, driver: CellId, sinks: Vec<CellId>) -> Self {
+        Net {
+            name: name.into(),
+            driver,
+            sinks,
+        }
+    }
+
+    /// Number of pins on the net (driver + sinks).
+    #[inline]
+    pub fn degree(&self) -> usize {
+        1 + self.sinks.len()
+    }
+
+    /// Iterate over every cell touching this net (driver first).
+    pub fn cells(&self) -> impl Iterator<Item = CellId> + '_ {
+        std::iter::once(self.driver).chain(self.sinks.iter().copied())
+    }
+
+    /// Fanout = number of sink pins.
+    #[inline]
+    pub fn fanout(&self) -> usize {
+        self.sinks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_and_fanout() {
+        let n = Net::new("n", CellId(0), vec![CellId(1), CellId(2)]);
+        assert_eq!(n.degree(), 3);
+        assert_eq!(n.fanout(), 2);
+    }
+
+    #[test]
+    fn cells_iterates_driver_first() {
+        let n = Net::new("n", CellId(5), vec![CellId(1)]);
+        let cells: Vec<CellId> = n.cells().collect();
+        assert_eq!(cells, vec![CellId(5), CellId(1)]);
+    }
+
+    #[test]
+    fn id_display() {
+        assert_eq!(NetId(3).to_string(), "n3");
+        assert_eq!(NetId(3).index(), 3);
+    }
+}

@@ -1,0 +1,173 @@
+//! The netlist container: cells + nets + incidence maps.
+
+use crate::cell::{Cell, CellId, CellKind};
+use crate::net::{Net, NetId};
+
+/// A validated cell/net hypergraph.
+///
+/// Construct through [`crate::NetlistBuilder`], the [`crate::generator`], or
+/// the [`crate::format`] parser. Invariants (checked by the builder):
+///
+/// * every net has an existing driver and at least one existing sink,
+/// * a cell drives at most one net,
+/// * no net lists the same cell twice,
+/// * `Input` cells never appear as sinks, `Output` cells never drive.
+#[derive(Clone, Debug)]
+pub struct Netlist {
+    pub name: String,
+    cells: Vec<Cell>,
+    nets: Vec<Net>,
+    /// For each cell, the nets it touches (driven or sunk), no duplicates.
+    cell_nets: Vec<Vec<NetId>>,
+    /// For each cell, the net it drives (if any).
+    driven_net: Vec<Option<NetId>>,
+}
+
+impl Netlist {
+    /// Assemble from parts; used by the builder after validation.
+    pub(crate) fn from_parts(name: String, cells: Vec<Cell>, nets: Vec<Net>) -> Self {
+        let mut cell_nets: Vec<Vec<NetId>> = vec![Vec::new(); cells.len()];
+        let mut driven_net: Vec<Option<NetId>> = vec![None; cells.len()];
+        for (i, net) in nets.iter().enumerate() {
+            let nid = NetId(i as u32);
+            driven_net[net.driver.index()] = Some(nid);
+            for cell in net.cells() {
+                let list = &mut cell_nets[cell.index()];
+                if !list.contains(&nid) {
+                    list.push(nid);
+                }
+            }
+        }
+        Netlist {
+            name,
+            cells,
+            nets,
+            cell_nets,
+            driven_net,
+        }
+    }
+
+    #[inline]
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    #[inline]
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    #[inline]
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    #[inline]
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    pub fn cells(&self) -> impl Iterator<Item = (CellId, &Cell)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CellId(i as u32), c))
+    }
+
+    pub fn nets(&self) -> impl Iterator<Item = (NetId, &Net)> {
+        self.nets
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NetId(i as u32), n))
+    }
+
+    pub fn cell_ids(&self) -> impl Iterator<Item = CellId> {
+        (0..self.cells.len() as u32).map(CellId)
+    }
+
+    pub fn net_ids(&self) -> impl Iterator<Item = NetId> {
+        (0..self.nets.len() as u32).map(NetId)
+    }
+
+    /// Nets incident to `cell` (driven or sunk), each listed once.
+    #[inline]
+    pub fn nets_of(&self, cell: CellId) -> &[NetId] {
+        &self.cell_nets[cell.index()]
+    }
+
+    /// The net driven by `cell`, if any.
+    #[inline]
+    pub fn driven_by(&self, cell: CellId) -> Option<NetId> {
+        self.driven_net[cell.index()]
+    }
+
+    /// Sum of cell widths in sites.
+    pub fn total_cell_width(&self) -> u64 {
+        self.cells.iter().map(|c| c.width as u64).sum()
+    }
+
+    /// Count of cells of a given kind.
+    pub fn count_kind(&self, kind: CellKind) -> usize {
+        self.cells.iter().filter(|c| c.kind == kind).count()
+    }
+
+    /// Look up a cell by name (linear scan; intended for tests and tools).
+    pub fn find_cell(&self, name: &str) -> Option<CellId> {
+        self.cells
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| CellId(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    fn tiny() -> Netlist {
+        let mut b = NetlistBuilder::new("tiny");
+        let a = b.add_cell(Cell::new("a", CellKind::Input, 1, 0.0));
+        let g = b.add_cell(Cell::new("g", CellKind::Logic, 2, 1.0));
+        let o = b.add_cell(Cell::new("o", CellKind::Output, 1, 0.0));
+        b.add_net("n1", a, vec![g]).unwrap();
+        b.add_net("n2", g, vec![o]).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn incidence_maps() {
+        let nl = tiny();
+        assert_eq!(nl.num_cells(), 3);
+        assert_eq!(nl.num_nets(), 2);
+        let g = nl.find_cell("g").unwrap();
+        assert_eq!(nl.nets_of(g).len(), 2);
+        assert_eq!(nl.driven_by(g), Some(NetId(1)));
+        let a = nl.find_cell("a").unwrap();
+        assert_eq!(nl.driven_by(a), Some(NetId(0)));
+        let o = nl.find_cell("o").unwrap();
+        assert_eq!(nl.driven_by(o), None);
+    }
+
+    #[test]
+    fn totals() {
+        let nl = tiny();
+        assert_eq!(nl.total_cell_width(), 4);
+        assert_eq!(nl.count_kind(CellKind::Logic), 1);
+        assert_eq!(nl.count_kind(CellKind::Input), 1);
+    }
+
+    #[test]
+    fn iterators_cover_everything() {
+        let nl = tiny();
+        assert_eq!(nl.cells().count(), 3);
+        assert_eq!(nl.nets().count(), 2);
+        assert_eq!(nl.cell_ids().count(), 3);
+        assert_eq!(nl.net_ids().count(), 2);
+    }
+
+    #[test]
+    fn find_cell_missing() {
+        assert!(tiny().find_cell("nope").is_none());
+    }
+}

@@ -1,0 +1,125 @@
+//! Netlist statistics, used to sanity-check generated circuits against the
+//! ISCAS-89 profile and by the experiment harness for reporting.
+
+use crate::cell::CellKind;
+use crate::netlist::Netlist;
+use crate::timing_graph::TimingGraph;
+
+/// Aggregate statistics of a netlist.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NetlistStats {
+    pub name: String,
+    pub num_cells: usize,
+    pub num_nets: usize,
+    pub num_pins: usize,
+    pub num_inputs: usize,
+    pub num_outputs: usize,
+    pub num_flipflops: usize,
+    pub num_logic: usize,
+    pub avg_fanout: f64,
+    pub max_fanout: usize,
+    /// fanout_histogram[k] = number of nets with fanout k (clamped at 16+).
+    pub fanout_histogram: Vec<usize>,
+    pub logic_depth: u32,
+    pub total_cell_width: u64,
+}
+
+impl NetlistStats {
+    pub fn compute(netlist: &Netlist, timing: &TimingGraph) -> NetlistStats {
+        let mut fanout_histogram = vec![0usize; 17];
+        let mut pins = 0usize;
+        let mut max_fanout = 0usize;
+        let mut fanout_sum = 0usize;
+        for (_, net) in netlist.nets() {
+            pins += net.degree();
+            let f = net.fanout();
+            fanout_sum += f;
+            max_fanout = max_fanout.max(f);
+            fanout_histogram[f.min(16)] += 1;
+        }
+        NetlistStats {
+            name: netlist.name.clone(),
+            num_cells: netlist.num_cells(),
+            num_nets: netlist.num_nets(),
+            num_pins: pins,
+            num_inputs: netlist.count_kind(CellKind::Input),
+            num_outputs: netlist.count_kind(CellKind::Output),
+            num_flipflops: netlist.count_kind(CellKind::FlipFlop),
+            num_logic: netlist.count_kind(CellKind::Logic),
+            avg_fanout: if netlist.num_nets() == 0 {
+                0.0
+            } else {
+                fanout_sum as f64 / netlist.num_nets() as f64
+            },
+            max_fanout,
+            fanout_histogram,
+            logic_depth: timing.max_level(),
+            total_cell_width: netlist.total_cell_width(),
+        }
+    }
+}
+
+impl std::fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{}: {} cells ({} in / {} out / {} ff / {} logic), {} nets, {} pins",
+            self.name,
+            self.num_cells,
+            self.num_inputs,
+            self.num_outputs,
+            self.num_flipflops,
+            self.num_logic,
+            self.num_nets,
+            self.num_pins
+        )?;
+        write!(
+            f,
+            "  avg fanout {:.2}, max fanout {}, logic depth {}, total width {}",
+            self.avg_fanout, self.max_fanout, self.logic_depth, self.total_cell_width
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::highway;
+
+    #[test]
+    fn stats_consistency() {
+        let nl = highway();
+        let tg = TimingGraph::build(&nl).unwrap();
+        let s = NetlistStats::compute(&nl, &tg);
+        assert_eq!(s.num_cells, 56);
+        assert_eq!(
+            s.num_cells,
+            s.num_inputs + s.num_outputs + s.num_flipflops + s.num_logic
+        );
+        // pins = nets + total fanout
+        let fanout_total: usize = s
+            .fanout_histogram
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| k * c)
+            .sum();
+        // Histogram clamps at 16, so only assert when no net exceeds it.
+        if s.max_fanout <= 16 {
+            assert_eq!(s.num_pins, s.num_nets + fanout_total);
+        }
+        assert!(s.avg_fanout >= 1.0);
+        assert!(s.logic_depth >= 1);
+        let rendered = s.to_string();
+        assert!(rendered.contains("highway"));
+        assert!(rendered.contains("56 cells"));
+    }
+
+    #[test]
+    fn histogram_counts_all_nets() {
+        let nl = highway();
+        let tg = TimingGraph::build(&nl).unwrap();
+        let s = NetlistStats::compute(&nl, &tg);
+        let total: usize = s.fanout_histogram.iter().sum();
+        assert_eq!(total, s.num_nets);
+    }
+}

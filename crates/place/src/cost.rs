@@ -1,0 +1,151 @@
+//! Scalar cost schemes over the three placement objectives.
+
+use crate::fuzzy::{owa, FuzzyGoals, GoalConfig};
+
+/// Raw objective values of a placement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RawObjectives {
+    /// Total HPWL.
+    pub wire: f64,
+    /// Critical path delay.
+    pub delay: f64,
+    /// Widest-row width.
+    pub area: f64,
+}
+
+/// A fixed scalarization of the three objectives.
+///
+/// Schemes are frozen from the *initial* solution (goals / normalizers do
+/// not drift during the search) so that costs are comparable across workers
+/// and across time — the master derives one scheme and ships it to every
+/// worker.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CostScheme {
+    /// The paper's fuzzy goal-based cost: `1 - OWA(memberships)`.
+    Fuzzy { beta: f64, goals: FuzzyGoals },
+    /// Classic normalized weighted sum (baseline / ablation).
+    WeightedSum {
+        weights: [f64; 3],
+        norm: RawObjectives,
+    },
+}
+
+impl CostScheme {
+    /// Fuzzy scheme with goals anchored at the initial objectives.
+    pub fn fuzzy_from_initial(initial: &RawObjectives, beta: f64, cfg: &GoalConfig) -> CostScheme {
+        assert!((0.0..=1.0).contains(&beta));
+        CostScheme::Fuzzy {
+            beta,
+            goals: FuzzyGoals::from_initial(initial.wire, initial.delay, initial.area, cfg),
+        }
+    }
+
+    /// Weighted-sum scheme normalized by the initial objectives.
+    pub fn weighted_from_initial(initial: &RawObjectives, weights: [f64; 3]) -> CostScheme {
+        let sum: f64 = weights.iter().sum();
+        assert!(sum > 0.0, "weights must not all be zero");
+        CostScheme::WeightedSum {
+            weights: [weights[0] / sum, weights[1] / sum, weights[2] / sum],
+            norm: RawObjectives {
+                wire: initial.wire.max(1e-9),
+                delay: initial.delay.max(1e-9),
+                area: initial.area.max(1e-9),
+            },
+        }
+    }
+
+    /// Scalar cost (lower is better). Fuzzy costs lie in `[0, 1]`.
+    pub fn cost(&self, o: &RawObjectives) -> f64 {
+        match self {
+            CostScheme::Fuzzy { beta, goals } => {
+                let ms = goals.memberships(o.wire, o.delay, o.area);
+                1.0 - owa(&ms, *beta)
+            }
+            CostScheme::WeightedSum { weights, norm } => {
+                weights[0] * (o.wire / norm.wire)
+                    + weights[1] * (o.delay / norm.delay)
+                    + weights[2] * (o.area / norm.area)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn init() -> RawObjectives {
+        RawObjectives {
+            wire: 200.0,
+            delay: 30.0,
+            area: 60.0,
+        }
+    }
+
+    #[test]
+    fn fuzzy_cost_decreases_when_objectives_improve() {
+        let scheme = CostScheme::fuzzy_from_initial(&init(), 0.6, &GoalConfig::default());
+        let c0 = scheme.cost(&init());
+        let better = RawObjectives {
+            wire: 150.0,
+            delay: 25.0,
+            area: 55.0,
+        };
+        assert!(scheme.cost(&better) < c0);
+        let worse = RawObjectives {
+            wire: 260.0,
+            delay: 40.0,
+            area: 70.0,
+        };
+        assert!(scheme.cost(&worse) > c0);
+    }
+
+    #[test]
+    fn fuzzy_cost_in_unit_interval() {
+        let scheme = CostScheme::fuzzy_from_initial(&init(), 0.5, &GoalConfig::default());
+        for scale in [0.1, 0.5, 1.0, 2.0, 10.0] {
+            let o = RawObjectives {
+                wire: 200.0 * scale,
+                delay: 30.0 * scale,
+                area: 60.0 * scale,
+            };
+            let c = scheme.cost(&o);
+            assert!((0.0..=1.0).contains(&c), "cost {c} out of [0,1]");
+        }
+    }
+
+    #[test]
+    fn fuzzy_beta_one_tracks_worst_objective() {
+        let scheme = CostScheme::fuzzy_from_initial(&init(), 1.0, &GoalConfig::default());
+        // Only wire degrades badly; min-membership dominates.
+        let o = RawObjectives {
+            wire: 400.0, // membership 0
+            delay: 20.0, // membership 1
+            area: 40.0,  // membership 1
+        };
+        assert!((scheme.cost(&o) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_sum_is_one_at_initial() {
+        let scheme = CostScheme::weighted_from_initial(&init(), [0.5, 0.3, 0.2]);
+        assert!((scheme.cost(&init()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_sum_respects_weights() {
+        let scheme = CostScheme::weighted_from_initial(&init(), [1.0, 0.0, 0.0]);
+        let halved_wire = RawObjectives {
+            wire: 100.0,
+            delay: 300.0,
+            area: 600.0,
+        };
+        assert!((scheme.cost(&halved_wire) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights")]
+    fn rejects_zero_weights() {
+        CostScheme::weighted_from_initial(&init(), [0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Fuzzy goal-based multi-objective aggregation.
+//!
+//! The paper handles the multiobjective nature of placement "using a fuzzy
+//! goal-based cost computation" (citing Sait, Youssef & Ali, CEC'99). Each
+//! objective gets a piecewise-linear membership function anchored at a
+//! *goal* value derived from the initial solution; memberships are combined
+//! with Yager's ordered weighted average (OWA):
+//!
+//! ```text
+//! mu(s) = beta * min_i mu_i(s) + (1 - beta) * mean_i mu_i(s)
+//! ```
+//!
+//! `beta = 1` is the pure fuzzy AND (worst objective dominates); `beta = 0`
+//! is a plain average. The scalar cost minimized by the search is
+//! `1 - mu(s)`.
+
+/// Membership anchor for one objective: `mu = 1` at or below `target`,
+/// `mu = 0` at or above `zero`, linear in between.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Goal {
+    pub target: f64,
+    pub zero: f64,
+}
+
+impl Goal {
+    pub fn new(target: f64, zero: f64) -> Goal {
+        assert!(
+            target < zero,
+            "goal target {target} must be below zero-membership point {zero}"
+        );
+        Goal { target, zero }
+    }
+
+    /// Membership of objective value `x` (lower objective = higher
+    /// membership).
+    #[inline]
+    pub fn membership(&self, x: f64) -> f64 {
+        if x <= self.target {
+            1.0
+        } else if x >= self.zero {
+            0.0
+        } else {
+            (self.zero - x) / (self.zero - self.target)
+        }
+    }
+}
+
+/// How goals are derived from the initial solution's objective values.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GoalConfig {
+    /// `target = target_frac * initial` — the aspiration level.
+    pub target_frac: f64,
+    /// `zero = zero_frac * initial` — where membership bottoms out.
+    pub zero_frac: f64,
+}
+
+impl Default for GoalConfig {
+    fn default() -> Self {
+        // Aim for 25% improvement; tolerate 30% degradation before an
+        // objective's membership hits zero.
+        GoalConfig {
+            target_frac: 0.75,
+            zero_frac: 1.30,
+        }
+    }
+}
+
+impl GoalConfig {
+    pub fn goal_for(&self, initial: f64) -> Goal {
+        assert!(initial.is_finite());
+        let base = if initial > 0.0 { initial } else { 1.0 };
+        Goal::new(self.target_frac * base, self.zero_frac * base)
+    }
+}
+
+/// Goals for the three placement objectives.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FuzzyGoals {
+    pub wire: Goal,
+    pub delay: Goal,
+    pub area: Goal,
+}
+
+impl FuzzyGoals {
+    pub fn from_initial(wire: f64, delay: f64, area: f64, cfg: &GoalConfig) -> FuzzyGoals {
+        FuzzyGoals {
+            wire: cfg.goal_for(wire),
+            delay: cfg.goal_for(delay),
+            area: cfg.goal_for(area),
+        }
+    }
+
+    /// Per-objective memberships.
+    pub fn memberships(&self, wire: f64, delay: f64, area: f64) -> [f64; 3] {
+        [
+            self.wire.membership(wire),
+            self.delay.membership(delay),
+            self.area.membership(area),
+        ]
+    }
+}
+
+/// Yager OWA aggregation of memberships.
+#[inline]
+pub fn owa(memberships: &[f64], beta: f64) -> f64 {
+    debug_assert!(!memberships.is_empty());
+    let min = memberships.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean = memberships.iter().sum::<f64>() / memberships.len() as f64;
+    beta * min + (1.0 - beta) * mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership_shape() {
+        let g = Goal::new(10.0, 20.0);
+        assert_eq!(g.membership(5.0), 1.0);
+        assert_eq!(g.membership(10.0), 1.0);
+        assert_eq!(g.membership(20.0), 0.0);
+        assert_eq!(g.membership(25.0), 0.0);
+        assert!((g.membership(15.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn membership_monotone_nonincreasing() {
+        let g = Goal::new(3.0, 9.0);
+        let mut prev = f64::INFINITY;
+        for i in 0..100 {
+            let x = i as f64 * 0.12;
+            let m = g.membership(x);
+            assert!(m <= prev + 1e-12, "membership must not increase with cost");
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn goal_config_scales_initial() {
+        let cfg = GoalConfig::default();
+        let g = cfg.goal_for(100.0);
+        assert!((g.target - 75.0).abs() < 1e-12);
+        assert!((g.zero - 130.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn goal_config_handles_zero_initial() {
+        let cfg = GoalConfig::default();
+        let g = cfg.goal_for(0.0);
+        assert!(g.target < g.zero);
+    }
+
+    #[test]
+    fn owa_extremes() {
+        let ms = [0.2, 0.6, 1.0];
+        assert!((owa(&ms, 1.0) - 0.2).abs() < 1e-12, "beta=1 is min");
+        assert!((owa(&ms, 0.0) - 0.6).abs() < 1e-12, "beta=0 is mean");
+        let mid = owa(&ms, 0.5);
+        assert!(mid > 0.2 && mid < 0.6);
+    }
+
+    #[test]
+    fn owa_bounded_by_components() {
+        let ms = [0.3, 0.7];
+        for beta in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let v = owa(&ms, beta);
+            assert!((0.3..=0.7).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be below")]
+    fn rejects_inverted_goal() {
+        Goal::new(5.0, 5.0);
+    }
+
+    #[test]
+    fn goals_from_initial() {
+        let g = FuzzyGoals::from_initial(100.0, 10.0, 40.0, &GoalConfig::default());
+        let ms = g.memberships(100.0, 10.0, 40.0);
+        // At the initial point each membership is (1.30-1)/(1.30-0.75).
+        let expected = (1.30 - 1.0) / (1.30 - 0.75);
+        for m in ms {
+            assert!((m - expected).abs() < 1e-9);
+        }
+    }
+}

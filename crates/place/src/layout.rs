@@ -1,0 +1,184 @@
+//! The placement grid: rows of uniform slots.
+//!
+//! Standard-cell placement arranges cells in horizontal rows. Following the
+//! slot-based model used by the paper's research group, the layout is a grid
+//! of `num_rows × num_cols` uniform slots; a cell occupies exactly one slot
+//! and a *move* swaps the slot assignment of two cells. Cell widths still
+//! matter: they drive the row-width (area) objective.
+
+/// Index of a slot on the layout grid (row-major).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SlotId(pub u32);
+
+impl SlotId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for SlotId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A row-based placement grid.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Layout {
+    num_rows: usize,
+    num_cols: usize,
+    /// Vertical pitch between row centers.
+    row_height: f64,
+    /// Horizontal pitch between slot centers.
+    site_pitch: f64,
+}
+
+impl Layout {
+    /// Create a grid. Panics on a degenerate (empty) grid.
+    pub fn new(num_rows: usize, num_cols: usize, row_height: f64, site_pitch: f64) -> Layout {
+        assert!(num_rows >= 1 && num_cols >= 1, "layout must be non-empty");
+        assert!(row_height > 0.0 && site_pitch > 0.0);
+        Layout {
+            num_rows,
+            num_cols,
+            row_height,
+            site_pitch,
+        }
+    }
+
+    /// A layout sized for `n_cells` with the conventional wide-row aspect:
+    /// roughly four times as many columns as rows. Always provides at least
+    /// `n_cells` slots (the excess stays empty).
+    pub fn for_cells(n_cells: usize) -> Layout {
+        assert!(n_cells >= 1);
+        let rows = (((n_cells as f64) / 4.0).sqrt().round() as usize).max(2);
+        let cols = n_cells.div_ceil(rows);
+        Layout::new(rows, cols, 2.0, 1.0)
+    }
+
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    #[inline]
+    pub fn num_cols(&self) -> usize {
+        self.num_cols
+    }
+
+    #[inline]
+    pub fn num_slots(&self) -> usize {
+        self.num_rows * self.num_cols
+    }
+
+    #[inline]
+    pub fn row_height(&self) -> f64 {
+        self.row_height
+    }
+
+    #[inline]
+    pub fn site_pitch(&self) -> f64 {
+        self.site_pitch
+    }
+
+    /// Slot at `(row, col)`.
+    #[inline]
+    pub fn slot(&self, row: usize, col: usize) -> SlotId {
+        debug_assert!(row < self.num_rows && col < self.num_cols);
+        SlotId((row * self.num_cols + col) as u32)
+    }
+
+    /// Row containing a slot.
+    #[inline]
+    pub fn row_of(&self, slot: SlotId) -> usize {
+        slot.index() / self.num_cols
+    }
+
+    /// Column of a slot within its row.
+    #[inline]
+    pub fn col_of(&self, slot: SlotId) -> usize {
+        slot.index() % self.num_cols
+    }
+
+    /// Center coordinates of a slot.
+    #[inline]
+    pub fn position(&self, slot: SlotId) -> (f64, f64) {
+        let row = self.row_of(slot);
+        let col = self.col_of(slot);
+        (
+            (col as f64 + 0.5) * self.site_pitch,
+            (row as f64 + 0.5) * self.row_height,
+        )
+    }
+
+    /// All slots in row-major order.
+    pub fn slots(&self) -> impl Iterator<Item = SlotId> {
+        (0..self.num_slots() as u32).map(SlotId)
+    }
+
+    /// Total die height.
+    pub fn height(&self) -> f64 {
+        self.num_rows as f64 * self.row_height
+    }
+
+    /// Total die width.
+    pub fn width(&self) -> f64 {
+        self.num_cols as f64 * self.site_pitch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_row_col_roundtrip() {
+        let l = Layout::new(3, 5, 2.0, 1.0);
+        for row in 0..3 {
+            for col in 0..5 {
+                let s = l.slot(row, col);
+                assert_eq!(l.row_of(s), row);
+                assert_eq!(l.col_of(s), col);
+            }
+        }
+    }
+
+    #[test]
+    fn positions_are_center_of_pitch() {
+        let l = Layout::new(2, 2, 2.0, 1.0);
+        assert_eq!(l.position(l.slot(0, 0)), (0.5, 1.0));
+        assert_eq!(l.position(l.slot(1, 1)), (1.5, 3.0));
+    }
+
+    #[test]
+    fn for_cells_has_enough_slots() {
+        for n in [1, 2, 10, 56, 395, 1451, 2243] {
+            let l = Layout::for_cells(n);
+            assert!(l.num_slots() >= n, "{n} cells need {n} slots");
+            // Not wasteful: less than one extra row's worth of slack + a row.
+            assert!(l.num_slots() < n + l.num_cols() + l.num_rows());
+        }
+    }
+
+    #[test]
+    fn for_cells_wide_aspect() {
+        let l = Layout::for_cells(1000);
+        assert!(l.num_cols() >= 2 * l.num_rows());
+    }
+
+    #[test]
+    fn dimensions() {
+        let l = Layout::new(4, 10, 2.0, 1.5);
+        assert_eq!(l.height(), 8.0);
+        assert_eq!(l.width(), 15.0);
+        assert_eq!(l.num_slots(), 40);
+        assert_eq!(l.slots().count(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty() {
+        Layout::new(0, 3, 2.0, 1.0);
+    }
+}

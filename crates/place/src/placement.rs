@@ -1,0 +1,235 @@
+//! The placement assignment: a bijection between cells and a subset of slots.
+
+use crate::layout::{Layout, SlotId};
+use pts_netlist::{CellId, Netlist};
+use pts_util::Rng;
+
+/// Cell → slot assignment over a [`Layout`].
+///
+/// Invariant: `slot_of(c) = s` ⇔ `cell_at(s) = Some(c)`; every cell is
+/// placed; a slot holds at most one cell. Slots beyond the number of cells
+/// remain empty.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Placement {
+    layout: Layout,
+    slot_of_cell: Vec<SlotId>,
+    cell_in_slot: Vec<Option<CellId>>,
+}
+
+impl Placement {
+    /// Place cells row-major in id order — the deterministic constructive
+    /// start used by tests and the greedy initializer.
+    pub fn sequential(layout: Layout, n_cells: usize) -> Placement {
+        assert!(layout.num_slots() >= n_cells, "layout too small");
+        let mut cell_in_slot = vec![None; layout.num_slots()];
+        let mut slot_of_cell = Vec::with_capacity(n_cells);
+        for i in 0..n_cells {
+            let slot = SlotId(i as u32);
+            slot_of_cell.push(slot);
+            cell_in_slot[i] = Some(CellId(i as u32));
+        }
+        Placement {
+            layout,
+            slot_of_cell,
+            cell_in_slot,
+        }
+    }
+
+    /// Uniformly random placement.
+    pub fn random(layout: Layout, n_cells: usize, rng: &mut Rng) -> Placement {
+        assert!(layout.num_slots() >= n_cells, "layout too small");
+        let mut slots: Vec<u32> = (0..layout.num_slots() as u32).collect();
+        rng.shuffle(&mut slots);
+        let mut cell_in_slot = vec![None; layout.num_slots()];
+        let mut slot_of_cell = Vec::with_capacity(n_cells);
+        for i in 0..n_cells {
+            let slot = SlotId(slots[i]);
+            slot_of_cell.push(slot);
+            cell_in_slot[slot.index()] = Some(CellId(i as u32));
+        }
+        Placement {
+            layout,
+            slot_of_cell,
+            cell_in_slot,
+        }
+    }
+
+    #[inline]
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    #[inline]
+    pub fn num_cells(&self) -> usize {
+        self.slot_of_cell.len()
+    }
+
+    #[inline]
+    pub fn slot_of(&self, cell: CellId) -> SlotId {
+        self.slot_of_cell[cell.index()]
+    }
+
+    #[inline]
+    pub fn cell_at(&self, slot: SlotId) -> Option<CellId> {
+        self.cell_in_slot[slot.index()]
+    }
+
+    /// Center coordinates of a cell's slot.
+    #[inline]
+    pub fn position(&self, cell: CellId) -> (f64, f64) {
+        self.layout.position(self.slot_of(cell))
+    }
+
+    /// Row index of a cell's slot.
+    #[inline]
+    pub fn row_of(&self, cell: CellId) -> usize {
+        self.layout.row_of(self.slot_of(cell))
+    }
+
+    /// Exchange the slots of two distinct cells.
+    pub fn swap_cells(&mut self, a: CellId, b: CellId) {
+        debug_assert_ne!(a, b, "swap requires distinct cells");
+        let sa = self.slot_of_cell[a.index()];
+        let sb = self.slot_of_cell[b.index()];
+        self.slot_of_cell[a.index()] = sb;
+        self.slot_of_cell[b.index()] = sa;
+        self.cell_in_slot[sa.index()] = Some(b);
+        self.cell_in_slot[sb.index()] = Some(a);
+    }
+
+    /// Move a cell to an empty slot (extension beyond the paper's pair
+    /// swaps; used by diversification).
+    pub fn move_to_empty(&mut self, cell: CellId, slot: SlotId) {
+        debug_assert!(self.cell_at(slot).is_none(), "target slot occupied");
+        let old = self.slot_of_cell[cell.index()];
+        self.cell_in_slot[old.index()] = None;
+        self.cell_in_slot[slot.index()] = Some(cell);
+        self.slot_of_cell[cell.index()] = slot;
+    }
+
+    /// Empty slots, if any.
+    pub fn empty_slots(&self) -> Vec<SlotId> {
+        self.cell_in_slot
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_none())
+            .map(|(i, _)| SlotId(i as u32))
+            .collect()
+    }
+
+    /// Verify the bijection invariant; used by tests and debug assertions.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        let mut seen = vec![false; self.cell_in_slot.len()];
+        for (ci, &slot) in self.slot_of_cell.iter().enumerate() {
+            if slot.index() >= self.cell_in_slot.len() {
+                return Err(format!("cell c{ci} assigned to out-of-range slot"));
+            }
+            if seen[slot.index()] {
+                return Err(format!("slot {slot} assigned twice"));
+            }
+            seen[slot.index()] = true;
+            if self.cell_in_slot[slot.index()] != Some(CellId(ci as u32)) {
+                return Err(format!("slot {slot} does not map back to cell c{ci}"));
+            }
+        }
+        let occupied = self.cell_in_slot.iter().filter(|c| c.is_some()).count();
+        if occupied != self.slot_of_cell.len() {
+            return Err(format!(
+                "{} slots occupied but {} cells placed",
+                occupied,
+                self.slot_of_cell.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Distance between two placements: number of cells in different slots.
+    /// Used by diversification tests.
+    pub fn hamming_distance(&self, other: &Placement) -> usize {
+        assert_eq!(self.num_cells(), other.num_cells());
+        self.slot_of_cell
+            .iter()
+            .zip(other.slot_of_cell.iter())
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+
+    /// Build a placement for a netlist with an automatically sized layout.
+    pub fn auto_random(netlist: &Netlist, rng: &mut Rng) -> Placement {
+        Placement::random(Layout::for_cells(netlist.num_cells()), netlist.num_cells(), rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_is_consistent() {
+        let p = Placement::sequential(Layout::new(3, 4, 2.0, 1.0), 10);
+        p.check_consistency().unwrap();
+        assert_eq!(p.num_cells(), 10);
+        assert_eq!(p.empty_slots().len(), 2);
+    }
+
+    #[test]
+    fn random_is_consistent_and_seeded() {
+        let mut rng = Rng::new(5);
+        let p1 = Placement::random(Layout::new(4, 4, 2.0, 1.0), 16, &mut rng);
+        p1.check_consistency().unwrap();
+        let mut rng2 = Rng::new(5);
+        let p2 = Placement::random(Layout::new(4, 4, 2.0, 1.0), 16, &mut rng2);
+        assert_eq!(p1, p2, "same seed, same placement");
+    }
+
+    #[test]
+    fn swap_exchanges_slots() {
+        let mut p = Placement::sequential(Layout::new(2, 4, 2.0, 1.0), 8);
+        let a = CellId(1);
+        let b = CellId(6);
+        let (sa, sb) = (p.slot_of(a), p.slot_of(b));
+        p.swap_cells(a, b);
+        assert_eq!(p.slot_of(a), sb);
+        assert_eq!(p.slot_of(b), sa);
+        p.check_consistency().unwrap();
+        // Swapping back restores the original.
+        p.swap_cells(a, b);
+        assert_eq!(p.slot_of(a), sa);
+        assert_eq!(p.slot_of(b), sb);
+    }
+
+    #[test]
+    fn move_to_empty_works() {
+        let mut p = Placement::sequential(Layout::new(2, 4, 2.0, 1.0), 6);
+        let empty = p.empty_slots()[0];
+        let c = CellId(0);
+        let old = p.slot_of(c);
+        p.move_to_empty(c, empty);
+        assert_eq!(p.slot_of(c), empty);
+        assert_eq!(p.cell_at(old), None);
+        p.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn hamming_distance_counts_moved_cells() {
+        let mut a = Placement::sequential(Layout::new(2, 4, 2.0, 1.0), 8);
+        let b = a.clone();
+        assert_eq!(a.hamming_distance(&b), 0);
+        a.swap_cells(CellId(0), CellId(3));
+        assert_eq!(a.hamming_distance(&b), 2);
+    }
+
+    #[test]
+    fn positions_track_layout() {
+        let p = Placement::sequential(Layout::new(2, 4, 2.0, 1.0), 8);
+        assert_eq!(p.position(CellId(0)), (0.5, 1.0));
+        assert_eq!(p.position(CellId(4)), (0.5, 3.0));
+        assert_eq!(p.row_of(CellId(4)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "layout too small")]
+    fn rejects_undersized_layout() {
+        Placement::sequential(Layout::new(1, 3, 2.0, 1.0), 4);
+    }
+}

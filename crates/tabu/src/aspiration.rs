@@ -1,0 +1,57 @@
+//! Aspiration criteria: when a tabu move is accepted anyway.
+//!
+//! The classic (and the paper's) criterion is *best-cost aspiration*: a
+//! tabu move leading to a solution better than the best found so far is
+//! always admissible — tabu status exists to prevent cycling, and a new
+//! global best cannot be a revisit.
+
+/// Aspiration policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Aspiration {
+    /// Never override tabu status.
+    None,
+    /// Accept a tabu move if its trial cost beats the best known cost.
+    BestCost,
+}
+
+impl Aspiration {
+    /// Does a tabu move with `trial_cost` qualify, given the best cost so
+    /// far?
+    #[inline]
+    pub fn admits(self, trial_cost: f64, best_cost: f64) -> bool {
+        match self {
+            Aspiration::None => false,
+            Aspiration::BestCost => trial_cost < best_cost,
+        }
+    }
+}
+
+impl Default for Aspiration {
+    fn default() -> Self {
+        Aspiration::BestCost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_cost_admits_strict_improvement_only() {
+        let a = Aspiration::BestCost;
+        assert!(a.admits(0.9, 1.0));
+        assert!(!a.admits(1.0, 1.0));
+        assert!(!a.admits(1.1, 1.0));
+    }
+
+    #[test]
+    fn none_never_admits() {
+        let a = Aspiration::None;
+        assert!(!a.admits(0.0, 1.0));
+    }
+
+    #[test]
+    fn default_is_best_cost() {
+        assert_eq!(Aspiration::default(), Aspiration::BestCost);
+    }
+}

@@ -1,0 +1,125 @@
+//! Diversification: jumping to a new search region.
+//!
+//! At the start of every global iteration each tabu search worker
+//! "diversifies with respect to a different subset of cells so as to
+//! enforce that TSWs don't search in overlapping areas", using the scheme
+//! of Kelly, Laguna & Glover (1994): prefer moves involving items that have
+//! participated in accepted moves the *least* (long-term frequency memory),
+//! so the walk heads into genuinely unexplored territory.
+
+use crate::memory::FrequencyMemory;
+use crate::problem::SearchProblem;
+use pts_util::Rng;
+
+/// Apply `depth` diversification moves anchored in `range`.
+///
+/// Each step samples `width` candidate moves with their anchor item inside
+/// `range` and applies the one whose attributes are rarest in `memory`
+/// (uniformly random when no memory is supplied or it is empty). Returns
+/// the applied moves; the problem is left at the diversified state.
+pub fn diversify<P: SearchProblem>(
+    problem: &mut P,
+    rng: &mut Rng,
+    range: (usize, usize),
+    depth: usize,
+    width: usize,
+    memory: Option<&FrequencyMemory<P::Attribute>>,
+) -> Vec<P::Move> {
+    assert!(width >= 1);
+    let mut applied = Vec::with_capacity(depth);
+    for _ in 0..depth {
+        let mut best_mv: Option<P::Move> = None;
+        let mut best_score = f64::INFINITY;
+        for _ in 0..width {
+            let mv = problem.sample_move(rng, Some(range));
+            let score = match memory {
+                Some(mem) if mem.total() > 0 => {
+                    let (a, b) = problem.attributes(&mv);
+                    let mut s = mem.frequency(&a);
+                    if let Some(b) = b {
+                        s += mem.frequency(&b);
+                    }
+                    s
+                }
+                // No memory: all moves equally novel; first sample wins,
+                // which is a uniform choice.
+                _ => 0.0,
+            };
+            if score < best_score {
+                best_score = score;
+                best_mv = Some(mv);
+            }
+        }
+        let mv = best_mv.expect("width >= 1");
+        problem.apply(&mv);
+        applied.push(mv);
+    }
+    applied
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qap::Qap;
+
+    #[test]
+    fn diversify_moves_the_solution() {
+        let mut q = Qap::random(20, 1);
+        let before = q.snapshot_assignment();
+        let mut rng = Rng::new(2);
+        let moves = diversify(&mut q, &mut rng, (0, 20), 5, 4, None);
+        assert_eq!(moves.len(), 5);
+        assert_ne!(q.snapshot_assignment(), before);
+    }
+
+    #[test]
+    fn disjoint_ranges_touch_disjoint_anchors() {
+        let mut q = Qap::random(20, 3);
+        let mut rng = Rng::new(4);
+        let moves_a = diversify(&mut q, &mut rng, (0, 10), 6, 3, None);
+        let moves_b = diversify(&mut q, &mut rng, (10, 20), 6, 3, None);
+        for (a, _) in moves_a {
+            assert!(a < 10);
+        }
+        for (a, _) in moves_b {
+            assert!((10..20).contains(&a));
+        }
+    }
+
+    #[test]
+    fn frequency_memory_biases_to_rare_items() {
+        let mut q = Qap::random(10, 5);
+        let mut mem: FrequencyMemory<(u32, u32)> = FrequencyMemory::new();
+        // Make facilities 0..8 look heavily used at every location; leave 8
+        // and 9 untouched.
+        for f in 0..8u32 {
+            for l in 0..10u32 {
+                for _ in 0..50 {
+                    mem.record((f, l));
+                }
+            }
+        }
+        let mut rng = Rng::new(6);
+        let moves = diversify(&mut q, &mut rng, (0, 10), 20, 8, Some(&mem));
+        // Count how often a rare facility (8 or 9) anchors the chosen move.
+        let rare_hits = moves
+            .iter()
+            .filter(|&&(a, b)| a >= 8 || b >= 8)
+            .count();
+        assert!(
+            rare_hits > moves.len() / 2,
+            "rare items should dominate diversification ({rare_hits}/{})",
+            moves.len()
+        );
+    }
+
+    #[test]
+    fn depth_zero_is_identity() {
+        let mut q = Qap::random(8, 7);
+        let before = q.snapshot_assignment();
+        let mut rng = Rng::new(8);
+        let moves = diversify(&mut q, &mut rng, (0, 8), 0, 3, None);
+        assert!(moves.is_empty());
+        assert_eq!(q.snapshot_assignment(), before);
+    }
+}

@@ -1,0 +1,238 @@
+//! Intensification: steering the search back toward known-good regions.
+//!
+//! The paper's introduction lists the second classic use of tabu memory:
+//! "force the new solution to have some features that have been seen in
+//! recent good solutions (intensification)". This module provides the two
+//! standard mechanisms:
+//!
+//! * an [`ElitePool`] of the best solutions seen, and
+//! * [`intensify`], which restarts the search from an elite solution and
+//!   (optionally) walks it toward the *most frequent* attributes of the
+//!   elite set — the mirror image of diversification's rare-attribute
+//!   bias.
+//!
+//! These are extension features relative to the IPDPS'03 system (the paper
+//! implements diversification only); they are exercised by tests and the
+//! `intensification` example.
+
+use crate::memory::FrequencyMemory;
+use crate::problem::SearchProblem;
+use pts_util::Rng;
+
+/// A bounded pool of the best solutions encountered, kept sorted by cost
+/// (best first).
+#[derive(Clone, Debug)]
+pub struct ElitePool<S> {
+    capacity: usize,
+    entries: Vec<(f64, S)>,
+}
+
+impl<S: Clone> ElitePool<S> {
+    pub fn new(capacity: usize) -> ElitePool<S> {
+        assert!(capacity >= 1, "elite pool needs capacity");
+        ElitePool {
+            capacity,
+            entries: Vec::with_capacity(capacity + 1),
+        }
+    }
+
+    /// Offer a solution; kept if it beats the worst member (or the pool is
+    /// not full). Returns `true` if it entered the pool.
+    pub fn offer(&mut self, cost: f64, solution: &S) -> bool {
+        if self.entries.len() == self.capacity
+            && cost >= self.entries.last().expect("non-empty").0
+        {
+            return false;
+        }
+        let pos = self
+            .entries
+            .iter()
+            .position(|(c, _)| cost < *c)
+            .unwrap_or(self.entries.len());
+        self.entries.insert(pos, (cost, solution.clone()));
+        self.entries.truncate(self.capacity);
+        true
+    }
+
+    /// Best member.
+    pub fn best(&self) -> Option<&(f64, S)> {
+        self.entries.first()
+    }
+
+    /// A uniformly random member.
+    pub fn sample(&self, rng: &mut Rng) -> Option<&(f64, S)> {
+        if self.entries.is_empty() {
+            None
+        } else {
+            Some(&self.entries[rng.index(self.entries.len())])
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &(f64, S)> {
+        self.entries.iter()
+    }
+}
+
+/// Restart the problem from an elite solution and apply `depth` moves
+/// biased toward the *most frequent* attributes in `memory` (features of
+/// recent good solutions). With no memory the restart alone is the
+/// intensification.
+///
+/// Returns the cost after intensification.
+pub fn intensify<P: SearchProblem>(
+    problem: &mut P,
+    rng: &mut Rng,
+    elite: &P::Snapshot,
+    depth: usize,
+    width: usize,
+    memory: Option<&FrequencyMemory<P::Attribute>>,
+) -> f64 {
+    assert!(width >= 1);
+    problem.restore(elite);
+    for _ in 0..depth {
+        let mut best_mv: Option<P::Move> = None;
+        let mut best_score = f64::NEG_INFINITY;
+        for _ in 0..width {
+            let mv = problem.sample_move(rng, None);
+            let score = match memory {
+                Some(mem) if mem.total() > 0 => {
+                    let (a, b) = problem.attributes(&mv);
+                    let mut s = mem.frequency(&a);
+                    if let Some(b) = b {
+                        s += mem.frequency(&b);
+                    }
+                    s
+                }
+                _ => 0.0,
+            };
+            // Tie-break (and the no-memory case) on trial cost: prefer the
+            // move that keeps the solution good.
+            let score = score - 1e-6 * problem.trial_cost(&mv);
+            if score > best_score {
+                best_score = score;
+                best_mv = Some(mv);
+            }
+        }
+        let mv = best_mv.expect("width >= 1");
+        problem.apply(&mv);
+    }
+    problem.cost()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qap::Qap;
+    use crate::search::{TabuSearch, TabuSearchConfig};
+
+    #[test]
+    fn pool_keeps_best_sorted() {
+        let mut pool: ElitePool<u32> = ElitePool::new(3);
+        assert!(pool.offer(5.0, &50));
+        assert!(pool.offer(3.0, &30));
+        assert!(pool.offer(4.0, &40));
+        assert!(pool.offer(1.0, &10));
+        // Capacity 3: the 5.0 entry fell out.
+        assert_eq!(pool.len(), 3);
+        let costs: Vec<f64> = pool.iter().map(|(c, _)| *c).collect();
+        assert_eq!(costs, vec![1.0, 3.0, 4.0]);
+        assert_eq!(pool.best().unwrap().1, 10);
+    }
+
+    #[test]
+    fn pool_rejects_worse_than_worst_when_full() {
+        let mut pool: ElitePool<u32> = ElitePool::new(2);
+        pool.offer(1.0, &1);
+        pool.offer(2.0, &2);
+        assert!(!pool.offer(3.0, &3));
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn pool_sample_is_some_member() {
+        let mut pool: ElitePool<u32> = ElitePool::new(4);
+        for i in 0..4u32 {
+            pool.offer(i as f64, &i);
+        }
+        let mut rng = Rng::new(1);
+        for _ in 0..20 {
+            let (_, v) = pool.sample(&mut rng).unwrap();
+            assert!(*v < 4);
+        }
+        let empty: ElitePool<u32> = ElitePool::new(2);
+        assert!(empty.sample(&mut rng).is_none());
+    }
+
+    #[test]
+    fn intensify_restarts_from_elite() {
+        let mut qap = Qap::random(15, 3);
+        // Find a good solution first.
+        let result = TabuSearch::new(TabuSearchConfig {
+            iterations: 200,
+            seed: 4,
+            ..TabuSearchConfig::default()
+        })
+        .run(&mut qap);
+        // Scramble the current state badly.
+        let mut rng = Rng::new(5);
+        for _ in 0..30 {
+            let mv = qap.sample_move(&mut rng, None);
+            qap.apply(&mv);
+        }
+        let scrambled = qap.cost();
+        // Intensify back to the elite with a tiny perturbation.
+        let cost = intensify(&mut qap, &mut rng, &result.best, 2, 4, None);
+        assert!(
+            cost < scrambled,
+            "intensification must return near the elite ({cost} vs scrambled {scrambled})"
+        );
+        assert!((qap.cost() - cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intensify_depth_zero_is_pure_restart() {
+        let mut qap = Qap::random(10, 7);
+        let snap = qap.snapshot();
+        let snap_cost = qap.cost();
+        let mut rng = Rng::new(8);
+        for _ in 0..10 {
+            let mv = qap.sample_move(&mut rng, None);
+            qap.apply(&mv);
+        }
+        let cost = intensify(&mut qap, &mut rng, &snap, 0, 3, None);
+        assert!((cost - snap_cost).abs() < 1e-9);
+        assert_eq!(qap.snapshot(), snap);
+    }
+
+    #[test]
+    fn frequency_bias_prefers_common_attributes() {
+        let mut qap = Qap::random(12, 9);
+        let mut mem: FrequencyMemory<(u32, u32)> = FrequencyMemory::new();
+        // Mark facility 0 at every location as "elite-frequent".
+        for l in 0..12u32 {
+            for _ in 0..100 {
+                mem.record((0, l));
+            }
+        }
+        let snap = qap.snapshot();
+        let mut rng = Rng::new(10);
+        let _ = intensify(&mut qap, &mut rng, &snap, 12, 6, Some(&mem));
+        // No crash + state valid; the bias itself is statistical. Verify
+        // the run applied the requested number of moves by distance.
+        let moved = qap
+            .snapshot()
+            .iter()
+            .zip(snap.iter())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(moved > 0);
+    }
+}

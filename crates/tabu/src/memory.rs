@@ -1,0 +1,121 @@
+//! Long-term memory: move-attribute frequencies.
+//!
+//! Counts how often each attribute participated in accepted moves. The
+//! diversification step biases toward rarely-moved items, pushing each
+//! worker into genuinely new regions (Kelly, Laguna & Glover, 1994).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Frequency counts over move attributes.
+#[derive(Clone, Debug, Default)]
+pub struct FrequencyMemory<A: Eq + Hash + Clone> {
+    counts: HashMap<A, u64>,
+    total: u64,
+}
+
+impl<A: Eq + Hash + Clone> FrequencyMemory<A> {
+    pub fn new() -> Self {
+        FrequencyMemory {
+            counts: HashMap::new(),
+            total: 0,
+        }
+    }
+
+    /// Record one occurrence of an attribute.
+    pub fn record(&mut self, attr: A) {
+        *self.counts.entry(attr).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Raw count for an attribute.
+    pub fn count(&self, attr: &A) -> u64 {
+        self.counts.get(attr).copied().unwrap_or(0)
+    }
+
+    /// Total recordings.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Normalized frequency in `[0, 1]`.
+    pub fn frequency(&self, attr: &A) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(attr) as f64 / self.total as f64
+        }
+    }
+
+    /// Penalty for diversification: proportional to how often the attribute
+    /// has been used (frequently-moved items are discouraged).
+    pub fn penalty(&self, attr: &A, weight: f64) -> f64 {
+        weight * self.frequency(attr)
+    }
+
+    pub fn clear(&mut self) {
+        self.counts.clear();
+        self.total = 0;
+    }
+
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate() {
+        let mut m: FrequencyMemory<u32> = FrequencyMemory::new();
+        m.record(1);
+        m.record(1);
+        m.record(2);
+        assert_eq!(m.count(&1), 2);
+        assert_eq!(m.count(&2), 1);
+        assert_eq!(m.count(&3), 0);
+        assert_eq!(m.total(), 3);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn frequency_normalized() {
+        let mut m: FrequencyMemory<u32> = FrequencyMemory::new();
+        for _ in 0..3 {
+            m.record(1);
+        }
+        m.record(2);
+        assert!((m.frequency(&1) - 0.75).abs() < 1e-12);
+        assert!((m.frequency(&2) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_memory_has_zero_frequency() {
+        let m: FrequencyMemory<u32> = FrequencyMemory::new();
+        assert_eq!(m.frequency(&9), 0.0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn penalty_scales_with_weight() {
+        let mut m: FrequencyMemory<u32> = FrequencyMemory::new();
+        m.record(1);
+        assert!((m.penalty(&1, 2.0) - 2.0).abs() < 1e-12);
+        assert_eq!(m.penalty(&2, 2.0), 0.0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut m: FrequencyMemory<u32> = FrequencyMemory::new();
+        m.record(1);
+        m.clear();
+        assert_eq!(m.total(), 0);
+        assert_eq!(m.count(&1), 0);
+    }
+}

@@ -1,0 +1,70 @@
+//! The problem abstraction consumed by the tabu search engine.
+
+use pts_util::Rng;
+
+/// Tabu attributes of a move: one or two attribute values.
+///
+/// A swap move typically yields two attributes (one per moved item); simpler
+/// moves yield one. Avoids allocation on the hot path.
+pub type AttrPair<A> = (A, Option<A>);
+
+/// A combinatorial optimization problem exposed as a mutable current state
+/// plus sampled moves.
+///
+/// The engine drives the search: it samples candidate moves, trial-costs
+/// them, applies/undoes them, and tracks tabu attributes. Implementations
+/// keep whatever incremental caches they need — `trial_cost` takes `&mut
+/// self` precisely so scratch space can live inside the problem.
+pub trait SearchProblem {
+    /// A move transforming the current state. Must be self-inverse under
+    /// [`SearchProblem::undo`].
+    type Move: Clone + std::fmt::Debug;
+    /// Move attribute stored in tabu memory.
+    type Attribute: Clone + Eq + std::hash::Hash + std::fmt::Debug;
+    /// A full copy of a solution, for best-so-far tracking.
+    type Snapshot: Clone;
+
+    /// Scalar cost of the current state (lower is better).
+    fn cost(&self) -> f64;
+
+    /// Number of items for range-based domain decomposition (e.g. cells).
+    /// Ranges passed to [`SearchProblem::sample_move`] index into
+    /// `0..domain_size()`.
+    fn domain_size(&self) -> usize;
+
+    /// Sample one candidate move. When `range` is `Some((lo, hi))` the move
+    /// must be *anchored* in that item range (the paper: a candidate-list
+    /// worker picks its first cell from its own range and the second from
+    /// the whole cell space).
+    fn sample_move(&mut self, rng: &mut Rng, range: Option<(usize, usize)>) -> Self::Move;
+
+    /// Cost of the state that `mv` would produce, without mutating state.
+    fn trial_cost(&mut self, mv: &Self::Move) -> f64;
+
+    /// Apply a move.
+    fn apply(&mut self, mv: &Self::Move);
+
+    /// Revert a move previously applied (moves are self-inverse for swaps).
+    fn undo(&mut self, mv: &Self::Move);
+
+    /// Tabu attributes of a move in the *current* state (queried before the
+    /// move is applied). These are the *source* attributes — e.g. `(item,
+    /// current position)` pairs — recorded as tabu when a move is accepted,
+    /// forbidding a quick return.
+    fn attributes(&self, mv: &Self::Move) -> AttrPair<Self::Attribute>;
+
+    /// Attributes of the state the move would *produce* — e.g. `(item,
+    /// destination position)` pairs. A proposed move is tabu when a target
+    /// attribute is held in the tabu list (it would re-create a recently
+    /// destroyed configuration). Defaults to [`SearchProblem::attributes`]
+    /// for problems where the distinction does not apply.
+    fn target_attributes(&self, mv: &Self::Move) -> AttrPair<Self::Attribute> {
+        self.attributes(mv)
+    }
+
+    /// Snapshot the current solution.
+    fn snapshot(&self) -> Self::Snapshot;
+
+    /// Restore a snapshot.
+    fn restore(&mut self, snapshot: &Self::Snapshot);
+}

@@ -1,0 +1,275 @@
+//! Quadratic assignment problem (QAP) binding.
+//!
+//! QAP is the domain of the diversification study the paper builds on
+//! (Kelly, Laguna & Glover 1994). It doubles here as a compact second
+//! domain proving the [`SearchProblem`] abstraction: n facilities with
+//! pairwise flows are assigned to n locations with pairwise distances,
+//! minimizing `Σ flow(i,j) · dist(loc(i), loc(j))`.
+
+use crate::problem::{AttrPair, SearchProblem};
+use pts_util::Rng;
+
+/// A QAP instance plus its current assignment.
+#[derive(Clone, Debug)]
+pub struct Qap {
+    n: usize,
+    /// Row-major `n × n` flow matrix (symmetric, zero diagonal).
+    flow: Vec<f64>,
+    /// Row-major `n × n` distance matrix (symmetric, zero diagonal).
+    dist: Vec<f64>,
+    /// Location of each facility.
+    loc_of: Vec<usize>,
+    cost: f64,
+}
+
+impl Qap {
+    /// Random symmetric instance with uniform flows/distances in `[0, 10)`,
+    /// random initial assignment. Deterministic in `seed`.
+    pub fn random(n: usize, seed: u64) -> Qap {
+        assert!(n >= 2);
+        let mut rng = Rng::new(seed);
+        let mut flow = vec![0.0; n * n];
+        let mut dist = vec![0.0; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let f = rng.range_f64(0.0, 10.0);
+                let d = rng.range_f64(0.0, 10.0);
+                flow[i * n + j] = f;
+                flow[j * n + i] = f;
+                dist[i * n + j] = d;
+                dist[j * n + i] = d;
+            }
+        }
+        let mut loc_of: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut loc_of);
+        let mut qap = Qap {
+            n,
+            flow,
+            dist,
+            loc_of,
+            cost: 0.0,
+        };
+        qap.cost = qap.cost_exact();
+        qap
+    }
+
+    /// Build from explicit matrices and an identity assignment.
+    pub fn from_matrices(flow: Vec<f64>, dist: Vec<f64>) -> Qap {
+        let n = (flow.len() as f64).sqrt() as usize;
+        assert_eq!(n * n, flow.len(), "flow must be square");
+        assert_eq!(flow.len(), dist.len(), "matrices must match");
+        assert!(n >= 2);
+        let mut qap = Qap {
+            n,
+            flow,
+            dist,
+            loc_of: (0..n).collect(),
+            cost: 0.0,
+        };
+        qap.cost = qap.cost_exact();
+        qap
+    }
+
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn f(&self, i: usize, j: usize) -> f64 {
+        self.flow[i * self.n + j]
+    }
+
+    #[inline]
+    fn d(&self, a: usize, b: usize) -> f64 {
+        self.dist[a * self.n + b]
+    }
+
+    /// Recompute the cost from scratch.
+    pub fn cost_exact(&self) -> f64 {
+        let mut c = 0.0;
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                c += self.f(i, j) * self.d(self.loc_of[i], self.loc_of[j]);
+            }
+        }
+        c
+    }
+
+    /// Cost delta of swapping the locations of facilities `a` and `b`
+    /// (O(n) incremental).
+    pub fn swap_delta(&self, a: usize, b: usize) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        let (la, lb) = (self.loc_of[a], self.loc_of[b]);
+        let mut delta = 0.0;
+        for k in 0..self.n {
+            if k == a || k == b {
+                continue;
+            }
+            let lk = self.loc_of[k];
+            delta += self.f(a, k) * (self.d(lb, lk) - self.d(la, lk));
+            delta += self.f(b, k) * (self.d(la, lk) - self.d(lb, lk));
+        }
+        delta
+    }
+
+    /// Current facility → location assignment (cloned).
+    pub fn snapshot_assignment(&self) -> Vec<usize> {
+        self.loc_of.clone()
+    }
+}
+
+impl SearchProblem for Qap {
+    /// `(facility_a, facility_b)` whose locations swap.
+    type Move = (usize, usize);
+    /// `(facility, location)` pairs: re-placing a facility at a recently
+    /// vacated location is tabu.
+    type Attribute = (u32, u32);
+    type Snapshot = Vec<usize>;
+
+    fn cost(&self) -> f64 {
+        self.cost
+    }
+
+    fn domain_size(&self) -> usize {
+        self.n
+    }
+
+    fn sample_move(&mut self, rng: &mut Rng, range: Option<(usize, usize)>) -> Self::Move {
+        let (lo, hi) = range.unwrap_or((0, self.n));
+        assert!(lo < hi && hi <= self.n, "bad range {lo}..{hi}");
+        let a = rng.range(lo, hi);
+        let mut b = rng.index(self.n);
+        while b == a {
+            b = rng.index(self.n);
+        }
+        (a, b)
+    }
+
+    fn trial_cost(&mut self, mv: &Self::Move) -> f64 {
+        self.cost + self.swap_delta(mv.0, mv.1)
+    }
+
+    fn apply(&mut self, mv: &Self::Move) {
+        self.cost += self.swap_delta(mv.0, mv.1);
+        self.loc_of.swap(mv.0, mv.1);
+    }
+
+    fn undo(&mut self, mv: &Self::Move) {
+        // Swaps are self-inverse.
+        self.apply(mv);
+    }
+
+    fn attributes(&self, mv: &Self::Move) -> AttrPair<Self::Attribute> {
+        // Source attribute = (facility, its *current* location): recorded
+        // on acceptance, forbidding a quick return to that location.
+        (
+            (mv.0 as u32, self.loc_of[mv.0] as u32),
+            Some((mv.1 as u32, self.loc_of[mv.1] as u32)),
+        )
+    }
+
+    fn target_attributes(&self, mv: &Self::Move) -> AttrPair<Self::Attribute> {
+        // Target attribute = (facility, destination location): the move is
+        // tabu when it would re-create a recently destroyed pairing.
+        (
+            (mv.0 as u32, self.loc_of[mv.1] as u32),
+            Some((mv.1 as u32, self.loc_of[mv.0] as u32)),
+        )
+    }
+
+    fn snapshot(&self) -> Self::Snapshot {
+        self.loc_of.clone()
+    }
+
+    fn restore(&mut self, snapshot: &Self::Snapshot) {
+        assert_eq!(snapshot.len(), self.n);
+        self.loc_of.clone_from(snapshot);
+        self.cost = self.cost_exact();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incremental_cost_matches_exact() {
+        let mut q = Qap::random(15, 1);
+        let mut rng = Rng::new(2);
+        for _ in 0..200 {
+            let mv = q.sample_move(&mut rng, None);
+            let predicted = q.trial_cost(&mv);
+            q.apply(&mv);
+            assert!(
+                (q.cost() - predicted).abs() < 1e-6,
+                "trial must predict applied cost"
+            );
+            assert!(
+                (q.cost() - q.cost_exact()).abs() < 1e-6,
+                "incremental cost drifted"
+            );
+        }
+    }
+
+    #[test]
+    fn apply_undo_is_identity() {
+        let mut q = Qap::random(10, 3);
+        let snap = q.snapshot();
+        let cost = q.cost();
+        let mv = (2usize, 7usize);
+        q.apply(&mv);
+        q.undo(&mv);
+        assert_eq!(q.snapshot(), snap);
+        assert!((q.cost() - cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn restore_resets_assignment_and_cost() {
+        let mut q = Qap::random(10, 4);
+        let snap = q.snapshot();
+        let cost = q.cost();
+        let mut rng = Rng::new(5);
+        for _ in 0..20 {
+            let mv = q.sample_move(&mut rng, None);
+            q.apply(&mv);
+        }
+        q.restore(&snap);
+        assert_eq!(q.snapshot(), snap);
+        assert!((q.cost() - cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_facility_swap_is_zero_delta() {
+        let q = Qap::random(8, 6);
+        assert_eq!(q.swap_delta(3, 3), 0.0);
+    }
+
+    #[test]
+    fn attributes_capture_current_locations() {
+        let q = Qap::random(6, 7);
+        let (a, b) = SearchProblem::attributes(&q, &(1, 4));
+        assert_eq!(a.0, 1);
+        assert_eq!(a.1 as usize, q.snapshot_assignment()[1]);
+        let b = b.unwrap();
+        assert_eq!(b.0, 4);
+        assert_eq!(b.1 as usize, q.snapshot_assignment()[4]);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = Qap::random(12, 42);
+        let b = Qap::random(12, 42);
+        assert_eq!(a.snapshot_assignment(), b.snapshot_assignment());
+        assert!((a.cost() - b.cost()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_matrices_identity_assignment() {
+        // 2 facilities, flow 5 between them, distance 3.
+        let q = Qap::from_matrices(vec![0.0, 5.0, 5.0, 0.0], vec![0.0, 3.0, 3.0, 0.0]);
+        assert!((q.cost() - 15.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,233 @@
+//! Reactive tenure (extension): self-tuning tabu list length.
+//!
+//! The paper uses a fixed tenure. Reactive tabu search (Battiti &
+//! Tecchiolli, 1994) adapts it online: when the search *revisits* a
+//! solution, the tenure grows (cycling detected — forbid more); after a
+//! long stretch without revisits it shrinks (the list is over-
+//! constraining). This module provides the detector + controller as a
+//! composable component; `TabuSearchConfig.tenure` remains the fixed
+//! paper-faithful default.
+
+use std::collections::HashMap;
+
+/// Configuration of the reactive controller.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReactiveConfig {
+    /// Initial tenure.
+    pub initial: u64,
+    /// Multiplicative increase on a detected revisit (> 1).
+    pub grow: f64,
+    /// Multiplicative decay applied after `calm_window` iterations with no
+    /// revisit (< 1).
+    pub shrink: f64,
+    /// Iterations without revisits before the tenure decays.
+    pub calm_window: u64,
+    /// Tenure bounds.
+    pub min: u64,
+    pub max: u64,
+}
+
+impl Default for ReactiveConfig {
+    fn default() -> Self {
+        ReactiveConfig {
+            initial: 7,
+            grow: 1.3,
+            shrink: 0.9,
+            calm_window: 50,
+            min: 2,
+            max: 200,
+        }
+    }
+}
+
+/// Revisit detector + tenure controller.
+///
+/// Solutions are identified by a caller-supplied 64-bit fingerprint (e.g.
+/// a hash of the placement assignment). Collisions only cause a spurious
+/// tenure bump — safe for a heuristic controller.
+#[derive(Clone, Debug)]
+pub struct ReactiveTenure {
+    config: ReactiveConfig,
+    tenure: f64,
+    /// fingerprint → iteration last seen.
+    seen: HashMap<u64, u64>,
+    last_revisit: u64,
+    revisits: u64,
+}
+
+impl ReactiveTenure {
+    pub fn new(config: ReactiveConfig) -> ReactiveTenure {
+        assert!(config.grow > 1.0 && config.shrink < 1.0);
+        assert!(config.min >= 1 && config.min <= config.max);
+        ReactiveTenure {
+            tenure: config.initial.clamp(config.min, config.max) as f64,
+            config,
+            seen: HashMap::new(),
+            last_revisit: 0,
+            revisits: 0,
+        }
+    }
+
+    /// Current tenure to use for the tabu list.
+    pub fn tenure(&self) -> u64 {
+        self.tenure.round() as u64
+    }
+
+    /// Number of revisits detected so far.
+    pub fn revisits(&self) -> u64 {
+        self.revisits
+    }
+
+    /// Record the solution visited at `iter`; adapts and returns the
+    /// tenure to use from now on.
+    pub fn observe(&mut self, fingerprint: u64, iter: u64) -> u64 {
+        if let Some(_prev) = self.seen.insert(fingerprint, iter) {
+            // Revisit: cycling — grow the tabu list.
+            self.revisits += 1;
+            self.last_revisit = iter;
+            self.tenure = (self.tenure * self.config.grow)
+                .clamp(self.config.min as f64, self.config.max as f64);
+        } else if iter.saturating_sub(self.last_revisit) > self.config.calm_window {
+            // Long calm stretch: relax.
+            self.last_revisit = iter;
+            self.tenure = (self.tenure * self.config.shrink)
+                .clamp(self.config.min as f64, self.config.max as f64);
+        }
+        self.tenure()
+    }
+
+    /// Forget visit history (e.g. after adopting a foreign solution).
+    pub fn reset_history(&mut self) {
+        self.seen.clear();
+    }
+}
+
+/// FNV-1a fingerprint of an assignment-like slice; the conventional cheap
+/// solution hash for revisit detection.
+pub fn fingerprint_slice<T: Copy + Into<u64>>(xs: &[T]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &x in xs {
+        let v: u64 = x.into();
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn revisit_grows_tenure() {
+        let mut r = ReactiveTenure::new(ReactiveConfig::default());
+        let t0 = r.tenure();
+        r.observe(42, 1);
+        assert_eq!(r.tenure(), t0, "first visit is not a revisit");
+        let t1 = r.observe(42, 5);
+        assert!(t1 > t0, "revisit must grow tenure ({t1} vs {t0})");
+        assert_eq!(r.revisits(), 1);
+    }
+
+    #[test]
+    fn calm_stretch_shrinks_tenure() {
+        let cfg = ReactiveConfig {
+            initial: 50,
+            calm_window: 10,
+            ..ReactiveConfig::default()
+        };
+        let mut r = ReactiveTenure::new(cfg);
+        let t0 = r.tenure();
+        // Unique solutions, far apart in iterations.
+        let t1 = r.observe(1, 100);
+        assert!(t1 < t0, "calm stretch must shrink tenure");
+    }
+
+    #[test]
+    fn tenure_respects_bounds() {
+        let cfg = ReactiveConfig {
+            initial: 10,
+            min: 5,
+            max: 20,
+            grow: 3.0,
+            ..ReactiveConfig::default()
+        };
+        let mut r = ReactiveTenure::new(cfg);
+        for i in 0..20 {
+            r.observe(7, i); // constant revisits
+        }
+        assert_eq!(r.tenure(), 20, "growth saturates at max");
+        let cfg = ReactiveConfig {
+            initial: 6,
+            min: 5,
+            max: 20,
+            shrink: 0.1,
+            calm_window: 1,
+            ..ReactiveConfig::default()
+        };
+        let mut r = ReactiveTenure::new(cfg);
+        for i in 0..100 {
+            r.observe(1000 + i, i * 10); // never revisit, always calm
+        }
+        assert_eq!(r.tenure(), 5, "decay saturates at min");
+    }
+
+    #[test]
+    fn reset_history_forgets_revisits() {
+        let mut r = ReactiveTenure::new(ReactiveConfig::default());
+        r.observe(9, 1);
+        r.reset_history();
+        let before = r.tenure();
+        r.observe(9, 2);
+        assert_eq!(r.tenure(), before, "after reset, 9 is a fresh solution");
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_permutations() {
+        let a: Vec<u32> = vec![0, 1, 2, 3];
+        let b: Vec<u32> = vec![0, 2, 1, 3];
+        assert_ne!(fingerprint_slice(&a), fingerprint_slice(&b));
+        assert_eq!(fingerprint_slice(&a), fingerprint_slice(&a.clone()));
+    }
+
+    #[test]
+    fn reactive_controller_on_a_real_search() {
+        // Drive a tiny QAP walk and make sure the controller reacts to the
+        // cycling a greedy 2-opt walk produces.
+        use crate::qap::Qap;
+        use crate::SearchProblem;
+        let mut qap = Qap::random(8, 3);
+        let mut rng = pts_util::Rng::new(4);
+        let mut r = ReactiveTenure::new(ReactiveConfig {
+            calm_window: 1_000,
+            ..ReactiveConfig::default()
+        });
+        for iter in 0..300u64 {
+            // Greedy best-of-4 move: prone to cycling without tabu.
+            let mut best = None;
+            for _ in 0..4 {
+                let mv = qap.sample_move(&mut rng, None);
+                let c = qap.trial_cost(&mv);
+                if best.as_ref().map(|&(_, bc)| c < bc).unwrap_or(true) {
+                    best = Some((mv, c));
+                }
+            }
+            let (mv, _) = best.unwrap();
+            qap.apply(&mv);
+            let fp = fingerprint_slice(
+                &qap.snapshot_assignment()
+                    .iter()
+                    .map(|&x| x as u32)
+                    .collect::<Vec<_>>(),
+            );
+            r.observe(fp, iter);
+        }
+        assert!(
+            r.revisits() > 0,
+            "a greedy walk on a tiny instance must revisit solutions"
+        );
+        assert!(r.tenure() > ReactiveConfig::default().initial);
+    }
+}

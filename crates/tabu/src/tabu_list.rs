@@ -1,0 +1,161 @@
+//! Short-term memory: the tabu list.
+//!
+//! Attributes of recently accepted moves are forbidden for `tenure`
+//! iterations, preventing the search from cycling back through just-visited
+//! solutions. Stored as attribute → expiry-iteration with periodic
+//! compaction, so `is_tabu` and `make_tabu` are O(1).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Tenure-based tabu memory over move attributes.
+#[derive(Clone, Debug)]
+pub struct TabuList<A: Eq + Hash + Clone> {
+    tenure: u64,
+    expiry: HashMap<A, u64>,
+    last_compaction: u64,
+}
+
+impl<A: Eq + Hash + Clone> TabuList<A> {
+    /// Create a list with the given tenure (iterations a move stays tabu).
+    pub fn new(tenure: u64) -> Self {
+        TabuList {
+            tenure,
+            expiry: HashMap::new(),
+            last_compaction: 0,
+        }
+    }
+
+    /// The configured tenure.
+    pub fn tenure(&self) -> u64 {
+        self.tenure
+    }
+
+    /// Number of attributes currently held (including expired entries not
+    /// yet compacted).
+    pub fn len(&self) -> usize {
+        self.expiry.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.expiry.is_empty()
+    }
+
+    /// Is `attr` tabu at iteration `iter`?
+    pub fn is_tabu(&self, attr: &A, iter: u64) -> bool {
+        self.expiry.get(attr).is_some_and(|&e| e > iter)
+    }
+
+    /// Mark `attr` tabu starting at iteration `iter`.
+    pub fn make_tabu(&mut self, attr: A, iter: u64) {
+        self.expiry.insert(attr, iter + self.tenure);
+        // Amortized cleanup: drop expired entries every few tenures.
+        if iter >= self.last_compaction + 4 * self.tenure.max(1) {
+            self.expiry.retain(|_, &mut e| e > iter);
+            self.last_compaction = iter;
+        }
+    }
+
+    /// Forget everything (used when adopting a broadcast solution whose
+    /// tabu list replaces the local one).
+    pub fn clear(&mut self) {
+        self.expiry.clear();
+    }
+
+    /// Export active entries at `iter` as `(attribute, remaining)` pairs —
+    /// this is the list the master and TSWs exchange alongside solutions.
+    pub fn export(&self, iter: u64) -> Vec<(A, u64)> {
+        self.expiry
+            .iter()
+            .filter(|&(_, &e)| e > iter)
+            .map(|(a, &e)| (a.clone(), e - iter))
+            .collect()
+    }
+
+    /// Import entries exported by [`TabuList::export`], re-anchored at
+    /// local iteration `iter`.
+    pub fn import(&mut self, entries: &[(A, u64)], iter: u64) {
+        self.expiry.clear();
+        for (a, remaining) in entries {
+            self.expiry.insert(a.clone(), iter + remaining);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tabu_expires_after_tenure() {
+        let mut t: TabuList<u32> = TabuList::new(3);
+        t.make_tabu(7, 10);
+        assert!(t.is_tabu(&7, 10));
+        assert!(t.is_tabu(&7, 12));
+        assert!(!t.is_tabu(&7, 13), "expires exactly after tenure");
+    }
+
+    #[test]
+    fn unknown_attribute_is_free() {
+        let t: TabuList<u32> = TabuList::new(5);
+        assert!(!t.is_tabu(&1, 0));
+    }
+
+    #[test]
+    fn remaking_tabu_extends() {
+        let mut t: TabuList<u32> = TabuList::new(3);
+        t.make_tabu(7, 0);
+        t.make_tabu(7, 2);
+        assert!(t.is_tabu(&7, 4));
+        assert!(!t.is_tabu(&7, 5));
+    }
+
+    #[test]
+    fn compaction_drops_expired() {
+        let mut t: TabuList<u32> = TabuList::new(2);
+        for i in 0..100u64 {
+            t.make_tabu(i as u32, i);
+        }
+        // After 100 iterations with tenure 2, nearly everything expired and
+        // compaction must have run.
+        assert!(t.len() < 100, "compaction keeps the map bounded");
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let mut t: TabuList<u32> = TabuList::new(10);
+        t.make_tabu(1, 0); // expires at 10
+        t.make_tabu(2, 5); // expires at 15
+        let exported = t.export(7); // remaining: 3 and 8
+        let mut fresh: TabuList<u32> = TabuList::new(10);
+        fresh.import(&exported, 100);
+        assert!(fresh.is_tabu(&1, 102));
+        assert!(!fresh.is_tabu(&1, 103));
+        assert!(fresh.is_tabu(&2, 107));
+        assert!(!fresh.is_tabu(&2, 108));
+    }
+
+    #[test]
+    fn export_skips_expired() {
+        let mut t: TabuList<u32> = TabuList::new(2);
+        t.make_tabu(1, 0);
+        let e = t.export(50);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn clear_forgets() {
+        let mut t: TabuList<u32> = TabuList::new(5);
+        t.make_tabu(3, 0);
+        t.clear();
+        assert!(!t.is_tabu(&3, 1));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn zero_tenure_means_nothing_is_tabu() {
+        let mut t: TabuList<u32> = TabuList::new(0);
+        t.make_tabu(4, 2);
+        assert!(!t.is_tabu(&4, 2));
+    }
+}

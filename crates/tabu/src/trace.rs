@@ -1,0 +1,181 @@
+//! Best-cost traces and the paper's speedup metric.
+//!
+//! The paper defines speedup for non-deterministic algorithms as
+//! `t(1,x) / t(n,x)`: the time for one worker to first reach an x-quality
+//! solution over the time for `n` workers to reach the same quality. That
+//! requires recording *when* each new best cost was found.
+
+/// One improvement event.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TracePoint {
+    /// Time of the improvement (wall seconds or virtual-cluster seconds).
+    pub time: f64,
+    /// Search iteration at the improvement.
+    pub iter: u64,
+    /// New best cost.
+    pub best_cost: f64,
+}
+
+/// Monotone best-cost-over-time record.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    points: Vec<TracePoint>,
+}
+
+impl Trace {
+    pub fn new() -> Trace {
+        Trace { points: Vec::new() }
+    }
+
+    /// Rebuild a trace from raw points (e.g. shipped over the wire),
+    /// re-enforcing the monotone-improvement invariant.
+    pub fn from_points(points: impl IntoIterator<Item = TracePoint>) -> Trace {
+        let mut t = Trace::new();
+        for p in points {
+            t.record(p.time, p.iter, p.best_cost);
+        }
+        t
+    }
+
+    /// Record a cost observation; kept only if it improves on the best.
+    pub fn record(&mut self, time: f64, iter: u64, cost: f64) {
+        if self.points.last().is_none_or(|p| cost < p.best_cost) {
+            self.points.push(TracePoint {
+                time,
+                iter,
+                best_cost: cost,
+            });
+        }
+    }
+
+    pub fn points(&self) -> &[TracePoint] {
+        &self.points
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Final (best) cost.
+    pub fn best_cost(&self) -> Option<f64> {
+        self.points.last().map(|p| p.best_cost)
+    }
+
+    /// First time the trace reached `quality` or better.
+    pub fn time_to_reach(&self, quality: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.best_cost <= quality)
+            .map(|p| p.time)
+    }
+
+    /// Best cost achieved by time `t` (None before the first point).
+    pub fn best_at(&self, t: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .take_while(|p| p.time <= t)
+            .last()
+            .map(|p| p.best_cost)
+    }
+
+    /// Merge several traces into the global best-cost-over-time curve
+    /// (running minimum across all workers).
+    pub fn merge<'a>(traces: impl IntoIterator<Item = &'a Trace>) -> Trace {
+        let mut all: Vec<TracePoint> = traces
+            .into_iter()
+            .flat_map(|t| t.points.iter().copied())
+            .collect();
+        all.sort_by(|a, b| {
+            a.time
+                .partial_cmp(&b.time)
+                .expect("no NaN times")
+                .then(a.iter.cmp(&b.iter))
+        });
+        let mut merged = Trace::new();
+        for p in all {
+            merged.record(p.time, p.iter, p.best_cost);
+        }
+        merged
+    }
+}
+
+/// Speedup `t(1,x) / t(n,x)` from two traces; `None` if either never
+/// reached the quality.
+pub fn speedup(baseline: &Trace, parallel: &Trace, quality: f64) -> Option<f64> {
+    let t1 = baseline.time_to_reach(quality)?;
+    let tn = parallel.time_to_reach(quality)?;
+    if tn <= 0.0 {
+        return Some(f64::INFINITY);
+    }
+    Some(t1 / tn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_only_improvements() {
+        let mut t = Trace::new();
+        t.record(1.0, 1, 10.0);
+        t.record(2.0, 2, 11.0); // worse: dropped
+        t.record(3.0, 3, 9.0);
+        assert_eq!(t.points().len(), 2);
+        assert_eq!(t.best_cost(), Some(9.0));
+    }
+
+    #[test]
+    fn time_to_reach_finds_first_crossing() {
+        let mut t = Trace::new();
+        t.record(1.0, 1, 10.0);
+        t.record(2.0, 2, 8.0);
+        t.record(5.0, 3, 4.0);
+        assert_eq!(t.time_to_reach(10.0), Some(1.0));
+        assert_eq!(t.time_to_reach(8.5), Some(2.0));
+        assert_eq!(t.time_to_reach(4.0), Some(5.0));
+        assert_eq!(t.time_to_reach(1.0), None);
+    }
+
+    #[test]
+    fn best_at_steps() {
+        let mut t = Trace::new();
+        t.record(1.0, 1, 10.0);
+        t.record(4.0, 2, 5.0);
+        assert_eq!(t.best_at(0.5), None);
+        assert_eq!(t.best_at(1.0), Some(10.0));
+        assert_eq!(t.best_at(3.9), Some(10.0));
+        assert_eq!(t.best_at(100.0), Some(5.0));
+    }
+
+    #[test]
+    fn merge_takes_running_min_across_workers() {
+        let mut a = Trace::new();
+        a.record(1.0, 1, 10.0);
+        a.record(6.0, 2, 3.0);
+        let mut b = Trace::new();
+        b.record(2.0, 1, 7.0);
+        b.record(9.0, 2, 5.0); // worse than a's 3.0 at t=6: dropped
+        let m = Trace::merge([&a, &b]);
+        let costs: Vec<f64> = m.points().iter().map(|p| p.best_cost).collect();
+        assert_eq!(costs, vec![10.0, 7.0, 3.0]);
+        assert_eq!(m.time_to_reach(7.0), Some(2.0));
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let mut base = Trace::new();
+        base.record(10.0, 1, 5.0);
+        let mut par = Trace::new();
+        par.record(2.0, 1, 5.0);
+        assert_eq!(speedup(&base, &par, 5.0), Some(5.0));
+        assert_eq!(speedup(&base, &par, 1.0), None);
+    }
+
+    #[test]
+    fn empty_trace_behaviour() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.best_cost(), None);
+        assert_eq!(t.time_to_reach(0.0), None);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the tabu search engine over randomized QAP
+//! instances and configurations.
+
+use proptest::prelude::*;
+use pts_tabu::aspiration::Aspiration;
+use pts_tabu::qap::Qap;
+use pts_tabu::search::{TabuPolicy, TabuSearch, TabuSearchConfig};
+use pts_tabu::SearchProblem;
+
+fn arb_config() -> impl Strategy<Value = TabuSearchConfig> {
+    (
+        0u64..30,          // tenure
+        1usize..12,        // candidates
+        1usize..5,         // depth
+        10u64..120,        // iterations
+        any::<bool>(),     // early accept
+        any::<bool>(),     // aspiration on/off
+        any::<bool>(),     // tabu policy
+        0u64..10_000,      // seed
+    )
+        .prop_map(
+            |(tenure, candidates, depth, iterations, early, asp, policy, seed)| {
+                TabuSearchConfig {
+                    tenure,
+                    candidates,
+                    depth,
+                    iterations,
+                    aspiration: if asp {
+                        Aspiration::BestCost
+                    } else {
+                        Aspiration::None
+                    },
+                    early_accept: early,
+                    range: None,
+                    tabu_policy: if policy {
+                        TabuPolicy::AnyConstituent
+                    } else {
+                        TabuPolicy::FirstMoveOnly
+                    },
+                    seed,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engine_invariants_hold(cfg in arb_config(), n in 6usize..20, qseed in 0u64..500) {
+        let mut qap = Qap::random(n, qseed);
+        let start = qap.cost();
+        let result = TabuSearch::new(cfg).run(&mut qap);
+
+        // Accounting adds up.
+        prop_assert_eq!(result.stats.iterations, cfg.iterations);
+        prop_assert_eq!(
+            result.stats.accepted + result.stats.rejected_tabu,
+            cfg.iterations
+        );
+        prop_assert!(result.stats.aspirated <= result.stats.accepted);
+
+        // Best never exceeds the start and matches the trace.
+        prop_assert!(result.best_cost <= start + 1e-9);
+        if let Some(trace_best) = result.trace.best_cost() {
+            prop_assert!((trace_best - result.best_cost).abs() < 1e-9);
+        }
+
+        // Trace is strictly improving and time-ordered.
+        for w in result.trace.points().windows(2) {
+            prop_assert!(w[1].best_cost < w[0].best_cost);
+            prop_assert!(w[1].time >= w[0].time);
+            prop_assert!(w[1].iter >= w[0].iter);
+        }
+
+        // The problem ends restored to the best solution.
+        prop_assert!((qap.cost() - result.best_cost).abs() < 1e-6);
+
+        // Aspiration::None means no aspirated acceptances.
+        if cfg.aspiration == Aspiration::None {
+            prop_assert_eq!(result.stats.aspirated, 0);
+        }
+    }
+
+    #[test]
+    fn restricted_range_only_anchors_inside(
+        n in 8usize..20,
+        qseed in 0u64..100,
+        lo_frac in 0.0f64..0.5,
+    ) {
+        let lo = (n as f64 * lo_frac) as usize;
+        let hi = (lo + n / 3).min(n).max(lo + 1);
+        let mut qap = Qap::random(n, qseed);
+        let mut rng = pts_util::Rng::new(qseed ^ 77);
+        for _ in 0..100 {
+            let (a, _) = qap.sample_move(&mut rng, Some((lo, hi)));
+            prop_assert!((lo..hi).contains(&a));
+        }
+    }
+
+    #[test]
+    fn zero_tenure_never_rejects(n in 6usize..14, qseed in 0u64..100) {
+        let cfg = TabuSearchConfig {
+            tenure: 0,
+            iterations: 60,
+            aspiration: Aspiration::None,
+            seed: qseed,
+            ..TabuSearchConfig::default()
+        };
+        let mut qap = Qap::random(n, qseed);
+        let result = TabuSearch::new(cfg).run(&mut qap);
+        prop_assert_eq!(result.stats.rejected_tabu, 0);
+    }
+}

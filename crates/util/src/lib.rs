@@ -1,0 +1,16 @@
+//! Shared utilities for the parallel tabu search reproduction.
+//!
+//! This crate deliberately has no external dependencies: the algorithmic RNG
+//! is implemented here (xoshiro256** seeded via splitmix64) so that every
+//! search run — sequential, threaded, or on the virtual cluster — is exactly
+//! reproducible from a single `u64` seed, independent of platform or external
+//! crate version churn.
+
+pub mod csv;
+pub mod rng;
+pub mod stats;
+pub mod table;
+
+pub use rng::Rng;
+pub use stats::{OnlineStats, Summary};
+pub use table::Table;

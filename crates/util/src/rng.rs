@@ -1,0 +1,295 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Implements xoshiro256** (Blackman & Vigna) seeded through splitmix64.
+//! Both algorithms are public domain. We carry our own implementation so the
+//! search trajectory depends only on the seed, never on the version of an
+//! external RNG crate — a hard requirement for the deterministic virtual
+//! cluster replay tests.
+
+/// splitmix64 step; used to expand a single `u64` seed into xoshiro state.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256** generator.
+///
+/// Not cryptographically secure; statistically solid for simulation and
+/// stochastic search. Streams derived with [`Rng::fork`] are independent for
+/// all practical purposes (distinct splitmix64 expansions).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Create a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// Derive an independent child generator. `salt` distinguishes children
+    /// forked from the same parent state (e.g. one per worker index).
+    pub fn fork(&mut self, salt: u64) -> Self {
+        let base = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Rng::new(base)
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `u32`.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`. `bound` must be nonzero.
+    ///
+    /// Uses Lemire's multiply-shift rejection method: unbiased and fast.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "Rng::below called with bound 0");
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform `usize` index in `[0, bound)`.
+    #[inline]
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    #[inline]
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi);
+        lo + self.index(hi - lo)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    #[inline]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Bernoulli trial with probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Pick a uniformly random element of a non-empty slice.
+    #[inline]
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Sample `k` distinct indices from `[0, n)` (k <= n), in random order.
+    ///
+    /// Uses a partial Fisher–Yates over an index vector; O(n) allocation but
+    /// only O(k) swaps, fine for the sizes used here.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct values from {n}");
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = self.range(i, n);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+
+    /// Draw from a geometric-ish distribution: number of failures before the
+    /// first success with success probability `p` (clamped to at least one
+    /// trial). Used by the netlist generator for fanout tails.
+    pub fn geometric(&mut self, p: f64) -> usize {
+        let p = p.clamp(1e-9, 1.0);
+        let u = self.next_f64().max(f64::MIN_POSITIVE);
+        (u.ln() / (1.0 - p).max(1e-12).ln()).floor() as usize
+    }
+
+    /// Standard normal via Box–Muller (polar rejection variant).
+    pub fn normal(&mut self) -> f64 {
+        loop {
+            let u = 2.0 * self.next_f64() - 1.0;
+            let v = 2.0 * self.next_f64() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "seeds 1 and 2 should produce different streams");
+    }
+
+    #[test]
+    fn below_is_in_bounds_and_covers_small_ranges() {
+        let mut rng = Rng::new(7);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let v = rng.below(5) as usize;
+            assert!(v < 5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn below_one_always_zero() {
+        let mut rng = Rng::new(3);
+        for _ in 0..100 {
+            assert_eq!(rng.below(1), 0);
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Rng::new(11);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_near_half() {
+        let mut rng = Rng::new(13);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.next_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::new(5);
+        let mut v: Vec<usize> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        // With 100 elements the identity permutation is essentially impossible.
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = Rng::new(9);
+        for _ in 0..100 {
+            let k = rng.range(1, 20);
+            let s = rng.sample_indices(50, k);
+            assert_eq!(s.len(), k);
+            let mut dedup = s.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), k, "indices must be distinct");
+            assert!(s.iter().all(|&i| i < 50));
+        }
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = Rng::new(1234);
+        let mut c1 = parent.fork(0);
+        let mut c2 = parent.fork(1);
+        let same = (0..64).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn normal_mean_and_variance() {
+        let mut rng = Rng::new(21);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "normal mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "normal variance {var}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = Rng::new(77);
+        assert!((0..100).all(|_| !rng.chance(0.0)));
+        assert!((0..100).all(|_| rng.chance(1.0)));
+    }
+
+    #[test]
+    fn geometric_small_p_gives_long_runs() {
+        let mut rng = Rng::new(31);
+        let mean: f64 =
+            (0..20_000).map(|_| rng.geometric(0.2) as f64).sum::<f64>() / 20_000.0;
+        // Geometric (failures before success) with p=0.2 has mean (1-p)/p = 4.
+        assert!((mean - 4.0).abs() < 0.25, "geometric mean {mean}");
+    }
+}

@@ -1,0 +1,38 @@
+//! A deterministic virtual-time heterogeneous cluster runtime.
+//!
+//! The paper runs its parallel tabu search with PVM on twelve physical
+//! workstations of three speed classes. This crate substitutes that
+//! testbed with a simulated cluster that reproduces exactly the properties
+//! the experiments measure — *relative* execution speed, background load,
+//! and message latency — while being fully deterministic and runnable
+//! anywhere:
+//!
+//! * every process is an OS thread, but exactly **one runs at a time**; a
+//!   token scheduler advances a global **virtual clock** to the next
+//!   process wake-up in `(time, pid)` order, so runs are exactly
+//!   reproducible,
+//! * CPU work is charged explicitly via [`process::ProcCtx::compute`] in
+//!   abstract *work units*; a machine of speed `s` executes `s` units per
+//!   virtual second, modulated by its background [`machine::LoadModel`],
+//! * messages travel through a [`message::LinkModel`] with latency and
+//!   bandwidth; mailbox delivery order is `(arrival time, send sequence)`,
+//! * per-process [`metrics`] (busy time, message counts) feed the
+//!   experiment harness.
+//!
+//! The paper's twelve-machine cluster (7 fast / 3 medium / 2 slow) is
+//! provided by [`topology::paper_cluster`].
+
+pub mod machine;
+pub mod mailbox;
+pub mod message;
+pub mod metrics;
+pub mod process;
+pub mod runtime;
+pub mod topology;
+
+pub use machine::{LoadModel, Machine};
+pub use message::LinkModel;
+pub use metrics::{ProcStats, RunReport};
+pub use process::{ProcCtx, ProcId};
+pub use runtime::SimBuilder;
+pub use topology::ClusterSpec;

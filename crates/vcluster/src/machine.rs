@@ -1,0 +1,227 @@
+//! Machines: speed classes and background load.
+
+/// Background load on a machine, modeled as a time-varying multiplier on
+/// its effective speed. Deterministic by construction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LoadModel {
+    /// No background load: full speed at all times.
+    None,
+    /// Periodic load: within each `period`, the first `duty` fraction runs
+    /// at `busy_factor` × speed (e.g. 0.5 = half speed), the rest at full
+    /// speed. Models a workstation shared with other users, the paper's
+    /// "load heterogeneity".
+    Periodic {
+        period: f64,
+        duty: f64,
+        busy_factor: f64,
+    },
+}
+
+impl LoadModel {
+    /// Speed multiplier at virtual time `t` (in `(0, 1]`).
+    pub fn factor_at(&self, t: f64) -> f64 {
+        match *self {
+            LoadModel::None => 1.0,
+            LoadModel::Periodic {
+                period,
+                duty,
+                busy_factor,
+            } => {
+                let phase = t.rem_euclid(period);
+                if phase < duty * period {
+                    busy_factor
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+
+    /// Next time *strictly after* `t` at which the factor may change
+    /// (`f64::INFINITY` when constant). The strictness matters: when `t`
+    /// sits exactly on a boundary, rounding in `rem_euclid` could otherwise
+    /// return `t` itself and stall integration loops.
+    pub fn next_boundary(&self, t: f64) -> f64 {
+        match *self {
+            LoadModel::None => f64::INFINITY,
+            LoadModel::Periodic { period, duty, .. } => {
+                let phase = t.rem_euclid(period);
+                let base = t - phase;
+                let switch = duty * period;
+                let candidate = if phase < switch {
+                    base + switch
+                } else {
+                    base + period
+                };
+                if candidate > t {
+                    candidate
+                } else if phase < switch {
+                    // t ≈ base + switch after rounding: next change is the
+                    // end of this period.
+                    base + period
+                } else {
+                    // t ≈ base + period after rounding: next change is the
+                    // following switch point.
+                    base + period + switch
+                }
+            }
+        }
+    }
+}
+
+/// A workstation in the cluster.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Machine {
+    pub name: String,
+    /// Work units per virtual second when unloaded.
+    pub speed: f64,
+    pub load: LoadModel,
+}
+
+impl Machine {
+    pub fn new(name: impl Into<String>, speed: f64) -> Machine {
+        assert!(speed > 0.0, "machine speed must be positive");
+        Machine {
+            name: name.into(),
+            speed,
+            load: LoadModel::None,
+        }
+    }
+
+    pub fn with_load(mut self, load: LoadModel) -> Machine {
+        self.load = load;
+        self
+    }
+
+    /// Virtual time to execute `work` units starting at time `start`
+    /// (integrates across load boundaries).
+    pub fn compute_end(&self, start: f64, work: f64) -> f64 {
+        assert!(work >= 0.0);
+        let mut remaining = work;
+        let mut t = start;
+        let mut guard = 0u32;
+        while remaining > 0.0 {
+            let factor = self.load.factor_at(t);
+            let boundary = self.load.next_boundary(t);
+            let rate = self.speed * factor;
+            if rate <= 0.0 {
+                // Fully stalled until the next boundary.
+                assert!(
+                    boundary.is_finite(),
+                    "machine permanently stalled at zero speed"
+                );
+                t = boundary;
+            } else {
+                let span = boundary - t;
+                let capacity = span * rate;
+                if capacity >= remaining || !boundary.is_finite() {
+                    return t + remaining / rate;
+                }
+                remaining -= capacity;
+                t = boundary;
+            }
+            guard += 1;
+            assert!(guard < 1_000_000, "compute_end failed to converge");
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unloaded_machine_runs_at_speed() {
+        let m = Machine::new("fast", 2.0);
+        assert!((m.compute_end(10.0, 6.0) - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn periodic_factor_shape() {
+        let l = LoadModel::Periodic {
+            period: 10.0,
+            duty: 0.3,
+            busy_factor: 0.5,
+        };
+        assert_eq!(l.factor_at(0.0), 0.5);
+        assert_eq!(l.factor_at(2.9), 0.5);
+        assert_eq!(l.factor_at(3.0), 1.0);
+        assert_eq!(l.factor_at(9.9), 1.0);
+        assert_eq!(l.factor_at(10.0), 0.5); // wraps
+    }
+
+    #[test]
+    fn periodic_boundaries() {
+        let l = LoadModel::Periodic {
+            period: 10.0,
+            duty: 0.3,
+            busy_factor: 0.5,
+        };
+        assert!((l.next_boundary(0.0) - 3.0).abs() < 1e-12);
+        assert!((l.next_boundary(2.0) - 3.0).abs() < 1e-12);
+        assert!((l.next_boundary(3.0) - 10.0).abs() < 1e-12);
+        assert!((l.next_boundary(9.9) - 10.0).abs() < 1e-12);
+        assert_eq!(LoadModel::None.next_boundary(5.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn next_boundary_is_strictly_increasing() {
+        // Awkward duty/period combinations where boundaries land on values
+        // that do not round exactly; walking boundary-to-boundary must
+        // always make progress.
+        for &(period, duty) in &[(5.0, 0.30000000001), (0.7, 0.142857), (3.1, 0.9)] {
+            let l = LoadModel::Periodic {
+                period,
+                duty,
+                busy_factor: 0.5,
+            };
+            let mut t = 0.0;
+            for _ in 0..10_000 {
+                let b = l.next_boundary(t);
+                assert!(b > t, "boundary {b} must be strictly after {t}");
+                t = b;
+            }
+        }
+    }
+
+    #[test]
+    fn loaded_compute_integrates_across_boundaries() {
+        // speed 1, busy half-speed for the first half of each 10s period.
+        let m = Machine::new("shared", 1.0).with_load(LoadModel::Periodic {
+            period: 10.0,
+            duty: 0.5,
+            busy_factor: 0.5,
+        });
+        // Starting at t=0: 5s at 0.5 speed = 2.5 units, then 5s at 1.0 =
+        // 5 units. 6 units total → 2.5 in busy window + 3.5 after = ends at
+        // 5 + 3.5 = 8.5.
+        assert!((m.compute_end(0.0, 6.0) - 8.5).abs() < 1e-9);
+        // Tiny work inside the busy window.
+        assert!((m.compute_end(0.0, 1.0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_across_multiple_periods() {
+        let m = Machine::new("shared", 1.0).with_load(LoadModel::Periodic {
+            period: 2.0,
+            duty: 0.5,
+            busy_factor: 0.5,
+        });
+        // Each 2s period: 0.5 units (busy half) + 1.0 units = 1.5 units.
+        // 4.5 units = exactly 3 periods = 6s.
+        assert!((m.compute_end(0.0, 4.5) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_work_is_instant() {
+        let m = Machine::new("x", 3.0);
+        assert_eq!(m.compute_end(7.0, 0.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_speed() {
+        Machine::new("broken", 0.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Per-process mailboxes ordered by delivery time.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A message annotated with its virtual arrival time and a global send
+/// sequence number (total order tie-breaker ⇒ deterministic delivery).
+#[derive(Clone, Debug)]
+pub struct Envelope<M> {
+    pub deliver_at: f64,
+    pub seq: u64,
+    pub msg: M,
+}
+
+// Orderings compare only (deliver_at, seq); the payload is opaque.
+impl<M> PartialEq for Envelope<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Envelope<M> {}
+impl<M> PartialOrd for Envelope<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Envelope<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .deliver_at
+            .total_cmp(&self.deliver_at)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Delivery-time-ordered mailbox.
+#[derive(Clone, Debug)]
+pub struct Mailbox<M> {
+    heap: BinaryHeap<Envelope<M>>,
+}
+
+impl<M> Default for Mailbox<M> {
+    fn default() -> Self {
+        Mailbox {
+            heap: BinaryHeap::new(),
+        }
+    }
+}
+
+impl<M> Mailbox<M> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, envelope: Envelope<M>) {
+        self.heap.push(envelope);
+    }
+
+    /// Earliest delivery time of any pending message.
+    pub fn earliest(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.deliver_at)
+    }
+
+    /// Pop the earliest message if it has arrived by time `now`.
+    pub fn pop_ready(&mut self, now: f64) -> Option<Envelope<M>> {
+        if self.earliest().is_some_and(|t| t <= now + 1e-12) {
+            self.heap.pop()
+        } else {
+            None
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(t: f64, seq: u64, msg: u32) -> Envelope<u32> {
+        Envelope {
+            deliver_at: t,
+            seq,
+            msg,
+        }
+    }
+
+    #[test]
+    fn pops_in_delivery_order() {
+        let mut mb = Mailbox::new();
+        mb.push(env(3.0, 1, 30));
+        mb.push(env(1.0, 2, 10));
+        mb.push(env(2.0, 3, 20));
+        assert_eq!(mb.pop_ready(10.0).unwrap().msg, 10);
+        assert_eq!(mb.pop_ready(10.0).unwrap().msg, 20);
+        assert_eq!(mb.pop_ready(10.0).unwrap().msg, 30);
+        assert!(mb.pop_ready(10.0).is_none());
+    }
+
+    #[test]
+    fn sequence_breaks_time_ties() {
+        let mut mb = Mailbox::new();
+        mb.push(env(1.0, 7, 77));
+        mb.push(env(1.0, 3, 33));
+        assert_eq!(mb.pop_ready(1.0).unwrap().msg, 33);
+        assert_eq!(mb.pop_ready(1.0).unwrap().msg, 77);
+    }
+
+    #[test]
+    fn not_ready_before_delivery_time() {
+        let mut mb = Mailbox::new();
+        mb.push(env(5.0, 1, 1));
+        assert!(mb.pop_ready(4.9).is_none());
+        assert_eq!(mb.earliest(), Some(5.0));
+        assert!(mb.pop_ready(5.0).is_some());
+    }
+
+    #[test]
+    fn len_tracks() {
+        let mut mb: Mailbox<u32> = Mailbox::new();
+        assert!(mb.is_empty());
+        mb.push(env(1.0, 1, 1));
+        assert_eq!(mb.len(), 1);
+    }
+}

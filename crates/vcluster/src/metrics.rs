@@ -1,0 +1,84 @@
+//! Execution metrics collected by the runtime.
+
+/// Per-process counters (virtual-time accounting).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ProcStats {
+    /// Machine index the process ran on.
+    pub machine: usize,
+    /// Virtual seconds spent in `compute` (including load stalls).
+    pub busy_time: f64,
+    /// Virtual seconds spent blocked in `recv`.
+    pub wait_time: f64,
+    /// Total work units charged.
+    pub work_done: f64,
+    pub messages_sent: u64,
+    pub messages_received: u64,
+    pub bytes_sent: u64,
+    /// Virtual time when the process finished.
+    pub finished_at: f64,
+}
+
+/// Whole-run report.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Virtual time when the last process finished.
+    pub end_time: f64,
+    pub per_proc: Vec<ProcStats>,
+}
+
+impl RunReport {
+    pub fn total_messages(&self) -> u64 {
+        self.per_proc.iter().map(|p| p.messages_sent).sum()
+    }
+
+    pub fn total_work(&self) -> f64 {
+        self.per_proc.iter().map(|p| p.work_done).sum()
+    }
+
+    /// Fraction of total virtual process-time spent computing (vs waiting).
+    pub fn utilization(&self) -> f64 {
+        let busy: f64 = self.per_proc.iter().map(|p| p.busy_time).sum();
+        let wait: f64 = self.per_proc.iter().map(|p| p.wait_time).sum();
+        if busy + wait == 0.0 {
+            0.0
+        } else {
+            busy / (busy + wait)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates() {
+        let report = RunReport {
+            end_time: 10.0,
+            per_proc: vec![
+                ProcStats {
+                    busy_time: 6.0,
+                    wait_time: 2.0,
+                    messages_sent: 3,
+                    work_done: 6.0,
+                    ..ProcStats::default()
+                },
+                ProcStats {
+                    busy_time: 2.0,
+                    wait_time: 6.0,
+                    messages_sent: 1,
+                    work_done: 2.0,
+                    ..ProcStats::default()
+                },
+            ],
+        };
+        assert_eq!(report.total_messages(), 4);
+        assert!((report.total_work() - 8.0).abs() < 1e-12);
+        assert!((report.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_utilization_zero() {
+        assert_eq!(RunReport::default().utilization(), 0.0);
+    }
+}

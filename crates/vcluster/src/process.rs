@@ -1,0 +1,90 @@
+//! The process-side API: what code running *inside* the simulated cluster
+//! can do.
+
+use crate::runtime::Shared;
+use std::sync::Arc;
+
+/// Identifier of a simulated process (spawn order).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(pub usize);
+
+impl ProcId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for ProcId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Handle through which a simulated process interacts with the cluster.
+///
+/// All virtual time flows through these calls: plain Rust code between them
+/// executes at *zero* virtual cost, so CPU-intensive work must be accounted
+/// for explicitly with [`ProcCtx::compute`].
+pub struct ProcCtx<M: Send + 'static> {
+    pub(crate) id: usize,
+    pub(crate) shared: Arc<Shared<M>>,
+}
+
+impl<M: Send + 'static> ProcCtx<M> {
+    /// This process's id.
+    #[inline]
+    pub fn id(&self) -> ProcId {
+        ProcId(self.id)
+    }
+
+    /// Number of processes in the simulation.
+    pub fn num_procs(&self) -> usize {
+        self.shared.num_procs()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> f64 {
+        self.shared.now()
+    }
+
+    /// Charge `work` units of CPU; virtual time advances by
+    /// `work / effective_speed` of this process's machine (integrating
+    /// background load).
+    pub fn compute(&self, work: f64) {
+        self.shared.compute(self.id, work);
+    }
+
+    /// Sleep for `dt` virtual seconds.
+    pub fn sleep(&self, dt: f64) {
+        self.shared.sleep(self.id, dt);
+    }
+
+    /// Send a message of the default size (1 KiB) to another process.
+    pub fn send(&self, dst: ProcId, msg: M) {
+        self.send_sized(dst, msg, 1024);
+    }
+
+    /// Send a message of `bytes` size; delivery time follows the cluster's
+    /// link model.
+    pub fn send_sized(&self, dst: ProcId, msg: M, bytes: u64) {
+        self.shared.send(self.id, dst.0, msg, bytes);
+    }
+
+    /// Block until the next message arrives (earliest delivery time first,
+    /// send order breaking ties).
+    pub fn recv(&self) -> M {
+        self.shared.recv(self.id)
+    }
+
+    /// Take a message if one has already arrived; never blocks and never
+    /// advances time.
+    pub fn try_recv(&self) -> Option<M> {
+        self.shared.try_recv(self.id)
+    }
+
+    /// Machine index this process runs on.
+    pub fn machine(&self) -> usize {
+        self.shared.machine_of(self.id)
+    }
+}

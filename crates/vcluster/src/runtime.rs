@@ -1,0 +1,675 @@
+//! The token scheduler: deterministic virtual-time execution.
+//!
+//! Every simulated process runs on its own OS thread, but a single *token*
+//! (the `current` field) admits exactly one at a time. When the running
+//! process blocks (compute/sleep/recv), it computes its wake-up time,
+//! hands the token to the ready process with the smallest `(wake, pid)`,
+//! and parks on a condvar. The global clock jumps to the chosen process's
+//! wake-up. Because every scheduling decision is a deterministic function
+//! of virtual times and pids — never of OS scheduling — identical inputs
+//! replay identical executions, which the determinism tests assert.
+
+use crate::machine::Machine;
+use crate::mailbox::{Envelope, Mailbox};
+use crate::metrics::{ProcStats, RunReport};
+use crate::process::{ProcCtx, ProcId};
+use crate::topology::ClusterSpec;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Status {
+    /// Will be runnable at the given virtual time.
+    Ready(f64),
+    /// Currently holds the token.
+    Running,
+    /// Blocked in `recv` with an empty mailbox.
+    BlockedRecv,
+    Dead,
+}
+
+struct ProcState<M> {
+    status: Status,
+    machine: usize,
+    mailbox: Mailbox<M>,
+    stats: ProcStats,
+}
+
+struct SimState<M> {
+    now: f64,
+    current: Option<usize>,
+    procs: Vec<ProcState<M>>,
+    send_seq: u64,
+    /// Last delivery time per (src, dst) pair: enforces FIFO channels (a
+    /// small message never overtakes a large one on the same route), as
+    /// PVM/TCP guarantee.
+    pair_last: std::collections::HashMap<(usize, usize), f64>,
+    poisoned: Option<String>,
+}
+
+/// Shared scheduler state (one per simulation).
+pub struct Shared<M> {
+    state: Mutex<SimState<M>>,
+    cv: Condvar,
+    cluster: ClusterSpec,
+}
+
+impl<M: Send + 'static> Shared<M> {
+    pub(crate) fn num_procs(&self) -> usize {
+        self.state.lock().procs.len()
+    }
+
+    pub(crate) fn now(&self) -> f64 {
+        self.state.lock().now
+    }
+
+    pub(crate) fn machine_of(&self, id: usize) -> usize {
+        self.state.lock().procs[id].machine
+    }
+
+    fn machine(&self, idx: usize) -> &Machine {
+        &self.cluster.machines[idx]
+    }
+
+    /// Pick the next process to run and move the clock. Caller holds the
+    /// lock and has already parked the current process's status.
+    fn schedule_next(&self, state: &mut SimState<M>) {
+        let mut best: Option<(f64, usize)> = None;
+        let mut any_alive = false;
+        for (id, p) in state.procs.iter().enumerate() {
+            match p.status {
+                Status::Ready(wake) => {
+                    if best.is_none_or(|(bw, bid)| (wake, id) < (bw, bid)) {
+                        best = Some((wake, id));
+                    }
+                    any_alive = true;
+                }
+                Status::BlockedRecv => any_alive = true,
+                Status::Running => {
+                    unreachable!("scheduler invoked while a process still runs")
+                }
+                Status::Dead => {}
+            }
+        }
+        match best {
+            Some((wake, id)) => {
+                state.now = state.now.max(wake);
+                state.procs[id].status = Status::Running;
+                state.current = Some(id);
+            }
+            None if !any_alive => {
+                state.current = None;
+            }
+            None => {
+                let stuck: Vec<usize> = state
+                    .procs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.status == Status::BlockedRecv)
+                    .map(|(i, _)| i)
+                    .collect();
+                state.poisoned = Some(format!(
+                    "deadlock at t={}: processes {stuck:?} blocked in recv with no pending messages",
+                    state.now
+                ));
+            }
+        }
+    }
+
+    /// Park the calling process (status already set by the caller), hand
+    /// the token over, and wait for it to come back.
+    fn yield_and_wait(&self, state: &mut parking_lot::MutexGuard<'_, SimState<M>>, id: usize) {
+        self.schedule_next(state);
+        self.cv.notify_all();
+        loop {
+            if let Some(msg) = &state.poisoned {
+                let msg = msg.clone();
+                // Wake everyone so all threads observe the poison.
+                self.cv.notify_all();
+                panic!("virtual cluster poisoned: {msg}");
+            }
+            if state.current == Some(id) {
+                break;
+            }
+            self.cv.wait(state);
+        }
+    }
+
+    /// Wait for the very first turn (process start).
+    fn wait_initial(&self, id: usize) {
+        let mut state = self.state.lock();
+        loop {
+            if let Some(msg) = &state.poisoned {
+                let msg = msg.clone();
+                self.cv.notify_all();
+                panic!("virtual cluster poisoned: {msg}");
+            }
+            if state.current == Some(id) {
+                break;
+            }
+            self.cv.wait(&mut state);
+        }
+    }
+
+    pub(crate) fn compute(&self, id: usize, work: f64) {
+        assert!(work >= 0.0, "work must be non-negative");
+        let mut state = self.state.lock();
+        let now = state.now;
+        let machine_idx = state.procs[id].machine;
+        let end = self.machine(machine_idx).compute_end(now, work);
+        {
+            let p = &mut state.procs[id];
+            p.stats.busy_time += end - now;
+            p.stats.work_done += work;
+            p.status = Status::Ready(end);
+        }
+        self.yield_and_wait(&mut state, id);
+    }
+
+    pub(crate) fn sleep(&self, id: usize, dt: f64) {
+        assert!(dt >= 0.0);
+        let mut state = self.state.lock();
+        let wake = state.now + dt;
+        state.procs[id].status = Status::Ready(wake);
+        self.yield_and_wait(&mut state, id);
+    }
+
+    pub(crate) fn send(&self, src: usize, dst: usize, msg: M, bytes: u64) {
+        let overhead = self.cluster.link.send_overhead_work;
+        let mut state = self.state.lock();
+        assert!(dst < state.procs.len(), "send to unknown process p{dst}");
+        let src_machine = state.procs[src].machine;
+        let dst_machine = state.procs[dst].machine;
+        let mut deliver_at = state.now
+            + self
+                .cluster
+                .link
+                .transfer_time(src_machine, dst_machine, bytes);
+        // FIFO per route: never deliver before an earlier send on the same
+        // (src, dst) pair.
+        let last = state.pair_last.entry((src, dst)).or_insert(0.0);
+        deliver_at = deliver_at.max(*last);
+        *last = deliver_at;
+        state.send_seq += 1;
+        let seq = state.send_seq;
+        {
+            let sp = &mut state.procs[src];
+            sp.stats.messages_sent += 1;
+            sp.stats.bytes_sent += bytes;
+        }
+        let dp = &mut state.procs[dst];
+        if dp.status == Status::Dead {
+            // Message to a finished process is dropped (PVM semantics:
+            // undeliverable).
+            return;
+        }
+        dp.mailbox.push(Envelope {
+            deliver_at,
+            seq,
+            msg,
+        });
+        if dp.status == Status::BlockedRecv {
+            dp.status = Status::Ready(deliver_at);
+        }
+        drop(state);
+        // Charge marshalling cost to the sender, if configured.
+        if overhead > 0.0 {
+            self.compute(src, overhead);
+        }
+    }
+
+    pub(crate) fn recv(&self, id: usize) -> M {
+        let mut state = self.state.lock();
+        loop {
+            let now = state.now;
+            if let Some(env) = state.procs[id].mailbox.pop_ready(now) {
+                state.procs[id].stats.messages_received += 1;
+                return env.msg;
+            }
+            let blocked_from = state.now;
+            state.procs[id].status = match state.procs[id].mailbox.earliest() {
+                Some(t) => Status::Ready(t),
+                None => Status::BlockedRecv,
+            };
+            self.yield_and_wait(&mut state, id);
+            let waited = state.now - blocked_from;
+            state.procs[id].stats.wait_time += waited;
+        }
+    }
+
+    pub(crate) fn try_recv(&self, id: usize) -> Option<M> {
+        let mut state = self.state.lock();
+        let now = state.now;
+        let env = state.procs[id].mailbox.pop_ready(now)?;
+        state.procs[id].stats.messages_received += 1;
+        Some(env.msg)
+    }
+
+    /// Mark a process dead and pass the token on. Runs from the process's
+    /// thread on exit (normal or panic).
+    fn retire(&self, id: usize, panicked: bool) {
+        let mut state = self.state.lock();
+        state.procs[id].status = Status::Dead;
+        state.procs[id].stats.finished_at = state.now;
+        if panicked && state.poisoned.is_none() {
+            state.poisoned = Some(format!("process p{id} panicked"));
+        }
+        if state.current == Some(id) {
+            state.current = None;
+            if state.poisoned.is_none() {
+                self.schedule_next(&mut state);
+            }
+        }
+        self.cv.notify_all();
+    }
+}
+
+type ProcBody<M> = Box<dyn FnOnce(ProcCtx<M>) + Send + 'static>;
+
+/// Builder: declare the cluster, spawn processes, run to completion.
+pub struct SimBuilder<M: Send + 'static> {
+    cluster: ClusterSpec,
+    bodies: Vec<(usize, ProcBody<M>)>,
+}
+
+impl<M: Send + 'static> SimBuilder<M> {
+    pub fn new(cluster: ClusterSpec) -> SimBuilder<M> {
+        SimBuilder {
+            cluster,
+            bodies: Vec::new(),
+        }
+    }
+
+    /// Register a process on the given machine; returns its [`ProcId`]
+    /// (spawn order).
+    pub fn spawn(
+        &mut self,
+        machine: usize,
+        f: impl FnOnce(ProcCtx<M>) + Send + 'static,
+    ) -> ProcId {
+        assert!(
+            machine < self.cluster.num_machines(),
+            "machine index {machine} out of range"
+        );
+        let id = ProcId(self.bodies.len());
+        self.bodies.push((machine, Box::new(f)));
+        id
+    }
+
+    /// Number of processes registered so far.
+    pub fn num_spawned(&self) -> usize {
+        self.bodies.len()
+    }
+
+    /// Run the simulation to completion and report metrics.
+    ///
+    /// Panics (propagating the original message) if any process panicked
+    /// or the system deadlocked.
+    pub fn run(self) -> RunReport {
+        assert!(!self.bodies.is_empty(), "no processes spawned");
+        let procs: Vec<ProcState<M>> = self
+            .bodies
+            .iter()
+            .map(|&(machine, _)| ProcState {
+                status: Status::Ready(0.0),
+                machine,
+                mailbox: Mailbox::new(),
+                stats: ProcStats {
+                    machine,
+                    ..ProcStats::default()
+                },
+            })
+            .collect();
+        let shared = Arc::new(Shared {
+            state: Mutex::new(SimState {
+                now: 0.0,
+                current: None,
+                procs,
+                send_seq: 0,
+                pair_last: std::collections::HashMap::new(),
+                poisoned: None,
+            }),
+            cv: Condvar::new(),
+            cluster: self.cluster,
+        });
+
+        let handles: Vec<_> = self
+            .bodies
+            .into_iter()
+            .enumerate()
+            .map(|(id, (_machine, body))| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sim-p{id}"))
+                    .spawn(move || {
+                        struct Retire<M: Send + 'static> {
+                            shared: Arc<Shared<M>>,
+                            id: usize,
+                            done: bool,
+                        }
+                        impl<M: Send + 'static> Drop for Retire<M> {
+                            fn drop(&mut self) {
+                                self.shared.retire(self.id, !self.done);
+                            }
+                        }
+                        let mut guard = Retire {
+                            shared: Arc::clone(&shared),
+                            id,
+                            done: false,
+                        };
+                        shared.wait_initial(id);
+                        let ctx = ProcCtx { id, shared };
+                        body(ctx);
+                        guard.done = true;
+                    })
+                    .expect("spawn simulation thread")
+            })
+            .collect();
+
+        // Hand the token to the first process.
+        {
+            let mut state = shared.state.lock();
+            shared.schedule_next(&mut state);
+            shared.cv.notify_all();
+        }
+
+        let mut panic_payload = None;
+        for h in handles {
+            if let Err(e) = h.join() {
+                panic_payload.get_or_insert(e);
+            }
+        }
+        if let Some(p) = panic_payload {
+            std::panic::resume_unwind(p);
+        }
+
+        let state = shared.state.lock();
+        RunReport {
+            end_time: state
+                .procs
+                .iter()
+                .map(|p| p.stats.finished_at)
+                .fold(0.0, f64::max),
+            per_proc: state.procs.iter().map(|p| p.stats.clone()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{LoadModel, Machine};
+    use crate::message::LinkModel;
+    use crate::topology::{homogeneous, ClusterSpec};
+    use std::sync::Mutex as StdMutex;
+
+    fn two_machines(speed_b: f64) -> ClusterSpec {
+        ClusterSpec::new(
+            vec![Machine::new("a", 1.0), Machine::new("b", speed_b)],
+            LinkModel {
+                latency: 0.5,
+                local_latency: 0.01,
+                bytes_per_sec: 1e9,
+                send_overhead_work: 0.0,
+            },
+        )
+    }
+
+    #[test]
+    fn compute_advances_virtual_time_by_speed() {
+        let mut sim: SimBuilder<()> = SimBuilder::new(two_machines(0.5));
+        let t_fast = Arc::new(StdMutex::new(0.0));
+        let t_slow = Arc::new(StdMutex::new(0.0));
+        let (tf, ts) = (Arc::clone(&t_fast), Arc::clone(&t_slow));
+        sim.spawn(0, move |ctx| {
+            ctx.compute(10.0);
+            *tf.lock().unwrap() = ctx.now();
+        });
+        sim.spawn(1, move |ctx| {
+            ctx.compute(10.0);
+            *ts.lock().unwrap() = ctx.now();
+        });
+        let report = sim.run();
+        assert!((*t_fast.lock().unwrap() - 10.0).abs() < 1e-9);
+        assert!((*t_slow.lock().unwrap() - 20.0).abs() < 1e-9);
+        assert!((report.end_time - 20.0).abs() < 1e-9);
+        assert!((report.per_proc[0].busy_time - 10.0).abs() < 1e-9);
+        assert!((report.per_proc[1].busy_time - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn messages_arrive_after_latency() {
+        let mut sim: SimBuilder<f64> = SimBuilder::new(two_machines(1.0));
+        let arrival = Arc::new(StdMutex::new((0.0, 0.0)));
+        let arr = Arc::clone(&arrival);
+        let receiver = sim.spawn(1, move |ctx| {
+            let sent_at = ctx.recv();
+            *arr.lock().unwrap() = (sent_at, ctx.now());
+        });
+        sim.spawn(0, move |ctx| {
+            ctx.compute(2.0);
+            ctx.send_sized(receiver, ctx.now(), 0);
+        });
+        sim.run();
+        let (sent_at, received_at) = *arrival.lock().unwrap();
+        assert!((sent_at - 2.0).abs() < 1e-9);
+        assert!((received_at - 2.5).abs() < 1e-9, "latency 0.5 applies");
+    }
+
+    #[test]
+    fn recv_accounts_wait_time() {
+        let mut sim: SimBuilder<u32> = SimBuilder::new(two_machines(1.0));
+        let rx = sim.spawn(0, move |ctx| {
+            let _ = ctx.recv();
+        });
+        sim.spawn(1, move |ctx| {
+            ctx.compute(4.0);
+            ctx.send_sized(rx, 1, 0);
+        });
+        let report = sim.run();
+        assert!(
+            (report.per_proc[0].wait_time - 4.5).abs() < 1e-9,
+            "receiver waits from t=0 to t=4.5, got {}",
+            report.per_proc[0].wait_time
+        );
+        assert_eq!(report.per_proc[0].messages_received, 1);
+        assert_eq!(report.per_proc[1].messages_sent, 1);
+    }
+
+    #[test]
+    fn fifo_between_same_pair() {
+        let mut sim: SimBuilder<u32> = SimBuilder::new(homogeneous(2));
+        let order = Arc::new(StdMutex::new(Vec::new()));
+        let o = Arc::clone(&order);
+        let rx = sim.spawn(0, move |ctx| {
+            for _ in 0..3 {
+                o.lock().unwrap().push(ctx.recv());
+            }
+        });
+        sim.spawn(1, move |ctx| {
+            for i in 0..3 {
+                ctx.send_sized(rx, i, 64);
+            }
+        });
+        sim.run();
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        fn run_once() -> Vec<(u64, u64)> {
+            // Three workers ping a master in a deterministic pattern; log
+            // (worker, value at master).
+            let log = Arc::new(StdMutex::new(Vec::new()));
+            let mut sim: SimBuilder<(u64, u64)> = SimBuilder::new(homogeneous(4));
+            let l = Arc::clone(&log);
+            let master = sim.spawn(0, move |ctx| {
+                for _ in 0..9 {
+                    l.lock().unwrap().push(ctx.recv());
+                }
+            });
+            for w in 0..3u64 {
+                sim.spawn(1 + w as usize, move |ctx| {
+                    for i in 0..3u64 {
+                        ctx.compute(1.0 + w as f64 * 0.3 + i as f64);
+                        ctx.send(master, (w, i));
+                    }
+                });
+            }
+            sim.run();
+            let result = log.lock().unwrap().clone();
+            result
+        }
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a, b, "same inputs must replay identically");
+        assert_eq!(a.len(), 9);
+    }
+
+    #[test]
+    fn try_recv_never_blocks() {
+        let mut sim: SimBuilder<u32> = SimBuilder::new(homogeneous(2));
+        let got = Arc::new(StdMutex::new((None, None)));
+        let g = Arc::clone(&got);
+        let rx = sim.spawn(0, move |ctx| {
+            let early = ctx.try_recv(); // nothing yet
+            ctx.sleep(10.0);
+            let late = ctx.try_recv(); // message arrived meanwhile
+            *g.lock().unwrap() = (early, late);
+        });
+        sim.spawn(1, move |ctx| {
+            ctx.compute(1.0);
+            ctx.send_sized(rx, 7, 0);
+        });
+        sim.run();
+        let (early, late) = *got.lock().unwrap();
+        assert_eq!(early, None);
+        assert_eq!(late, Some(7));
+    }
+
+    #[test]
+    fn loaded_machine_is_slower() {
+        let cluster = ClusterSpec::new(
+            vec![
+                Machine::new("free", 1.0),
+                Machine::new("busy", 1.0).with_load(LoadModel::Periodic {
+                    period: 4.0,
+                    duty: 0.5,
+                    busy_factor: 0.25,
+                }),
+            ],
+            LinkModel::default(),
+        );
+        let mut sim: SimBuilder<()> = SimBuilder::new(cluster);
+        let times = Arc::new(StdMutex::new((0.0, 0.0)));
+        let (ta, tb) = (Arc::clone(&times), Arc::clone(&times));
+        sim.spawn(0, move |ctx| {
+            ctx.compute(8.0);
+            ta.lock().unwrap().0 = ctx.now();
+        });
+        sim.spawn(1, move |ctx| {
+            ctx.compute(8.0);
+            tb.lock().unwrap().1 = ctx.now();
+        });
+        sim.run();
+        let (free, busy) = *times.lock().unwrap();
+        assert!((free - 8.0).abs() < 1e-9);
+        assert!(busy > free + 1.0, "load must slow the busy machine");
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_is_detected() {
+        let mut sim: SimBuilder<u32> = SimBuilder::new(homogeneous(2));
+        sim.spawn(0, |ctx| {
+            let _ = ctx.recv(); // nobody will ever send
+        });
+        sim.spawn(1, |ctx| {
+            ctx.compute(1.0);
+        });
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn process_panic_propagates() {
+        let mut sim: SimBuilder<u32> = SimBuilder::new(homogeneous(2));
+        sim.spawn(0, |ctx| {
+            ctx.compute(1.0);
+            panic!("boom");
+        });
+        sim.spawn(1, |ctx| {
+            ctx.compute(0.5);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn send_to_dead_process_is_dropped() {
+        let mut sim: SimBuilder<u32> = SimBuilder::new(homogeneous(2));
+        let early = sim.spawn(0, |ctx| {
+            ctx.compute(0.1); // dies immediately after
+        });
+        sim.spawn(1, move |ctx| {
+            ctx.compute(5.0);
+            ctx.send(early, 1); // receiver long dead
+            ctx.compute(1.0);
+        });
+        let report = sim.run();
+        assert_eq!(report.per_proc[0].messages_received, 0);
+    }
+
+    #[test]
+    fn sleep_advances_time_without_busy_accounting() {
+        let mut sim: SimBuilder<()> = SimBuilder::new(homogeneous(1));
+        sim.spawn(0, |ctx| {
+            ctx.sleep(3.0);
+            assert!((ctx.now() - 3.0).abs() < 1e-12);
+        });
+        let report = sim.run();
+        assert_eq!(report.per_proc[0].busy_time, 0.0);
+        assert!((report.end_time - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fifo_holds_when_small_message_follows_large() {
+        // A 1 MB message takes ~1 s on the default link; a 0-byte message
+        // sent right after must NOT overtake it.
+        let mut sim: SimBuilder<u32> = SimBuilder::new(homogeneous(2));
+        let order = Arc::new(StdMutex::new(Vec::new()));
+        let o = Arc::clone(&order);
+        let rx = sim.spawn(0, move |ctx| {
+            o.lock().unwrap().push(ctx.recv());
+            o.lock().unwrap().push(ctx.recv());
+        });
+        sim.spawn(1, move |ctx| {
+            ctx.send_sized(rx, 1, 1_000_000); // slow
+            ctx.send_sized(rx, 2, 0); // fast, but must queue behind
+        });
+        sim.run();
+        assert_eq!(*order.lock().unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn send_overhead_charges_sender() {
+        let cluster = ClusterSpec::new(
+            vec![Machine::new("a", 1.0), Machine::new("b", 1.0)],
+            LinkModel {
+                latency: 0.0,
+                local_latency: 0.0,
+                bytes_per_sec: 1e12,
+                send_overhead_work: 2.0,
+            },
+        );
+        let mut sim: SimBuilder<u32> = SimBuilder::new(cluster);
+        let rx = sim.spawn(0, |ctx| {
+            let _ = ctx.recv();
+        });
+        sim.spawn(1, move |ctx| {
+            ctx.send(rx, 1);
+            assert!((ctx.now() - 2.0).abs() < 1e-9, "marshalling cost charged");
+        });
+        let report = sim.run();
+        assert!((report.per_proc[1].busy_time - 2.0).abs() < 1e-9);
+    }
+}

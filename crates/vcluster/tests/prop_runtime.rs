@@ -1,0 +1,167 @@
+//! Property tests for the virtual-time runtime: determinism, clock
+//! monotonicity, message conservation, and FIFO ordering over randomized
+//! process/topology structures.
+
+use proptest::prelude::*;
+use pts_vcluster::machine::{LoadModel, Machine};
+use pts_vcluster::message::LinkModel;
+use pts_vcluster::topology::ClusterSpec;
+use pts_vcluster::SimBuilder;
+use std::sync::{Arc, Mutex};
+
+/// A randomized star workload: `n_workers` send `msgs_each` messages to a
+/// collector after per-message compute bursts.
+#[derive(Clone, Debug)]
+struct StarSpec {
+    speeds: Vec<f64>,
+    msgs_each: usize,
+    bursts: Vec<f64>,
+    latency: f64,
+}
+
+fn arb_star() -> impl Strategy<Value = StarSpec> {
+    (
+        proptest::collection::vec(0.2f64..2.0, 1..6),
+        1usize..6,
+        proptest::collection::vec(0.1f64..3.0, 1..6),
+        0.0f64..0.01,
+    )
+        .prop_map(|(speeds, msgs_each, bursts, latency)| StarSpec {
+            speeds,
+            msgs_each,
+            bursts,
+            latency,
+        })
+}
+
+/// Run the star workload; return the collector's observation log
+/// `(worker, msg_index, virtual_time)` and the run report end time.
+fn run_star(spec: &StarSpec) -> (Vec<(u64, u64, f64)>, f64) {
+    let machines: Vec<Machine> = std::iter::once(Machine::new("hub", 1.0))
+        .chain(
+            spec.speeds
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| Machine::new(format!("w{i}"), s)),
+        )
+        .collect();
+    let cluster = ClusterSpec::new(
+        machines,
+        LinkModel {
+            latency: spec.latency,
+            local_latency: spec.latency / 2.0,
+            bytes_per_sec: 1e9,
+            send_overhead_work: 0.0,
+        },
+    );
+    let n_workers = spec.speeds.len();
+    let total = n_workers * spec.msgs_each;
+    let log: Arc<Mutex<Vec<(u64, u64, f64)>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let mut sim: SimBuilder<(u64, u64)> = SimBuilder::new(cluster);
+    let l = Arc::clone(&log);
+    let hub = sim.spawn(0, move |ctx| {
+        for _ in 0..total {
+            let (w, i) = ctx.recv();
+            l.lock().unwrap().push((w, i, ctx.now()));
+        }
+    });
+    for w in 0..n_workers {
+        let bursts = spec.bursts.clone();
+        let msgs = spec.msgs_each;
+        sim.spawn(1 + w, move |ctx| {
+            for i in 0..msgs {
+                ctx.compute(bursts[i % bursts.len()]);
+                ctx.send_sized(hub, (w as u64, i as u64), 64);
+            }
+        });
+    }
+    let report = sim.run();
+    let out = log.lock().unwrap().clone();
+    (out, report.end_time)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn replay_is_bit_identical(spec in arb_star()) {
+        let (log_a, end_a) = run_star(&spec);
+        let (log_b, end_b) = run_star(&spec);
+        prop_assert_eq!(log_a, log_b);
+        prop_assert_eq!(end_a, end_b);
+    }
+
+    #[test]
+    fn collector_times_are_monotone(spec in arb_star()) {
+        let (log, end) = run_star(&spec);
+        for w in log.windows(2) {
+            prop_assert!(w[1].2 >= w[0].2, "receive times must be non-decreasing");
+        }
+        if let Some(last) = log.last() {
+            prop_assert!(end >= last.2, "run ends after the last receive");
+        }
+    }
+
+    #[test]
+    fn all_messages_delivered_exactly_once(spec in arb_star()) {
+        let (log, _) = run_star(&spec);
+        prop_assert_eq!(log.len(), spec.speeds.len() * spec.msgs_each);
+        let mut seen = std::collections::HashSet::new();
+        for &(w, i, _) in &log {
+            prop_assert!(seen.insert((w, i)), "duplicate delivery of ({w},{i})");
+        }
+    }
+
+    #[test]
+    fn per_worker_fifo_holds(spec in arb_star()) {
+        let (log, _) = run_star(&spec);
+        let mut last_index: std::collections::HashMap<u64, u64> = Default::default();
+        for &(w, i, _) in &log {
+            if let Some(&prev) = last_index.get(&w) {
+                prop_assert!(i > prev, "messages from worker {w} must arrive in order");
+            }
+            last_index.insert(w, i);
+        }
+    }
+
+    #[test]
+    fn slower_machines_finish_later(speed in 0.1f64..0.9) {
+        // Two identical workloads, machine 1 runs at `speed` < 1.0.
+        let cluster = ClusterSpec::new(
+            vec![Machine::new("fast", 1.0), Machine::new("slow", speed)],
+            LinkModel::default(),
+        );
+        let finish: Arc<Mutex<[f64; 2]>> = Arc::new(Mutex::new([0.0; 2]));
+        let mut sim: SimBuilder<()> = SimBuilder::new(cluster);
+        for m in 0..2 {
+            let f = Arc::clone(&finish);
+            sim.spawn(m, move |ctx| {
+                ctx.compute(10.0);
+                f.lock().unwrap()[m] = ctx.now();
+            });
+        }
+        sim.run();
+        let [fast, slow] = *finish.lock().unwrap();
+        prop_assert!((fast - 10.0).abs() < 1e-9);
+        prop_assert!((slow - 10.0 / speed).abs() < 1e-6);
+    }
+
+    #[test]
+    fn load_never_accelerates(duty in 0.1f64..0.9, busy in 0.1f64..0.9) {
+        let m_free = Machine::new("free", 1.0);
+        let m_loaded = Machine::new("loaded", 1.0).with_load(LoadModel::Periodic {
+            period: 5.0,
+            duty,
+            busy_factor: busy,
+        });
+        for work in [0.5, 3.0, 12.0, 50.0] {
+            let t_free = m_free.compute_end(0.0, work);
+            let t_loaded = m_loaded.compute_end(0.0, work);
+            prop_assert!(
+                t_loaded >= t_free - 1e-9,
+                "background load cannot speed a machine up"
+            );
+        }
+    }
+}

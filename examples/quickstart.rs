@@ -1,0 +1,48 @@
+//! Quickstart: run parallel tabu search on the paper's smallest circuit
+//! and print what happened.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use parallel_tabu_search::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // The paper's smallest ISCAS-89-style benchmark: 56 cells.
+    let netlist = Arc::new(parallel_tabu_search::netlist::highway());
+    println!(
+        "circuit: {} ({} cells, {} nets)",
+        netlist.name,
+        netlist.num_cells(),
+        netlist.num_nets()
+    );
+
+    // 4 tabu search workers, 2 candidate-list workers each — the paper's
+    // two-level parallelization — on the simulated 12-machine cluster.
+    let cfg = PtsConfig {
+        n_tsw: 4,
+        n_clw: 2,
+        global_iters: 6,
+        local_iters: 15,
+        ..PtsConfig::default()
+    };
+    let out = run_pts(&cfg, netlist, Engine::Sim(paper_cluster()));
+    let o = &out.outcome;
+
+    println!("initial cost : {:.4}", o.initial_cost);
+    println!("best cost    : {:.4}", o.best_cost);
+    println!(
+        "objectives   : wire={:.1}  delay={:.2}  area={:.0}",
+        o.objectives.wire, o.objectives.delay, o.objectives.area
+    );
+    println!("virtual time : {:.2} s on the 12-machine cluster", o.end_time);
+    println!(
+        "wall time    : {:.2} s on this host",
+        out.wall_seconds
+    );
+    println!("improvements : {} trace points", o.trace.points().len());
+    for p in o.trace.points().iter().take(8) {
+        println!("  t={:8.2}  best={:.4}", p.time, p.best_cost);
+    }
+}

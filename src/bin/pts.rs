@@ -1,0 +1,313 @@
+//! `pts` — command-line front end for the parallel tabu search
+//! reproduction.
+//!
+//! ```text
+//! pts circuits                      list the paper's benchmark circuits
+//! pts run [options]                 one PTS run (sim or thread engine)
+//! pts sweep --what clw|tsw [...]    quality/speedup sweep (Figs 5-8 style)
+//! pts generate --cells N [...]      emit a synthetic netlist (text format)
+//! pts show --file netlist.txt      parse a netlist file and print stats
+//! ```
+//!
+//! Run `pts help` for all options.
+
+use parallel_tabu_search::core::{
+    common_quality_target, run_pts, speedup_sweep, CostKind, Engine, PtsConfig, SyncPolicy,
+};
+use parallel_tabu_search::netlist::{
+    benchmark_names, by_name, format, generate, CircuitSpec, Netlist, NetlistStats, TimingGraph,
+};
+use parallel_tabu_search::vcluster::topology::paper_cluster;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        print_help();
+        return ExitCode::SUCCESS;
+    };
+    let opts = match Opts::parse(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "circuits" => cmd_circuits(),
+        "run" => cmd_run(&opts),
+        "sweep" => cmd_sweep(&opts),
+        "generate" => cmd_generate(&opts),
+        "show" => cmd_show(&opts),
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}' (try 'pts help')")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "pts — parallel tabu search for VLSI cell placement (IPDPS'03 reproduction)
+
+USAGE:
+  pts circuits
+  pts run      [--circuit NAME] [--tsw N] [--clw N] [--global N] [--local N]
+               [--engine sim|threads] [--sync half|all] [--no-diversify]
+               [--differentiate] [--cost fuzzy|weighted] [--seed N]
+               [--candidates N] [--depth N]
+  pts sweep    --what clw|tsw [--max N] [--circuit NAME] [common options]
+  pts generate --cells N [--seed N] [--out FILE]
+  pts show     --file FILE
+
+DEFAULTS: --circuit c532 --tsw 4 --clw 1 --global 10 --local 20 --engine sim
+          --sync half --cost fuzzy --seed 0xC0FFEE"
+    );
+}
+
+/// Minimal `--key value` / `--flag` parser.
+struct Opts {
+    pairs: Vec<(String, Option<String>)>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Opts, String> {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(format!("expected an option, got '{a}'"));
+            };
+            let value = args.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
+            if value.is_some() {
+                i += 2;
+            } else {
+                i += 1;
+            }
+            pairs.push((key.to_string(), value));
+        }
+        Ok(Opts { pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.pairs.iter().any(|(k, _)| k == key)
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} needs a number, got '{v}'")),
+        }
+    }
+}
+
+fn load_circuit(opts: &Opts) -> Result<Arc<Netlist>, String> {
+    let name = opts.get("circuit").unwrap_or("c532");
+    if let Some(nl) = by_name(name) {
+        return Ok(Arc::new(nl));
+    }
+    // Fall back to a file path.
+    let text = std::fs::read_to_string(name)
+        .map_err(|e| format!("'{name}' is neither a benchmark nor a readable file: {e}"))?;
+    format::from_text(&text).map(Arc::new).map_err(|e| e.to_string())
+}
+
+fn build_config(opts: &Opts) -> Result<PtsConfig, String> {
+    let mut cfg = PtsConfig {
+        n_tsw: opts.parse_num("tsw", 4usize)?,
+        n_clw: opts.parse_num("clw", 1usize)?,
+        global_iters: opts.parse_num("global", 10u32)?,
+        local_iters: opts.parse_num("local", 20u32)?,
+        candidates: opts.parse_num("candidates", 8usize)?,
+        depth: opts.parse_num("depth", 3usize)?,
+        seed: opts.parse_num("seed", 0xC0FFEEu64)?,
+        ..PtsConfig::default()
+    };
+    if opts.flag("no-diversify") {
+        cfg.diversify = false;
+    }
+    if opts.flag("differentiate") {
+        cfg.differentiate_streams = true;
+    }
+    match opts.get("sync").unwrap_or("half") {
+        "half" => {
+            cfg.tsw_sync = SyncPolicy::HalfReport;
+            cfg.clw_sync = SyncPolicy::HalfReport;
+        }
+        "all" => {
+            cfg.tsw_sync = SyncPolicy::WaitAll;
+            cfg.clw_sync = SyncPolicy::WaitAll;
+        }
+        other => return Err(format!("--sync must be 'half' or 'all', got '{other}'")),
+    }
+    match opts.get("cost").unwrap_or("fuzzy") {
+        "fuzzy" => cfg.cost = CostKind::Fuzzy,
+        "weighted" => cfg.cost = CostKind::WeightedSum,
+        other => return Err(format!("--cost must be 'fuzzy' or 'weighted', got '{other}'")),
+    }
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+fn pick_engine(opts: &Opts) -> Result<Engine, String> {
+    match opts.get("engine").unwrap_or("sim") {
+        "sim" => Ok(Engine::Sim(paper_cluster())),
+        "threads" => Ok(Engine::Threads),
+        other => Err(format!("--engine must be 'sim' or 'threads', got '{other}'")),
+    }
+}
+
+fn cmd_circuits() -> Result<(), String> {
+    for name in benchmark_names() {
+        let nl = by_name(name).expect("benchmark exists");
+        let tg = TimingGraph::build(&nl).map_err(|e| e.to_string())?;
+        println!("{}", NetlistStats::compute(&nl, &tg));
+    }
+    Ok(())
+}
+
+fn cmd_run(opts: &Opts) -> Result<(), String> {
+    let netlist = load_circuit(opts)?;
+    let cfg = build_config(opts)?;
+    let engine = pick_engine(opts)?;
+    println!(
+        "running {} on {}: {} TSW x {} CLW, {} global x {} local iterations",
+        netlist.name,
+        match engine {
+            Engine::Sim(_) => "the 12-machine virtual cluster",
+            Engine::Threads => "native threads",
+        },
+        cfg.n_tsw,
+        cfg.n_clw,
+        cfg.global_iters,
+        cfg.local_iters
+    );
+    let out = run_pts(&cfg, netlist, engine);
+    let o = &out.outcome;
+    println!("initial cost : {:.4}", o.initial_cost);
+    println!("best cost    : {:.4}", o.best_cost);
+    println!(
+        "objectives   : wire={:.1} delay={:.2} area={:.0}",
+        o.objectives.wire, o.objectives.delay, o.objectives.area
+    );
+    println!("search time  : {:.2} s ({})", o.end_time, match out.sim_report {
+        Some(_) => "virtual",
+        None => "wall",
+    });
+    println!("wall time    : {:.2} s", out.wall_seconds);
+    println!("forced reports: {}", o.forced_reports);
+    if let Some(report) = &out.sim_report {
+        println!(
+            "cluster      : {} messages, {:.0}% utilization",
+            report.total_messages(),
+            report.utilization() * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_sweep(opts: &Opts) -> Result<(), String> {
+    let what = opts.get("what").ok_or("sweep needs --what clw|tsw")?;
+    let max: usize = opts.parse_num("max", match what {
+        "clw" => 4usize,
+        _ => 8usize,
+    })?;
+    let netlist = load_circuit(opts)?;
+    let base = build_config(opts)?;
+    println!("sweeping {what} 1..={max} on {}", netlist.name);
+
+    let mut traces = Vec::new();
+    for n in 1..=max {
+        let mut cfg = base;
+        match what {
+            "clw" => {
+                cfg.n_tsw = 4;
+                cfg.n_clw = n;
+            }
+            "tsw" => {
+                cfg.n_tsw = n;
+                cfg.n_clw = 1;
+            }
+            other => return Err(format!("--what must be 'clw' or 'tsw', got '{other}'")),
+        }
+        let out = run_pts(&cfg, netlist.clone(), Engine::Sim(paper_cluster()));
+        println!(
+            "  n={n}: best={:.4}  t_end={:.2}",
+            out.outcome.best_cost, out.outcome.end_time
+        );
+        traces.push((n, out.outcome.trace));
+    }
+    let x = common_quality_target(&traces, 0.002);
+    println!("\nspeedup to reach x={x:.4}:");
+    for p in speedup_sweep(&traces, x) {
+        println!(
+            "  n={}: t(n,x)={}  speedup={}",
+            p.n,
+            p.time_to_quality
+                .map(|t| format!("{t:.2}"))
+                .unwrap_or("-".into()),
+            p.speedup.map(|s| format!("{s:.2}")).unwrap_or("-".into()),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_generate(opts: &Opts) -> Result<(), String> {
+    let cells: usize = opts.parse_num("cells", 200usize)?;
+    let seed: u64 = opts.parse_num("seed", 1u64)?;
+    if cells < 10 {
+        return Err("--cells must be at least 10".into());
+    }
+    let n_inputs = (cells / 12).max(2);
+    let n_outputs = (cells / 15).max(1);
+    let n_ff = cells / 10;
+    let n_logic = cells - n_inputs - n_outputs - n_ff;
+    let spec = CircuitSpec {
+        name: format!("gen{cells}"),
+        n_inputs,
+        n_outputs,
+        n_flipflops: n_ff,
+        n_logic,
+        depth: ((cells as f64).log2() as usize).max(3),
+        fanout_tail: 0.18,
+        seed,
+    };
+    let nl = generate(&spec);
+    let text = format::to_text(&nl);
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, text).map_err(|e| e.to_string())?;
+            println!("wrote {} cells / {} nets to {path}", nl.num_cells(), nl.num_nets());
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_show(opts: &Opts) -> Result<(), String> {
+    let path = opts.get("file").ok_or("show needs --file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let nl = format::from_text(&text).map_err(|e| e.to_string())?;
+    let tg = TimingGraph::build(&nl).map_err(|e| e.to_string())?;
+    println!("{}", NetlistStats::compute(&nl, &tg));
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! # parallel-tabu-search
+//!
+//! A from-scratch Rust reproduction of **Al-Yamani, Sait, Barada &
+//! Youssef, "Parallel Tabu Search in a Heterogeneous Environment"
+//! (IPDPS 2003)**: two-level parallel tabu search for VLSI standard-cell
+//! placement, evaluated on a simulated heterogeneous twelve-machine
+//! cluster.
+//!
+//! This crate is a facade re-exporting the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`util`] | `pts-util` | deterministic RNG, statistics, tables/CSV |
+//! | [`netlist`] | `pts-netlist` | circuit hypergraph, timing DAG, ISCAS-like generators |
+//! | [`place`] | `pts-place` | placement model, incremental HPWL/STA/area, fuzzy cost |
+//! | [`tabu`] | `pts-tabu` | generic tabu search engine (tenure, aspiration, compound moves, diversification) |
+//! | [`vcluster`] | `pts-vcluster` | deterministic virtual-time heterogeneous cluster (PVM substitute) |
+//! | [`core`] | `pts-core` | the paper's parallel TS: master / TSW / CLW, half-report sync, engines |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use parallel_tabu_search::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // The paper's smallest benchmark: 56 cells.
+//! let netlist = Arc::new(parallel_tabu_search::netlist::highway());
+//! let cfg = PtsConfig {
+//!     n_tsw: 2,
+//!     n_clw: 2,
+//!     global_iters: 2,
+//!     local_iters: 5,
+//!     ..PtsConfig::default()
+//! };
+//! let out = run_pts(&cfg, netlist, Engine::Sim(paper_cluster()));
+//! assert!(out.outcome.best_cost < out.outcome.initial_cost);
+//! ```
+
+pub use pts_core as core;
+pub use pts_netlist as netlist;
+pub use pts_place as place;
+pub use pts_tabu as tabu;
+pub use pts_util as util;
+pub use pts_vcluster as vcluster;
+
+/// The names most applications need.
+pub mod prelude {
+    pub use pts_core::{
+        run_pts, run_sequential_baseline, Engine, MasterOutcome, PtsConfig, PtsOutput,
+        SyncPolicy,
+    };
+    pub use pts_netlist::{by_name, benchmark_names, Netlist, TimingGraph};
+    pub use pts_place::{Evaluator, Layout, Placement};
+    pub use pts_tabu::{SearchProblem, TabuSearch, TabuSearchConfig};
+    pub use pts_util::Rng;
+    pub use pts_vcluster::topology::{homogeneous, paper_cluster};
+    pub use pts_vcluster::ClusterSpec;
+}

@@ -1,0 +1,74 @@
+//! The virtual cluster makes the entire parallel search deterministic:
+//! identical seeds must produce bit-identical outcomes, including virtual
+//! timing — the property the paper's testbed could never offer.
+
+use parallel_tabu_search::core::SyncPolicy;
+use parallel_tabu_search::prelude::*;
+use std::sync::Arc;
+
+fn cfg(seed: u64, sync: SyncPolicy) -> PtsConfig {
+    PtsConfig {
+        n_tsw: 3,
+        n_clw: 2,
+        global_iters: 3,
+        local_iters: 5,
+        seed,
+        tsw_sync: sync,
+        clw_sync: sync,
+        ..PtsConfig::default()
+    }
+}
+
+#[test]
+fn identical_seeds_replay_identically() {
+    let netlist = Arc::new(by_name("c532").unwrap());
+    for sync in [SyncPolicy::HalfReport, SyncPolicy::WaitAll] {
+        let a = run_pts(&cfg(7, sync), netlist.clone(), Engine::Sim(paper_cluster()));
+        let b = run_pts(&cfg(7, sync), netlist.clone(), Engine::Sim(paper_cluster()));
+        assert_eq!(a.outcome.best_cost, b.outcome.best_cost);
+        assert_eq!(a.outcome.best_placement, b.outcome.best_placement);
+        assert_eq!(a.outcome.end_time, b.outcome.end_time);
+        assert_eq!(a.outcome.forced_reports, b.outcome.forced_reports);
+        let ta: Vec<_> = a.outcome.trace.points().to_vec();
+        let tb: Vec<_> = b.outcome.trace.points().to_vec();
+        assert_eq!(ta.len(), tb.len());
+        for (x, y) in ta.iter().zip(tb.iter()) {
+            assert_eq!(x.time, y.time);
+            assert_eq!(x.best_cost, y.best_cost);
+        }
+        // Cluster metrics replay too.
+        let ra = a.sim_report.unwrap();
+        let rb = b.sim_report.unwrap();
+        assert_eq!(ra.total_messages(), rb.total_messages());
+        assert_eq!(ra.end_time, rb.end_time);
+    }
+}
+
+#[test]
+fn different_seeds_explore_differently() {
+    let netlist = Arc::new(by_name("c532").unwrap());
+    let a = run_pts(
+        &cfg(1, SyncPolicy::HalfReport),
+        netlist.clone(),
+        Engine::Sim(paper_cluster()),
+    );
+    let b = run_pts(
+        &cfg(2, SyncPolicy::HalfReport),
+        netlist,
+        Engine::Sim(paper_cluster()),
+    );
+    assert_ne!(
+        a.outcome.best_placement, b.outcome.best_placement,
+        "different seeds should find different solutions"
+    );
+}
+
+#[test]
+fn sequential_baseline_is_deterministic() {
+    let netlist = Arc::new(by_name("highway").unwrap());
+    let c = cfg(9, SyncPolicy::WaitAll);
+    let a = run_sequential_baseline(&c, netlist.clone());
+    let b = run_sequential_baseline(&c, netlist);
+    assert_eq!(a.best_cost, b.best_cost);
+    assert_eq!(a.stats, b.stats);
+}

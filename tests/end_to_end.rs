@@ -1,0 +1,81 @@
+//! End-to-end: parallel tabu search improves placement quality on every
+//! paper benchmark circuit, on the simulated heterogeneous cluster.
+
+use parallel_tabu_search::prelude::*;
+use std::sync::Arc;
+
+fn small_cfg() -> PtsConfig {
+    PtsConfig {
+        n_tsw: 2,
+        n_clw: 2,
+        global_iters: 3,
+        local_iters: 6,
+        candidates: 6,
+        depth: 2,
+        ..PtsConfig::default()
+    }
+}
+
+#[test]
+fn improves_all_benchmark_circuits() {
+    for name in benchmark_names() {
+        let netlist = Arc::new(by_name(name).unwrap());
+        let out = run_pts(&small_cfg(), netlist, Engine::Sim(paper_cluster()));
+        let o = &out.outcome;
+        assert!(
+            o.best_cost < o.initial_cost,
+            "{name}: PTS must improve the initial cost ({} -> {})",
+            o.initial_cost,
+            o.best_cost
+        );
+        o.best_placement.check_consistency().unwrap();
+        assert!(o.end_time > 0.0, "{name}: virtual time must advance");
+        assert!(
+            !o.trace.is_empty(),
+            "{name}: the merged trace must record improvements"
+        );
+        assert_eq!(
+            o.best_per_global_iter.len(),
+            small_cfg().global_iters as usize
+        );
+        // The per-iteration best is monotone non-increasing.
+        for w in o.best_per_global_iter.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "{name}: global best must not regress");
+        }
+    }
+}
+
+#[test]
+fn fuzzy_cost_stays_in_unit_interval() {
+    let netlist = Arc::new(by_name("c532").unwrap());
+    let out = run_pts(&small_cfg(), netlist, Engine::Sim(paper_cluster()));
+    let o = &out.outcome;
+    assert!((0.0..=1.0).contains(&o.best_cost));
+    assert!((0.0..=1.0).contains(&o.initial_cost));
+}
+
+#[test]
+fn weighted_sum_scheme_works_end_to_end() {
+    use parallel_tabu_search::core::CostKind;
+    let mut cfg = small_cfg();
+    cfg.cost = CostKind::WeightedSum;
+    let netlist = Arc::new(by_name("highway").unwrap());
+    let out = run_pts(&cfg, netlist, Engine::Sim(paper_cluster()));
+    let o = &out.outcome;
+    // Weighted-sum cost is 1.0 at the initial solution by construction.
+    assert!((o.initial_cost - 1.0).abs() < 1e-9);
+    assert!(o.best_cost < 1.0);
+}
+
+#[test]
+fn more_iterations_do_not_hurt() {
+    let netlist = Arc::new(by_name("c532").unwrap());
+    let short = run_pts(&small_cfg(), netlist.clone(), Engine::Sim(paper_cluster()));
+    let mut long_cfg = small_cfg();
+    long_cfg.global_iters = 6;
+    let long = run_pts(&long_cfg, netlist, Engine::Sim(paper_cluster()));
+    assert!(
+        long.outcome.best_cost <= short.outcome.best_cost + 1e-12,
+        "longer searches keep the best-so-far, never lose it"
+    );
+}

@@ -1,0 +1,72 @@
+//! The sim engine and the native thread engine run the same protocol code;
+//! both must produce valid, improving searches.
+
+use parallel_tabu_search::prelude::*;
+use std::sync::Arc;
+
+fn cfg() -> PtsConfig {
+    PtsConfig {
+        n_tsw: 2,
+        n_clw: 2,
+        global_iters: 2,
+        local_iters: 5,
+        candidates: 6,
+        depth: 2,
+        ..PtsConfig::default()
+    }
+}
+
+#[test]
+fn both_engines_improve_and_stay_consistent() {
+    let netlist = Arc::new(by_name("c532").unwrap());
+    let sim = run_pts(&cfg(), netlist.clone(), Engine::Sim(paper_cluster()));
+    let thr = run_pts(&cfg(), netlist, Engine::Threads);
+
+    for (label, out) in [("sim", &sim), ("threads", &thr)] {
+        let o = &out.outcome;
+        assert!(
+            o.best_cost < o.initial_cost,
+            "{label}: must improve ({} -> {})",
+            o.initial_cost,
+            o.best_cost
+        );
+        o.best_placement.check_consistency().unwrap();
+        assert!(o.best_cost >= 0.0);
+    }
+    // Same frozen cost scheme ⇒ identical initial cost across engines.
+    assert!((sim.outcome.initial_cost - thr.outcome.initial_cost).abs() < 1e-12);
+}
+
+#[test]
+fn thread_engine_handles_many_workers() {
+    // Oversubscribe the host on purpose: 4 TSWs x 3 CLWs + master = 17
+    // threads; the protocol must still terminate cleanly.
+    let netlist = Arc::new(by_name("highway").unwrap());
+    let cfg = PtsConfig {
+        n_tsw: 4,
+        n_clw: 3,
+        global_iters: 2,
+        local_iters: 4,
+        ..PtsConfig::default()
+    };
+    let out = run_pts(&cfg, netlist, Engine::Threads);
+    assert!(out.outcome.best_cost < out.outcome.initial_cost);
+}
+
+#[test]
+fn single_worker_degenerate_case() {
+    // 1 TSW, 1 CLW: the parallel protocol reduces to sequential search
+    // with messaging; quorum of one child means half-report never fires
+    // between a parent and its only child.
+    let netlist = Arc::new(by_name("highway").unwrap());
+    let cfg = PtsConfig {
+        n_tsw: 1,
+        n_clw: 1,
+        global_iters: 3,
+        local_iters: 6,
+        ..PtsConfig::default()
+    };
+    let out = run_pts(&cfg, netlist, Engine::Sim(paper_cluster()));
+    assert!(out.outcome.best_cost < out.outcome.initial_cost);
+    assert_eq!(out.outcome.forced_reports, 0, "nobody to force with one TSW");
+}
