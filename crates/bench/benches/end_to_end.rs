@@ -3,9 +3,8 @@
 //! here flag protocol or evaluator slowdowns across the whole stack.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pts_core::{run_pts, run_sequential_baseline, Engine, PtsConfig};
+use pts_core::{run_sequential_baseline, Pts, PtsConfig, PtsRun, SimEngine};
 use pts_netlist::highway;
-use pts_vcluster::topology::paper_cluster;
 use std::sync::Arc;
 
 fn cfg() -> PtsConfig {
@@ -20,6 +19,10 @@ fn cfg() -> PtsConfig {
     }
 }
 
+fn run() -> PtsRun {
+    Pts::from_config(cfg()).build().expect("valid config")
+}
+
 fn bench_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end");
     group.measurement_time(std::time::Duration::from_secs(2));
@@ -28,9 +31,10 @@ fn bench_end_to_end(c: &mut Criterion) {
 
     group.bench_function("pts_sim_highway_4x2", |b| {
         let netlist = Arc::new(highway());
-        let cfg = cfg();
+        let run = run();
+        let engine = SimEngine::paper();
         b.iter(|| {
-            let out = run_pts(&cfg, netlist.clone(), Engine::Sim(paper_cluster()));
+            let out = run.run_placement(netlist.clone(), &engine);
             std::hint::black_box(out.outcome.best_cost)
         })
     });

@@ -79,7 +79,10 @@ fn main() {
     }
 
     // ---------- Fig 7 & 8: TSW sweeps --------------------------------
-    let _ = writeln!(md, "\n## Fig 7 — quality vs #TSWs (CLWs=1, seed-averaged)\n");
+    let _ = writeln!(
+        md,
+        "\n## Fig 7 — quality vs #TSWs (CLWs=1, seed-averaged)\n"
+    );
     let _ = writeln!(md, "| circuit | 1 | 2 | 4 | 6 | 8 |");
     let _ = writeln!(md, "|---|---|---|---|---|---|");
     for name in profile.circuits() {
@@ -128,7 +131,10 @@ fn main() {
     }
 
     // ---------- Fig 9: diversification --------------------------------
-    let _ = writeln!(md, "\n## Fig 9 — diversification on/off (4 TSW, 1 CLW, seed-averaged)\n");
+    let _ = writeln!(
+        md,
+        "\n## Fig 9 — diversification on/off (4 TSW, 1 CLW, seed-averaged)\n"
+    );
     let _ = writeln!(md, "| circuit | diversified | plain | diversified wins? |");
     let _ = writeln!(md, "|---|---|---|---|");
     for name in profile.circuits() {
@@ -169,7 +175,10 @@ fn main() {
     }
 
     // ---------- Fig 11: heterogeneity ---------------------------------
-    let _ = writeln!(md, "\n## Fig 11 — half-report vs wait-all (4 TSW x 4 CLW)\n");
+    let _ = writeln!(
+        md,
+        "\n## Fig 11 — half-report vs wait-all (4 TSW x 4 CLW)\n"
+    );
     let _ = writeln!(
         md,
         "| circuit | policy | end time [vsec] | final best | forced |"

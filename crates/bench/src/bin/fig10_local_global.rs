@@ -21,7 +21,7 @@ fn main() {
         .iter()
         .filter_map(|&g| {
             let g = g.min(budget);
-            if budget % g == 0 {
+            if budget.is_multiple_of(g) {
                 Some((g, budget / g))
             } else {
                 None

@@ -22,7 +22,13 @@ fn main() {
     };
     let seed_list = seeds(profile);
 
-    let mut table = Table::new(["circuit", "CLWs", "mean t(n,x)", "speedup (geo mean)", "seeds"]);
+    let mut table = Table::new([
+        "circuit",
+        "CLWs",
+        "mean t(n,x)",
+        "speedup (geo mean)",
+        "seeds",
+    ]);
     let mut csv = CsvWriter::new(["circuit", "clws", "mean_time_to_x", "speedup", "samples"]);
 
     for name in circuits {
@@ -32,9 +38,10 @@ fn main() {
             b.n_tsw = 4;
             b
         };
-        let points = averaged_speedup_sweep(&netlist, &base, &[1, 2, 3, 4], &seed_list, |cfg, n| {
-            cfg.n_clw = n;
-        });
+        let points =
+            averaged_speedup_sweep(&netlist, &base, &[1, 2, 3, 4], &seed_list, |cfg, n| {
+                cfg.n_clw = n;
+            });
         for p in points {
             table.row([
                 name.to_string(),

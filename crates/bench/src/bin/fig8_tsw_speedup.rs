@@ -19,7 +19,13 @@ fn main() {
     };
     let seed_list = seeds(profile);
 
-    let mut table = Table::new(["circuit", "TSWs", "mean t(n,x)", "speedup (geo mean)", "seeds"]);
+    let mut table = Table::new([
+        "circuit",
+        "TSWs",
+        "mean t(n,x)",
+        "speedup (geo mean)",
+        "seeds",
+    ]);
     let mut csv = CsvWriter::new(["circuit", "tsws", "mean_time_to_x", "speedup", "samples"]);
 
     for name in circuits {

@@ -12,11 +12,10 @@
 //! Set `PTS_FULL=1` for the paper-scale profile (more iterations, all
 //! circuits).
 
-use pts_core::{Engine, PtsConfig, PtsOutput};
+use pts_core::{PlacementRunOutput, Pts, PtsConfig, SimEngine};
 use pts_netlist::Netlist;
 use pts_util::csv::CsvWriter;
 use pts_util::table::Table;
-use pts_vcluster::topology::paper_cluster;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -71,8 +70,11 @@ pub fn base_config(profile: Profile) -> PtsConfig {
 }
 
 /// Run a configuration on the 12-machine paper cluster (virtual).
-pub fn run_on_paper_cluster(cfg: &PtsConfig, netlist: Arc<Netlist>) -> PtsOutput {
-    pts_core::run_pts(cfg, netlist, Engine::Sim(paper_cluster()))
+pub fn run_on_paper_cluster(cfg: &PtsConfig, netlist: Arc<Netlist>) -> PlacementRunOutput {
+    Pts::from_config(*cfg)
+        .build()
+        .expect("harness configs are valid")
+        .run_placement(netlist, &SimEngine::paper())
 }
 
 /// Seeds used for averaged experiments under a profile. Single-seed runs

@@ -1,0 +1,410 @@
+//! The run-configuration front door: `Pts::builder()`.
+//!
+//! A [`RunBuilder`] collects the paper's parameters through fluent
+//! setters; [`RunBuilder::build`] validates the whole configuration and
+//! returns a [`PtsRun`] — a proof-of-validity token whose execute methods
+//! never panic on bad parameters (invalid configs fail at *build* time
+//! with a typed [`ConfigError`]).
+//!
+//! ```
+//! use pts_core::{Pts, SimEngine};
+//! use pts_core::qap_domain::QapDomain;
+//!
+//! let run = Pts::builder()
+//!     .tsw_workers(2)
+//!     .clw_workers(2)
+//!     .global_iters(2)
+//!     .local_iters(4)
+//!     .seed(7)
+//!     .build()
+//!     .expect("valid configuration");
+//! let out = run.execute(&QapDomain::random(16, 1), &SimEngine::paper());
+//! assert!(out.outcome.best_cost <= out.outcome.initial_cost);
+//! ```
+
+use crate::config::{CostKind, PtsConfig, SyncPolicy, WorkModel};
+use crate::domain::{PtsDomain, SnapshotOf};
+use crate::engine::{EngineOutput, ExecutionEngine};
+use crate::placement_problem::{MasterOutcome, PlacementDomain};
+use crate::report::RunReport;
+use pts_netlist::Netlist;
+use pts_place::placement::Placement;
+use std::sync::Arc;
+
+/// Why a configuration failed validation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// `n_tsw` must be ≥ 1.
+    NoTabuSearchWorkers,
+    /// `n_clw` must be ≥ 1.
+    NoCandidateListWorkers,
+    /// `global_iters` / `local_iters` must be ≥ 1.
+    ZeroIterations,
+    /// `candidates` / `depth` must be ≥ 1.
+    ZeroMoveBudget,
+    /// `report_fraction` must lie in `(0, 1]`.
+    ReportFractionOutOfRange(f64),
+    /// OWA `beta` must lie in `[0, 1]`.
+    BetaOutOfRange(f64),
+    /// `diversify_width` must be ≥ 1 when diversification is enabled.
+    ZeroDiversifyWidth,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoTabuSearchWorkers => write!(f, "need at least one TSW"),
+            ConfigError::NoCandidateListWorkers => {
+                write!(f, "need at least one CLW per TSW")
+            }
+            ConfigError::ZeroIterations => write!(f, "iteration counts must be positive"),
+            ConfigError::ZeroMoveBudget => {
+                write!(f, "candidates and depth must be positive")
+            }
+            ConfigError::ReportFractionOutOfRange(v) => {
+                write!(f, "report_fraction must lie in (0, 1], got {v}")
+            }
+            ConfigError::BetaOutOfRange(v) => {
+                write!(f, "beta must lie in [0, 1], got {v}")
+            }
+            ConfigError::ZeroDiversifyWidth => {
+                write!(f, "diversify_width must be >= 1 when diversification is on")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Namespace for the run API: `Pts::builder()` is the entry point.
+pub struct Pts;
+
+impl Pts {
+    /// Start from the paper's defaults ([`PtsConfig::default`]).
+    pub fn builder() -> RunBuilder {
+        RunBuilder {
+            cfg: PtsConfig::default(),
+        }
+    }
+
+    /// Start from an existing configuration (e.g. a CLI-parsed one).
+    pub fn from_config(cfg: PtsConfig) -> RunBuilder {
+        RunBuilder { cfg }
+    }
+}
+
+/// Fluent, validated construction of a [`PtsRun`].
+#[derive(Clone, Debug)]
+pub struct RunBuilder {
+    cfg: PtsConfig,
+}
+
+impl RunBuilder {
+    /// Number of tabu search workers (high-level parallelization).
+    pub fn tsw_workers(mut self, n: usize) -> Self {
+        self.cfg.n_tsw = n;
+        self
+    }
+
+    /// Candidate-list workers per TSW (low-level parallelization).
+    pub fn clw_workers(mut self, n: usize) -> Self {
+        self.cfg.n_clw = n;
+        self
+    }
+
+    /// Global iterations (master broadcast rounds).
+    pub fn global_iters(mut self, n: u32) -> Self {
+        self.cfg.global_iters = n;
+        self
+    }
+
+    /// Local iterations per TSW per global iteration.
+    pub fn local_iters(mut self, n: u32) -> Self {
+        self.cfg.local_iters = n;
+        self
+    }
+
+    /// Candidate pairs sampled per elementary move (`m`).
+    pub fn candidates(mut self, m: usize) -> Self {
+        self.cfg.candidates = m;
+        self
+    }
+
+    /// Compound move depth (`d`).
+    pub fn depth(mut self, d: usize) -> Self {
+        self.cfg.depth = d;
+        self
+    }
+
+    /// Tabu tenure in local iterations.
+    pub fn tenure(mut self, tenure: u64) -> Self {
+        self.cfg.tenure = tenure;
+        self
+    }
+
+    /// Enable/disable the Kelly-style diversification step.
+    pub fn diversify(mut self, on: bool) -> Self {
+        self.cfg.diversify = on;
+        self
+    }
+
+    /// Diversification moves per global iteration (`0` = auto-scale).
+    pub fn diversify_depth(mut self, depth: usize) -> Self {
+        self.cfg.diversify_depth = depth;
+        self
+    }
+
+    /// Moves sampled per diversification step.
+    pub fn diversify_width(mut self, width: usize) -> Self {
+        self.cfg.diversify_width = width;
+        self
+    }
+
+    /// Set both synchronization policies at once (the paper compares
+    /// homogeneous WaitAll against heterogeneous HalfReport at both
+    /// levels).
+    pub fn sync(mut self, policy: SyncPolicy) -> Self {
+        self.cfg.tsw_sync = policy;
+        self.cfg.clw_sync = policy;
+        self
+    }
+
+    /// Master ↔ TSW synchronization only.
+    pub fn tsw_sync(mut self, policy: SyncPolicy) -> Self {
+        self.cfg.tsw_sync = policy;
+        self
+    }
+
+    /// TSW ↔ CLW synchronization only.
+    pub fn clw_sync(mut self, policy: SyncPolicy) -> Self {
+        self.cfg.clw_sync = policy;
+        self
+    }
+
+    /// Fraction of children that must report before the rest are forced
+    /// (the paper uses 0.5). Must lie in `(0, 1]`.
+    pub fn report_fraction(mut self, fraction: f64) -> Self {
+        self.cfg.report_fraction = fraction;
+        self
+    }
+
+    /// Net-delay coefficient (`alpha` of the timing model).
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.cfg.alpha = alpha;
+        self
+    }
+
+    /// Cost scheme (fuzzy goal-based or normalized weighted sum).
+    pub fn cost(mut self, cost: CostKind) -> Self {
+        self.cfg.cost = cost;
+        self
+    }
+
+    /// OWA `beta` for the fuzzy scheme. Must lie in `[0, 1]`.
+    pub fn beta(mut self, beta: f64) -> Self {
+        self.cfg.beta = beta;
+        self
+    }
+
+    /// Weighted-sum weights (wire, delay, area).
+    pub fn weights(mut self, weights: [f64; 3]) -> Self {
+        self.cfg.weights = weights;
+        self
+    }
+
+    /// Master seed; all worker streams fork from it.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// `true`: every worker gets an independent RNG stream (SPDS-style
+    /// extension); `false` (default): the paper's MPSS design.
+    pub fn differentiate_streams(mut self, on: bool) -> Self {
+        self.cfg.differentiate_streams = on;
+        self
+    }
+
+    /// Virtual work accounting (sim engine).
+    pub fn work_model(mut self, work: WorkModel) -> Self {
+        self.cfg.work = work;
+        self
+    }
+
+    /// Validate everything; a returned [`PtsRun`] is guaranteed runnable.
+    pub fn build(self) -> Result<PtsRun, ConfigError> {
+        self.cfg.validate()?;
+        Ok(PtsRun { cfg: self.cfg })
+    }
+}
+
+/// A validated, ready-to-execute run configuration.
+#[derive(Clone, Debug)]
+pub struct PtsRun {
+    cfg: PtsConfig,
+}
+
+impl PtsRun {
+    pub fn config(&self) -> &PtsConfig {
+        &self.cfg
+    }
+
+    /// Run the full master/TSW/CLW pipeline for any domain on any engine,
+    /// from the domain's seeded initial solution.
+    pub fn execute<D: PtsDomain>(
+        &self,
+        domain: &D,
+        engine: &dyn ExecutionEngine<D>,
+    ) -> EngineOutput<D> {
+        let initial = domain.initial(self.cfg.seed);
+        self.execute_from(domain, engine, initial)
+    }
+
+    /// Run from an explicit initial solution (e.g. a constructive
+    /// placement).
+    pub fn execute_from<D: PtsDomain>(
+        &self,
+        domain: &D,
+        engine: &dyn ExecutionEngine<D>,
+        initial: SnapshotOf<D>,
+    ) -> EngineOutput<D> {
+        let frozen = domain.freeze(&initial);
+        engine.execute(&self.cfg, &frozen, initial)
+    }
+
+    /// Placement convenience: run a circuit, returning the outcome
+    /// enriched with exact raw objectives.
+    pub fn run_placement(
+        &self,
+        netlist: Arc<Netlist>,
+        engine: &dyn ExecutionEngine<PlacementDomain>,
+    ) -> PlacementRunOutput {
+        let domain = PlacementDomain::new(netlist, &self.cfg);
+        let initial = domain.initial(self.cfg.seed);
+        self.run_placement_in(domain, engine, initial)
+    }
+
+    /// Placement convenience with an explicit initial placement.
+    pub fn run_placement_from(
+        &self,
+        netlist: Arc<Netlist>,
+        engine: &dyn ExecutionEngine<PlacementDomain>,
+        initial: Placement,
+    ) -> PlacementRunOutput {
+        let domain = PlacementDomain::new(netlist, &self.cfg);
+        self.run_placement_in(domain, engine, initial)
+    }
+
+    fn run_placement_in(
+        &self,
+        domain: PlacementDomain,
+        engine: &dyn ExecutionEngine<PlacementDomain>,
+        initial: Placement,
+    ) -> PlacementRunOutput {
+        let frozen = domain.freeze(&initial);
+        let out = engine.execute(&self.cfg, &frozen, initial);
+        PlacementRunOutput {
+            outcome: MasterOutcome::from_search(out.outcome, &frozen),
+            report: out.report,
+        }
+    }
+}
+
+/// Result of a placement run: outcome with exact objectives + unified
+/// engine metrics (no engine-optional fields).
+#[derive(Clone, Debug)]
+pub struct PlacementRunOutput {
+    pub outcome: MasterOutcome,
+    pub report: RunReport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_equal_config_default() {
+        let run = Pts::builder().build().unwrap();
+        assert_eq!(*run.config(), PtsConfig::default());
+    }
+
+    #[test]
+    fn builder_rejects_zero_workers() {
+        assert_eq!(
+            Pts::builder().tsw_workers(0).build().unwrap_err(),
+            ConfigError::NoTabuSearchWorkers
+        );
+        assert_eq!(
+            Pts::builder().clw_workers(0).build().unwrap_err(),
+            ConfigError::NoCandidateListWorkers
+        );
+    }
+
+    #[test]
+    fn builder_rejects_bad_report_fraction() {
+        for bad in [0.0, -0.5, 1.5] {
+            assert_eq!(
+                Pts::builder().report_fraction(bad).build().unwrap_err(),
+                ConfigError::ReportFractionOutOfRange(bad)
+            );
+        }
+        assert!(Pts::builder().report_fraction(1.0).build().is_ok());
+        assert!(Pts::builder().report_fraction(0.01).build().is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_zero_iterations_and_budgets() {
+        assert_eq!(
+            Pts::builder().global_iters(0).build().unwrap_err(),
+            ConfigError::ZeroIterations
+        );
+        assert_eq!(
+            Pts::builder().local_iters(0).build().unwrap_err(),
+            ConfigError::ZeroIterations
+        );
+        assert_eq!(
+            Pts::builder().candidates(0).build().unwrap_err(),
+            ConfigError::ZeroMoveBudget
+        );
+        assert_eq!(
+            Pts::builder().depth(0).build().unwrap_err(),
+            ConfigError::ZeroMoveBudget
+        );
+    }
+
+    #[test]
+    fn builder_rejects_bad_beta_and_width() {
+        assert_eq!(
+            Pts::builder().beta(1.5).build().unwrap_err(),
+            ConfigError::BetaOutOfRange(1.5)
+        );
+        assert_eq!(
+            Pts::builder().diversify_width(0).build().unwrap_err(),
+            ConfigError::ZeroDiversifyWidth
+        );
+        // Width 0 is fine when diversification is off.
+        assert!(Pts::builder()
+            .diversify(false)
+            .diversify_width(0)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn config_errors_display_helpfully() {
+        let msg = ConfigError::ReportFractionOutOfRange(0.0).to_string();
+        assert!(msg.contains("(0, 1]"), "got: {msg}");
+    }
+
+    #[test]
+    fn from_config_roundtrips() {
+        let cfg = PtsConfig {
+            n_tsw: 7,
+            seed: 99,
+            ..PtsConfig::default()
+        };
+        let run = Pts::from_config(cfg).build().unwrap();
+        assert_eq!(run.config().n_tsw, 7);
+        assert_eq!(run.config().seed, 99);
+    }
+}

@@ -1,27 +1,26 @@
-//! The Candidate-List Worker (CLW).
+//! The Candidate-List Worker (CLW), generic over the problem domain.
 //!
-//! A CLW owns a cell *range*. On `Investigate` it builds one compound move:
-//! up to `depth` elementary moves, each the best of `m` sampled swaps whose
-//! first cell lies in the range (the second comes from the whole cell
-//! space, which bounds the probability of two CLWs colliding on the same
-//! move by `1/(n-1)²` — the paper's argument for probabilistic domain
-//! decomposition). The chain stops early as soon as it improves on the
-//! starting cost; otherwise the best (least-bad) prefix is proposed. The
-//! CLW then rolls back and waits for the TSW's verdict (`ApplyMoves`).
+//! A CLW owns an item *range*. On `Investigate` it builds one compound
+//! move: up to `depth` elementary moves, each the best of `m` sampled moves
+//! whose anchor item lies in the range (the second item comes from the
+//! whole item space, which bounds the probability of two CLWs colliding on
+//! the same move by `1/(n-1)²` — the paper's argument for probabilistic
+//! domain decomposition). The chain stops early as soon as it improves on
+//! the starting cost; otherwise the best (least-bad) prefix is proposed.
+//! The CLW then rolls back and waits for the TSW's verdict (`ApplyMoves`).
 //!
 //! Between compound steps the CLW polls its mailbox for `CutShort` — the
 //! TSW's heterogeneity mechanism — and if cut, proposes what it has so far.
 
 use crate::config::PtsConfig;
+use crate::domain::PtsDomain;
 use crate::messages::PtsMsg;
-use crate::placement_problem::{PlacementProblem, SwapMove};
 use crate::transport::Transport;
-use pts_netlist::{Netlist, TimingGraph};
-use pts_place::eval::Evaluator;
 use pts_tabu::candidate::CandidateList;
 use pts_tabu::problem::SearchProblem;
 use pts_util::Rng;
-use std::sync::Arc;
+
+type MoveOf<D> = <<D as PtsDomain>::Problem as SearchProblem>::Move;
 
 /// Derive a worker-unique RNG stream from the run seed and rank.
 pub fn worker_rng(seed: u64, rank: usize) -> Rng {
@@ -29,16 +28,15 @@ pub fn worker_rng(seed: u64, rank: usize) -> Rng {
 }
 
 /// Run the CLW protocol loop until `Stop`.
-pub fn run_clw<T: Transport>(
+pub fn run_clw<D: PtsDomain, T: Transport<D::Problem>>(
     t: &mut T,
     cfg: &PtsConfig,
     tsw_rank: usize,
     clw_index: usize,
-    netlist: Arc<Netlist>,
-    timing: Arc<TimingGraph>,
+    domain: &D,
 ) {
-    let n_cells = netlist.num_cells();
-    let range = cfg.clw_range(clw_index, n_cells);
+    let n_items = domain.domain_size();
+    let range = cfg.clw_range(clw_index, n_items);
     // MPSS (paper default): CLW j of *every* TSW shares one stream — the
     // searches are differentiated only by the TSW diversification step.
     // With differentiated streams (extension), each worker explores its
@@ -50,34 +48,44 @@ pub fn run_clw<T: Transport>(
     };
     let mut rng = worker_rng(cfg.seed, stream_salt);
 
-    // Wait for the master's Init. TSW messages (AdoptPlacement,
-    // Investigate) come from a *different sender* and may overtake Init;
-    // they are buffered and replayed once the evaluator exists.
-    let mut backlog: Vec<PtsMsg> = Vec::new();
+    // Wait for the master's Init. TSW messages (AdoptState, Investigate)
+    // come from a *different sender* and may overtake Init; they are
+    // buffered and replayed once the problem instance exists.
+    let mut backlog: Vec<PtsMsg<D::Problem>> = Vec::new();
     let mut problem = loop {
         match t.recv() {
-            PtsMsg::Init { placement, scheme } => {
-                break PlacementProblem::new(Evaluator::with_scheme(
-                    netlist.clone(),
-                    timing.clone(),
-                    placement,
-                    cfg.alpha,
-                    scheme,
-                ));
-            }
+            PtsMsg::Init { snapshot } => break domain.instantiate(&snapshot),
             PtsMsg::Stop => return,
             other => backlog.push(other),
         }
     };
 
     for msg in std::mem::take(&mut backlog) {
-        if handle(t, cfg, tsw_rank, clw_index, range, &mut rng, &mut problem, msg) {
+        if handle::<D, T>(
+            t,
+            cfg,
+            tsw_rank,
+            clw_index,
+            range,
+            &mut rng,
+            &mut problem,
+            msg,
+        ) {
             return;
         }
     }
     loop {
         let msg = t.recv();
-        if handle(t, cfg, tsw_rank, clw_index, range, &mut rng, &mut problem, msg) {
+        if handle::<D, T>(
+            t,
+            cfg,
+            tsw_rank,
+            clw_index,
+            range,
+            &mut rng,
+            &mut problem,
+            msg,
+        ) {
             return;
         }
     }
@@ -85,19 +93,19 @@ pub fn run_clw<T: Transport>(
 
 /// Dispatch one protocol message; returns `true` on `Stop`.
 #[allow(clippy::too_many_arguments)]
-fn handle<T: Transport>(
+fn handle<D: PtsDomain, T: Transport<D::Problem>>(
     t: &mut T,
     cfg: &PtsConfig,
     tsw_rank: usize,
     clw_index: usize,
     range: (usize, usize),
     rng: &mut Rng,
-    problem: &mut PlacementProblem,
-    msg: PtsMsg,
+    problem: &mut D::Problem,
+    msg: PtsMsg<D::Problem>,
 ) -> bool {
     match msg {
         PtsMsg::Investigate { seq } => {
-            let (moves, cost) = investigate(t, cfg, problem, rng, range, seq);
+            let (moves, cost) = investigate::<D, T>(t, cfg, problem, rng, range, seq);
             t.send(
                 tsw_rank,
                 PtsMsg::Proposal {
@@ -114,8 +122,8 @@ fn handle<T: Transport>(
             }
             t.compute(cfg.work.per_commit * moves.len() as f64);
         }
-        PtsMsg::AdoptPlacement { placement } => {
-            problem.restore(&placement);
+        PtsMsg::AdoptState { snapshot } => {
+            problem.restore(&snapshot);
             t.compute(cfg.work.per_commit);
         }
         PtsMsg::Stop => return true,
@@ -132,17 +140,17 @@ fn handle<T: Transport>(
 /// Build one compound-move proposal. Leaves the problem back at its
 /// starting state; returns the proposed move prefix and the cost it
 /// reaches.
-fn investigate<T: Transport>(
+fn investigate<D: PtsDomain, T: Transport<D::Problem>>(
     t: &mut T,
     cfg: &PtsConfig,
-    problem: &mut PlacementProblem,
+    problem: &mut D::Problem,
     rng: &mut Rng,
     range: (usize, usize),
     seq: u64,
-) -> (Vec<SwapMove>, f64) {
+) -> (Vec<MoveOf<D>>, f64) {
     let sampler = CandidateList::new(cfg.candidates);
     let start_cost = problem.cost();
-    let mut applied: Vec<SwapMove> = Vec::with_capacity(cfg.depth);
+    let mut applied: Vec<MoveOf<D>> = Vec::with_capacity(cfg.depth);
     let mut cost_after: Vec<f64> = Vec::with_capacity(cfg.depth);
 
     for _step in 0..cfg.depth {

@@ -1,11 +1,11 @@
 //! Configuration of a parallel tabu search run.
 
+use crate::builder::ConfigError;
 use pts_place::eval::{EvalConfig, SchemeChoice};
 use pts_place::fuzzy::GoalConfig;
-use serde::{Deserialize, Serialize};
 
 /// Parent/child synchronization policy — the paper's heterogeneity knob.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SyncPolicy {
     /// "Homogeneous run": a parent waits for *all* children to report.
     WaitAll,
@@ -15,9 +15,9 @@ pub enum SyncPolicy {
     HalfReport,
 }
 
-/// Cost-scheme selector (mirrors `pts_place::eval::SchemeChoice`, with
-/// serde support for the CLI).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+/// Cost-scheme selector (mirrors `pts_place::eval::SchemeChoice`, exposed
+/// as a plain enum for the CLI).
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum CostKind {
     /// The paper's fuzzy goal-based cost.
     Fuzzy,
@@ -31,7 +31,7 @@ pub enum CostKind {
 /// per virtual second. Values approximate the relative real cost of each
 /// operation so the virtual timeline matches the algorithm's compute
 /// profile.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct WorkModel {
     /// One candidate swap evaluation (incremental HPWL + STA cone).
     pub per_trial: f64,
@@ -58,7 +58,7 @@ impl Default for WorkModel {
 }
 
 /// Full configuration of a PTS run.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PtsConfig {
     /// Number of tabu search workers (high-level parallelization).
     pub n_tsw: usize,
@@ -187,8 +187,7 @@ impl PtsConfig {
     /// Children needed before the parent may force the rest (at least one,
     /// at most all).
     pub fn report_quorum(&self, n_children: usize) -> usize {
-        ((n_children as f64 * self.report_fraction).ceil() as usize)
-            .clamp(1, n_children)
+        ((n_children as f64 * self.report_fraction).ceil() as usize).clamp(1, n_children)
     }
 
     /// Diversification moves per global iteration. An explicit
@@ -222,25 +221,29 @@ impl PtsConfig {
         }
     }
 
-    /// Validate structural parameters; call before running.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validate structural parameters; [`crate::builder::RunBuilder::build`]
+    /// calls this so a [`crate::builder::PtsRun`] is valid by construction.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.n_tsw == 0 {
-            return Err("need at least one TSW".into());
+            return Err(ConfigError::NoTabuSearchWorkers);
         }
         if self.n_clw == 0 {
-            return Err("need at least one CLW per TSW".into());
+            return Err(ConfigError::NoCandidateListWorkers);
         }
         if self.global_iters == 0 || self.local_iters == 0 {
-            return Err("iteration counts must be positive".into());
+            return Err(ConfigError::ZeroIterations);
         }
         if self.candidates == 0 || self.depth == 0 {
-            return Err("candidates and depth must be positive".into());
+            return Err(ConfigError::ZeroMoveBudget);
         }
-        if !(0.0..=1.0).contains(&self.report_fraction) {
-            return Err("report_fraction must lie in [0,1]".into());
+        if !(self.report_fraction > 0.0 && self.report_fraction <= 1.0) {
+            return Err(ConfigError::ReportFractionOutOfRange(self.report_fraction));
         }
         if !(0.0..=1.0).contains(&self.beta) {
-            return Err("beta must lie in [0,1]".into());
+            return Err(ConfigError::BetaOutOfRange(self.beta));
+        }
+        if self.diversify && self.diversify_width == 0 {
+            return Err(ConfigError::ZeroDiversifyWidth);
         }
         Ok(())
     }
@@ -308,7 +311,7 @@ mod tests {
     #[test]
     fn quorum_clamps() {
         let cfg = PtsConfig {
-            report_fraction: 0.0,
+            report_fraction: 0.01,
             ..PtsConfig::default()
         };
         assert_eq!(cfg.report_quorum(4), 1);
@@ -340,19 +343,23 @@ mod tests {
 
     #[test]
     fn validation_catches_zeroes() {
-        let mut cfg = PtsConfig::default();
-        cfg.n_tsw = 0;
-        assert!(cfg.validate().is_err());
-        let mut cfg = PtsConfig::default();
-        cfg.local_iters = 0;
-        assert!(cfg.validate().is_err());
-    }
-
-    #[test]
-    fn config_is_serde_capable() {
-        // Compile-time check that the derives are in place (the CLI relies
-        // on them); no JSON crate is pulled in for this.
-        fn assert_serde<T: serde::Serialize + for<'a> serde::Deserialize<'a>>() {}
-        assert_serde::<PtsConfig>();
+        let cfg = PtsConfig {
+            n_tsw: 0,
+            ..PtsConfig::default()
+        };
+        assert_eq!(cfg.validate(), Err(ConfigError::NoTabuSearchWorkers));
+        let cfg = PtsConfig {
+            local_iters: 0,
+            ..PtsConfig::default()
+        };
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroIterations));
+        let cfg = PtsConfig {
+            report_fraction: 0.0,
+            ..PtsConfig::default()
+        };
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::ReportFractionOutOfRange(0.0))
+        );
     }
 }

@@ -1,0 +1,253 @@
+//! Execution engines: the substrates a PTS run executes on.
+//!
+//! The paper runs one algorithm on one substrate (a PVM cluster of twelve
+//! heterogeneous workstations). Here the same master/TSW/CLW pipeline runs
+//! on any [`ExecutionEngine`]:
+//!
+//! * [`SimEngine`] — the deterministic virtual-time heterogeneous cluster
+//!   (the paper's testbed substitute, exact replay, virtual metrics);
+//! * [`ThreadEngine`] — native OS threads (real wall-clock parallelism).
+//!
+//! Engines are chosen via trait objects (`&dyn ExecutionEngine<D>`), so
+//! run configuration code is substrate-independent, and both return the
+//! same unified [`RunReport`] — no engine-specific output types.
+
+use crate::config::PtsConfig;
+use crate::domain::{PtsDomain, SearchOutcome, SnapshotOf};
+use crate::master::run_master;
+use crate::messages::PtsMsg;
+use crate::report::{ClockDomain, RunReport};
+use crate::transport::{SimTransport, StatsSink, ThreadTransport};
+use crate::{clw::run_clw, tsw::run_tsw};
+use pts_vcluster::topology::{paper_cluster, round_robin_assignment};
+use pts_vcluster::{ClusterSpec, ProcStats, SimBuilder};
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Result of a run on any engine: algorithmic outcome + unified metrics.
+pub struct EngineOutput<D: PtsDomain> {
+    pub outcome: SearchOutcome<SnapshotOf<D>>,
+    pub report: RunReport,
+}
+
+/// A substrate that can carry the master/TSW/CLW pipeline for domain `D`.
+///
+/// Implementations must spawn `cfg.total_procs()` logical processes wired
+/// per the [`PtsConfig`] rank topology and return the master's outcome
+/// plus a fully populated [`RunReport`]. `cfg` is validated by the caller
+/// ([`crate::builder::PtsRun`] guarantees it).
+pub trait ExecutionEngine<D: PtsDomain> {
+    /// Short engine name ("sim", "threads") for logs and reports.
+    fn name(&self) -> &'static str;
+
+    /// Run the pipeline to completion from `initial` (the domain is
+    /// already frozen).
+    fn execute(&self, cfg: &PtsConfig, domain: &D, initial: SnapshotOf<D>) -> EngineOutput<D>;
+}
+
+/// Deterministic virtual-time heterogeneous cluster engine.
+#[derive(Clone, Debug)]
+pub struct SimEngine {
+    cluster: ClusterSpec,
+}
+
+impl SimEngine {
+    pub fn new(cluster: ClusterSpec) -> SimEngine {
+        SimEngine { cluster }
+    }
+
+    /// The paper's twelve-machine cluster (7 fast / 3 medium / 2 slow).
+    pub fn paper() -> SimEngine {
+        SimEngine::new(paper_cluster())
+    }
+
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+}
+
+impl<D: PtsDomain> ExecutionEngine<D> for SimEngine {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn execute(&self, cfg: &PtsConfig, domain: &D, initial: SnapshotOf<D>) -> EngineOutput<D> {
+        let wall = Instant::now();
+        let assignment = round_robin_assignment(&self.cluster, cfg.total_procs());
+        let mut sim: SimBuilder<PtsMsg<D::Problem>> = SimBuilder::new(self.cluster.clone());
+        let outcome_slot: Arc<Mutex<Option<SearchOutcome<SnapshotOf<D>>>>> =
+            Arc::new(Mutex::new(None));
+
+        // Rank 0: master. Spawn order must equal rank order (SimTransport
+        // identifies rank with simulated pid).
+        {
+            let cfg = *cfg;
+            let domain = domain.clone();
+            let slot = Arc::clone(&outcome_slot);
+            sim.spawn(assignment[0], move |ctx| {
+                let mut t = SimTransport { ctx };
+                let outcome = run_master(&mut t, &cfg, &domain, initial);
+                *slot.lock().unwrap() = Some(outcome);
+            });
+        }
+        // Ranks 1..=n_tsw: TSWs.
+        for i in 0..cfg.n_tsw {
+            let cfg = *cfg;
+            let domain = domain.clone();
+            let rank = cfg.tsw_rank(i);
+            sim.spawn(assignment[rank], move |ctx| {
+                let mut t = SimTransport { ctx };
+                run_tsw(&mut t, &cfg, i, &domain);
+            });
+        }
+        // Remaining ranks: CLWs, grouped by TSW.
+        for i in 0..cfg.n_tsw {
+            for j in 0..cfg.n_clw {
+                let cfg = *cfg;
+                let domain = domain.clone();
+                let rank = cfg.clw_rank(i, j);
+                let tsw_rank = cfg.tsw_rank(i);
+                sim.spawn(assignment[rank], move |ctx| {
+                    let mut t = SimTransport { ctx };
+                    run_clw(&mut t, &cfg, tsw_rank, j, &domain);
+                });
+            }
+        }
+        debug_assert_eq!(sim.num_spawned(), cfg.total_procs());
+
+        let cluster_report = sim.run();
+        let outcome = outcome_slot
+            .lock()
+            .unwrap()
+            .take()
+            .expect("master deposits its outcome");
+        EngineOutput {
+            outcome,
+            report: RunReport {
+                engine: "sim",
+                clock: ClockDomain::Virtual,
+                end_time: cluster_report.end_time,
+                wall_seconds: wall.elapsed().as_secs_f64(),
+                per_proc: cluster_report.per_proc,
+            },
+        }
+    }
+}
+
+/// Native OS-thread engine: real wall-clock parallelism. Virtual work
+/// accounting only records units — real computation takes real time.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThreadEngine;
+
+impl ThreadEngine {
+    pub fn new() -> ThreadEngine {
+        ThreadEngine
+    }
+}
+
+impl<D: PtsDomain> ExecutionEngine<D> for ThreadEngine {
+    fn name(&self) -> &'static str {
+        "threads"
+    }
+
+    fn execute(&self, cfg: &PtsConfig, domain: &D, initial: SnapshotOf<D>) -> EngineOutput<D> {
+        let n = cfg.total_procs();
+        let start = Instant::now();
+        let stats_sink: StatsSink = Arc::new(Mutex::new(vec![ProcStats::default(); n]));
+
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (s, r) = channel::<PtsMsg<D::Problem>>();
+            senders.push(s);
+            receivers.push(Some(r));
+        }
+
+        let mut handles = Vec::new();
+        for i in 0..cfg.n_tsw {
+            let rank = cfg.tsw_rank(i);
+            let mut t = ThreadTransport::new(
+                rank,
+                start,
+                senders.clone(),
+                receivers[rank].take().expect("receiver unclaimed"),
+                Arc::clone(&stats_sink),
+            );
+            let cfg = *cfg;
+            let domain = domain.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("pts-tsw{i}"))
+                    .spawn(move || run_tsw(&mut t, &cfg, i, &domain))
+                    .expect("spawn TSW thread"),
+            );
+        }
+        for i in 0..cfg.n_tsw {
+            for j in 0..cfg.n_clw {
+                let rank = cfg.clw_rank(i, j);
+                let tsw_rank = cfg.tsw_rank(i);
+                let mut t = ThreadTransport::new(
+                    rank,
+                    start,
+                    senders.clone(),
+                    receivers[rank].take().expect("receiver unclaimed"),
+                    Arc::clone(&stats_sink),
+                );
+                let cfg = *cfg;
+                let domain = domain.clone();
+                handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("pts-clw{i}.{j}"))
+                        .spawn(move || run_clw(&mut t, &cfg, tsw_rank, j, &domain))
+                        .expect("spawn CLW thread"),
+                );
+            }
+        }
+
+        let outcome = {
+            let mut master_t = ThreadTransport::new(
+                cfg.master_rank(),
+                start,
+                senders,
+                receivers[cfg.master_rank()]
+                    .take()
+                    .expect("master receiver"),
+                Arc::clone(&stats_sink),
+            );
+            run_master(&mut master_t, cfg, domain, initial)
+        };
+
+        for h in handles {
+            h.join().expect("worker thread panicked");
+        }
+
+        let wall_seconds = start.elapsed().as_secs_f64();
+        let per_proc = std::mem::take(&mut *stats_sink.lock().unwrap());
+        EngineOutput {
+            outcome,
+            report: RunReport {
+                engine: "threads",
+                clock: ClockDomain::Wall,
+                end_time: wall_seconds,
+                wall_seconds,
+                per_proc,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qap_domain::QapDomain;
+
+    #[test]
+    fn engines_are_object_safe() {
+        // The whole point of the trait: substrate selected at runtime.
+        let engines: Vec<Box<dyn ExecutionEngine<QapDomain>>> =
+            vec![Box::new(SimEngine::paper()), Box::new(ThreadEngine)];
+        assert_eq!(engines[0].name(), "sim");
+        assert_eq!(engines[1].name(), "threads");
+    }
+}

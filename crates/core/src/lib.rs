@@ -7,27 +7,42 @@
 //! * **high level (multi-search threads, p-control)**: a [`master`]
 //!   process coordinates several Tabu Search Workers ([`tsw`]), each
 //!   running its own tabu search from the shared initial solution after a
-//!   Kelly-style diversification over a private cell subset; the master
+//!   Kelly-style diversification over a private item subset; the master
 //!   collects bests per *global iteration* and broadcasts the winner
 //!   (solution + tabu list);
 //! * **low level (functional decomposition, 1-control)**: each TSW drives
 //!   Candidate-List Workers ([`clw`]) that explore the neighborhood in
-//!   parallel, each anchored to a cell range (probabilistic domain
+//!   parallel, each anchored to an item range (probabilistic domain
 //!   decomposition), building compound moves of depth `d` from best-of-`m`
-//!   candidate swaps;
+//!   candidate moves;
 //! * **heterogeneity**: under [`config::SyncPolicy::HalfReport`], a parent
 //!   waits only for half of its children, then forces the rest to report
 //!   immediately — at both the master/TSW and TSW/CLW levels.
 //!
-//! Runs execute either on the deterministic virtual heterogeneous cluster
-//! ([`sim_engine`], the paper's PVM-testbed substitute) or on native
-//! threads ([`thread_engine`]) for real wall-clock parallelism.
+//! The pipeline is generic along two axes:
+//!
+//! * **problem**: any [`domain::PtsDomain`] — VLSI placement
+//!   ([`placement_problem::PlacementDomain`], the paper's workload) and
+//!   quadratic assignment ([`qap_domain::QapDomain`]) are wired in;
+//! * **substrate**: any [`engine::ExecutionEngine`] — the deterministic
+//!   virtual heterogeneous cluster ([`engine::SimEngine`], the paper's
+//!   PVM-testbed substitute) or native threads ([`engine::ThreadEngine`])
+//!   for real wall-clock parallelism. Both return one unified
+//!   [`report::RunReport`].
+//!
+//! Entry point: [`builder::Pts::builder`] → validated
+//! [`builder::PtsRun`] → `execute` / `run_placement`.
 
+pub mod builder;
 pub mod clw;
 pub mod config;
+pub mod domain;
+pub mod engine;
 pub mod master;
 pub mod messages;
 pub mod placement_problem;
+pub mod qap_domain;
+pub mod report;
 pub mod run;
 pub mod sim_engine;
 pub mod speedup;
@@ -35,11 +50,21 @@ pub mod thread_engine;
 pub mod transport;
 pub mod tsw;
 
+pub use builder::{ConfigError, PlacementRunOutput, Pts, PtsRun, RunBuilder};
 pub use config::{CostKind, PtsConfig, SyncPolicy, WorkModel};
-pub use master::MasterOutcome;
+pub use domain::{PtsDomain, PtsProblem, SearchOutcome, SnapshotOf, WireSized};
+pub use engine::{EngineOutput, ExecutionEngine, SimEngine, ThreadEngine};
 pub use messages::PtsMsg;
-pub use placement_problem::PlacementProblem;
-pub use run::{run_pts, run_sequential_baseline, Engine, PtsOutput};
-pub use sim_engine::{run_on_sim, run_on_sim_from, SimOutput};
+pub use placement_problem::{MasterOutcome, PlacementDomain, PlacementProblem};
+pub use qap_domain::QapDomain;
+pub use report::{ClockDomain, RunReport};
+pub use run::run_sequential_baseline;
 pub use speedup::{common_quality_target, fractional_quality_target, speedup_sweep, SpeedupPoint};
+
+// Deprecated compatibility surface (one release).
+#[allow(deprecated)]
+pub use run::{run_pts, Engine, PtsOutput};
+#[allow(deprecated)]
+pub use sim_engine::{run_on_sim, run_on_sim_from, SimOutput};
+#[allow(deprecated)]
 pub use thread_engine::{run_on_threads, run_on_threads_from};

@@ -1,77 +1,42 @@
-//! The master process.
+//! The master process, generic over the problem domain.
 //!
-//! Distributes the initial solution (and frozen cost scheme) to every
-//! worker, then runs `global_iters` rounds: collect one report per TSW —
-//! under the heterogeneous policy, forcing stragglers once half have
-//! reported — select the overall best, and broadcast it (solution + tabu
-//! list) back to all TSWs. One collect+broadcast is one *global iteration*.
+//! Distributes the initial solution to every worker, then runs
+//! `global_iters` rounds: collect one report per TSW — under the
+//! heterogeneous policy, forcing stragglers once half have reported —
+//! select the overall best, and broadcast it (solution + tabu list) back to
+//! all TSWs. One collect+broadcast is one *global iteration*.
 
 use crate::config::{PtsConfig, SyncPolicy};
+use crate::domain::{PtsDomain, SearchOutcome, SnapshotOf};
 use crate::messages::{PtsMsg, TabuEntries};
 use crate::transport::Transport;
-use pts_netlist::{Netlist, TimingGraph};
-use pts_place::cost::RawObjectives;
-use pts_place::eval::Evaluator;
-use pts_place::placement::Placement;
 use pts_tabu::search::SearchStats;
 use pts_tabu::trace::Trace;
-use std::sync::Arc;
-
-/// Everything the master learned from a run.
-#[derive(Clone, Debug)]
-pub struct MasterOutcome {
-    /// Best scalar cost found anywhere.
-    pub best_cost: f64,
-    pub best_placement: Placement,
-    /// Raw objectives of the best placement.
-    pub objectives: RawObjectives,
-    /// Cost of the initial solution (same scheme).
-    pub initial_cost: f64,
-    /// Merged best-cost-over-time curve across all workers.
-    pub trace: Trace,
-    /// Global best after each global iteration.
-    pub best_per_global_iter: Vec<f64>,
-    /// Aggregated TSW search statistics.
-    pub tsw_stats: SearchStats,
-    /// Number of ForceReport messages the master sent.
-    pub forced_reports: u64,
-    /// Virtual/wall time when the search finished.
-    pub end_time: f64,
-}
 
 /// Run the master protocol to completion.
-pub fn run_master<T: Transport>(
+pub fn run_master<D: PtsDomain, T: Transport<D::Problem>>(
     t: &mut T,
     cfg: &PtsConfig,
-    netlist: Arc<Netlist>,
-    timing: Arc<TimingGraph>,
-    initial: Placement,
-) -> MasterOutcome {
-    // Freeze the cost scheme from the initial solution.
-    let eval = Evaluator::new(
-        netlist.clone(),
-        timing.clone(),
-        initial.clone(),
-        cfg.eval_config(),
-    );
-    let scheme = eval.scheme().clone();
-    let initial_cost = eval.cost();
-    drop(eval);
+    domain: &D,
+    initial: SnapshotOf<D>,
+) -> SearchOutcome<SnapshotOf<D>> {
+    // Cost of the initial solution under the (frozen) domain.
+    let initial_cost = domain.cost_of(&initial);
 
-    // Initialize every worker (TSWs and CLWs all need the scheme).
+    // Initialize every worker (TSWs and CLWs all start from the initial
+    // solution).
     for rank in 1..cfg.total_procs() {
         t.send(
             rank,
             PtsMsg::Init {
-                placement: initial.clone(),
-                scheme: scheme.clone(),
+                snapshot: initial.clone(),
             },
         );
     }
 
     let mut best_cost = initial_cost;
-    let mut best_placement = initial;
-    let mut best_tabu: TabuEntries = Vec::new();
+    let mut best_snapshot = initial;
+    let mut best_tabu: TabuEntries<D::Problem> = Vec::new();
     let mut merged = Trace::new();
     merged.record(t.now(), 0, best_cost);
     let mut best_per_global_iter = Vec::with_capacity(cfg.global_iters as usize);
@@ -90,7 +55,7 @@ pub fn run_master<T: Transport>(
                     tsw,
                     global,
                     cost,
-                    placement,
+                    snapshot,
                     tabu,
                     trace,
                     stats,
@@ -103,14 +68,12 @@ pub fn run_master<T: Transport>(
                     merged = Trace::merge([&merged, &Trace::from_points(trace)]);
                     if cost < best_cost {
                         best_cost = cost;
-                        best_placement = placement;
+                        best_snapshot = snapshot;
                         best_tabu = tabu;
                     }
-                    // Accumulate per-round stats deltas (stats are
-                    // cumulative per TSW; summing the last round only would
-                    // under-count, so track max per TSW via the final
-                    // round: simplest is to sum on the last global
-                    // iteration only).
+                    // Stats are cumulative per TSW; summing every round
+                    // would over-count, so fold them in on the final round
+                    // only.
                     if g + 1 == cfg.global_iters {
                         tsw_stats.iterations += stats.iterations;
                         tsw_stats.accepted += stats.accepted;
@@ -147,7 +110,7 @@ pub fn run_master<T: Transport>(
                     cfg.tsw_rank(i),
                     PtsMsg::Broadcast {
                         global: g,
-                        placement: best_placement.clone(),
+                        snapshot: best_snapshot.clone(),
                         tabu: best_tabu.clone(),
                     },
                 );
@@ -159,18 +122,9 @@ pub fn run_master<T: Transport>(
         }
     }
 
-    // Exact objectives of the winner.
-    let final_eval = Evaluator::with_scheme(
-        netlist,
-        timing,
-        best_placement.clone(),
-        cfg.alpha,
-        scheme,
-    );
-    MasterOutcome {
+    SearchOutcome {
         best_cost,
-        best_placement,
-        objectives: final_eval.objectives(),
+        best: best_snapshot,
         initial_cost,
         trace: merged,
         best_per_global_iter,
@@ -189,6 +143,6 @@ mod tests {
         // Structural smoke test; behavioural coverage lives in the engine
         // integration tests.
         fn assert_send<T: Send>() {}
-        assert_send::<MasterOutcome>();
+        assert_send::<SearchOutcome<pts_place::placement::Placement>>();
     }
 }

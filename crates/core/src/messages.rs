@@ -1,4 +1,5 @@
-//! The master / TSW / CLW message protocol.
+//! The master / TSW / CLW message protocol, generic over the search
+//! problem.
 //!
 //! Mirrors the paper's process interactions: the master and TSWs exchange
 //! best solutions *plus the associated tabu list*; TSWs and CLWs exchange
@@ -8,30 +9,31 @@
 //! Messages carry the global-iteration / investigation sequence they belong
 //! to so that late control messages (a `ForceReport` crossing a `Report` in
 //! flight) are recognized as stale and ignored.
+//!
+//! The payload types come from the problem: solution snapshots
+//! ([`pts_tabu::SearchProblem::Snapshot`]), elementary moves, and tabu
+//! attributes. Any [`PtsProblem`] rides the same protocol — placement and
+//! QAP use identical message flow.
 
-use crate::placement_problem::{SlotAttr, SwapMove};
-use pts_place::cost::CostScheme;
-use pts_place::placement::Placement;
+use crate::domain::{PtsProblem, WireSized};
 use pts_tabu::search::SearchStats;
 use pts_tabu::trace::TracePoint;
 
 /// Exported tabu list: attribute + remaining tenure.
-pub type TabuEntries = Vec<(SlotAttr, u64)>;
+pub type TabuEntries<P> = Vec<(<P as pts_tabu::SearchProblem>::Attribute, u64)>;
 
-/// Protocol messages.
-#[derive(Clone, Debug)]
-pub enum PtsMsg {
-    /// Master → everyone: initial solution and the frozen cost scheme.
-    Init {
-        placement: Placement,
-        scheme: CostScheme,
-    },
+/// Protocol messages for a run over problem `P`.
+pub enum PtsMsg<P: PtsProblem> {
+    /// Master → everyone: the initial solution (run-constant data such as
+    /// the placement cost scheme is frozen into the domain before workers
+    /// spawn).
+    Init { snapshot: P::Snapshot },
     /// Master → TSW: the global best after a global iteration, with its
     /// tabu list.
     Broadcast {
         global: u32,
-        placement: Placement,
-        tabu: TabuEntries,
+        snapshot: P::Snapshot,
+        tabu: TabuEntries<P>,
     },
     /// Master → TSW: report your current best immediately (half-report
     /// sync).
@@ -41,13 +43,13 @@ pub enum PtsMsg {
         tsw: usize,
         global: u32,
         cost: f64,
-        placement: Placement,
-        tabu: TabuEntries,
+        snapshot: P::Snapshot,
+        tabu: TabuEntries<P>,
         trace: Vec<TracePoint>,
         stats: SearchStats,
     },
-    /// TSW → CLW: adopt this placement as the current solution.
-    AdoptPlacement { placement: Placement },
+    /// TSW → CLW: adopt this solution as the current state.
+    AdoptState { snapshot: P::Snapshot },
     /// TSW → CLW: build one compound-move proposal (investigation `seq`).
     Investigate { seq: u64 },
     /// TSW → CLW: stop investigating `seq`, report what you have.
@@ -56,40 +58,53 @@ pub enum PtsMsg {
     Proposal {
         clw: usize,
         seq: u64,
-        moves: Vec<SwapMove>,
+        moves: Vec<P::Move>,
         cost: f64,
     },
     /// TSW → CLW: the accepted move sequence; apply to stay in sync.
-    ApplyMoves { moves: Vec<SwapMove> },
+    ApplyMoves { moves: Vec<P::Move> },
     /// Shut down (master → TSW → CLW).
     Stop,
 }
 
-impl PtsMsg {
+/// Approximate wire size of one elementary move (two item indices).
+const MOVE_BYTES: u64 = 8;
+/// Approximate wire size of one tabu entry (attribute + tenure).
+const TABU_ENTRY_BYTES: u64 = 12;
+/// Approximate wire size of one trace point.
+const TRACE_POINT_BYTES: u64 = 20;
+
+impl<P: PtsProblem> PtsMsg<P> {
     /// Approximate wire size in bytes, used by the virtual cluster's
-    /// bandwidth model. Placements dominate (4 bytes per cell), matching
-    /// the paper's observation that solution exchange is the main traffic.
+    /// bandwidth model. Snapshots dominate, matching the paper's
+    /// observation that solution exchange is the main traffic.
     pub fn wire_size(&self) -> u64 {
         const HDR: u64 = 32;
         match self {
-            PtsMsg::Init { placement, .. } => HDR + 4 * placement.num_cells() as u64 + 64,
-            PtsMsg::Broadcast {
-                placement, tabu, ..
-            } => HDR + 4 * placement.num_cells() as u64 + 12 * tabu.len() as u64,
+            // The +64 covers the run-constant data (the placement cost
+            // scheme) that historically travelled with Init. The scheme is
+            // now frozen into the domain before workers spawn, but the
+            // charge is retained deliberately so virtual timelines stay
+            // bit-compatible with the pre-redesign engine (the pinned
+            // golden values in tests/determinism.rs depend on it).
+            PtsMsg::Init { snapshot } => HDR + snapshot.wire_bytes() + 64,
+            PtsMsg::Broadcast { snapshot, tabu, .. } => {
+                HDR + snapshot.wire_bytes() + TABU_ENTRY_BYTES * tabu.len() as u64
+            }
             PtsMsg::Report {
-                placement,
+                snapshot,
                 tabu,
                 trace,
                 ..
             } => {
-                HDR + 4 * placement.num_cells() as u64
-                    + 12 * tabu.len() as u64
-                    + 20 * trace.len() as u64
+                HDR + snapshot.wire_bytes()
+                    + TABU_ENTRY_BYTES * tabu.len() as u64
+                    + TRACE_POINT_BYTES * trace.len() as u64
                     + 48
             }
-            PtsMsg::AdoptPlacement { placement } => HDR + 4 * placement.num_cells() as u64,
-            PtsMsg::Proposal { moves, .. } => HDR + 8 * moves.len() as u64 + 16,
-            PtsMsg::ApplyMoves { moves } => HDR + 8 * moves.len() as u64,
+            PtsMsg::AdoptState { snapshot } => HDR + snapshot.wire_bytes(),
+            PtsMsg::Proposal { moves, .. } => HDR + MOVE_BYTES * moves.len() as u64 + 16,
+            PtsMsg::ApplyMoves { moves } => HDR + MOVE_BYTES * moves.len() as u64,
             PtsMsg::ForceReport { .. }
             | PtsMsg::Investigate { .. }
             | PtsMsg::CutShort { .. }
@@ -104,7 +119,7 @@ impl PtsMsg {
             PtsMsg::Broadcast { .. } => "Broadcast",
             PtsMsg::ForceReport { .. } => "ForceReport",
             PtsMsg::Report { .. } => "Report",
-            PtsMsg::AdoptPlacement { .. } => "AdoptPlacement",
+            PtsMsg::AdoptState { .. } => "AdoptState",
             PtsMsg::Investigate { .. } => "Investigate",
             PtsMsg::CutShort { .. } => "CutShort",
             PtsMsg::Proposal { .. } => "Proposal",
@@ -117,26 +132,50 @@ impl PtsMsg {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::placement_problem::PlacementProblem;
     use pts_place::layout::Layout;
+    use pts_place::placement::Placement;
+    use pts_tabu::qap::Qap;
 
     #[test]
     fn placement_bearing_messages_are_heavier() {
         let p = Placement::sequential(Layout::new(4, 25, 2.0, 1.0), 100);
-        let adopt = PtsMsg::AdoptPlacement { placement: p };
-        assert!(adopt.wire_size() > PtsMsg::Stop.wire_size() + 300);
+        let adopt: PtsMsg<PlacementProblem> = PtsMsg::AdoptState { snapshot: p };
+        let stop: PtsMsg<PlacementProblem> = PtsMsg::Stop;
+        assert!(adopt.wire_size() > stop.wire_size() + 300);
     }
 
     #[test]
     fn control_messages_are_small() {
-        assert!(PtsMsg::Stop.wire_size() <= 64);
-        assert!(PtsMsg::Investigate { seq: 1 }.wire_size() <= 64);
-        assert!(PtsMsg::CutShort { seq: 1 }.wire_size() <= 64);
-        assert!(PtsMsg::ForceReport { global: 0 }.wire_size() <= 64);
+        let msgs: Vec<PtsMsg<PlacementProblem>> = vec![
+            PtsMsg::Stop,
+            PtsMsg::Investigate { seq: 1 },
+            PtsMsg::CutShort { seq: 1 },
+            PtsMsg::ForceReport { global: 0 },
+        ];
+        for m in msgs {
+            assert!(m.wire_size() <= 64);
+        }
+    }
+
+    #[test]
+    fn qap_messages_size_by_assignment_length() {
+        let q = Qap::random(40, 1);
+        let init: PtsMsg<Qap> = PtsMsg::Init {
+            snapshot: pts_tabu::SearchProblem::snapshot(&q),
+        };
+        let small = Qap::random(4, 1);
+        let init_small: PtsMsg<Qap> = PtsMsg::Init {
+            snapshot: pts_tabu::SearchProblem::snapshot(&small),
+        };
+        assert!(init.wire_size() > init_small.wire_size());
     }
 
     #[test]
     fn tags_cover_all_variants() {
-        assert_eq!(PtsMsg::Stop.tag(), "Stop");
-        assert_eq!(PtsMsg::Investigate { seq: 0 }.tag(), "Investigate");
+        let stop: PtsMsg<Qap> = PtsMsg::Stop;
+        assert_eq!(stop.tag(), "Stop");
+        let inv: PtsMsg<Qap> = PtsMsg::Investigate { seq: 0 };
+        assert_eq!(inv.tag(), "Investigate");
     }
 }

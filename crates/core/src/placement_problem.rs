@@ -1,11 +1,20 @@
 //! Binding of the VLSI placement evaluator to the generic tabu search
-//! problem abstraction.
+//! problem abstraction, plus the placement [`PtsDomain`] — the paper's
+//! workload — and the placement-specific run outcome.
 
-use pts_netlist::CellId;
-use pts_place::eval::Evaluator;
+use crate::config::PtsConfig;
+use crate::domain::{PtsDomain, SearchOutcome, WireSized};
+use pts_netlist::{CellId, Netlist, TimingGraph};
+use pts_place::cost::{CostScheme, RawObjectives};
+use pts_place::eval::{EvalConfig, Evaluator};
+use pts_place::init::random_placement;
 use pts_place::placement::Placement;
 use pts_tabu::problem::{AttrPair, SearchProblem};
+use pts_tabu::search::SearchStats;
+use pts_tabu::trace::Trace;
+use pts_tabu::DiversifiableProblem;
 use pts_util::Rng;
+use std::sync::Arc;
 
 /// A cell-swap move.
 pub type SwapMove = (CellId, CellId);
@@ -100,6 +109,162 @@ impl SearchProblem for PlacementProblem {
 
     fn restore(&mut self, snapshot: &Placement) {
         self.eval.adopt_placement(snapshot.clone());
+    }
+}
+
+impl DiversifiableProblem for PlacementProblem {}
+
+impl WireSized for Placement {
+    /// 4 bytes per cell, matching the paper's observation that solution
+    /// exchange dominates traffic.
+    fn wire_bytes(&self) -> u64 {
+        4 * self.num_cells() as u64
+    }
+}
+
+/// The VLSI placement domain: shared circuit data plus the frozen cost
+/// scheme, minting worker-local [`PlacementProblem`] instances.
+#[derive(Clone)]
+pub struct PlacementDomain {
+    netlist: Arc<Netlist>,
+    timing: Arc<TimingGraph>,
+    alpha: f64,
+    eval_config: EvalConfig,
+    /// Cost scheme frozen from the initial solution (set by
+    /// [`PtsDomain::freeze`] before workers spawn, as the paper's master
+    /// fixes the fuzzy goals once).
+    scheme: Option<CostScheme>,
+    /// The initial solution the scheme was frozen from, with its cost —
+    /// lets [`PtsDomain::cost_of`] answer the master's initial-cost query
+    /// without building a second evaluator.
+    frozen_initial: Option<(Placement, f64)>,
+}
+
+impl PlacementDomain {
+    /// Build the domain for a circuit with the cost knobs taken from the
+    /// run configuration.
+    pub fn new(netlist: Arc<Netlist>, cfg: &PtsConfig) -> PlacementDomain {
+        let timing = Arc::new(TimingGraph::build(&netlist).expect("acyclic circuit"));
+        PlacementDomain {
+            netlist,
+            timing,
+            alpha: cfg.alpha,
+            eval_config: cfg.eval_config(),
+            scheme: None,
+            frozen_initial: None,
+        }
+    }
+
+    pub fn netlist(&self) -> &Arc<Netlist> {
+        &self.netlist
+    }
+
+    /// Exact raw objectives of a placement under this domain's scheme.
+    pub fn objectives_of(&self, placement: &Placement) -> RawObjectives {
+        self.instantiate(placement).evaluator().objectives()
+    }
+}
+
+impl PtsDomain for PlacementDomain {
+    type Problem = PlacementProblem;
+
+    fn name(&self) -> &str {
+        "placement"
+    }
+
+    fn domain_size(&self) -> usize {
+        self.netlist.num_cells()
+    }
+
+    fn initial(&self, seed: u64) -> Placement {
+        random_placement(&self.netlist, seed ^ 0x1317)
+    }
+
+    fn freeze(&self, initial: &Placement) -> PlacementDomain {
+        let eval = Evaluator::new(
+            self.netlist.clone(),
+            self.timing.clone(),
+            initial.clone(),
+            self.eval_config,
+        );
+        PlacementDomain {
+            scheme: Some(eval.scheme().clone()),
+            frozen_initial: Some((initial.clone(), eval.cost())),
+            ..self.clone()
+        }
+    }
+
+    fn instantiate(&self, snapshot: &Placement) -> PlacementProblem {
+        let eval = match &self.scheme {
+            Some(scheme) => Evaluator::with_scheme(
+                self.netlist.clone(),
+                self.timing.clone(),
+                snapshot.clone(),
+                self.alpha,
+                scheme.clone(),
+            ),
+            None => Evaluator::new(
+                self.netlist.clone(),
+                self.timing.clone(),
+                snapshot.clone(),
+                self.eval_config,
+            ),
+        };
+        PlacementProblem::new(eval)
+    }
+
+    fn cost_of(&self, snapshot: &Placement) -> f64 {
+        // The master asks for the cost of the very placement the scheme
+        // was frozen from; answer from the freeze-time evaluation instead
+        // of rebuilding HPWL + STA models.
+        if let Some((frozen, cost)) = &self.frozen_initial {
+            if frozen == snapshot {
+                return *cost;
+            }
+        }
+        self.instantiate(snapshot).cost()
+    }
+}
+
+/// Everything the master learned from a placement run (the generic
+/// [`SearchOutcome`] enriched with exact raw objectives of the winner).
+#[derive(Clone, Debug)]
+pub struct MasterOutcome {
+    /// Best scalar cost found anywhere.
+    pub best_cost: f64,
+    pub best_placement: Placement,
+    /// Raw objectives of the best placement.
+    pub objectives: RawObjectives,
+    /// Cost of the initial solution (same scheme).
+    pub initial_cost: f64,
+    /// Merged best-cost-over-time curve across all workers.
+    pub trace: Trace,
+    /// Global best after each global iteration.
+    pub best_per_global_iter: Vec<f64>,
+    /// Aggregated TSW search statistics.
+    pub tsw_stats: SearchStats,
+    /// Number of ForceReport messages the master sent.
+    pub forced_reports: u64,
+    /// Virtual/wall time when the search finished.
+    pub end_time: f64,
+}
+
+impl MasterOutcome {
+    /// Wrap a generic outcome, computing exact objectives under the frozen
+    /// domain.
+    pub fn from_search(outcome: SearchOutcome<Placement>, domain: &PlacementDomain) -> Self {
+        let objectives = domain.objectives_of(&outcome.best);
+        MasterOutcome {
+            best_cost: outcome.best_cost,
+            best_placement: outcome.best,
+            objectives,
+            initial_cost: outcome.initial_cost,
+            trace: outcome.trace,
+            best_per_global_iter: outcome.best_per_global_iter,
+            tsw_stats: outcome.tsw_stats,
+            forced_reports: outcome.forced_reports,
+            end_time: outcome.end_time,
+        }
     }
 }
 

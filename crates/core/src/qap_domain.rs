@@ -1,0 +1,109 @@
+//! Quadratic assignment as a parallel-search domain.
+//!
+//! QAP is the domain of the Kelly-Laguna-Glover diversification study the
+//! paper builds on; `pts-tabu` provides the sequential binding. This
+//! module lifts it into a [`PtsDomain`] so the *entire* master/TSW/CLW
+//! pipeline — diversification ranges, compound-move proposals, half-report
+//! heterogeneity — runs on QAP through the exact same entry point as
+//! placement. The shared flow/distance matrices are cloned per worker
+//! (each PVM process in the paper likewise held private problem data).
+
+use crate::domain::{PtsDomain, WireSized};
+use pts_tabu::qap::Qap;
+use pts_tabu::SearchProblem;
+use pts_util::Rng;
+
+impl WireSized for Vec<usize> {
+    /// 8 bytes per assignment entry.
+    ///
+    /// Note: by the orphan rule this is the one `WireSized` model any
+    /// domain with a bare `Vec<usize>` snapshot can ever have. A future
+    /// domain wanting a different density (e.g. a 4-byte-per-city TSP
+    /// tour) should wrap its snapshot in a newtype and implement
+    /// `WireSized` there — see the ROADMAP "More domains" item.
+    fn wire_bytes(&self) -> u64 {
+        8 * self.len() as u64
+    }
+}
+
+/// The QAP domain: one instance (flow/distance matrices) shared by value.
+#[derive(Clone)]
+pub struct QapDomain {
+    instance: Qap,
+}
+
+impl QapDomain {
+    pub fn new(instance: Qap) -> QapDomain {
+        QapDomain { instance }
+    }
+
+    /// Random symmetric instance, deterministic in `seed`.
+    pub fn random(n: usize, seed: u64) -> QapDomain {
+        QapDomain::new(Qap::random(n, seed))
+    }
+
+    pub fn instance(&self) -> &Qap {
+        &self.instance
+    }
+}
+
+impl PtsDomain for QapDomain {
+    type Problem = Qap;
+
+    fn name(&self) -> &str {
+        "qap"
+    }
+
+    fn domain_size(&self) -> usize {
+        self.instance.n()
+    }
+
+    /// Fresh random assignment, deterministic in `seed` (independent of
+    /// the instance's own starting assignment).
+    fn initial(&self, seed: u64) -> Vec<usize> {
+        let n = self.instance.n();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = Rng::new(seed ^ 0x1317);
+        rng.shuffle(&mut order);
+        order
+    }
+
+    fn instantiate(&self, snapshot: &Vec<usize>) -> Qap {
+        let mut q = self.instance.clone();
+        q.restore(snapshot);
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_is_seed_deterministic_permutation() {
+        let d = QapDomain::random(12, 5);
+        let a = d.initial(42);
+        let b = d.initial(42);
+        let c = d.initial(43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..12).collect::<Vec<_>>(), "must be a permutation");
+    }
+
+    #[test]
+    fn instantiate_positions_problem_at_snapshot() {
+        let d = QapDomain::random(10, 7);
+        let snap = d.initial(1);
+        let q = d.instantiate(&snap);
+        assert_eq!(q.snapshot_assignment(), snap);
+        assert!((q.cost() - q.cost_exact()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn assignment_wire_size_scales() {
+        let v: Vec<usize> = (0..30).collect();
+        assert_eq!(v.wire_bytes(), 240);
+    }
+}

@@ -1,0 +1,125 @@
+//! Unified run metrics across execution engines.
+//!
+//! Both engines produce the *same* report type: the virtual cluster fills
+//! it with virtual-time accounting (the paper's measurements), the thread
+//! engine with wall-clock and channel accounting. No field is
+//! engine-optional — code consuming a report never needs to know which
+//! substrate carried the run.
+
+use pts_vcluster::ProcStats;
+
+/// Which clock [`RunReport::end_time`] and the per-process times are in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClockDomain {
+    /// Deterministic virtual seconds (simulated heterogeneous cluster).
+    Virtual,
+    /// Host wall-clock seconds (native threads).
+    Wall,
+}
+
+/// Metrics of one PTS run, engine-independent.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Engine that carried the run ("sim", "threads").
+    pub engine: &'static str,
+    /// Clock the search-time metrics are measured in.
+    pub clock: ClockDomain,
+    /// Search time: when the last process finished, in [`RunReport::clock`]
+    /// units.
+    pub end_time: f64,
+    /// Real wall-clock duration of the whole run on this host (equals the
+    /// search time for the thread engine, host time for the sim engine).
+    pub wall_seconds: f64,
+    /// Per-process counters, indexed by rank (master = 0). The sim engine
+    /// reports full virtual-time accounting; the thread engine reports
+    /// message/byte/work counters and recv wait time (busy time is folded
+    /// into wall time and reported as 0).
+    pub per_proc: Vec<ProcStats>,
+}
+
+impl RunReport {
+    pub fn num_procs(&self) -> usize {
+        self.per_proc.len()
+    }
+
+    pub fn total_messages(&self) -> u64 {
+        self.per_proc.iter().map(|p| p.messages_sent).sum()
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.per_proc.iter().map(|p| p.bytes_sent).sum()
+    }
+
+    /// Total work units charged via `compute` across all processes.
+    pub fn total_work(&self) -> f64 {
+        self.per_proc.iter().map(|p| p.work_done).sum()
+    }
+
+    /// Fraction of total process-time spent computing rather than waiting.
+    /// Meaningful for the sim engine (the paper's utilization measure);
+    /// the thread engine reports 0 busy time, hence 0.
+    pub fn utilization(&self) -> f64 {
+        let busy: f64 = self.per_proc.iter().map(|p| p.busy_time).sum();
+        let wait: f64 = self.per_proc.iter().map(|p| p.wait_time).sum();
+        if busy + wait == 0.0 {
+            0.0
+        } else {
+            busy / (busy + wait)
+        }
+    }
+
+    /// View as the virtual cluster's report type (used by the deprecated
+    /// compatibility API).
+    pub fn to_cluster_report(&self) -> pts_vcluster::RunReport {
+        pts_vcluster::RunReport {
+            end_time: self.end_time,
+            per_proc: self.per_proc.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proc(busy: f64, wait: f64, sent: u64, bytes: u64) -> ProcStats {
+        ProcStats {
+            busy_time: busy,
+            wait_time: wait,
+            messages_sent: sent,
+            bytes_sent: bytes,
+            work_done: busy,
+            ..ProcStats::default()
+        }
+    }
+
+    #[test]
+    fn aggregates_sum_over_procs() {
+        let r = RunReport {
+            engine: "sim",
+            clock: ClockDomain::Virtual,
+            end_time: 12.0,
+            wall_seconds: 0.5,
+            per_proc: vec![proc(6.0, 2.0, 3, 300), proc(2.0, 6.0, 1, 100)],
+        };
+        assert_eq!(r.num_procs(), 2);
+        assert_eq!(r.total_messages(), 4);
+        assert_eq!(r.total_bytes(), 400);
+        assert!((r.utilization() - 0.5).abs() < 1e-12);
+        let cluster = r.to_cluster_report();
+        assert_eq!(cluster.end_time, 12.0);
+        assert_eq!(cluster.total_messages(), 4);
+    }
+
+    #[test]
+    fn empty_utilization_is_zero() {
+        let r = RunReport {
+            engine: "threads",
+            clock: ClockDomain::Wall,
+            end_time: 0.0,
+            wall_seconds: 0.0,
+            per_proc: vec![],
+        };
+        assert_eq!(r.utilization(), 0.0);
+    }
+}

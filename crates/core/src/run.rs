@@ -1,10 +1,14 @@
-//! Unified run entry point and the sequential baseline.
+//! Legacy run entry point (deprecated shims) and the sequential baseline.
+//!
+//! The enum-based [`Engine`] selection and [`run_pts`] free function are
+//! superseded by the [`crate::builder::Pts`] builder and
+//! [`crate::engine::ExecutionEngine`] trait objects; they remain as thin
+//! wrappers so downstream diffs stay reviewable for one release.
 
+use crate::builder::Pts;
 use crate::config::PtsConfig;
-use crate::master::MasterOutcome;
-use crate::placement_problem::PlacementProblem;
-use crate::sim_engine::{run_on_sim, SimOutput};
-use crate::thread_engine::run_on_threads;
+use crate::engine::{SimEngine, ThreadEngine};
+use crate::placement_problem::MasterOutcome;
 use pts_netlist::{Netlist, TimingGraph};
 use pts_place::eval::Evaluator;
 use pts_place::init::random_placement;
@@ -14,6 +18,10 @@ use pts_vcluster::ClusterSpec;
 use std::sync::Arc;
 
 /// Which execution engine carries the run.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `SimEngine` / `ThreadEngine` via the `ExecutionEngine` trait"
+)]
 #[derive(Clone, Debug)]
 pub enum Engine {
     /// Deterministic virtual-time cluster (the paper's testbed substitute).
@@ -22,7 +30,13 @@ pub enum Engine {
     Threads,
 }
 
-/// Result of [`run_pts`].
+/// Result of [`run_pts`]. The modern equivalent is
+/// [`crate::builder::PlacementRunOutput`], whose [`crate::report::RunReport`]
+/// is never optional.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Pts::builder()` and `PlacementRunOutput` (unified `RunReport`)"
+)]
 #[derive(Clone, Debug)]
 pub struct PtsOutput {
     pub outcome: MasterOutcome,
@@ -32,22 +46,55 @@ pub struct PtsOutput {
     pub wall_seconds: f64,
 }
 
+/// Grandfather configurations that were valid under the old `[0, 1]`
+/// report-fraction rule: `0.0` clamped the quorum to one child, which the
+/// smallest positive fraction reproduces exactly. Shared by the deprecated
+/// entry points so old callers keep their old runtime behaviour.
+pub(crate) fn legacy_normalized(cfg: &PtsConfig) -> PtsConfig {
+    let mut cfg = *cfg;
+    if cfg.report_fraction == 0.0 {
+        cfg.report_fraction = f64::MIN_POSITIVE;
+    }
+    cfg
+}
+
+/// Build a validated run from a legacy config, panicking like the old
+/// entry points did on configs that were invalid under the old rules too.
+pub(crate) fn legacy_run(cfg: &PtsConfig) -> crate::builder::PtsRun {
+    Pts::from_config(legacy_normalized(cfg))
+        .build()
+        .expect("invalid PTS configuration")
+}
+
 /// Run parallel tabu search for a circuit on the chosen engine.
+///
+/// Panics on an invalid configuration (the historical behaviour); the
+/// builder API returns a typed error instead. A `report_fraction` of
+/// `0.0` — valid under the old API — is normalized to the smallest
+/// positive fraction, preserving its old quorum-of-one semantics.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Pts::builder()…build()?.run_placement(netlist, &engine)`"
+)]
+#[allow(deprecated)]
 pub fn run_pts(cfg: &PtsConfig, netlist: Arc<Netlist>, engine: Engine) -> PtsOutput {
+    // Historical behaviour: wall_seconds covers the whole call, including
+    // domain setup (timing graph + scheme freeze), not just engine time.
     let wall = std::time::Instant::now();
+    let run = legacy_run(cfg);
     match engine {
         Engine::Sim(cluster) => {
-            let SimOutput { outcome, report } = run_on_sim(cfg, cluster, netlist);
+            let out = run.run_placement(netlist, &SimEngine::new(cluster));
             PtsOutput {
-                outcome,
-                sim_report: Some(report),
+                outcome: out.outcome,
+                sim_report: Some(out.report.to_cluster_report()),
                 wall_seconds: wall.elapsed().as_secs_f64(),
             }
         }
         Engine::Threads => {
-            let outcome = run_on_threads(cfg, netlist);
+            let out = run.run_placement(netlist, &ThreadEngine);
             PtsOutput {
-                outcome,
+                outcome: out.outcome,
                 sim_report: None,
                 wall_seconds: wall.elapsed().as_secs_f64(),
             }
@@ -65,7 +112,7 @@ pub fn run_sequential_baseline(
     let timing = Arc::new(TimingGraph::build(&netlist).expect("acyclic circuit"));
     let initial = random_placement(&netlist, cfg.seed ^ 0x1317);
     let eval = Evaluator::new(netlist, timing, initial, cfg.eval_config());
-    let mut problem = PlacementProblem::new(eval);
+    let mut problem = crate::placement_problem::PlacementProblem::new(eval);
     let ts_cfg = TabuSearchConfig {
         tenure: cfg.tenure,
         candidates: cfg.candidates,
@@ -81,6 +128,7 @@ pub fn run_sequential_baseline(
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use pts_netlist::highway;
@@ -100,7 +148,11 @@ mod tests {
 
     #[test]
     fn sim_run_improves_cost() {
-        let out = run_pts(&tiny_cfg(), Arc::new(highway()), Engine::Sim(paper_cluster()));
+        let out = run_pts(
+            &tiny_cfg(),
+            Arc::new(highway()),
+            Engine::Sim(paper_cluster()),
+        );
         assert!(
             out.outcome.best_cost < out.outcome.initial_cost,
             "PTS must improve over the initial solution ({} vs {})",
@@ -116,8 +168,16 @@ mod tests {
 
     #[test]
     fn sim_run_is_deterministic() {
-        let a = run_pts(&tiny_cfg(), Arc::new(highway()), Engine::Sim(paper_cluster()));
-        let b = run_pts(&tiny_cfg(), Arc::new(highway()), Engine::Sim(paper_cluster()));
+        let a = run_pts(
+            &tiny_cfg(),
+            Arc::new(highway()),
+            Engine::Sim(paper_cluster()),
+        );
+        let b = run_pts(
+            &tiny_cfg(),
+            Arc::new(highway()),
+            Engine::Sim(paper_cluster()),
+        );
         assert_eq!(a.outcome.best_cost, b.outcome.best_cost);
         assert_eq!(
             a.outcome.best_per_global_iter,
@@ -136,6 +196,19 @@ mod tests {
         assert!(out.outcome.best_cost < out.outcome.initial_cost);
         assert!(out.sim_report.is_none());
         out.outcome.best_placement.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn legacy_zero_report_fraction_still_runs() {
+        // 0.0 was valid under the old API ([0,1], quorum clamped to 1);
+        // the shim must keep accepting it instead of panicking.
+        let mut cfg = tiny_cfg();
+        cfg.n_tsw = 3;
+        cfg.report_fraction = 0.0;
+        let out = run_pts(&cfg, Arc::new(highway()), Engine::Sim(paper_cluster()));
+        assert!(out.outcome.best_cost < out.outcome.initial_cost);
+        // Quorum of one: the other two TSWs are forced every round.
+        assert_eq!(out.outcome.forced_reports, 2 * cfg.global_iters as u64);
     }
 
     #[test]

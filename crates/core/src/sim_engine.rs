@@ -1,19 +1,23 @@
-//! Run the full PTS process tree on the virtual heterogeneous cluster.
+//! Deprecated placement-specific wrappers around [`crate::engine::SimEngine`].
+//!
+//! The virtual-cluster spawn logic itself now lives in
+//! [`crate::engine`], generic over any [`crate::domain::PtsDomain`]; these
+//! free functions keep the old placement-only signatures compiling for one
+//! release.
 
 use crate::config::PtsConfig;
-use crate::master::{run_master, MasterOutcome};
-use crate::messages::PtsMsg;
-use crate::transport::SimTransport;
-use crate::{clw::run_clw, tsw::run_tsw};
-use parking_lot::Mutex;
-use pts_netlist::{Netlist, TimingGraph};
-use pts_place::init::random_placement;
+use crate::engine::SimEngine;
+use crate::placement_problem::MasterOutcome;
+use pts_netlist::Netlist;
 use pts_place::placement::Placement;
-use pts_vcluster::topology::round_robin_assignment;
-use pts_vcluster::{ClusterSpec, RunReport, SimBuilder};
+use pts_vcluster::{ClusterSpec, RunReport};
 use std::sync::Arc;
 
 /// Result of a simulated run: algorithmic outcome + cluster metrics.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `PtsRun::run_placement` with `SimEngine` (unified `RunReport`)"
+)]
 #[derive(Clone, Debug)]
 pub struct SimOutput {
     pub outcome: MasterOutcome,
@@ -22,68 +26,36 @@ pub struct SimOutput {
 
 /// Run PTS on a simulated cluster with the default (seeded-random) initial
 /// placement.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Pts::builder()…build()?.run_placement(netlist, &SimEngine::new(cluster))`"
+)]
+#[allow(deprecated)]
 pub fn run_on_sim(cfg: &PtsConfig, cluster: ClusterSpec, netlist: Arc<Netlist>) -> SimOutput {
-    let initial = random_placement(&netlist, cfg.seed ^ 0x1317);
-    run_on_sim_from(cfg, cluster, netlist, initial)
+    let run = crate::run::legacy_run(cfg);
+    let out = run.run_placement(netlist, &SimEngine::new(cluster));
+    SimOutput {
+        outcome: out.outcome,
+        report: out.report.to_cluster_report(),
+    }
 }
 
 /// Run PTS on a simulated cluster from an explicit initial placement.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Pts::builder()…build()?.run_placement_from(netlist, &SimEngine::new(cluster), initial)`"
+)]
+#[allow(deprecated)]
 pub fn run_on_sim_from(
     cfg: &PtsConfig,
     cluster: ClusterSpec,
     netlist: Arc<Netlist>,
     initial: Placement,
 ) -> SimOutput {
-    cfg.validate().expect("invalid PTS configuration");
-    let timing = Arc::new(TimingGraph::build(&netlist).expect("acyclic circuit"));
-    let assignment = round_robin_assignment(&cluster, cfg.total_procs());
-    let mut sim: SimBuilder<PtsMsg> = SimBuilder::new(cluster);
-    let outcome_slot: Arc<Mutex<Option<MasterOutcome>>> = Arc::new(Mutex::new(None));
-
-    // Rank 0: master. Spawn order must equal rank order (SimTransport
-    // identifies rank with simulated pid).
-    {
-        let cfg = *cfg;
-        let netlist = netlist.clone();
-        let timing = timing.clone();
-        let slot = Arc::clone(&outcome_slot);
-        sim.spawn(assignment[0], move |ctx| {
-            let mut t = SimTransport { ctx };
-            let outcome = run_master(&mut t, &cfg, netlist, timing, initial);
-            *slot.lock() = Some(outcome);
-        });
+    let run = crate::run::legacy_run(cfg);
+    let out = run.run_placement_from(netlist, &SimEngine::new(cluster), initial);
+    SimOutput {
+        outcome: out.outcome,
+        report: out.report.to_cluster_report(),
     }
-    // Ranks 1..=n_tsw: TSWs.
-    for i in 0..cfg.n_tsw {
-        let cfg = *cfg;
-        let netlist = netlist.clone();
-        let timing = timing.clone();
-        let rank = cfg.tsw_rank(i);
-        sim.spawn(assignment[rank], move |ctx| {
-            let mut t = SimTransport { ctx };
-            run_tsw(&mut t, &cfg, i, netlist, timing);
-        });
-    }
-    // Remaining ranks: CLWs, grouped by TSW.
-    for i in 0..cfg.n_tsw {
-        for j in 0..cfg.n_clw {
-            let cfg = *cfg;
-            let netlist = netlist.clone();
-            let timing = timing.clone();
-            let rank = cfg.clw_rank(i, j);
-            let tsw_rank = cfg.tsw_rank(i);
-            sim.spawn(assignment[rank], move |ctx| {
-                let mut t = SimTransport { ctx };
-                run_clw(&mut t, &cfg, tsw_rank, j, netlist, timing);
-            });
-        }
-    }
-    debug_assert_eq!(sim.num_spawned(), cfg.total_procs());
-
-    let report = sim.run();
-    let outcome = outcome_slot
-        .lock()
-        .take()
-        .expect("master deposits its outcome");
-    SimOutput { outcome, report }
 }

@@ -1,97 +1,38 @@
-//! Run the full PTS process tree on native OS threads (crossbeam
-//! channels). This is the engine for real wall-clock speedup measurements
-//! on an actual multicore machine; virtual work accounting is a no-op —
-//! real computation takes real time.
+//! Deprecated placement-specific wrappers around
+//! [`crate::engine::ThreadEngine`].
+//!
+//! The native-thread spawn logic itself now lives in [`crate::engine`],
+//! generic over any [`crate::domain::PtsDomain`]; these free functions keep
+//! the old placement-only signatures compiling for one release.
 
 use crate::config::PtsConfig;
-use crate::master::{run_master, MasterOutcome};
-use crate::messages::PtsMsg;
-use crate::transport::ThreadTransport;
-use crate::{clw::run_clw, tsw::run_tsw};
-use crossbeam::channel::unbounded;
-use pts_netlist::{Netlist, TimingGraph};
-use pts_place::init::random_placement;
+use crate::engine::ThreadEngine;
+use crate::placement_problem::MasterOutcome;
+use pts_netlist::Netlist;
 use pts_place::placement::Placement;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Run PTS on native threads with a seeded-random initial placement.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Pts::builder()…build()?.run_placement(netlist, &ThreadEngine)`"
+)]
 pub fn run_on_threads(cfg: &PtsConfig, netlist: Arc<Netlist>) -> MasterOutcome {
-    let initial = random_placement(&netlist, cfg.seed ^ 0x1317);
-    run_on_threads_from(cfg, netlist, initial)
+    let run = crate::run::legacy_run(cfg);
+    run.run_placement(netlist, &ThreadEngine).outcome
 }
 
-/// Run PTS on native threads from an explicit initial placement. The
-/// master runs on the calling thread.
+/// Run PTS on native threads from an explicit initial placement.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Pts::builder()…build()?.run_placement_from(netlist, &ThreadEngine, initial)`"
+)]
 pub fn run_on_threads_from(
     cfg: &PtsConfig,
     netlist: Arc<Netlist>,
     initial: Placement,
 ) -> MasterOutcome {
-    cfg.validate().expect("invalid PTS configuration");
-    let timing = Arc::new(TimingGraph::build(&netlist).expect("acyclic circuit"));
-    let n = cfg.total_procs();
-    let start = Instant::now();
-
-    let mut senders = Vec::with_capacity(n);
-    let mut receivers = Vec::with_capacity(n);
-    for _ in 0..n {
-        let (s, r) = unbounded::<PtsMsg>();
-        senders.push(s);
-        receivers.push(Some(r));
-    }
-
-    let mut handles = Vec::new();
-    for i in 0..cfg.n_tsw {
-        let rank = cfg.tsw_rank(i);
-        let mut t = ThreadTransport::new(
-            rank,
-            start,
-            senders.clone(),
-            receivers[rank].take().expect("receiver unclaimed"),
-        );
-        let cfg = *cfg;
-        let netlist = netlist.clone();
-        let timing = timing.clone();
-        handles.push(
-            std::thread::Builder::new()
-                .name(format!("pts-tsw{i}"))
-                .spawn(move || run_tsw(&mut t, &cfg, i, netlist, timing))
-                .expect("spawn TSW thread"),
-        );
-    }
-    for i in 0..cfg.n_tsw {
-        for j in 0..cfg.n_clw {
-            let rank = cfg.clw_rank(i, j);
-            let tsw_rank = cfg.tsw_rank(i);
-            let mut t = ThreadTransport::new(
-                rank,
-                start,
-                senders.clone(),
-                receivers[rank].take().expect("receiver unclaimed"),
-            );
-            let cfg = *cfg;
-            let netlist = netlist.clone();
-            let timing = timing.clone();
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("pts-clw{i}.{j}"))
-                    .spawn(move || run_clw(&mut t, &cfg, tsw_rank, j, netlist, timing))
-                    .expect("spawn CLW thread"),
-            );
-        }
-    }
-
-    let mut master_t = ThreadTransport::new(
-        cfg.master_rank(),
-        start,
-        senders,
-        receivers[cfg.master_rank()].take().expect("master receiver"),
-    );
-    let outcome = run_master(&mut master_t, cfg, netlist, timing, initial);
-
-    for h in handles {
-        h.join().expect("worker thread panicked");
-    }
-    outcome
+    let run = crate::run::legacy_run(cfg);
+    run.run_placement_from(netlist, &ThreadEngine, initial)
+        .outcome
 }

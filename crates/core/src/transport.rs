@@ -1,33 +1,39 @@
 //! Transport abstraction: the same master/TSW/CLW code runs on the virtual
 //! cluster (deterministic, heterogeneous, virtual time) and on native
 //! threads (real parallel wall-clock execution).
+//!
+//! Both transports account per-process metrics into the same
+//! [`ProcStats`] shape, which is what lets the engines return one unified
+//! [`crate::report::RunReport`] regardless of substrate.
 
+use crate::domain::PtsProblem;
 use crate::messages::PtsMsg;
-use crossbeam::channel::{Receiver, Sender};
-use pts_vcluster::{ProcCtx, ProcId};
+use pts_vcluster::{ProcCtx, ProcId, ProcStats};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Process-side communication + time + work accounting.
-pub trait Transport {
+pub trait Transport<P: PtsProblem> {
     /// This process's rank in the PTS topology.
     fn rank(&self) -> usize;
     /// Seconds since the run started (virtual or wall).
     fn now(&self) -> f64;
-    /// Charge CPU work (advances virtual time; no-op on native threads,
-    /// where real computation takes real time).
+    /// Charge CPU work (advances virtual time; wall-clock engines only
+    /// record it — real computation takes real time).
     fn compute(&mut self, work: f64);
-    fn send(&mut self, dst: usize, msg: PtsMsg);
-    fn recv(&mut self) -> PtsMsg;
-    fn try_recv(&mut self) -> Option<PtsMsg>;
+    fn send(&mut self, dst: usize, msg: PtsMsg<P>);
+    fn recv(&mut self) -> PtsMsg<P>;
+    fn try_recv(&mut self) -> Option<PtsMsg<P>>;
 }
 
 /// Virtual-cluster transport: ranks coincide with simulated process ids
 /// (processes are spawned in rank order).
-pub struct SimTransport {
-    pub ctx: ProcCtx<PtsMsg>,
+pub struct SimTransport<P: PtsProblem> {
+    pub ctx: ProcCtx<PtsMsg<P>>,
 }
 
-impl Transport for SimTransport {
+impl<P: PtsProblem> Transport<P> for SimTransport<P> {
     fn rank(&self) -> usize {
         self.ctx.id().index()
     }
@@ -40,45 +46,55 @@ impl Transport for SimTransport {
         self.ctx.compute(work);
     }
 
-    fn send(&mut self, dst: usize, msg: PtsMsg) {
+    fn send(&mut self, dst: usize, msg: PtsMsg<P>) {
         let bytes = msg.wire_size();
         self.ctx.send_sized(ProcId(dst), msg, bytes);
     }
 
-    fn recv(&mut self) -> PtsMsg {
+    fn recv(&mut self) -> PtsMsg<P> {
         self.ctx.recv()
     }
 
-    fn try_recv(&mut self) -> Option<PtsMsg> {
+    fn try_recv(&mut self) -> Option<PtsMsg<P>> {
         self.ctx.try_recv()
     }
 }
 
-/// Native-thread transport over crossbeam channels.
-pub struct ThreadTransport {
+/// Shared per-rank stats sink filled as thread transports retire.
+pub type StatsSink = Arc<Mutex<Vec<ProcStats>>>;
+
+/// Native-thread transport over std mpsc channels. Counts messages,
+/// bytes, charged work, and recv wait time so the thread engine can report
+/// the same per-process metrics shape as the simulator.
+pub struct ThreadTransport<P: PtsProblem> {
     rank: usize,
     start: Instant,
-    senders: Vec<Sender<PtsMsg>>,
-    receiver: Receiver<PtsMsg>,
+    senders: Vec<Sender<PtsMsg<P>>>,
+    receiver: Receiver<PtsMsg<P>>,
+    stats: ProcStats,
+    sink: StatsSink,
 }
 
-impl ThreadTransport {
+impl<P: PtsProblem> ThreadTransport<P> {
     pub fn new(
         rank: usize,
         start: Instant,
-        senders: Vec<Sender<PtsMsg>>,
-        receiver: Receiver<PtsMsg>,
-    ) -> ThreadTransport {
+        senders: Vec<Sender<PtsMsg<P>>>,
+        receiver: Receiver<PtsMsg<P>>,
+        sink: StatsSink,
+    ) -> ThreadTransport<P> {
         ThreadTransport {
             rank,
             start,
             senders,
             receiver,
+            stats: ProcStats::default(),
+            sink,
         }
     }
 }
 
-impl Transport for ThreadTransport {
+impl<P: PtsProblem> Transport<P> for ThreadTransport<P> {
     fn rank(&self) -> usize {
         self.rank
     }
@@ -87,40 +103,68 @@ impl Transport for ThreadTransport {
         self.start.elapsed().as_secs_f64()
     }
 
-    fn compute(&mut self, _work: f64) {
-        // Real computation takes real wall time; nothing to account.
+    fn compute(&mut self, work: f64) {
+        // Real computation takes real wall time; only record the units.
+        self.stats.work_done += work;
     }
 
-    fn send(&mut self, dst: usize, msg: PtsMsg) {
+    fn send(&mut self, dst: usize, msg: PtsMsg<P>) {
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += msg.wire_size();
         // A receiver that already processed Stop may be gone; that's fine.
         let _ = self.senders[dst].send(msg);
     }
 
-    fn recv(&mut self) -> PtsMsg {
-        self.receiver
+    fn recv(&mut self) -> PtsMsg<P> {
+        let blocked = Instant::now();
+        let msg = self
+            .receiver
             .recv()
-            .expect("peer channels outlive the protocol")
+            .expect("peer channels outlive the protocol");
+        self.stats.wait_time += blocked.elapsed().as_secs_f64();
+        self.stats.messages_received += 1;
+        msg
     }
 
-    fn try_recv(&mut self) -> Option<PtsMsg> {
-        self.receiver.try_recv().ok()
+    fn try_recv(&mut self) -> Option<PtsMsg<P>> {
+        let msg = self.receiver.try_recv().ok()?;
+        self.stats.messages_received += 1;
+        Some(msg)
+    }
+}
+
+impl<P: PtsProblem> Drop for ThreadTransport<P> {
+    fn drop(&mut self) {
+        self.stats.finished_at = self.now();
+        if let Ok(mut sink) = self.sink.lock() {
+            if self.rank < sink.len() {
+                sink[self.rank] = std::mem::take(&mut self.stats);
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crossbeam::channel::unbounded;
+    use pts_tabu::qap::Qap;
+    use std::sync::mpsc::channel;
+
+    fn sink(n: usize) -> StatsSink {
+        Arc::new(Mutex::new(vec![ProcStats::default(); n]))
+    }
 
     #[test]
     fn thread_transport_routes_messages() {
-        let (s0, r0) = unbounded();
-        let (s1, r1) = unbounded();
+        let (s0, r0) = channel();
+        let (s1, r1) = channel();
         let start = Instant::now();
-        let mut a = ThreadTransport::new(0, start, vec![s0.clone(), s1.clone()], r0);
-        let mut b = ThreadTransport::new(1, start, vec![s0, s1], r1);
-        assert_eq!(a.rank(), 0);
-        assert_eq!(b.rank(), 1);
+        let sk = sink(2);
+        let mut a: ThreadTransport<Qap> =
+            ThreadTransport::new(0, start, vec![s0.clone(), s1.clone()], r0, Arc::clone(&sk));
+        let mut b: ThreadTransport<Qap> = ThreadTransport::new(1, start, vec![s0, s1], r1, sk);
+        assert_eq!(Transport::rank(&a), 0);
+        assert_eq!(Transport::rank(&b), 1);
         a.send(1, PtsMsg::Stop);
         assert!(matches!(b.recv(), PtsMsg::Stop));
         assert!(b.try_recv().is_none());
@@ -128,21 +172,41 @@ mod tests {
 
     #[test]
     fn thread_transport_send_to_dropped_receiver_is_silent() {
-        let (s0, r0) = unbounded();
-        let (s1, r1) = unbounded();
+        let (s0, r0) = channel();
+        let (s1, r1) = channel();
         drop(r1);
         let start = Instant::now();
-        let mut a = ThreadTransport::new(0, start, vec![s0, s1], r0);
+        let mut a: ThreadTransport<Qap> = ThreadTransport::new(0, start, vec![s0, s1], r0, sink(2));
         a.send(1, PtsMsg::Stop); // must not panic
     }
 
     #[test]
     fn thread_transport_clock_advances() {
-        let (s0, r0) = unbounded();
+        let (s0, r0) = channel();
         let start = Instant::now();
-        let a = ThreadTransport::new(0, start, vec![s0], r0);
+        let a: ThreadTransport<Qap> = ThreadTransport::new(0, start, vec![s0], r0, sink(1));
         let t1 = a.now();
         std::thread::sleep(std::time::Duration::from_millis(5));
         assert!(a.now() > t1);
+    }
+
+    #[test]
+    fn thread_transport_deposits_stats_on_drop() {
+        let (s0, r0) = channel();
+        let (s1, r1) = channel();
+        let start = Instant::now();
+        let sk = sink(2);
+        {
+            let mut a: ThreadTransport<Qap> =
+                ThreadTransport::new(0, start, vec![s0.clone(), s1], r0, Arc::clone(&sk));
+            a.send(1, PtsMsg::Investigate { seq: 1 });
+            a.compute(3.0);
+            drop(r1);
+        }
+        let stats = sk.lock().unwrap();
+        assert_eq!(stats[0].messages_sent, 1);
+        assert!(stats[0].bytes_sent > 0);
+        assert!((stats[0].work_done - 3.0).abs() < 1e-12);
+        assert!(stats[0].finished_at >= 0.0);
     }
 }

@@ -1,7 +1,7 @@
-//! The Tabu Search Worker (TSW).
+//! The Tabu Search Worker (TSW), generic over the problem domain.
 //!
 //! Each TSW runs its own tabu search (p-control at this level): per global
-//! iteration it (1) diversifies within its private cell range, (2) runs
+//! iteration it (1) diversifies within its private item range, (2) runs
 //! `local_iters` local iterations — each one asks its CLWs for compound-
 //! move proposals, picks the best, applies the tabu test with best-cost
 //! aspiration — and (3) reports its best solution *and tabu list* to the
@@ -15,32 +15,32 @@
 //!   local iteration, report immediately, and wait for the broadcast.
 
 use crate::config::{PtsConfig, SyncPolicy};
+use crate::domain::PtsDomain;
 use crate::messages::PtsMsg;
-use crate::placement_problem::{PlacementProblem, SwapMove};
 use crate::transport::Transport;
-use pts_netlist::{Netlist, TimingGraph};
-use pts_place::eval::Evaluator;
 use pts_tabu::aspiration::Aspiration;
 use pts_tabu::compound::CompoundMove;
-use pts_tabu::diversify::diversify;
 use pts_tabu::problem::SearchProblem;
 use pts_tabu::search::{StepOutcome, TabuEngine, TabuPolicy, TabuSearchConfig};
-use std::sync::Arc;
+use pts_tabu::DiversifiableProblem;
+
+type MoveOf<D> = <<D as PtsDomain>::Problem as SearchProblem>::Move;
+/// A CLW proposal: move chain + the cost it reaches.
+type ProposalOf<D> = (Vec<MoveOf<D>>, f64);
 
 /// Run the TSW protocol until `Stop`.
-pub fn run_tsw<T: Transport>(
+pub fn run_tsw<D: PtsDomain, T: Transport<D::Problem>>(
     t: &mut T,
     cfg: &PtsConfig,
     tsw_index: usize,
-    netlist: Arc<Netlist>,
-    timing: Arc<TimingGraph>,
+    domain: &D,
 ) {
-    let n_cells = netlist.num_cells();
-    let my_range = cfg.tsw_range(tsw_index, n_cells);
+    let n_items = domain.domain_size();
+    let my_range = cfg.tsw_range(tsw_index, n_items);
     let clws = cfg.clw_ranks(tsw_index);
     let master = cfg.master_rank();
     // MPSS (paper default): one shared diversification stream — TSWs still
-    // diverge because each diversifies over a *different* cell range.
+    // diverge because each diversifies over a *different* item range.
     let div_salt = if cfg.differentiate_streams {
         t.rank()
     } else {
@@ -51,15 +51,7 @@ pub fn run_tsw<T: Transport>(
     // Wait for Init.
     let mut problem = loop {
         match t.recv() {
-            PtsMsg::Init { placement, scheme } => {
-                break PlacementProblem::new(Evaluator::with_scheme(
-                    netlist.clone(),
-                    timing.clone(),
-                    placement,
-                    cfg.alpha,
-                    scheme,
-                ));
-            }
+            PtsMsg::Init { snapshot } => break domain.instantiate(&snapshot),
             PtsMsg::Stop => return,
             _ => {}
         }
@@ -76,15 +68,14 @@ pub fn run_tsw<T: Transport>(
         tabu_policy: TabuPolicy::AnyConstituent,
         seed: cfg.seed ^ (t.rank() as u64) << 17,
     };
-    let mut engine: TabuEngine<PlacementProblem> = TabuEngine::new(engine_cfg, &problem, t.now());
+    let mut engine: TabuEngine<D::Problem> = TabuEngine::new(engine_cfg, &problem, t.now());
     let mut inv_seq: u64 = (tsw_index as u64) << 40; // globally unique streams
 
     for g in 0..cfg.global_iters {
-        // --- Diversification over this TSW's private cell subset --------
+        // --- Diversification over this TSW's private item subset --------
         if cfg.diversify {
-            let depth = cfg.effective_diversify_depth(n_cells);
-            diversify(
-                &mut problem,
+            let depth = cfg.effective_diversify_depth(n_items);
+            problem.diversify(
                 &mut div_rng,
                 my_range,
                 depth,
@@ -97,8 +88,8 @@ pub fn run_tsw<T: Transport>(
         for &c in &clws {
             t.send(
                 c,
-                PtsMsg::AdoptPlacement {
-                    placement: problem.snapshot(),
+                PtsMsg::AdoptState {
+                    snapshot: problem.snapshot(),
                 },
             );
         }
@@ -122,15 +113,8 @@ pub fn run_tsw<T: Transport>(
             for &c in &clws {
                 t.send(c, PtsMsg::Investigate { seq: inv_seq });
             }
-            let proposals = collect_proposals(
-                t,
-                cfg,
-                tsw_index,
-                g,
-                inv_seq,
-                &clws,
-                &mut force_pending,
-            );
+            let proposals =
+                collect_proposals::<D, T>(t, cfg, tsw_index, g, inv_seq, &clws, &mut force_pending);
 
             // Paper: "The TSW selects the best solution from the CLW that
             // achieves the maximum cost improvement or the least cost
@@ -168,7 +152,7 @@ pub fn run_tsw<T: Transport>(
                 tsw: tsw_index,
                 global: g,
                 cost: engine.best_cost(),
-                placement: engine.best().clone(),
+                snapshot: engine.best().clone(),
                 tabu: engine.export_tabu(),
                 trace: engine.trace().points().to_vec(),
                 stats: *engine.stats(),
@@ -180,10 +164,10 @@ pub fn run_tsw<T: Transport>(
             match t.recv() {
                 PtsMsg::Broadcast {
                     global,
-                    placement,
+                    snapshot,
                     tabu,
                 } if global == g => {
-                    engine.adopt(&mut problem, &placement, &tabu, t.now());
+                    engine.adopt(&mut problem, &snapshot, &tabu, t.now());
                     break;
                 }
                 PtsMsg::Stop => {
@@ -211,7 +195,7 @@ pub fn run_tsw<T: Transport>(
 
 /// Collect exactly one proposal from every CLW, applying the half-report
 /// policy as a parent and watching for the master's ForceReport as a child.
-fn collect_proposals<T: Transport>(
+fn collect_proposals<D: PtsDomain, T: Transport<D::Problem>>(
     t: &mut T,
     cfg: &PtsConfig,
     tsw_index: usize,
@@ -219,25 +203,24 @@ fn collect_proposals<T: Transport>(
     seq: u64,
     clws: &[usize],
     force_pending: &mut bool,
-) -> Vec<(Vec<SwapMove>, f64)> {
+) -> Vec<ProposalOf<D>> {
     let n = clws.len();
     let quorum = cfg.report_quorum(n);
-    let mut got: Vec<Option<(Vec<SwapMove>, f64)>> = vec![None; n];
+    let mut got: Vec<Option<ProposalOf<D>>> = (0..n).map(|_| None).collect();
     let mut n_got = 0;
     let mut cut_sent = false;
 
-    let cut_stragglers =
-        |t: &mut T, got: &[Option<(Vec<SwapMove>, f64)>], cut_sent: &mut bool| {
-            if *cut_sent {
-                return;
+    let cut_stragglers = |t: &mut T, got: &[Option<ProposalOf<D>>], cut_sent: &mut bool| {
+        if *cut_sent {
+            return;
+        }
+        for (j, slot) in got.iter().enumerate() {
+            if slot.is_none() {
+                t.send(cfg.clw_rank(tsw_index, j), PtsMsg::CutShort { seq });
             }
-            for (j, slot) in got.iter().enumerate() {
-                if slot.is_none() {
-                    t.send(cfg.clw_rank(tsw_index, j), PtsMsg::CutShort { seq });
-                }
-            }
-            *cut_sent = true;
-        };
+        }
+        *cut_sent = true;
+    };
 
     while n_got < n {
         match t.recv() {

@@ -1,10 +1,10 @@
 //! Protocol edge cases on the simulated cluster: extreme report
 //! fractions, degenerate worker counts, work-model scaling, and message
-//! accounting.
+//! accounting — all through the builder / engine-trait API.
 
-use pts_core::{run_pts, Engine, PtsConfig, SyncPolicy, WorkModel};
+use pts_core::{Pts, PtsConfig, SimEngine, SyncPolicy, WorkModel};
 use pts_netlist::{by_name, highway};
-use pts_vcluster::topology::{homogeneous, paper_cluster};
+use pts_vcluster::topology::homogeneous;
 use std::sync::Arc;
 
 fn base() -> PtsConfig {
@@ -20,18 +20,22 @@ fn base() -> PtsConfig {
 }
 
 #[test]
-fn report_fraction_zero_forces_after_first_report() {
+fn tiny_report_fraction_forces_after_first_report() {
     // quorum clamps to 1: after the very first report, everyone else is
     // forced. The protocol must still deliver exactly one report per TSW
     // per round.
-    let mut cfg = base();
-    cfg.report_fraction = 0.0;
-    cfg.tsw_sync = SyncPolicy::HalfReport;
-    cfg.clw_sync = SyncPolicy::HalfReport;
-    let out = run_pts(&cfg, Arc::new(highway()), Engine::Sim(paper_cluster()));
+    let run = Pts::from_config(base())
+        .report_fraction(0.01)
+        .sync(SyncPolicy::HalfReport)
+        .build()
+        .unwrap();
+    let out = run.run_placement(Arc::new(highway()), &SimEngine::paper());
     assert!(out.outcome.best_cost < out.outcome.initial_cost);
     // 2 of 3 TSWs forced per global iteration (the first reporter is not).
-    assert_eq!(out.outcome.forced_reports, 2 * cfg.global_iters as u64);
+    assert_eq!(
+        out.outcome.forced_reports,
+        2 * run.config().global_iters as u64
+    );
 }
 
 #[test]
@@ -40,16 +44,18 @@ fn report_fraction_one_equals_wait_all() {
     // is ever forced, and the outcome matches the WaitAll policy exactly
     // (same virtual schedule).
     let netlist = Arc::new(by_name("highway").unwrap());
-    let mut cfg_frac = base();
-    cfg_frac.report_fraction = 1.0;
-    cfg_frac.tsw_sync = SyncPolicy::HalfReport;
-    cfg_frac.clw_sync = SyncPolicy::HalfReport;
-    let mut cfg_all = base();
-    cfg_all.tsw_sync = SyncPolicy::WaitAll;
-    cfg_all.clw_sync = SyncPolicy::WaitAll;
+    let run_frac = Pts::from_config(base())
+        .report_fraction(1.0)
+        .sync(SyncPolicy::HalfReport)
+        .build()
+        .unwrap();
+    let run_all = Pts::from_config(base())
+        .sync(SyncPolicy::WaitAll)
+        .build()
+        .unwrap();
 
-    let a = run_pts(&cfg_frac, netlist.clone(), Engine::Sim(paper_cluster()));
-    let b = run_pts(&cfg_all, netlist, Engine::Sim(paper_cluster()));
+    let a = run_frac.run_placement(netlist.clone(), &SimEngine::paper());
+    let b = run_all.run_placement(netlist, &SimEngine::paper());
     assert_eq!(a.outcome.forced_reports, 0);
     assert_eq!(a.outcome.best_cost, b.outcome.best_cost);
     assert_eq!(a.outcome.end_time, b.outcome.end_time);
@@ -59,10 +65,12 @@ fn report_fraction_one_equals_wait_all() {
 fn many_clws_few_cells() {
     // More CLWs than cells per range would be pathological; highway has
     // 56 cells and 8 CLWs still gives non-empty ranges (56/8 = 7).
-    let mut cfg = base();
-    cfg.n_tsw = 1;
-    cfg.n_clw = 8;
-    let out = run_pts(&cfg, Arc::new(highway()), Engine::Sim(paper_cluster()));
+    let run = Pts::from_config(base())
+        .tsw_workers(1)
+        .clw_workers(8)
+        .build()
+        .unwrap();
+    let out = run.run_placement(Arc::new(highway()), &SimEngine::paper());
     assert!(out.outcome.best_cost < out.outcome.initial_cost);
 }
 
@@ -71,16 +79,22 @@ fn work_model_scales_virtual_time_not_quality() {
     // Doubling all work costs must double-ish the virtual runtime but
     // leave the search trajectory identical (same seeds, same decisions).
     let netlist = Arc::new(by_name("highway").unwrap());
-    let cheap = run_pts(&base(), netlist.clone(), Engine::Sim(homogeneous(12)));
-    let mut cfg = base();
-    cfg.work = WorkModel {
-        per_trial: 2.0,
-        per_commit: 4.0,
-        per_tabu_check: 0.4,
-        per_diversify_step: 3.0,
-        per_report: 1.0,
-    };
-    let costly = run_pts(&cfg, netlist, Engine::Sim(homogeneous(12)));
+    let engine = SimEngine::new(homogeneous(12));
+    let cheap = Pts::from_config(base())
+        .build()
+        .unwrap()
+        .run_placement(netlist.clone(), &engine);
+    let costly = Pts::from_config(base())
+        .work_model(WorkModel {
+            per_trial: 2.0,
+            per_commit: 4.0,
+            per_tabu_check: 0.4,
+            per_diversify_step: 3.0,
+            per_report: 1.0,
+        })
+        .build()
+        .unwrap()
+        .run_placement(netlist, &engine);
     assert_eq!(
         cheap.outcome.best_cost, costly.outcome.best_cost,
         "work accounting must not change search decisions"
@@ -96,29 +110,29 @@ fn work_model_scales_virtual_time_not_quality() {
 #[test]
 fn message_accounting_is_complete() {
     let cfg = base();
-    let out = run_pts(&cfg, Arc::new(highway()), Engine::Sim(paper_cluster()));
-    let report = out.sim_report.unwrap();
+    let run = Pts::from_config(cfg).build().unwrap();
+    let out = run.run_placement(Arc::new(highway()), &SimEngine::paper());
     // Lower bound: every global iteration moves at least
     // (Investigate + Proposal) per CLW per local iteration plus reports
     // and broadcasts. Just sanity-check the magnitude.
-    let min_msgs = (cfg.global_iters * cfg.local_iters) as u64
-        * (cfg.n_tsw * cfg.n_clw) as u64
-        * 2;
+    let min_msgs = (cfg.global_iters * cfg.local_iters) as u64 * (cfg.n_tsw * cfg.n_clw) as u64 * 2;
     assert!(
-        report.total_messages() >= min_msgs,
+        out.report.total_messages() >= min_msgs,
         "{} messages < expected minimum {min_msgs}",
-        report.total_messages()
+        out.report.total_messages()
     );
+    assert!(out.report.total_bytes() > 0);
     // All processes did some work except possibly the master.
-    for (rank, p) in report.per_proc.iter().enumerate().skip(1) {
+    for (rank, p) in out.report.per_proc.iter().enumerate().skip(1) {
         assert!(p.work_done > 0.0, "rank {rank} never computed");
     }
 }
 
 #[test]
 fn utilization_is_sane() {
-    let out = run_pts(&base(), Arc::new(highway()), Engine::Sim(paper_cluster()));
-    let u = out.sim_report.unwrap().utilization();
+    let run = Pts::from_config(base()).build().unwrap();
+    let out = run.run_placement(Arc::new(highway()), &SimEngine::paper());
+    let u = out.report.utilization();
     assert!((0.0..=1.0).contains(&u));
     assert!(u > 0.05, "workers should spend some time computing: {u}");
 }

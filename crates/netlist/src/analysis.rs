@@ -57,10 +57,7 @@ pub fn unreachable_cells(netlist: &Netlist, timing: &TimingGraph) -> Vec<CellId>
             }
         }
     }
-    netlist
-        .cell_ids()
-        .filter(|c| !reached[c.index()])
-        .collect()
+    netlist.cell_ids().filter(|c| !reached[c.index()]).collect()
 }
 
 /// Number of distinct source-to-endpoint timing paths, saturating at

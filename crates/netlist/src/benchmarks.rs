@@ -99,8 +99,7 @@ mod tests {
     fn all_benchmarks_have_valid_timing_graphs() {
         for name in benchmark_names() {
             let nl = by_name(name).unwrap();
-            let tg = TimingGraph::build(&nl)
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let tg = TimingGraph::build(&nl).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert!(!tg.endpoints().is_empty(), "{name} has no endpoints");
             assert!(tg.max_level() >= 3, "{name} is too shallow");
         }

@@ -95,7 +95,10 @@ impl NetlistBuilder {
             return Err(BuildError::EmptyNet { net: name });
         }
         if self.cells[driver.index()].kind == CellKind::Output {
-            return Err(BuildError::KindViolation { net: name, cell: driver });
+            return Err(BuildError::KindViolation {
+                net: name,
+                cell: driver,
+            });
         }
         if self.has_driver[driver.index()] {
             return Err(BuildError::MultipleDrivers { cell: driver });

@@ -114,9 +114,12 @@ pub fn from_text(text: &str) -> Result<Netlist, ParseError> {
                 let b = builder.as_mut().ok_or_else(|| {
                     ParseError::Structure("'cell' before 'circuit' header".into())
                 })?;
-                let name = tokens.next().ok_or_else(|| syntax(line_no, "cell needs a name"))?;
-                let kind_tag =
-                    tokens.next().ok_or_else(|| syntax(line_no, "cell needs a kind"))?;
+                let name = tokens
+                    .next()
+                    .ok_or_else(|| syntax(line_no, "cell needs a name"))?;
+                let kind_tag = tokens
+                    .next()
+                    .ok_or_else(|| syntax(line_no, "cell needs a kind"))?;
                 let kind = CellKind::from_tag(kind_tag)
                     .ok_or_else(|| syntax(line_no, &format!("bad cell kind '{kind_tag}'")))?;
                 let width: u32 = tokens
@@ -134,22 +137,29 @@ pub fn from_text(text: &str) -> Result<Netlist, ParseError> {
                 names.insert(name.to_string(), id);
             }
             "net" => {
-                let b = builder.as_mut().ok_or_else(|| {
-                    ParseError::Structure("'net' before 'circuit' header".into())
-                })?;
-                let name = tokens.next().ok_or_else(|| syntax(line_no, "net needs a name"))?;
-                let driver_name =
-                    tokens.next().ok_or_else(|| syntax(line_no, "net needs a driver"))?;
-                let driver = *names.get(driver_name).ok_or_else(|| ParseError::UnknownCell {
-                    line: line_no,
-                    name: driver_name.to_string(),
-                })?;
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| ParseError::Structure("'net' before 'circuit' header".into()))?;
+                let name = tokens
+                    .next()
+                    .ok_or_else(|| syntax(line_no, "net needs a name"))?;
+                let driver_name = tokens
+                    .next()
+                    .ok_or_else(|| syntax(line_no, "net needs a driver"))?;
+                let driver = *names
+                    .get(driver_name)
+                    .ok_or_else(|| ParseError::UnknownCell {
+                        line: line_no,
+                        name: driver_name.to_string(),
+                    })?;
                 let mut sinks = Vec::new();
                 for sink_name in tokens {
-                    let id = *names.get(sink_name).ok_or_else(|| ParseError::UnknownCell {
-                        line: line_no,
-                        name: sink_name.to_string(),
-                    })?;
+                    let id = *names
+                        .get(sink_name)
+                        .ok_or_else(|| ParseError::UnknownCell {
+                            line: line_no,
+                            name: sink_name.to_string(),
+                        })?;
                     sinks.push(id);
                 }
                 b.add_net(name, driver, sinks)?;
@@ -165,7 +175,8 @@ pub fn from_text(text: &str) -> Result<Netlist, ParseError> {
     if !ended {
         return Err(ParseError::Structure("missing 'end'".into()));
     }
-    let builder = builder.ok_or_else(|| ParseError::Structure("missing 'circuit' header".into()))?;
+    let builder =
+        builder.ok_or_else(|| ParseError::Structure("missing 'circuit' header".into()))?;
     Ok(builder.finish()?)
 }
 
@@ -253,7 +264,10 @@ end
     #[test]
     fn rejects_duplicate_cell() {
         let bad = "circuit t\ncell a in 1 0\ncell a in 1 0\nend\n";
-        assert!(matches!(from_text(bad), Err(ParseError::Syntax { line: 3, .. })));
+        assert!(matches!(
+            from_text(bad),
+            Err(ParseError::Syntax { line: 3, .. })
+        ));
     }
 
     #[test]

@@ -217,7 +217,9 @@ pub fn generate(spec: &CircuitSpec) -> Netlist {
         let mut done = false;
         // Try logic above this level.
         for _ in 0..50 {
-            let hi: Vec<usize> = (dl + 1..=spec.depth).filter(|&l| !pool[l].is_empty()).collect();
+            let hi: Vec<usize> = (dl + 1..=spec.depth)
+                .filter(|&l| !pool[l].is_empty())
+                .collect();
             if hi.is_empty() {
                 break;
             }
@@ -255,7 +257,9 @@ pub fn generate(spec: &CircuitSpec) -> Netlist {
     for _ in 0..extra_rounds {
         let d = driver_ids[rng.index(driver_ids.len())];
         let dl = level_of(d);
-        let hi: Vec<usize> = (dl + 1..=spec.depth).filter(|&l| !pool[l].is_empty()).collect();
+        let hi: Vec<usize> = (dl + 1..=spec.depth)
+            .filter(|&l| !pool[l].is_empty())
+            .collect();
         if hi.is_empty() {
             continue;
         }

@@ -29,7 +29,7 @@ pub mod timing_graph;
 pub use benchmarks::{benchmark_names, by_name, c1355, c3540, c532, highway};
 pub use builder::NetlistBuilder;
 pub use cell::{Cell, CellId, CellKind};
-pub use generator::{CircuitSpec, generate};
+pub use generator::{generate, CircuitSpec};
 pub use net::{Net, NetId};
 pub use netlist::Netlist;
 pub use stats::NetlistStats;

@@ -78,8 +78,7 @@ impl TimingGraph {
         // Kahn's algorithm over logic cells only: an edge u->v constrains the
         // order iff both u and v are combinational (sources launch at fixed
         // time; endpoints terminate propagation).
-        let is_logic =
-            |c: CellId| netlist.cell(c).kind == CellKind::Logic;
+        let is_logic = |c: CellId| netlist.cell(c).kind == CellKind::Logic;
         let mut indegree: Vec<u32> = vec![0; n];
         let mut logic_count = 0usize;
         for (id, cell) in netlist.cells() {
@@ -124,7 +123,13 @@ impl TimingGraph {
         for &u in &topo_logic {
             let l = in_edges[u.index()]
                 .iter()
-                .map(|e| if is_logic(e.from) { level[e.from.index()] + 1 } else { 1 })
+                .map(|e| {
+                    if is_logic(e.from) {
+                        level[e.from.index()] + 1
+                    } else {
+                        1
+                    }
+                })
                 .max()
                 .unwrap_or(1);
             level[u.index()] = l;

@@ -148,7 +148,10 @@ mod tests {
     fn max_width_matches_scan() {
         let (nl, p) = setup(1);
         let m = RowAreaModel::new(&nl, &p);
-        let scan = (0..p.layout().num_rows()).map(|r| m.row_width(r)).max().unwrap();
+        let scan = (0..p.layout().num_rows())
+            .map(|r| m.row_width(r))
+            .max()
+            .unwrap();
         assert_eq!(m.max_width(), scan);
     }
 

@@ -176,7 +176,9 @@ impl Evaluator {
             .wirelength
             .trial_swap(&self.netlist, &self.placement, a, b);
         let wire = self.wirelength.total() + wire_trial.delta;
-        let delay = self.sta.estimate(&self.netlist, &self.timing, &wire_trial.nets);
+        let delay = self
+            .sta
+            .estimate(&self.netlist, &self.timing, &wire_trial.nets);
         let (ra, rb) = (self.placement.row_of(a), self.placement.row_of(b));
         let (wa, wb) = (
             self.netlist.cell(a).width as u64,
@@ -308,11 +310,7 @@ mod tests {
         let mut ev = setup(5);
         let mut rng = Rng::new(55);
         let nl = ev.netlist().clone();
-        let alt = Placement::random(
-            Layout::for_cells(nl.num_cells()),
-            nl.num_cells(),
-            &mut rng,
-        );
+        let alt = Placement::random(Layout::for_cells(nl.num_cells()), nl.num_cells(), &mut rng);
         let scheme_before = ev.scheme().clone();
         ev.adopt_placement(alt.clone());
         assert_eq!(ev.scheme(), &scheme_before, "scheme survives adoption");

@@ -33,29 +33,21 @@ pub fn constructive_placement(netlist: &Netlist, timing: &TimingGraph) -> Placem
         CellKind::Logic => 2,
         CellKind::Output => 3,
     };
-    order.sort_by_key(|&c| {
-        (
-            timing.level(c),
-            kind_rank(netlist.cell(c).kind),
-            c.index(),
-        )
-    });
+    order.sort_by_key(|&c| (timing.level(c), kind_rank(netlist.cell(c).kind), c.index()));
 
     let mut placement = Placement::sequential(layout.clone(), netlist.num_cells());
     // Re-assign: walk slots in snake order and put the sorted cells there.
     // Build via swaps on the sequential placement to preserve invariants.
     let mut target_slot_of_cell = vec![0u32; netlist.num_cells()];
-    let mut slot_cursor = 0usize;
-    for &cell in &order {
+    for (slot_cursor, &cell) in order.iter().enumerate() {
         let row = slot_cursor / layout.num_cols();
         let col_raw = slot_cursor % layout.num_cols();
-        let col = if row % 2 == 0 {
+        let col = if row.is_multiple_of(2) {
             col_raw
         } else {
             layout.num_cols() - 1 - col_raw
         };
         target_slot_of_cell[cell.index()] = layout.slot(row, col).0;
-        slot_cursor += 1;
     }
     apply_target(&mut placement, &target_slot_of_cell);
     placement
@@ -64,9 +56,9 @@ pub fn constructive_placement(netlist: &Netlist, timing: &TimingGraph) -> Placem
 /// Rearrange `placement` so every cell sits in its target slot, using swaps
 /// and moves-to-empty only (keeps the bijection invariant at every step).
 fn apply_target(placement: &mut Placement, target: &[u32]) {
-    for i in 0..target.len() {
+    for (i, &t) in target.iter().enumerate() {
         let cell = CellId(i as u32);
-        let want = crate::layout::SlotId(target[i]);
+        let want = crate::layout::SlotId(t);
         let have = placement.slot_of(cell);
         if have == want {
             continue;
@@ -144,6 +136,9 @@ mod tests {
         perturb(&mut p, 10, &mut rng);
         p.check_consistency().unwrap();
         let d = p.hamming_distance(&original);
-        assert!(d > 0 && d <= 20, "10 swaps move at most 20 cells, moved {d}");
+        assert!(
+            d > 0 && d <= 20,
+            "10 swaps move at most 20 cells, moved {d}"
+        );
     }
 }

@@ -23,10 +23,9 @@ impl Placement {
         assert!(layout.num_slots() >= n_cells, "layout too small");
         let mut cell_in_slot = vec![None; layout.num_slots()];
         let mut slot_of_cell = Vec::with_capacity(n_cells);
-        for i in 0..n_cells {
-            let slot = SlotId(i as u32);
-            slot_of_cell.push(slot);
-            cell_in_slot[i] = Some(CellId(i as u32));
+        for (i, slot) in cell_in_slot.iter_mut().enumerate().take(n_cells) {
+            slot_of_cell.push(SlotId(i as u32));
+            *slot = Some(CellId(i as u32));
         }
         Placement {
             layout,
@@ -42,8 +41,8 @@ impl Placement {
         rng.shuffle(&mut slots);
         let mut cell_in_slot = vec![None; layout.num_slots()];
         let mut slot_of_cell = Vec::with_capacity(n_cells);
-        for i in 0..n_cells {
-            let slot = SlotId(slots[i]);
+        for (i, &s) in slots.iter().enumerate().take(n_cells) {
+            let slot = SlotId(s);
             slot_of_cell.push(slot);
             cell_in_slot[slot.index()] = Some(CellId(i as u32));
         }
@@ -156,7 +155,11 @@ impl Placement {
 
     /// Build a placement for a netlist with an automatically sized layout.
     pub fn auto_random(netlist: &Netlist, rng: &mut Rng) -> Placement {
-        Placement::random(Layout::for_cells(netlist.num_cells()), netlist.num_cells(), rng)
+        Placement::random(
+            Layout::for_cells(netlist.num_cells()),
+            netlist.num_cells(),
+            rng,
+        )
     }
 }
 

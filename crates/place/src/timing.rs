@@ -349,7 +349,11 @@ mod tests {
         let sta = StaModel::new(&nl, &tg, &wl, 0.5);
         // Each adjacent pair is 1.0 apart: net delay = 0.5 each.
         // Path: in(0) +0.5 +g1(1.0) +0.5 +g2(2.0) +0.5 = 4.5
-        assert!((sta.critical() - 4.5).abs() < 1e-9, "got {}", sta.critical());
+        assert!(
+            (sta.critical() - 4.5).abs() < 1e-9,
+            "got {}",
+            sta.critical()
+        );
     }
 
     #[test]
@@ -538,7 +542,11 @@ mod tests {
         let mut sta = StaModel::new(&nl, &tg, &wl, 0.5);
         sta.commit_changes(&nl, &tg, &[(NetId(1), 5.0)]);
         // 0 + 0.5 + 1 + 2.5 + 2 + 0.5 = 6.5
-        assert!((sta.critical() - 6.5).abs() < 1e-9, "got {}", sta.critical());
+        assert!(
+            (sta.critical() - 6.5).abs() < 1e-9,
+            "got {}",
+            sta.critical()
+        );
         // A follow-up estimate with no changes returns the committed value.
         let est = sta.estimate(&nl, &tg, &[]);
         assert!((est - 6.5).abs() < 1e-9);

@@ -6,11 +6,12 @@
 //! global best cannot be a revisit.
 
 /// Aspiration policy.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum Aspiration {
     /// Never override tabu status.
     None,
     /// Accept a tabu move if its trial cost beats the best known cost.
+    #[default]
     BestCost,
 }
 
@@ -23,12 +24,6 @@ impl Aspiration {
             Aspiration::None => false,
             Aspiration::BestCost => trial_cost < best_cost,
         }
-    }
-}
-
-impl Default for Aspiration {
-    fn default() -> Self {
-        Aspiration::BestCost
     }
 }
 

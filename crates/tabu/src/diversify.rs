@@ -11,6 +11,34 @@ use crate::memory::FrequencyMemory;
 use crate::problem::SearchProblem;
 use pts_util::Rng;
 
+/// Problems that support the paper's Kelly-style diversification step.
+///
+/// The default implementation delegates to the free [`diversify`] routine —
+/// frequency-guided moves anchored in a private item range. Domains with
+/// structure-aware escape strategies (e.g. region-based re-placement)
+/// override [`DiversifiableProblem::diversify`]; the parallel pipeline in
+/// `pts-core` requires this trait so every wired-in problem states
+/// explicitly how a tabu search worker jumps to a new search region.
+pub trait DiversifiableProblem: SearchProblem {
+    /// Apply `depth` diversification moves anchored in `range`; see
+    /// [`diversify`].
+    fn diversify(
+        &mut self,
+        rng: &mut Rng,
+        range: (usize, usize),
+        depth: usize,
+        width: usize,
+        memory: Option<&FrequencyMemory<Self::Attribute>>,
+    ) -> Vec<Self::Move>
+    where
+        Self: Sized,
+    {
+        diversify(self, rng, range, depth, width, memory)
+    }
+}
+
+impl DiversifiableProblem for crate::qap::Qap {}
+
 /// Apply `depth` diversification moves anchored in `range`.
 ///
 /// Each step samples `width` candidate moves with their anchor item inside
@@ -102,10 +130,7 @@ mod tests {
         let mut rng = Rng::new(6);
         let moves = diversify(&mut q, &mut rng, (0, 10), 20, 8, Some(&mem));
         // Count how often a rare facility (8 or 9) anchors the chosen move.
-        let rare_hits = moves
-            .iter()
-            .filter(|&&(a, b)| a >= 8 || b >= 8)
-            .count();
+        let rare_hits = moves.iter().filter(|&&(a, b)| a >= 8 || b >= 8).count();
         assert!(
             rare_hits > moves.len() / 2,
             "rare items should dominate diversification ({rare_hits}/{})",

@@ -39,8 +39,7 @@ impl<S: Clone> ElitePool<S> {
     /// Offer a solution; kept if it beats the worst member (or the pool is
     /// not full). Returns `true` if it entered the pool.
     pub fn offer(&mut self, cost: f64, solution: &S) -> bool {
-        if self.entries.len() == self.capacity
-            && cost >= self.entries.last().expect("non-empty").0
+        if self.entries.len() == self.capacity && cost >= self.entries.last().expect("non-empty").0
         {
             return false;
         }

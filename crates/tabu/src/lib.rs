@@ -37,6 +37,7 @@ pub mod trace;
 
 pub use candidate::CandidateList;
 pub use compound::{build_compound, CompoundMove};
+pub use diversify::DiversifiableProblem;
 pub use intensify::{intensify, ElitePool};
 pub use memory::FrequencyMemory;
 pub use problem::{AttrPair, SearchProblem};

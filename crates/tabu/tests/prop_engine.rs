@@ -9,36 +9,34 @@ use pts_tabu::SearchProblem;
 
 fn arb_config() -> impl Strategy<Value = TabuSearchConfig> {
     (
-        0u64..30,          // tenure
-        1usize..12,        // candidates
-        1usize..5,         // depth
-        10u64..120,        // iterations
-        any::<bool>(),     // early accept
-        any::<bool>(),     // aspiration on/off
-        any::<bool>(),     // tabu policy
-        0u64..10_000,      // seed
+        0u64..30,      // tenure
+        1usize..12,    // candidates
+        1usize..5,     // depth
+        10u64..120,    // iterations
+        any::<bool>(), // early accept
+        any::<bool>(), // aspiration on/off
+        any::<bool>(), // tabu policy
+        0u64..10_000,  // seed
     )
         .prop_map(
-            |(tenure, candidates, depth, iterations, early, asp, policy, seed)| {
-                TabuSearchConfig {
-                    tenure,
-                    candidates,
-                    depth,
-                    iterations,
-                    aspiration: if asp {
-                        Aspiration::BestCost
-                    } else {
-                        Aspiration::None
-                    },
-                    early_accept: early,
-                    range: None,
-                    tabu_policy: if policy {
-                        TabuPolicy::AnyConstituent
-                    } else {
-                        TabuPolicy::FirstMoveOnly
-                    },
-                    seed,
-                }
+            |(tenure, candidates, depth, iterations, early, asp, policy, seed)| TabuSearchConfig {
+                tenure,
+                candidates,
+                depth,
+                iterations,
+                aspiration: if asp {
+                    Aspiration::BestCost
+                } else {
+                    Aspiration::None
+                },
+                early_accept: early,
+                range: None,
+                tabu_policy: if policy {
+                    TabuPolicy::AnyConstituent
+                } else {
+                    TabuPolicy::FirstMoveOnly
+                },
+                seed,
             },
         )
 }

@@ -49,10 +49,7 @@ impl Rng {
     /// Next raw 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -287,8 +284,7 @@ mod tests {
     #[test]
     fn geometric_small_p_gives_long_runs() {
         let mut rng = Rng::new(31);
-        let mean: f64 =
-            (0..20_000).map(|_| rng.geometric(0.2) as f64).sum::<f64>() / 20_000.0;
+        let mean: f64 = (0..20_000).map(|_| rng.geometric(0.2) as f64).sum::<f64>() / 20_000.0;
         // Geometric (failures before success) with p=0.2 has mean (1-p)/p = 4.
         assert!((mean - 4.0).abs() < 0.25, "geometric mean {mean}");
     }

@@ -60,9 +60,9 @@ impl Table {
 
         let mut out = String::new();
         let write_row = |out: &mut String, cells: &[String]| {
-            for i in 0..ncols {
+            for (i, width) in widths.iter().enumerate().take(ncols) {
                 let cell = cells.get(i).map(String::as_str).unwrap_or("");
-                let pad = widths[i].saturating_sub(cell.chars().count());
+                let pad = width.saturating_sub(cell.chars().count());
                 if i > 0 {
                     out.push_str("  ");
                 }

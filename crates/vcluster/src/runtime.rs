@@ -282,11 +282,7 @@ impl<M: Send + 'static> SimBuilder<M> {
 
     /// Register a process on the given machine; returns its [`ProcId`]
     /// (spawn order).
-    pub fn spawn(
-        &mut self,
-        machine: usize,
-        f: impl FnOnce(ProcCtx<M>) + Send + 'static,
-    ) -> ProcId {
+    pub fn spawn(&mut self, machine: usize, f: impl FnOnce(ProcCtx<M>) + Send + 'static) -> ProcId {
         assert!(
             machine < self.cluster.num_machines(),
             "machine index {machine} out of range"

@@ -12,21 +12,18 @@ use std::sync::Arc;
 
 fn main() {
     let netlist = Arc::new(c532());
-    let base = PtsConfig {
-        n_tsw: 4,
-        n_clw: 1,
-        global_iters: 8,
-        local_iters: 12,
-        ..PtsConfig::default()
-    };
+    let base = Pts::builder()
+        .tsw_workers(4)
+        .clw_workers(1)
+        .global_iters(8)
+        .local_iters(12);
 
-    let mut with = base;
-    with.diversify = true;
-    let mut without = base;
-    without.diversify = false;
+    let with = base.clone().diversify(true).build().unwrap();
+    let without = base.diversify(false).build().unwrap();
 
-    let a = run_pts(&with, netlist.clone(), Engine::Sim(paper_cluster()));
-    let b = run_pts(&without, netlist, Engine::Sim(paper_cluster()));
+    let engine = SimEngine::paper();
+    let a = with.run_placement(netlist.clone(), &engine);
+    let b = without.run_placement(netlist, &engine);
 
     println!("global-iteration best cost (c532, 4 TSW x 1 CLW):\n");
     println!("iter   diversified   no-diversification");

@@ -21,23 +21,25 @@ fn main() {
         ("homogeneous (wait-all)", SyncPolicy::WaitAll),
         ("heterogeneous (half-report)", SyncPolicy::HalfReport),
     ] {
-        let cfg = PtsConfig {
-            n_tsw: 4,
-            n_clw: 4,
-            global_iters: 5,
-            local_iters: 12,
-            tsw_sync: sync,
-            clw_sync: sync,
-            ..PtsConfig::default()
-        };
-        let out = run_pts(&cfg, netlist.clone(), Engine::Sim(paper_cluster()));
+        let run = Pts::builder()
+            .tsw_workers(4)
+            .clw_workers(4)
+            .global_iters(5)
+            .local_iters(12)
+            .sync(sync)
+            .build()
+            .unwrap();
+        let out = run.run_placement(netlist.clone(), &SimEngine::paper());
         let o = &out.outcome;
-        let report = out.sim_report.expect("sim engine provides metrics");
+        let report = &out.report;
         println!("{label}:");
         println!("  finished at       : {:8.2} virtual seconds", o.end_time);
         println!("  best cost         : {:.4}", o.best_cost);
         println!("  forced reports    : {}", o.forced_reports);
-        println!("  cluster utilization: {:.0}%", report.utilization() * 100.0);
+        println!(
+            "  cluster utilization: {:.0}%",
+            report.utilization() * 100.0
+        );
         println!("  messages          : {}", report.total_messages());
         // Show the tail of the best-cost-vs-time curve (Fig. 11's shape).
         let pts = o.trace.points();

@@ -27,11 +27,7 @@ fn main() {
         placement,
         EvalConfig::default(),
     ));
-    println!(
-        "circuit {}: start cost {:.4}",
-        netlist.name,
-        problem.cost()
-    );
+    println!("circuit {}: start cost {:.4}", netlist.name, problem.cost());
 
     let mut pool: ElitePool<_> = ElitePool::new(4);
     let mut rng = Rng::new(13);

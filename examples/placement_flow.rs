@@ -6,12 +6,10 @@
 //! cargo run --release --example placement_flow
 //! ```
 
-use parallel_tabu_search::core::{run_on_sim_from, PtsConfig};
 use parallel_tabu_search::netlist::c532;
 use parallel_tabu_search::place::eval::{EvalConfig, Evaluator};
 use parallel_tabu_search::place::init::{constructive_placement, random_placement};
 use parallel_tabu_search::prelude::*;
-use parallel_tabu_search::vcluster::topology::paper_cluster;
 use std::sync::Arc;
 
 fn main() {
@@ -42,19 +40,19 @@ fn main() {
     }
 
     // --- sequential baseline ----------------------------------------------
-    let cfg = PtsConfig {
-        n_tsw: 4,
-        n_clw: 2,
-        global_iters: 6,
-        local_iters: 15,
-        seed: 42,
-        ..PtsConfig::default()
-    };
-    let seq = run_sequential_baseline(&cfg, netlist.clone());
+    let run = Pts::builder()
+        .tsw_workers(4)
+        .clw_workers(2)
+        .global_iters(6)
+        .local_iters(15)
+        .seed(42)
+        .build()
+        .expect("valid configuration");
+    let seq = run_sequential_baseline(run.config(), netlist.clone());
     println!("\nsequential TS best cost: {:.4}", seq.best_cost);
 
     // --- parallel tabu search from the constructive start ------------------
-    let out = run_on_sim_from(&cfg, paper_cluster(), netlist.clone(), constructive);
+    let out = run.run_placement_from(netlist.clone(), &SimEngine::paper(), constructive);
     let o = &out.outcome;
     println!("parallel  TS best cost: {:.4}", o.best_cost);
     println!(
@@ -67,5 +65,8 @@ fn main() {
         out.report.total_messages(),
         out.report.utilization() * 100.0
     );
-    println!("  forced reports (heterogeneity in action): {}", o.forced_reports);
+    println!(
+        "  forced reports (heterogeneity in action): {}",
+        o.forced_reports
+    );
 }

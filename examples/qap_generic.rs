@@ -1,51 +1,85 @@
-//! The tabu search engine is domain-generic: here it solves a quadratic
-//! assignment problem — the domain of the Kelly-Laguna-Glover
-//! diversification study the paper builds on — through exactly the same
-//! `SearchProblem` interface the placement binding uses.
+//! The parallel pipeline is problem-generic: here the *full* master / TSW
+//! / CLW search — diversification over private item ranges, compound-move
+//! proposals, half-report heterogeneity — runs on a quadratic assignment
+//! problem (the domain of the Kelly-Laguna-Glover diversification study
+//! the paper builds on) through exactly the same `Pts::builder()` entry
+//! point as VLSI placement, on both execution engines.
 //!
 //! ```sh
 //! cargo run --release --example qap_generic
 //! ```
 
-use parallel_tabu_search::tabu::aspiration::Aspiration;
-use parallel_tabu_search::tabu::diversify::diversify;
-use parallel_tabu_search::tabu::qap::Qap;
-use parallel_tabu_search::tabu::search::{TabuPolicy, TabuSearch, TabuSearchConfig};
-use parallel_tabu_search::tabu::SearchProblem;
-use parallel_tabu_search::util::Rng;
+use parallel_tabu_search::prelude::*;
 
 fn main() {
     let n = 30;
-    let mut qap = Qap::random(n, 7);
-    println!("QAP instance: {n} facilities, random start cost {:.1}\n", qap.cost());
-
-    let cfg = TabuSearchConfig {
-        tenure: 9,
-        candidates: 24,
-        depth: 2,
-        iterations: 800,
-        aspiration: Aspiration::BestCost,
-        early_accept: true,
-        range: None,
-        tabu_policy: TabuPolicy::AnyConstituent,
-        seed: 3,
-    };
-    let result = TabuSearch::new(cfg).run(&mut qap);
-    println!("after {} iterations:", result.stats.iterations);
-    println!("  best cost     : {:.1}", result.best_cost);
-    println!("  accepted      : {}", result.stats.accepted);
-    println!("  tabu-rejected : {}", result.stats.rejected_tabu);
-    println!("  aspirated     : {}", result.stats.aspirated);
-
-    // Diversify away from the local optimum and search again — the same
-    // mechanism the paper's TSWs run at every global iteration.
-    let mut rng = Rng::new(11);
-    diversify(&mut qap, &mut rng, (0, n), 10, 6, None);
-    println!("\nafter diversification: cost {:.1}", qap.cost());
-    let second = TabuSearch::new(TabuSearchConfig { seed: 4, ..cfg }).run(&mut qap);
-    println!("second search best    : {:.1}", second.best_cost);
+    let domain = QapDomain::random(n, 7);
     println!(
-        "\noverall best: {:.1}",
-        result.best_cost.min(second.best_cost)
+        "QAP instance: {n} facilities, instance cost at identity {:.1}\n",
+        domain.instance().cost()
+    );
+
+    // One validated configuration drives every engine and every domain.
+    let run = Pts::builder()
+        .tsw_workers(4)
+        .clw_workers(2)
+        .global_iters(6)
+        .local_iters(20)
+        .candidates(12)
+        .depth(2)
+        .tenure(9)
+        .seed(3)
+        .build()
+        .expect("valid configuration");
+
+    // Substrates as trait objects: the simulated heterogeneous cluster
+    // and native OS threads, selected uniformly.
+    let engines: Vec<(&str, Box<dyn ExecutionEngine<QapDomain>>)> = vec![
+        ("virtual 12-machine cluster", Box::new(SimEngine::paper())),
+        ("native threads", Box::new(ThreadEngine)),
+    ];
+
+    for (label, engine) in &engines {
+        let out = run.execute(&domain, engine.as_ref());
+        let o = &out.outcome;
+        println!("{label} ({} engine):", out.report.engine);
+        println!("  initial cost   : {:.1}", o.initial_cost);
+        println!("  best cost      : {:.1}", o.best_cost);
+        println!(
+            "  per-iteration  : {}",
+            o.best_per_global_iter
+                .iter()
+                .map(|c| format!("{c:.0}"))
+                .collect::<Vec<_>>()
+                .join(" -> ")
+        );
+        println!(
+            "  search time    : {:.3} s ({})",
+            o.end_time,
+            match out.report.clock {
+                ClockDomain::Virtual => "virtual",
+                ClockDomain::Wall => "wall",
+            }
+        );
+        println!(
+            "  traffic        : {} messages, {} bytes",
+            out.report.total_messages(),
+            out.report.total_bytes()
+        );
+        println!("  forced reports : {}\n", o.forced_reports);
+        assert!(
+            o.best_cost <= o.initial_cost,
+            "parallel search must not lose to its own start"
+        );
+    }
+
+    // Determinism: the virtual cluster replays bit-identically.
+    let a = run.execute(&domain, &SimEngine::paper());
+    let b = run.execute(&domain, &SimEngine::paper());
+    assert_eq!(a.outcome.best_cost, b.outcome.best_cost);
+    assert_eq!(a.outcome.end_time, b.outcome.end_time);
+    println!(
+        "sim replay is bit-identical: best {:.1}",
+        a.outcome.best_cost
     );
 }

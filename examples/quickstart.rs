@@ -19,15 +19,18 @@ fn main() {
     );
 
     // 4 tabu search workers, 2 candidate-list workers each — the paper's
-    // two-level parallelization — on the simulated 12-machine cluster.
-    let cfg = PtsConfig {
-        n_tsw: 4,
-        n_clw: 2,
-        global_iters: 6,
-        local_iters: 15,
-        ..PtsConfig::default()
-    };
-    let out = run_pts(&cfg, netlist, Engine::Sim(paper_cluster()));
+    // two-level parallelization — validated at build time.
+    let run = Pts::builder()
+        .tsw_workers(4)
+        .clw_workers(2)
+        .global_iters(6)
+        .local_iters(15)
+        .build()
+        .expect("valid configuration");
+
+    // Engines hide the substrate: swap in `&ThreadEngine` for native
+    // threads without touching anything else.
+    let out = run.run_placement(netlist, &SimEngine::paper());
     let o = &out.outcome;
 
     println!("initial cost : {:.4}", o.initial_cost);
@@ -36,10 +39,18 @@ fn main() {
         "objectives   : wire={:.1}  delay={:.2}  area={:.0}",
         o.objectives.wire, o.objectives.delay, o.objectives.area
     );
-    println!("virtual time : {:.2} s on the 12-machine cluster", o.end_time);
+    println!(
+        "virtual time : {:.2} s on the 12-machine cluster",
+        o.end_time
+    );
     println!(
         "wall time    : {:.2} s on this host",
-        out.wall_seconds
+        out.report.wall_seconds
+    );
+    println!(
+        "cluster      : {} messages, {:.0}% utilization",
+        out.report.total_messages(),
+        out.report.utilization() * 100.0
     );
     println!("improvements : {} trace points", o.trace.points().len());
     for p in o.trace.points().iter().take(8) {

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! pts circuits                      list the paper's benchmark circuits
-//! pts run [options]                 one PTS run (sim or thread engine)
+//! pts run [options]                 one PTS run (sim or thread engine,
+//!                                   placement or QAP problem)
 //! pts sweep --what clw|tsw [...]    quality/speedup sweep (Figs 5-8 style)
 //! pts generate --cells N [...]      emit a synthetic netlist (text format)
 //! pts show --file netlist.txt      parse a netlist file and print stats
@@ -12,12 +13,12 @@
 //! Run `pts help` for all options.
 
 use parallel_tabu_search::core::{
-    common_quality_target, run_pts, speedup_sweep, CostKind, Engine, PtsConfig, SyncPolicy,
+    common_quality_target, speedup_sweep, CostKind, ExecutionEngine, Pts, PtsDomain, PtsRun,
+    QapDomain, SimEngine, SyncPolicy, ThreadEngine,
 };
 use parallel_tabu_search::netlist::{
     benchmark_names, by_name, format, generate, CircuitSpec, Netlist, NetlistStats, TimingGraph,
 };
-use parallel_tabu_search::vcluster::topology::paper_cluster;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -57,20 +58,22 @@ fn main() -> ExitCode {
 
 fn print_help() {
     println!(
-        "pts — parallel tabu search for VLSI cell placement (IPDPS'03 reproduction)
+        "pts — parallel tabu search in a heterogeneous environment (IPDPS'03 reproduction)
 
 USAGE:
   pts circuits
-  pts run      [--circuit NAME] [--tsw N] [--clw N] [--global N] [--local N]
+  pts run      [--problem placement|qap] [--circuit NAME | --qap-size N]
+               [--tsw N] [--clw N] [--global N] [--local N]
                [--engine sim|threads] [--sync half|all] [--no-diversify]
                [--differentiate] [--cost fuzzy|weighted] [--seed N]
-               [--candidates N] [--depth N]
+               [--candidates N] [--depth N] [--report-fraction F]
   pts sweep    --what clw|tsw [--max N] [--circuit NAME] [common options]
   pts generate --cells N [--seed N] [--out FILE]
   pts show     --file FILE
 
-DEFAULTS: --circuit c532 --tsw 4 --clw 1 --global 10 --local 20 --engine sim
-          --sync half --cost fuzzy --seed 0xC0FFEE"
+DEFAULTS: --problem placement --circuit c532 --qap-size 30 --tsw 4 --clw 1
+          --global 10 --local 20 --engine sim --sync half --cost fuzzy
+          --seed 0xC0FFEE"
     );
 }
 
@@ -128,51 +131,62 @@ fn load_circuit(opts: &Opts) -> Result<Arc<Netlist>, String> {
     // Fall back to a file path.
     let text = std::fs::read_to_string(name)
         .map_err(|e| format!("'{name}' is neither a benchmark nor a readable file: {e}"))?;
-    format::from_text(&text).map(Arc::new).map_err(|e| e.to_string())
+    format::from_text(&text)
+        .map(Arc::new)
+        .map_err(|e| e.to_string())
 }
 
-fn build_config(opts: &Opts) -> Result<PtsConfig, String> {
-    let mut cfg = PtsConfig {
-        n_tsw: opts.parse_num("tsw", 4usize)?,
-        n_clw: opts.parse_num("clw", 1usize)?,
-        global_iters: opts.parse_num("global", 10u32)?,
-        local_iters: opts.parse_num("local", 20u32)?,
-        candidates: opts.parse_num("candidates", 8usize)?,
-        depth: opts.parse_num("depth", 3usize)?,
-        seed: opts.parse_num("seed", 0xC0FFEEu64)?,
-        ..PtsConfig::default()
-    };
+/// Build a validated run from the CLI options; invalid combinations fail
+/// here with the typed `ConfigError` message, not mid-run.
+fn build_run(opts: &Opts) -> Result<PtsRun, String> {
+    let mut builder = Pts::builder()
+        .tsw_workers(opts.parse_num("tsw", 4usize)?)
+        .clw_workers(opts.parse_num("clw", 1usize)?)
+        .global_iters(opts.parse_num("global", 10u32)?)
+        .local_iters(opts.parse_num("local", 20u32)?)
+        .candidates(opts.parse_num("candidates", 8usize)?)
+        .depth(opts.parse_num("depth", 3usize)?)
+        .report_fraction(opts.parse_num("report-fraction", 0.5f64)?)
+        .seed(opts.parse_num("seed", 0xC0FFEEu64)?);
     if opts.flag("no-diversify") {
-        cfg.diversify = false;
+        builder = builder.diversify(false);
     }
     if opts.flag("differentiate") {
-        cfg.differentiate_streams = true;
+        builder = builder.differentiate_streams(true);
     }
-    match opts.get("sync").unwrap_or("half") {
-        "half" => {
-            cfg.tsw_sync = SyncPolicy::HalfReport;
-            cfg.clw_sync = SyncPolicy::HalfReport;
-        }
-        "all" => {
-            cfg.tsw_sync = SyncPolicy::WaitAll;
-            cfg.clw_sync = SyncPolicy::WaitAll;
-        }
+    builder = match opts.get("sync").unwrap_or("half") {
+        "half" => builder.sync(SyncPolicy::HalfReport),
+        "all" => builder.sync(SyncPolicy::WaitAll),
         other => return Err(format!("--sync must be 'half' or 'all', got '{other}'")),
-    }
-    match opts.get("cost").unwrap_or("fuzzy") {
-        "fuzzy" => cfg.cost = CostKind::Fuzzy,
-        "weighted" => cfg.cost = CostKind::WeightedSum,
-        other => return Err(format!("--cost must be 'fuzzy' or 'weighted', got '{other}'")),
-    }
-    cfg.validate()?;
-    Ok(cfg)
+    };
+    builder = match opts.get("cost").unwrap_or("fuzzy") {
+        "fuzzy" => builder.cost(CostKind::Fuzzy),
+        "weighted" => builder.cost(CostKind::WeightedSum),
+        other => {
+            return Err(format!(
+                "--cost must be 'fuzzy' or 'weighted', got '{other}'"
+            ))
+        }
+    };
+    builder.build().map_err(|e| e.to_string())
 }
 
-fn pick_engine(opts: &Opts) -> Result<Engine, String> {
+/// Engine selection: substrates are trait objects behind one interface,
+/// so every problem domain gets both for free.
+fn pick_engine<D: PtsDomain>(opts: &Opts) -> Result<Box<dyn ExecutionEngine<D>>, String> {
     match opts.get("engine").unwrap_or("sim") {
-        "sim" => Ok(Engine::Sim(paper_cluster())),
-        "threads" => Ok(Engine::Threads),
-        other => Err(format!("--engine must be 'sim' or 'threads', got '{other}'")),
+        "sim" => Ok(Box::new(SimEngine::paper())),
+        "threads" => Ok(Box::new(ThreadEngine)),
+        other => Err(format!(
+            "--engine must be 'sim' or 'threads', got '{other}'"
+        )),
+    }
+}
+
+fn engine_label(name: &str) -> &'static str {
+    match name {
+        "sim" => "the 12-machine virtual cluster",
+        _ => "native threads",
     }
 }
 
@@ -186,22 +200,30 @@ fn cmd_circuits() -> Result<(), String> {
 }
 
 fn cmd_run(opts: &Opts) -> Result<(), String> {
+    match opts.get("problem").unwrap_or("placement") {
+        "placement" => cmd_run_placement(opts),
+        "qap" => cmd_run_qap(opts),
+        other => Err(format!(
+            "--problem must be 'placement' or 'qap', got '{other}'"
+        )),
+    }
+}
+
+fn cmd_run_placement(opts: &Opts) -> Result<(), String> {
     let netlist = load_circuit(opts)?;
-    let cfg = build_config(opts)?;
+    let run = build_run(opts)?;
     let engine = pick_engine(opts)?;
+    let cfg = run.config();
     println!(
         "running {} on {}: {} TSW x {} CLW, {} global x {} local iterations",
         netlist.name,
-        match engine {
-            Engine::Sim(_) => "the 12-machine virtual cluster",
-            Engine::Threads => "native threads",
-        },
+        engine_label(engine.name()),
         cfg.n_tsw,
         cfg.n_clw,
         cfg.global_iters,
         cfg.local_iters
     );
-    let out = run_pts(&cfg, netlist, engine);
+    let out = run.run_placement(netlist, engine.as_ref());
     let o = &out.outcome;
     println!("initial cost : {:.4}", o.initial_cost);
     println!("best cost    : {:.4}", o.best_cost);
@@ -209,47 +231,86 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         "objectives   : wire={:.1} delay={:.2} area={:.0}",
         o.objectives.wire, o.objectives.delay, o.objectives.area
     );
-    println!("search time  : {:.2} s ({})", o.end_time, match out.sim_report {
-        Some(_) => "virtual",
-        None => "wall",
-    });
-    println!("wall time    : {:.2} s", out.wall_seconds);
-    println!("forced reports: {}", o.forced_reports);
-    if let Some(report) = &out.sim_report {
-        println!(
-            "cluster      : {} messages, {:.0}% utilization",
-            report.total_messages(),
-            report.utilization() * 100.0
-        );
-    }
+    print_report(o.end_time, o.forced_reports, &out.report);
     Ok(())
+}
+
+fn cmd_run_qap(opts: &Opts) -> Result<(), String> {
+    let n: usize = opts.parse_num("qap-size", 30usize)?;
+    if n < 2 {
+        return Err("--qap-size must be at least 2".into());
+    }
+    let run = build_run(opts)?;
+    let engine = pick_engine(opts)?;
+    let cfg = run.config();
+    let domain = QapDomain::random(n, cfg.seed ^ 0xAAAA);
+    println!(
+        "running qap-{n} on {}: {} TSW x {} CLW, {} global x {} local iterations",
+        engine_label(engine.name()),
+        cfg.n_tsw,
+        cfg.n_clw,
+        cfg.global_iters,
+        cfg.local_iters
+    );
+    let out = run.execute(&domain, engine.as_ref());
+    let o = &out.outcome;
+    println!("initial cost : {:.1}", o.initial_cost);
+    println!("best cost    : {:.1}", o.best_cost);
+    print_report(o.end_time, o.forced_reports, &out.report);
+    Ok(())
+}
+
+fn print_report(
+    end_time: f64,
+    forced_reports: u64,
+    report: &parallel_tabu_search::core::RunReport,
+) {
+    let clock = match report.clock {
+        parallel_tabu_search::core::ClockDomain::Virtual => "virtual",
+        parallel_tabu_search::core::ClockDomain::Wall => "wall",
+    };
+    println!("search time  : {end_time:.2} s ({clock})");
+    println!("wall time    : {:.2} s", report.wall_seconds);
+    println!("forced reports: {forced_reports}");
+    // Utilization is a virtual-time measure; the wall-clock engine does
+    // not observe busy time.
+    let utilization = match report.clock {
+        parallel_tabu_search::core::ClockDomain::Virtual => {
+            format!("{:.0}% utilization", report.utilization() * 100.0)
+        }
+        parallel_tabu_search::core::ClockDomain::Wall => "utilization n/a".to_string(),
+    };
+    println!(
+        "engine       : {} — {} messages, {utilization}",
+        report.engine,
+        report.total_messages(),
+    );
 }
 
 fn cmd_sweep(opts: &Opts) -> Result<(), String> {
     let what = opts.get("what").ok_or("sweep needs --what clw|tsw")?;
-    let max: usize = opts.parse_num("max", match what {
-        "clw" => 4usize,
-        _ => 8usize,
-    })?;
+    let max: usize = opts.parse_num(
+        "max",
+        match what {
+            "clw" => 4usize,
+            _ => 8usize,
+        },
+    )?;
     let netlist = load_circuit(opts)?;
-    let base = build_config(opts)?;
+    let base = build_run(opts)?;
     println!("sweeping {what} 1..={max} on {}", netlist.name);
 
+    let engine = SimEngine::paper();
     let mut traces = Vec::new();
     for n in 1..=max {
-        let mut cfg = base;
-        match what {
-            "clw" => {
-                cfg.n_tsw = 4;
-                cfg.n_clw = n;
-            }
-            "tsw" => {
-                cfg.n_tsw = n;
-                cfg.n_clw = 1;
-            }
+        let mut builder = Pts::from_config(*base.config());
+        builder = match what {
+            "clw" => builder.tsw_workers(4).clw_workers(n),
+            "tsw" => builder.tsw_workers(n).clw_workers(1),
             other => return Err(format!("--what must be 'clw' or 'tsw', got '{other}'")),
-        }
-        let out = run_pts(&cfg, netlist.clone(), Engine::Sim(paper_cluster()));
+        };
+        let run = builder.build().map_err(|e| e.to_string())?;
+        let out = run.run_placement(netlist.clone(), &engine);
         println!(
             "  n={n}: best={:.4}  t_end={:.2}",
             out.outcome.best_cost, out.outcome.end_time
@@ -296,7 +357,11 @@ fn cmd_generate(opts: &Opts) -> Result<(), String> {
     match opts.get("out") {
         Some(path) => {
             std::fs::write(path, text).map_err(|e| e.to_string())?;
-            println!("wrote {} cells / {} nets to {path}", nl.num_cells(), nl.num_nets());
+            println!(
+                "wrote {} cells / {} nets to {path}",
+                nl.num_cells(),
+                nl.num_nets()
+            );
         }
         None => print!("{text}"),
     }

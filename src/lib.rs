@@ -19,21 +19,35 @@
 //!
 //! ## Quickstart
 //!
+//! Configure a run with the validated builder, pick an execution engine
+//! (the simulated heterogeneous cluster or native threads — both behind
+//! the same [`core::ExecutionEngine`] trait), and run any wired-in problem
+//! domain:
+//!
 //! ```
 //! use parallel_tabu_search::prelude::*;
 //! use std::sync::Arc;
 //!
 //! // The paper's smallest benchmark: 56 cells.
 //! let netlist = Arc::new(parallel_tabu_search::netlist::highway());
-//! let cfg = PtsConfig {
-//!     n_tsw: 2,
-//!     n_clw: 2,
-//!     global_iters: 2,
-//!     local_iters: 5,
-//!     ..PtsConfig::default()
-//! };
-//! let out = run_pts(&cfg, netlist, Engine::Sim(paper_cluster()));
+//! let run = Pts::builder()
+//!     .tsw_workers(2)
+//!     .clw_workers(2)
+//!     .global_iters(2)
+//!     .local_iters(5)
+//!     .build()
+//!     .expect("valid configuration");
+//!
+//! // Same entry point, either substrate:
+//! let engine: &dyn ExecutionEngine<PlacementDomain> = &SimEngine::paper();
+//! let out = run.run_placement(netlist, engine);
 //! assert!(out.outcome.best_cost < out.outcome.initial_cost);
+//! // Unified metrics — no engine-specific output types:
+//! assert!(out.report.total_messages() > 0);
+//!
+//! // The pipeline is problem-generic: the same run drives QAP.
+//! let qap = run.execute(&QapDomain::random(16, 7), &SimEngine::paper());
+//! assert!(qap.outcome.best_cost <= qap.outcome.initial_cost);
 //! ```
 
 pub use pts_core as core;
@@ -46,12 +60,13 @@ pub use pts_vcluster as vcluster;
 /// The names most applications need.
 pub mod prelude {
     pub use pts_core::{
-        run_pts, run_sequential_baseline, Engine, MasterOutcome, PtsConfig, PtsOutput,
-        SyncPolicy,
+        run_sequential_baseline, ClockDomain, ConfigError, CostKind, ExecutionEngine,
+        MasterOutcome, PlacementDomain, PlacementRunOutput, Pts, PtsConfig, PtsDomain, PtsRun,
+        QapDomain, RunBuilder, RunReport, SimEngine, SyncPolicy, ThreadEngine,
     };
-    pub use pts_netlist::{by_name, benchmark_names, Netlist, TimingGraph};
+    pub use pts_netlist::{benchmark_names, by_name, Netlist, TimingGraph};
     pub use pts_place::{Evaluator, Layout, Placement};
-    pub use pts_tabu::{SearchProblem, TabuSearch, TabuSearchConfig};
+    pub use pts_tabu::{DiversifiableProblem, SearchProblem, TabuSearch, TabuSearchConfig};
     pub use pts_util::Rng;
     pub use pts_vcluster::topology::{homogeneous, paper_cluster};
     pub use pts_vcluster::ClusterSpec;

@@ -4,23 +4,24 @@
 use parallel_tabu_search::prelude::*;
 use std::sync::Arc;
 
-fn small_cfg() -> PtsConfig {
-    PtsConfig {
-        n_tsw: 2,
-        n_clw: 2,
-        global_iters: 3,
-        local_iters: 6,
-        candidates: 6,
-        depth: 2,
-        ..PtsConfig::default()
-    }
+fn small_run() -> PtsRun {
+    Pts::builder()
+        .tsw_workers(2)
+        .clw_workers(2)
+        .global_iters(3)
+        .local_iters(6)
+        .candidates(6)
+        .depth(2)
+        .build()
+        .unwrap()
 }
 
 #[test]
 fn improves_all_benchmark_circuits() {
     for name in benchmark_names() {
         let netlist = Arc::new(by_name(name).unwrap());
-        let out = run_pts(&small_cfg(), netlist, Engine::Sim(paper_cluster()));
+        let run = small_run();
+        let out = run.run_placement(netlist, &SimEngine::paper());
         let o = &out.outcome;
         assert!(
             o.best_cost < o.initial_cost,
@@ -36,7 +37,7 @@ fn improves_all_benchmark_circuits() {
         );
         assert_eq!(
             o.best_per_global_iter.len(),
-            small_cfg().global_iters as usize
+            run.config().global_iters as usize
         );
         // The per-iteration best is monotone non-increasing.
         for w in o.best_per_global_iter.windows(2) {
@@ -48,7 +49,7 @@ fn improves_all_benchmark_circuits() {
 #[test]
 fn fuzzy_cost_stays_in_unit_interval() {
     let netlist = Arc::new(by_name("c532").unwrap());
-    let out = run_pts(&small_cfg(), netlist, Engine::Sim(paper_cluster()));
+    let out = small_run().run_placement(netlist, &SimEngine::paper());
     let o = &out.outcome;
     assert!((0.0..=1.0).contains(&o.best_cost));
     assert!((0.0..=1.0).contains(&o.initial_cost));
@@ -56,11 +57,12 @@ fn fuzzy_cost_stays_in_unit_interval() {
 
 #[test]
 fn weighted_sum_scheme_works_end_to_end() {
-    use parallel_tabu_search::core::CostKind;
-    let mut cfg = small_cfg();
-    cfg.cost = CostKind::WeightedSum;
+    let run = Pts::from_config(*small_run().config())
+        .cost(CostKind::WeightedSum)
+        .build()
+        .unwrap();
     let netlist = Arc::new(by_name("highway").unwrap());
-    let out = run_pts(&cfg, netlist, Engine::Sim(paper_cluster()));
+    let out = run.run_placement(netlist, &SimEngine::paper());
     let o = &out.outcome;
     // Weighted-sum cost is 1.0 at the initial solution by construction.
     assert!((o.initial_cost - 1.0).abs() < 1e-9);
@@ -70,12 +72,35 @@ fn weighted_sum_scheme_works_end_to_end() {
 #[test]
 fn more_iterations_do_not_hurt() {
     let netlist = Arc::new(by_name("c532").unwrap());
-    let short = run_pts(&small_cfg(), netlist.clone(), Engine::Sim(paper_cluster()));
-    let mut long_cfg = small_cfg();
-    long_cfg.global_iters = 6;
-    let long = run_pts(&long_cfg, netlist, Engine::Sim(paper_cluster()));
+    let short = small_run().run_placement(netlist.clone(), &SimEngine::paper());
+    let long_run = Pts::from_config(*small_run().config())
+        .global_iters(6)
+        .build()
+        .unwrap();
+    let long = long_run.run_placement(netlist, &SimEngine::paper());
     assert!(
         long.outcome.best_cost <= short.outcome.best_cost + 1e-12,
         "longer searches keep the best-so-far, never lose it"
     );
+}
+
+#[test]
+fn qap_improves_end_to_end_on_both_engines() {
+    let domain = QapDomain::random(30, 3);
+    let run = small_run();
+    let engines: [&dyn ExecutionEngine<QapDomain>; 2] = [&SimEngine::paper(), &ThreadEngine];
+    for engine in engines {
+        let out = run.execute(&domain, engine);
+        assert!(
+            out.outcome.best_cost < out.outcome.initial_cost,
+            "{}: QAP pipeline must improve ({} -> {})",
+            engine.name(),
+            out.outcome.initial_cost,
+            out.outcome.best_cost
+        );
+        // The best assignment is still a permutation.
+        let mut sorted = out.outcome.best.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..30).collect::<Vec<_>>());
+    }
 }

@@ -1,40 +1,59 @@
-//! The sim engine and the native thread engine run the same protocol code;
-//! both must produce valid, improving searches.
+//! The sim engine and the native thread engine run the same protocol code
+//! behind one `ExecutionEngine` trait; both must produce valid, improving
+//! searches with the same unified report shape.
 
 use parallel_tabu_search::prelude::*;
 use std::sync::Arc;
 
-fn cfg() -> PtsConfig {
-    PtsConfig {
-        n_tsw: 2,
-        n_clw: 2,
-        global_iters: 2,
-        local_iters: 5,
-        candidates: 6,
-        depth: 2,
-        ..PtsConfig::default()
-    }
+fn run() -> PtsRun {
+    Pts::builder()
+        .tsw_workers(2)
+        .clw_workers(2)
+        .global_iters(2)
+        .local_iters(5)
+        .candidates(6)
+        .depth(2)
+        .build()
+        .unwrap()
 }
 
 #[test]
 fn both_engines_improve_and_stay_consistent() {
     let netlist = Arc::new(by_name("c532").unwrap());
-    let sim = run_pts(&cfg(), netlist.clone(), Engine::Sim(paper_cluster()));
-    let thr = run_pts(&cfg(), netlist, Engine::Threads);
-
-    for (label, out) in [("sim", &sim), ("threads", &thr)] {
+    let engines: [&dyn ExecutionEngine<PlacementDomain>; 2] = [&SimEngine::paper(), &ThreadEngine];
+    let mut initial_costs = Vec::new();
+    for engine in engines {
+        let out = run().run_placement(netlist.clone(), engine);
         let o = &out.outcome;
         assert!(
             o.best_cost < o.initial_cost,
-            "{label}: must improve ({} -> {})",
+            "{}: must improve ({} -> {})",
+            engine.name(),
             o.initial_cost,
             o.best_cost
         );
         o.best_placement.check_consistency().unwrap();
         assert!(o.best_cost >= 0.0);
+        assert_eq!(out.report.engine, engine.name());
+        assert_eq!(out.report.num_procs(), run().config().total_procs());
+        assert!(out.report.total_messages() > 0, "{}", engine.name());
+        initial_costs.push(o.initial_cost);
     }
     // Same frozen cost scheme ⇒ identical initial cost across engines.
-    assert!((sim.outcome.initial_cost - thr.outcome.initial_cost).abs() < 1e-12);
+    assert!((initial_costs[0] - initial_costs[1]).abs() < 1e-12);
+}
+
+#[test]
+fn reports_carry_engine_specific_clocks() {
+    let netlist = Arc::new(by_name("highway").unwrap());
+    let sim = run().run_placement(netlist.clone(), &SimEngine::paper());
+    let thr = run().run_placement(netlist, &ThreadEngine);
+    assert_eq!(sim.report.clock, ClockDomain::Virtual);
+    assert_eq!(thr.report.clock, ClockDomain::Wall);
+    // Thread engine: search time IS wall time.
+    assert!((thr.report.end_time - thr.report.wall_seconds).abs() < 1e-9);
+    // Sim engine: virtual utilization is meaningful.
+    assert!(sim.report.utilization() > 0.0);
 }
 
 #[test]
@@ -42,15 +61,20 @@ fn thread_engine_handles_many_workers() {
     // Oversubscribe the host on purpose: 4 TSWs x 3 CLWs + master = 17
     // threads; the protocol must still terminate cleanly.
     let netlist = Arc::new(by_name("highway").unwrap());
-    let cfg = PtsConfig {
-        n_tsw: 4,
-        n_clw: 3,
-        global_iters: 2,
-        local_iters: 4,
-        ..PtsConfig::default()
-    };
-    let out = run_pts(&cfg, netlist, Engine::Threads);
+    let run = Pts::builder()
+        .tsw_workers(4)
+        .clw_workers(3)
+        .global_iters(2)
+        .local_iters(4)
+        .build()
+        .unwrap();
+    let out = run.run_placement(netlist, &ThreadEngine);
     assert!(out.outcome.best_cost < out.outcome.initial_cost);
+    // Every rank deposited its per-thread counters.
+    assert_eq!(out.report.num_procs(), run.config().total_procs());
+    for (rank, p) in out.report.per_proc.iter().enumerate().skip(1) {
+        assert!(p.messages_sent > 0, "rank {rank} should have sent messages");
+    }
 }
 
 #[test]
@@ -59,14 +83,17 @@ fn single_worker_degenerate_case() {
     // with messaging; quorum of one child means half-report never fires
     // between a parent and its only child.
     let netlist = Arc::new(by_name("highway").unwrap());
-    let cfg = PtsConfig {
-        n_tsw: 1,
-        n_clw: 1,
-        global_iters: 3,
-        local_iters: 6,
-        ..PtsConfig::default()
-    };
-    let out = run_pts(&cfg, netlist, Engine::Sim(paper_cluster()));
+    let run = Pts::builder()
+        .tsw_workers(1)
+        .clw_workers(1)
+        .global_iters(3)
+        .local_iters(6)
+        .build()
+        .unwrap();
+    let out = run.run_placement(netlist, &SimEngine::paper());
     assert!(out.outcome.best_cost < out.outcome.initial_cost);
-    assert_eq!(out.outcome.forced_reports, 0, "nobody to force with one TSW");
+    assert_eq!(
+        out.outcome.forced_reports, 0,
+        "nobody to force with one TSW"
+    );
 }

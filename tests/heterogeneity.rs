@@ -3,35 +3,25 @@
 //! half-report run finishes in far less time than the wait-all run, at
 //! comparable final quality.
 
-use parallel_tabu_search::core::SyncPolicy;
 use parallel_tabu_search::prelude::*;
 use std::sync::Arc;
 
-fn cfg(sync: SyncPolicy) -> PtsConfig {
-    PtsConfig {
-        n_tsw: 4,
-        n_clw: 4,
-        global_iters: 3,
-        local_iters: 6,
-        tsw_sync: sync,
-        clw_sync: sync,
-        ..PtsConfig::default()
-    }
+fn run(sync: SyncPolicy) -> PtsRun {
+    Pts::builder()
+        .tsw_workers(4)
+        .clw_workers(4)
+        .global_iters(3)
+        .local_iters(6)
+        .sync(sync)
+        .build()
+        .unwrap()
 }
 
 #[test]
 fn half_report_finishes_faster_at_comparable_quality() {
     let netlist = Arc::new(by_name("c532").unwrap());
-    let het = run_pts(
-        &cfg(SyncPolicy::HalfReport),
-        netlist.clone(),
-        Engine::Sim(paper_cluster()),
-    );
-    let hom = run_pts(
-        &cfg(SyncPolicy::WaitAll),
-        netlist,
-        Engine::Sim(paper_cluster()),
-    );
+    let het = run(SyncPolicy::HalfReport).run_placement(netlist.clone(), &SimEngine::paper());
+    let hom = run(SyncPolicy::WaitAll).run_placement(netlist, &SimEngine::paper());
 
     assert!(
         het.outcome.end_time < hom.outcome.end_time,
@@ -65,15 +55,15 @@ fn wait_all_gated_by_slowest_machine() {
     // cluster the gap must be large.
     let netlist = Arc::new(by_name("highway").unwrap());
 
-    let run = |cluster: ClusterSpec, sync| {
-        let out = run_pts(&cfg(sync), netlist.clone(), Engine::Sim(cluster));
+    let end_time = |cluster: ClusterSpec, sync| {
+        let out = run(sync).run_placement(netlist.clone(), &SimEngine::new(cluster));
         out.outcome.end_time
     };
 
-    let het_gap = run(paper_cluster(), SyncPolicy::WaitAll)
-        / run(paper_cluster(), SyncPolicy::HalfReport);
-    let hom_gap = run(homogeneous(12), SyncPolicy::WaitAll)
-        / run(homogeneous(12), SyncPolicy::HalfReport);
+    let het_gap = end_time(paper_cluster(), SyncPolicy::WaitAll)
+        / end_time(paper_cluster(), SyncPolicy::HalfReport);
+    let hom_gap = end_time(homogeneous(12), SyncPolicy::WaitAll)
+        / end_time(homogeneous(12), SyncPolicy::HalfReport);
 
     assert!(
         het_gap > hom_gap,
@@ -85,4 +75,21 @@ fn wait_all_gated_by_slowest_machine() {
         "on the paper cluster, wait-all should cost at least 30% more time \
          (ratio {het_gap:.2})"
     );
+}
+
+#[test]
+fn half_report_speeds_up_qap_runs_too() {
+    // The heterogeneity mechanism is problem-independent: the same gap
+    // must appear when the pipeline runs quadratic assignment.
+    let domain = QapDomain::random(24, 5);
+    let het = run(SyncPolicy::HalfReport).execute(&domain, &SimEngine::paper());
+    let hom = run(SyncPolicy::WaitAll).execute(&domain, &SimEngine::paper());
+    assert!(
+        het.outcome.end_time < hom.outcome.end_time,
+        "half-report ({:.2}) must beat wait-all ({:.2}) on QAP as well",
+        het.outcome.end_time,
+        hom.outcome.end_time
+    );
+    assert!(het.outcome.forced_reports > 0);
+    assert_eq!(hom.outcome.forced_reports, 0);
 }

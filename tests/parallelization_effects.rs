@@ -7,12 +7,8 @@ use parallel_tabu_search::core::{common_quality_target, speedup_sweep};
 use parallel_tabu_search::prelude::*;
 use std::sync::Arc;
 
-fn base() -> PtsConfig {
-    PtsConfig {
-        global_iters: 4,
-        local_iters: 10,
-        ..PtsConfig::default()
-    }
+fn base() -> RunBuilder {
+    Pts::builder().global_iters(4).local_iters(10)
 }
 
 #[test]
@@ -20,10 +16,8 @@ fn more_clws_reach_quality_no_slower() {
     let netlist = Arc::new(by_name("c532").unwrap());
     let mut traces = Vec::new();
     for n_clw in [1usize, 4] {
-        let mut cfg = base();
-        cfg.n_tsw = 4;
-        cfg.n_clw = n_clw;
-        let out = run_pts(&cfg, netlist.clone(), Engine::Sim(paper_cluster()));
+        let run = base().tsw_workers(4).clw_workers(n_clw).build().unwrap();
+        let out = run.run_placement(netlist.clone(), &SimEngine::paper());
         traces.push((n_clw, out.outcome.trace));
     }
     let x = common_quality_target(&traces, 0.002);
@@ -39,10 +33,12 @@ fn more_clws_reach_quality_no_slower() {
 fn multiple_tsws_beat_one_tsw_quality() {
     let netlist = Arc::new(by_name("c532").unwrap());
     let run = |n_tsw: usize| {
-        let mut cfg = base();
-        cfg.n_tsw = n_tsw;
-        cfg.n_clw = 1;
-        run_pts(&cfg, netlist.clone(), Engine::Sim(paper_cluster()))
+        base()
+            .tsw_workers(n_tsw)
+            .clw_workers(1)
+            .build()
+            .unwrap()
+            .run_placement(netlist.clone(), &SimEngine::paper())
             .outcome
             .best_cost
     };
@@ -59,11 +55,13 @@ fn multiple_tsws_beat_one_tsw_quality() {
 fn diversification_does_not_hurt_final_quality() {
     let netlist = Arc::new(by_name("c532").unwrap());
     let run = |diversify: bool| {
-        let mut cfg = base();
-        cfg.n_tsw = 4;
-        cfg.n_clw = 1;
-        cfg.diversify = diversify;
-        run_pts(&cfg, netlist.clone(), Engine::Sim(paper_cluster()))
+        base()
+            .tsw_workers(4)
+            .clw_workers(1)
+            .diversify(diversify)
+            .build()
+            .unwrap()
+            .run_placement(netlist.clone(), &SimEngine::paper())
             .outcome
             .best_cost
     };
@@ -83,11 +81,13 @@ fn compound_depth_matters() {
     // fixed, depth 3 should not be significantly worse than depth 1.
     let netlist = Arc::new(by_name("highway").unwrap());
     let run = |depth: usize| {
-        let mut cfg = base();
-        cfg.n_tsw = 2;
-        cfg.n_clw = 2;
-        cfg.depth = depth;
-        run_pts(&cfg, netlist.clone(), Engine::Sim(paper_cluster()))
+        base()
+            .tsw_workers(2)
+            .clw_workers(2)
+            .depth(depth)
+            .build()
+            .unwrap()
+            .run_placement(netlist.clone(), &SimEngine::paper())
             .outcome
             .best_cost
     };

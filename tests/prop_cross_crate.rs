@@ -11,23 +11,25 @@ use std::sync::Arc;
 
 fn arb_spec() -> impl Strategy<Value = CircuitSpec> {
     (
-        2usize..8,    // inputs
-        1usize..6,    // outputs
-        0usize..8,    // flipflops
-        10usize..80,  // logic
-        2usize..7,    // depth
-        0u64..5000,   // seed
+        2usize..8,   // inputs
+        1usize..6,   // outputs
+        0usize..8,   // flipflops
+        10usize..80, // logic
+        2usize..7,   // depth
+        0u64..5000,  // seed
     )
-        .prop_map(|(n_inputs, n_outputs, n_flipflops, n_logic, depth, seed)| CircuitSpec {
-            name: format!("prop{seed}"),
-            n_inputs,
-            n_outputs,
-            n_flipflops,
-            n_logic,
-            depth,
-            fanout_tail: 0.15,
-            seed,
-        })
+        .prop_map(
+            |(n_inputs, n_outputs, n_flipflops, n_logic, depth, seed)| CircuitSpec {
+                name: format!("prop{seed}"),
+                n_inputs,
+                n_outputs,
+                n_flipflops,
+                n_logic,
+                depth,
+                fanout_tail: 0.15,
+                seed,
+            },
+        )
 }
 
 proptest! {
@@ -89,15 +91,15 @@ proptest! {
     #[test]
     fn pts_preserves_placement_invariants(seed in 0u64..1000) {
         let netlist = Arc::new(by_name("highway").unwrap());
-        let cfg = PtsConfig {
-            n_tsw: 2,
-            n_clw: 2,
-            global_iters: 2,
-            local_iters: 4,
-            seed,
-            ..PtsConfig::default()
-        };
-        let out = run_pts(&cfg, netlist.clone(), Engine::Sim(paper_cluster()));
+        let run = Pts::builder()
+            .tsw_workers(2)
+            .clw_workers(2)
+            .global_iters(2)
+            .local_iters(4)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let out = run.run_placement(netlist.clone(), &SimEngine::paper());
         let o = &out.outcome;
         out.outcome.best_placement.check_consistency().unwrap();
         prop_assert!(o.best_cost <= o.initial_cost);
