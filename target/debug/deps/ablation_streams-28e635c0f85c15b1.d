@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_streams-28e635c0f85c15b1.d: crates/bench/src/bin/ablation_streams.rs
+
+/root/repo/target/debug/deps/ablation_streams-28e635c0f85c15b1: crates/bench/src/bin/ablation_streams.rs
+
+crates/bench/src/bin/ablation_streams.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_streams-928a56c9dfa954df.d: crates/bench/src/bin/ablation_streams.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_streams-928a56c9dfa954df.rmeta: crates/bench/src/bin/ablation_streams.rs Cargo.toml
+
+crates/bench/src/bin/ablation_streams.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

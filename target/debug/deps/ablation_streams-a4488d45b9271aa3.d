@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_streams-a4488d45b9271aa3.d: crates/bench/src/bin/ablation_streams.rs
+
+/root/repo/target/debug/deps/ablation_streams-a4488d45b9271aa3: crates/bench/src/bin/ablation_streams.rs
+
+crates/bench/src/bin/ablation_streams.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-1ffc0e12330032cd.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/all_figures-1ffc0e12330032cd: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-e8d370bed127030d.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/all_figures-e8d370bed127030d: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/candidate-7f4274493a9568cd.d: crates/bench/benches/candidate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcandidate-7f4274493a9568cd.rmeta: crates/bench/benches/candidate.rs Cargo.toml
+
+crates/bench/benches/candidate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-6cdbbaff37f55943.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-6cdbbaff37f55943: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-d2fac2987601e871.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-d2fac2987601e871: tests/end_to_end.rs
+
+tests/end_to_end.rs:

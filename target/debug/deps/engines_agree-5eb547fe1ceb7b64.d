@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engines_agree-5eb547fe1ceb7b64.d: tests/engines_agree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengines_agree-5eb547fe1ceb7b64.rmeta: tests/engines_agree.rs Cargo.toml
+
+tests/engines_agree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

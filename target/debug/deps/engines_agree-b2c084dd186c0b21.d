@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engines_agree-b2c084dd186c0b21.d: tests/engines_agree.rs
+
+/root/repo/target/debug/deps/engines_agree-b2c084dd186c0b21: tests/engines_agree.rs
+
+tests/engines_agree.rs:

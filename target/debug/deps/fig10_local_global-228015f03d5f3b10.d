@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_local_global-228015f03d5f3b10.d: crates/bench/src/bin/fig10_local_global.rs
+
+/root/repo/target/debug/deps/fig10_local_global-228015f03d5f3b10: crates/bench/src/bin/fig10_local_global.rs
+
+crates/bench/src/bin/fig10_local_global.rs:

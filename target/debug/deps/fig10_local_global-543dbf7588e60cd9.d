@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_local_global-543dbf7588e60cd9.d: crates/bench/src/bin/fig10_local_global.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_local_global-543dbf7588e60cd9.rmeta: crates/bench/src/bin/fig10_local_global.rs Cargo.toml
+
+crates/bench/src/bin/fig10_local_global.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

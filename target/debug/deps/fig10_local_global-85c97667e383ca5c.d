@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_local_global-85c97667e383ca5c.d: crates/bench/src/bin/fig10_local_global.rs
+
+/root/repo/target/debug/deps/fig10_local_global-85c97667e383ca5c: crates/bench/src/bin/fig10_local_global.rs
+
+crates/bench/src/bin/fig10_local_global.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_heterogeneity-2a92b551975d0717.d: crates/bench/src/bin/fig11_heterogeneity.rs
+
+/root/repo/target/debug/deps/fig11_heterogeneity-2a92b551975d0717: crates/bench/src/bin/fig11_heterogeneity.rs
+
+crates/bench/src/bin/fig11_heterogeneity.rs:

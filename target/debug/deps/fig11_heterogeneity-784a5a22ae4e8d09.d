@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_heterogeneity-784a5a22ae4e8d09.d: crates/bench/src/bin/fig11_heterogeneity.rs
+
+/root/repo/target/debug/deps/fig11_heterogeneity-784a5a22ae4e8d09: crates/bench/src/bin/fig11_heterogeneity.rs
+
+crates/bench/src/bin/fig11_heterogeneity.rs:

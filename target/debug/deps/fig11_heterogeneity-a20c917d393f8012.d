@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_heterogeneity-a20c917d393f8012.d: crates/bench/src/bin/fig11_heterogeneity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_heterogeneity-a20c917d393f8012.rmeta: crates/bench/src/bin/fig11_heterogeneity.rs Cargo.toml
+
+crates/bench/src/bin/fig11_heterogeneity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_heterogeneity-e6f0afde0317ee24.d: crates/bench/src/bin/fig11_heterogeneity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_heterogeneity-e6f0afde0317ee24.rmeta: crates/bench/src/bin/fig11_heterogeneity.rs Cargo.toml
+
+crates/bench/src/bin/fig11_heterogeneity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_clw_quality-73c04d87a4e12891.d: crates/bench/src/bin/fig5_clw_quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_clw_quality-73c04d87a4e12891.rmeta: crates/bench/src/bin/fig5_clw_quality.rs Cargo.toml
+
+crates/bench/src/bin/fig5_clw_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

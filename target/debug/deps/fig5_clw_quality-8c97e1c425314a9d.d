@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_clw_quality-8c97e1c425314a9d.d: crates/bench/src/bin/fig5_clw_quality.rs
+
+/root/repo/target/debug/deps/fig5_clw_quality-8c97e1c425314a9d: crates/bench/src/bin/fig5_clw_quality.rs
+
+crates/bench/src/bin/fig5_clw_quality.rs:

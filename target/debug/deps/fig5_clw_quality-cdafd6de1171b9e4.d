@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_clw_quality-cdafd6de1171b9e4.d: crates/bench/src/bin/fig5_clw_quality.rs
+
+/root/repo/target/debug/deps/fig5_clw_quality-cdafd6de1171b9e4: crates/bench/src/bin/fig5_clw_quality.rs
+
+crates/bench/src/bin/fig5_clw_quality.rs:

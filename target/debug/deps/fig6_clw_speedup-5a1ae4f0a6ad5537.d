@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_clw_speedup-5a1ae4f0a6ad5537.d: crates/bench/src/bin/fig6_clw_speedup.rs
+
+/root/repo/target/debug/deps/fig6_clw_speedup-5a1ae4f0a6ad5537: crates/bench/src/bin/fig6_clw_speedup.rs
+
+crates/bench/src/bin/fig6_clw_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_clw_speedup-7bdd6a764341d6df.d: crates/bench/src/bin/fig6_clw_speedup.rs
+
+/root/repo/target/debug/deps/fig6_clw_speedup-7bdd6a764341d6df: crates/bench/src/bin/fig6_clw_speedup.rs
+
+crates/bench/src/bin/fig6_clw_speedup.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_clw_speedup-ce084b77d43f390a.d: crates/bench/src/bin/fig6_clw_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_clw_speedup-ce084b77d43f390a.rmeta: crates/bench/src/bin/fig6_clw_speedup.rs Cargo.toml
+
+crates/bench/src/bin/fig6_clw_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

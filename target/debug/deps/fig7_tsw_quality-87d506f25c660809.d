@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_tsw_quality-87d506f25c660809.d: crates/bench/src/bin/fig7_tsw_quality.rs
+
+/root/repo/target/debug/deps/fig7_tsw_quality-87d506f25c660809: crates/bench/src/bin/fig7_tsw_quality.rs
+
+crates/bench/src/bin/fig7_tsw_quality.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_tsw_quality-e31b8f1783719cf4.d: crates/bench/src/bin/fig7_tsw_quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_tsw_quality-e31b8f1783719cf4.rmeta: crates/bench/src/bin/fig7_tsw_quality.rs Cargo.toml
+
+crates/bench/src/bin/fig7_tsw_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_tsw_quality-ea8abd63cd93e6a9.d: crates/bench/src/bin/fig7_tsw_quality.rs
+
+/root/repo/target/debug/deps/fig7_tsw_quality-ea8abd63cd93e6a9: crates/bench/src/bin/fig7_tsw_quality.rs
+
+crates/bench/src/bin/fig7_tsw_quality.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_tsw_speedup-4bd3050eeb4a04bd.d: crates/bench/src/bin/fig8_tsw_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_tsw_speedup-4bd3050eeb4a04bd.rmeta: crates/bench/src/bin/fig8_tsw_speedup.rs Cargo.toml
+
+crates/bench/src/bin/fig8_tsw_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

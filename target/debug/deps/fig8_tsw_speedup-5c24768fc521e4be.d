@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_tsw_speedup-5c24768fc521e4be.d: crates/bench/src/bin/fig8_tsw_speedup.rs
+
+/root/repo/target/debug/deps/fig8_tsw_speedup-5c24768fc521e4be: crates/bench/src/bin/fig8_tsw_speedup.rs
+
+crates/bench/src/bin/fig8_tsw_speedup.rs:

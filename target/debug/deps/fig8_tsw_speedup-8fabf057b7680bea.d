@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_tsw_speedup-8fabf057b7680bea.d: crates/bench/src/bin/fig8_tsw_speedup.rs
+
+/root/repo/target/debug/deps/fig8_tsw_speedup-8fabf057b7680bea: crates/bench/src/bin/fig8_tsw_speedup.rs
+
+crates/bench/src/bin/fig8_tsw_speedup.rs:

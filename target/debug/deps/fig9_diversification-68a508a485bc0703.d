@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_diversification-68a508a485bc0703.d: crates/bench/src/bin/fig9_diversification.rs
+
+/root/repo/target/debug/deps/fig9_diversification-68a508a485bc0703: crates/bench/src/bin/fig9_diversification.rs
+
+crates/bench/src/bin/fig9_diversification.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_diversification-743bd2c24d13550e.d: crates/bench/src/bin/fig9_diversification.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_diversification-743bd2c24d13550e.rmeta: crates/bench/src/bin/fig9_diversification.rs Cargo.toml
+
+crates/bench/src/bin/fig9_diversification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

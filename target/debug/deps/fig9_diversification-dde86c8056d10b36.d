@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_diversification-dde86c8056d10b36.d: crates/bench/src/bin/fig9_diversification.rs
+
+/root/repo/target/debug/deps/fig9_diversification-dde86c8056d10b36: crates/bench/src/bin/fig9_diversification.rs
+
+crates/bench/src/bin/fig9_diversification.rs:

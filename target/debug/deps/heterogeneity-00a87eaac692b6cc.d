@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/heterogeneity-00a87eaac692b6cc.d: tests/heterogeneity.rs
+
+/root/repo/target/debug/deps/heterogeneity-00a87eaac692b6cc: tests/heterogeneity.rs
+
+tests/heterogeneity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/heterogeneity-e2fef98918d36c59.d: tests/heterogeneity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libheterogeneity-e2fef98918d36c59.rmeta: tests/heterogeneity.rs Cargo.toml
+
+tests/heterogeneity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hpwl-fa97d5b78fa2d9e3.d: crates/bench/benches/hpwl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhpwl-fa97d5b78fa2d9e3.rmeta: crates/bench/benches/hpwl.rs Cargo.toml
+
+crates/bench/benches/hpwl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

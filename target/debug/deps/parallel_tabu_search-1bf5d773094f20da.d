@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parallel_tabu_search-1bf5d773094f20da.d: src/lib.rs
+
+/root/repo/target/debug/deps/libparallel_tabu_search-1bf5d773094f20da.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libparallel_tabu_search-1bf5d773094f20da.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_tabu_search-e6c2071da87a2875.d: src/lib.rs
+
+/root/repo/target/debug/deps/parallel_tabu_search-e6c2071da87a2875: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallelization_effects-77ea135a0e6b799f.d: tests/parallelization_effects.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallelization_effects-77ea135a0e6b799f.rmeta: tests/parallelization_effects.rs Cargo.toml
+
+tests/parallelization_effects.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

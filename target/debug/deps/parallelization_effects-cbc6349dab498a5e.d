@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallelization_effects-cbc6349dab498a5e.d: tests/parallelization_effects.rs
+
+/root/repo/target/debug/deps/parallelization_effects-cbc6349dab498a5e: tests/parallelization_effects.rs
+
+tests/parallelization_effects.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_cross_crate-03edaaa92a369ee0.d: tests/prop_cross_crate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_cross_crate-03edaaa92a369ee0.rmeta: tests/prop_cross_crate.rs Cargo.toml
+
+tests/prop_cross_crate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

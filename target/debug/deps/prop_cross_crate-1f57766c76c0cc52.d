@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_cross_crate-1f57766c76c0cc52.d: tests/prop_cross_crate.rs
+
+/root/repo/target/debug/deps/prop_cross_crate-1f57766c76c0cc52: tests/prop_cross_crate.rs
+
+tests/prop_cross_crate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_engine-277913d1fff68432.d: crates/tabu/tests/prop_engine.rs
+
+/root/repo/target/debug/deps/prop_engine-277913d1fff68432: crates/tabu/tests/prop_engine.rs
+
+crates/tabu/tests/prop_engine.rs:

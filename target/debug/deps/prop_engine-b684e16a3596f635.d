@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_engine-b684e16a3596f635.d: crates/tabu/tests/prop_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_engine-b684e16a3596f635.rmeta: crates/tabu/tests/prop_engine.rs Cargo.toml
+
+crates/tabu/tests/prop_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_runtime-73d30e8e96e6199f.d: crates/vcluster/tests/prop_runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_runtime-73d30e8e96e6199f.rmeta: crates/vcluster/tests/prop_runtime.rs Cargo.toml
+
+crates/vcluster/tests/prop_runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_runtime-ed822f41d31b17de.d: crates/vcluster/tests/prop_runtime.rs
+
+/root/repo/target/debug/deps/prop_runtime-ed822f41d31b17de: crates/vcluster/tests/prop_runtime.rs
+
+crates/vcluster/tests/prop_runtime.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol_edge_cases-10a854ca00f0903f.d: crates/core/tests/protocol_edge_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol_edge_cases-10a854ca00f0903f.rmeta: crates/core/tests/protocol_edge_cases.rs Cargo.toml
+
+crates/core/tests/protocol_edge_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

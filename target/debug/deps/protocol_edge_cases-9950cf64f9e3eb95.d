@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_edge_cases-9950cf64f9e3eb95.d: crates/core/tests/protocol_edge_cases.rs
+
+/root/repo/target/debug/deps/protocol_edge_cases-9950cf64f9e3eb95: crates/core/tests/protocol_edge_cases.rs
+
+crates/core/tests/protocol_edge_cases.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pts-095cfd55eee0bb66.d: src/bin/pts.rs
+
+/root/repo/target/debug/deps/pts-095cfd55eee0bb66: src/bin/pts.rs
+
+src/bin/pts.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pts-0f2c31acbd7c69c4.d: src/bin/pts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpts-0f2c31acbd7c69c4.rmeta: src/bin/pts.rs Cargo.toml
+
+src/bin/pts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pts-621aaf8e4129f014.d: src/bin/pts.rs
+
+/root/repo/target/debug/deps/pts-621aaf8e4129f014: src/bin/pts.rs
+
+src/bin/pts.rs:

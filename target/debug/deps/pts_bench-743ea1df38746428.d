@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pts_bench-743ea1df38746428.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/pts_bench-743ea1df38746428: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

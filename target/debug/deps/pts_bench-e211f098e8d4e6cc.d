@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pts_bench-e211f098e8d4e6cc.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpts_bench-e211f098e8d4e6cc.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pts_bench-f7dc1ca4f75d47a3.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpts_bench-f7dc1ca4f75d47a3.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpts_bench-f7dc1ca4f75d47a3.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

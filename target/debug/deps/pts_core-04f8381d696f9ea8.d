@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/pts_core-04f8381d696f9ea8.d: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/clw.rs crates/core/src/config.rs crates/core/src/domain.rs crates/core/src/engine.rs crates/core/src/master.rs crates/core/src/messages.rs crates/core/src/placement_problem.rs crates/core/src/qap_domain.rs crates/core/src/report.rs crates/core/src/run.rs crates/core/src/sim_engine.rs crates/core/src/speedup.rs crates/core/src/thread_engine.rs crates/core/src/transport.rs crates/core/src/tsw.rs
+
+/root/repo/target/debug/deps/libpts_core-04f8381d696f9ea8.rlib: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/clw.rs crates/core/src/config.rs crates/core/src/domain.rs crates/core/src/engine.rs crates/core/src/master.rs crates/core/src/messages.rs crates/core/src/placement_problem.rs crates/core/src/qap_domain.rs crates/core/src/report.rs crates/core/src/run.rs crates/core/src/sim_engine.rs crates/core/src/speedup.rs crates/core/src/thread_engine.rs crates/core/src/transport.rs crates/core/src/tsw.rs
+
+/root/repo/target/debug/deps/libpts_core-04f8381d696f9ea8.rmeta: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/clw.rs crates/core/src/config.rs crates/core/src/domain.rs crates/core/src/engine.rs crates/core/src/master.rs crates/core/src/messages.rs crates/core/src/placement_problem.rs crates/core/src/qap_domain.rs crates/core/src/report.rs crates/core/src/run.rs crates/core/src/sim_engine.rs crates/core/src/speedup.rs crates/core/src/thread_engine.rs crates/core/src/transport.rs crates/core/src/tsw.rs
+
+crates/core/src/lib.rs:
+crates/core/src/builder.rs:
+crates/core/src/clw.rs:
+crates/core/src/config.rs:
+crates/core/src/domain.rs:
+crates/core/src/engine.rs:
+crates/core/src/master.rs:
+crates/core/src/messages.rs:
+crates/core/src/placement_problem.rs:
+crates/core/src/qap_domain.rs:
+crates/core/src/report.rs:
+crates/core/src/run.rs:
+crates/core/src/sim_engine.rs:
+crates/core/src/speedup.rs:
+crates/core/src/thread_engine.rs:
+crates/core/src/transport.rs:
+crates/core/src/tsw.rs:

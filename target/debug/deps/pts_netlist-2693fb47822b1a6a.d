@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pts_netlist-2693fb47822b1a6a.d: crates/netlist/src/lib.rs crates/netlist/src/analysis.rs crates/netlist/src/benchmarks.rs crates/netlist/src/builder.rs crates/netlist/src/cell.rs crates/netlist/src/format.rs crates/netlist/src/generator.rs crates/netlist/src/net.rs crates/netlist/src/netlist.rs crates/netlist/src/stats.rs crates/netlist/src/timing_graph.rs
+
+/root/repo/target/debug/deps/pts_netlist-2693fb47822b1a6a: crates/netlist/src/lib.rs crates/netlist/src/analysis.rs crates/netlist/src/benchmarks.rs crates/netlist/src/builder.rs crates/netlist/src/cell.rs crates/netlist/src/format.rs crates/netlist/src/generator.rs crates/netlist/src/net.rs crates/netlist/src/netlist.rs crates/netlist/src/stats.rs crates/netlist/src/timing_graph.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/analysis.rs:
+crates/netlist/src/benchmarks.rs:
+crates/netlist/src/builder.rs:
+crates/netlist/src/cell.rs:
+crates/netlist/src/format.rs:
+crates/netlist/src/generator.rs:
+crates/netlist/src/net.rs:
+crates/netlist/src/netlist.rs:
+crates/netlist/src/stats.rs:
+crates/netlist/src/timing_graph.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/pts_netlist-615de986ffdaf32d.d: crates/netlist/src/lib.rs crates/netlist/src/analysis.rs crates/netlist/src/benchmarks.rs crates/netlist/src/builder.rs crates/netlist/src/cell.rs crates/netlist/src/format.rs crates/netlist/src/generator.rs crates/netlist/src/net.rs crates/netlist/src/netlist.rs crates/netlist/src/stats.rs crates/netlist/src/timing_graph.rs
+
+/root/repo/target/debug/deps/libpts_netlist-615de986ffdaf32d.rlib: crates/netlist/src/lib.rs crates/netlist/src/analysis.rs crates/netlist/src/benchmarks.rs crates/netlist/src/builder.rs crates/netlist/src/cell.rs crates/netlist/src/format.rs crates/netlist/src/generator.rs crates/netlist/src/net.rs crates/netlist/src/netlist.rs crates/netlist/src/stats.rs crates/netlist/src/timing_graph.rs
+
+/root/repo/target/debug/deps/libpts_netlist-615de986ffdaf32d.rmeta: crates/netlist/src/lib.rs crates/netlist/src/analysis.rs crates/netlist/src/benchmarks.rs crates/netlist/src/builder.rs crates/netlist/src/cell.rs crates/netlist/src/format.rs crates/netlist/src/generator.rs crates/netlist/src/net.rs crates/netlist/src/netlist.rs crates/netlist/src/stats.rs crates/netlist/src/timing_graph.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/analysis.rs:
+crates/netlist/src/benchmarks.rs:
+crates/netlist/src/builder.rs:
+crates/netlist/src/cell.rs:
+crates/netlist/src/format.rs:
+crates/netlist/src/generator.rs:
+crates/netlist/src/net.rs:
+crates/netlist/src/netlist.rs:
+crates/netlist/src/stats.rs:
+crates/netlist/src/timing_graph.rs:

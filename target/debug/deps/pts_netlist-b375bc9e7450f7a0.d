@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/pts_netlist-b375bc9e7450f7a0.d: crates/netlist/src/lib.rs crates/netlist/src/analysis.rs crates/netlist/src/benchmarks.rs crates/netlist/src/builder.rs crates/netlist/src/cell.rs crates/netlist/src/format.rs crates/netlist/src/generator.rs crates/netlist/src/net.rs crates/netlist/src/netlist.rs crates/netlist/src/stats.rs crates/netlist/src/timing_graph.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpts_netlist-b375bc9e7450f7a0.rmeta: crates/netlist/src/lib.rs crates/netlist/src/analysis.rs crates/netlist/src/benchmarks.rs crates/netlist/src/builder.rs crates/netlist/src/cell.rs crates/netlist/src/format.rs crates/netlist/src/generator.rs crates/netlist/src/net.rs crates/netlist/src/netlist.rs crates/netlist/src/stats.rs crates/netlist/src/timing_graph.rs Cargo.toml
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/analysis.rs:
+crates/netlist/src/benchmarks.rs:
+crates/netlist/src/builder.rs:
+crates/netlist/src/cell.rs:
+crates/netlist/src/format.rs:
+crates/netlist/src/generator.rs:
+crates/netlist/src/net.rs:
+crates/netlist/src/netlist.rs:
+crates/netlist/src/stats.rs:
+crates/netlist/src/timing_graph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pts_place-8495178e119c37bf.d: crates/place/src/lib.rs crates/place/src/area.rs crates/place/src/cost.rs crates/place/src/eval.rs crates/place/src/fuzzy.rs crates/place/src/init.rs crates/place/src/layout.rs crates/place/src/placement.rs crates/place/src/timing.rs crates/place/src/wirelength.rs
+
+/root/repo/target/debug/deps/libpts_place-8495178e119c37bf.rlib: crates/place/src/lib.rs crates/place/src/area.rs crates/place/src/cost.rs crates/place/src/eval.rs crates/place/src/fuzzy.rs crates/place/src/init.rs crates/place/src/layout.rs crates/place/src/placement.rs crates/place/src/timing.rs crates/place/src/wirelength.rs
+
+/root/repo/target/debug/deps/libpts_place-8495178e119c37bf.rmeta: crates/place/src/lib.rs crates/place/src/area.rs crates/place/src/cost.rs crates/place/src/eval.rs crates/place/src/fuzzy.rs crates/place/src/init.rs crates/place/src/layout.rs crates/place/src/placement.rs crates/place/src/timing.rs crates/place/src/wirelength.rs
+
+crates/place/src/lib.rs:
+crates/place/src/area.rs:
+crates/place/src/cost.rs:
+crates/place/src/eval.rs:
+crates/place/src/fuzzy.rs:
+crates/place/src/init.rs:
+crates/place/src/layout.rs:
+crates/place/src/placement.rs:
+crates/place/src/timing.rs:
+crates/place/src/wirelength.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/pts_place-d202bd1c22ff8d19.d: crates/place/src/lib.rs crates/place/src/area.rs crates/place/src/cost.rs crates/place/src/eval.rs crates/place/src/fuzzy.rs crates/place/src/init.rs crates/place/src/layout.rs crates/place/src/placement.rs crates/place/src/timing.rs crates/place/src/wirelength.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpts_place-d202bd1c22ff8d19.rmeta: crates/place/src/lib.rs crates/place/src/area.rs crates/place/src/cost.rs crates/place/src/eval.rs crates/place/src/fuzzy.rs crates/place/src/init.rs crates/place/src/layout.rs crates/place/src/placement.rs crates/place/src/timing.rs crates/place/src/wirelength.rs Cargo.toml
+
+crates/place/src/lib.rs:
+crates/place/src/area.rs:
+crates/place/src/cost.rs:
+crates/place/src/eval.rs:
+crates/place/src/fuzzy.rs:
+crates/place/src/init.rs:
+crates/place/src/layout.rs:
+crates/place/src/placement.rs:
+crates/place/src/timing.rs:
+crates/place/src/wirelength.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/pts_tabu-1f239baa487b5b52.d: crates/tabu/src/lib.rs crates/tabu/src/aspiration.rs crates/tabu/src/candidate.rs crates/tabu/src/compound.rs crates/tabu/src/diversify.rs crates/tabu/src/intensify.rs crates/tabu/src/memory.rs crates/tabu/src/problem.rs crates/tabu/src/qap.rs crates/tabu/src/reactive.rs crates/tabu/src/search.rs crates/tabu/src/tabu_list.rs crates/tabu/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpts_tabu-1f239baa487b5b52.rmeta: crates/tabu/src/lib.rs crates/tabu/src/aspiration.rs crates/tabu/src/candidate.rs crates/tabu/src/compound.rs crates/tabu/src/diversify.rs crates/tabu/src/intensify.rs crates/tabu/src/memory.rs crates/tabu/src/problem.rs crates/tabu/src/qap.rs crates/tabu/src/reactive.rs crates/tabu/src/search.rs crates/tabu/src/tabu_list.rs crates/tabu/src/trace.rs Cargo.toml
+
+crates/tabu/src/lib.rs:
+crates/tabu/src/aspiration.rs:
+crates/tabu/src/candidate.rs:
+crates/tabu/src/compound.rs:
+crates/tabu/src/diversify.rs:
+crates/tabu/src/intensify.rs:
+crates/tabu/src/memory.rs:
+crates/tabu/src/problem.rs:
+crates/tabu/src/qap.rs:
+crates/tabu/src/reactive.rs:
+crates/tabu/src/search.rs:
+crates/tabu/src/tabu_list.rs:
+crates/tabu/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

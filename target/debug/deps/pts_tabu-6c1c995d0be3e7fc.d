@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/pts_tabu-6c1c995d0be3e7fc.d: crates/tabu/src/lib.rs crates/tabu/src/aspiration.rs crates/tabu/src/candidate.rs crates/tabu/src/compound.rs crates/tabu/src/diversify.rs crates/tabu/src/intensify.rs crates/tabu/src/memory.rs crates/tabu/src/problem.rs crates/tabu/src/qap.rs crates/tabu/src/reactive.rs crates/tabu/src/search.rs crates/tabu/src/tabu_list.rs crates/tabu/src/trace.rs
+
+/root/repo/target/debug/deps/pts_tabu-6c1c995d0be3e7fc: crates/tabu/src/lib.rs crates/tabu/src/aspiration.rs crates/tabu/src/candidate.rs crates/tabu/src/compound.rs crates/tabu/src/diversify.rs crates/tabu/src/intensify.rs crates/tabu/src/memory.rs crates/tabu/src/problem.rs crates/tabu/src/qap.rs crates/tabu/src/reactive.rs crates/tabu/src/search.rs crates/tabu/src/tabu_list.rs crates/tabu/src/trace.rs
+
+crates/tabu/src/lib.rs:
+crates/tabu/src/aspiration.rs:
+crates/tabu/src/candidate.rs:
+crates/tabu/src/compound.rs:
+crates/tabu/src/diversify.rs:
+crates/tabu/src/intensify.rs:
+crates/tabu/src/memory.rs:
+crates/tabu/src/problem.rs:
+crates/tabu/src/qap.rs:
+crates/tabu/src/reactive.rs:
+crates/tabu/src/search.rs:
+crates/tabu/src/tabu_list.rs:
+crates/tabu/src/trace.rs:

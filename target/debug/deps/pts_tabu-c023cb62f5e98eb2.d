@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/pts_tabu-c023cb62f5e98eb2.d: crates/tabu/src/lib.rs crates/tabu/src/aspiration.rs crates/tabu/src/candidate.rs crates/tabu/src/compound.rs crates/tabu/src/diversify.rs crates/tabu/src/intensify.rs crates/tabu/src/memory.rs crates/tabu/src/problem.rs crates/tabu/src/qap.rs crates/tabu/src/reactive.rs crates/tabu/src/search.rs crates/tabu/src/tabu_list.rs crates/tabu/src/trace.rs
+
+/root/repo/target/debug/deps/libpts_tabu-c023cb62f5e98eb2.rlib: crates/tabu/src/lib.rs crates/tabu/src/aspiration.rs crates/tabu/src/candidate.rs crates/tabu/src/compound.rs crates/tabu/src/diversify.rs crates/tabu/src/intensify.rs crates/tabu/src/memory.rs crates/tabu/src/problem.rs crates/tabu/src/qap.rs crates/tabu/src/reactive.rs crates/tabu/src/search.rs crates/tabu/src/tabu_list.rs crates/tabu/src/trace.rs
+
+/root/repo/target/debug/deps/libpts_tabu-c023cb62f5e98eb2.rmeta: crates/tabu/src/lib.rs crates/tabu/src/aspiration.rs crates/tabu/src/candidate.rs crates/tabu/src/compound.rs crates/tabu/src/diversify.rs crates/tabu/src/intensify.rs crates/tabu/src/memory.rs crates/tabu/src/problem.rs crates/tabu/src/qap.rs crates/tabu/src/reactive.rs crates/tabu/src/search.rs crates/tabu/src/tabu_list.rs crates/tabu/src/trace.rs
+
+crates/tabu/src/lib.rs:
+crates/tabu/src/aspiration.rs:
+crates/tabu/src/candidate.rs:
+crates/tabu/src/compound.rs:
+crates/tabu/src/diversify.rs:
+crates/tabu/src/intensify.rs:
+crates/tabu/src/memory.rs:
+crates/tabu/src/problem.rs:
+crates/tabu/src/qap.rs:
+crates/tabu/src/reactive.rs:
+crates/tabu/src/search.rs:
+crates/tabu/src/tabu_list.rs:
+crates/tabu/src/trace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pts_util-724cbbd0ca5d62fc.d: crates/util/src/lib.rs crates/util/src/csv.rs crates/util/src/rng.rs crates/util/src/stats.rs crates/util/src/table.rs
+
+/root/repo/target/debug/deps/libpts_util-724cbbd0ca5d62fc.rlib: crates/util/src/lib.rs crates/util/src/csv.rs crates/util/src/rng.rs crates/util/src/stats.rs crates/util/src/table.rs
+
+/root/repo/target/debug/deps/libpts_util-724cbbd0ca5d62fc.rmeta: crates/util/src/lib.rs crates/util/src/csv.rs crates/util/src/rng.rs crates/util/src/stats.rs crates/util/src/table.rs
+
+crates/util/src/lib.rs:
+crates/util/src/csv.rs:
+crates/util/src/rng.rs:
+crates/util/src/stats.rs:
+crates/util/src/table.rs:

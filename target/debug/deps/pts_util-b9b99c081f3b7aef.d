@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pts_util-b9b99c081f3b7aef.d: crates/util/src/lib.rs crates/util/src/csv.rs crates/util/src/rng.rs crates/util/src/stats.rs crates/util/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpts_util-b9b99c081f3b7aef.rmeta: crates/util/src/lib.rs crates/util/src/csv.rs crates/util/src/rng.rs crates/util/src/stats.rs crates/util/src/table.rs Cargo.toml
+
+crates/util/src/lib.rs:
+crates/util/src/csv.rs:
+crates/util/src/rng.rs:
+crates/util/src/stats.rs:
+crates/util/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

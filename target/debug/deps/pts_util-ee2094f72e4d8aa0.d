@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pts_util-ee2094f72e4d8aa0.d: crates/util/src/lib.rs crates/util/src/csv.rs crates/util/src/rng.rs crates/util/src/stats.rs crates/util/src/table.rs
+
+/root/repo/target/debug/deps/pts_util-ee2094f72e4d8aa0: crates/util/src/lib.rs crates/util/src/csv.rs crates/util/src/rng.rs crates/util/src/stats.rs crates/util/src/table.rs
+
+crates/util/src/lib.rs:
+crates/util/src/csv.rs:
+crates/util/src/rng.rs:
+crates/util/src/stats.rs:
+crates/util/src/table.rs:

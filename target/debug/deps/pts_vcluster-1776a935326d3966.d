@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pts_vcluster-1776a935326d3966.d: crates/vcluster/src/lib.rs crates/vcluster/src/machine.rs crates/vcluster/src/mailbox.rs crates/vcluster/src/message.rs crates/vcluster/src/metrics.rs crates/vcluster/src/process.rs crates/vcluster/src/runtime.rs crates/vcluster/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpts_vcluster-1776a935326d3966.rmeta: crates/vcluster/src/lib.rs crates/vcluster/src/machine.rs crates/vcluster/src/mailbox.rs crates/vcluster/src/message.rs crates/vcluster/src/metrics.rs crates/vcluster/src/process.rs crates/vcluster/src/runtime.rs crates/vcluster/src/topology.rs Cargo.toml
+
+crates/vcluster/src/lib.rs:
+crates/vcluster/src/machine.rs:
+crates/vcluster/src/mailbox.rs:
+crates/vcluster/src/message.rs:
+crates/vcluster/src/metrics.rs:
+crates/vcluster/src/process.rs:
+crates/vcluster/src/runtime.rs:
+crates/vcluster/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

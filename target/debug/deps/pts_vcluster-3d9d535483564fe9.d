@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pts_vcluster-3d9d535483564fe9.d: crates/vcluster/src/lib.rs crates/vcluster/src/machine.rs crates/vcluster/src/mailbox.rs crates/vcluster/src/message.rs crates/vcluster/src/metrics.rs crates/vcluster/src/process.rs crates/vcluster/src/runtime.rs crates/vcluster/src/topology.rs
+
+/root/repo/target/debug/deps/pts_vcluster-3d9d535483564fe9: crates/vcluster/src/lib.rs crates/vcluster/src/machine.rs crates/vcluster/src/mailbox.rs crates/vcluster/src/message.rs crates/vcluster/src/metrics.rs crates/vcluster/src/process.rs crates/vcluster/src/runtime.rs crates/vcluster/src/topology.rs
+
+crates/vcluster/src/lib.rs:
+crates/vcluster/src/machine.rs:
+crates/vcluster/src/mailbox.rs:
+crates/vcluster/src/message.rs:
+crates/vcluster/src/metrics.rs:
+crates/vcluster/src/process.rs:
+crates/vcluster/src/runtime.rs:
+crates/vcluster/src/topology.rs:

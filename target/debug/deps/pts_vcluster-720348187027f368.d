@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pts_vcluster-720348187027f368.d: crates/vcluster/src/lib.rs crates/vcluster/src/machine.rs crates/vcluster/src/mailbox.rs crates/vcluster/src/message.rs crates/vcluster/src/metrics.rs crates/vcluster/src/process.rs crates/vcluster/src/runtime.rs crates/vcluster/src/topology.rs
+
+/root/repo/target/debug/deps/libpts_vcluster-720348187027f368.rlib: crates/vcluster/src/lib.rs crates/vcluster/src/machine.rs crates/vcluster/src/mailbox.rs crates/vcluster/src/message.rs crates/vcluster/src/metrics.rs crates/vcluster/src/process.rs crates/vcluster/src/runtime.rs crates/vcluster/src/topology.rs
+
+/root/repo/target/debug/deps/libpts_vcluster-720348187027f368.rmeta: crates/vcluster/src/lib.rs crates/vcluster/src/machine.rs crates/vcluster/src/mailbox.rs crates/vcluster/src/message.rs crates/vcluster/src/metrics.rs crates/vcluster/src/process.rs crates/vcluster/src/runtime.rs crates/vcluster/src/topology.rs
+
+crates/vcluster/src/lib.rs:
+crates/vcluster/src/machine.rs:
+crates/vcluster/src/mailbox.rs:
+crates/vcluster/src/message.rs:
+crates/vcluster/src/metrics.rs:
+crates/vcluster/src/process.rs:
+crates/vcluster/src/runtime.rs:
+crates/vcluster/src/topology.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tabu_list-a0f646a0c653605a.d: crates/bench/benches/tabu_list.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtabu_list-a0f646a0c653605a.rmeta: crates/bench/benches/tabu_list.rs Cargo.toml
+
+crates/bench/benches/tabu_list.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

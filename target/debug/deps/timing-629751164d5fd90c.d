@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/timing-629751164d5fd90c.d: crates/bench/benches/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtiming-629751164d5fd90c.rmeta: crates/bench/benches/timing.rs Cargo.toml
+
+crates/bench/benches/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vcluster-bcc9d53cfc883190.d: crates/bench/benches/vcluster.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvcluster-bcc9d53cfc883190.rmeta: crates/bench/benches/vcluster.rs Cargo.toml
+
+crates/bench/benches/vcluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/diversification_study-3d9f3db00cf3f284.d: examples/diversification_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdiversification_study-3d9f3db00cf3f284.rmeta: examples/diversification_study.rs Cargo.toml
+
+examples/diversification_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

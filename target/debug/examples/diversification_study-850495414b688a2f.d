@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/diversification_study-850495414b688a2f.d: examples/diversification_study.rs
+
+/root/repo/target/debug/examples/diversification_study-850495414b688a2f: examples/diversification_study.rs
+
+examples/diversification_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/heterogeneous_cluster-178f71496c9e99ca.d: examples/heterogeneous_cluster.rs
+
+/root/repo/target/debug/examples/heterogeneous_cluster-178f71496c9e99ca: examples/heterogeneous_cluster.rs
+
+examples/heterogeneous_cluster.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/heterogeneous_cluster-ad2d4c031bd9d842.d: examples/heterogeneous_cluster.rs Cargo.toml
+
+/root/repo/target/debug/examples/libheterogeneous_cluster-ad2d4c031bd9d842.rmeta: examples/heterogeneous_cluster.rs Cargo.toml
+
+examples/heterogeneous_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

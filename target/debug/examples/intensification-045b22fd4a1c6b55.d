@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/intensification-045b22fd4a1c6b55.d: examples/intensification.rs
+
+/root/repo/target/debug/examples/intensification-045b22fd4a1c6b55: examples/intensification.rs
+
+examples/intensification.rs:

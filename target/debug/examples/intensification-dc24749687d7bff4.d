@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/intensification-dc24749687d7bff4.d: examples/intensification.rs Cargo.toml
+
+/root/repo/target/debug/examples/libintensification-dc24749687d7bff4.rmeta: examples/intensification.rs Cargo.toml
+
+examples/intensification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

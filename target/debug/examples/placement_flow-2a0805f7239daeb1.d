@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/placement_flow-2a0805f7239daeb1.d: examples/placement_flow.rs
+
+/root/repo/target/debug/examples/placement_flow-2a0805f7239daeb1: examples/placement_flow.rs
+
+examples/placement_flow.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/placement_flow-86369193a81bc79c.d: examples/placement_flow.rs Cargo.toml
+
+/root/repo/target/debug/examples/libplacement_flow-86369193a81bc79c.rmeta: examples/placement_flow.rs Cargo.toml
+
+examples/placement_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/qap_generic-11845a3ac35d79c2.d: examples/qap_generic.rs
+
+/root/repo/target/debug/examples/qap_generic-11845a3ac35d79c2: examples/qap_generic.rs
+
+examples/qap_generic.rs:

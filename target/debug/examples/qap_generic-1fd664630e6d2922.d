@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/qap_generic-1fd664630e6d2922.d: examples/qap_generic.rs Cargo.toml
+
+/root/repo/target/debug/examples/libqap_generic-1fd664630e6d2922.rmeta: examples/qap_generic.rs Cargo.toml
+
+examples/qap_generic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

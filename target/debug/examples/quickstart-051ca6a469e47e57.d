@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-051ca6a469e47e57.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-051ca6a469e47e57: examples/quickstart.rs
+
+examples/quickstart.rs:

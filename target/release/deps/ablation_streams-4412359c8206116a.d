@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_streams-4412359c8206116a.d: crates/bench/src/bin/ablation_streams.rs
+
+/root/repo/target/release/deps/ablation_streams-4412359c8206116a: crates/bench/src/bin/ablation_streams.rs
+
+crates/bench/src/bin/ablation_streams.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_figures-c699e7eac0ec880f.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/release/deps/all_figures-c699e7eac0ec880f: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-753434de9eb9a03d.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-753434de9eb9a03d: tests/determinism.rs
+
+tests/determinism.rs:

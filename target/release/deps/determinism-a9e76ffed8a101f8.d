@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/determinism-a9e76ffed8a101f8.d: tests/determinism.rs Cargo.toml
+
+/root/repo/target/release/deps/libdeterminism-a9e76ffed8a101f8.rmeta: tests/determinism.rs Cargo.toml
+
+tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-cba9d659b6164844.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-cba9d659b6164844: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/engines_agree-29968d0912d52146.d: tests/engines_agree.rs Cargo.toml
+
+/root/repo/target/release/deps/libengines_agree-29968d0912d52146.rmeta: tests/engines_agree.rs Cargo.toml
+
+tests/engines_agree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engines_agree-697f046b24bac799.d: tests/engines_agree.rs
+
+/root/repo/target/release/deps/engines_agree-697f046b24bac799: tests/engines_agree.rs
+
+tests/engines_agree.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_local_global-1d822b881034572f.d: crates/bench/src/bin/fig10_local_global.rs
+
+/root/repo/target/release/deps/fig10_local_global-1d822b881034572f: crates/bench/src/bin/fig10_local_global.rs
+
+crates/bench/src/bin/fig10_local_global.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_heterogeneity-136836032ec846f3.d: crates/bench/src/bin/fig11_heterogeneity.rs
+
+/root/repo/target/release/deps/fig11_heterogeneity-136836032ec846f3: crates/bench/src/bin/fig11_heterogeneity.rs
+
+crates/bench/src/bin/fig11_heterogeneity.rs:

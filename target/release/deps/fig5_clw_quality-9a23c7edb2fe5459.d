@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_clw_quality-9a23c7edb2fe5459.d: crates/bench/src/bin/fig5_clw_quality.rs
+
+/root/repo/target/release/deps/fig5_clw_quality-9a23c7edb2fe5459: crates/bench/src/bin/fig5_clw_quality.rs
+
+crates/bench/src/bin/fig5_clw_quality.rs:

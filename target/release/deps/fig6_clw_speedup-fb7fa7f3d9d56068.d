@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_clw_speedup-fb7fa7f3d9d56068.d: crates/bench/src/bin/fig6_clw_speedup.rs
+
+/root/repo/target/release/deps/fig6_clw_speedup-fb7fa7f3d9d56068: crates/bench/src/bin/fig6_clw_speedup.rs
+
+crates/bench/src/bin/fig6_clw_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_tsw_quality-442e5bb37cce7c07.d: crates/bench/src/bin/fig7_tsw_quality.rs
+
+/root/repo/target/release/deps/fig7_tsw_quality-442e5bb37cce7c07: crates/bench/src/bin/fig7_tsw_quality.rs
+
+crates/bench/src/bin/fig7_tsw_quality.rs:

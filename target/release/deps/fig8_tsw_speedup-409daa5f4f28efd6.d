@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_tsw_speedup-409daa5f4f28efd6.d: crates/bench/src/bin/fig8_tsw_speedup.rs
+
+/root/repo/target/release/deps/fig8_tsw_speedup-409daa5f4f28efd6: crates/bench/src/bin/fig8_tsw_speedup.rs
+
+crates/bench/src/bin/fig8_tsw_speedup.rs:

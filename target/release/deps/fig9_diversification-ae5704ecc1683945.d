@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_diversification-ae5704ecc1683945.d: crates/bench/src/bin/fig9_diversification.rs
+
+/root/repo/target/release/deps/fig9_diversification-ae5704ecc1683945: crates/bench/src/bin/fig9_diversification.rs
+
+crates/bench/src/bin/fig9_diversification.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/heterogeneity-6a0033b4c0cfa4c2.d: tests/heterogeneity.rs Cargo.toml
+
+/root/repo/target/release/deps/libheterogeneity-6a0033b4c0cfa4c2.rmeta: tests/heterogeneity.rs Cargo.toml
+
+tests/heterogeneity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

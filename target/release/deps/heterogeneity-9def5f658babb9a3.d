@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/heterogeneity-9def5f658babb9a3.d: tests/heterogeneity.rs
+
+/root/repo/target/release/deps/heterogeneity-9def5f658babb9a3: tests/heterogeneity.rs
+
+tests/heterogeneity.rs:

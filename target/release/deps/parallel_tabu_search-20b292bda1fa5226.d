@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/parallel_tabu_search-20b292bda1fa5226.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libparallel_tabu_search-20b292bda1fa5226.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

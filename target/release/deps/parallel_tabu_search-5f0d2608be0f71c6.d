@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_tabu_search-5f0d2608be0f71c6.d: src/lib.rs
+
+/root/repo/target/release/deps/parallel_tabu_search-5f0d2608be0f71c6: src/lib.rs
+
+src/lib.rs:

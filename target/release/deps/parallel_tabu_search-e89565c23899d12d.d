@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parallel_tabu_search-e89565c23899d12d.d: src/lib.rs
+
+/root/repo/target/release/deps/libparallel_tabu_search-e89565c23899d12d.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libparallel_tabu_search-e89565c23899d12d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/parallelization_effects-576dd1c651ce482d.d: tests/parallelization_effects.rs Cargo.toml
+
+/root/repo/target/release/deps/libparallelization_effects-576dd1c651ce482d.rmeta: tests/parallelization_effects.rs Cargo.toml
+
+tests/parallelization_effects.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallelization_effects-d499fadbba82bab5.d: tests/parallelization_effects.rs
+
+/root/repo/target/release/deps/parallelization_effects-d499fadbba82bab5: tests/parallelization_effects.rs
+
+tests/parallelization_effects.rs:

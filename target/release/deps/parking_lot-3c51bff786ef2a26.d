@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-3c51bff786ef2a26.d: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-3c51bff786ef2a26.rlib: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-3c51bff786ef2a26.rmeta: crates/shims/parking_lot/src/lib.rs
+
+crates/shims/parking_lot/src/lib.rs:

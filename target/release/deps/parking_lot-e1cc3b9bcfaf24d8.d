@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/parking_lot-e1cc3b9bcfaf24d8.d: crates/shims/parking_lot/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libparking_lot-e1cc3b9bcfaf24d8.rmeta: crates/shims/parking_lot/src/lib.rs Cargo.toml
+
+crates/shims/parking_lot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/prop_cross_crate-3c32247345e1844e.d: tests/prop_cross_crate.rs Cargo.toml
+
+/root/repo/target/release/deps/libprop_cross_crate-3c32247345e1844e.rmeta: tests/prop_cross_crate.rs Cargo.toml
+
+tests/prop_cross_crate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_cross_crate-c04df4bf4c64657e.d: tests/prop_cross_crate.rs
+
+/root/repo/target/release/deps/prop_cross_crate-c04df4bf4c64657e: tests/prop_cross_crate.rs
+
+tests/prop_cross_crate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest-9d2615fbc6d8cc6f.d: crates/shims/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest-9d2615fbc6d8cc6f.rmeta: crates/shims/proptest/src/lib.rs Cargo.toml
+
+crates/shims/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

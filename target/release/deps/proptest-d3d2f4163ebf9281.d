@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-d3d2f4163ebf9281.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-d3d2f4163ebf9281.rlib: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-d3d2f4163ebf9281.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pts-4c22ab557b4aff1d.d: src/bin/pts.rs Cargo.toml
+
+/root/repo/target/release/deps/libpts-4c22ab557b4aff1d.rmeta: src/bin/pts.rs Cargo.toml
+
+src/bin/pts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pts-56b9bd3b726bfdde.d: src/bin/pts.rs
+
+/root/repo/target/release/deps/pts-56b9bd3b726bfdde: src/bin/pts.rs
+
+src/bin/pts.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pts-f2ea73ef5e4b6319.d: src/bin/pts.rs Cargo.toml
+
+/root/repo/target/release/deps/libpts-f2ea73ef5e4b6319.rmeta: src/bin/pts.rs Cargo.toml
+
+src/bin/pts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pts-fa30abf5387849e2.d: src/bin/pts.rs
+
+/root/repo/target/release/deps/pts-fa30abf5387849e2: src/bin/pts.rs
+
+src/bin/pts.rs:

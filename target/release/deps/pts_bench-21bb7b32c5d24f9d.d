@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pts_bench-21bb7b32c5d24f9d.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpts_bench-21bb7b32c5d24f9d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpts_bench-21bb7b32c5d24f9d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

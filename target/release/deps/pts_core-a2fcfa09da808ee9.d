@@ -1,0 +1,25 @@
+/root/repo/target/release/deps/pts_core-a2fcfa09da808ee9.d: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/clw.rs crates/core/src/config.rs crates/core/src/domain.rs crates/core/src/engine.rs crates/core/src/master.rs crates/core/src/messages.rs crates/core/src/placement_problem.rs crates/core/src/qap_domain.rs crates/core/src/report.rs crates/core/src/run.rs crates/core/src/sim_engine.rs crates/core/src/speedup.rs crates/core/src/thread_engine.rs crates/core/src/transport.rs crates/core/src/tsw.rs Cargo.toml
+
+/root/repo/target/release/deps/libpts_core-a2fcfa09da808ee9.rmeta: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/clw.rs crates/core/src/config.rs crates/core/src/domain.rs crates/core/src/engine.rs crates/core/src/master.rs crates/core/src/messages.rs crates/core/src/placement_problem.rs crates/core/src/qap_domain.rs crates/core/src/report.rs crates/core/src/run.rs crates/core/src/sim_engine.rs crates/core/src/speedup.rs crates/core/src/thread_engine.rs crates/core/src/transport.rs crates/core/src/tsw.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/builder.rs:
+crates/core/src/clw.rs:
+crates/core/src/config.rs:
+crates/core/src/domain.rs:
+crates/core/src/engine.rs:
+crates/core/src/master.rs:
+crates/core/src/messages.rs:
+crates/core/src/placement_problem.rs:
+crates/core/src/qap_domain.rs:
+crates/core/src/report.rs:
+crates/core/src/run.rs:
+crates/core/src/sim_engine.rs:
+crates/core/src/speedup.rs:
+crates/core/src/thread_engine.rs:
+crates/core/src/transport.rs:
+crates/core/src/tsw.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

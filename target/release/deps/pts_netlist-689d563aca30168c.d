@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/pts_netlist-689d563aca30168c.d: crates/netlist/src/lib.rs crates/netlist/src/analysis.rs crates/netlist/src/benchmarks.rs crates/netlist/src/builder.rs crates/netlist/src/cell.rs crates/netlist/src/format.rs crates/netlist/src/generator.rs crates/netlist/src/net.rs crates/netlist/src/netlist.rs crates/netlist/src/stats.rs crates/netlist/src/timing_graph.rs
+
+/root/repo/target/release/deps/libpts_netlist-689d563aca30168c.rlib: crates/netlist/src/lib.rs crates/netlist/src/analysis.rs crates/netlist/src/benchmarks.rs crates/netlist/src/builder.rs crates/netlist/src/cell.rs crates/netlist/src/format.rs crates/netlist/src/generator.rs crates/netlist/src/net.rs crates/netlist/src/netlist.rs crates/netlist/src/stats.rs crates/netlist/src/timing_graph.rs
+
+/root/repo/target/release/deps/libpts_netlist-689d563aca30168c.rmeta: crates/netlist/src/lib.rs crates/netlist/src/analysis.rs crates/netlist/src/benchmarks.rs crates/netlist/src/builder.rs crates/netlist/src/cell.rs crates/netlist/src/format.rs crates/netlist/src/generator.rs crates/netlist/src/net.rs crates/netlist/src/netlist.rs crates/netlist/src/stats.rs crates/netlist/src/timing_graph.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/analysis.rs:
+crates/netlist/src/benchmarks.rs:
+crates/netlist/src/builder.rs:
+crates/netlist/src/cell.rs:
+crates/netlist/src/format.rs:
+crates/netlist/src/generator.rs:
+crates/netlist/src/net.rs:
+crates/netlist/src/netlist.rs:
+crates/netlist/src/stats.rs:
+crates/netlist/src/timing_graph.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/pts_place-4810265cbeed3608.d: crates/place/src/lib.rs crates/place/src/area.rs crates/place/src/cost.rs crates/place/src/eval.rs crates/place/src/fuzzy.rs crates/place/src/init.rs crates/place/src/layout.rs crates/place/src/placement.rs crates/place/src/timing.rs crates/place/src/wirelength.rs
+
+/root/repo/target/release/deps/libpts_place-4810265cbeed3608.rlib: crates/place/src/lib.rs crates/place/src/area.rs crates/place/src/cost.rs crates/place/src/eval.rs crates/place/src/fuzzy.rs crates/place/src/init.rs crates/place/src/layout.rs crates/place/src/placement.rs crates/place/src/timing.rs crates/place/src/wirelength.rs
+
+/root/repo/target/release/deps/libpts_place-4810265cbeed3608.rmeta: crates/place/src/lib.rs crates/place/src/area.rs crates/place/src/cost.rs crates/place/src/eval.rs crates/place/src/fuzzy.rs crates/place/src/init.rs crates/place/src/layout.rs crates/place/src/placement.rs crates/place/src/timing.rs crates/place/src/wirelength.rs
+
+crates/place/src/lib.rs:
+crates/place/src/area.rs:
+crates/place/src/cost.rs:
+crates/place/src/eval.rs:
+crates/place/src/fuzzy.rs:
+crates/place/src/init.rs:
+crates/place/src/layout.rs:
+crates/place/src/placement.rs:
+crates/place/src/timing.rs:
+crates/place/src/wirelength.rs:

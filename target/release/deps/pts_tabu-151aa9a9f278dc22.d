@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/pts_tabu-151aa9a9f278dc22.d: crates/tabu/src/lib.rs crates/tabu/src/aspiration.rs crates/tabu/src/candidate.rs crates/tabu/src/compound.rs crates/tabu/src/diversify.rs crates/tabu/src/intensify.rs crates/tabu/src/memory.rs crates/tabu/src/problem.rs crates/tabu/src/qap.rs crates/tabu/src/reactive.rs crates/tabu/src/search.rs crates/tabu/src/tabu_list.rs crates/tabu/src/trace.rs
+
+/root/repo/target/release/deps/libpts_tabu-151aa9a9f278dc22.rlib: crates/tabu/src/lib.rs crates/tabu/src/aspiration.rs crates/tabu/src/candidate.rs crates/tabu/src/compound.rs crates/tabu/src/diversify.rs crates/tabu/src/intensify.rs crates/tabu/src/memory.rs crates/tabu/src/problem.rs crates/tabu/src/qap.rs crates/tabu/src/reactive.rs crates/tabu/src/search.rs crates/tabu/src/tabu_list.rs crates/tabu/src/trace.rs
+
+/root/repo/target/release/deps/libpts_tabu-151aa9a9f278dc22.rmeta: crates/tabu/src/lib.rs crates/tabu/src/aspiration.rs crates/tabu/src/candidate.rs crates/tabu/src/compound.rs crates/tabu/src/diversify.rs crates/tabu/src/intensify.rs crates/tabu/src/memory.rs crates/tabu/src/problem.rs crates/tabu/src/qap.rs crates/tabu/src/reactive.rs crates/tabu/src/search.rs crates/tabu/src/tabu_list.rs crates/tabu/src/trace.rs
+
+crates/tabu/src/lib.rs:
+crates/tabu/src/aspiration.rs:
+crates/tabu/src/candidate.rs:
+crates/tabu/src/compound.rs:
+crates/tabu/src/diversify.rs:
+crates/tabu/src/intensify.rs:
+crates/tabu/src/memory.rs:
+crates/tabu/src/problem.rs:
+crates/tabu/src/qap.rs:
+crates/tabu/src/reactive.rs:
+crates/tabu/src/search.rs:
+crates/tabu/src/tabu_list.rs:
+crates/tabu/src/trace.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/pts_tabu-d6293baaaaa10def.d: crates/tabu/src/lib.rs crates/tabu/src/aspiration.rs crates/tabu/src/candidate.rs crates/tabu/src/compound.rs crates/tabu/src/diversify.rs crates/tabu/src/intensify.rs crates/tabu/src/memory.rs crates/tabu/src/problem.rs crates/tabu/src/qap.rs crates/tabu/src/reactive.rs crates/tabu/src/search.rs crates/tabu/src/tabu_list.rs crates/tabu/src/trace.rs Cargo.toml
+
+/root/repo/target/release/deps/libpts_tabu-d6293baaaaa10def.rmeta: crates/tabu/src/lib.rs crates/tabu/src/aspiration.rs crates/tabu/src/candidate.rs crates/tabu/src/compound.rs crates/tabu/src/diversify.rs crates/tabu/src/intensify.rs crates/tabu/src/memory.rs crates/tabu/src/problem.rs crates/tabu/src/qap.rs crates/tabu/src/reactive.rs crates/tabu/src/search.rs crates/tabu/src/tabu_list.rs crates/tabu/src/trace.rs Cargo.toml
+
+crates/tabu/src/lib.rs:
+crates/tabu/src/aspiration.rs:
+crates/tabu/src/candidate.rs:
+crates/tabu/src/compound.rs:
+crates/tabu/src/diversify.rs:
+crates/tabu/src/intensify.rs:
+crates/tabu/src/memory.rs:
+crates/tabu/src/problem.rs:
+crates/tabu/src/qap.rs:
+crates/tabu/src/reactive.rs:
+crates/tabu/src/search.rs:
+crates/tabu/src/tabu_list.rs:
+crates/tabu/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pts_util-5c18c0607e460c47.d: crates/util/src/lib.rs crates/util/src/csv.rs crates/util/src/rng.rs crates/util/src/stats.rs crates/util/src/table.rs Cargo.toml
+
+/root/repo/target/release/deps/libpts_util-5c18c0607e460c47.rmeta: crates/util/src/lib.rs crates/util/src/csv.rs crates/util/src/rng.rs crates/util/src/stats.rs crates/util/src/table.rs Cargo.toml
+
+crates/util/src/lib.rs:
+crates/util/src/csv.rs:
+crates/util/src/rng.rs:
+crates/util/src/stats.rs:
+crates/util/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pts_util-cea79981018e3f34.d: crates/util/src/lib.rs crates/util/src/csv.rs crates/util/src/rng.rs crates/util/src/stats.rs crates/util/src/table.rs
+
+/root/repo/target/release/deps/libpts_util-cea79981018e3f34.rlib: crates/util/src/lib.rs crates/util/src/csv.rs crates/util/src/rng.rs crates/util/src/stats.rs crates/util/src/table.rs
+
+/root/repo/target/release/deps/libpts_util-cea79981018e3f34.rmeta: crates/util/src/lib.rs crates/util/src/csv.rs crates/util/src/rng.rs crates/util/src/stats.rs crates/util/src/table.rs
+
+crates/util/src/lib.rs:
+crates/util/src/csv.rs:
+crates/util/src/rng.rs:
+crates/util/src/stats.rs:
+crates/util/src/table.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/pts_vcluster-1a0d1d803951119e.d: crates/vcluster/src/lib.rs crates/vcluster/src/machine.rs crates/vcluster/src/mailbox.rs crates/vcluster/src/message.rs crates/vcluster/src/metrics.rs crates/vcluster/src/process.rs crates/vcluster/src/runtime.rs crates/vcluster/src/topology.rs
+
+/root/repo/target/release/deps/libpts_vcluster-1a0d1d803951119e.rlib: crates/vcluster/src/lib.rs crates/vcluster/src/machine.rs crates/vcluster/src/mailbox.rs crates/vcluster/src/message.rs crates/vcluster/src/metrics.rs crates/vcluster/src/process.rs crates/vcluster/src/runtime.rs crates/vcluster/src/topology.rs
+
+/root/repo/target/release/deps/libpts_vcluster-1a0d1d803951119e.rmeta: crates/vcluster/src/lib.rs crates/vcluster/src/machine.rs crates/vcluster/src/mailbox.rs crates/vcluster/src/message.rs crates/vcluster/src/metrics.rs crates/vcluster/src/process.rs crates/vcluster/src/runtime.rs crates/vcluster/src/topology.rs
+
+crates/vcluster/src/lib.rs:
+crates/vcluster/src/machine.rs:
+crates/vcluster/src/mailbox.rs:
+crates/vcluster/src/message.rs:
+crates/vcluster/src/metrics.rs:
+crates/vcluster/src/process.rs:
+crates/vcluster/src/runtime.rs:
+crates/vcluster/src/topology.rs:

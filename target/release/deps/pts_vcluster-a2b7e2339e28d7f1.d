@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/pts_vcluster-a2b7e2339e28d7f1.d: crates/vcluster/src/lib.rs crates/vcluster/src/machine.rs crates/vcluster/src/mailbox.rs crates/vcluster/src/message.rs crates/vcluster/src/metrics.rs crates/vcluster/src/process.rs crates/vcluster/src/runtime.rs crates/vcluster/src/topology.rs Cargo.toml
+
+/root/repo/target/release/deps/libpts_vcluster-a2b7e2339e28d7f1.rmeta: crates/vcluster/src/lib.rs crates/vcluster/src/machine.rs crates/vcluster/src/mailbox.rs crates/vcluster/src/message.rs crates/vcluster/src/metrics.rs crates/vcluster/src/process.rs crates/vcluster/src/runtime.rs crates/vcluster/src/topology.rs Cargo.toml
+
+crates/vcluster/src/lib.rs:
+crates/vcluster/src/machine.rs:
+crates/vcluster/src/mailbox.rs:
+crates/vcluster/src/message.rs:
+crates/vcluster/src/metrics.rs:
+crates/vcluster/src/process.rs:
+crates/vcluster/src/runtime.rs:
+crates/vcluster/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/__golden_capture-f4dc11037ba1ef8a.d: examples/__golden_capture.rs
+
+/root/repo/target/release/examples/__golden_capture-f4dc11037ba1ef8a: examples/__golden_capture.rs
+
+examples/__golden_capture.rs:

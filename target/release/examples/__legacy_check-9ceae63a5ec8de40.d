@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/__legacy_check-9ceae63a5ec8de40.d: examples/__legacy_check.rs
+
+/root/repo/target/release/examples/__legacy_check-9ceae63a5ec8de40: examples/__legacy_check.rs
+
+examples/__legacy_check.rs:

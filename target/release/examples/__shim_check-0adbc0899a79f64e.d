@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/__shim_check-0adbc0899a79f64e.d: examples/__shim_check.rs
+
+/root/repo/target/release/examples/__shim_check-0adbc0899a79f64e: examples/__shim_check.rs
+
+examples/__shim_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/__shims_all-5160e22768c2389d.d: examples/__shims_all.rs
+
+/root/repo/target/release/examples/__shims_all-5160e22768c2389d: examples/__shims_all.rs
+
+examples/__shims_all.rs:

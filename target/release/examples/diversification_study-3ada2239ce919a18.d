@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/diversification_study-3ada2239ce919a18.d: examples/diversification_study.rs
+
+/root/repo/target/release/examples/diversification_study-3ada2239ce919a18: examples/diversification_study.rs
+
+examples/diversification_study.rs:

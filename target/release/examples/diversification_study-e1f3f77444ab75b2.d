@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/diversification_study-e1f3f77444ab75b2.d: examples/diversification_study.rs Cargo.toml
+
+/root/repo/target/release/examples/libdiversification_study-e1f3f77444ab75b2.rmeta: examples/diversification_study.rs Cargo.toml
+
+examples/diversification_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/heterogeneous_cluster-a8cc30016c4ef089.d: examples/heterogeneous_cluster.rs Cargo.toml
+
+/root/repo/target/release/examples/libheterogeneous_cluster-a8cc30016c4ef089.rmeta: examples/heterogeneous_cluster.rs Cargo.toml
+
+examples/heterogeneous_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/heterogeneous_cluster-cde0e627e42b8910.d: examples/heterogeneous_cluster.rs
+
+/root/repo/target/release/examples/heterogeneous_cluster-cde0e627e42b8910: examples/heterogeneous_cluster.rs
+
+examples/heterogeneous_cluster.rs:

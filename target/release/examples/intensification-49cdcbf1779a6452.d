@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/intensification-49cdcbf1779a6452.d: examples/intensification.rs Cargo.toml
+
+/root/repo/target/release/examples/libintensification-49cdcbf1779a6452.rmeta: examples/intensification.rs Cargo.toml
+
+examples/intensification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

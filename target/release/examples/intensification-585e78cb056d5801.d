@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/intensification-585e78cb056d5801.d: examples/intensification.rs
+
+/root/repo/target/release/examples/intensification-585e78cb056d5801: examples/intensification.rs
+
+examples/intensification.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/placement_flow-70780cc8c6de1d22.d: examples/placement_flow.rs
+
+/root/repo/target/release/examples/placement_flow-70780cc8c6de1d22: examples/placement_flow.rs
+
+examples/placement_flow.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/placement_flow-a493dc55c9ca33b8.d: examples/placement_flow.rs Cargo.toml
+
+/root/repo/target/release/examples/libplacement_flow-a493dc55c9ca33b8.rmeta: examples/placement_flow.rs Cargo.toml
+
+examples/placement_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/qap_generic-87187616effe47b7.d: examples/qap_generic.rs
+
+/root/repo/target/release/examples/qap_generic-87187616effe47b7: examples/qap_generic.rs
+
+examples/qap_generic.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/qap_generic-8b54c6c0d7b3ff2d.d: examples/qap_generic.rs Cargo.toml
+
+/root/repo/target/release/examples/libqap_generic-8b54c6c0d7b3ff2d.rmeta: examples/qap_generic.rs Cargo.toml
+
+examples/qap_generic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

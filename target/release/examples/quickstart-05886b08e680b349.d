@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-05886b08e680b349.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-05886b08e680b349.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-7079df67655bc109.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-7079df67655bc109: examples/quickstart.rs
+
+examples/quickstart.rs:
