@@ -81,6 +81,28 @@ pub struct Pts;
 
 impl Pts {
     /// Start from the paper's defaults ([`PtsConfig::default`]).
+    ///
+    /// Invalid combinations are rejected at [`RunBuilder::build`] time
+    /// with a typed [`ConfigError`], and the resulting [`PtsRun`] executes
+    /// on any engine:
+    ///
+    /// ```
+    /// use pts_core::{AsyncEngine, ConfigError, Pts, QapDomain};
+    ///
+    /// assert!(matches!(
+    ///     Pts::builder().tsw_workers(0).build(),
+    ///     Err(ConfigError::NoTabuSearchWorkers)
+    /// ));
+    ///
+    /// let run = Pts::builder()
+    ///     .tsw_workers(3)
+    ///     .global_iters(2)
+    ///     .local_iters(3)
+    ///     .build()?;
+    /// let out = run.execute(&QapDomain::random(16, 1), &AsyncEngine::new());
+    /// assert!(out.outcome.best_cost <= out.outcome.initial_cost);
+    /// # Ok::<(), ConfigError>(())
+    /// ```
     pub fn builder() -> RunBuilder {
         RunBuilder {
             cfg: PtsConfig::default(),
@@ -245,6 +267,7 @@ pub struct PtsRun {
 }
 
 impl PtsRun {
+    /// The validated configuration this run will execute.
     pub fn config(&self) -> &PtsConfig {
         &self.cfg
     }
@@ -314,7 +337,9 @@ impl PtsRun {
 /// engine metrics (no engine-optional fields).
 #[derive(Clone, Debug)]
 pub struct PlacementRunOutput {
+    /// Search outcome enriched with exact raw placement objectives.
     pub outcome: MasterOutcome,
+    /// Unified engine metrics for the run.
     pub report: RunReport,
 }
 

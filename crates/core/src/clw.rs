@@ -28,7 +28,11 @@ pub fn worker_rng(seed: u64, rank: usize) -> Rng {
 }
 
 /// Run the CLW protocol loop until `Stop`.
-pub fn run_clw<D: PtsDomain, T: Transport<D::Problem>>(
+///
+/// `async` over any [`Transport`]: on blocking substrates drive it with
+/// [`crate::transport::drive_sync`]; on the cooperative substrate each
+/// `recv` is a scheduling point.
+pub async fn run_clw<D: PtsDomain, T: Transport<D::Problem>>(
     t: &mut T,
     cfg: &PtsConfig,
     tsw_rank: usize,
@@ -53,7 +57,7 @@ pub fn run_clw<D: PtsDomain, T: Transport<D::Problem>>(
     // buffered and replayed once the problem instance exists.
     let mut backlog: Vec<PtsMsg<D::Problem>> = Vec::new();
     let mut problem = loop {
-        match t.recv() {
+        match t.recv().await {
             PtsMsg::Init { snapshot } => break domain.instantiate(&snapshot),
             PtsMsg::Stop => return,
             other => backlog.push(other),
@@ -70,12 +74,14 @@ pub fn run_clw<D: PtsDomain, T: Transport<D::Problem>>(
             &mut rng,
             &mut problem,
             msg,
-        ) {
+        )
+        .await
+        {
             return;
         }
     }
     loop {
-        let msg = t.recv();
+        let msg = t.recv().await;
         if handle::<D, T>(
             t,
             cfg,
@@ -85,7 +91,9 @@ pub fn run_clw<D: PtsDomain, T: Transport<D::Problem>>(
             &mut rng,
             &mut problem,
             msg,
-        ) {
+        )
+        .await
+        {
             return;
         }
     }
@@ -93,7 +101,7 @@ pub fn run_clw<D: PtsDomain, T: Transport<D::Problem>>(
 
 /// Dispatch one protocol message; returns `true` on `Stop`.
 #[allow(clippy::too_many_arguments)]
-fn handle<D: PtsDomain, T: Transport<D::Problem>>(
+async fn handle<D: PtsDomain, T: Transport<D::Problem>>(
     t: &mut T,
     cfg: &PtsConfig,
     tsw_rank: usize,
@@ -105,7 +113,7 @@ fn handle<D: PtsDomain, T: Transport<D::Problem>>(
 ) -> bool {
     match msg {
         PtsMsg::Investigate { seq } => {
-            let (moves, cost) = investigate::<D, T>(t, cfg, problem, rng, range, seq);
+            let (moves, cost) = investigate::<D, T>(t, cfg, problem, rng, range, seq).await;
             t.send(
                 tsw_rank,
                 PtsMsg::Proposal {
@@ -140,7 +148,7 @@ fn handle<D: PtsDomain, T: Transport<D::Problem>>(
 /// Build one compound-move proposal. Leaves the problem back at its
 /// starting state; returns the proposed move prefix and the cost it
 /// reaches.
-fn investigate<D: PtsDomain, T: Transport<D::Problem>>(
+async fn investigate<D: PtsDomain, T: Transport<D::Problem>>(
     t: &mut T,
     cfg: &PtsConfig,
     problem: &mut D::Problem,
@@ -153,7 +161,7 @@ fn investigate<D: PtsDomain, T: Transport<D::Problem>>(
     let mut applied: Vec<MoveOf<D>> = Vec::with_capacity(cfg.depth);
     let mut cost_after: Vec<f64> = Vec::with_capacity(cfg.depth);
 
-    for _step in 0..cfg.depth {
+    for step in 0..cfg.depth {
         // m trial evaluations + one commit of the winner.
         t.compute(cfg.work.per_trial * cfg.candidates as f64);
         let cand = sampler.sample_best(problem, rng, Some(range));
@@ -166,7 +174,16 @@ fn investigate<D: PtsDomain, T: Transport<D::Problem>>(
         if *cost_after.last().expect("just pushed") < start_cost {
             break;
         }
-        // Heterogeneity: the TSW may cut the investigation short.
+        // Nothing left to cut after the final step; skip the yield/poll.
+        if step + 1 == cfg.depth {
+            break;
+        }
+        // Heterogeneity: the TSW may cut the investigation short. Yield
+        // first — on the cooperative substrate this is what lets the TSW
+        // (and sibling CLWs) run mid-investigation, so a `CutShort` can
+        // actually be in the mailbox by the time we poll; without it the
+        // half-report policy would silently degrade to wait-all there.
+        t.yield_now().await;
         let mut cut = false;
         while let Some(msg) = t.try_recv() {
             match msg {

@@ -172,16 +172,20 @@ impl PtsConfig {
         (0..self.n_clw).map(|j| self.clw_rank(i, j)).collect()
     }
 
-    /// Cell range assigned to TSW `i` for diversification (disjoint across
-    /// TSWs, covering all cells).
+    /// Cell range assigned to TSW `i` for diversification. Disjoint across
+    /// TSWs and covering all cells while `n_tsw <= n_cells`; with more
+    /// workers than cells (thousand-worker runs on small instances) ranges
+    /// wrap — worker `i` shares the range of worker `i mod n_cells` — so
+    /// every worker keeps a non-empty subset.
     pub fn tsw_range(&self, i: usize, n_cells: usize) -> (usize, usize) {
-        split_range(n_cells, self.n_tsw, i)
+        wrapped_range(n_cells, self.n_tsw, i)
     }
 
-    /// Cell range anchoring CLW `j`'s neighborhood moves (disjoint across a
-    /// TSW's CLWs, covering all cells).
+    /// Cell range anchoring CLW `j`'s neighborhood moves. Same wrapping
+    /// rule as [`PtsConfig::tsw_range`]: disjoint across a TSW's CLWs
+    /// while `n_clw <= n_cells`, shared cyclically beyond that.
     pub fn clw_range(&self, j: usize, n_cells: usize) -> (usize, usize) {
-        split_range(n_cells, self.n_clw, j)
+        wrapped_range(n_cells, self.n_clw, j)
     }
 
     /// Children needed before the parent may force the rest (at least one,
@@ -260,6 +264,17 @@ pub fn split_range(n: usize, k: usize, i: usize) -> (usize, usize) {
     (lo, lo + len)
 }
 
+/// [`split_range`] that stays non-empty when workers outnumber items:
+/// with `k > n` the effective worker count is clamped to `n` and worker
+/// `i` takes chunk `i mod n`. Identical to [`split_range`] for `k <= n`,
+/// which keeps pre-existing (golden-pinned) schedules intact.
+pub fn wrapped_range(n: usize, k: usize, i: usize) -> (usize, usize) {
+    assert!(k >= 1 && i < k, "worker index {i} out of range for {k}");
+    assert!(n >= 1, "cannot partition an empty item space");
+    let k_eff = k.min(n);
+    split_range(n, k_eff, i % k_eff)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,6 +312,36 @@ mod tests {
                 }
                 assert_eq!(covered, n);
             }
+        }
+    }
+
+    #[test]
+    fn wrapped_range_handles_more_workers_than_items() {
+        // 8 workers over 3 items: ranges cycle over the 3 real chunks.
+        for i in 0..8 {
+            let (lo, hi) = wrapped_range(3, 8, i);
+            assert_eq!((lo, hi), (i % 3, i % 3 + 1));
+        }
+        // k <= n: identical to split_range (golden schedules preserved).
+        for n in [10, 56, 395] {
+            for k in 1..=8 {
+                for i in 0..k {
+                    assert_eq!(wrapped_range(n, k, i), split_range(n, k, i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversubscribed_config_ranges_are_non_empty() {
+        let cfg = PtsConfig {
+            n_tsw: 1000,
+            n_clw: 4,
+            ..PtsConfig::default()
+        };
+        for i in 0..1000 {
+            let (lo, hi) = cfg.tsw_range(i, 56);
+            assert!(lo < hi && hi <= 56);
         }
     }
 

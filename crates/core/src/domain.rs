@@ -21,6 +21,7 @@ use pts_tabu::DiversifiableProblem;
 /// Approximate serialized size, feeding the virtual cluster's bandwidth
 /// model (the thread engine ignores it).
 pub trait WireSized {
+    /// Approximate serialized size in bytes.
     fn wire_bytes(&self) -> u64;
 }
 
@@ -54,6 +55,7 @@ pub type SnapshotOf<D> = <<D as PtsDomain>::Problem as SearchProblem>::Snapshot;
 /// A problem family the PTS pipeline can run: shared read-only data plus
 /// the recipe for worker-local instances.
 pub trait PtsDomain: Clone + Send + Sync + 'static {
+    /// The worker-local search problem this domain instantiates.
     type Problem: PtsProblem;
 
     /// Short human-readable name ("placement", "qap", ...).
@@ -89,7 +91,8 @@ pub trait PtsDomain: Clone + Send + Sync + 'static {
 
 /// Everything the master learned from a run, generic over the solution
 /// type. The placement layer wraps this into the richer
-/// [`crate::master::MasterOutcome`] (adding exact raw objectives).
+/// [`crate::placement_problem::MasterOutcome`] (adding exact raw
+/// objectives).
 #[derive(Clone, Debug)]
 pub struct SearchOutcome<S> {
     /// Best scalar cost found anywhere.

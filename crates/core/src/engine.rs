@@ -6,10 +6,12 @@
 //!
 //! * [`SimEngine`] — the deterministic virtual-time heterogeneous cluster
 //!   (the paper's testbed substitute, exact replay, virtual metrics);
-//! * [`ThreadEngine`] — native OS threads (real wall-clock parallelism).
+//! * [`ThreadEngine`] — native OS threads (real wall-clock parallelism);
+//! * [`crate::async_engine::AsyncEngine`] — cooperative futures on one OS
+//!   thread (thousands of logical workers, deterministic replay).
 //!
 //! Engines are chosen via trait objects (`&dyn ExecutionEngine<D>`), so
-//! run configuration code is substrate-independent, and both return the
+//! run configuration code is substrate-independent, and all return the
 //! same unified [`RunReport`] — no engine-specific output types.
 
 use crate::config::PtsConfig;
@@ -17,7 +19,7 @@ use crate::domain::{PtsDomain, SearchOutcome, SnapshotOf};
 use crate::master::run_master;
 use crate::messages::PtsMsg;
 use crate::report::{ClockDomain, RunReport};
-use crate::transport::{SimTransport, StatsSink, ThreadTransport};
+use crate::transport::{drive_sync, SimTransport, StatsSink, ThreadTransport};
 use crate::{clw::run_clw, tsw::run_tsw};
 use pts_vcluster::topology::{paper_cluster, round_robin_assignment};
 use pts_vcluster::{ClusterSpec, ProcStats, SimBuilder};
@@ -27,7 +29,9 @@ use std::time::Instant;
 
 /// Result of a run on any engine: algorithmic outcome + unified metrics.
 pub struct EngineOutput<D: PtsDomain> {
+    /// What the search found (best solution, trace, statistics).
     pub outcome: SearchOutcome<SnapshotOf<D>>,
+    /// How the substrate carried it (times, messages, per-process stats).
     pub report: RunReport,
 }
 
@@ -53,6 +57,7 @@ pub struct SimEngine {
 }
 
 impl SimEngine {
+    /// Simulate on an arbitrary cluster description.
     pub fn new(cluster: ClusterSpec) -> SimEngine {
         SimEngine { cluster }
     }
@@ -62,6 +67,7 @@ impl SimEngine {
         SimEngine::new(paper_cluster())
     }
 
+    /// The cluster this engine simulates.
     pub fn cluster(&self) -> &ClusterSpec {
         &self.cluster
     }
@@ -87,7 +93,7 @@ impl<D: PtsDomain> ExecutionEngine<D> for SimEngine {
             let slot = Arc::clone(&outcome_slot);
             sim.spawn(assignment[0], move |ctx| {
                 let mut t = SimTransport { ctx };
-                let outcome = run_master(&mut t, &cfg, &domain, initial);
+                let outcome = drive_sync(run_master(&mut t, &cfg, &domain, initial));
                 *slot.lock().unwrap() = Some(outcome);
             });
         }
@@ -98,7 +104,7 @@ impl<D: PtsDomain> ExecutionEngine<D> for SimEngine {
             let rank = cfg.tsw_rank(i);
             sim.spawn(assignment[rank], move |ctx| {
                 let mut t = SimTransport { ctx };
-                run_tsw(&mut t, &cfg, i, &domain);
+                drive_sync(run_tsw(&mut t, &cfg, i, &domain));
             });
         }
         // Remaining ranks: CLWs, grouped by TSW.
@@ -110,7 +116,7 @@ impl<D: PtsDomain> ExecutionEngine<D> for SimEngine {
                 let tsw_rank = cfg.tsw_rank(i);
                 sim.spawn(assignment[rank], move |ctx| {
                     let mut t = SimTransport { ctx };
-                    run_clw(&mut t, &cfg, tsw_rank, j, &domain);
+                    drive_sync(run_clw(&mut t, &cfg, tsw_rank, j, &domain));
                 });
             }
         }
@@ -141,6 +147,7 @@ impl<D: PtsDomain> ExecutionEngine<D> for SimEngine {
 pub struct ThreadEngine;
 
 impl ThreadEngine {
+    /// A new thread engine (stateless — all state is per-run).
     pub fn new() -> ThreadEngine {
         ThreadEngine
     }
@@ -179,7 +186,7 @@ impl<D: PtsDomain> ExecutionEngine<D> for ThreadEngine {
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("pts-tsw{i}"))
-                    .spawn(move || run_tsw(&mut t, &cfg, i, &domain))
+                    .spawn(move || drive_sync(run_tsw(&mut t, &cfg, i, &domain)))
                     .expect("spawn TSW thread"),
             );
         }
@@ -199,7 +206,7 @@ impl<D: PtsDomain> ExecutionEngine<D> for ThreadEngine {
                 handles.push(
                     std::thread::Builder::new()
                         .name(format!("pts-clw{i}.{j}"))
-                        .spawn(move || run_clw(&mut t, &cfg, tsw_rank, j, &domain))
+                        .spawn(move || drive_sync(run_clw(&mut t, &cfg, tsw_rank, j, &domain)))
                         .expect("spawn CLW thread"),
                 );
             }
@@ -215,7 +222,7 @@ impl<D: PtsDomain> ExecutionEngine<D> for ThreadEngine {
                     .expect("master receiver"),
                 Arc::clone(&stats_sink),
             );
-            run_master(&mut master_t, cfg, domain, initial)
+            drive_sync(run_master(&mut master_t, cfg, domain, initial))
         };
 
         for h in handles {

@@ -26,13 +26,18 @@
 //!   quadratic assignment ([`qap_domain::QapDomain`]) are wired in;
 //! * **substrate**: any [`engine::ExecutionEngine`] — the deterministic
 //!   virtual heterogeneous cluster ([`engine::SimEngine`], the paper's
-//!   PVM-testbed substitute) or native threads ([`engine::ThreadEngine`])
-//!   for real wall-clock parallelism. Both return one unified
+//!   PVM-testbed substitute), native threads ([`engine::ThreadEngine`])
+//!   for real wall-clock parallelism, or cooperative futures
+//!   ([`async_engine::AsyncEngine`]) multiplexing thousands of logical
+//!   workers on one OS thread. All return one unified
 //!   [`report::RunReport`].
 //!
 //! Entry point: [`builder::Pts::builder`] → validated
 //! [`builder::PtsRun`] → `execute` / `run_placement`.
 
+#![warn(missing_docs)]
+
+pub mod async_engine;
 pub mod builder;
 pub mod clw;
 pub mod config;
@@ -50,6 +55,7 @@ pub mod thread_engine;
 pub mod transport;
 pub mod tsw;
 
+pub use async_engine::AsyncEngine;
 pub use builder::{ConfigError, PlacementRunOutput, Pts, PtsRun, RunBuilder};
 pub use config::{CostKind, PtsConfig, SyncPolicy, WorkModel};
 pub use domain::{PtsDomain, PtsProblem, SearchOutcome, SnapshotOf, WireSized};

@@ -14,7 +14,11 @@ use pts_tabu::search::SearchStats;
 use pts_tabu::trace::Trace;
 
 /// Run the master protocol to completion.
-pub fn run_master<D: PtsDomain, T: Transport<D::Problem>>(
+///
+/// `async` over any [`Transport`]: on blocking substrates drive it with
+/// [`crate::transport::drive_sync`]; on the cooperative substrate each
+/// `recv` is a scheduling point.
+pub async fn run_master<D: PtsDomain, T: Transport<D::Problem>>(
     t: &mut T,
     cfg: &PtsConfig,
     domain: &D,
@@ -50,7 +54,7 @@ pub fn run_master<D: PtsDomain, T: Transport<D::Problem>>(
         let mut force_sent = false;
 
         while n_rep < cfg.n_tsw {
-            match t.recv() {
+            match t.recv().await {
                 PtsMsg::Report {
                     tsw,
                     global,

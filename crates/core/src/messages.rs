@@ -27,42 +27,76 @@ pub enum PtsMsg<P: PtsProblem> {
     /// Master → everyone: the initial solution (run-constant data such as
     /// the placement cost scheme is frozen into the domain before workers
     /// spawn).
-    Init { snapshot: P::Snapshot },
+    Init {
+        /// The shared starting solution.
+        snapshot: P::Snapshot,
+    },
     /// Master → TSW: the global best after a global iteration, with its
     /// tabu list.
     Broadcast {
+        /// Global iteration this broadcast concludes.
         global: u32,
+        /// Best solution across all TSW reports of the round.
         snapshot: P::Snapshot,
+        /// Tabu list accompanying the winning solution.
         tabu: TabuEntries<P>,
     },
     /// Master → TSW: report your current best immediately (half-report
     /// sync).
-    ForceReport { global: u32 },
+    ForceReport {
+        /// Global iteration the forced report belongs to (stale-message
+        /// guard).
+        global: u32,
+    },
     /// TSW → master: end-of-global-iteration report.
     Report {
+        /// Index of the reporting TSW.
         tsw: usize,
+        /// Global iteration the report belongs to.
         global: u32,
+        /// Best cost found by this TSW so far.
         cost: f64,
+        /// The solution achieving `cost`.
         snapshot: P::Snapshot,
+        /// The TSW's tabu list (travels with the solution, as in the
+        /// paper).
         tabu: TabuEntries<P>,
+        /// Best-cost-over-time points recorded since the run started.
         trace: Vec<TracePoint>,
+        /// Cumulative per-TSW search statistics.
         stats: SearchStats,
     },
     /// TSW → CLW: adopt this solution as the current state.
-    AdoptState { snapshot: P::Snapshot },
+    AdoptState {
+        /// The state to restore before the next investigation.
+        snapshot: P::Snapshot,
+    },
     /// TSW → CLW: build one compound-move proposal (investigation `seq`).
-    Investigate { seq: u64 },
+    Investigate {
+        /// Investigation sequence number (stale-proposal guard).
+        seq: u64,
+    },
     /// TSW → CLW: stop investigating `seq`, report what you have.
-    CutShort { seq: u64 },
+    CutShort {
+        /// Sequence of the investigation being cut short.
+        seq: u64,
+    },
     /// CLW → TSW: proposed compound move and the cost it reaches.
     Proposal {
+        /// Index of the proposing CLW within its TSW group.
         clw: usize,
+        /// Investigation this proposal answers.
         seq: u64,
+        /// The proposed elementary-move chain.
         moves: Vec<P::Move>,
+        /// Cost reached after applying `moves`.
         cost: f64,
     },
     /// TSW → CLW: the accepted move sequence; apply to stay in sync.
-    ApplyMoves { moves: Vec<P::Move> },
+    ApplyMoves {
+        /// Moves to apply to the CLW's local state.
+        moves: Vec<P::Move>,
+    },
     /// Shut down (master → TSW → CLW).
     Stop,
 }

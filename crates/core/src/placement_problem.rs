@@ -30,18 +30,22 @@ pub struct PlacementProblem {
 }
 
 impl PlacementProblem {
+    /// Wrap an incremental evaluator as a searchable problem.
     pub fn new(eval: Evaluator) -> PlacementProblem {
         PlacementProblem { eval }
     }
 
+    /// The underlying incremental evaluator.
     pub fn evaluator(&self) -> &Evaluator {
         &self.eval
     }
 
+    /// Mutable access to the underlying evaluator.
     pub fn evaluator_mut(&mut self) -> &mut Evaluator {
         &mut self.eval
     }
 
+    /// The current placement state.
     pub fn placement(&self) -> &Placement {
         self.eval.placement()
     }
@@ -155,6 +159,7 @@ impl PlacementDomain {
         }
     }
 
+    /// The circuit this domain places.
     pub fn netlist(&self) -> &Arc<Netlist> {
         &self.netlist
     }
@@ -232,6 +237,7 @@ impl PtsDomain for PlacementDomain {
 pub struct MasterOutcome {
     /// Best scalar cost found anywhere.
     pub best_cost: f64,
+    /// The placement achieving [`MasterOutcome::best_cost`].
     pub best_placement: Placement,
     /// Raw objectives of the best placement.
     pub objectives: RawObjectives,

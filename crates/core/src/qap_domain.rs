@@ -33,6 +33,7 @@ pub struct QapDomain {
 }
 
 impl QapDomain {
+    /// Wrap an explicit QAP instance as a run domain.
     pub fn new(instance: Qap) -> QapDomain {
         QapDomain { instance }
     }
@@ -42,6 +43,7 @@ impl QapDomain {
         QapDomain::new(Qap::random(n, seed))
     }
 
+    /// The wrapped reference instance (workers clone from it).
     pub fn instance(&self) -> &Qap {
         &self.instance
     }

@@ -38,14 +38,17 @@ pub struct RunReport {
 }
 
 impl RunReport {
+    /// Number of logical processes the run spawned.
     pub fn num_procs(&self) -> usize {
         self.per_proc.len()
     }
 
+    /// Total messages sent across all processes.
     pub fn total_messages(&self) -> u64 {
         self.per_proc.iter().map(|p| p.messages_sent).sum()
     }
 
+    /// Total accounted wire bytes sent across all processes.
     pub fn total_bytes(&self) -> u64 {
         self.per_proc.iter().map(|p| p.bytes_sent).sum()
     }

@@ -39,6 +39,7 @@ pub enum Engine {
 )]
 #[derive(Clone, Debug)]
 pub struct PtsOutput {
+    /// Search outcome with exact raw placement objectives.
     pub outcome: MasterOutcome,
     /// Cluster metrics (sim engine only).
     pub sim_report: Option<pts_vcluster::RunReport>,

@@ -20,7 +20,9 @@ use std::sync::Arc;
 )]
 #[derive(Clone, Debug)]
 pub struct SimOutput {
+    /// Search outcome with exact raw placement objectives.
     pub outcome: MasterOutcome,
+    /// Virtual-cluster metrics of the run.
     pub report: RunReport,
 }
 

@@ -1,16 +1,27 @@
 //! Transport abstraction: the same master/TSW/CLW code runs on the virtual
-//! cluster (deterministic, heterogeneous, virtual time) and on native
-//! threads (real parallel wall-clock execution).
+//! cluster (deterministic, heterogeneous, virtual time), on native threads
+//! (real parallel wall-clock execution), and on the cooperative task
+//! runtime (thousands of logical workers on one thread).
 //!
-//! Both transports account per-process metrics into the same
+//! The protocol loops are `async`: [`Transport::recv`] is their only
+//! suspension point. Blocking substrates (the virtual cluster, native
+//! threads) resolve the receive future on its first poll — they block
+//! *inside* the poll, so driving their protocol futures with
+//! [`drive_sync`] never actually suspends. The cooperative substrate
+//! ([`TaskTransport`]) returns `Pending` on an empty mailbox, which is
+//! what lets one OS thread interleave thousands of workers.
+//!
+//! All transports account per-process metrics into the same
 //! [`ProcStats`] shape, which is what lets the engines return one unified
 //! [`crate::report::RunReport`] regardless of substrate.
 
 use crate::domain::PtsProblem;
 use crate::messages::PtsMsg;
-use pts_vcluster::{ProcCtx, ProcId, ProcStats};
+use pts_vcluster::{ProcCtx, ProcId, ProcStats, TaskCtx};
+use std::future::Future;
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
+use std::task::Poll;
 use std::time::Instant;
 
 /// Process-side communication + time + work accounting.
@@ -22,14 +33,48 @@ pub trait Transport<P: PtsProblem> {
     /// Charge CPU work (advances virtual time; wall-clock engines only
     /// record it — real computation takes real time).
     fn compute(&mut self, work: f64);
+    /// Deliver `msg` to the process at rank `dst`.
     fn send(&mut self, dst: usize, msg: PtsMsg<P>);
-    fn recv(&mut self) -> PtsMsg<P>;
+    /// Wait for the next message — the protocol's main suspension point.
+    /// Blocking transports resolve on first poll; the cooperative
+    /// transport parks the task until a message arrives.
+    fn recv(&mut self) -> impl Future<Output = PtsMsg<P>>;
+    /// Take a message if one has already arrived; never waits.
     fn try_recv(&mut self) -> Option<PtsMsg<P>>;
+    /// Scheduling point inside a long compute stretch. On substrates
+    /// where peers progress independently (virtual cluster, threads) this
+    /// is a no-op; the cooperative transport re-enqueues the task so
+    /// siblings run — and messages sent mid-stretch (a `CutShort`) can
+    /// arrive before the stretch completes.
+    fn yield_now(&mut self) -> impl Future<Output = ()> {
+        std::future::ready(())
+    }
+}
+
+/// Drive a protocol future built over a *blocking* transport.
+///
+/// [`SimTransport`] and [`ThreadTransport`] block inside `poll` (the
+/// virtual-cluster token hand-off, a channel `recv`), so their protocol
+/// futures complete on the first poll. This is the synchronous engines'
+/// bridge to the shared `async` protocol code.
+///
+/// # Panics
+///
+/// If the future suspends — that would mean it was built over a
+/// cooperative transport, which only the task-cluster executor can drive.
+pub fn drive_sync<F: Future>(fut: F) -> F::Output {
+    let mut fut = std::pin::pin!(fut);
+    let mut cx = std::task::Context::from_waker(std::task::Waker::noop());
+    match fut.as_mut().poll(&mut cx) {
+        Poll::Ready(out) => out,
+        Poll::Pending => unreachable!("blocking transports never suspend"),
+    }
 }
 
 /// Virtual-cluster transport: ranks coincide with simulated process ids
 /// (processes are spawned in rank order).
 pub struct SimTransport<P: PtsProblem> {
+    /// The simulated process handle this transport wraps.
     pub ctx: ProcCtx<PtsMsg<P>>,
 }
 
@@ -51,8 +96,10 @@ impl<P: PtsProblem> Transport<P> for SimTransport<P> {
         self.ctx.send_sized(ProcId(dst), msg, bytes);
     }
 
-    fn recv(&mut self) -> PtsMsg<P> {
-        self.ctx.recv()
+    fn recv(&mut self) -> impl Future<Output = PtsMsg<P>> {
+        // Blocks inside poll: the simulated process hands the token over
+        // and resumes with the message — never `Pending`.
+        std::future::poll_fn(|_cx| Poll::Ready(self.ctx.recv()))
     }
 
     fn try_recv(&mut self) -> Option<PtsMsg<P>> {
@@ -76,6 +123,8 @@ pub struct ThreadTransport<P: PtsProblem> {
 }
 
 impl<P: PtsProblem> ThreadTransport<P> {
+    /// Wire up rank `rank`: one sender per peer, this rank's receiver, and
+    /// the shared sink its stats are deposited into on drop.
     pub fn new(
         rank: usize,
         start: Instant,
@@ -91,6 +140,17 @@ impl<P: PtsProblem> ThreadTransport<P> {
             stats: ProcStats::default(),
             sink,
         }
+    }
+
+    fn recv_blocking(&mut self) -> PtsMsg<P> {
+        let blocked = Instant::now();
+        let msg = self
+            .receiver
+            .recv()
+            .expect("peer channels outlive the protocol");
+        self.stats.wait_time += blocked.elapsed().as_secs_f64();
+        self.stats.messages_received += 1;
+        msg
     }
 }
 
@@ -115,15 +175,9 @@ impl<P: PtsProblem> Transport<P> for ThreadTransport<P> {
         let _ = self.senders[dst].send(msg);
     }
 
-    fn recv(&mut self) -> PtsMsg<P> {
-        let blocked = Instant::now();
-        let msg = self
-            .receiver
-            .recv()
-            .expect("peer channels outlive the protocol");
-        self.stats.wait_time += blocked.elapsed().as_secs_f64();
-        self.stats.messages_received += 1;
-        msg
+    fn recv(&mut self) -> impl Future<Output = PtsMsg<P>> {
+        // Blocks inside poll on the channel — never `Pending`.
+        std::future::poll_fn(|_cx| Poll::Ready(self.recv_blocking()))
     }
 
     fn try_recv(&mut self) -> Option<PtsMsg<P>> {
@@ -141,6 +195,45 @@ impl<P: PtsProblem> Drop for ThreadTransport<P> {
                 sink[self.rank] = std::mem::take(&mut self.stats);
             }
         }
+    }
+}
+
+/// Cooperative-task transport: ranks coincide with task ids (tasks are
+/// spawned in rank order by [`crate::async_engine::AsyncEngine`]). The
+/// only transport whose `recv` actually suspends.
+pub struct TaskTransport<P: PtsProblem> {
+    /// The cooperative task handle this transport wraps.
+    pub ctx: TaskCtx<PtsMsg<P>>,
+}
+
+impl<P: PtsProblem> Transport<P> for TaskTransport<P> {
+    fn rank(&self) -> usize {
+        self.ctx.id()
+    }
+
+    fn now(&self) -> f64 {
+        self.ctx.now()
+    }
+
+    fn compute(&mut self, work: f64) {
+        self.ctx.compute(work);
+    }
+
+    fn send(&mut self, dst: usize, msg: PtsMsg<P>) {
+        let bytes = msg.wire_size();
+        self.ctx.send_sized(dst, msg, bytes);
+    }
+
+    fn recv(&mut self) -> impl Future<Output = PtsMsg<P>> {
+        self.ctx.recv()
+    }
+
+    fn try_recv(&mut self) -> Option<PtsMsg<P>> {
+        self.ctx.try_recv()
+    }
+
+    fn yield_now(&mut self) -> impl Future<Output = ()> {
+        self.ctx.yield_now()
     }
 }
 
@@ -166,7 +259,7 @@ mod tests {
         assert_eq!(Transport::rank(&a), 0);
         assert_eq!(Transport::rank(&b), 1);
         a.send(1, PtsMsg::Stop);
-        assert!(matches!(b.recv(), PtsMsg::Stop));
+        assert!(matches!(drive_sync(b.recv()), PtsMsg::Stop));
         assert!(b.try_recv().is_none());
     }
 
@@ -208,5 +301,34 @@ mod tests {
         assert!(stats[0].bytes_sent > 0);
         assert!((stats[0].work_done - 3.0).abs() < 1e-12);
         assert!(stats[0].finished_at >= 0.0);
+    }
+
+    #[test]
+    fn drive_sync_returns_immediately_ready_value() {
+        assert_eq!(drive_sync(std::future::ready(42)), 42);
+    }
+
+    #[test]
+    fn task_transport_routes_messages() {
+        use pts_vcluster::TaskCluster;
+        let mut cluster: TaskCluster<PtsMsg<Qap>> = TaskCluster::new();
+        cluster.spawn(|ctx| async move {
+            let mut t = TaskTransport { ctx };
+            assert_eq!(Transport::rank(&t), 0);
+            assert!(t.try_recv().is_none());
+            assert!(matches!(t.recv().await, PtsMsg::Investigate { seq: 9 }));
+            t.send(1, PtsMsg::Stop);
+        });
+        cluster.spawn(|ctx| async move {
+            let mut t = TaskTransport { ctx };
+            t.compute(1.5);
+            t.send(0, PtsMsg::Investigate { seq: 9 });
+            assert!(matches!(t.recv().await, PtsMsg::Stop));
+        });
+        let report = cluster.run();
+        assert_eq!(report.per_proc[0].messages_sent, 1);
+        assert_eq!(report.per_proc[1].messages_received, 1);
+        assert!((report.per_proc[1].work_done - 1.5).abs() < 1e-12);
+        assert!(report.per_proc[0].bytes_sent > 0, "wire sizes accounted");
     }
 }

@@ -29,7 +29,11 @@ type MoveOf<D> = <<D as PtsDomain>::Problem as SearchProblem>::Move;
 type ProposalOf<D> = (Vec<MoveOf<D>>, f64);
 
 /// Run the TSW protocol until `Stop`.
-pub fn run_tsw<D: PtsDomain, T: Transport<D::Problem>>(
+///
+/// `async` over any [`Transport`]: on blocking substrates drive it with
+/// [`crate::transport::drive_sync`]; on the cooperative substrate each
+/// `recv` is a scheduling point.
+pub async fn run_tsw<D: PtsDomain, T: Transport<D::Problem>>(
     t: &mut T,
     cfg: &PtsConfig,
     tsw_index: usize,
@@ -50,7 +54,7 @@ pub fn run_tsw<D: PtsDomain, T: Transport<D::Problem>>(
 
     // Wait for Init.
     let mut problem = loop {
-        match t.recv() {
+        match t.recv().await {
             PtsMsg::Init { snapshot } => break domain.instantiate(&snapshot),
             PtsMsg::Stop => return,
             _ => {}
@@ -114,7 +118,8 @@ pub fn run_tsw<D: PtsDomain, T: Transport<D::Problem>>(
                 t.send(c, PtsMsg::Investigate { seq: inv_seq });
             }
             let proposals =
-                collect_proposals::<D, T>(t, cfg, tsw_index, g, inv_seq, &clws, &mut force_pending);
+                collect_proposals::<D, T>(t, cfg, tsw_index, g, inv_seq, &clws, &mut force_pending)
+                    .await;
 
             // Paper: "The TSW selects the best solution from the CLW that
             // achieves the maximum cost improvement or the least cost
@@ -161,7 +166,7 @@ pub fn run_tsw<D: PtsDomain, T: Transport<D::Problem>>(
 
         // --- Adopt the broadcast (or stop) --------------------------------
         loop {
-            match t.recv() {
+            match t.recv().await {
                 PtsMsg::Broadcast {
                     global,
                     snapshot,
@@ -195,7 +200,7 @@ pub fn run_tsw<D: PtsDomain, T: Transport<D::Problem>>(
 
 /// Collect exactly one proposal from every CLW, applying the half-report
 /// policy as a parent and watching for the master's ForceReport as a child.
-fn collect_proposals<D: PtsDomain, T: Transport<D::Problem>>(
+async fn collect_proposals<D: PtsDomain, T: Transport<D::Problem>>(
     t: &mut T,
     cfg: &PtsConfig,
     tsw_index: usize,
@@ -223,7 +228,7 @@ fn collect_proposals<D: PtsDomain, T: Transport<D::Problem>>(
     };
 
     while n_got < n {
-        match t.recv() {
+        match t.recv().await {
             PtsMsg::Proposal {
                 clw,
                 seq: s,

@@ -12,7 +12,7 @@
 //! * **synthetic benchmark generators** ([`benchmarks`]) matched to the
 //!   paper's circuit sizes (highway=56 cells, c532=395, c1355=1451,
 //!   c3540=2243) with ISCAS-like fanout statistics, and
-//! * a plain-text netlist **format** ([`format`]) so real netlists can be
+//! * a plain-text netlist **format** ([`mod@format`]) so real netlists can be
 //!   imported.
 
 pub mod analysis;

@@ -18,7 +18,7 @@ pub struct NetlistStats {
     pub num_logic: usize,
     pub avg_fanout: f64,
     pub max_fanout: usize,
-    /// fanout_histogram[k] = number of nets with fanout k (clamped at 16+).
+    /// `fanout_histogram[k]` = number of nets with fanout `k` (clamped at 16+).
     pub fanout_histogram: Vec<usize>,
     pub logic_depth: u32,
     pub total_cell_width: u64,

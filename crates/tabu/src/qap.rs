@@ -8,15 +8,21 @@
 
 use crate::problem::{AttrPair, SearchProblem};
 use pts_util::Rng;
+use std::sync::Arc;
 
 /// A QAP instance plus its current assignment.
+///
+/// The flow/distance matrices are behind [`Arc`]s: cloning an instance —
+/// which the parallel pipeline does once per worker — shares the O(n²)
+/// read-only data and copies only the O(n) assignment, so thousand-worker
+/// runs don't multiply the matrices.
 #[derive(Clone, Debug)]
 pub struct Qap {
     n: usize,
     /// Row-major `n × n` flow matrix (symmetric, zero diagonal).
-    flow: Vec<f64>,
+    flow: Arc<[f64]>,
     /// Row-major `n × n` distance matrix (symmetric, zero diagonal).
-    dist: Vec<f64>,
+    dist: Arc<[f64]>,
     /// Location of each facility.
     loc_of: Vec<usize>,
     cost: f64,
@@ -44,8 +50,8 @@ impl Qap {
         rng.shuffle(&mut loc_of);
         let mut qap = Qap {
             n,
-            flow,
-            dist,
+            flow: flow.into(),
+            dist: dist.into(),
             loc_of,
             cost: 0.0,
         };
@@ -61,8 +67,8 @@ impl Qap {
         assert!(n >= 2);
         let mut qap = Qap {
             n,
-            flow,
-            dist,
+            flow: flow.into(),
+            dist: dist.into(),
             loc_of: (0..n).collect(),
             cost: 0.0,
         };

@@ -21,7 +21,14 @@
 //!
 //! The paper's twelve-machine cluster (7 fast / 3 medium / 2 slow) is
 //! provided by [`topology::paper_cluster`].
+//!
+//! For scale beyond what one-thread-per-process affords, the crate also
+//! ships [`async_runtime`]: the same message-passing process model as
+//! cooperatively scheduled futures on a single OS thread (no virtual
+//! time, wall-clock accounting), so thousands of logical processes fit
+//! on one host.
 
+pub mod async_runtime;
 pub mod machine;
 pub mod mailbox;
 pub mod message;
@@ -30,6 +37,7 @@ pub mod process;
 pub mod runtime;
 pub mod topology;
 
+pub use async_runtime::{TaskCluster, TaskCtx};
 pub use machine::{LoadModel, Machine};
 pub use message::LinkModel;
 pub use metrics::{ProcStats, RunReport};

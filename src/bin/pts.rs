@@ -13,8 +13,8 @@
 //! Run `pts help` for all options.
 
 use parallel_tabu_search::core::{
-    common_quality_target, speedup_sweep, CostKind, ExecutionEngine, Pts, PtsDomain, PtsRun,
-    QapDomain, SimEngine, SyncPolicy, ThreadEngine,
+    common_quality_target, speedup_sweep, AsyncEngine, CostKind, ExecutionEngine, Pts, PtsDomain,
+    PtsRun, QapDomain, SimEngine, SyncPolicy, ThreadEngine,
 };
 use parallel_tabu_search::netlist::{
     benchmark_names, by_name, format, generate, CircuitSpec, Netlist, NetlistStats, TimingGraph,
@@ -64,7 +64,7 @@ USAGE:
   pts circuits
   pts run      [--problem placement|qap] [--circuit NAME | --qap-size N]
                [--tsw N] [--clw N] [--global N] [--local N]
-               [--engine sim|threads] [--sync half|all] [--no-diversify]
+               [--engine sim|threads|async] [--sync half|all] [--no-diversify]
                [--differentiate] [--cost fuzzy|weighted] [--seed N]
                [--candidates N] [--depth N] [--report-fraction F]
   pts sweep    --what clw|tsw [--max N] [--circuit NAME] [common options]
@@ -177,8 +177,9 @@ fn pick_engine<D: PtsDomain>(opts: &Opts) -> Result<Box<dyn ExecutionEngine<D>>,
     match opts.get("engine").unwrap_or("sim") {
         "sim" => Ok(Box::new(SimEngine::paper())),
         "threads" => Ok(Box::new(ThreadEngine)),
+        "async" => Ok(Box::new(AsyncEngine::new())),
         other => Err(format!(
-            "--engine must be 'sim' or 'threads', got '{other}'"
+            "--engine must be 'sim', 'threads', or 'async', got '{other}'"
         )),
     }
 }
@@ -186,6 +187,7 @@ fn pick_engine<D: PtsDomain>(opts: &Opts) -> Result<Box<dyn ExecutionEngine<D>>,
 fn engine_label(name: &str) -> &'static str {
     match name {
         "sim" => "the 12-machine virtual cluster",
+        "async" => "cooperative tasks on one thread",
         _ => "native threads",
     }
 }

@@ -20,9 +20,9 @@
 //! ## Quickstart
 //!
 //! Configure a run with the validated builder, pick an execution engine
-//! (the simulated heterogeneous cluster or native threads — both behind
-//! the same [`core::ExecutionEngine`] trait), and run any wired-in problem
-//! domain:
+//! (the simulated heterogeneous cluster, native threads, or cooperative
+//! async tasks — all behind the same [`core::ExecutionEngine`] trait),
+//! and run any wired-in problem domain:
 //!
 //! ```
 //! use parallel_tabu_search::prelude::*;
@@ -60,7 +60,7 @@ pub use pts_vcluster as vcluster;
 /// The names most applications need.
 pub mod prelude {
     pub use pts_core::{
-        run_sequential_baseline, ClockDomain, ConfigError, CostKind, ExecutionEngine,
+        run_sequential_baseline, AsyncEngine, ClockDomain, ConfigError, CostKind, ExecutionEngine,
         MasterOutcome, PlacementDomain, PlacementRunOutput, Pts, PtsConfig, PtsDomain, PtsRun,
         QapDomain, RunBuilder, RunReport, SimEngine, SyncPolicy, ThreadEngine,
     };

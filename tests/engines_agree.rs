@@ -1,6 +1,8 @@
-//! The sim engine and the native thread engine run the same protocol code
-//! behind one `ExecutionEngine` trait; both must produce valid, improving
-//! searches with the same unified report shape.
+//! The sim engine, the native thread engine, and the cooperative async
+//! engine run the same protocol code behind one `ExecutionEngine` trait;
+//! all must produce valid, improving searches with the same unified
+//! report shape — and the two deterministic engines (sim, async) must
+//! agree on the search itself.
 
 use parallel_tabu_search::prelude::*;
 use std::sync::Arc;
@@ -18,9 +20,10 @@ fn run() -> PtsRun {
 }
 
 #[test]
-fn both_engines_improve_and_stay_consistent() {
+fn all_engines_improve_and_stay_consistent() {
     let netlist = Arc::new(by_name("c532").unwrap());
-    let engines: [&dyn ExecutionEngine<PlacementDomain>; 2] = [&SimEngine::paper(), &ThreadEngine];
+    let engines: [&dyn ExecutionEngine<PlacementDomain>; 3] =
+        [&SimEngine::paper(), &ThreadEngine, &AsyncEngine::new()];
     let mut initial_costs = Vec::new();
     for engine in engines {
         let out = run().run_placement(netlist.clone(), engine);
@@ -41,6 +44,60 @@ fn both_engines_improve_and_stay_consistent() {
     }
     // Same frozen cost scheme ⇒ identical initial cost across engines.
     assert!((initial_costs[0] - initial_costs[1]).abs() < 1e-12);
+    assert!((initial_costs[0] - initial_costs[2]).abs() < 1e-12);
+}
+
+#[test]
+fn async_engine_matches_sim_best_cost_under_wait_all() {
+    // Under WaitAll nothing in the search trajectory depends on timing
+    // (no ForceReport/CutShort is ever sent), so the two deterministic
+    // engines — virtual time and cooperative FIFO — must walk the exact
+    // same search and land on the same best cost, round for round.
+    let domain = QapDomain::random(24, 3);
+    let run = Pts::builder()
+        .tsw_workers(3)
+        .clw_workers(2)
+        .global_iters(3)
+        .local_iters(4)
+        .candidates(5)
+        .depth(2)
+        .sync(SyncPolicy::WaitAll)
+        .seed(0xFEED)
+        .build()
+        .unwrap();
+    let sim = run.execute(&domain, &SimEngine::paper());
+    let task = run.execute(&domain, &AsyncEngine::new());
+    assert_eq!(sim.outcome.initial_cost, task.outcome.initial_cost);
+    assert_eq!(
+        sim.outcome.best_per_global_iter, task.outcome.best_per_global_iter,
+        "engines diverged mid-search"
+    );
+    assert_eq!(sim.outcome.best_cost, task.outcome.best_cost);
+    assert_eq!(sim.outcome.forced_reports, 0);
+    assert_eq!(task.outcome.forced_reports, 0);
+}
+
+#[test]
+fn async_engine_handles_a_thousand_workers() {
+    // The async engine's reason to exist: worker counts far past what
+    // one-OS-thread-per-process engines can carry. 1000 TSWs + master +
+    // 1000 CLWs = 2001 logical processes on the test runner's one thread.
+    let domain = QapDomain::random(64, 11);
+    let run = Pts::builder()
+        .tsw_workers(1000)
+        .clw_workers(1)
+        .global_iters(2)
+        .local_iters(2)
+        .candidates(4)
+        .depth(2)
+        .differentiate_streams(true)
+        .build()
+        .unwrap();
+    let out = run.execute(&domain, &AsyncEngine::new());
+    assert_eq!(out.report.num_procs(), 2001);
+    assert!(out.outcome.best_cost < out.outcome.initial_cost);
+    // Every TSW reported in both rounds.
+    assert!(out.report.per_proc[0].messages_received >= 2000);
 }
 
 #[test]
