@@ -1,28 +1,45 @@
 //! Engine comparison — the three execution substrates at growing worker
-//! counts.
+//! counts, flat vs sharded master.
 //!
 //! Not a paper figure: the paper had one substrate (a twelve-workstation
-//! PVM cluster). This harness measures what each of our engines costs as
-//! `n_tsw` scales through 4 → 64 → 1024 on one host:
+//! PVM cluster) and one flat master. This harness measures what each of
+//! our engines costs as `n_tsw` scales through 4 → 64 → 1024 on one host,
+//! and what the sharded master (sub-master collection tree,
+//! `shard_fanout = sqrt(n_tsw)`) does to the root's message load:
 //!
 //! * `sim` and `threads` spend one OS thread per logical process — at
 //!   `n_tsw = 1024` that is 2049 threads, which is where hosts start to
 //!   push back (and why they only run that point under `PTS_FULL=1`);
 //! * `async` multiplexes all logical processes on the calling thread and
-//!   runs every point.
+//!   runs every point, flat and sharded;
+//! * the `root msgs` column counts rank 0's sent+received messages: flat
+//!   collection is O(`n_tsw`) at the root, the sharded tree is
+//!   O(fan-out) per round at every process.
 //!
-//! The search itself is identical protocol code on all three, so best
-//! cost should be comparable across engines at each size while host cost
-//! (wall seconds) diverges sharply.
+//! The search itself is identical protocol code throughout, so best cost
+//! should be comparable across engines at each size while host cost
+//! (wall seconds) and root load diverge sharply.
 
 use pts_bench::emit;
-use pts_core::{AsyncEngine, ExecutionEngine, Pts, QapDomain, SimEngine, ThreadEngine};
+use pts_core::{AsyncEngine, ExecutionEngine, Pts, QapDomain, RunBuilder, SimEngine, ThreadEngine};
 use pts_util::csv::CsvWriter;
 use pts_util::table::{fmt_f64, Table};
 
+fn builder(n_tsw: usize) -> RunBuilder {
+    Pts::builder()
+        .tsw_workers(n_tsw)
+        .clw_workers(1)
+        .global_iters(2)
+        .local_iters(3)
+        .candidates(5)
+        .depth(2)
+        .differentiate_streams(true)
+        .seed(0xC0FFEE)
+}
+
 fn main() {
     let full = std::env::var("PTS_FULL").map(|v| v == "1").unwrap_or(false);
-    println!("== Engine comparison: sim vs threads vs async at n_tsw = 4, 64, 1024 ==\n");
+    println!("== Engine comparison: sim vs threads vs async, flat vs sharded, at n_tsw = 4, 64, 1024 ==\n");
 
     // One QAP instance for the whole sweep; workers outnumber facilities
     // at the top end (ranges wrap), so streams are differentiated.
@@ -31,81 +48,108 @@ fn main() {
     let mut table = Table::new([
         "n_tsw",
         "engine",
+        "master",
         "best cost",
         "host wall s",
         "messages",
+        "root msgs",
         "logical procs",
     ]);
     let mut csv = CsvWriter::new([
         "n_tsw",
         "engine",
+        "master",
         "best_cost",
         "wall_seconds",
         "messages",
+        "root_messages",
         "procs",
     ]);
 
     for &n_tsw in &[4usize, 64, 1024] {
-        let run = Pts::builder()
-            .tsw_workers(n_tsw)
-            .clw_workers(1)
-            .global_iters(2)
-            .local_iters(3)
-            .candidates(5)
-            .depth(2)
-            .differentiate_streams(true)
-            .seed(0xC0FFEE)
-            .build()
-            .expect("sweep configs are valid");
+        // Fan-out sqrt(n_tsw): one level of sub-masters, root degree ==
+        // fan-out. 0 = the flat single-master baseline. Clamped to >= 2
+        // (a fan-out of 1 is rejected at validation) in case the sweep
+        // ever gains a tiny point.
+        let fanout = ((n_tsw as f64).sqrt().round() as usize).max(2);
         let engines: [(&str, &dyn ExecutionEngine<QapDomain>); 3] = [
             ("sim", &SimEngine::paper()),
             ("threads", &ThreadEngine),
             ("async", &AsyncEngine::new()),
         ];
         for (name, engine) in engines {
-            // Thread-per-process engines at 1024 TSWs ask the OS for 2049
-            // threads; keep that behind the full profile.
-            if n_tsw >= 1024 && name != "async" && !full {
+            for shard_fanout in [0usize, fanout] {
+                let sharded = shard_fanout != 0 && shard_fanout < n_tsw;
+                if shard_fanout != 0 && !sharded {
+                    continue; // fan-out covers all TSWs: identical to flat
+                }
+                let master = if sharded {
+                    format!("shard/{shard_fanout}")
+                } else {
+                    "flat".to_string()
+                };
+                let run = builder(n_tsw)
+                    .shard_fanout(shard_fanout)
+                    .build()
+                    .expect("sweep configs are valid");
+                // Thread-per-process engines at 1024 TSWs ask the OS for
+                // 2049+ threads; keep that behind the full profile. The
+                // sharded run is the async engine's headline, so the
+                // thread-backed engines only run it under PTS_FULL too.
+                let skip = (n_tsw >= 1024 || sharded) && name != "async" && !full;
+                if skip {
+                    table.row([
+                        n_tsw.to_string(),
+                        name.to_string(),
+                        master.clone(),
+                        "- (PTS_FULL=1)".to_string(),
+                        "-".to_string(),
+                        "-".to_string(),
+                        "-".to_string(),
+                        run.config().total_procs().to_string(),
+                    ]);
+                    // Keep the CSV row-complete: downstream plots must see
+                    // "skipped", not a silently missing series.
+                    csv.row([
+                        n_tsw.to_string(),
+                        name.to_string(),
+                        master,
+                        "skipped".to_string(),
+                        "skipped".to_string(),
+                        "skipped".to_string(),
+                        "skipped".to_string(),
+                        run.config().total_procs().to_string(),
+                    ]);
+                    continue;
+                }
+                let out = run.execute(&domain, engine);
+                let root = &out.report.per_proc[0];
+                let root_msgs = root.messages_sent + root.messages_received;
                 table.row([
                     n_tsw.to_string(),
                     name.to_string(),
-                    "- (PTS_FULL=1)".to_string(),
-                    "-".to_string(),
-                    "-".to_string(),
-                    run.config().total_procs().to_string(),
+                    master.clone(),
+                    fmt_f64(out.outcome.best_cost),
+                    format!("{:.3}", out.report.wall_seconds),
+                    out.report.total_messages().to_string(),
+                    root_msgs.to_string(),
+                    out.report.num_procs().to_string(),
                 ]);
-                // Keep the CSV row-complete: downstream plots must see
-                // "skipped", not a silently missing series.
                 csv.row([
                     n_tsw.to_string(),
                     name.to_string(),
-                    "skipped".to_string(),
-                    "skipped".to_string(),
-                    "skipped".to_string(),
-                    run.config().total_procs().to_string(),
+                    master,
+                    fmt_f64(out.outcome.best_cost),
+                    format!("{:.4}", out.report.wall_seconds),
+                    out.report.total_messages().to_string(),
+                    root_msgs.to_string(),
+                    out.report.num_procs().to_string(),
                 ]);
-                continue;
             }
-            let out = run.execute(&domain, engine);
-            table.row([
-                n_tsw.to_string(),
-                name.to_string(),
-                fmt_f64(out.outcome.best_cost),
-                format!("{:.3}", out.report.wall_seconds),
-                out.report.total_messages().to_string(),
-                out.report.num_procs().to_string(),
-            ]);
-            csv.row([
-                n_tsw.to_string(),
-                name.to_string(),
-                fmt_f64(out.outcome.best_cost),
-                format!("{:.4}", out.report.wall_seconds),
-                out.report.total_messages().to_string(),
-                out.report.num_procs().to_string(),
-            ]);
         }
     }
 
     emit("engine_compare", &table, &csv);
-    println!("\n(sim/threads at n_tsw = 1024 run only with PTS_FULL=1: 2049 OS threads.)");
+    println!("\n(sim/threads at n_tsw = 1024 and all sharded sim/threads rows run only with PTS_FULL=1.)");
+    println!("(root msgs: rank-0 sent+received — O(n_tsw) flat, O(fan-out) sharded.)");
 }

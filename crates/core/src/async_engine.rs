@@ -23,7 +23,7 @@
 use crate::config::PtsConfig;
 use crate::domain::{PtsDomain, SearchOutcome, SnapshotOf};
 use crate::engine::{EngineOutput, ExecutionEngine};
-use crate::master::run_master;
+use crate::master::{run_master, run_sub_master};
 use crate::messages::PtsMsg;
 use crate::report::{ClockDomain, RunReport};
 use crate::transport::TaskTransport;
@@ -97,7 +97,7 @@ impl<D: PtsDomain> ExecutionEngine<D> for AsyncEngine {
                 run_tsw(&mut t, &cfg, i, &domain).await;
             });
         }
-        // Remaining tasks: CLWs, grouped by TSW.
+        // Next tasks: CLWs, grouped by TSW.
         for i in 0..cfg.n_tsw {
             for j in 0..cfg.n_clw {
                 let cfg = *cfg;
@@ -108,6 +108,16 @@ impl<D: PtsDomain> ExecutionEngine<D> for AsyncEngine {
                     run_clw(&mut t, &cfg, tsw_rank, j, &domain).await;
                 });
             }
+        }
+        // Final tasks: sub-masters of the sharded collection tree (none
+        // under the default flat topology).
+        for s in 0..cfg.n_shards() {
+            let cfg = *cfg;
+            let domain = domain.clone();
+            cluster.spawn(move |ctx| async move {
+                let mut t = TaskTransport { ctx };
+                run_sub_master(&mut t, &cfg, s, &domain).await;
+            });
         }
         debug_assert_eq!(cluster.num_spawned(), cfg.total_procs());
 

@@ -48,6 +48,9 @@ pub enum ConfigError {
     BetaOutOfRange(f64),
     /// `diversify_width` must be ≥ 1 when diversification is enabled.
     ZeroDiversifyWidth,
+    /// `shard_fanout` of 1 can never contract the collection tree; use 0
+    /// (flat) or a fan-out ≥ 2.
+    ShardFanoutTooSmall,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -69,6 +72,9 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::ZeroDiversifyWidth => {
                 write!(f, "diversify_width must be >= 1 when diversification is on")
+            }
+            ConfigError::ShardFanoutTooSmall => {
+                write!(f, "shard_fanout must be 0 (flat) or >= 2, got 1")
             }
         }
     }
@@ -237,6 +243,16 @@ impl RunBuilder {
     /// Master seed; all worker streams fork from it.
     pub fn seed(mut self, seed: u64) -> Self {
         self.cfg.seed = seed;
+        self
+    }
+
+    /// Master sharding fan-out: maximum children per collection node.
+    /// `0` (default) keeps the flat single-master topology; `2..n_tsw`
+    /// inserts a tree of sub-masters so report collection costs
+    /// O(fan-out) per process instead of O(`n_tsw`) at the root. See
+    /// [`PtsConfig::shard_fanout`].
+    pub fn shard_fanout(mut self, fanout: usize) -> Self {
+        self.cfg.shard_fanout = fanout;
         self
     }
 
@@ -411,6 +427,28 @@ mod tests {
         assert!(Pts::builder()
             .diversify(false)
             .diversify_width(0)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_fanout_of_one() {
+        assert_eq!(
+            Pts::builder()
+                .tsw_workers(4)
+                .shard_fanout(1)
+                .build()
+                .unwrap_err(),
+            ConfigError::ShardFanoutTooSmall
+        );
+        assert!(Pts::builder()
+            .tsw_workers(4)
+            .shard_fanout(2)
+            .build()
+            .is_ok());
+        assert!(Pts::builder()
+            .tsw_workers(4)
+            .shard_fanout(0)
             .build()
             .is_ok());
     }

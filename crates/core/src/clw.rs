@@ -139,7 +139,10 @@ async fn handle<D: PtsDomain, T: Transport<D::Problem>>(
         // duplicate Init delivered late).
         PtsMsg::CutShort { .. } | PtsMsg::Init { .. } => {}
         other => {
-            debug_assert!(false, "CLW got unexpected {}", other.tag());
+            crate::transport::protocol_warn(
+                t.rank(),
+                &format!("CLW dropping unexpected {}", other.tag()),
+            );
         }
     }
     false
@@ -190,7 +193,10 @@ async fn investigate<D: PtsDomain, T: Transport<D::Problem>>(
                 PtsMsg::CutShort { seq: s } if s == seq => cut = true,
                 PtsMsg::CutShort { .. } => {} // stale
                 other => {
-                    debug_assert!(false, "CLW got {} mid-investigation", other.tag());
+                    crate::transport::protocol_warn(
+                        t.rank(),
+                        &format!("CLW dropping unexpected {} mid-investigation", other.tag()),
+                    );
                 }
             }
         }

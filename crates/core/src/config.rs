@@ -103,6 +103,21 @@ pub struct PtsConfig {
     pub weights: [f64; 3],
     /// Master seed; all worker streams fork from it.
     pub seed: u64,
+    /// Master sharding fan-out: the maximum number of children any
+    /// collection node (the root master or a sub-master) owns.
+    ///
+    /// `0` (default) or any value `>= n_tsw` keeps the paper's flat
+    /// topology: one master collecting every TSW directly. A value in
+    /// `2..n_tsw` inserts a tree of sub-masters — leaf sub-masters each
+    /// collect a contiguous group of at most `shard_fanout` TSWs, apply
+    /// the [`SyncPolicy::HalfReport`] quorum/force policy *locally*,
+    /// reduce to one group best, and forward a single
+    /// [`crate::messages::PtsMsg::GroupReport`] upward; further levels
+    /// are added until at most `shard_fanout` nodes report to the root.
+    /// Collection cost is then O(`shard_fanout`) per process instead of
+    /// O(`n_tsw`) at the root. `1` is rejected at validation (the tree
+    /// would never contract).
+    pub shard_fanout: usize,
     /// Search differentiation. `false` (default) is the paper's MPSS
     /// design — "multiple points, single strategy": all TSWs run the
     /// *same* search (shared RNG streams per role) and differ only through
@@ -138,16 +153,65 @@ impl Default for PtsConfig {
             goal_zero_frac: 1.30,
             weights: [0.5, 0.3, 0.2],
             seed: 0xC0FFEE,
+            shard_fanout: 0,
             differentiate_streams: false,
             work: WorkModel::default(),
         }
     }
 }
 
+/// The children of one collection node in the (possibly sharded) master
+/// tree: either a contiguous group of TSWs (leaf collectors, including the
+/// flat root) or a contiguous run of sub-masters (inner collectors).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardChildren {
+    /// TSW indices `lo..hi` report to this node.
+    Tsws {
+        /// First TSW index of the group.
+        lo: usize,
+        /// One past the last TSW index of the group.
+        hi: usize,
+    },
+    /// Sub-masters `lo..hi` (shard ids) report to this node.
+    Shards {
+        /// First shard id of the group.
+        lo: usize,
+        /// One past the last shard id of the group.
+        hi: usize,
+    },
+}
+
+impl ShardChildren {
+    /// Number of children of this node.
+    pub fn len(&self) -> usize {
+        match *self {
+            ShardChildren::Tsws { lo, hi } | ShardChildren::Shards { lo, hi } => hi - lo,
+        }
+    }
+
+    /// `true` when the node has no children (never occurs in a valid
+    /// topology; present for completeness).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One sub-master's place in the collection tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This sub-master's shard id (also determines its rank).
+    pub id: usize,
+    /// Rank of the node this sub-master forwards its group best to (the
+    /// root master or another sub-master).
+    pub parent_rank: usize,
+    /// Who reports to this sub-master.
+    pub children: ShardChildren,
+}
+
 impl PtsConfig {
-    /// Total number of processes: master + TSWs + TSWs×CLWs.
+    /// Total number of processes: master + TSWs + TSWs×CLWs + sub-masters.
     pub fn total_procs(&self) -> usize {
-        1 + self.n_tsw + self.n_tsw * self.n_clw
+        1 + self.n_tsw + self.n_tsw * self.n_clw + self.n_shards()
     }
 
     /// Rank of the master process.
@@ -170,6 +234,118 @@ impl PtsConfig {
     /// All CLW ranks of TSW `i`.
     pub fn clw_ranks(&self, i: usize) -> Vec<usize> {
         (0..self.n_clw).map(|j| self.clw_rank(i, j)).collect()
+    }
+
+    /// `true` when the run uses a flat master (no sub-masters): the
+    /// default `shard_fanout = 0`, or a fan-out already covering every
+    /// TSW. The flat topology is rank-for-rank and message-for-message
+    /// identical to the pre-sharding protocol.
+    pub fn is_flat(&self) -> bool {
+        self.shard_fanout == 0 || self.shard_fanout >= self.n_tsw
+    }
+
+    /// Sub-master count per tree level, bottom (TSW-facing) level first.
+    /// Empty for a flat topology. Level 0 has `ceil(n_tsw / shard_fanout)`
+    /// nodes; levels are added until at most `shard_fanout` nodes remain
+    /// to report to the root.
+    pub fn shard_levels(&self) -> Vec<usize> {
+        if self.is_flat() {
+            return Vec::new();
+        }
+        let f = self.shard_fanout;
+        let mut levels = Vec::new();
+        let mut count = self.n_tsw.div_ceil(f);
+        loop {
+            levels.push(count);
+            if count <= f {
+                break;
+            }
+            count = count.div_ceil(f);
+        }
+        levels
+    }
+
+    /// Total number of sub-master processes.
+    pub fn n_shards(&self) -> usize {
+        self.shard_levels().iter().sum()
+    }
+
+    /// Rank of sub-master `shard`. Sub-masters occupy the ranks after all
+    /// CLWs (so the flat rank layout — master, TSWs, CLWs — is unchanged),
+    /// ordered level by level from the TSW-facing level upward.
+    pub fn shard_rank(&self, shard: usize) -> usize {
+        assert!(shard < self.n_shards(), "shard {shard} out of range");
+        1 + self.n_tsw + self.n_tsw * self.n_clw + shard
+    }
+
+    /// Rank of the node TSW `i` reports to: the root master when flat,
+    /// otherwise the leaf sub-master owning its group.
+    pub fn parent_of_tsw(&self, i: usize) -> usize {
+        assert!(i < self.n_tsw);
+        if self.is_flat() {
+            self.master_rank()
+        } else {
+            self.shard_rank(i / self.shard_fanout)
+        }
+    }
+
+    /// The root master's direct children: all TSWs when flat, otherwise
+    /// the top level of the sub-master tree.
+    pub fn root_children(&self) -> ShardChildren {
+        let levels = self.shard_levels();
+        if levels.is_empty() {
+            ShardChildren::Tsws {
+                lo: 0,
+                hi: self.n_tsw,
+            }
+        } else {
+            let top = self.n_shards() - levels[levels.len() - 1];
+            ShardChildren::Shards {
+                lo: top,
+                hi: self.n_shards(),
+            }
+        }
+    }
+
+    /// Tree position of sub-master `shard`: its parent's rank and its
+    /// children (a TSW group for level-0 shards, lower sub-masters above).
+    pub fn shard_spec(&self, shard: usize) -> ShardSpec {
+        let levels = self.shard_levels();
+        assert!(
+            shard < self.n_shards(),
+            "shard {shard} out of range for {levels:?}"
+        );
+        let f = self.shard_fanout;
+        // Locate the shard's level and its index within that level.
+        let mut level = 0;
+        let mut level_lo = 0;
+        while shard >= level_lo + levels[level] {
+            level_lo += levels[level];
+            level += 1;
+        }
+        let j = shard - level_lo;
+        let children = if level == 0 {
+            ShardChildren::Tsws {
+                lo: j * f,
+                hi: ((j + 1) * f).min(self.n_tsw),
+            }
+        } else {
+            let below_lo = level_lo - levels[level - 1];
+            ShardChildren::Shards {
+                lo: below_lo + j * f,
+                hi: below_lo + ((j + 1) * f).min(levels[level - 1]),
+            }
+        };
+        let parent_rank = if level + 1 == levels.len() {
+            self.master_rank()
+        } else {
+            self.shard_rank(level_lo + levels[level] + j / f)
+        };
+        ShardSpec {
+            id: shard,
+            parent_rank,
+            children,
+        }
     }
 
     /// Cell range assigned to TSW `i` for diversification. Disjoint across
@@ -248,6 +424,9 @@ impl PtsConfig {
         }
         if self.diversify && self.diversify_width == 0 {
             return Err(ConfigError::ZeroDiversifyWidth);
+        }
+        if self.shard_fanout == 1 && self.n_tsw > 1 {
+            return Err(ConfigError::ShardFanoutTooSmall);
         }
         Ok(())
     }
@@ -343,6 +522,232 @@ mod tests {
             let (lo, hi) = cfg.tsw_range(i, 56);
             assert!(lo < hi && hi <= 56);
         }
+    }
+
+    #[test]
+    fn flat_topology_has_no_shards() {
+        for fanout in [0usize, 8, 9, 100] {
+            let cfg = PtsConfig {
+                n_tsw: 8,
+                shard_fanout: fanout,
+                ..PtsConfig::default()
+            };
+            assert!(cfg.is_flat());
+            assert_eq!(cfg.n_shards(), 0);
+            assert_eq!(cfg.shard_levels(), Vec::<usize>::new());
+            assert_eq!(cfg.root_children(), ShardChildren::Tsws { lo: 0, hi: 8 });
+            assert_eq!(cfg.parent_of_tsw(3), 0);
+            assert_eq!(cfg.total_procs(), 1 + 8 + 8 * cfg.n_clw);
+        }
+    }
+
+    #[test]
+    fn single_level_shard_tree() {
+        // 8 TSWs, fan-out 4: two leaf sub-masters report to the root.
+        let cfg = PtsConfig {
+            n_tsw: 8,
+            n_clw: 1,
+            shard_fanout: 4,
+            ..PtsConfig::default()
+        };
+        assert_eq!(cfg.shard_levels(), vec![2]);
+        assert_eq!(cfg.n_shards(), 2);
+        assert_eq!(cfg.total_procs(), 1 + 8 + 8 + 2);
+        assert_eq!(cfg.shard_rank(0), 17);
+        assert_eq!(cfg.shard_rank(1), 18);
+        assert_eq!(cfg.root_children(), ShardChildren::Shards { lo: 0, hi: 2 });
+        for i in 0..4 {
+            assert_eq!(cfg.parent_of_tsw(i), 17);
+            assert_eq!(cfg.parent_of_tsw(i + 4), 18);
+        }
+        for s in 0..2 {
+            let spec = cfg.shard_spec(s);
+            assert_eq!(spec.parent_rank, 0);
+            assert_eq!(
+                spec.children,
+                ShardChildren::Tsws {
+                    lo: s * 4,
+                    hi: s * 4 + 4
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn multi_level_shard_tree() {
+        // 6 TSWs, fan-out 2: 3 leaf shards, then 2 inner shards, root
+        // collects the 2 inner ones. Every node has <= fanout children.
+        let cfg = PtsConfig {
+            n_tsw: 6,
+            n_clw: 1,
+            shard_fanout: 2,
+            ..PtsConfig::default()
+        };
+        assert_eq!(cfg.shard_levels(), vec![3, 2]);
+        assert_eq!(cfg.n_shards(), 5);
+        assert_eq!(cfg.root_children(), ShardChildren::Shards { lo: 3, hi: 5 });
+        // Leaf shards own TSW pairs and report to the inner level.
+        assert_eq!(
+            cfg.shard_spec(0),
+            ShardSpec {
+                id: 0,
+                parent_rank: cfg.shard_rank(3),
+                children: ShardChildren::Tsws { lo: 0, hi: 2 }
+            }
+        );
+        assert_eq!(
+            cfg.shard_spec(2),
+            ShardSpec {
+                id: 2,
+                parent_rank: cfg.shard_rank(4),
+                children: ShardChildren::Tsws { lo: 4, hi: 6 }
+            }
+        );
+        // Inner shards collect leaf shards and report to the root; the
+        // last group takes the remainder (one child).
+        assert_eq!(
+            cfg.shard_spec(3),
+            ShardSpec {
+                id: 3,
+                parent_rank: 0,
+                children: ShardChildren::Shards { lo: 0, hi: 2 }
+            }
+        );
+        assert_eq!(
+            cfg.shard_spec(4),
+            ShardSpec {
+                id: 4,
+                parent_rank: 0,
+                children: ShardChildren::Shards { lo: 2, hi: 3 }
+            }
+        );
+    }
+
+    #[test]
+    fn shard_tree_covers_every_tsw_and_shard_exactly_once() {
+        for (n_tsw, fanout) in [(1024usize, 32usize), (1000, 7), (64, 3), (5, 2)] {
+            let cfg = PtsConfig {
+                n_tsw,
+                shard_fanout: fanout,
+                ..PtsConfig::default()
+            };
+            let mut tsw_parent = vec![None; n_tsw];
+            let mut shard_parent = vec![None; cfg.n_shards()];
+            let mut note = |children: ShardChildren, parent: usize| match children {
+                ShardChildren::Tsws { lo, hi } => {
+                    for slot in &mut tsw_parent[lo..hi] {
+                        assert!(slot.replace(parent).is_none());
+                    }
+                }
+                ShardChildren::Shards { lo, hi } => {
+                    for slot in &mut shard_parent[lo..hi] {
+                        assert!(slot.replace(parent).is_none());
+                    }
+                }
+            };
+            note(cfg.root_children(), cfg.master_rank());
+            for s in 0..cfg.n_shards() {
+                let spec = cfg.shard_spec(s);
+                assert!(!spec.children.is_empty() && spec.children.len() <= fanout);
+                note(spec.children, cfg.shard_rank(s));
+            }
+            // Every TSW has exactly one parent, consistent with
+            // parent_of_tsw; every shard is collected exactly once.
+            for (i, p) in tsw_parent.iter().enumerate() {
+                assert_eq!(p.unwrap(), cfg.parent_of_tsw(i));
+            }
+            for (s, p) in shard_parent.iter().enumerate() {
+                let expect = cfg.shard_spec(s).parent_rank;
+                assert_eq!(p.unwrap(), expect);
+            }
+            // Root degree is bounded by the fan-out, the whole point.
+            assert!(cfg.root_children().len() <= fanout);
+        }
+    }
+
+    #[test]
+    fn sharded_ranks_are_disjoint_and_dense() {
+        let cfg = PtsConfig {
+            n_tsw: 5,
+            n_clw: 2,
+            shard_fanout: 2,
+            ..PtsConfig::default()
+        };
+        let mut seen = vec![cfg.master_rank()];
+        for i in 0..5 {
+            seen.push(cfg.tsw_rank(i));
+            for j in 0..2 {
+                seen.push(cfg.clw_rank(i, j));
+            }
+        }
+        for s in 0..cfg.n_shards() {
+            seen.push(cfg.shard_rank(s));
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..cfg.total_procs()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fanout_of_one_is_rejected() {
+        let cfg = PtsConfig {
+            n_tsw: 4,
+            shard_fanout: 1,
+            ..PtsConfig::default()
+        };
+        assert_eq!(cfg.validate(), Err(ConfigError::ShardFanoutTooSmall));
+        // One TSW with fan-out 1 is flat, hence valid.
+        let cfg = PtsConfig {
+            n_tsw: 1,
+            shard_fanout: 1,
+            ..PtsConfig::default()
+        };
+        assert!(cfg.validate().is_ok());
+        assert!(cfg.is_flat());
+    }
+
+    #[test]
+    fn wrapped_range_remainder_goes_to_leading_workers() {
+        // 10 items over 4 workers: the 2-item remainder widens the first
+        // two chunks; the last worker (i = k-1) gets the narrow tail.
+        assert_eq!(wrapped_range(10, 4, 0), (0, 3));
+        assert_eq!(wrapped_range(10, 4, 1), (3, 6));
+        assert_eq!(wrapped_range(10, 4, 2), (6, 8));
+        assert_eq!(wrapped_range(10, 4, 3), (8, 10));
+    }
+
+    #[test]
+    fn wrapped_range_oversubscribed_last_worker_wraps() {
+        // k > n with remainder: worker k-1 lands on chunk (k-1) mod n and
+        // still receives a non-empty range.
+        let (lo, hi) = wrapped_range(3, 1000, 999);
+        assert_eq!((lo, hi), wrapped_range(3, 1000, 999 % 3));
+        assert!(lo < hi && hi <= 3);
+        // Exactly one extra worker: wraps to chunk 0.
+        assert_eq!(wrapped_range(4, 5, 4), wrapped_range(4, 5, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty item space")]
+    fn wrapped_range_rejects_zero_items() {
+        wrapped_range(0, 4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn wrapped_range_rejects_out_of_range_worker() {
+        wrapped_range(10, 4, 4);
+    }
+
+    #[test]
+    fn quorum_half_rounds_up_for_odd_groups() {
+        // Sub-masters apply the quorum to their own (often small, often
+        // odd) groups: ceil semantics must hold at every size.
+        let cfg = PtsConfig::default();
+        assert_eq!(cfg.report_quorum(3), 2);
+        assert_eq!(cfg.report_quorum(7), 4);
+        assert_eq!(cfg.report_quorum(9), 5);
+        // A leaf group of one can never be forced (quorum == group).
+        assert_eq!(cfg.report_quorum(1), 1);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 
 use crate::config::PtsConfig;
 use crate::domain::{PtsDomain, SearchOutcome, SnapshotOf};
-use crate::master::run_master;
+use crate::master::{run_master, run_sub_master};
 use crate::messages::PtsMsg;
 use crate::report::{ClockDomain, RunReport};
 use crate::transport::{drive_sync, SimTransport, StatsSink, ThreadTransport};
@@ -107,7 +107,7 @@ impl<D: PtsDomain> ExecutionEngine<D> for SimEngine {
                 drive_sync(run_tsw(&mut t, &cfg, i, &domain));
             });
         }
-        // Remaining ranks: CLWs, grouped by TSW.
+        // Next ranks: CLWs, grouped by TSW.
         for i in 0..cfg.n_tsw {
             for j in 0..cfg.n_clw {
                 let cfg = *cfg;
@@ -119,6 +119,17 @@ impl<D: PtsDomain> ExecutionEngine<D> for SimEngine {
                     drive_sync(run_clw(&mut t, &cfg, tsw_rank, j, &domain));
                 });
             }
+        }
+        // Final ranks: sub-masters of the sharded collection tree (none
+        // under the default flat topology).
+        for s in 0..cfg.n_shards() {
+            let cfg = *cfg;
+            let domain = domain.clone();
+            let rank = cfg.shard_rank(s);
+            sim.spawn(assignment[rank], move |ctx| {
+                let mut t = SimTransport { ctx };
+                drive_sync(run_sub_master(&mut t, &cfg, s, &domain));
+            });
         }
         debug_assert_eq!(sim.num_spawned(), cfg.total_procs());
 
@@ -210,6 +221,25 @@ impl<D: PtsDomain> ExecutionEngine<D> for ThreadEngine {
                         .expect("spawn CLW thread"),
                 );
             }
+        }
+
+        for s in 0..cfg.n_shards() {
+            let rank = cfg.shard_rank(s);
+            let mut t = ThreadTransport::new(
+                rank,
+                start,
+                senders.clone(),
+                receivers[rank].take().expect("receiver unclaimed"),
+                Arc::clone(&stats_sink),
+            );
+            let cfg = *cfg;
+            let domain = domain.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("pts-shard{s}"))
+                    .spawn(move || drive_sync(run_sub_master(&mut t, &cfg, s, &domain)))
+                    .expect("spawn sub-master thread"),
+            );
         }
 
         let outcome = {

@@ -9,7 +9,9 @@
 //!   running its own tabu search from the shared initial solution after a
 //!   Kelly-style diversification over a private item subset; the master
 //!   collects bests per *global iteration* and broadcasts the winner
-//!   (solution + tabu list);
+//!   (solution + tabu list) — optionally through a sharded tree of
+//!   sub-masters ([`config::PtsConfig::shard_fanout`]) so collection
+//!   stays O(fan-out) per process at thousand-worker scale;
 //! * **low level (functional decomposition, 1-control)**: each TSW drives
 //!   Candidate-List Workers ([`clw`]) that explore the neighborhood in
 //!   parallel, each anchored to an item range (probabilistic domain
@@ -49,15 +51,13 @@ pub mod placement_problem;
 pub mod qap_domain;
 pub mod report;
 pub mod run;
-pub mod sim_engine;
 pub mod speedup;
-pub mod thread_engine;
 pub mod transport;
 pub mod tsw;
 
 pub use async_engine::AsyncEngine;
 pub use builder::{ConfigError, PlacementRunOutput, Pts, PtsRun, RunBuilder};
-pub use config::{CostKind, PtsConfig, SyncPolicy, WorkModel};
+pub use config::{CostKind, PtsConfig, ShardChildren, ShardSpec, SyncPolicy, WorkModel};
 pub use domain::{PtsDomain, PtsProblem, SearchOutcome, SnapshotOf, WireSized};
 pub use engine::{EngineOutput, ExecutionEngine, SimEngine, ThreadEngine};
 pub use messages::PtsMsg;
@@ -66,11 +66,3 @@ pub use qap_domain::QapDomain;
 pub use report::{ClockDomain, RunReport};
 pub use run::run_sequential_baseline;
 pub use speedup::{common_quality_target, fractional_quality_target, speedup_sweep, SpeedupPoint};
-
-// Deprecated compatibility surface (one release).
-#[allow(deprecated)]
-pub use run::{run_pts, Engine, PtsOutput};
-#[allow(deprecated)]
-pub use sim_engine::{run_on_sim, run_on_sim_from, SimOutput};
-#[allow(deprecated)]
-pub use thread_engine::{run_on_threads, run_on_threads_from};

@@ -1,19 +1,313 @@
-//! The master process, generic over the problem domain.
+//! The master side of the protocol: the root collector and, under a
+//! sharded topology, the tree of sub-masters — generic over the problem
+//! domain.
 //!
 //! Distributes the initial solution to every worker, then runs
 //! `global_iters` rounds: collect one report per TSW — under the
 //! heterogeneous policy, forcing stragglers once half have reported —
 //! select the overall best, and broadcast it (solution + tabu list) back to
 //! all TSWs. One collect+broadcast is one *global iteration*.
+//!
+//! With `shard_fanout` set (see [`PtsConfig::shard_fanout`]), collection
+//! runs over a tree: each leaf sub-master collects its TSW group, applies
+//! the quorum/force policy locally, reduces the group to one best
+//! (cost + snapshot + merged trace + folded stats), and forwards a single
+//! `GroupReport`; inner sub-masters reduce `GroupReport`s the same way;
+//! the root reduces the top level and broadcasts the global best back down
+//! the tree. Every process then handles O(fan-out) messages per round
+//! instead of the root handling O(`n_tsw`).
+//!
+//! Both collection loops are *hardened for release builds*: a stale
+//! report (earlier round) is dropped silently (it is the one
+//! semi-expected anomaly — a late report can legitimately cross control
+//! traffic), while a duplicate report (same child twice in one round) or
+//! a message of an unexpected type is dropped with a stderr note. None of
+//! them is ever merged into the wrong round. Debug-only assertions used
+//! to be the sole guard here, which meant a release build would silently
+//! double-count `n_rep` and corrupt or deadlock the round.
 
-use crate::config::{PtsConfig, SyncPolicy};
+use crate::config::{PtsConfig, ShardChildren, SyncPolicy};
 use crate::domain::{PtsDomain, SearchOutcome, SnapshotOf};
 use crate::messages::{PtsMsg, TabuEntries};
-use crate::transport::Transport;
+use crate::transport::{protocol_warn, Transport};
 use pts_tabu::search::SearchStats;
 use pts_tabu::trace::Trace;
 
-/// Run the master protocol to completion.
+/// Running reduction state shared by the root master and every
+/// sub-master: the best solution seen in this node's subtree, the merged
+/// trace, the folded final-round statistics, and the forces this node
+/// itself issued.
+struct Reduction<D: PtsDomain> {
+    best_cost: f64,
+    best_snapshot: SnapshotOf<D>,
+    best_tabu: TabuEntries<D::Problem>,
+    merged: Trace,
+    stats: SearchStats,
+    forced: u64,
+}
+
+impl<D: PtsDomain> Reduction<D> {
+    fn new(initial_cost: f64, initial: SnapshotOf<D>) -> Reduction<D> {
+        Reduction {
+            best_cost: initial_cost,
+            best_snapshot: initial,
+            best_tabu: Vec::new(),
+            merged: Trace::new(),
+            stats: SearchStats::default(),
+            forced: 0,
+        }
+    }
+
+    /// Fold one child report into the reduction. Strict `<` keeps the
+    /// earliest achiever on cost ties, matching the flat master.
+    fn offer(&mut self, cost: f64, snapshot: SnapshotOf<D>, tabu: TabuEntries<D::Problem>) {
+        if cost < self.best_cost {
+            self.best_cost = cost;
+            self.best_snapshot = snapshot;
+            self.best_tabu = tabu;
+        }
+    }
+
+    fn fold_stats(&mut self, stats: &SearchStats) {
+        self.stats.iterations += stats.iterations;
+        self.stats.accepted += stats.accepted;
+        self.stats.rejected_tabu += stats.rejected_tabu;
+        self.stats.aspirated += stats.aspirated;
+        self.stats.improved_best += stats.improved_best;
+    }
+
+    /// Collect exactly one round-`g` report per TSW in `lo..hi`, applying
+    /// the quorum/force policy as this group's parent. Used by the flat
+    /// root and by leaf sub-masters.
+    async fn collect_tsw_round<T: Transport<D::Problem>>(
+        &mut self,
+        t: &mut T,
+        cfg: &PtsConfig,
+        g: u32,
+        lo: usize,
+        hi: usize,
+    ) {
+        let n = hi - lo;
+        let final_round = g + 1 == cfg.global_iters;
+        let quorum = cfg.report_quorum(n);
+        let mut reported = vec![false; n];
+        let mut n_rep = 0;
+        let mut force_sent = false;
+
+        while n_rep < n {
+            match t.recv().await {
+                PtsMsg::Report {
+                    tsw,
+                    global,
+                    cost,
+                    snapshot,
+                    tabu,
+                    trace,
+                    stats,
+                } => {
+                    // Release-mode protocol hardening: reports are
+                    // strictly per-round and per-child; anything else is
+                    // dropped, never merged into the wrong round.
+                    if global < g {
+                        // Stale: a late report from an earlier round.
+                        continue;
+                    }
+                    if global > g || tsw < lo || tsw >= hi {
+                        protocol_warn(
+                            t.rank(),
+                            &format!("dropping Report from TSW {tsw} for round {global} (collecting {lo}..{hi} round {g})"),
+                        );
+                        continue;
+                    }
+                    if reported[tsw - lo] {
+                        protocol_warn(
+                            t.rank(),
+                            &format!("rejecting duplicate Report from TSW {tsw} in round {g}"),
+                        );
+                        continue;
+                    }
+                    reported[tsw - lo] = true;
+                    n_rep += 1;
+                    t.compute(cfg.work.per_report);
+                    self.merged = Trace::merge([&self.merged, &Trace::from_points(trace)]);
+                    self.offer(cost, snapshot, tabu);
+                    // Stats are cumulative per TSW; summing every round
+                    // would over-count, so fold them in on the final round
+                    // only.
+                    if final_round {
+                        self.fold_stats(&stats);
+                    }
+                    if cfg.tsw_sync == SyncPolicy::HalfReport
+                        && !force_sent
+                        && n_rep >= quorum
+                        && n_rep < n
+                    {
+                        for (idx, done) in reported.iter().enumerate() {
+                            if !done {
+                                t.send(cfg.tsw_rank(lo + idx), PtsMsg::ForceReport { global: g });
+                                self.forced += 1;
+                            }
+                        }
+                        force_sent = true;
+                    }
+                }
+                other => {
+                    protocol_warn(
+                        t.rank(),
+                        &format!(
+                            "dropping unexpected {} while collecting TSW reports",
+                            other.tag()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Collect exactly one round-`g` `GroupReport` per sub-master in
+    /// `lo..hi`. Used by the sharded root and by inner sub-masters; the
+    /// straggler policy lives at the leaf level, so group collection
+    /// always waits for every child. `child_forced[s - lo]` tracks each
+    /// subtree's cumulative force count.
+    async fn collect_group_round<T: Transport<D::Problem>>(
+        &mut self,
+        t: &mut T,
+        cfg: &PtsConfig,
+        g: u32,
+        lo: usize,
+        hi: usize,
+        child_forced: &mut [u64],
+    ) {
+        let n = hi - lo;
+        let final_round = g + 1 == cfg.global_iters;
+        let mut reported = vec![false; n];
+        let mut n_rep = 0;
+
+        while n_rep < n {
+            match t.recv().await {
+                PtsMsg::GroupReport {
+                    shard,
+                    global,
+                    cost,
+                    snapshot,
+                    tabu,
+                    trace,
+                    stats,
+                    forced,
+                } => {
+                    if global < g {
+                        continue; // stale
+                    }
+                    if global > g || shard < lo || shard >= hi {
+                        protocol_warn(
+                            t.rank(),
+                            &format!("dropping GroupReport from shard {shard} for round {global} (collecting {lo}..{hi} round {g})"),
+                        );
+                        continue;
+                    }
+                    if reported[shard - lo] {
+                        protocol_warn(
+                            t.rank(),
+                            &format!(
+                                "rejecting duplicate GroupReport from shard {shard} in round {g}"
+                            ),
+                        );
+                        continue;
+                    }
+                    reported[shard - lo] = true;
+                    n_rep += 1;
+                    t.compute(cfg.work.per_report);
+                    self.merged = Trace::merge([&self.merged, &Trace::from_points(trace)]);
+                    self.offer(cost, snapshot, tabu);
+                    if final_round {
+                        self.fold_stats(&stats);
+                    }
+                    child_forced[shard - lo] = forced;
+                }
+                other => {
+                    protocol_warn(
+                        t.rank(),
+                        &format!(
+                            "dropping unexpected {} while collecting group reports",
+                            other.tag()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// One collection round over this node's children.
+    async fn collect_round<T: Transport<D::Problem>>(
+        &mut self,
+        t: &mut T,
+        cfg: &PtsConfig,
+        g: u32,
+        children: ShardChildren,
+        child_forced: &mut [u64],
+    ) {
+        match children {
+            ShardChildren::Tsws { lo, hi } => self.collect_tsw_round(t, cfg, g, lo, hi).await,
+            ShardChildren::Shards { lo, hi } => {
+                self.collect_group_round(t, cfg, g, lo, hi, child_forced)
+                    .await
+            }
+        }
+    }
+
+    /// Forces issued in this node's whole subtree so far.
+    fn subtree_forced(&self, child_forced: &[u64]) -> u64 {
+        self.forced + child_forced.iter().sum::<u64>()
+    }
+}
+
+/// Downward payload of [`send_down`]: the round winner to broadcast, or
+/// `None` for `Stop` after the final round.
+type Winner<'a, D> = Option<(
+    u32,
+    &'a SnapshotOf<D>,
+    &'a TabuEntries<<D as PtsDomain>::Problem>,
+)>;
+
+/// Send the round-`g` winner (or `Stop` after the final round) down to
+/// this node's children.
+fn send_down<D: PtsDomain, T: Transport<D::Problem>>(
+    t: &mut T,
+    cfg: &PtsConfig,
+    children: ShardChildren,
+    msg: Winner<'_, D>,
+) {
+    match children {
+        ShardChildren::Tsws { lo, hi } => {
+            for i in lo..hi {
+                let m = match msg {
+                    Some((global, snapshot, tabu)) => PtsMsg::Broadcast {
+                        global,
+                        snapshot: snapshot.clone(),
+                        tabu: tabu.clone(),
+                    },
+                    None => PtsMsg::Stop,
+                };
+                t.send(cfg.tsw_rank(i), m);
+            }
+        }
+        ShardChildren::Shards { lo, hi } => {
+            for s in lo..hi {
+                let m = match msg {
+                    Some((global, snapshot, tabu)) => PtsMsg::GroupBroadcast {
+                        global,
+                        snapshot: snapshot.clone(),
+                        tabu: tabu.clone(),
+                    },
+                    None => PtsMsg::Stop,
+                };
+                t.send(cfg.shard_rank(s), m);
+            }
+        }
+    }
+}
+
+/// Run the root-master protocol to completion.
 ///
 /// `async` over any [`Transport`]: on blocking substrates drive it with
 /// [`crate::transport::drive_sync`]; on the cooperative substrate each
@@ -26,116 +320,193 @@ pub async fn run_master<D: PtsDomain, T: Transport<D::Problem>>(
 ) -> SearchOutcome<SnapshotOf<D>> {
     // Cost of the initial solution under the (frozen) domain.
     let initial_cost = domain.cost_of(&initial);
+    let children = cfg.root_children();
 
-    // Initialize every worker (TSWs and CLWs all start from the initial
-    // solution).
-    for rank in 1..cfg.total_procs() {
-        t.send(
-            rank,
-            PtsMsg::Init {
-                snapshot: initial.clone(),
-            },
-        );
-    }
-
-    let mut best_cost = initial_cost;
-    let mut best_snapshot = initial;
-    let mut best_tabu: TabuEntries<D::Problem> = Vec::new();
-    let mut merged = Trace::new();
-    merged.record(t.now(), 0, best_cost);
-    let mut best_per_global_iter = Vec::with_capacity(cfg.global_iters as usize);
-    let mut tsw_stats = SearchStats::default();
-    let mut forced_reports = 0u64;
-
-    for g in 0..cfg.global_iters {
-        let quorum = cfg.report_quorum(cfg.n_tsw);
-        let mut reported = vec![false; cfg.n_tsw];
-        let mut n_rep = 0;
-        let mut force_sent = false;
-
-        while n_rep < cfg.n_tsw {
-            match t.recv().await {
-                PtsMsg::Report {
-                    tsw,
-                    global,
-                    cost,
-                    snapshot,
-                    tabu,
-                    trace,
-                    stats,
-                } => {
-                    debug_assert_eq!(global, g, "reports are strictly per-round");
-                    debug_assert!(!reported[tsw]);
-                    reported[tsw] = true;
-                    n_rep += 1;
-                    t.compute(cfg.work.per_report);
-                    merged = Trace::merge([&merged, &Trace::from_points(trace)]);
-                    if cost < best_cost {
-                        best_cost = cost;
-                        best_snapshot = snapshot;
-                        best_tabu = tabu;
-                    }
-                    // Stats are cumulative per TSW; summing every round
-                    // would over-count, so fold them in on the final round
-                    // only.
-                    if g + 1 == cfg.global_iters {
-                        tsw_stats.iterations += stats.iterations;
-                        tsw_stats.accepted += stats.accepted;
-                        tsw_stats.rejected_tabu += stats.rejected_tabu;
-                        tsw_stats.aspirated += stats.aspirated;
-                        tsw_stats.improved_best += stats.improved_best;
-                    }
-                    if cfg.tsw_sync == SyncPolicy::HalfReport
-                        && !force_sent
-                        && n_rep >= quorum
-                        && n_rep < cfg.n_tsw
-                    {
-                        for (i, done) in reported.iter().enumerate() {
-                            if !done {
-                                t.send(cfg.tsw_rank(i), PtsMsg::ForceReport { global: g });
-                                forced_reports += 1;
-                            }
-                        }
-                        force_sent = true;
-                    }
-                }
-                other => {
-                    debug_assert!(false, "master got unexpected {}", other.tag());
-                }
-            }
-        }
-
-        merged.record(t.now(), g as u64 + 1, best_cost);
-        best_per_global_iter.push(best_cost);
-
-        if g + 1 < cfg.global_iters {
-            for i in 0..cfg.n_tsw {
+    // Initialize the tree. Flat: every worker (TSWs and CLWs) is a direct
+    // child and starts from the initial solution. Sharded: only the top
+    // sub-masters are addressed; they fan the Init out to their subtrees,
+    // keeping the root's traffic O(fan-out).
+    match children {
+        ShardChildren::Tsws { .. } => {
+            for rank in 1..cfg.total_procs() {
                 t.send(
-                    cfg.tsw_rank(i),
-                    PtsMsg::Broadcast {
-                        global: g,
-                        snapshot: best_snapshot.clone(),
-                        tabu: best_tabu.clone(),
+                    rank,
+                    PtsMsg::Init {
+                        snapshot: initial.clone(),
                     },
                 );
             }
-        } else {
-            for i in 0..cfg.n_tsw {
-                t.send(cfg.tsw_rank(i), PtsMsg::Stop);
+        }
+        ShardChildren::Shards { lo, hi } => {
+            for s in lo..hi {
+                t.send(
+                    cfg.shard_rank(s),
+                    PtsMsg::Init {
+                        snapshot: initial.clone(),
+                    },
+                );
             }
         }
     }
 
+    let mut red: Reduction<D> = Reduction::new(initial_cost, initial);
+    red.merged.record(t.now(), 0, red.best_cost);
+    let mut best_per_global_iter = Vec::with_capacity(cfg.global_iters as usize);
+    let mut child_forced = vec![0u64; children.len()];
+
+    for g in 0..cfg.global_iters {
+        red.collect_round(t, cfg, g, children, &mut child_forced)
+            .await;
+
+        red.merged.record(t.now(), g as u64 + 1, red.best_cost);
+        best_per_global_iter.push(red.best_cost);
+
+        if g + 1 < cfg.global_iters {
+            send_down::<D, T>(
+                t,
+                cfg,
+                children,
+                Some((g, &red.best_snapshot, &red.best_tabu)),
+            );
+        } else {
+            send_down::<D, T>(t, cfg, children, None);
+        }
+    }
+
+    let forced_reports = red.subtree_forced(&child_forced);
     SearchOutcome {
-        best_cost,
-        best: best_snapshot,
+        best_cost: red.best_cost,
+        best: red.best_snapshot,
         initial_cost,
-        trace: merged,
+        trace: red.merged,
         best_per_global_iter,
-        tsw_stats,
+        tsw_stats: red.stats,
         forced_reports,
         end_time: t.now(),
     }
+}
+
+/// Run one sub-master of the sharded collection tree to completion.
+///
+/// Per global iteration: collect from the children (TSW group with local
+/// quorum/force policy at the leaves, `GroupReport`s above), reduce to
+/// the subtree best, forward one `GroupReport` to the parent, then relay
+/// the parent's `GroupBroadcast` (or `Stop`) back down.
+pub async fn run_sub_master<D: PtsDomain, T: Transport<D::Problem>>(
+    t: &mut T,
+    cfg: &PtsConfig,
+    shard: usize,
+    domain: &D,
+) {
+    let spec = cfg.shard_spec(shard);
+
+    // Wait for the Init relayed from above.
+    let initial = loop {
+        match t.recv().await {
+            PtsMsg::Init { snapshot } => break snapshot,
+            PtsMsg::Stop => {
+                send_down::<D, T>(t, cfg, spec.children, None);
+                return;
+            }
+            other => {
+                protocol_warn(
+                    t.rank(),
+                    &format!("dropping unexpected {} before Init", other.tag()),
+                );
+            }
+        }
+    };
+
+    // Fan the Init out: TSWs and their CLWs at the leaf level, lower
+    // sub-masters above.
+    match spec.children {
+        ShardChildren::Tsws { lo, hi } => {
+            for i in lo..hi {
+                t.send(
+                    cfg.tsw_rank(i),
+                    PtsMsg::Init {
+                        snapshot: initial.clone(),
+                    },
+                );
+                for j in 0..cfg.n_clw {
+                    t.send(
+                        cfg.clw_rank(i, j),
+                        PtsMsg::Init {
+                            snapshot: initial.clone(),
+                        },
+                    );
+                }
+            }
+        }
+        ShardChildren::Shards { lo, hi } => {
+            for s in lo..hi {
+                t.send(
+                    cfg.shard_rank(s),
+                    PtsMsg::Init {
+                        snapshot: initial.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    // Seed the reduction exactly like the root: subtree best starts at
+    // the initial solution with an empty tabu list, so a round in which
+    // no TSW improves reduces to the same winner the flat master picks.
+    let initial_cost = domain.cost_of(&initial);
+    let mut red: Reduction<D> = Reduction::new(initial_cost, initial);
+    let mut child_forced = vec![0u64; spec.children.len()];
+
+    for g in 0..cfg.global_iters {
+        red.collect_round(t, cfg, g, spec.children, &mut child_forced)
+            .await;
+
+        t.send(
+            spec.parent_rank,
+            PtsMsg::GroupReport {
+                shard,
+                global: g,
+                cost: red.best_cost,
+                snapshot: red.best_snapshot.clone(),
+                tabu: red.best_tabu.clone(),
+                trace: red.merged.points().to_vec(),
+                stats: red.stats,
+                forced: red.subtree_forced(&child_forced),
+            },
+        );
+
+        // Relay the parent's decision down the tree.
+        loop {
+            match t.recv().await {
+                PtsMsg::GroupBroadcast {
+                    global,
+                    snapshot,
+                    tabu,
+                } if global == g => {
+                    send_down::<D, T>(t, cfg, spec.children, Some((global, &snapshot, &tabu)));
+                    break;
+                }
+                PtsMsg::Stop => {
+                    send_down::<D, T>(t, cfg, spec.children, None);
+                    return;
+                }
+                // Stale broadcast from an earlier round: drop.
+                PtsMsg::GroupBroadcast { .. } => {}
+                other => {
+                    protocol_warn(
+                        t.rank(),
+                        &format!(
+                            "dropping unexpected {} while awaiting GroupBroadcast",
+                            other.tag()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    // All global iterations done without receiving Stop (the parent
+    // always terminates with Stop, so this is unreachable in practice).
+    send_down::<D, T>(t, cfg, spec.children, None);
 }
 
 #[cfg(test)]
@@ -145,7 +516,7 @@ mod tests {
     #[test]
     fn outcome_fields_are_accessible() {
         // Structural smoke test; behavioural coverage lives in the engine
-        // integration tests.
+        // integration tests and crates/core/tests/protocol_robustness.rs.
         fn assert_send<T: Send>() {}
         assert_send::<SearchOutcome<pts_place::placement::Placement>>();
     }

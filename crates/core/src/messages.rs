@@ -66,6 +66,43 @@ pub enum PtsMsg<P: PtsProblem> {
         /// Cumulative per-TSW search statistics.
         stats: SearchStats,
     },
+    /// Sub-master → parent: the reduced best of one subtree after a
+    /// global iteration (sharded-master topology). Carries the same
+    /// payload as the [`PtsMsg::Report`]s it folds — one group-best
+    /// solution with its tabu list, the merged subtree trace, and the
+    /// folded search statistics — so the root's reduction is equivalent
+    /// to collecting every TSW directly.
+    GroupReport {
+        /// Shard id of the reporting sub-master.
+        shard: usize,
+        /// Global iteration the group report belongs to.
+        global: u32,
+        /// Best cost found anywhere in this subtree so far.
+        cost: f64,
+        /// The solution achieving `cost`.
+        snapshot: P::Snapshot,
+        /// Tabu list accompanying the subtree-best solution.
+        tabu: TabuEntries<P>,
+        /// Merged best-cost-over-time points of the whole subtree.
+        trace: Vec<TracePoint>,
+        /// Folded subtree search statistics (non-zero only on the final
+        /// round — per-TSW stats are cumulative, summing every round
+        /// would over-count).
+        stats: SearchStats,
+        /// Cumulative `ForceReport`s issued inside this subtree.
+        forced: u64,
+    },
+    /// Parent → sub-master: the global best flowing back down the tree
+    /// after a global iteration; leaf sub-masters translate it into a
+    /// [`PtsMsg::Broadcast`] for their TSW group.
+    GroupBroadcast {
+        /// Global iteration this broadcast concludes.
+        global: u32,
+        /// Best solution across the whole tree this round.
+        snapshot: P::Snapshot,
+        /// Tabu list accompanying the winning solution.
+        tabu: TabuEntries<P>,
+    },
     /// TSW → CLW: adopt this solution as the current state.
     AdoptState {
         /// The state to restore before the next investigation.
@@ -136,6 +173,23 @@ impl<P: PtsProblem> PtsMsg<P> {
                     + TRACE_POINT_BYTES * trace.len() as u64
                     + 48
             }
+            // Same payload shape as Report, plus the shard id and the
+            // folded force counter — the simulated bandwidth model must
+            // charge the tree links what the flat links used to carry.
+            PtsMsg::GroupReport {
+                snapshot,
+                tabu,
+                trace,
+                ..
+            } => {
+                HDR + snapshot.wire_bytes()
+                    + TABU_ENTRY_BYTES * tabu.len() as u64
+                    + TRACE_POINT_BYTES * trace.len() as u64
+                    + 64
+            }
+            PtsMsg::GroupBroadcast { snapshot, tabu, .. } => {
+                HDR + snapshot.wire_bytes() + TABU_ENTRY_BYTES * tabu.len() as u64
+            }
             PtsMsg::AdoptState { snapshot } => HDR + snapshot.wire_bytes(),
             PtsMsg::Proposal { moves, .. } => HDR + MOVE_BYTES * moves.len() as u64 + 16,
             PtsMsg::ApplyMoves { moves } => HDR + MOVE_BYTES * moves.len() as u64,
@@ -153,6 +207,8 @@ impl<P: PtsProblem> PtsMsg<P> {
             PtsMsg::Broadcast { .. } => "Broadcast",
             PtsMsg::ForceReport { .. } => "ForceReport",
             PtsMsg::Report { .. } => "Report",
+            PtsMsg::GroupReport { .. } => "GroupReport",
+            PtsMsg::GroupBroadcast { .. } => "GroupBroadcast",
             PtsMsg::AdoptState { .. } => "AdoptState",
             PtsMsg::Investigate { .. } => "Investigate",
             PtsMsg::CutShort { .. } => "CutShort",
@@ -203,6 +259,49 @@ mod tests {
             snapshot: pts_tabu::SearchProblem::snapshot(&small),
         };
         assert!(init.wire_size() > init_small.wire_size());
+    }
+
+    #[test]
+    fn group_report_costs_at_least_what_a_report_costs() {
+        // The sharded tree must not get free bandwidth: a GroupReport
+        // carrying the same solution/tabu/trace payload is at least as
+        // heavy as the TSW Report it reduces.
+        let q = Qap::random(40, 1);
+        let snapshot = pts_tabu::SearchProblem::snapshot(&q);
+        let report: PtsMsg<Qap> = PtsMsg::Report {
+            tsw: 0,
+            global: 0,
+            cost: 1.0,
+            snapshot: snapshot.clone(),
+            tabu: vec![((0, 1), 3)],
+            trace: vec![],
+            stats: SearchStats::default(),
+        };
+        let group: PtsMsg<Qap> = PtsMsg::GroupReport {
+            shard: 0,
+            global: 0,
+            cost: 1.0,
+            snapshot: snapshot.clone(),
+            tabu: vec![((0, 1), 3)],
+            trace: vec![],
+            stats: SearchStats::default(),
+            forced: 2,
+        };
+        assert!(group.wire_size() >= report.wire_size());
+        // And a GroupBroadcast weighs exactly what a Broadcast weighs —
+        // it is the same payload routed one level differently.
+        let bcast: PtsMsg<Qap> = PtsMsg::Broadcast {
+            global: 0,
+            snapshot: snapshot.clone(),
+            tabu: vec![],
+        };
+        let gbcast: PtsMsg<Qap> = PtsMsg::GroupBroadcast {
+            global: 0,
+            snapshot,
+            tabu: vec![],
+        };
+        assert_eq!(gbcast.wire_size(), bcast.wire_size());
+        assert_eq!(gbcast.tag(), "GroupBroadcast");
     }
 
     #[test]

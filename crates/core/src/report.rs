@@ -1,10 +1,12 @@
 //! Unified run metrics across execution engines.
 //!
-//! Both engines produce the *same* report type: the virtual cluster fills
-//! it with virtual-time accounting (the paper's measurements), the thread
-//! engine with wall-clock and channel accounting. No field is
-//! engine-optional — code consuming a report never needs to know which
-//! substrate carried the run.
+//! All three engines produce the *same* report type: the virtual cluster
+//! fills it with virtual-time accounting (the paper's measurements), the
+//! thread engine with wall-clock and channel accounting, and the
+//! cooperative async engine with wall-clock accounting for its
+//! single-threaded task schedule. No field is engine-optional — code
+//! consuming a report never needs to know which substrate carried the
+//! run.
 
 use pts_vcluster::ProcStats;
 
@@ -13,14 +15,15 @@ use pts_vcluster::ProcStats;
 pub enum ClockDomain {
     /// Deterministic virtual seconds (simulated heterogeneous cluster).
     Virtual,
-    /// Host wall-clock seconds (native threads).
+    /// Host wall-clock seconds (native threads and the cooperative async
+    /// engine, which both execute in real time).
     Wall,
 }
 
 /// Metrics of one PTS run, engine-independent.
 #[derive(Clone, Debug)]
 pub struct RunReport {
-    /// Engine that carried the run ("sim", "threads").
+    /// Engine that carried the run ("sim", "threads", "async").
     pub engine: &'static str,
     /// Clock the search-time metrics are measured in.
     pub clock: ClockDomain,
@@ -31,9 +34,9 @@ pub struct RunReport {
     /// search time for the thread engine, host time for the sim engine).
     pub wall_seconds: f64,
     /// Per-process counters, indexed by rank (master = 0). The sim engine
-    /// reports full virtual-time accounting; the thread engine reports
-    /// message/byte/work counters and recv wait time (busy time is folded
-    /// into wall time and reported as 0).
+    /// reports full virtual-time accounting; the thread and async engines
+    /// report message/byte/work counters and recv wait time (busy time is
+    /// folded into wall time and reported as 0).
     pub per_proc: Vec<ProcStats>,
 }
 
@@ -60,7 +63,8 @@ impl RunReport {
 
     /// Fraction of total process-time spent computing rather than waiting.
     /// Meaningful for the sim engine (the paper's utilization measure);
-    /// the thread engine reports 0 busy time, hence 0.
+    /// the wall-clock engines (threads, async) report 0 busy time, hence
+    /// 0.
     pub fn utilization(&self) -> f64 {
         let busy: f64 = self.per_proc.iter().map(|p| p.busy_time).sum();
         let wait: f64 = self.per_proc.iter().map(|p| p.wait_time).sum();
@@ -68,15 +72,6 @@ impl RunReport {
             0.0
         } else {
             busy / (busy + wait)
-        }
-    }
-
-    /// View as the virtual cluster's report type (used by the deprecated
-    /// compatibility API).
-    pub fn to_cluster_report(&self) -> pts_vcluster::RunReport {
-        pts_vcluster::RunReport {
-            end_time: self.end_time,
-            per_proc: self.per_proc.clone(),
         }
     }
 }
@@ -109,9 +104,6 @@ mod tests {
         assert_eq!(r.total_messages(), 4);
         assert_eq!(r.total_bytes(), 400);
         assert!((r.utilization() - 0.5).abs() < 1e-12);
-        let cluster = r.to_cluster_report();
-        assert_eq!(cluster.end_time, 12.0);
-        assert_eq!(cluster.total_messages(), 4);
     }
 
     #[test]

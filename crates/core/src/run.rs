@@ -1,107 +1,18 @@
-//! Legacy run entry point (deprecated shims) and the sequential baseline.
+//! The sequential tabu search baseline.
 //!
-//! The enum-based [`Engine`] selection and [`run_pts`] free function are
-//! superseded by the [`crate::builder::Pts`] builder and
-//! [`crate::engine::ExecutionEngine`] trait objects; they remain as thin
-//! wrappers so downstream diffs stay reviewable for one release.
+//! The enum-based `Engine` selection and `run_pts` free function (and the
+//! placement-only `run_on_sim*` / `run_on_threads*` wrappers) that lived
+//! here were deprecated in 0.2.0 and have been removed; use
+//! [`crate::builder::Pts::builder`] with an
+//! [`crate::engine::ExecutionEngine`] trait object instead.
 
-use crate::builder::Pts;
 use crate::config::PtsConfig;
-use crate::engine::{SimEngine, ThreadEngine};
-use crate::placement_problem::MasterOutcome;
 use pts_netlist::{Netlist, TimingGraph};
 use pts_place::eval::Evaluator;
 use pts_place::init::random_placement;
 use pts_tabu::aspiration::Aspiration;
 use pts_tabu::search::{SearchResult, TabuPolicy, TabuSearch, TabuSearchConfig};
-use pts_vcluster::ClusterSpec;
 use std::sync::Arc;
-
-/// Which execution engine carries the run.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `SimEngine` / `ThreadEngine` via the `ExecutionEngine` trait"
-)]
-#[derive(Clone, Debug)]
-pub enum Engine {
-    /// Deterministic virtual-time cluster (the paper's testbed substitute).
-    Sim(ClusterSpec),
-    /// Native OS threads: real wall-clock parallelism.
-    Threads,
-}
-
-/// Result of [`run_pts`]. The modern equivalent is
-/// [`crate::builder::PlacementRunOutput`], whose [`crate::report::RunReport`]
-/// is never optional.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Pts::builder()` and `PlacementRunOutput` (unified `RunReport`)"
-)]
-#[derive(Clone, Debug)]
-pub struct PtsOutput {
-    /// Search outcome with exact raw placement objectives.
-    pub outcome: MasterOutcome,
-    /// Cluster metrics (sim engine only).
-    pub sim_report: Option<pts_vcluster::RunReport>,
-    /// Real wall-clock duration of the run.
-    pub wall_seconds: f64,
-}
-
-/// Grandfather configurations that were valid under the old `[0, 1]`
-/// report-fraction rule: `0.0` clamped the quorum to one child, which the
-/// smallest positive fraction reproduces exactly. Shared by the deprecated
-/// entry points so old callers keep their old runtime behaviour.
-pub(crate) fn legacy_normalized(cfg: &PtsConfig) -> PtsConfig {
-    let mut cfg = *cfg;
-    if cfg.report_fraction == 0.0 {
-        cfg.report_fraction = f64::MIN_POSITIVE;
-    }
-    cfg
-}
-
-/// Build a validated run from a legacy config, panicking like the old
-/// entry points did on configs that were invalid under the old rules too.
-pub(crate) fn legacy_run(cfg: &PtsConfig) -> crate::builder::PtsRun {
-    Pts::from_config(legacy_normalized(cfg))
-        .build()
-        .expect("invalid PTS configuration")
-}
-
-/// Run parallel tabu search for a circuit on the chosen engine.
-///
-/// Panics on an invalid configuration (the historical behaviour); the
-/// builder API returns a typed error instead. A `report_fraction` of
-/// `0.0` — valid under the old API — is normalized to the smallest
-/// positive fraction, preserving its old quorum-of-one semantics.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Pts::builder()…build()?.run_placement(netlist, &engine)`"
-)]
-#[allow(deprecated)]
-pub fn run_pts(cfg: &PtsConfig, netlist: Arc<Netlist>, engine: Engine) -> PtsOutput {
-    // Historical behaviour: wall_seconds covers the whole call, including
-    // domain setup (timing graph + scheme freeze), not just engine time.
-    let wall = std::time::Instant::now();
-    let run = legacy_run(cfg);
-    match engine {
-        Engine::Sim(cluster) => {
-            let out = run.run_placement(netlist, &SimEngine::new(cluster));
-            PtsOutput {
-                outcome: out.outcome,
-                sim_report: Some(out.report.to_cluster_report()),
-                wall_seconds: wall.elapsed().as_secs_f64(),
-            }
-        }
-        Engine::Threads => {
-            let out = run.run_placement(netlist, &ThreadEngine);
-            PtsOutput {
-                outcome: out.outcome,
-                sim_report: None,
-                wall_seconds: wall.elapsed().as_secs_f64(),
-            }
-        }
-    }
-}
 
 /// Sequential tabu search baseline with parameters matched to a PTS config
 /// (one worker doing `global_iters × local_iters` iterations, no
@@ -129,14 +40,13 @@ pub fn run_sequential_baseline(
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use pts_netlist::highway;
-    use pts_vcluster::topology::paper_cluster;
 
-    fn tiny_cfg() -> PtsConfig {
-        PtsConfig {
+    #[test]
+    fn sequential_baseline_improves_cost() {
+        let cfg = PtsConfig {
             n_tsw: 2,
             n_clw: 2,
             global_iters: 2,
@@ -144,77 +54,7 @@ mod tests {
             candidates: 4,
             depth: 2,
             ..PtsConfig::default()
-        }
-    }
-
-    #[test]
-    fn sim_run_improves_cost() {
-        let out = run_pts(
-            &tiny_cfg(),
-            Arc::new(highway()),
-            Engine::Sim(paper_cluster()),
-        );
-        assert!(
-            out.outcome.best_cost < out.outcome.initial_cost,
-            "PTS must improve over the initial solution ({} vs {})",
-            out.outcome.best_cost,
-            out.outcome.initial_cost
-        );
-        let report = out.sim_report.expect("sim metrics present");
-        assert!(report.end_time > 0.0);
-        assert!(report.total_messages() > 0);
-        assert_eq!(out.outcome.best_per_global_iter.len(), 2);
-        out.outcome.best_placement.check_consistency().unwrap();
-    }
-
-    #[test]
-    fn sim_run_is_deterministic() {
-        let a = run_pts(
-            &tiny_cfg(),
-            Arc::new(highway()),
-            Engine::Sim(paper_cluster()),
-        );
-        let b = run_pts(
-            &tiny_cfg(),
-            Arc::new(highway()),
-            Engine::Sim(paper_cluster()),
-        );
-        assert_eq!(a.outcome.best_cost, b.outcome.best_cost);
-        assert_eq!(
-            a.outcome.best_per_global_iter,
-            b.outcome.best_per_global_iter
-        );
-        assert_eq!(
-            a.sim_report.unwrap().end_time,
-            b.sim_report.unwrap().end_time
-        );
-        assert_eq!(a.outcome.best_placement, b.outcome.best_placement);
-    }
-
-    #[test]
-    fn thread_run_improves_cost() {
-        let out = run_pts(&tiny_cfg(), Arc::new(highway()), Engine::Threads);
-        assert!(out.outcome.best_cost < out.outcome.initial_cost);
-        assert!(out.sim_report.is_none());
-        out.outcome.best_placement.check_consistency().unwrap();
-    }
-
-    #[test]
-    fn legacy_zero_report_fraction_still_runs() {
-        // 0.0 was valid under the old API ([0,1], quorum clamped to 1);
-        // the shim must keep accepting it instead of panicking.
-        let mut cfg = tiny_cfg();
-        cfg.n_tsw = 3;
-        cfg.report_fraction = 0.0;
-        let out = run_pts(&cfg, Arc::new(highway()), Engine::Sim(paper_cluster()));
-        assert!(out.outcome.best_cost < out.outcome.initial_cost);
-        // Quorum of one: the other two TSWs are forced every round.
-        assert_eq!(out.outcome.forced_reports, 2 * cfg.global_iters as u64);
-    }
-
-    #[test]
-    fn sequential_baseline_improves_cost() {
-        let cfg = tiny_cfg();
+        };
         let r = run_sequential_baseline(&cfg, Arc::new(highway()));
         assert!(r.best_cost < 1.0);
         assert!(!r.trace.is_empty());

@@ -51,6 +51,15 @@ pub trait Transport<P: PtsProblem> {
     }
 }
 
+/// Protocol-anomaly note: a message was dropped because it did not fit
+/// the protocol state (stale round, duplicate child, unexpected type).
+/// These indicate a misbehaving peer — never a normal execution path — so
+/// they go to stderr unconditionally; in debug builds they are loud but
+/// non-fatal, matching the release behaviour the regression tests pin.
+pub(crate) fn protocol_warn(rank: usize, what: &str) {
+    eprintln!("pts protocol [rank {rank}]: {what}");
+}
+
 /// Drive a protocol future built over a *blocking* transport.
 ///
 /// [`SimTransport`] and [`ThreadTransport`] block inside `poll` (the

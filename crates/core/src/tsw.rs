@@ -17,7 +17,7 @@
 use crate::config::{PtsConfig, SyncPolicy};
 use crate::domain::PtsDomain;
 use crate::messages::PtsMsg;
-use crate::transport::Transport;
+use crate::transport::{protocol_warn, Transport};
 use pts_tabu::aspiration::Aspiration;
 use pts_tabu::compound::CompoundMove;
 use pts_tabu::problem::SearchProblem;
@@ -42,7 +42,10 @@ pub async fn run_tsw<D: PtsDomain, T: Transport<D::Problem>>(
     let n_items = domain.domain_size();
     let my_range = cfg.tsw_range(tsw_index, n_items);
     let clws = cfg.clw_ranks(tsw_index);
-    let master = cfg.master_rank();
+    // Under a sharded topology reports go to this TSW's group sub-master
+    // rather than rank 0; all control traffic (ForceReport, Broadcast,
+    // Stop) likewise arrives from the parent.
+    let parent = cfg.parent_of_tsw(tsw_index);
     // MPSS (paper default): one shared diversification stream — TSWs still
     // diverge because each diversifies over a *different* item range.
     let div_salt = if cfg.differentiate_streams {
@@ -150,9 +153,15 @@ pub async fn run_tsw<D: PtsDomain, T: Transport<D::Problem>>(
             }
         }
 
-        // --- Report to the master ----------------------------------------
+        // --- Report to the parent collector ------------------------------
+        // Exactly one Report per round leaves this TSW: the force path
+        // above only *hastens* this send (it breaks out of the local
+        // iterations), it never adds a second one — and any ForceReport
+        // arriving after this point (the force-after-report race: the
+        // parent forced us while our report was already in flight) is
+        // recognized as stale in the adoption loop below and dropped.
         t.send(
-            master,
+            parent,
             PtsMsg::Report {
                 tsw: tsw_index,
                 global: g,
@@ -181,12 +190,20 @@ pub async fn run_tsw<D: PtsDomain, T: Transport<D::Problem>>(
                     }
                     return;
                 }
-                // Stale: a ForceReport that crossed our report, or leftover
-                // control traffic.
+                // Stale: a ForceReport that crossed our round-`g` report
+                // (it must NOT trigger a second report — the parent
+                // already has ours in flight), or leftover control
+                // traffic from the finished round.
                 PtsMsg::ForceReport { .. } | PtsMsg::Broadcast { .. } => {}
                 PtsMsg::Proposal { .. } | PtsMsg::CutShort { .. } => {}
                 other => {
-                    debug_assert!(false, "TSW got unexpected {}", other.tag());
+                    protocol_warn(
+                        t.rank(),
+                        &format!(
+                            "TSW dropping unexpected {} while awaiting Broadcast",
+                            other.tag()
+                        ),
+                    );
                 }
             }
         }
@@ -235,7 +252,17 @@ async fn collect_proposals<D: PtsDomain, T: Transport<D::Problem>>(
                 moves,
                 cost,
             } if s == seq => {
-                debug_assert!(got[clw].is_none(), "duplicate proposal from CLW {clw}");
+                // Same hardening as the master's collection: a duplicate
+                // (or out-of-range) proposal must not double-count
+                // `n_got`, which would end the collection with a missing
+                // slot and poison the round.
+                if clw >= n || got[clw].is_some() {
+                    protocol_warn(
+                        t.rank(),
+                        &format!("TSW rejecting duplicate/out-of-range Proposal from CLW {clw}"),
+                    );
+                    continue;
+                }
                 got[clw] = Some((moves, cost));
                 n_got += 1;
                 if cfg.clw_sync == SyncPolicy::HalfReport && n_got >= quorum && n_got < n {
@@ -250,7 +277,13 @@ async fn collect_proposals<D: PtsDomain, T: Transport<D::Problem>>(
             }
             PtsMsg::ForceReport { .. } | PtsMsg::CutShort { .. } => {}
             other => {
-                debug_assert!(false, "TSW collecting proposals got {}", other.tag());
+                protocol_warn(
+                    t.rank(),
+                    &format!(
+                        "TSW dropping unexpected {} while collecting proposals",
+                        other.tag()
+                    ),
+                );
             }
         }
     }

@@ -1,0 +1,419 @@
+//! Release-mode protocol hardening regressions.
+//!
+//! The collection loops used to guard stale (`global != g`), duplicate
+//! (`reported[child]`), and unexpected messages with `debug_assert!` only:
+//! in a release build a late or duplicated report was silently merged into
+//! the wrong round, double-incremented `n_rep`, and corrupted or
+//! deadlocked the round. These tests drive the protocol loops directly
+//! through a scripted `Transport`, inject exactly those malformed flows,
+//! and pin the hardened behaviour — drop stale, reject duplicates, ignore
+//! unexpected — in BOTH debug and release profiles (CI runs the suite
+//! twice for this reason).
+
+use pts_core::config::PtsConfig;
+use pts_core::messages::PtsMsg;
+use pts_core::transport::{drive_sync, Transport};
+use pts_core::{master, tsw, PtsDomain, QapDomain, SyncPolicy};
+use pts_tabu::qap::Qap;
+use pts_tabu::search::SearchStats;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::task::Poll;
+
+/// A transport whose inbox is a pre-scripted message sequence: `recv`
+/// pops the script in order (panicking if the protocol asks for more
+/// messages than the script models — i.e. on a deadlocked round), and
+/// every outgoing message is recorded for assertions. `try_recv` always
+/// reports an empty mailbox: scripted messages model in-flight traffic
+/// that arrives at the loop's blocking receive points.
+struct ScriptTransport {
+    rank: usize,
+    clock: f64,
+    incoming: VecDeque<PtsMsg<Qap>>,
+    sent: Vec<(usize, PtsMsg<Qap>)>,
+}
+
+impl ScriptTransport {
+    fn new(rank: usize, script: Vec<PtsMsg<Qap>>) -> ScriptTransport {
+        ScriptTransport {
+            rank,
+            clock: 0.0,
+            incoming: script.into(),
+            sent: Vec::new(),
+        }
+    }
+
+    fn sent_tags(&self) -> Vec<(usize, &'static str)> {
+        self.sent.iter().map(|(dst, m)| (*dst, m.tag())).collect()
+    }
+
+    fn count_sent(&self, tag: &str) -> usize {
+        self.sent.iter().filter(|(_, m)| m.tag() == tag).count()
+    }
+}
+
+impl Transport<Qap> for ScriptTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn now(&self) -> f64 {
+        self.clock
+    }
+
+    fn compute(&mut self, work: f64) {
+        self.clock += work;
+    }
+
+    fn send(&mut self, dst: usize, msg: PtsMsg<Qap>) {
+        self.sent.push((dst, msg));
+    }
+
+    fn recv(&mut self) -> impl Future<Output = PtsMsg<Qap>> {
+        std::future::poll_fn(|_cx| {
+            Poll::Ready(self.incoming.pop_front().expect(
+                "protocol demanded more messages than the script models \
+                 (a malformed message was merged instead of dropped)",
+            ))
+        })
+    }
+
+    fn try_recv(&mut self) -> Option<PtsMsg<Qap>> {
+        None
+    }
+}
+
+fn report(tsw: usize, global: u32, cost: f64, snapshot: Vec<usize>) -> PtsMsg<Qap> {
+    PtsMsg::Report {
+        tsw,
+        global,
+        cost,
+        snapshot,
+        tabu: vec![],
+        trace: vec![],
+        stats: SearchStats {
+            iterations: 1,
+            accepted: 1,
+            rejected_tabu: 0,
+            aspirated: 0,
+            improved_best: 1,
+        },
+    }
+}
+
+#[test]
+fn master_drops_stale_rejects_duplicate_and_ignores_unexpected_reports() {
+    let cfg = PtsConfig {
+        n_tsw: 2,
+        n_clw: 1,
+        global_iters: 2,
+        tsw_sync: SyncPolicy::WaitAll,
+        clw_sync: SyncPolicy::WaitAll,
+        ..PtsConfig::default()
+    };
+    cfg.validate().unwrap();
+    let domain = QapDomain::random(8, 3);
+    let initial = domain.initial(cfg.seed);
+    let initial_cost = domain.cost_of(&initial);
+    assert!(
+        initial_cost > 10.0,
+        "script costs must read as improvements"
+    );
+
+    let snap = initial.clone();
+    let script = vec![
+        // --- round 0 -----------------------------------------------------
+        report(0, 0, 5.0, snap.clone()),
+        // Duplicate from TSW 0, better cost: must be REJECTED, not merged
+        // (and must not double-increment n_rep, which would end the round
+        // before TSW 1 reported).
+        report(0, 0, 1.0, snap.clone()),
+        // A message type the master never expects: ignored.
+        PtsMsg::Proposal {
+            clw: 0,
+            seq: 9,
+            moves: vec![],
+            cost: 0.0,
+        },
+        // TSW index outside this collector's group: ignored.
+        report(7, 0, 0.25, snap.clone()),
+        report(1, 0, 6.0, snap.clone()),
+        // --- round 1 -----------------------------------------------------
+        // Stale report from round 0 arriving late: dropped, not merged
+        // into round 1.
+        report(0, 0, 0.5, snap.clone()),
+        report(0, 1, 4.0, snap.clone()),
+        report(1, 1, 4.5, snap.clone()),
+    ];
+
+    let mut t = ScriptTransport::new(cfg.master_rank(), script);
+    let outcome = drive_sync(master::run_master(&mut t, &cfg, &domain, initial));
+
+    // The malformed messages influenced nothing: neither the duplicate's
+    // 1.0 nor the stale 0.5 nor the out-of-range 0.25 became a best.
+    assert_eq!(outcome.best_per_global_iter, vec![5.0, 4.0]);
+    assert_eq!(outcome.best_cost, 4.0);
+    assert_eq!(outcome.forced_reports, 0);
+    // Stats folded once per TSW on the final round only — the duplicate
+    // and stale reports did not inflate them.
+    assert_eq!(outcome.tsw_stats.iterations, 2);
+    // Outbound protocol unchanged: Init to every worker, one Broadcast
+    // per TSW after round 0, Stop per TSW after the final round.
+    assert_eq!(t.count_sent("Init"), cfg.total_procs() - 1);
+    assert_eq!(t.count_sent("Broadcast"), 2);
+    assert_eq!(t.count_sent("Stop"), 2);
+    assert_eq!(t.count_sent("ForceReport"), 0);
+    assert!(t.incoming.is_empty(), "script fully consumed");
+}
+
+#[test]
+fn sub_master_applies_local_quorum_and_rejects_malformed_reports() {
+    // 4 TSWs, fan-out 2: sub-master 0 collects TSWs {0, 1} with a local
+    // quorum of 1 under HalfReport, reduces to a group best, and forwards
+    // exactly one GroupReport — a duplicate report must neither win the
+    // reduction nor end the round early.
+    let cfg = PtsConfig {
+        n_tsw: 4,
+        n_clw: 1,
+        shard_fanout: 2,
+        global_iters: 1,
+        tsw_sync: SyncPolicy::HalfReport,
+        ..PtsConfig::default()
+    };
+    cfg.validate().unwrap();
+    let domain = QapDomain::random(8, 5);
+    let initial = domain.initial(cfg.seed);
+    assert!(domain.cost_of(&initial) > 10.0);
+
+    let snap = initial.clone();
+    let script = vec![
+        PtsMsg::Init {
+            snapshot: snap.clone(),
+        },
+        report(0, 0, 3.0, snap.clone()),
+        // Duplicate from TSW 0 with a better cost: rejected outright.
+        report(0, 0, 0.1, snap.clone()),
+        report(1, 0, 2.0, snap.clone()),
+        PtsMsg::Stop,
+    ];
+
+    let shard = 0;
+    let mut t = ScriptTransport::new(cfg.shard_rank(shard), script);
+    drive_sync(master::run_sub_master(&mut t, &cfg, shard, &domain));
+
+    // Init fanned out to the group's TSWs and their CLWs.
+    let inits: Vec<usize> = t
+        .sent
+        .iter()
+        .filter(|(_, m)| m.tag() == "Init")
+        .map(|(dst, _)| *dst)
+        .collect();
+    assert_eq!(
+        inits,
+        vec![
+            cfg.tsw_rank(0),
+            cfg.clw_rank(0, 0),
+            cfg.tsw_rank(1),
+            cfg.clw_rank(1, 0)
+        ]
+    );
+    // Local force policy: quorum of 1 in a group of 2 — after TSW 0's
+    // report, TSW 1 is forced by the SUB-master, not the root.
+    let forces: Vec<usize> = t
+        .sent
+        .iter()
+        .filter(|(_, m)| m.tag() == "ForceReport")
+        .map(|(dst, _)| *dst)
+        .collect();
+    assert_eq!(forces, vec![cfg.tsw_rank(1)]);
+    // Exactly one upward GroupReport, carrying the true group best (the
+    // duplicate's 0.1 lost) and the local force count.
+    let groups: Vec<&PtsMsg<Qap>> = t
+        .sent
+        .iter()
+        .filter(|(dst, m)| *dst == cfg.master_rank() && m.tag() == "GroupReport")
+        .map(|(_, m)| m)
+        .collect();
+    assert_eq!(groups.len(), 1);
+    match groups[0] {
+        PtsMsg::GroupReport {
+            shard: s,
+            global,
+            cost,
+            forced,
+            stats,
+            ..
+        } => {
+            assert_eq!(*s, shard);
+            assert_eq!(*global, 0);
+            assert_eq!(*cost, 2.0);
+            assert_eq!(*forced, 1);
+            // Final round: both (and only both) TSW stats folded.
+            assert_eq!(stats.iterations, 2);
+        }
+        _ => unreachable!(),
+    }
+    // Stop relayed to the TSW group (CLWs are stopped by their TSWs).
+    let stops: Vec<usize> = t
+        .sent
+        .iter()
+        .filter(|(_, m)| m.tag() == "Stop")
+        .map(|(dst, _)| *dst)
+        .collect();
+    assert_eq!(stops, vec![cfg.tsw_rank(0), cfg.tsw_rank(1)]);
+}
+
+#[test]
+fn tsw_ignores_force_report_arriving_after_its_own_report() {
+    // The force-after-report race: the parent reaches quorum and forces
+    // this TSW while its round-0 report is already in flight. The TSW
+    // must NOT answer with a second report — the parent's duplicate
+    // rejection is the backstop, but the TSW should not produce the
+    // duplicate in the first place.
+    let cfg = PtsConfig {
+        n_tsw: 1,
+        n_clw: 1,
+        global_iters: 1,
+        local_iters: 1,
+        candidates: 1,
+        depth: 1,
+        diversify: false,
+        ..PtsConfig::default()
+    };
+    cfg.validate().unwrap();
+    let domain = QapDomain::random(8, 7);
+    let initial = domain.initial(cfg.seed);
+
+    let tsw_index = 0;
+    let script = vec![
+        PtsMsg::Init {
+            snapshot: initial.clone(),
+        },
+        // The single local iteration's CLW proposal.
+        PtsMsg::Proposal {
+            clw: 0,
+            seq: 1,
+            moves: vec![(0, 1)],
+            cost: 0.0,
+        },
+        // Force crossing the TSW's just-sent round-0 report: stale.
+        PtsMsg::ForceReport { global: 0 },
+        PtsMsg::Stop,
+    ];
+
+    let mut t = ScriptTransport::new(cfg.tsw_rank(tsw_index), script);
+    drive_sync(tsw::run_tsw(&mut t, &cfg, tsw_index, &domain));
+
+    assert_eq!(
+        t.count_sent("Report"),
+        1,
+        "a forced TSW that already reported must not report twice: {:?}",
+        t.sent_tags()
+    );
+    // The one report went to the parent (the root, flat topology).
+    let (dst, _) = t
+        .sent
+        .iter()
+        .find(|(_, m)| m.tag() == "Report")
+        .expect("one report");
+    assert_eq!(*dst, cfg.master_rank());
+    assert!(t.incoming.is_empty());
+}
+
+#[test]
+fn tsw_force_during_collection_still_yields_one_report() {
+    // ForceReport arriving mid-collection (the legitimate force path):
+    // the TSW cuts its CLWs, finishes the iteration, and reports exactly
+    // once; a second (duplicate) force while awaiting the broadcast is
+    // ignored.
+    let cfg = PtsConfig {
+        n_tsw: 2,
+        n_clw: 1,
+        global_iters: 1,
+        local_iters: 5,
+        candidates: 1,
+        depth: 2,
+        diversify: false,
+        ..PtsConfig::default()
+    };
+    cfg.validate().unwrap();
+    let domain = QapDomain::random(8, 9);
+    let initial = domain.initial(cfg.seed);
+
+    let tsw_index = 1;
+    let seq0 = ((tsw_index as u64) << 40) + 1;
+    let script = vec![
+        PtsMsg::Init {
+            snapshot: initial.clone(),
+        },
+        // Round 0, local iteration 0: the force arrives while the TSW is
+        // waiting for its CLW's proposal...
+        PtsMsg::ForceReport { global: 0 },
+        // ...then the (cut-short) proposal lands.
+        PtsMsg::Proposal {
+            clw: 0,
+            seq: seq0,
+            moves: vec![(2, 3)],
+            cost: 0.0,
+        },
+        // Duplicate force while the TSW awaits the broadcast: stale.
+        PtsMsg::ForceReport { global: 0 },
+        PtsMsg::Stop,
+    ];
+
+    let mut t = ScriptTransport::new(cfg.tsw_rank(tsw_index), script);
+    drive_sync(tsw::run_tsw(&mut t, &cfg, tsw_index, &domain));
+
+    assert_eq!(t.count_sent("Report"), 1, "{:?}", t.sent_tags());
+    // The force cut the remaining local iterations: only the first
+    // investigation was ever issued, and the straggling CLW was cut.
+    assert_eq!(t.count_sent("Investigate"), 1);
+    assert_eq!(t.count_sent("CutShort"), 1);
+    assert!(t.incoming.is_empty());
+}
+
+#[test]
+fn sharded_tsw_reports_to_its_group_sub_master() {
+    // Under the sharded topology the TSW's parent is its leaf sub-master,
+    // not rank 0: reports (and nothing else) must flow there.
+    let cfg = PtsConfig {
+        n_tsw: 4,
+        n_clw: 1,
+        shard_fanout: 2,
+        global_iters: 1,
+        local_iters: 1,
+        candidates: 1,
+        depth: 1,
+        diversify: false,
+        ..PtsConfig::default()
+    };
+    cfg.validate().unwrap();
+    let domain = QapDomain::random(8, 11);
+    let initial = domain.initial(cfg.seed);
+
+    let tsw_index = 2; // second group -> sub-master 1
+    let seq0 = ((tsw_index as u64) << 40) + 1;
+    let script = vec![
+        PtsMsg::Init {
+            snapshot: initial.clone(),
+        },
+        PtsMsg::Proposal {
+            clw: 0,
+            seq: seq0,
+            moves: vec![(0, 1)],
+            cost: 0.0,
+        },
+        PtsMsg::Stop,
+    ];
+
+    let mut t = ScriptTransport::new(cfg.tsw_rank(tsw_index), script);
+    drive_sync(tsw::run_tsw(&mut t, &cfg, tsw_index, &domain));
+
+    let (dst, _) = t
+        .sent
+        .iter()
+        .find(|(_, m)| m.tag() == "Report")
+        .expect("one report");
+    assert_eq!(*dst, cfg.parent_of_tsw(tsw_index));
+    assert_eq!(*dst, cfg.shard_rank(1));
+}

@@ -67,6 +67,7 @@ USAGE:
                [--engine sim|threads|async] [--sync half|all] [--no-diversify]
                [--differentiate] [--cost fuzzy|weighted] [--seed N]
                [--candidates N] [--depth N] [--report-fraction F]
+               [--shard-fanout N]   (0 = flat master, >= 2 = sub-master tree)
   pts sweep    --what clw|tsw [--max N] [--circuit NAME] [common options]
   pts generate --cells N [--seed N] [--out FILE]
   pts show     --file FILE
@@ -147,6 +148,7 @@ fn build_run(opts: &Opts) -> Result<PtsRun, String> {
         .candidates(opts.parse_num("candidates", 8usize)?)
         .depth(opts.parse_num("depth", 3usize)?)
         .report_fraction(opts.parse_num("report-fraction", 0.5f64)?)
+        .shard_fanout(opts.parse_num("shard-fanout", 0usize)?)
         .seed(opts.parse_num("seed", 0xC0FFEEu64)?);
     if opts.flag("no-diversify") {
         builder = builder.diversify(false);

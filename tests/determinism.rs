@@ -54,48 +54,14 @@ fn different_seeds_explore_differently() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn trait_engine_matches_deprecated_entry_point_bit_for_bit() {
-    // The deprecated `run_pts(.., Engine::Sim(..))` shim must reproduce
-    // the trait-based `SimEngine` results exactly — same best placement,
-    // same virtual timeline, same message counts.
-    use parallel_tabu_search::core::{run_pts, Engine};
-
-    let netlist = Arc::new(by_name("c532").unwrap());
-    let cfg = PtsConfig {
-        n_tsw: 3,
-        n_clw: 2,
-        global_iters: 3,
-        local_iters: 5,
-        seed: 7,
-        ..PtsConfig::default()
-    };
-    let new = Pts::from_config(cfg)
-        .build()
-        .unwrap()
-        .run_placement(netlist.clone(), &SimEngine::paper());
-    let old = run_pts(&cfg, netlist, Engine::Sim(paper_cluster()));
-
-    assert_eq!(new.outcome.best_cost, old.outcome.best_cost);
-    assert_eq!(new.outcome.best_placement, old.outcome.best_placement);
-    assert_eq!(new.outcome.end_time, old.outcome.end_time);
-    assert_eq!(
-        new.outcome.best_per_global_iter,
-        old.outcome.best_per_global_iter
-    );
-    let old_report = old.sim_report.expect("legacy sim output carries metrics");
-    assert_eq!(new.report.total_messages(), old_report.total_messages());
-    assert_eq!(new.report.end_time, old_report.end_time);
-}
-
-#[test]
 fn sim_results_match_pinned_golden_values() {
     // Golden values captured from the redesigned engine at the point the
-    // `Engine::Sim` enum path was replaced — pinning them keeps the
-    // trait-based `SimEngine` bit-compatible with that lineage across
-    // future refactors (RNG salting, scheme freezing, scheduling). If a
-    // change is *supposed* to alter the search trajectory, update these
-    // constants deliberately in the same commit.
+    // old `Engine::Sim` enum path was replaced (the shim itself is gone
+    // as of the sharded-master PR) — pinning them keeps the trait-based
+    // `SimEngine` bit-compatible with that lineage across future
+    // refactors (RNG salting, scheme freezing, scheduling, sharding). If
+    // a change is *supposed* to alter the search trajectory, update
+    // these constants deliberately in the same commit.
     let netlist = Arc::new(by_name("highway").unwrap());
     let out = run(7, SyncPolicy::HalfReport, netlist);
     assert_eq!(out.outcome.initial_cost, 0.4545454545454546);
@@ -109,6 +75,35 @@ fn sim_results_match_pinned_golden_values() {
     assert_eq!(out.outcome.trace.points().len(), 11);
     assert_eq!(out.report.total_messages(), 357);
     assert_eq!(out.report.total_bytes(), 28476);
+}
+
+#[test]
+fn sharded_master_replays_identically() {
+    // The sub-master tree must not cost determinism: identical seeds,
+    // identical timeline — including the forces leaf sub-masters issue
+    // under their local HalfReport quorum.
+    let netlist = Arc::new(by_name("c532").unwrap());
+    let run = |nl| {
+        Pts::builder()
+            .tsw_workers(5)
+            .clw_workers(2)
+            .global_iters(3)
+            .local_iters(5)
+            .seed(7)
+            .sync(SyncPolicy::HalfReport)
+            .shard_fanout(2)
+            .build()
+            .unwrap()
+            .run_placement(nl, &SimEngine::paper())
+    };
+    let a = run(netlist.clone());
+    let b = run(netlist);
+    assert_eq!(a.outcome.best_cost, b.outcome.best_cost);
+    assert_eq!(a.outcome.best_placement, b.outcome.best_placement);
+    assert_eq!(a.outcome.end_time, b.outcome.end_time);
+    assert_eq!(a.outcome.forced_reports, b.outcome.forced_reports);
+    assert_eq!(a.report.total_messages(), b.report.total_messages());
+    assert_eq!(a.report.total_bytes(), b.report.total_bytes());
 }
 
 #[test]

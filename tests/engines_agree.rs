@@ -78,6 +78,169 @@ fn async_engine_matches_sim_best_cost_under_wait_all() {
 }
 
 #[test]
+fn sharded_master_with_covering_fanout_is_bit_identical_to_flat() {
+    // shard_fanout >= n_tsw keeps the flat topology: same ranks, same
+    // messages, same virtual timeline — the sharded code path must be
+    // byte-for-byte today's master.
+    let domain = QapDomain::random(24, 3);
+    let build = |fanout: usize, sync: SyncPolicy| {
+        Pts::builder()
+            .tsw_workers(3)
+            .clw_workers(2)
+            .global_iters(3)
+            .local_iters(4)
+            .candidates(5)
+            .depth(2)
+            .sync(sync)
+            .shard_fanout(fanout)
+            .seed(0xFEED)
+            .build()
+            .unwrap()
+    };
+    for sync in [SyncPolicy::WaitAll, SyncPolicy::HalfReport] {
+        let flat = build(0, sync).execute(&domain, &SimEngine::paper());
+        let covering = build(3, sync).execute(&domain, &SimEngine::paper());
+        assert_eq!(covering.report.num_procs(), flat.report.num_procs());
+        assert_eq!(
+            flat.outcome.best_per_global_iter,
+            covering.outcome.best_per_global_iter
+        );
+        assert_eq!(flat.outcome.best_cost, covering.outcome.best_cost);
+        assert_eq!(flat.outcome.best, covering.outcome.best);
+        assert_eq!(flat.outcome.end_time, covering.outcome.end_time);
+        assert_eq!(flat.outcome.forced_reports, covering.outcome.forced_reports);
+        assert_eq!(
+            flat.report.total_messages(),
+            covering.report.total_messages()
+        );
+        assert_eq!(flat.report.total_bytes(), covering.report.total_bytes());
+    }
+}
+
+#[test]
+fn sharded_tree_matches_flat_search_under_wait_all() {
+    // 6 TSWs at fan-out 2 build a two-level tree (3 leaf sub-masters, 2
+    // inner ones). Under WaitAll nothing depends on timing, and the
+    // hierarchical reduction (group best of group bests) must select the
+    // exact same global best every round as the flat all-to-one
+    // collection — sharding only redistributes WHERE the min is taken.
+    let domain = QapDomain::random(24, 5);
+    let build = |fanout: usize| {
+        Pts::builder()
+            .tsw_workers(6)
+            .clw_workers(1)
+            .global_iters(3)
+            .local_iters(4)
+            .candidates(5)
+            .depth(2)
+            .sync(SyncPolicy::WaitAll)
+            .shard_fanout(fanout)
+            .seed(0xFEED)
+            .build()
+            .unwrap()
+    };
+    let flat = build(0).execute(&domain, &SimEngine::paper());
+    let sharded = build(2).execute(&domain, &SimEngine::paper());
+    // 5 extra logical processes: the sub-master tree.
+    assert_eq!(
+        sharded.report.num_procs(),
+        flat.report.num_procs() + 5,
+        "6 TSWs at fan-out 2 need 3 + 2 sub-masters"
+    );
+    assert_eq!(
+        flat.outcome.best_per_global_iter, sharded.outcome.best_per_global_iter,
+        "tree reduction diverged from flat collection"
+    );
+    assert_eq!(flat.outcome.best_cost, sharded.outcome.best_cost);
+    assert_eq!(flat.outcome.best, sharded.outcome.best);
+    assert_eq!(sharded.outcome.forced_reports, 0);
+    // The merged trace reduces to the same best-cost curve (timestamps
+    // differ: tree routing shifts virtual arrival times).
+    assert_eq!(
+        flat.outcome.trace.best_cost(),
+        sharded.outcome.trace.best_cost()
+    );
+}
+
+#[test]
+fn sharded_async_matches_sharded_sim_and_replays_identically() {
+    // The sharded protocol must stay deterministic on both deterministic
+    // substrates, and they must agree with each other under WaitAll.
+    let domain = QapDomain::random(24, 7);
+    let run = Pts::builder()
+        .tsw_workers(4)
+        .clw_workers(2)
+        .global_iters(3)
+        .local_iters(3)
+        .candidates(4)
+        .depth(2)
+        .sync(SyncPolicy::WaitAll)
+        .shard_fanout(2)
+        .seed(0xBEEF)
+        .build()
+        .unwrap();
+    let sim = run.execute(&domain, &SimEngine::paper());
+    let task_a = run.execute(&domain, &AsyncEngine::new());
+    let task_b = run.execute(&domain, &AsyncEngine::new());
+    assert_eq!(
+        sim.outcome.best_per_global_iter,
+        task_a.outcome.best_per_global_iter
+    );
+    assert_eq!(sim.outcome.best_cost, task_a.outcome.best_cost);
+    assert_eq!(
+        task_a.outcome.best_per_global_iter,
+        task_b.outcome.best_per_global_iter
+    );
+    assert_eq!(
+        task_a.report.total_messages(),
+        task_b.report.total_messages()
+    );
+}
+
+#[test]
+fn sharded_async_thousand_workers_root_traffic_is_o_fanout() {
+    // The point of the tree: at n_tsw = 1024 with fan-out 32, the root
+    // exchanges messages with 32 sub-masters instead of 1024 TSWs (plus
+    // 1024 CLWs at Init) — O(fan-out) per round at every process.
+    let domain = QapDomain::random(64, 11);
+    let build = |fanout: usize| {
+        Pts::builder()
+            .tsw_workers(1024)
+            .clw_workers(1)
+            .global_iters(2)
+            .local_iters(2)
+            .candidates(4)
+            .depth(2)
+            .sync(SyncPolicy::WaitAll)
+            .shard_fanout(fanout)
+            .differentiate_streams(true)
+            .build()
+            .unwrap()
+    };
+    let sharded = build(32).execute(&domain, &AsyncEngine::new());
+    // 1 master + 1024 TSWs + 1024 CLWs + 32 sub-masters.
+    assert_eq!(sharded.report.num_procs(), 2081);
+    assert!(sharded.outcome.best_cost < sharded.outcome.initial_cost);
+    let root = &sharded.report.per_proc[0];
+    // 2 rounds x 32 GroupReports in; 32 Inits + 32 GroupBroadcasts + 32
+    // Stops out.
+    assert_eq!(root.messages_received, 64);
+    assert_eq!(root.messages_sent, 96);
+
+    // Same search, flat: the root exchanges O(n_tsw) messages (2048
+    // worker Inits out, 2048 reports in) — and the best-cost trajectory
+    // is identical, so sharding traded nothing but topology.
+    let flat = build(0).execute(&domain, &AsyncEngine::new());
+    assert_eq!(
+        flat.outcome.best_per_global_iter,
+        sharded.outcome.best_per_global_iter
+    );
+    let flat_root = &flat.report.per_proc[0];
+    assert_eq!(flat_root.messages_received, 2048);
+    assert!(flat_root.messages_sent >= 2048 + 1024);
+}
+
+#[test]
 fn async_engine_handles_a_thousand_workers() {
     // The async engine's reason to exist: worker counts far past what
     // one-OS-thread-per-process engines can carry. 1000 TSWs + master +
