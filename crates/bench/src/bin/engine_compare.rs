@@ -1,11 +1,13 @@
 //! Engine comparison — the three execution substrates at growing worker
-//! counts, flat vs sharded master.
+//! counts, flat vs sharded master, full vs delta snapshot wire format.
 //!
 //! Not a paper figure: the paper had one substrate (a twelve-workstation
-//! PVM cluster) and one flat master. This harness measures what each of
-//! our engines costs as `n_tsw` scales through 4 → 64 → 1024 on one host,
-//! and what the sharded master (sub-master collection tree,
-//! `shard_fanout = sqrt(n_tsw)`) does to the root's message load:
+//! PVM cluster), one flat master, and full-snapshot messages. This
+//! harness measures what each of our engines costs as `n_tsw` scales
+//! through 4 → 64 → 1024 on one host, what the sharded master
+//! (sub-master collection tree, `shard_fanout = sqrt(n_tsw)`) does to the
+//! root's message load, and what the delta-encoded snapshot protocol
+//! saves in simulated wire bytes and real snapshot allocations:
 //!
 //! * `sim` and `threads` spend one OS thread per logical process — at
 //!   `n_tsw = 1024` that is 2049 threads, which is where hosts start to
@@ -14,16 +16,36 @@
 //!   runs every point, flat and sharded;
 //! * the `root msgs` column counts rank 0's sent+received messages: flat
 //!   collection is O(`n_tsw`) at the root, the sharded tree is
-//!   O(fan-out) per round at every process.
+//!   O(fan-out) per round at every process;
+//! * `wire MB` is total simulated traffic, `snap allocs` the number of
+//!   full-solution materializations — both shrink under the (default)
+//!   delta snapshot mode.
 //!
-//! The search itself is identical protocol code throughout, so best cost
-//! should be comparable across engines at each size while host cost
-//! (wall seconds) and root load diverge sharply.
+//! ## The wire benchmark (`BENCH_wire.json`)
+//!
+//! A dedicated delta-vs-full pair at `n_tsw = 1024` (async engine,
+//! QAP-256, adaptive fan-out 32, WaitAll so both modes are provably the
+//! same search) measures the per-round snapshot payload bytes and
+//! snapshot allocations of each mode and writes the baseline to
+//! `BENCH_wire.json` at the workspace root. CI reruns it with
+//! `--wire-check`: the fresh delta-mode per-round bytes must not regress
+//! more than 10% over the committed baseline, and the delta/full
+//! reduction must stay ≥ 5×.
+//!
+//! Flags: `--wire-only` runs just the wire pair and rewrites the
+//! baseline (the only mode that writes it); `--wire-check` runs just
+//! the wire pair and *compares* (exit 1 on regression). The default
+//! run prints the full table plus the wire pair and leaves the
+//! committed baseline untouched.
 
 use pts_bench::emit;
-use pts_core::{AsyncEngine, ExecutionEngine, Pts, QapDomain, RunBuilder, SimEngine, ThreadEngine};
+use pts_core::{
+    take_snapshot_meter, AsyncEngine, ExecutionEngine, Pts, QapDomain, RunBuilder, SimEngine,
+    SnapshotMeter, SnapshotMode, ThreadEngine,
+};
 use pts_util::csv::CsvWriter;
 use pts_util::table::{fmt_f64, Table};
+use std::path::PathBuf;
 
 fn builder(n_tsw: usize) -> RunBuilder {
     Pts::builder()
@@ -37,8 +59,207 @@ fn builder(n_tsw: usize) -> RunBuilder {
         .seed(0xC0FFEE)
 }
 
+/// One wire-benchmark run: per-round snapshot payload bytes, snapshot
+/// allocations, wall seconds, and the best cost (for the
+/// trajectory-unchanged assertion).
+struct WireRun {
+    bytes_per_round: f64,
+    allocs: u64,
+    wall_seconds: f64,
+    best_cost: f64,
+    meter: SnapshotMeter,
+}
+
+/// The fixed wire-benchmark configuration: the communication-bound
+/// regime the delta protocol targets — 1024 TSWs shipping QAP-256
+/// solutions every round through the adaptive collection tree.
+const WIRE_N_TSW: usize = 1024;
+const WIRE_QAP_N: usize = 256;
+const WIRE_GLOBAL_ITERS: u32 = 2;
+
+fn wire_run(domain: &QapDomain, mode: SnapshotMode) -> WireRun {
+    let run = Pts::builder()
+        .tsw_workers(WIRE_N_TSW)
+        .clw_workers(1)
+        .global_iters(WIRE_GLOBAL_ITERS)
+        .local_iters(2)
+        .candidates(4)
+        .depth(2)
+        .differentiate_streams(true)
+        .sync(pts_core::SyncPolicy::WaitAll)
+        .shard_fanout_auto()
+        .snapshot_mode(mode)
+        .seed(0xC0FFEE)
+        .build()
+        .expect("wire benchmark config is valid");
+    let _ = take_snapshot_meter(); // drain
+    let out = run.execute(domain, &AsyncEngine::new());
+    let meter = take_snapshot_meter();
+    WireRun {
+        bytes_per_round: meter.round_payload_bytes as f64 / WIRE_GLOBAL_ITERS as f64,
+        allocs: meter.allocs,
+        wall_seconds: out.report.wall_seconds,
+        best_cost: out.outcome.best_cost,
+        meter,
+    }
+}
+
+/// Workspace root (this crate lives at `<root>/crates/bench`).
+fn workspace_root() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p
+}
+
+fn baseline_path() -> PathBuf {
+    workspace_root().join("BENCH_wire.json")
+}
+
+/// Extract `"key": <number>` from the flat baseline JSON (the file is
+/// machine-written with unique keys; no general parser needed offline).
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Run the delta-vs-full wire pair; returns (delta, full, reduction).
+fn measure_wire() -> (WireRun, WireRun, f64) {
+    println!(
+        "== Wire benchmark: delta vs full snapshots, n_tsw = {WIRE_N_TSW}, QAP-{WIRE_QAP_N}, \
+         async engine, shard fan-out auto =="
+    );
+    let domain = QapDomain::random(WIRE_QAP_N, 17);
+    let full = wire_run(&domain, SnapshotMode::Full);
+    let delta = wire_run(&domain, SnapshotMode::Delta);
+    assert_eq!(
+        delta.best_cost, full.best_cost,
+        "delta mode changed the search outcome"
+    );
+    let reduction = full.bytes_per_round / delta.bytes_per_round;
+    println!(
+        "full : {:>12.0} snapshot B/round  {:>8} snapshot allocs  {:>7.3} s wall",
+        full.bytes_per_round, full.allocs, full.wall_seconds
+    );
+    println!(
+        "delta: {:>12.0} snapshot B/round  {:>8} snapshot allocs  {:>7.3} s wall",
+        delta.bytes_per_round, delta.allocs, delta.wall_seconds
+    );
+    println!(
+        "reduction: {reduction:.1}x per-round snapshot bytes (same best cost {:.1}; \
+         Init fan-out excluded: {} B, identical in both modes)",
+        full.best_cost, full.meter.init_payload_bytes
+    );
+    println!(
+        "(zero-copy Arc fan-out: {} snapshot-bearing sends per run would each have been a deep \
+         copy before the payload redesign — now {} / {} materializations in full / delta mode.)",
+        full.meter.payload_sends, full.allocs, delta.allocs
+    );
+    (delta, full, reduction)
+}
+
+fn write_baseline(delta: &WireRun, full: &WireRun, reduction: f64) {
+    let path = baseline_path();
+    let json = format!(
+        "{{\n  \"n_tsw\": {WIRE_N_TSW},\n  \"qap_n\": {WIRE_QAP_N},\n  \
+         \"global_iters\": {WIRE_GLOBAL_ITERS},\n  \
+         \"engine\": \"async\",\n  \"shard_fanout\": \"auto\",\n  \
+         \"full_snapshot_bytes_per_round\": {:.0},\n  \
+         \"delta_snapshot_bytes_per_round\": {:.0},\n  \
+         \"snapshot_bytes_reduction\": {:.2},\n  \
+         \"full_snapshot_allocs\": {},\n  \"delta_snapshot_allocs\": {},\n  \
+         \"full_wall_seconds\": {:.3},\n  \"delta_wall_seconds\": {:.3},\n  \
+         \"best_cost\": {:.4}\n}}\n",
+        full.bytes_per_round,
+        delta.bytes_per_round,
+        reduction,
+        full.allocs,
+        delta.allocs,
+        full.wall_seconds,
+        delta.wall_seconds,
+        full.best_cost,
+    );
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("[baseline] wrote {}", path.display()),
+        Err(e) => eprintln!("[baseline] failed to write {}: {e}", path.display()),
+    }
+}
+
+/// Compare a fresh wire run against the committed baseline. Returns
+/// `false` (and prints why) on regression.
+fn check_baseline(delta: &WireRun, reduction: f64) -> bool {
+    let path = baseline_path();
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("[wire-check] cannot read {}: {e}", path.display());
+            return false;
+        }
+    };
+    let committed = match json_number(&text, "delta_snapshot_bytes_per_round") {
+        Some(v) => v,
+        None => {
+            eprintln!("[wire-check] baseline is missing delta_snapshot_bytes_per_round");
+            return false;
+        }
+    };
+    let mut ok = true;
+    let limit = committed * 1.10;
+    if delta.bytes_per_round > limit {
+        eprintln!(
+            "[wire-check] REGRESSION: delta per-round snapshot bytes {:.0} exceed committed \
+             {committed:.0} by more than 10% (limit {limit:.0})",
+            delta.bytes_per_round
+        );
+        ok = false;
+    } else {
+        println!(
+            "[wire-check] delta per-round snapshot bytes {:.0} within 10% of committed {committed:.0}",
+            delta.bytes_per_round
+        );
+    }
+    if reduction < 5.0 {
+        eprintln!("[wire-check] REGRESSION: delta/full reduction {reduction:.2}x fell below 5x");
+        ok = false;
+    } else {
+        println!("[wire-check] delta/full reduction {reduction:.2}x (>= 5x required)");
+    }
+    ok
+}
+
 fn main() {
-    let full = std::env::var("PTS_FULL").map(|v| v == "1").unwrap_or(false);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wire_check = args.iter().any(|a| a == "--wire-check");
+    let wire_write = args.iter().any(|a| a == "--wire-only");
+
+    if !wire_check && !wire_write {
+        run_engine_table();
+    }
+
+    let (delta, full, reduction) = measure_wire();
+    if wire_check {
+        if !check_baseline(&delta, reduction) {
+            std::process::exit(1);
+        }
+    } else if wire_write {
+        // Only an explicit --wire-only rewrites the committed baseline —
+        // a plain table run must never silently re-anchor the CI gate.
+        write_baseline(&delta, &full, reduction);
+    } else {
+        println!(
+            "(committed baseline untouched: rewrite deliberately with --wire-only, \
+             compare with --wire-check)"
+        );
+    }
+}
+
+fn run_engine_table() {
+    let full_profile = std::env::var("PTS_FULL").map(|v| v == "1").unwrap_or(false);
     println!("== Engine comparison: sim vs threads vs async, flat vs sharded, at n_tsw = 4, 64, 1024 ==\n");
 
     // One QAP instance for the whole sweep; workers outnumber facilities
@@ -53,6 +274,8 @@ fn main() {
         "host wall s",
         "messages",
         "root msgs",
+        "wire MB",
+        "snap allocs",
         "logical procs",
     ]);
     let mut csv = CsvWriter::new([
@@ -63,6 +286,8 @@ fn main() {
         "wall_seconds",
         "messages",
         "root_messages",
+        "wire_mb",
+        "snapshot_allocs",
         "procs",
     ]);
 
@@ -96,13 +321,15 @@ fn main() {
                 // 2049+ threads; keep that behind the full profile. The
                 // sharded run is the async engine's headline, so the
                 // thread-backed engines only run it under PTS_FULL too.
-                let skip = (n_tsw >= 1024 || sharded) && name != "async" && !full;
+                let skip = (n_tsw >= 1024 || sharded) && name != "async" && !full_profile;
                 if skip {
                     table.row([
                         n_tsw.to_string(),
                         name.to_string(),
                         master.clone(),
                         "- (PTS_FULL=1)".to_string(),
+                        "-".to_string(),
+                        "-".to_string(),
                         "-".to_string(),
                         "-".to_string(),
                         "-".to_string(),
@@ -118,13 +345,18 @@ fn main() {
                         "skipped".to_string(),
                         "skipped".to_string(),
                         "skipped".to_string(),
+                        "skipped".to_string(),
+                        "skipped".to_string(),
                         run.config().total_procs().to_string(),
                     ]);
                     continue;
                 }
+                let _ = take_snapshot_meter(); // drain
                 let out = run.execute(&domain, engine);
+                let meter = take_snapshot_meter();
                 let root = &out.report.per_proc[0];
                 let root_msgs = root.messages_sent + root.messages_received;
+                let wire_mb = out.report.total_bytes() as f64 / 1e6;
                 table.row([
                     n_tsw.to_string(),
                     name.to_string(),
@@ -133,6 +365,8 @@ fn main() {
                     format!("{:.3}", out.report.wall_seconds),
                     out.report.total_messages().to_string(),
                     root_msgs.to_string(),
+                    format!("{wire_mb:.2}"),
+                    meter.allocs.to_string(),
                     out.report.num_procs().to_string(),
                 ]);
                 csv.row([
@@ -143,6 +377,8 @@ fn main() {
                     format!("{:.4}", out.report.wall_seconds),
                     out.report.total_messages().to_string(),
                     root_msgs.to_string(),
+                    format!("{wire_mb:.4}"),
+                    meter.allocs.to_string(),
                     out.report.num_procs().to_string(),
                 ]);
             }
@@ -152,4 +388,5 @@ fn main() {
     emit("engine_compare", &table, &csv);
     println!("\n(sim/threads at n_tsw = 1024 and all sharded sim/threads rows run only with PTS_FULL=1.)");
     println!("(root msgs: rank-0 sent+received — O(n_tsw) flat, O(fan-out) sharded.)");
+    println!("(wire MB / snap allocs: simulated traffic and full-solution materializations — both drop under the default delta snapshot mode; see BENCH_wire.json.)\n");
 }

@@ -22,7 +22,7 @@
 //! assert!(out.outcome.best_cost <= out.outcome.initial_cost);
 //! ```
 
-use crate::config::{CostKind, PtsConfig, SyncPolicy, WorkModel};
+use crate::config::{CostKind, PtsConfig, SnapshotMode, SyncPolicy, WorkModel};
 use crate::domain::{PtsDomain, SnapshotOf};
 use crate::engine::{EngineOutput, ExecutionEngine};
 use crate::placement_problem::{MasterOutcome, PlacementDomain};
@@ -112,12 +112,16 @@ impl Pts {
     pub fn builder() -> RunBuilder {
         RunBuilder {
             cfg: PtsConfig::default(),
+            auto_fanout: false,
         }
     }
 
     /// Start from an existing configuration (e.g. a CLI-parsed one).
     pub fn from_config(cfg: PtsConfig) -> RunBuilder {
-        RunBuilder { cfg }
+        RunBuilder {
+            cfg,
+            auto_fanout: false,
+        }
     }
 }
 
@@ -125,6 +129,10 @@ impl Pts {
 #[derive(Clone, Debug)]
 pub struct RunBuilder {
     cfg: PtsConfig,
+    /// Resolve `shard_fanout` to `PtsConfig::auto_shard_fanout(n_tsw)` at
+    /// build time (deferred so it sees the final worker count regardless
+    /// of setter order).
+    auto_fanout: bool,
 }
 
 impl RunBuilder {
@@ -253,6 +261,25 @@ impl RunBuilder {
     /// [`PtsConfig::shard_fanout`].
     pub fn shard_fanout(mut self, fanout: usize) -> Self {
         self.cfg.shard_fanout = fanout;
+        self.auto_fanout = false;
+        self
+    }
+
+    /// Pick the sharding fan-out automatically at build time:
+    /// `f ≈ sqrt(n_tsw)`, the balanced tree where the root and each leaf
+    /// collector own about the same number of children (flat when the
+    /// tree would not contract). See [`PtsConfig::auto_shard_fanout`].
+    pub fn shard_fanout_auto(mut self) -> Self {
+        self.auto_fanout = true;
+        self
+    }
+
+    /// Snapshot wire encoding: [`SnapshotMode::Delta`] (default — diff
+    /// against the last shared broadcast, bit-identical search
+    /// trajectory) or [`SnapshotMode::Full`] (the paper's always-full
+    /// format).
+    pub fn snapshot_mode(mut self, mode: SnapshotMode) -> Self {
+        self.cfg.snapshot_mode = mode;
         self
     }
 
@@ -270,7 +297,10 @@ impl RunBuilder {
     }
 
     /// Validate everything; a returned [`PtsRun`] is guaranteed runnable.
-    pub fn build(self) -> Result<PtsRun, ConfigError> {
+    pub fn build(mut self) -> Result<PtsRun, ConfigError> {
+        if self.auto_fanout {
+            self.cfg.shard_fanout = PtsConfig::auto_shard_fanout(self.cfg.n_tsw);
+        }
         self.cfg.validate()?;
         Ok(PtsRun { cfg: self.cfg })
     }
@@ -451,6 +481,50 @@ mod tests {
             .shard_fanout(0)
             .build()
             .is_ok());
+    }
+
+    #[test]
+    fn auto_fanout_resolves_at_build_regardless_of_setter_order() {
+        // Setter before the worker count: still sees the final n_tsw.
+        let run = Pts::builder()
+            .shard_fanout_auto()
+            .tsw_workers(64)
+            .build()
+            .unwrap();
+        assert_eq!(run.config().shard_fanout, 8);
+        // Degenerates to flat where a tree cannot contract.
+        let run = Pts::builder()
+            .tsw_workers(2)
+            .shard_fanout_auto()
+            .build()
+            .unwrap();
+        assert_eq!(run.config().shard_fanout, 0);
+        assert!(run.config().is_flat());
+        // An explicit fan-out set later wins over auto.
+        let run = Pts::builder()
+            .tsw_workers(64)
+            .shard_fanout_auto()
+            .shard_fanout(4)
+            .build()
+            .unwrap();
+        assert_eq!(run.config().shard_fanout, 4);
+    }
+
+    #[test]
+    fn snapshot_mode_defaults_to_delta_and_is_settable() {
+        assert_eq!(
+            *Pts::builder().build().unwrap().config(),
+            PtsConfig::default()
+        );
+        assert_eq!(
+            PtsConfig::default().snapshot_mode,
+            crate::config::SnapshotMode::Delta
+        );
+        let run = Pts::builder()
+            .snapshot_mode(SnapshotMode::Full)
+            .build()
+            .unwrap();
+        assert_eq!(run.config().snapshot_mode, SnapshotMode::Full);
     }
 
     #[test]

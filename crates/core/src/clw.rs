@@ -13,8 +13,9 @@
 //! TSW's heterogeneity mechanism — and if cut, proposes what it has so far.
 
 use crate::config::PtsConfig;
-use crate::domain::PtsDomain;
-use crate::messages::PtsMsg;
+use crate::domain::{DeltaSnapshot, PtsDomain};
+use crate::messages::{PtsMsg, SnapshotPayload};
+use crate::meter;
 use crate::transport::Transport;
 use pts_tabu::candidate::CandidateList;
 use pts_tabu::problem::SearchProblem;
@@ -64,6 +65,11 @@ pub async fn run_clw<D: PtsDomain, T: Transport<D::Problem>>(
         }
     };
 
+    // How many AdoptState syncs this CLW has processed — the base
+    // sequence an AdoptState delta must match (the TSW/CLW link is FIFO
+    // with exactly one sync per round).
+    let mut adopt_seq: u32 = 0;
+
     for msg in std::mem::take(&mut backlog) {
         if handle::<D, T>(
             t,
@@ -73,6 +79,7 @@ pub async fn run_clw<D: PtsDomain, T: Transport<D::Problem>>(
             range,
             &mut rng,
             &mut problem,
+            &mut adopt_seq,
             msg,
         )
         .await
@@ -90,6 +97,7 @@ pub async fn run_clw<D: PtsDomain, T: Transport<D::Problem>>(
             range,
             &mut rng,
             &mut problem,
+            &mut adopt_seq,
             msg,
         )
         .await
@@ -109,6 +117,7 @@ async fn handle<D: PtsDomain, T: Transport<D::Problem>>(
     range: (usize, usize),
     rng: &mut Rng,
     problem: &mut D::Problem,
+    adopt_seq: &mut u32,
     msg: PtsMsg<D::Problem>,
 ) -> bool {
     match msg {
@@ -130,9 +139,45 @@ async fn handle<D: PtsDomain, T: Transport<D::Problem>>(
             }
             t.compute(cfg.work.per_commit * moves.len() as f64);
         }
-        PtsMsg::AdoptState { snapshot } => {
-            problem.restore(&snapshot);
-            t.compute(cfg.work.per_commit);
+        PtsMsg::AdoptState { seq, snapshot } => {
+            let adopted = match snapshot {
+                SnapshotPayload::Full(s) => {
+                    problem.restore(&s);
+                    true
+                }
+                SnapshotPayload::Delta { base_seq, delta } => {
+                    // The delta's base is this CLW's *own current state*
+                    // (the TSW's state at its last report, which the
+                    // mirrored ApplyMoves kept identical here). A
+                    // sequence mismatch means the lockstep broke —
+                    // protocol violation; drop rather than desync worse.
+                    if base_seq == *adopt_seq && seq == *adopt_seq {
+                        let current = problem.snapshot();
+                        let new = <<D::Problem as pts_tabu::SearchProblem>::Snapshot as
+                            DeltaSnapshot>::apply_delta(&current, &delta);
+                        meter::record_snapshot_alloc();
+                        problem.restore(&new);
+                        true
+                    } else {
+                        crate::transport::protocol_warn(
+                            t.rank(),
+                            &format!(
+                                "CLW dropping AdoptState delta for sync {base_seq} (expected {adopt_seq})"
+                            ),
+                        );
+                        false
+                    }
+                }
+            };
+            // Track the *sender's* counter, not a blind local increment:
+            // after an anomaly this re-aligns the sequence, so the next
+            // Full sync (fallback rounds ship Full payloads) genuinely
+            // restores lockstep instead of every later delta being
+            // dropped against a permanently off-by-one counter.
+            *adopt_seq = seq + 1;
+            if adopted {
+                t.compute(cfg.work.per_commit);
+            }
         }
         PtsMsg::Stop => return true,
         // Stale control traffic (CutShort for a finished investigation, a

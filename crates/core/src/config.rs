@@ -15,6 +15,21 @@ pub enum SyncPolicy {
     HalfReport,
 }
 
+/// How solution snapshots travel on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SnapshotMode {
+    /// Delta-encode snapshots against the last base both link ends
+    /// provably share (the previous global broadcast, or the initial
+    /// solution), falling back to a full snapshot whenever the delta
+    /// would be at least as large. Default. Bit-identical in search
+    /// trajectory to [`SnapshotMode::Full`]; only wire sizes (and hence
+    /// the virtual timeline of the sim engine) differ.
+    Delta,
+    /// Always ship full snapshots — the paper's protocol, and the wire
+    /// format every release before the delta layer used.
+    Full,
+}
+
 /// Cost-scheme selector (mirrors `pts_place::eval::SchemeChoice`, exposed
 /// as a plain enum for the CLI).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -118,6 +133,10 @@ pub struct PtsConfig {
     /// O(`n_tsw`) at the root. `1` is rejected at validation (the tree
     /// would never contract).
     pub shard_fanout: usize,
+    /// Snapshot wire encoding: delta against the last shared broadcast
+    /// base (default) or always-full (the paper's format). See
+    /// [`SnapshotMode`].
+    pub snapshot_mode: SnapshotMode,
     /// Search differentiation. `false` (default) is the paper's MPSS
     /// design — "multiple points, single strategy": all TSWs run the
     /// *same* search (shared RNG streams per role) and differ only through
@@ -154,6 +173,7 @@ impl Default for PtsConfig {
             weights: [0.5, 0.3, 0.2],
             seed: 0xC0FFEE,
             shard_fanout: 0,
+            snapshot_mode: SnapshotMode::Delta,
             differentiate_streams: false,
             work: WorkModel::default(),
         }
@@ -345,6 +365,23 @@ impl PtsConfig {
             id: shard,
             parent_rank,
             children,
+        }
+    }
+
+    /// The automatic sharding fan-out for `n_tsw` workers:
+    /// `f ≈ sqrt(n_tsw)`, which balances the collection tree — the root
+    /// and each leaf sub-master then own about the same number of
+    /// children, minimizing the per-round message load of the busiest
+    /// process. Returns `0` (flat) when the tree would not contract
+    /// (`n_tsw <= 3`, where `sqrt` rounds below the minimum fan-out of
+    /// 2). Used by `RunBuilder::shard_fanout_auto` and the CLI's
+    /// `--shard-fanout auto`.
+    pub fn auto_shard_fanout(n_tsw: usize) -> usize {
+        let f = (n_tsw as f64).sqrt().round() as usize;
+        if f < 2 || f >= n_tsw {
+            0
+        } else {
+            f
         }
     }
 
@@ -685,6 +722,42 @@ mod tests {
         }
         seen.sort_unstable();
         assert_eq!(seen, (0..cfg.total_procs()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn auto_fanout_picks_sqrt_and_pins_tree_shapes() {
+        // f ≈ sqrt(n_tsw): the adaptive choice and the exact tree it
+        // builds, pinned at the sizes the scaling benchmarks use.
+        for (n_tsw, expect_f, expect_levels) in [
+            (16usize, 4usize, vec![4usize]),
+            (64, 8, vec![8]),
+            (1024, 32, vec![32]),
+        ] {
+            let f = PtsConfig::auto_shard_fanout(n_tsw);
+            assert_eq!(f, expect_f, "auto fan-out at n_tsw={n_tsw}");
+            let cfg = PtsConfig {
+                n_tsw,
+                shard_fanout: f,
+                ..PtsConfig::default()
+            };
+            cfg.validate().unwrap();
+            assert_eq!(cfg.shard_levels(), expect_levels);
+            assert_eq!(cfg.root_children().len(), expect_f);
+            // One perfectly balanced level: every leaf owns exactly f
+            // TSWs, the root exactly f sub-masters.
+            for s in 0..cfg.n_shards() {
+                assert_eq!(cfg.shard_spec(s).children.len(), expect_f);
+            }
+        }
+        // Non-square and tiny sizes: rounds to the nearest integer, and
+        // degenerates to flat where a tree cannot contract.
+        assert_eq!(PtsConfig::auto_shard_fanout(1000), 32);
+        assert_eq!(PtsConfig::auto_shard_fanout(5), 2);
+        assert_eq!(PtsConfig::auto_shard_fanout(4), 2);
+        assert_eq!(PtsConfig::auto_shard_fanout(3), 2);
+        for tiny in [1usize, 2] {
+            assert_eq!(PtsConfig::auto_shard_fanout(tiny), 0, "n_tsw={tiny}");
+        }
     }
 
     #[test]

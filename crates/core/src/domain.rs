@@ -25,15 +25,50 @@ pub trait WireSized {
     fn wire_bytes(&self) -> u64;
 }
 
+/// Delta encoding between two snapshots of the same run: the capability
+/// behind the [`crate::messages::SnapshotPayload::Delta`] wire format.
+///
+/// Both ends of a link hold the same *base* snapshot (the last global
+/// broadcast, or the initial solution); the sender ships
+/// `diff(base, new)` and the receiver reconstructs with
+/// `apply_delta(base, delta)`. The contract is exactness:
+///
+/// `apply_delta(base, &diff(base, new)) == new`
+///
+/// for every pair of snapshots from one run — the protocol pins delta
+/// mode to be bit-identical in search trajectory to full-snapshot mode,
+/// so a lossy delta is a correctness bug, not an approximation. The
+/// associated [`DeltaSnapshot::Delta`] carries its own wire-size model so
+/// the simulated-bandwidth accounting sees the savings (and so the
+/// sender can fall back to a full snapshot when the delta would be
+/// larger).
+pub trait DeltaSnapshot: Sized {
+    /// The encoded difference between two snapshots.
+    type Delta: Clone + Send + Sync + WireSized + 'static;
+
+    /// Encode `new` as a difference against `base`.
+    fn diff(base: &Self, new: &Self) -> Self::Delta;
+
+    /// Reconstruct the snapshot `delta` was diffed *to* from the snapshot
+    /// it was diffed *against*.
+    fn apply_delta(base: &Self, delta: &Self::Delta) -> Self;
+}
+
+/// Delta type of a problem's snapshot.
+pub type DeltaOf<P> = <<P as SearchProblem>::Snapshot as DeltaSnapshot>::Delta;
+
 /// Everything the parallel pipeline needs from a problem type: a
 /// diversifiable search problem whose moves, attributes, and snapshots can
 /// cross thread/process boundaries, with snapshots sized for the link
-/// model. Blanket-implemented — you never implement this directly.
+/// model and delta-encodable for the zero-copy broadcast path (`Sync`
+/// because snapshots and tabu lists are shared via `Arc` instead of
+/// deep-copied per recipient). Blanket-implemented — you never implement
+/// this directly.
 pub trait PtsProblem:
     DiversifiableProblem<
-        Snapshot: Clone + Send + WireSized + 'static,
+        Snapshot: Clone + Send + Sync + WireSized + DeltaSnapshot + 'static,
         Move: Send + 'static,
-        Attribute: Send + 'static,
+        Attribute: Send + Sync + 'static,
     > + Send
     + 'static
 {
@@ -41,9 +76,9 @@ pub trait PtsProblem:
 
 impl<P> PtsProblem for P where
     P: DiversifiableProblem<
-            Snapshot: Clone + Send + WireSized + 'static,
+            Snapshot: Clone + Send + Sync + WireSized + DeltaSnapshot + 'static,
             Move: Send + 'static,
-            Attribute: Send + 'static,
+            Attribute: Send + Sync + 'static,
         > + Send
         + 'static
 {
@@ -126,6 +161,6 @@ mod tests {
     #[test]
     fn outcome_is_send() {
         fn assert_send<T: Send>() {}
-        assert_send::<SearchOutcome<Vec<usize>>>();
+        assert_send::<SearchOutcome<pts_tabu::QapAssignment>>();
     }
 }

@@ -197,7 +197,10 @@ impl<D: PtsDomain> ExecutionEngine<D> for ThreadEngine {
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("pts-tsw{i}"))
-                    .spawn(move || drive_sync(run_tsw(&mut t, &cfg, i, &domain)))
+                    .spawn(move || {
+                        t.mark_thread_start();
+                        drive_sync(run_tsw(&mut t, &cfg, i, &domain))
+                    })
                     .expect("spawn TSW thread"),
             );
         }
@@ -217,7 +220,10 @@ impl<D: PtsDomain> ExecutionEngine<D> for ThreadEngine {
                 handles.push(
                     std::thread::Builder::new()
                         .name(format!("pts-clw{i}.{j}"))
-                        .spawn(move || drive_sync(run_clw(&mut t, &cfg, tsw_rank, j, &domain)))
+                        .spawn(move || {
+                            t.mark_thread_start();
+                            drive_sync(run_clw(&mut t, &cfg, tsw_rank, j, &domain))
+                        })
                         .expect("spawn CLW thread"),
                 );
             }
@@ -237,7 +243,10 @@ impl<D: PtsDomain> ExecutionEngine<D> for ThreadEngine {
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("pts-shard{s}"))
-                    .spawn(move || drive_sync(run_sub_master(&mut t, &cfg, s, &domain)))
+                    .spawn(move || {
+                        t.mark_thread_start();
+                        drive_sync(run_sub_master(&mut t, &cfg, s, &domain))
+                    })
                     .expect("spawn sub-master thread"),
             );
         }
@@ -252,6 +261,7 @@ impl<D: PtsDomain> ExecutionEngine<D> for ThreadEngine {
                     .expect("master receiver"),
                 Arc::clone(&stats_sink),
             );
+            master_t.mark_thread_start();
             drive_sync(run_master(&mut master_t, cfg, domain, initial))
         };
 

@@ -47,6 +47,7 @@ pub mod domain;
 pub mod engine;
 pub mod master;
 pub mod messages;
+pub mod meter;
 pub mod placement_problem;
 pub mod qap_domain;
 pub mod report;
@@ -57,12 +58,17 @@ pub mod tsw;
 
 pub use async_engine::AsyncEngine;
 pub use builder::{ConfigError, PlacementRunOutput, Pts, PtsRun, RunBuilder};
-pub use config::{CostKind, PtsConfig, ShardChildren, ShardSpec, SyncPolicy, WorkModel};
-pub use domain::{PtsDomain, PtsProblem, SearchOutcome, SnapshotOf, WireSized};
+pub use config::{
+    CostKind, PtsConfig, ShardChildren, ShardSpec, SnapshotMode, SyncPolicy, WorkModel,
+};
+pub use domain::{
+    DeltaOf, DeltaSnapshot, PtsDomain, PtsProblem, SearchOutcome, SnapshotOf, WireSized,
+};
 pub use engine::{EngineOutput, ExecutionEngine, SimEngine, ThreadEngine};
-pub use messages::PtsMsg;
-pub use placement_problem::{MasterOutcome, PlacementDomain, PlacementProblem};
-pub use qap_domain::QapDomain;
+pub use messages::{PtsMsg, SharedTabu, SnapshotBase, SnapshotPayload, TabuEntries};
+pub use meter::{take_snapshot_meter, SnapshotMeter};
+pub use placement_problem::{MasterOutcome, PlacementDelta, PlacementDomain, PlacementProblem};
+pub use qap_domain::{QapDelta, QapDomain};
 pub use report::{ClockDomain, RunReport};
 pub use run::run_sequential_baseline;
 pub use speedup::{common_quality_target, fractional_quality_target, speedup_sweep, SpeedupPoint};

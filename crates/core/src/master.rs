@@ -17,41 +17,58 @@
 //! the tree. Every process then handles O(fan-out) messages per round
 //! instead of the root handling O(`n_tsw`).
 //!
+//! Snapshot handling is delta-aware and zero-copy (see
+//! [`crate::messages::SnapshotPayload`]): every collector tracks the
+//! [`SnapshotBase`] its children share (the initial solution, then each
+//! broadcast as it passes through), resolves incoming payloads against it
+//! lazily — only a report that *wins* the reduction is ever materialized
+//! — and fans broadcasts out as `Arc` clones, O(1) snapshot allocations
+//! per node per round regardless of fan-out. Sub-masters relay broadcast
+//! payloads verbatim: everyone below still holds the same base.
+//!
 //! Both collection loops are *hardened for release builds*: a stale
 //! report (earlier round) is dropped silently (it is the one
 //! semi-expected anomaly — a late report can legitimately cross control
-//! traffic), while a duplicate report (same child twice in one round) or
-//! a message of an unexpected type is dropped with a stderr note. None of
-//! them is ever merged into the wrong round. Debug-only assertions used
-//! to be the sole guard here, which meant a release build would silently
-//! double-count `n_rep` and corrupt or deadlock the round.
+//! traffic), while a duplicate report (same child twice in one round), a
+//! message of an unexpected type, or a delta against a base this node
+//! does not hold is dropped with a stderr note. None of them is ever
+//! merged into the wrong round. Debug-only assertions used to be the sole
+//! guard here, which meant a release build would silently double-count
+//! `n_rep` and corrupt or deadlock the round.
 
 use crate::config::{PtsConfig, ShardChildren, SyncPolicy};
 use crate::domain::{PtsDomain, SearchOutcome, SnapshotOf};
-use crate::messages::{PtsMsg, TabuEntries};
+use crate::messages::{PtsMsg, SharedTabu, SnapshotBase, SnapshotPayload};
 use crate::transport::{protocol_warn, Transport};
 use pts_tabu::search::SearchStats;
 use pts_tabu::trace::Trace;
+use std::sync::Arc;
+
+/// Shorthand for the base/payload types over a domain's problem.
+type BaseOf<D> = SnapshotBase<<D as PtsDomain>::Problem>;
+type PayloadOf<D> = SnapshotPayload<<D as PtsDomain>::Problem>;
+type TabuOf<D> = SharedTabu<<D as PtsDomain>::Problem>;
 
 /// Running reduction state shared by the root master and every
-/// sub-master: the best solution seen in this node's subtree, the merged
-/// trace, the folded final-round statistics, and the forces this node
-/// itself issued.
+/// sub-master: the best solution seen in this node's subtree (kept
+/// resolved — deltas are applied the moment they win), the merged trace,
+/// the folded final-round statistics, and the forces this node itself
+/// issued.
 struct Reduction<D: PtsDomain> {
     best_cost: f64,
-    best_snapshot: SnapshotOf<D>,
-    best_tabu: TabuEntries<D::Problem>,
+    best_snapshot: Arc<SnapshotOf<D>>,
+    best_tabu: TabuOf<D>,
     merged: Trace,
     stats: SearchStats,
     forced: u64,
 }
 
 impl<D: PtsDomain> Reduction<D> {
-    fn new(initial_cost: f64, initial: SnapshotOf<D>) -> Reduction<D> {
+    fn new(initial_cost: f64, initial: Arc<SnapshotOf<D>>) -> Reduction<D> {
         Reduction {
             best_cost: initial_cost,
             best_snapshot: initial,
-            best_tabu: Vec::new(),
+            best_tabu: Arc::new(Vec::new()),
             merged: Trace::new(),
             stats: SearchStats::default(),
             forced: 0,
@@ -59,12 +76,31 @@ impl<D: PtsDomain> Reduction<D> {
     }
 
     /// Fold one child report into the reduction. Strict `<` keeps the
-    /// earliest achiever on cost ties, matching the flat master.
-    fn offer(&mut self, cost: f64, snapshot: SnapshotOf<D>, tabu: TabuEntries<D::Problem>) {
+    /// earliest achiever on cost ties, matching the flat master. Only an
+    /// improving payload is resolved to a full snapshot (losing deltas
+    /// are never materialized); a winning delta against a base this node
+    /// does not hold is a protocol violation — warned and ignored, like
+    /// the other malformed-message paths.
+    fn offer(
+        &mut self,
+        rank: usize,
+        base: &BaseOf<D>,
+        cost: f64,
+        payload: PayloadOf<D>,
+        tabu: TabuOf<D>,
+    ) {
         if cost < self.best_cost {
-            self.best_cost = cost;
-            self.best_snapshot = snapshot;
-            self.best_tabu = tabu;
+            match payload.resolve(base) {
+                Some(full) => {
+                    self.best_cost = cost;
+                    self.best_snapshot = full;
+                    self.best_tabu = tabu;
+                }
+                None => protocol_warn(
+                    rank,
+                    "ignoring winning report delta against a base this collector does not hold",
+                ),
+            }
         }
     }
 
@@ -83,6 +119,7 @@ impl<D: PtsDomain> Reduction<D> {
         &mut self,
         t: &mut T,
         cfg: &PtsConfig,
+        base: &BaseOf<D>,
         g: u32,
         lo: usize,
         hi: usize,
@@ -130,7 +167,7 @@ impl<D: PtsDomain> Reduction<D> {
                     n_rep += 1;
                     t.compute(cfg.work.per_report);
                     self.merged = Trace::merge([&self.merged, &Trace::from_points(trace)]);
-                    self.offer(cost, snapshot, tabu);
+                    self.offer(t.rank(), base, cost, snapshot, tabu);
                     // Stats are cumulative per TSW; summing every round
                     // would over-count, so fold them in on the final round
                     // only.
@@ -169,10 +206,12 @@ impl<D: PtsDomain> Reduction<D> {
     /// straggler policy lives at the leaf level, so group collection
     /// always waits for every child. `child_forced[s - lo]` tracks each
     /// subtree's cumulative force count.
+    #[allow(clippy::too_many_arguments)]
     async fn collect_group_round<T: Transport<D::Problem>>(
         &mut self,
         t: &mut T,
         cfg: &PtsConfig,
+        base: &BaseOf<D>,
         g: u32,
         lo: usize,
         hi: usize,
@@ -218,7 +257,7 @@ impl<D: PtsDomain> Reduction<D> {
                     n_rep += 1;
                     t.compute(cfg.work.per_report);
                     self.merged = Trace::merge([&self.merged, &Trace::from_points(trace)]);
-                    self.offer(cost, snapshot, tabu);
+                    self.offer(t.rank(), base, cost, snapshot, tabu);
                     if final_round {
                         self.fold_stats(&stats);
                     }
@@ -242,14 +281,15 @@ impl<D: PtsDomain> Reduction<D> {
         &mut self,
         t: &mut T,
         cfg: &PtsConfig,
+        base: &BaseOf<D>,
         g: u32,
         children: ShardChildren,
         child_forced: &mut [u64],
     ) {
         match children {
-            ShardChildren::Tsws { lo, hi } => self.collect_tsw_round(t, cfg, g, lo, hi).await,
+            ShardChildren::Tsws { lo, hi } => self.collect_tsw_round(t, cfg, base, g, lo, hi).await,
             ShardChildren::Shards { lo, hi } => {
-                self.collect_group_round(t, cfg, g, lo, hi, child_forced)
+                self.collect_group_round(t, cfg, base, g, lo, hi, child_forced)
                     .await
             }
         }
@@ -262,12 +302,10 @@ impl<D: PtsDomain> Reduction<D> {
 }
 
 /// Downward payload of [`send_down`]: the round winner to broadcast, or
-/// `None` for `Stop` after the final round.
-type Winner<'a, D> = Option<(
-    u32,
-    &'a SnapshotOf<D>,
-    &'a TabuEntries<<D as PtsDomain>::Problem>,
-)>;
+/// `None` for `Stop` after the final round. Cloning the payload per
+/// child is O(1) — the snapshot (or delta) and tabu list sit behind
+/// `Arc`s.
+type Winner<'a, D> = Option<(u32, &'a PayloadOf<D>, &'a TabuOf<D>)>;
 
 /// Send the round-`g` winner (or `Stop` after the final round) down to
 /// this node's children.
@@ -284,7 +322,7 @@ fn send_down<D: PtsDomain, T: Transport<D::Problem>>(
                     Some((global, snapshot, tabu)) => PtsMsg::Broadcast {
                         global,
                         snapshot: snapshot.clone(),
-                        tabu: tabu.clone(),
+                        tabu: Arc::clone(tabu),
                     },
                     None => PtsMsg::Stop,
                 };
@@ -297,7 +335,7 @@ fn send_down<D: PtsDomain, T: Transport<D::Problem>>(
                     Some((global, snapshot, tabu)) => PtsMsg::GroupBroadcast {
                         global,
                         snapshot: snapshot.clone(),
-                        tabu: tabu.clone(),
+                        tabu: Arc::clone(tabu),
                     },
                     None => PtsMsg::Stop,
                 };
@@ -320,19 +358,21 @@ pub async fn run_master<D: PtsDomain, T: Transport<D::Problem>>(
 ) -> SearchOutcome<SnapshotOf<D>> {
     // Cost of the initial solution under the (frozen) domain.
     let initial_cost = domain.cost_of(&initial);
+    let initial = Arc::new(initial);
     let children = cfg.root_children();
 
     // Initialize the tree. Flat: every worker (TSWs and CLWs) is a direct
     // child and starts from the initial solution. Sharded: only the top
     // sub-masters are addressed; they fan the Init out to their subtrees,
-    // keeping the root's traffic O(fan-out).
+    // keeping the root's traffic O(fan-out). Either way each Init clones
+    // an `Arc`, not the solution.
     match children {
         ShardChildren::Tsws { .. } => {
             for rank in 1..cfg.total_procs() {
                 t.send(
                     rank,
                     PtsMsg::Init {
-                        snapshot: initial.clone(),
+                        snapshot: Arc::clone(&initial),
                     },
                 );
             }
@@ -342,32 +382,35 @@ pub async fn run_master<D: PtsDomain, T: Transport<D::Problem>>(
                 t.send(
                     cfg.shard_rank(s),
                     PtsMsg::Init {
-                        snapshot: initial.clone(),
+                        snapshot: Arc::clone(&initial),
                     },
                 );
             }
         }
     }
 
+    // The base every child currently shares with this node: the initial
+    // solution, re-anchored on each broadcast sent below.
+    let mut base: BaseOf<D> = SnapshotBase::initial(Arc::clone(&initial));
     let mut red: Reduction<D> = Reduction::new(initial_cost, initial);
     red.merged.record(t.now(), 0, red.best_cost);
     let mut best_per_global_iter = Vec::with_capacity(cfg.global_iters as usize);
     let mut child_forced = vec![0u64; children.len()];
 
     for g in 0..cfg.global_iters {
-        red.collect_round(t, cfg, g, children, &mut child_forced)
+        red.collect_round(t, cfg, &base, g, children, &mut child_forced)
             .await;
 
         red.merged.record(t.now(), g as u64 + 1, red.best_cost);
         best_per_global_iter.push(red.best_cost);
 
         if g + 1 < cfg.global_iters {
-            send_down::<D, T>(
-                t,
-                cfg,
-                children,
-                Some((g, &red.best_snapshot, &red.best_tabu)),
-            );
+            // Diff the round winner against the base the children still
+            // hold, ship it once per child (Arc clones), then re-anchor
+            // the shared base on what was just broadcast.
+            let payload = SnapshotPayload::encode(cfg.snapshot_mode, &base, &red.best_snapshot);
+            send_down::<D, T>(t, cfg, children, Some((g, &payload, &red.best_tabu)));
+            base.advance(g, Arc::clone(&red.best_snapshot));
         } else {
             send_down::<D, T>(t, cfg, children, None);
         }
@@ -376,7 +419,7 @@ pub async fn run_master<D: PtsDomain, T: Transport<D::Problem>>(
     let forced_reports = red.subtree_forced(&child_forced);
     SearchOutcome {
         best_cost: red.best_cost,
-        best: red.best_snapshot,
+        best: (*red.best_snapshot).clone(),
         initial_cost,
         trace: red.merged,
         best_per_global_iter,
@@ -390,8 +433,9 @@ pub async fn run_master<D: PtsDomain, T: Transport<D::Problem>>(
 ///
 /// Per global iteration: collect from the children (TSW group with local
 /// quorum/force policy at the leaves, `GroupReport`s above), reduce to
-/// the subtree best, forward one `GroupReport` to the parent, then relay
-/// the parent's `GroupBroadcast` (or `Stop`) back down.
+/// the subtree best, forward one `GroupReport` to the parent (diffed
+/// against the shared base), then relay the parent's `GroupBroadcast`
+/// payload verbatim (or `Stop`) back down.
 pub async fn run_sub_master<D: PtsDomain, T: Transport<D::Problem>>(
     t: &mut T,
     cfg: &PtsConfig,
@@ -417,22 +461,22 @@ pub async fn run_sub_master<D: PtsDomain, T: Transport<D::Problem>>(
         }
     };
 
-    // Fan the Init out: TSWs and their CLWs at the leaf level, lower
-    // sub-masters above.
+    // Fan the Init out (Arc clones): TSWs and their CLWs at the leaf
+    // level, lower sub-masters above.
     match spec.children {
         ShardChildren::Tsws { lo, hi } => {
             for i in lo..hi {
                 t.send(
                     cfg.tsw_rank(i),
                     PtsMsg::Init {
-                        snapshot: initial.clone(),
+                        snapshot: Arc::clone(&initial),
                     },
                 );
                 for j in 0..cfg.n_clw {
                     t.send(
                         cfg.clw_rank(i, j),
                         PtsMsg::Init {
-                            snapshot: initial.clone(),
+                            snapshot: Arc::clone(&initial),
                         },
                     );
                 }
@@ -443,7 +487,7 @@ pub async fn run_sub_master<D: PtsDomain, T: Transport<D::Problem>>(
                 t.send(
                     cfg.shard_rank(s),
                     PtsMsg::Init {
-                        snapshot: initial.clone(),
+                        snapshot: Arc::clone(&initial),
                     },
                 );
             }
@@ -454,21 +498,25 @@ pub async fn run_sub_master<D: PtsDomain, T: Transport<D::Problem>>(
     // the initial solution with an empty tabu list, so a round in which
     // no TSW improves reduces to the same winner the flat master picks.
     let initial_cost = domain.cost_of(&initial);
+    let mut base: BaseOf<D> = SnapshotBase::initial(Arc::clone(&initial));
     let mut red: Reduction<D> = Reduction::new(initial_cost, initial);
     let mut child_forced = vec![0u64; spec.children.len()];
 
     for g in 0..cfg.global_iters {
-        red.collect_round(t, cfg, g, spec.children, &mut child_forced)
+        red.collect_round(t, cfg, &base, g, spec.children, &mut child_forced)
             .await;
 
+        // The parent shares `base` (the broadcast chain passed through
+        // it), so the upward group best rides the same delta encoding.
+        let payload = SnapshotPayload::encode(cfg.snapshot_mode, &base, &red.best_snapshot);
         t.send(
             spec.parent_rank,
             PtsMsg::GroupReport {
                 shard,
                 global: g,
                 cost: red.best_cost,
-                snapshot: red.best_snapshot.clone(),
-                tabu: red.best_tabu.clone(),
+                snapshot: payload,
+                tabu: Arc::clone(&red.best_tabu),
                 trace: red.merged.points().to_vec(),
                 stats: red.stats,
                 forced: red.subtree_forced(&child_forced),
@@ -483,8 +531,26 @@ pub async fn run_sub_master<D: PtsDomain, T: Transport<D::Problem>>(
                     snapshot,
                     tabu,
                 } if global == g => {
-                    send_down::<D, T>(t, cfg, spec.children, Some((global, &snapshot, &tabu)));
-                    break;
+                    // Resolve for this node's own base bookkeeping, then
+                    // relay the payload verbatim — every process below
+                    // holds the same base this payload was diffed
+                    // against, so no re-encode is needed.
+                    match snapshot.resolve(&base) {
+                        Some(full) => {
+                            send_down::<D, T>(
+                                t,
+                                cfg,
+                                spec.children,
+                                Some((global, &snapshot, &tabu)),
+                            );
+                            base.advance(global, full);
+                            break;
+                        }
+                        None => protocol_warn(
+                            t.rank(),
+                            "dropping GroupBroadcast delta against a base this sub-master does not hold",
+                        ),
+                    }
                 }
                 PtsMsg::Stop => {
                     send_down::<D, T>(t, cfg, spec.children, None);

@@ -14,32 +14,178 @@
 //! ([`pts_tabu::SearchProblem::Snapshot`]), elementary moves, and tabu
 //! attributes. Any [`PtsProblem`] rides the same protocol — placement and
 //! QAP use identical message flow.
+//!
+//! Two payload-level optimizations keep snapshot traffic from dominating
+//! at scale (the communication bottleneck both the GPU tabu-search
+//! literature and the paper's own measurements point at):
+//!
+//! * **zero-copy fan-out** — snapshots and tabu lists travel behind
+//!   [`Arc`]s, so broadcasting to `f` children clones `f` pointers, not
+//!   `f` solutions; the wire model still charges every link the full
+//!   payload (an `Arc` is a process-local trick, not a network one);
+//! * **delta encoding** ([`SnapshotPayload`]) — solution-bearing
+//!   messages ship a move delta against the last *base* snapshot both
+//!   link ends provably share (the previous global broadcast, or the
+//!   initial solution), falling back to a full snapshot when no shared
+//!   base exists or the delta would be at least as large. See
+//!   [`crate::config::SnapshotMode`].
 
-use crate::domain::{PtsProblem, WireSized};
+use crate::config::SnapshotMode;
+use crate::domain::{DeltaOf, DeltaSnapshot, PtsProblem, WireSized};
+use crate::meter;
 use pts_tabu::search::SearchStats;
 use pts_tabu::trace::TracePoint;
+use std::sync::Arc;
 
 /// Exported tabu list: attribute + remaining tenure.
 pub type TabuEntries<P> = Vec<(<P as pts_tabu::SearchProblem>::Attribute, u64)>;
+
+/// A tabu list shared across recipients without per-recipient copies.
+pub type SharedTabu<P> = Arc<TabuEntries<P>>;
+
+/// A base snapshot both ends of a link hold: `seq` 0 is the initial
+/// solution, `seq` `g + 1` the global broadcast concluding round `g`.
+/// Every process tracks the latest base it shares with its protocol
+/// neighbours and re-anchors it as each broadcast passes through.
+pub struct SnapshotBase<P: PtsProblem> {
+    /// Which broadcast this base is (0 = the initial solution).
+    pub seq: u32,
+    /// The resolved full snapshot.
+    pub snapshot: Arc<P::Snapshot>,
+}
+
+impl<P: PtsProblem> SnapshotBase<P> {
+    /// The run-initial base (sequence 0).
+    pub fn initial(snapshot: Arc<P::Snapshot>) -> SnapshotBase<P> {
+        SnapshotBase { seq: 0, snapshot }
+    }
+
+    /// Re-anchor on the broadcast concluding round `global`.
+    pub fn advance(&mut self, global: u32, snapshot: Arc<P::Snapshot>) {
+        self.seq = global + 1;
+        self.snapshot = snapshot;
+    }
+}
+
+impl<P: PtsProblem> Clone for SnapshotBase<P> {
+    fn clone(&self) -> Self {
+        SnapshotBase {
+            seq: self.seq,
+            snapshot: Arc::clone(&self.snapshot),
+        }
+    }
+}
+
+/// Wire overhead of a delta payload: the base sequence + entry count.
+const DELTA_HDR: u64 = 8;
+
+/// A solution snapshot as it travels in a protocol message: the full
+/// solution, or a delta against a [`SnapshotBase`] the sender knows the
+/// receiver holds. Cloning is O(1) either way (`Arc`s inside), which is
+/// what makes the downward broadcast fan-out allocation-free per
+/// recipient.
+pub enum SnapshotPayload<P: PtsProblem> {
+    /// The complete solution.
+    Full(Arc<P::Snapshot>),
+    /// A delta to apply against the receiver's copy of base `base_seq`.
+    Delta {
+        /// Sequence of the [`SnapshotBase`] the delta was diffed against.
+        base_seq: u32,
+        /// The encoded difference.
+        delta: Arc<DeltaOf<P>>,
+    },
+}
+
+impl<P: PtsProblem> Clone for SnapshotPayload<P> {
+    fn clone(&self) -> Self {
+        match self {
+            SnapshotPayload::Full(s) => SnapshotPayload::Full(Arc::clone(s)),
+            SnapshotPayload::Delta { base_seq, delta } => SnapshotPayload::Delta {
+                base_seq: *base_seq,
+                delta: Arc::clone(delta),
+            },
+        }
+    }
+}
+
+impl<P: PtsProblem> SnapshotPayload<P> {
+    /// Encode `full` for the wire: under [`SnapshotMode::Delta`], a delta
+    /// against `base` when that is strictly smaller than the full
+    /// snapshot; the full snapshot otherwise (and always under
+    /// [`SnapshotMode::Full`]). The payload's [`wire_bytes`] is therefore
+    /// never larger than the full snapshot's.
+    ///
+    /// [`wire_bytes`]: SnapshotPayload::wire_bytes
+    pub fn encode(
+        mode: SnapshotMode,
+        base: &SnapshotBase<P>,
+        full: &Arc<P::Snapshot>,
+    ) -> SnapshotPayload<P> {
+        if mode == SnapshotMode::Delta {
+            let delta = <P::Snapshot as DeltaSnapshot>::diff(&base.snapshot, full);
+            if DELTA_HDR + delta.wire_bytes() < full.wire_bytes() {
+                return SnapshotPayload::Delta {
+                    base_seq: base.seq,
+                    delta: Arc::new(delta),
+                };
+            }
+        }
+        SnapshotPayload::Full(Arc::clone(full))
+    }
+
+    /// Reconstruct the full snapshot. `None` when the payload is a delta
+    /// against a base the holder does not share — a protocol violation
+    /// (senders only diff against bases the receiver provably holds);
+    /// callers warn and drop, mirroring the other release-mode
+    /// hardening paths.
+    pub fn resolve(&self, base: &SnapshotBase<P>) -> Option<Arc<P::Snapshot>> {
+        match self {
+            SnapshotPayload::Full(s) => Some(Arc::clone(s)),
+            SnapshotPayload::Delta { base_seq, delta } => (*base_seq == base.seq).then(|| {
+                meter::record_snapshot_alloc();
+                Arc::new(<P::Snapshot as DeltaSnapshot>::apply_delta(
+                    &base.snapshot,
+                    delta,
+                ))
+            }),
+        }
+    }
+
+    /// Wire bytes this payload occupies (full snapshot, or delta plus
+    /// its small header).
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            SnapshotPayload::Full(s) => s.wire_bytes(),
+            SnapshotPayload::Delta { delta, .. } => DELTA_HDR + delta.wire_bytes(),
+        }
+    }
+
+    /// `true` when delta-encoded.
+    pub fn is_delta(&self) -> bool {
+        matches!(self, SnapshotPayload::Delta { .. })
+    }
+}
 
 /// Protocol messages for a run over problem `P`.
 pub enum PtsMsg<P: PtsProblem> {
     /// Master → everyone: the initial solution (run-constant data such as
     /// the placement cost scheme is frozen into the domain before workers
-    /// spawn).
+    /// spawn). Always a full snapshot — no base is shared yet — and the
+    /// anchor of every process's sequence-0 [`SnapshotBase`].
     Init {
         /// The shared starting solution.
-        snapshot: P::Snapshot,
+        snapshot: Arc<P::Snapshot>,
     },
     /// Master → TSW: the global best after a global iteration, with its
     /// tabu list.
     Broadcast {
         /// Global iteration this broadcast concludes.
         global: u32,
-        /// Best solution across all TSW reports of the round.
-        snapshot: P::Snapshot,
+        /// Best solution across all TSW reports of the round, usually as
+        /// a delta against the previous broadcast.
+        snapshot: SnapshotPayload<P>,
         /// Tabu list accompanying the winning solution.
-        tabu: TabuEntries<P>,
+        tabu: SharedTabu<P>,
     },
     /// Master → TSW: report your current best immediately (half-report
     /// sync).
@@ -56,11 +202,12 @@ pub enum PtsMsg<P: PtsProblem> {
         global: u32,
         /// Best cost found by this TSW so far.
         cost: f64,
-        /// The solution achieving `cost`.
-        snapshot: P::Snapshot,
+        /// The solution achieving `cost`, usually as a delta against the
+        /// last broadcast this TSW adopted (which its parent also holds).
+        snapshot: SnapshotPayload<P>,
         /// The TSW's tabu list (travels with the solution, as in the
         /// paper).
-        tabu: TabuEntries<P>,
+        tabu: SharedTabu<P>,
         /// Best-cost-over-time points recorded since the run started.
         trace: Vec<TracePoint>,
         /// Cumulative per-TSW search statistics.
@@ -79,10 +226,11 @@ pub enum PtsMsg<P: PtsProblem> {
         global: u32,
         /// Best cost found anywhere in this subtree so far.
         cost: f64,
-        /// The solution achieving `cost`.
-        snapshot: P::Snapshot,
+        /// The solution achieving `cost`, diffed against the same base
+        /// the parent holds.
+        snapshot: SnapshotPayload<P>,
         /// Tabu list accompanying the subtree-best solution.
-        tabu: TabuEntries<P>,
+        tabu: SharedTabu<P>,
         /// Merged best-cost-over-time points of the whole subtree.
         trace: Vec<TracePoint>,
         /// Folded subtree search statistics (non-zero only on the final
@@ -94,19 +242,31 @@ pub enum PtsMsg<P: PtsProblem> {
     },
     /// Parent → sub-master: the global best flowing back down the tree
     /// after a global iteration; leaf sub-masters translate it into a
-    /// [`PtsMsg::Broadcast`] for their TSW group.
+    /// [`PtsMsg::Broadcast`] for their TSW group. Sub-masters relay the
+    /// payload verbatim — every process below still holds the same base.
     GroupBroadcast {
         /// Global iteration this broadcast concludes.
         global: u32,
         /// Best solution across the whole tree this round.
-        snapshot: P::Snapshot,
+        snapshot: SnapshotPayload<P>,
         /// Tabu list accompanying the winning solution.
-        tabu: TabuEntries<P>,
+        tabu: SharedTabu<P>,
     },
-    /// TSW → CLW: adopt this solution as the current state.
+    /// TSW → CLW: adopt this solution as the current state. Shared, not
+    /// copied, across the TSW's CLW group — and usually a delta: the TSW
+    /// and its CLWs move in lockstep (every accepted compound is
+    /// mirrored via [`PtsMsg::ApplyMoves`]), so the CLW's *own current
+    /// state* is the base, and the delta is just the broadcast adoption
+    /// plus the diversification moves.
     AdoptState {
-        /// The state to restore before the next investigation.
-        snapshot: P::Snapshot,
+        /// Sync sequence: how many `AdoptState`s this TSW sent before
+        /// this one (= the global iteration). The TSW/CLW link is FIFO
+        /// with exactly one sync per round, so a delta whose `seq`
+        /// disagrees with the CLW's own count is a protocol violation.
+        seq: u32,
+        /// The state to restore before the next investigation, as a
+        /// delta against the CLW's current state when smaller.
+        snapshot: SnapshotPayload<P>,
     },
     /// TSW → CLW: build one compound-move proposal (investigation `seq`).
     Investigate {
@@ -148,7 +308,10 @@ const TRACE_POINT_BYTES: u64 = 20;
 impl<P: PtsProblem> PtsMsg<P> {
     /// Approximate wire size in bytes, used by the virtual cluster's
     /// bandwidth model. Snapshots dominate, matching the paper's
-    /// observation that solution exchange is the main traffic.
+    /// observation that solution exchange is the main traffic — which is
+    /// exactly what delta payloads shrink. Under
+    /// [`SnapshotMode::Full`] every size equals the pre-delta protocol's,
+    /// keeping its pinned virtual timelines bit-compatible.
     pub fn wire_size(&self) -> u64 {
         const HDR: u64 = 32;
         match self {
@@ -190,13 +353,28 @@ impl<P: PtsProblem> PtsMsg<P> {
             PtsMsg::GroupBroadcast { snapshot, tabu, .. } => {
                 HDR + snapshot.wire_bytes() + TABU_ENTRY_BYTES * tabu.len() as u64
             }
-            PtsMsg::AdoptState { snapshot } => HDR + snapshot.wire_bytes(),
+            PtsMsg::AdoptState { snapshot, .. } => HDR + snapshot.wire_bytes(),
             PtsMsg::Proposal { moves, .. } => HDR + MOVE_BYTES * moves.len() as u64 + 16,
             PtsMsg::ApplyMoves { moves } => HDR + MOVE_BYTES * moves.len() as u64,
             PtsMsg::ForceReport { .. }
             | PtsMsg::Investigate { .. }
             | PtsMsg::CutShort { .. }
             | PtsMsg::Stop => HDR,
+        }
+    }
+
+    /// Wire bytes of the solution-snapshot payload this message carries
+    /// (0 for control and move-only messages). Feeds the
+    /// [`crate::meter`] counters the wire benchmark reports.
+    pub fn snapshot_wire_bytes(&self) -> u64 {
+        match self {
+            PtsMsg::Init { snapshot } => snapshot.wire_bytes(),
+            PtsMsg::AdoptState { snapshot, .. }
+            | PtsMsg::Broadcast { snapshot, .. }
+            | PtsMsg::Report { snapshot, .. }
+            | PtsMsg::GroupReport { snapshot, .. }
+            | PtsMsg::GroupBroadcast { snapshot, .. } => snapshot.wire_bytes(),
+            _ => 0,
         }
     }
 
@@ -225,14 +403,24 @@ mod tests {
     use crate::placement_problem::PlacementProblem;
     use pts_place::layout::Layout;
     use pts_place::placement::Placement;
-    use pts_tabu::qap::Qap;
+    use pts_tabu::qap::{Qap, QapAssignment};
+    use pts_tabu::SearchProblem as _;
+
+    fn full<P: PtsProblem>(snapshot: P::Snapshot) -> SnapshotPayload<P> {
+        SnapshotPayload::Full(Arc::new(snapshot))
+    }
 
     #[test]
     fn placement_bearing_messages_are_heavier() {
         let p = Placement::sequential(Layout::new(4, 25, 2.0, 1.0), 100);
-        let adopt: PtsMsg<PlacementProblem> = PtsMsg::AdoptState { snapshot: p };
+        let adopt: PtsMsg<PlacementProblem> = PtsMsg::AdoptState {
+            seq: 0,
+            snapshot: SnapshotPayload::Full(Arc::new(p)),
+        };
         let stop: PtsMsg<PlacementProblem> = PtsMsg::Stop;
         assert!(adopt.wire_size() > stop.wire_size() + 300);
+        assert!(adopt.snapshot_wire_bytes() > 300);
+        assert_eq!(stop.snapshot_wire_bytes(), 0);
     }
 
     #[test]
@@ -252,11 +440,11 @@ mod tests {
     fn qap_messages_size_by_assignment_length() {
         let q = Qap::random(40, 1);
         let init: PtsMsg<Qap> = PtsMsg::Init {
-            snapshot: pts_tabu::SearchProblem::snapshot(&q),
+            snapshot: Arc::new(q.snapshot()),
         };
         let small = Qap::random(4, 1);
         let init_small: PtsMsg<Qap> = PtsMsg::Init {
-            snapshot: pts_tabu::SearchProblem::snapshot(&small),
+            snapshot: Arc::new(small.snapshot()),
         };
         assert!(init.wire_size() > init_small.wire_size());
     }
@@ -267,13 +455,14 @@ mod tests {
         // carrying the same solution/tabu/trace payload is at least as
         // heavy as the TSW Report it reduces.
         let q = Qap::random(40, 1);
-        let snapshot = pts_tabu::SearchProblem::snapshot(&q);
+        let snapshot = q.snapshot();
+        let tabu: SharedTabu<Qap> = Arc::new(vec![((0, 1), 3)]);
         let report: PtsMsg<Qap> = PtsMsg::Report {
             tsw: 0,
             global: 0,
             cost: 1.0,
-            snapshot: snapshot.clone(),
-            tabu: vec![((0, 1), 3)],
+            snapshot: full::<Qap>(snapshot.clone()),
+            tabu: Arc::clone(&tabu),
             trace: vec![],
             stats: SearchStats::default(),
         };
@@ -281,8 +470,8 @@ mod tests {
             shard: 0,
             global: 0,
             cost: 1.0,
-            snapshot: snapshot.clone(),
-            tabu: vec![((0, 1), 3)],
+            snapshot: full::<Qap>(snapshot.clone()),
+            tabu,
             trace: vec![],
             stats: SearchStats::default(),
             forced: 2,
@@ -290,18 +479,66 @@ mod tests {
         assert!(group.wire_size() >= report.wire_size());
         // And a GroupBroadcast weighs exactly what a Broadcast weighs —
         // it is the same payload routed one level differently.
+        let empty: SharedTabu<Qap> = Arc::new(vec![]);
         let bcast: PtsMsg<Qap> = PtsMsg::Broadcast {
             global: 0,
-            snapshot: snapshot.clone(),
-            tabu: vec![],
+            snapshot: full::<Qap>(snapshot.clone()),
+            tabu: Arc::clone(&empty),
         };
         let gbcast: PtsMsg<Qap> = PtsMsg::GroupBroadcast {
             global: 0,
-            snapshot,
-            tabu: vec![],
+            snapshot: full::<Qap>(snapshot),
+            tabu: empty,
         };
         assert_eq!(gbcast.wire_size(), bcast.wire_size());
         assert_eq!(gbcast.tag(), "GroupBroadcast");
+    }
+
+    #[test]
+    fn payload_encodes_delta_when_smaller_and_falls_back_when_not() {
+        use crate::config::SnapshotMode;
+        let base_snap = QapAssignment::new((0..32).collect());
+        let base: SnapshotBase<Qap> = SnapshotBase::initial(Arc::new(base_snap.clone()));
+
+        // Two facilities moved: a 2-entry delta (16 B + 8 B header)
+        // against a 256 B full snapshot.
+        let mut close = base_snap.as_slice().to_vec();
+        close.swap(3, 7);
+        let close = Arc::new(QapAssignment::new(close));
+        let p = SnapshotPayload::<Qap>::encode(SnapshotMode::Delta, &base, &close);
+        assert!(p.is_delta());
+        assert_eq!(p.wire_bytes(), 8 + 16);
+        assert!(p.wire_bytes() <= close.wire_bytes());
+        assert_eq!(*p.resolve(&base).unwrap(), *close);
+
+        // Everything moved: the delta would be 8 B/entry against 8 B/entry
+        // full — the encoder must fall back to Full.
+        let far = Arc::new(QapAssignment::new((0..32).rev().collect()));
+        let p = SnapshotPayload::<Qap>::encode(SnapshotMode::Delta, &base, &far);
+        assert!(!p.is_delta());
+        assert_eq!(p.wire_bytes(), far.wire_bytes());
+
+        // Full mode never deltas, even when one would be tiny.
+        let p = SnapshotPayload::<Qap>::encode(SnapshotMode::Full, &base, &close);
+        assert!(!p.is_delta());
+    }
+
+    #[test]
+    fn payload_resolve_rejects_unshared_base() {
+        let base: SnapshotBase<Qap> =
+            SnapshotBase::initial(Arc::new(QapAssignment::new((0..8).collect())));
+        let delta = SnapshotPayload::<Qap>::Delta {
+            base_seq: 3, // diffed against a broadcast this holder never saw
+            delta: Arc::new(<QapAssignment as DeltaSnapshot>::diff(
+                &base.snapshot,
+                &QapAssignment::new((0..8).rev().collect()),
+            )),
+        };
+        assert!(delta.resolve(&base).is_none());
+        let mut advanced = base.clone();
+        advanced.advance(2, Arc::clone(&base.snapshot));
+        assert_eq!(advanced.seq, 3);
+        assert!(delta.resolve(&advanced).is_some());
     }
 
     #[test]

@@ -3,11 +3,12 @@
 //! workload — and the placement-specific run outcome.
 
 use crate::config::PtsConfig;
-use crate::domain::{PtsDomain, SearchOutcome, WireSized};
+use crate::domain::{DeltaSnapshot, PtsDomain, SearchOutcome, WireSized};
 use pts_netlist::{CellId, Netlist, TimingGraph};
 use pts_place::cost::{CostScheme, RawObjectives};
 use pts_place::eval::{EvalConfig, Evaluator};
 use pts_place::init::random_placement;
+use pts_place::layout::SlotId;
 use pts_place::placement::Placement;
 use pts_tabu::problem::{AttrPair, SearchProblem};
 use pts_tabu::search::SearchStats;
@@ -123,6 +124,42 @@ impl WireSized for Placement {
     /// exchange dominates traffic.
     fn wire_bytes(&self) -> u64 {
         4 * self.num_cells() as u64
+    }
+}
+
+/// Delta between two placements of one run: the moved cells with their
+/// new slots.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlacementDelta(Vec<(CellId, SlotId)>);
+
+impl PlacementDelta {
+    /// The `(cell, new slot)` entries of this delta.
+    pub fn moves(&self) -> &[(CellId, SlotId)] {
+        &self.0
+    }
+}
+
+impl WireSized for PlacementDelta {
+    /// 8 bytes per moved cell (cell id + slot id, 4 + 4) — twice the
+    /// per-cell density of a full snapshot, so a delta only pays off
+    /// while fewer than half the cells moved; the payload encoder falls
+    /// back to a full snapshot beyond that.
+    fn wire_bytes(&self) -> u64 {
+        8 * self.0.len() as u64
+    }
+}
+
+impl DeltaSnapshot for Placement {
+    type Delta = PlacementDelta;
+
+    fn diff(base: &Placement, new: &Placement) -> PlacementDelta {
+        PlacementDelta(new.diff_from(base))
+    }
+
+    fn apply_delta(base: &Placement, delta: &PlacementDelta) -> Placement {
+        let mut p = base.clone();
+        p.apply_diff(&delta.0);
+        p
     }
 }
 

@@ -8,21 +8,52 @@
 //! placement. The shared flow/distance matrices are cloned per worker
 //! (each PVM process in the paper likewise held private problem data).
 
-use crate::domain::{PtsDomain, WireSized};
-use pts_tabu::qap::Qap;
+use crate::domain::{DeltaSnapshot, PtsDomain, WireSized};
+use pts_tabu::qap::{Qap, QapAssignment};
 use pts_tabu::SearchProblem;
 use pts_util::Rng;
 
-impl WireSized for Vec<usize> {
+impl WireSized for QapAssignment {
     /// 8 bytes per assignment entry.
     ///
-    /// Note: by the orphan rule this is the one `WireSized` model any
-    /// domain with a bare `Vec<usize>` snapshot can ever have. A future
-    /// domain wanting a different density (e.g. a 4-byte-per-city TSP
-    /// tour) should wrap its snapshot in a newtype and implement
-    /// `WireSized` there — see the ROADMAP "More domains" item.
+    /// This used to be a global `impl WireSized for Vec<usize>` — by the
+    /// orphan rule that was the one model *any* domain with a bare-Vec
+    /// snapshot could ever have. The [`QapAssignment`] newtype carries
+    /// QAP's own bandwidth model; a future domain (e.g. a
+    /// 4-byte-per-city TSP tour) wraps its snapshot the same way.
     fn wire_bytes(&self) -> u64 {
         8 * self.len() as u64
+    }
+}
+
+/// Delta between two QAP assignments: the facilities whose location
+/// changed, with their new location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QapDelta(Vec<(u32, u32)>);
+
+impl QapDelta {
+    /// The `(facility, new location)` entries of this delta.
+    pub fn changes(&self) -> &[(u32, u32)] {
+        &self.0
+    }
+}
+
+impl WireSized for QapDelta {
+    /// 8 bytes per changed facility (facility id + location, 4 + 4).
+    fn wire_bytes(&self) -> u64 {
+        8 * self.0.len() as u64
+    }
+}
+
+impl DeltaSnapshot for QapAssignment {
+    type Delta = QapDelta;
+
+    fn diff(base: &QapAssignment, new: &QapAssignment) -> QapDelta {
+        QapDelta(new.diff_from(base))
+    }
+
+    fn apply_delta(base: &QapAssignment, delta: &QapDelta) -> QapAssignment {
+        QapAssignment::with_changes(base, &delta.0)
     }
 }
 
@@ -62,15 +93,15 @@ impl PtsDomain for QapDomain {
 
     /// Fresh random assignment, deterministic in `seed` (independent of
     /// the instance's own starting assignment).
-    fn initial(&self, seed: u64) -> Vec<usize> {
+    fn initial(&self, seed: u64) -> QapAssignment {
         let n = self.instance.n();
         let mut order: Vec<usize> = (0..n).collect();
         let mut rng = Rng::new(seed ^ 0x1317);
         rng.shuffle(&mut order);
-        order
+        QapAssignment::new(order)
     }
 
-    fn instantiate(&self, snapshot: &Vec<usize>) -> Qap {
+    fn instantiate(&self, snapshot: &QapAssignment) -> Qap {
         let mut q = self.instance.clone();
         q.restore(snapshot);
         q
@@ -89,7 +120,7 @@ mod tests {
         let c = d.initial(43);
         assert_eq!(a, b);
         assert_ne!(a, c);
-        let mut sorted = a.clone();
+        let mut sorted = a.as_slice().to_vec();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..12).collect::<Vec<_>>(), "must be a permutation");
     }
@@ -99,13 +130,26 @@ mod tests {
         let d = QapDomain::random(10, 7);
         let snap = d.initial(1);
         let q = d.instantiate(&snap);
-        assert_eq!(q.snapshot_assignment(), snap);
+        assert_eq!(q.snapshot_assignment(), snap.as_slice());
         assert!((q.cost() - q.cost_exact()).abs() < 1e-9);
     }
 
     #[test]
     fn assignment_wire_size_scales() {
-        let v: Vec<usize> = (0..30).collect();
+        let v = QapAssignment::new((0..30).collect());
         assert_eq!(v.wire_bytes(), 240);
+    }
+
+    #[test]
+    fn delta_roundtrip_and_wire_model() {
+        let base = QapAssignment::new(vec![0, 1, 2, 3]);
+        let new = QapAssignment::new(vec![1, 0, 2, 3]);
+        let delta = <QapAssignment as DeltaSnapshot>::diff(&base, &new);
+        assert_eq!(delta.changes(), [(0, 1), (1, 0)]);
+        assert_eq!(delta.wire_bytes(), 16);
+        assert_eq!(
+            <QapAssignment as DeltaSnapshot>::apply_delta(&base, &delta),
+            new
+        );
     }
 }

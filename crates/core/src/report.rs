@@ -35,8 +35,10 @@ pub struct RunReport {
     pub wall_seconds: f64,
     /// Per-process counters, indexed by rank (master = 0). The sim engine
     /// reports full virtual-time accounting; the thread and async engines
-    /// report message/byte/work counters and recv wait time (busy time is
-    /// folded into wall time and reported as 0).
+    /// report message/byte/work counters and recv wait time. On Linux the
+    /// thread engine also fills `busy_time` with each worker thread's CPU
+    /// time (`getrusage(RUSAGE_THREAD)`); the async engine reports 0 busy
+    /// time (all workers share the calling thread).
     pub per_proc: Vec<ProcStats>,
 }
 
@@ -62,9 +64,11 @@ impl RunReport {
     }
 
     /// Fraction of total process-time spent computing rather than waiting.
-    /// Meaningful for the sim engine (the paper's utilization measure);
-    /// the wall-clock engines (threads, async) report 0 busy time, hence
-    /// 0.
+    /// Meaningful for the sim engine (the paper's utilization measure)
+    /// and, on Linux, for the thread engine (per-thread CPU time via
+    /// `getrusage(RUSAGE_THREAD)` against channel-blocked wall time).
+    /// The async engine multiplexes every worker on one thread and
+    /// reports 0 busy time, hence 0.
     pub fn utilization(&self) -> f64 {
         let busy: f64 = self.per_proc.iter().map(|p| p.busy_time).sum();
         let wait: f64 = self.per_proc.iter().map(|p| p.wait_time).sum();

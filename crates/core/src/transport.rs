@@ -102,6 +102,7 @@ impl<P: PtsProblem> Transport<P> for SimTransport<P> {
 
     fn send(&mut self, dst: usize, msg: PtsMsg<P>) {
         let bytes = msg.wire_size();
+        crate::meter::note_send(&msg);
         self.ctx.send_sized(ProcId(dst), msg, bytes);
     }
 
@@ -129,6 +130,11 @@ pub struct ThreadTransport<P: PtsProblem> {
     receiver: Receiver<PtsMsg<P>>,
     stats: ProcStats,
     sink: StatsSink,
+    /// This thread's CPU time when [`ThreadTransport::mark_thread_start`]
+    /// ran — the baseline `busy_time` is measured from. `None` until the
+    /// owning thread marks itself (the transport is constructed on the
+    /// spawning thread, whose CPU time is not this worker's).
+    cpu_baseline: Option<f64>,
 }
 
 impl<P: PtsProblem> ThreadTransport<P> {
@@ -148,7 +154,18 @@ impl<P: PtsProblem> ThreadTransport<P> {
             receiver,
             stats: ProcStats::default(),
             sink,
+            cpu_baseline: None,
         }
+    }
+
+    /// Start per-thread CPU accounting — call on the thread that will
+    /// drive the protocol, before its first protocol step. On Linux the
+    /// thread's CPU time from here to drop is reported as `busy_time`
+    /// (via `getrusage(RUSAGE_THREAD)`), which is what makes
+    /// [`crate::report::RunReport::utilization`] meaningful on the
+    /// thread engine; elsewhere busy time stays 0.
+    pub fn mark_thread_start(&mut self) {
+        self.cpu_baseline = pts_util::thread_cpu_seconds();
     }
 
     fn recv_blocking(&mut self) -> PtsMsg<P> {
@@ -180,6 +197,7 @@ impl<P: PtsProblem> Transport<P> for ThreadTransport<P> {
     fn send(&mut self, dst: usize, msg: PtsMsg<P>) {
         self.stats.messages_sent += 1;
         self.stats.bytes_sent += msg.wire_size();
+        crate::meter::note_send(&msg);
         // A receiver that already processed Stop may be gone; that's fine.
         let _ = self.senders[dst].send(msg);
     }
@@ -199,6 +217,12 @@ impl<P: PtsProblem> Transport<P> for ThreadTransport<P> {
 impl<P: PtsProblem> Drop for ThreadTransport<P> {
     fn drop(&mut self) {
         self.stats.finished_at = self.now();
+        // CPU consumed by this worker thread since mark_thread_start:
+        // its busy time (channel waits sleep, so they don't count).
+        if let (Some(baseline), Some(now_cpu)) = (self.cpu_baseline, pts_util::thread_cpu_seconds())
+        {
+            self.stats.busy_time = (now_cpu - baseline).max(0.0);
+        }
         if let Ok(mut sink) = self.sink.lock() {
             if self.rank < sink.len() {
                 sink[self.rank] = std::mem::take(&mut self.stats);
@@ -230,6 +254,7 @@ impl<P: PtsProblem> Transport<P> for TaskTransport<P> {
 
     fn send(&mut self, dst: usize, msg: PtsMsg<P>) {
         let bytes = msg.wire_size();
+        crate::meter::note_send(&msg);
         self.ctx.send_sized(dst, msg, bytes);
     }
 

@@ -16,13 +16,15 @@
 
 use crate::config::{PtsConfig, SyncPolicy};
 use crate::domain::PtsDomain;
-use crate::messages::PtsMsg;
+use crate::messages::{PtsMsg, SnapshotBase, SnapshotPayload};
+use crate::meter;
 use crate::transport::{protocol_warn, Transport};
 use pts_tabu::aspiration::Aspiration;
 use pts_tabu::compound::CompoundMove;
 use pts_tabu::problem::SearchProblem;
 use pts_tabu::search::{StepOutcome, TabuEngine, TabuPolicy, TabuSearchConfig};
 use pts_tabu::DiversifiableProblem;
+use std::sync::Arc;
 
 type MoveOf<D> = <<D as PtsDomain>::Problem as SearchProblem>::Move;
 /// A CLW proposal: move chain + the cost it reaches.
@@ -55,14 +57,25 @@ pub async fn run_tsw<D: PtsDomain, T: Transport<D::Problem>>(
     };
     let mut div_rng = crate::clw::worker_rng(cfg.seed, div_salt);
 
-    // Wait for Init.
-    let mut problem = loop {
+    // Wait for Init. The initial solution doubles as the sequence-0
+    // snapshot base shared with the parent: reports diff against it
+    // until the first broadcast re-anchors it.
+    let (mut base, mut problem) = loop {
         match t.recv().await {
-            PtsMsg::Init { snapshot } => break domain.instantiate(&snapshot),
+            PtsMsg::Init { snapshot } => {
+                let problem = domain.instantiate(&snapshot);
+                break (SnapshotBase::<D::Problem>::initial(snapshot), problem);
+            }
             PtsMsg::Stop => return,
             _ => {}
         }
     };
+    // The state this TSW's CLWs currently hold — they start at Init and
+    // mirror every accepted compound, so at each sync point their state
+    // is exactly this TSW's state at the *previous* report. AdoptState
+    // payloads diff against it (delta mode only; in full mode the base
+    // is never consulted, so the per-round capture below is skipped).
+    let mut clw_sync = SnapshotBase::<D::Problem>::initial(Arc::clone(&base.snapshot));
 
     let engine_cfg = TabuSearchConfig {
         tenure: cfg.tenure,
@@ -91,15 +104,23 @@ pub async fn run_tsw<D: PtsDomain, T: Transport<D::Problem>>(
             );
             t.compute(cfg.work.per_diversify_step * depth as f64);
         }
-        // Synchronize CLWs with the (possibly diversified) current state.
+        // Synchronize CLWs with the (possibly diversified) current state:
+        // one snapshot allocation shared across the whole CLW group, and
+        // usually just a delta — against the CLWs' own current state —
+        // covering the adopted broadcast plus the diversification moves.
+        let state = Arc::new(problem.snapshot());
+        meter::record_snapshot_alloc();
+        let sync = SnapshotPayload::encode(cfg.snapshot_mode, &clw_sync, &state);
         for &c in &clws {
             t.send(
                 c,
                 PtsMsg::AdoptState {
-                    snapshot: problem.snapshot(),
+                    seq: g,
+                    snapshot: sync.clone(),
                 },
             );
         }
+        drop((state, sync));
 
         // --- Local iterations -------------------------------------------
         let mut force_pending = false;
@@ -160,14 +181,26 @@ pub async fn run_tsw<D: PtsDomain, T: Transport<D::Problem>>(
         // arriving after this point (the force-after-report race: the
         // parent forced us while our report was already in flight) is
         // recognized as stale in the adoption loop below and dropped.
+        // The CLWs mirrored every accepted compound this round, so the
+        // problem state *now* is exactly what they hold: capture it as
+        // the base the next round's AdoptState delta is diffed against
+        // (the broadcast adoption below moves this TSW off it). No next
+        // round, no capture — the final iteration ends in Stop.
+        if cfg.snapshot_mode == crate::config::SnapshotMode::Delta && g + 1 < cfg.global_iters {
+            meter::record_snapshot_alloc();
+            clw_sync.advance(g, Arc::new(problem.snapshot()));
+        }
+
+        let best = Arc::new(engine.best().clone());
+        meter::record_snapshot_alloc();
         t.send(
             parent,
             PtsMsg::Report {
                 tsw: tsw_index,
                 global: g,
                 cost: engine.best_cost(),
-                snapshot: engine.best().clone(),
-                tabu: engine.export_tabu(),
+                snapshot: SnapshotPayload::encode(cfg.snapshot_mode, &base, &best),
+                tabu: Arc::new(engine.export_tabu()),
                 trace: engine.trace().points().to_vec(),
                 stats: *engine.stats(),
             },
@@ -180,10 +213,22 @@ pub async fn run_tsw<D: PtsDomain, T: Transport<D::Problem>>(
                     global,
                     snapshot,
                     tabu,
-                } if global == g => {
-                    engine.adopt(&mut problem, &snapshot, &tabu, t.now());
-                    break;
-                }
+                } if global == g => match snapshot.resolve(&base) {
+                    Some(full) => {
+                        engine.adopt(&mut problem, &full, &tabu, t.now());
+                        // The adopted broadcast becomes the base the next
+                        // report is diffed against — both ends re-anchor.
+                        base.advance(global, full);
+                        break;
+                    }
+                    // A broadcast delta against a base this TSW does not
+                    // hold: protocol violation — warn and drop, like the
+                    // collectors' hardening paths.
+                    None => protocol_warn(
+                        t.rank(),
+                        "dropping Broadcast delta against a base this TSW does not hold",
+                    ),
+                },
                 PtsMsg::Stop => {
                     for &c in &clws {
                         t.send(c, PtsMsg::Stop);

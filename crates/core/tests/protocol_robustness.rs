@@ -11,13 +11,14 @@
 //! twice for this reason).
 
 use pts_core::config::PtsConfig;
-use pts_core::messages::PtsMsg;
+use pts_core::messages::{PtsMsg, SnapshotPayload};
 use pts_core::transport::{drive_sync, Transport};
 use pts_core::{master, tsw, PtsDomain, QapDomain, SyncPolicy};
-use pts_tabu::qap::Qap;
+use pts_tabu::qap::{Qap, QapAssignment};
 use pts_tabu::search::SearchStats;
 use std::collections::VecDeque;
 use std::future::Future;
+use std::sync::Arc;
 use std::task::Poll;
 
 /// A transport whose inbox is a pre-scripted message sequence: `recv`
@@ -83,13 +84,13 @@ impl Transport<Qap> for ScriptTransport {
     }
 }
 
-fn report(tsw: usize, global: u32, cost: f64, snapshot: Vec<usize>) -> PtsMsg<Qap> {
+fn report(tsw: usize, global: u32, cost: f64, snapshot: QapAssignment) -> PtsMsg<Qap> {
     PtsMsg::Report {
         tsw,
         global,
         cost,
-        snapshot,
-        tabu: vec![],
+        snapshot: SnapshotPayload::Full(Arc::new(snapshot)),
+        tabu: Arc::new(vec![]),
         trace: vec![],
         stats: SearchStats {
             iterations: 1,
@@ -188,7 +189,7 @@ fn sub_master_applies_local_quorum_and_rejects_malformed_reports() {
     let snap = initial.clone();
     let script = vec![
         PtsMsg::Init {
-            snapshot: snap.clone(),
+            snapshot: Arc::new(snap.clone()),
         },
         report(0, 0, 3.0, snap.clone()),
         // Duplicate from TSW 0 with a better cost: rejected outright.
@@ -287,7 +288,7 @@ fn tsw_ignores_force_report_arriving_after_its_own_report() {
     let tsw_index = 0;
     let script = vec![
         PtsMsg::Init {
-            snapshot: initial.clone(),
+            snapshot: Arc::new(initial.clone()),
         },
         // The single local iteration's CLW proposal.
         PtsMsg::Proposal {
@@ -344,7 +345,7 @@ fn tsw_force_during_collection_still_yields_one_report() {
     let seq0 = ((tsw_index as u64) << 40) + 1;
     let script = vec![
         PtsMsg::Init {
-            snapshot: initial.clone(),
+            snapshot: Arc::new(initial.clone()),
         },
         // Round 0, local iteration 0: the force arrives while the TSW is
         // waiting for its CLW's proposal...
@@ -395,7 +396,7 @@ fn sharded_tsw_reports_to_its_group_sub_master() {
     let seq0 = ((tsw_index as u64) << 40) + 1;
     let script = vec![
         PtsMsg::Init {
-            snapshot: initial.clone(),
+            snapshot: Arc::new(initial.clone()),
         },
         PtsMsg::Proposal {
             clw: 0,

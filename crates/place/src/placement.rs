@@ -142,6 +142,42 @@ impl Placement {
         Ok(())
     }
 
+    /// The cells whose slot differs from `base`, with their slot in
+    /// `self` — the placement move delta. Empty when the placements are
+    /// equal. Both placements must be over the same layout.
+    pub fn diff_from(&self, base: &Placement) -> Vec<(CellId, SlotId)> {
+        assert_eq!(
+            self.num_cells(),
+            base.num_cells(),
+            "placements must place the same cells"
+        );
+        self.slot_of_cell
+            .iter()
+            .zip(base.slot_of_cell.iter())
+            .enumerate()
+            .filter(|(_, (new, old))| new != old)
+            .map(|(c, (new, _))| (CellId(c as u32), *new))
+            .collect()
+    }
+
+    /// Apply a [`Placement::diff_from`] result onto this placement (a
+    /// copy of the base the diff was taken against), reproducing the
+    /// placement the diff was taken *from*. Two passes keep the
+    /// cell ↔ slot bijection intact: every moved cell first vacates its
+    /// old slot, then all moved cells land on their new slots (which are
+    /// each either freshly vacated or already empty).
+    pub fn apply_diff(&mut self, moves: &[(CellId, SlotId)]) {
+        for &(cell, _) in moves {
+            let old = self.slot_of_cell[cell.index()];
+            self.cell_in_slot[old.index()] = None;
+        }
+        for &(cell, slot) in moves {
+            self.slot_of_cell[cell.index()] = slot;
+            self.cell_in_slot[slot.index()] = Some(cell);
+        }
+        debug_assert_eq!(self.check_consistency(), Ok(()));
+    }
+
     /// Distance between two placements: number of cells in different slots.
     /// Used by diversification tests.
     pub fn hamming_distance(&self, other: &Placement) -> usize {
@@ -220,6 +256,32 @@ mod tests {
         assert_eq!(a.hamming_distance(&b), 0);
         a.swap_cells(CellId(0), CellId(3));
         assert_eq!(a.hamming_distance(&b), 2);
+    }
+
+    #[test]
+    fn diff_apply_roundtrips() {
+        let mut rng = Rng::new(11);
+        let base = Placement::random(Layout::new(4, 5, 2.0, 1.0), 16, &mut rng);
+        let mut new = base.clone();
+        // A chain of swaps plus a move into an empty slot: exercises both
+        // cell↔cell exchanges and occupancy changes.
+        new.swap_cells(CellId(0), CellId(7));
+        new.swap_cells(CellId(7), CellId(12));
+        let empty = new.empty_slots()[0];
+        new.move_to_empty(CellId(3), empty);
+
+        let delta = new.diff_from(&base);
+        assert_eq!(delta.len(), new.hamming_distance(&base));
+        let mut rebuilt = base.clone();
+        rebuilt.apply_diff(&delta);
+        assert_eq!(rebuilt, new);
+        rebuilt.check_consistency().unwrap();
+
+        // Empty delta between equal placements.
+        assert!(base.diff_from(&base).is_empty());
+        let mut same = base.clone();
+        same.apply_diff(&[]);
+        assert_eq!(same, base);
     }
 
     #[test]

@@ -226,12 +226,7 @@ mod tests {
         let _ = intensify(&mut qap, &mut rng, &snap, 12, 6, Some(&mem));
         // No crash + state valid; the bias itself is statistical. Verify
         // the run applied the requested number of moves by distance.
-        let moved = qap
-            .snapshot()
-            .iter()
-            .zip(snap.iter())
-            .filter(|(a, b)| a != b)
-            .count();
+        let moved = qap.snapshot().diff_from(&snap).len();
         assert!(moved > 0);
     }
 }

@@ -41,6 +41,7 @@ pub use diversify::DiversifiableProblem;
 pub use intensify::{intensify, ElitePool};
 pub use memory::FrequencyMemory;
 pub use problem::{AttrPair, SearchProblem};
+pub use qap::{Qap, QapAssignment};
 pub use reactive::{ReactiveConfig, ReactiveTenure};
 pub use search::{SearchResult, TabuSearch, TabuSearchConfig};
 pub use tabu_list::TabuList;

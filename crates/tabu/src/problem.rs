@@ -22,6 +22,17 @@ pub trait SearchProblem {
     /// Move attribute stored in tabu memory.
     type Attribute: Clone + Eq + std::hash::Hash + std::fmt::Debug;
     /// A full copy of a solution, for best-so-far tracking.
+    ///
+    /// Contract: [`SearchProblem::restore`] followed by
+    /// [`SearchProblem::snapshot`] must reproduce the snapshot *exactly*
+    /// (`==` if the type is comparable). Layers above rely on this —
+    /// notably the parallel pipeline's delta-encoded snapshot protocol,
+    /// which reconstructs broadcast solutions from a shared base plus a
+    /// move delta and requires the reconstruction to be bit-identical to
+    /// the full snapshot. Prefer a dedicated newtype over a bare standard
+    /// container (e.g. [`crate::qap::QapAssignment`] rather than
+    /// `Vec<usize>`) so the snapshot can carry its own wire-size and
+    /// delta models without tripping the orphan rule.
     type Snapshot: Clone;
 
     /// Scalar cost of the current state (lower is better).

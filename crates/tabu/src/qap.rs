@@ -10,6 +10,76 @@ use crate::problem::{AttrPair, SearchProblem};
 use pts_util::Rng;
 use std::sync::Arc;
 
+/// A facility → location assignment, the QAP solution snapshot.
+///
+/// A dedicated newtype rather than a bare `Vec<usize>`: downstream crates
+/// attach per-domain capabilities (wire-size models, delta encoding) to
+/// the snapshot type, and the orphan rule makes a global `impl` on
+/// `Vec<usize>` the *only* model any bare-Vec domain could ever have. The
+/// newtype keeps QAP's models its own.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QapAssignment(Vec<usize>);
+
+impl QapAssignment {
+    /// Wrap an explicit assignment (`loc_of[facility] = location`).
+    pub fn new(loc_of: Vec<usize>) -> QapAssignment {
+        QapAssignment(loc_of)
+    }
+
+    /// Number of facilities.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` for the empty assignment (never occurs in a valid instance).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The raw `facility → location` slice.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Unwrap into the raw assignment vector.
+    pub fn into_vec(self) -> Vec<usize> {
+        self.0
+    }
+
+    /// The facilities whose location differs from `base`, with their
+    /// location in `self` — the QAP move delta. Empty when the
+    /// assignments are equal.
+    pub fn diff_from(&self, base: &QapAssignment) -> Vec<(u32, u32)> {
+        assert_eq!(self.len(), base.len(), "assignments must be same size");
+        self.0
+            .iter()
+            .zip(base.0.iter())
+            .enumerate()
+            .filter(|(_, (new, old))| new != old)
+            .map(|(f, (new, _))| (f as u32, *new as u32))
+            .collect()
+    }
+
+    /// Rebuild the assignment `changes` was diffed *to*, starting from
+    /// `base` (the assignment it was diffed *against*). Inverse of
+    /// [`QapAssignment::diff_from`].
+    pub fn with_changes(base: &QapAssignment, changes: &[(u32, u32)]) -> QapAssignment {
+        let mut loc_of = base.0.clone();
+        for &(facility, location) in changes {
+            loc_of[facility as usize] = location as usize;
+        }
+        QapAssignment(loc_of)
+    }
+}
+
+impl std::ops::Index<usize> for QapAssignment {
+    type Output = usize;
+
+    fn index(&self, facility: usize) -> &usize {
+        &self.0[facility]
+    }
+}
+
 /// A QAP instance plus its current assignment.
 ///
 /// The flow/distance matrices are behind [`Arc`]s: cloning an instance —
@@ -133,7 +203,7 @@ impl SearchProblem for Qap {
     /// `(facility, location)` pairs: re-placing a facility at a recently
     /// vacated location is tabu.
     type Attribute = (u32, u32);
-    type Snapshot = Vec<usize>;
+    type Snapshot = QapAssignment;
 
     fn cost(&self) -> f64 {
         self.cost
@@ -187,12 +257,13 @@ impl SearchProblem for Qap {
     }
 
     fn snapshot(&self) -> Self::Snapshot {
-        self.loc_of.clone()
+        QapAssignment::new(self.loc_of.clone())
     }
 
     fn restore(&mut self, snapshot: &Self::Snapshot) {
         assert_eq!(snapshot.len(), self.n);
-        self.loc_of.clone_from(snapshot);
+        self.loc_of.clear();
+        self.loc_of.extend_from_slice(snapshot.as_slice());
         self.cost = self.cost_exact();
     }
 }
@@ -270,6 +341,18 @@ mod tests {
         let b = Qap::random(12, 42);
         assert_eq!(a.snapshot_assignment(), b.snapshot_assignment());
         assert!((a.cost() - b.cost()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assignment_diff_roundtrips() {
+        let base = QapAssignment::new(vec![0, 1, 2, 3, 4]);
+        let new = QapAssignment::new(vec![0, 4, 2, 3, 1]);
+        let delta = new.diff_from(&base);
+        assert_eq!(delta, vec![(1, 4), (4, 1)]);
+        assert_eq!(QapAssignment::with_changes(&base, &delta), new);
+        // Empty delta between equal assignments.
+        assert!(base.diff_from(&base).is_empty());
+        assert_eq!(QapAssignment::with_changes(&base, &[]), base);
     }
 
     #[test]

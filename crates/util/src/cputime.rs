@@ -1,0 +1,105 @@
+//! Per-thread CPU time.
+//!
+//! The wall-clock execution engines want to report how much of a worker
+//! thread's lifetime was actual computation versus blocking on a channel —
+//! the utilization measure the paper reports for its PVM workers. Wall
+//! clocks cannot separate the two on a thread that sleeps in `recv`;
+//! `getrusage(RUSAGE_THREAD)` can: it returns the calling thread's
+//! user + system CPU time, which only advances while the thread runs.
+//!
+//! 64-bit-Linux-only (`RUSAGE_THREAD` is a Linux extension, and the
+//! hand-declared struct below uses the 64-bit ABI's `timeval` layout —
+//! on 32-bit targets the fields would be misread); other platforms get
+//! `None` and callers fall back to reporting no busy time. The libc call
+//! is declared directly — the workspace builds offline without the `libc`
+//! crate, and std already links the system C library.
+
+/// The calling thread's cumulative CPU time (user + system) in seconds,
+/// or `None` where per-thread accounting is unavailable.
+pub fn thread_cpu_seconds() -> Option<f64> {
+    imp::thread_cpu_seconds()
+}
+
+#[cfg(all(target_os = "linux", target_pointer_width = "64"))]
+mod imp {
+    /// `struct timeval` as the kernel fills it on 64-bit Linux.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct Timeval {
+        tv_sec: i64,
+        tv_usec: i64,
+    }
+
+    /// `struct rusage`: the two timevals we read, plus room for the 14
+    /// `long` counters the kernel writes after them (padded above the
+    /// glibc layout so the syscall never writes past the buffer).
+    #[repr(C)]
+    struct Rusage {
+        ru_utime: Timeval,
+        ru_stime: Timeval,
+        _counters: [i64; 16],
+    }
+
+    /// Linux extension: rusage of the calling thread only.
+    const RUSAGE_THREAD: i32 = 1;
+
+    extern "C" {
+        fn getrusage(who: i32, usage: *mut Rusage) -> i32;
+    }
+
+    pub fn thread_cpu_seconds() -> Option<f64> {
+        let mut ru = Rusage {
+            ru_utime: Timeval {
+                tv_sec: 0,
+                tv_usec: 0,
+            },
+            ru_stime: Timeval {
+                tv_sec: 0,
+                tv_usec: 0,
+            },
+            _counters: [0; 16],
+        };
+        // SAFETY: `ru` is a valid, writable buffer at least as large as
+        // the kernel's `struct rusage`; `getrusage` writes within it and
+        // keeps no reference past the call.
+        let rc = unsafe { getrusage(RUSAGE_THREAD, &mut ru) };
+        if rc != 0 {
+            return None;
+        }
+        let secs = |tv: Timeval| tv.tv_sec as f64 + tv.tv_usec as f64 * 1e-6;
+        Some(secs(ru.ru_utime) + secs(ru.ru_stime))
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_pointer_width = "64")))]
+mod imp {
+    pub fn thread_cpu_seconds() -> Option<f64> {
+        None
+    }
+}
+
+#[cfg(all(test, target_os = "linux", target_pointer_width = "64"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_time_is_monotone_and_thread_local() {
+        let start = thread_cpu_seconds().expect("RUSAGE_THREAD on linux");
+        // Spin real CPU work; a sleeping sibling thread must not inflate
+        // this thread's counter the way process-wide rusage would.
+        let sleeper = std::thread::spawn(|| {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        });
+        let mut acc = 0u64;
+        while thread_cpu_seconds().unwrap() - start < 5e-3 {
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+        }
+        std::hint::black_box(acc);
+        sleeper.join().unwrap();
+        let end = thread_cpu_seconds().unwrap();
+        assert!(end >= start + 5e-3);
+        assert!(end - start < 5.0, "spun {}s of CPU?!", end - start);
+    }
+}

@@ -6,11 +6,13 @@
 //! reproducible from a single `u64` seed, independent of platform or external
 //! crate version churn.
 
+pub mod cputime;
 pub mod csv;
 pub mod rng;
 pub mod stats;
 pub mod table;
 
+pub use cputime::thread_cpu_seconds;
 pub use rng::Rng;
 pub use stats::{OnlineStats, Summary};
 pub use table::Table;

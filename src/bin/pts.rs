@@ -14,7 +14,7 @@
 
 use parallel_tabu_search::core::{
     common_quality_target, speedup_sweep, AsyncEngine, CostKind, ExecutionEngine, Pts, PtsDomain,
-    PtsRun, QapDomain, SimEngine, SyncPolicy, ThreadEngine,
+    PtsRun, QapDomain, SimEngine, SnapshotMode, SyncPolicy, ThreadEngine,
 };
 use parallel_tabu_search::netlist::{
     benchmark_names, by_name, format, generate, CircuitSpec, Netlist, NetlistStats, TimingGraph,
@@ -67,7 +67,10 @@ USAGE:
                [--engine sim|threads|async] [--sync half|all] [--no-diversify]
                [--differentiate] [--cost fuzzy|weighted] [--seed N]
                [--candidates N] [--depth N] [--report-fraction F]
-               [--shard-fanout N]   (0 = flat master, >= 2 = sub-master tree)
+               [--shard-fanout N|auto]  (0 = flat master, >= 2 = sub-master
+                                         tree, auto = f ~ sqrt(n_tsw))
+               [--snapshot-mode delta|full]  (delta = diff against the last
+                                              broadcast, default)
   pts sweep    --what clw|tsw [--max N] [--circuit NAME] [common options]
   pts generate --cells N [--seed N] [--out FILE]
   pts show     --file FILE
@@ -148,8 +151,20 @@ fn build_run(opts: &Opts) -> Result<PtsRun, String> {
         .candidates(opts.parse_num("candidates", 8usize)?)
         .depth(opts.parse_num("depth", 3usize)?)
         .report_fraction(opts.parse_num("report-fraction", 0.5f64)?)
-        .shard_fanout(opts.parse_num("shard-fanout", 0usize)?)
         .seed(opts.parse_num("seed", 0xC0FFEEu64)?);
+    builder = match opts.get("shard-fanout") {
+        Some("auto") => builder.shard_fanout_auto(),
+        _ => builder.shard_fanout(opts.parse_num("shard-fanout", 0usize)?),
+    };
+    builder = match opts.get("snapshot-mode").unwrap_or("delta") {
+        "delta" => builder.snapshot_mode(SnapshotMode::Delta),
+        "full" => builder.snapshot_mode(SnapshotMode::Full),
+        other => {
+            return Err(format!(
+                "--snapshot-mode must be 'delta' or 'full', got '{other}'"
+            ))
+        }
+    };
     if opts.flag("no-diversify") {
         builder = builder.diversify(false);
     }
@@ -276,13 +291,13 @@ fn print_report(
     println!("search time  : {end_time:.2} s ({clock})");
     println!("wall time    : {:.2} s", report.wall_seconds);
     println!("forced reports: {forced_reports}");
-    // Utilization is a virtual-time measure; the wall-clock engine does
-    // not observe busy time.
-    let utilization = match report.clock {
-        parallel_tabu_search::core::ClockDomain::Virtual => {
-            format!("{:.0}% utilization", report.utilization() * 100.0)
-        }
-        parallel_tabu_search::core::ClockDomain::Wall => "utilization n/a".to_string(),
+    // Utilization: virtual busy/wait on the sim engine, per-thread CPU
+    // time (getrusage, Linux) on the thread engine; the async engine
+    // multiplexes all workers on one thread and reports none.
+    let utilization = if report.utilization() > 0.0 {
+        format!("{:.0}% utilization", report.utilization() * 100.0)
+    } else {
+        "utilization n/a".to_string()
     };
     println!(
         "engine       : {} — {} messages, {utilization}",

@@ -60,9 +60,10 @@ pub use pts_vcluster as vcluster;
 /// The names most applications need.
 pub mod prelude {
     pub use pts_core::{
-        run_sequential_baseline, AsyncEngine, ClockDomain, ConfigError, CostKind, ExecutionEngine,
-        MasterOutcome, PlacementDomain, PlacementRunOutput, Pts, PtsConfig, PtsDomain, PtsRun,
-        QapDomain, RunBuilder, RunReport, SimEngine, SyncPolicy, ThreadEngine,
+        run_sequential_baseline, AsyncEngine, ClockDomain, ConfigError, CostKind, DeltaSnapshot,
+        ExecutionEngine, MasterOutcome, PlacementDomain, PlacementRunOutput, Pts, PtsConfig,
+        PtsDomain, PtsRun, QapDomain, RunBuilder, RunReport, SimEngine, SnapshotMode, SyncPolicy,
+        ThreadEngine,
     };
     pub use pts_netlist::{benchmark_names, by_name, Netlist, TimingGraph};
     pub use pts_place::{Evaluator, Layout, Placement};

@@ -1,0 +1,143 @@
+//! Property tests for the delta-encoded snapshot layer: for both wired-in
+//! domains, `apply_delta(base, diff(base, new)) == new` exactly — the
+//! invariant that makes delta mode bit-identical in search trajectory to
+//! full-snapshot mode — including the empty-delta and everything-moved
+//! extremes, and the payload encoder never ships more bytes than a full
+//! snapshot would.
+
+use parallel_tabu_search::place::layout::Layout;
+use parallel_tabu_search::prelude::*;
+use parallel_tabu_search::tabu::qap::QapAssignment;
+use proptest::prelude::*;
+use pts_core::{PlacementProblem, SnapshotBase, SnapshotPayload, WireSized};
+use pts_netlist::CellId;
+use pts_tabu::Qap;
+use std::sync::Arc;
+
+/// A random permutation of `0..n`, seeded.
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut v: Vec<usize> = (0..n).collect();
+    let mut rng = Rng::new(seed);
+    rng.shuffle(&mut v);
+    v
+}
+
+/// A pair of placements over one layout: a random base and a mutation of
+/// it by `swaps` random swaps (0 swaps = identical placements).
+fn placement_pair(n_cells: usize, swaps: usize, seed: u64) -> (Placement, Placement) {
+    let layout = Layout::for_cells(n_cells);
+    let mut rng = Rng::new(seed);
+    let base = Placement::random(layout, n_cells, &mut rng);
+    let mut new = base.clone();
+    for _ in 0..swaps {
+        let a = rng.index(n_cells);
+        let mut b = rng.index(n_cells);
+        while b == a {
+            b = rng.index(n_cells);
+        }
+        new.swap_cells(CellId(a as u32), CellId(b as u32));
+    }
+    (base, new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn placement_delta_roundtrips(n_cells in 4usize..120, swaps in 0usize..40, seed in 0u64..10_000) {
+        let (base, new) = placement_pair(n_cells, swaps, seed);
+        let delta = <Placement as DeltaSnapshot>::diff(&base, &new);
+        let rebuilt = <Placement as DeltaSnapshot>::apply_delta(&base, &delta);
+        prop_assert_eq!(&rebuilt, &new);
+        rebuilt.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn qap_delta_roundtrips(n in 2usize..80, seed_a in 0u64..10_000, seed_b in 0u64..10_000) {
+        let base = QapAssignment::new(permutation(n, seed_a));
+        let new = QapAssignment::new(permutation(n, seed_b));
+        let delta = <QapAssignment as DeltaSnapshot>::diff(&base, &new);
+        prop_assert_eq!(
+            <QapAssignment as DeltaSnapshot>::apply_delta(&base, &delta),
+            new
+        );
+    }
+
+    #[test]
+    fn encoded_payload_never_exceeds_full_wire_bytes(n in 4usize..80, seed_a in 0u64..10_000, seed_b in 0u64..10_000) {
+        // The fallback rule: whatever the encoder picks — delta or full —
+        // its wire size is bounded by the full snapshot's, for near,
+        // far, and identical snapshot pairs alike.
+        let base = QapAssignment::new(permutation(n, seed_a));
+        let new = Arc::new(QapAssignment::new(permutation(n, seed_b)));
+        let base = SnapshotBase::<Qap>::initial(Arc::new(base));
+        let payload = SnapshotPayload::<Qap>::encode(SnapshotMode::Delta, &base, &new);
+        prop_assert!(payload.wire_bytes() <= new.wire_bytes());
+        prop_assert_eq!(&*payload.resolve(&base).unwrap(), &*new);
+        // Full mode is the upper bound itself.
+        let full = SnapshotPayload::<Qap>::encode(SnapshotMode::Full, &base, &new);
+        prop_assert_eq!(full.wire_bytes(), new.wire_bytes());
+    }
+}
+
+#[test]
+fn placement_delta_extremes() {
+    // Empty delta: identical placements.
+    let (base, same) = placement_pair(60, 0, 9);
+    let delta = <Placement as DeltaSnapshot>::diff(&base, &same);
+    assert_eq!(
+        <Placement as DeltaSnapshot>::apply_delta(&base, &delta),
+        same
+    );
+    assert_eq!(delta.wire_bytes(), 0);
+
+    // Every cell moved: a rotation displaces all of them; the encoder
+    // must fall back to a full payload (8 B/moved cell vs 4 B/cell full).
+    let layout = Layout::for_cells(40);
+    let mut rng = Rng::new(3);
+    let base = Placement::random(layout, 40, &mut rng);
+    let mut new = base.clone();
+    for c in 1..40u32 {
+        new.swap_cells(CellId(0), CellId(c));
+    }
+    assert_eq!(new.hamming_distance(&base), 40);
+    let delta = <Placement as DeltaSnapshot>::diff(&base, &new);
+    assert_eq!(
+        <Placement as DeltaSnapshot>::apply_delta(&base, &delta),
+        new
+    );
+    let snap_base = SnapshotBase::<PlacementProblem>::initial(Arc::new(base));
+    let payload = SnapshotPayload::<PlacementProblem>::encode(
+        SnapshotMode::Delta,
+        &snap_base,
+        &Arc::new(new),
+    );
+    assert!(
+        !payload.is_delta(),
+        "all-cells-moved must fall back to Full"
+    );
+}
+
+#[test]
+fn qap_delta_extremes() {
+    let base = QapAssignment::new((0..50).collect());
+    // Empty delta.
+    let delta = <QapAssignment as DeltaSnapshot>::diff(&base, &base);
+    assert_eq!(delta.wire_bytes(), 0);
+    assert_eq!(
+        <QapAssignment as DeltaSnapshot>::apply_delta(&base, &delta),
+        base
+    );
+    // Everything moved (reversal): round-trips, and the encoder falls
+    // back to Full (delta would be as large as the snapshot).
+    let rev = Arc::new(QapAssignment::new((0..50).rev().collect()));
+    let delta = <QapAssignment as DeltaSnapshot>::diff(&base, &rev);
+    assert_eq!(
+        <QapAssignment as DeltaSnapshot>::apply_delta(&base, &delta),
+        *rev
+    );
+    let snap_base = SnapshotBase::<Qap>::initial(Arc::new(base));
+    let payload = SnapshotPayload::<Qap>::encode(SnapshotMode::Delta, &snap_base, &rev);
+    assert!(!payload.is_delta());
+    assert_eq!(payload.wire_bytes(), rev.wire_bytes());
+}

@@ -62,8 +62,23 @@ fn sim_results_match_pinned_golden_values() {
     // refactors (RNG salting, scheme freezing, scheduling, sharding). If
     // a change is *supposed* to alter the search trajectory, update
     // these constants deliberately in the same commit.
+    //
+    // `SnapshotMode::Full` is that lineage's wire format: every message
+    // size — and hence the whole virtual timeline — must still match the
+    // pre-delta-protocol constants exactly. The delta layer must be
+    // invisible when switched off.
     let netlist = Arc::new(by_name("highway").unwrap());
-    let out = run(7, SyncPolicy::HalfReport, netlist);
+    let out = Pts::builder()
+        .tsw_workers(3)
+        .clw_workers(2)
+        .global_iters(3)
+        .local_iters(5)
+        .seed(7)
+        .sync(SyncPolicy::HalfReport)
+        .snapshot_mode(SnapshotMode::Full)
+        .build()
+        .unwrap()
+        .run_placement(netlist, &SimEngine::paper());
     assert_eq!(out.outcome.initial_cost, 0.4545454545454546);
     assert_eq!(out.outcome.best_cost, 0.3443553378135912);
     assert_eq!(out.outcome.end_time, 356.30363866666653);
@@ -75,6 +90,29 @@ fn sim_results_match_pinned_golden_values() {
     assert_eq!(out.outcome.trace.points().len(), 11);
     assert_eq!(out.report.total_messages(), 357);
     assert_eq!(out.report.total_bytes(), 28476);
+}
+
+#[test]
+fn sim_results_match_pinned_golden_values_delta_mode() {
+    // The default delta protocol: same search (highway's trajectory is
+    // identical move for move — snapshots reconstructed from deltas are
+    // bit-identical), same message count, fewer wire bytes, and a
+    // correspondingly earlier virtual finish. Captured at the delta
+    // protocol's introduction; update deliberately with any change that
+    // is supposed to alter wire sizes or the trajectory.
+    let netlist = Arc::new(by_name("highway").unwrap());
+    let out = run(7, SyncPolicy::HalfReport, netlist);
+    assert_eq!(out.outcome.initial_cost, 0.4545454545454546);
+    assert_eq!(out.outcome.best_cost, 0.3443553378135912);
+    assert_eq!(out.outcome.end_time, 356.3028146666666);
+    assert_eq!(out.outcome.forced_reports, 3);
+    assert_eq!(
+        out.outcome.best_per_global_iter,
+        vec![0.373612307065027, 0.3443553378135912, 0.3443553378135912]
+    );
+    assert_eq!(out.outcome.trace.points().len(), 11);
+    assert_eq!(out.report.total_messages(), 357);
+    assert_eq!(out.report.total_bytes(), 24708);
 }
 
 #[test]

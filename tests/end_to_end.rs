@@ -99,7 +99,7 @@ fn qap_improves_end_to_end_on_both_engines() {
             out.outcome.best_cost
         );
         // The best assignment is still a permutation.
-        let mut sorted = out.outcome.best.clone();
+        let mut sorted = out.outcome.best.as_slice().to_vec();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..30).collect::<Vec<_>>());
     }

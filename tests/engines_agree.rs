@@ -264,6 +264,98 @@ fn async_engine_handles_a_thousand_workers() {
 }
 
 #[test]
+fn delta_mode_is_bit_identical_to_full_mode_on_all_engines() {
+    // The delta-snapshot protocol is a wire format, not a search change:
+    // snapshots reconstructed from base + delta are bit-identical to the
+    // full copies, so under WaitAll (where nothing depends on timing)
+    // every engine must walk the exact same trajectory in both modes —
+    // flat and through the sharded collection tree.
+    let domain = QapDomain::random(24, 3);
+    let build = |mode: SnapshotMode, fanout: usize| {
+        Pts::builder()
+            .tsw_workers(6)
+            .clw_workers(2)
+            .global_iters(4)
+            .local_iters(4)
+            .candidates(5)
+            .depth(2)
+            .sync(SyncPolicy::WaitAll)
+            .shard_fanout(fanout)
+            .snapshot_mode(mode)
+            .seed(0xFEED)
+            .build()
+            .unwrap()
+    };
+    let engines: [&dyn ExecutionEngine<QapDomain>; 3] =
+        [&SimEngine::paper(), &ThreadEngine, &AsyncEngine::new()];
+    for engine in engines {
+        for fanout in [0usize, 2] {
+            let delta = build(SnapshotMode::Delta, fanout).execute(&domain, engine);
+            let full = build(SnapshotMode::Full, fanout).execute(&domain, engine);
+            assert_eq!(
+                delta.outcome.best_per_global_iter,
+                full.outcome.best_per_global_iter,
+                "{} fanout={fanout}: delta mode changed the trajectory",
+                engine.name()
+            );
+            assert_eq!(delta.outcome.best_cost, full.outcome.best_cost);
+            assert_eq!(delta.outcome.best, full.outcome.best);
+            assert_eq!(delta.outcome.initial_cost, full.outcome.initial_cost);
+            // Same protocol, same message count — only sizes shrink.
+            assert_eq!(
+                delta.report.total_messages(),
+                full.report.total_messages(),
+                "{} fanout={fanout}",
+                engine.name()
+            );
+            assert!(
+                delta.report.total_bytes() < full.report.total_bytes(),
+                "{} fanout={fanout}: delta mode must cut wire bytes ({} vs {})",
+                engine.name(),
+                delta.report.total_bytes(),
+                full.report.total_bytes()
+            );
+        }
+    }
+}
+
+#[test]
+fn delta_mode_matches_full_mode_under_half_report_on_the_async_engine() {
+    // The cooperative engine schedules by message *order*, never message
+    // *size*, so even with forces in play (HalfReport) the delta format
+    // cannot perturb the search — the strongest end-to-end statement
+    // that delta encoding round-trips exactly mid-protocol.
+    let domain = QapDomain::random(32, 21);
+    let run = |mode: SnapshotMode, fanout: usize| {
+        Pts::builder()
+            .tsw_workers(8)
+            .clw_workers(2)
+            .global_iters(4)
+            .local_iters(5)
+            .candidates(4)
+            .depth(3)
+            .sync(SyncPolicy::HalfReport)
+            .shard_fanout(fanout)
+            .snapshot_mode(mode)
+            .seed(0xACE)
+            .build()
+            .unwrap()
+            .execute(&domain, &AsyncEngine::new())
+    };
+    for fanout in [0usize, 3] {
+        let delta = run(SnapshotMode::Delta, fanout);
+        let full = run(SnapshotMode::Full, fanout);
+        assert_eq!(
+            delta.outcome.best_per_global_iter,
+            full.outcome.best_per_global_iter
+        );
+        assert_eq!(delta.outcome.best, full.outcome.best);
+        assert_eq!(delta.outcome.forced_reports, full.outcome.forced_reports);
+        assert!(delta.report.total_bytes() < full.report.total_bytes());
+    }
+}
+
+#[test]
 fn reports_carry_engine_specific_clocks() {
     let netlist = Arc::new(by_name("highway").unwrap());
     let sim = run().run_placement(netlist.clone(), &SimEngine::paper());
@@ -274,6 +366,28 @@ fn reports_carry_engine_specific_clocks() {
     assert!((thr.report.end_time - thr.report.wall_seconds).abs() < 1e-9);
     // Sim engine: virtual utilization is meaningful.
     assert!(sim.report.utilization() > 0.0);
+}
+
+#[cfg(all(target_os = "linux", target_pointer_width = "64"))]
+#[test]
+fn thread_engine_utilization_is_meaningful() {
+    // Per-thread CPU accounting (getrusage(RUSAGE_THREAD)) fills
+    // busy_time on the thread engine: utilization must land in (0, 1]
+    // instead of the 0 the wall-clock engines used to report.
+    let netlist = Arc::new(by_name("c532").unwrap());
+    let out = Pts::builder()
+        .tsw_workers(3)
+        .clw_workers(2)
+        .global_iters(2)
+        .local_iters(8)
+        .build()
+        .unwrap()
+        .run_placement(netlist, &ThreadEngine);
+    let u = out.report.utilization();
+    assert!(u > 0.0 && u <= 1.0, "thread utilization {u} not in (0, 1]");
+    // Every worker thread burned measurable CPU.
+    let busy: f64 = out.report.per_proc.iter().map(|p| p.busy_time).sum();
+    assert!(busy > 0.0);
 }
 
 #[test]
