@@ -14,6 +14,10 @@
 //!   push back (and why they only run that point under `PTS_FULL=1`);
 //! * `async` multiplexes all logical processes on the calling thread and
 //!   runs every point, flat and sharded;
+//! * `vt` does the same under the paper cluster's *virtual clock* — the
+//!   sim engine's timing model (bit-identical timeline) at async scale —
+//!   so it also runs every point, and uniquely reports virtual end time
+//!   and utilization at `n_tsw = 1024`;
 //! * the `root msgs` column counts rank 0's sent+received messages: flat
 //!   collection is O(`n_tsw`) at the root, the sharded tree is
 //!   O(fan-out) per round at every process;
@@ -41,7 +45,7 @@
 use pts_bench::emit;
 use pts_core::{
     take_snapshot_meter, AsyncEngine, ExecutionEngine, Pts, QapDomain, RunBuilder, SimEngine,
-    SnapshotMeter, SnapshotMode, ThreadEngine,
+    SnapshotMeter, SnapshotMode, ThreadEngine, VirtualEngine,
 };
 use pts_util::csv::CsvWriter;
 use pts_util::table::{fmt_f64, Table};
@@ -77,8 +81,8 @@ const WIRE_N_TSW: usize = 1024;
 const WIRE_QAP_N: usize = 256;
 const WIRE_GLOBAL_ITERS: u32 = 2;
 
-fn wire_run(domain: &QapDomain, mode: SnapshotMode) -> WireRun {
-    let run = Pts::builder()
+fn wire_config(mode: SnapshotMode) -> pts_core::PtsRun {
+    Pts::builder()
         .tsw_workers(WIRE_N_TSW)
         .clw_workers(1)
         .global_iters(WIRE_GLOBAL_ITERS)
@@ -91,7 +95,11 @@ fn wire_run(domain: &QapDomain, mode: SnapshotMode) -> WireRun {
         .snapshot_mode(mode)
         .seed(0xC0FFEE)
         .build()
-        .expect("wire benchmark config is valid");
+        .expect("wire benchmark config is valid")
+}
+
+fn wire_run(domain: &QapDomain, mode: SnapshotMode) -> WireRun {
+    let run = wire_config(mode);
     let _ = take_snapshot_meter(); // drain
     let out = run.execute(domain, &AsyncEngine::new());
     let meter = take_snapshot_meter();
@@ -129,14 +137,13 @@ fn json_number(text: &str, key: &str) -> Option<f64> {
 }
 
 /// Run the delta-vs-full wire pair; returns (delta, full, reduction).
-fn measure_wire() -> (WireRun, WireRun, f64) {
+fn measure_wire(domain: &QapDomain) -> (WireRun, WireRun, f64) {
     println!(
         "== Wire benchmark: delta vs full snapshots, n_tsw = {WIRE_N_TSW}, QAP-{WIRE_QAP_N}, \
          async engine, shard fan-out auto =="
     );
-    let domain = QapDomain::random(WIRE_QAP_N, 17);
-    let full = wire_run(&domain, SnapshotMode::Full);
-    let delta = wire_run(&domain, SnapshotMode::Delta);
+    let full = wire_run(domain, SnapshotMode::Full);
+    let delta = wire_run(domain, SnapshotMode::Delta);
     assert_eq!(
         delta.best_cost, full.best_cost,
         "delta mode changed the search outcome"
@@ -161,6 +168,29 @@ fn measure_wire() -> (WireRun, WireRun, f64) {
         full.meter.payload_sends, full.allocs, delta.allocs
     );
     (delta, full, reduction)
+}
+
+/// Report-only vt row for the wire benchmark: the same delta-mode run on
+/// the virtual-time cooperative engine, which uniquely measures the
+/// *virtual* timeline of the communication-bound regime — end time and
+/// utilization on the paper cluster at `n_tsw = 1024`, numbers the
+/// wall-clock engines cannot produce at this scale. No baseline gate:
+/// this row contextualizes `BENCH_wire.json`, it does not anchor it.
+fn report_wire_vt(domain: &QapDomain) {
+    let run = wire_config(SnapshotMode::Delta);
+    let _ = take_snapshot_meter(); // drain
+    let out = run.execute(domain, &VirtualEngine::paper());
+    let meter = take_snapshot_meter();
+    println!(
+        "vt   : {:>12.0} snapshot B/round  {:>8} snapshot allocs  {:>7.3} s wall  \
+         (virtual: end {:.1} s, utilization {:.0}%, best cost {:.1}; report-only, no gate)",
+        meter.round_payload_bytes as f64 / WIRE_GLOBAL_ITERS as f64,
+        meter.allocs,
+        out.report.wall_seconds,
+        out.report.end_time,
+        out.report.utilization() * 100.0,
+        out.outcome.best_cost,
+    );
 }
 
 fn write_baseline(delta: &WireRun, full: &WireRun, reduction: f64) {
@@ -241,7 +271,12 @@ fn main() {
         run_engine_table();
     }
 
-    let (delta, full, reduction) = measure_wire();
+    // One instance for the whole wire section: the vt report row must
+    // measure the exact regime the gated pair (and BENCH_wire.json)
+    // measures, not a same-constants reconstruction that could drift.
+    let wire_domain = QapDomain::random(WIRE_QAP_N, 17);
+    let (delta, full, reduction) = measure_wire(&wire_domain);
+    report_wire_vt(&wire_domain);
     if wire_check {
         if !check_baseline(&delta, reduction) {
             std::process::exit(1);
@@ -260,7 +295,7 @@ fn main() {
 
 fn run_engine_table() {
     let full_profile = std::env::var("PTS_FULL").map(|v| v == "1").unwrap_or(false);
-    println!("== Engine comparison: sim vs threads vs async, flat vs sharded, at n_tsw = 4, 64, 1024 ==\n");
+    println!("== Engine comparison: sim vs threads vs async vs vt, flat vs sharded, at n_tsw = 4, 64, 1024 ==\n");
 
     // One QAP instance for the whole sweep; workers outnumber facilities
     // at the top end (ranges wrap), so streams are differentiated.
@@ -297,10 +332,11 @@ fn run_engine_table() {
         // (a fan-out of 1 is rejected at validation) in case the sweep
         // ever gains a tiny point.
         let fanout = ((n_tsw as f64).sqrt().round() as usize).max(2);
-        let engines: [(&str, &dyn ExecutionEngine<QapDomain>); 3] = [
+        let engines: [(&str, &dyn ExecutionEngine<QapDomain>); 4] = [
             ("sim", &SimEngine::paper()),
             ("threads", &ThreadEngine),
             ("async", &AsyncEngine::new()),
+            ("vt", &VirtualEngine::paper()),
         ];
         for (name, engine) in engines {
             for shard_fanout in [0usize, fanout] {
@@ -321,7 +357,8 @@ fn run_engine_table() {
                 // 2049+ threads; keep that behind the full profile. The
                 // sharded run is the async engine's headline, so the
                 // thread-backed engines only run it under PTS_FULL too.
-                let skip = (n_tsw >= 1024 || sharded) && name != "async" && !full_profile;
+                let single_threaded = name == "async" || name == "vt";
+                let skip = (n_tsw >= 1024 || sharded) && !single_threaded && !full_profile;
                 if skip {
                     table.row([
                         n_tsw.to_string(),

@@ -137,7 +137,7 @@ async fn handle<D: PtsDomain, T: Transport<D::Problem>>(
             for mv in &moves {
                 problem.apply(mv);
             }
-            t.compute(cfg.work.per_commit * moves.len() as f64);
+            t.compute(cfg.work.per_commit * moves.len() as f64).await;
         }
         PtsMsg::AdoptState { seq, snapshot } => {
             let adopted = match snapshot {
@@ -176,7 +176,7 @@ async fn handle<D: PtsDomain, T: Transport<D::Problem>>(
             // dropped against a permanently off-by-one counter.
             *adopt_seq = seq + 1;
             if adopted {
-                t.compute(cfg.work.per_commit);
+                t.compute(cfg.work.per_commit).await;
             }
         }
         PtsMsg::Stop => return true,
@@ -211,10 +211,10 @@ async fn investigate<D: PtsDomain, T: Transport<D::Problem>>(
 
     for step in 0..cfg.depth {
         // m trial evaluations + one commit of the winner.
-        t.compute(cfg.work.per_trial * cfg.candidates as f64);
+        t.compute(cfg.work.per_trial * cfg.candidates as f64).await;
         let cand = sampler.sample_best(problem, rng, Some(range));
         problem.apply(&cand.mv);
-        t.compute(cfg.work.per_commit);
+        t.compute(cfg.work.per_commit).await;
         applied.push(cand.mv);
         cost_after.push(problem.cost());
 

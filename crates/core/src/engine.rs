@@ -8,7 +8,11 @@
 //!   (the paper's testbed substitute, exact replay, virtual metrics);
 //! * [`ThreadEngine`] — native OS threads (real wall-clock parallelism);
 //! * [`crate::async_engine::AsyncEngine`] — cooperative futures on one OS
-//!   thread (thousands of logical workers, deterministic replay).
+//!   thread (thousands of logical workers, deterministic replay, wall
+//!   clock);
+//! * [`crate::virtual_engine::VirtualEngine`] — cooperative futures under
+//!   a discrete-event virtual clock: `SimEngine`'s timing model
+//!   (bit-identical timeline) at `AsyncEngine`'s scale.
 //!
 //! Engines are chosen via trait objects (`&dyn ExecutionEngine<D>`), so
 //! run configuration code is substrate-independent, and all return the
@@ -42,7 +46,8 @@ pub struct EngineOutput<D: PtsDomain> {
 /// plus a fully populated [`RunReport`]. `cfg` is validated by the caller
 /// ([`crate::builder::PtsRun`] guarantees it).
 pub trait ExecutionEngine<D: PtsDomain> {
-    /// Short engine name ("sim", "threads") for logs and reports.
+    /// Short engine name ("sim", "threads", "async", "vt") for logs and
+    /// reports.
     fn name(&self) -> &'static str;
 
     /// Run the pipeline to completion from `initial` (the domain is

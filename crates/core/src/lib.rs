@@ -29,10 +29,12 @@
 //! * **substrate**: any [`engine::ExecutionEngine`] — the deterministic
 //!   virtual heterogeneous cluster ([`engine::SimEngine`], the paper's
 //!   PVM-testbed substitute), native threads ([`engine::ThreadEngine`])
-//!   for real wall-clock parallelism, or cooperative futures
+//!   for real wall-clock parallelism, cooperative futures
 //!   ([`async_engine::AsyncEngine`]) multiplexing thousands of logical
-//!   workers on one OS thread. All return one unified
-//!   [`report::RunReport`].
+//!   workers on one OS thread, or the virtual-time cooperative engine
+//!   ([`virtual_engine::VirtualEngine`]) — SimEngine's timing model at
+//!   AsyncEngine's scale, bit-identical to the simulated cluster. All
+//!   return one unified [`report::RunReport`].
 //!
 //! Entry point: [`builder::Pts::builder`] → validated
 //! [`builder::PtsRun`] → `execute` / `run_placement`.
@@ -55,6 +57,7 @@ pub mod run;
 pub mod speedup;
 pub mod transport;
 pub mod tsw;
+pub mod virtual_engine;
 
 pub use async_engine::AsyncEngine;
 pub use builder::{ConfigError, PlacementRunOutput, Pts, PtsRun, RunBuilder};
@@ -72,3 +75,4 @@ pub use qap_domain::{QapDelta, QapDomain};
 pub use report::{ClockDomain, RunReport};
 pub use run::run_sequential_baseline;
 pub use speedup::{common_quality_target, fractional_quality_target, speedup_sweep, SpeedupPoint};
+pub use virtual_engine::VirtualEngine;

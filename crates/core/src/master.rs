@@ -165,7 +165,7 @@ impl<D: PtsDomain> Reduction<D> {
                     }
                     reported[tsw - lo] = true;
                     n_rep += 1;
-                    t.compute(cfg.work.per_report);
+                    t.compute(cfg.work.per_report).await;
                     self.merged = Trace::merge([&self.merged, &Trace::from_points(trace)]);
                     self.offer(t.rank(), base, cost, snapshot, tabu);
                     // Stats are cumulative per TSW; summing every round
@@ -255,7 +255,7 @@ impl<D: PtsDomain> Reduction<D> {
                     }
                     reported[shard - lo] = true;
                     n_rep += 1;
-                    t.compute(cfg.work.per_report);
+                    t.compute(cfg.work.per_report).await;
                     self.merged = Trace::merge([&self.merged, &Trace::from_points(trace)]);
                     self.offer(t.rank(), base, cost, snapshot, tabu);
                     if final_round {

@@ -1,12 +1,13 @@
 //! Unified run metrics across execution engines.
 //!
-//! All three engines produce the *same* report type: the virtual cluster
-//! fills it with virtual-time accounting (the paper's measurements), the
-//! thread engine with wall-clock and channel accounting, and the
-//! cooperative async engine with wall-clock accounting for its
-//! single-threaded task schedule. No field is engine-optional — code
-//! consuming a report never needs to know which substrate carried the
-//! run.
+//! All four engines produce the *same* report type: the virtual cluster
+//! and the virtual-time cooperative engine fill it with virtual-time
+//! accounting (the paper's measurements — busy/wait seconds per process,
+//! bit-identical between the two), the thread engine with wall-clock and
+//! channel accounting, and the cooperative async engine with wall-clock
+//! accounting for its single-threaded task schedule. No field is
+//! engine-optional — code consuming a report never needs to know which
+//! substrate carried the run.
 
 use pts_vcluster::ProcStats;
 
@@ -23,7 +24,7 @@ pub enum ClockDomain {
 /// Metrics of one PTS run, engine-independent.
 #[derive(Clone, Debug)]
 pub struct RunReport {
-    /// Engine that carried the run ("sim", "threads", "async").
+    /// Engine that carried the run ("sim", "threads", "async", "vt").
     pub engine: &'static str,
     /// Clock the search-time metrics are measured in.
     pub clock: ClockDomain,
@@ -33,8 +34,9 @@ pub struct RunReport {
     /// Real wall-clock duration of the whole run on this host (equals the
     /// search time for the thread engine, host time for the sim engine).
     pub wall_seconds: f64,
-    /// Per-process counters, indexed by rank (master = 0). The sim engine
-    /// reports full virtual-time accounting; the thread and async engines
+    /// Per-process counters, indexed by rank (master = 0). The sim and
+    /// vt engines report full virtual-time accounting (bit-identical to
+    /// each other on the same cluster); the thread and async engines
     /// report message/byte/work counters and recv wait time. On Linux the
     /// thread engine also fills `busy_time` with each worker thread's CPU
     /// time (`getrusage(RUSAGE_THREAD)`); the async engine reports 0 busy
@@ -64,11 +66,11 @@ impl RunReport {
     }
 
     /// Fraction of total process-time spent computing rather than waiting.
-    /// Meaningful for the sim engine (the paper's utilization measure)
-    /// and, on Linux, for the thread engine (per-thread CPU time via
-    /// `getrusage(RUSAGE_THREAD)` against channel-blocked wall time).
-    /// The async engine multiplexes every worker on one thread and
-    /// reports 0 busy time, hence 0.
+    /// Meaningful for the sim and vt engines (the paper's utilization
+    /// measure, in virtual time) and, on Linux, for the thread engine
+    /// (per-thread CPU time via `getrusage(RUSAGE_THREAD)` against
+    /// channel-blocked wall time). The async engine multiplexes every
+    /// worker on one thread and reports 0 busy time, hence 0.
     pub fn utilization(&self) -> f64 {
         let busy: f64 = self.per_proc.iter().map(|p| p.busy_time).sum();
         let wait: f64 = self.per_proc.iter().map(|p| p.wait_time).sum();

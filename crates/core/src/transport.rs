@@ -1,15 +1,19 @@
 //! Transport abstraction: the same master/TSW/CLW code runs on the virtual
 //! cluster (deterministic, heterogeneous, virtual time), on native threads
-//! (real parallel wall-clock execution), and on the cooperative task
-//! runtime (thousands of logical workers on one thread).
+//! (real parallel wall-clock execution), and on the two cooperative task
+//! runtimes (thousands of logical workers on one thread — wall clock or
+//! virtual time).
 //!
-//! The protocol loops are `async`: [`Transport::recv`] is their only
-//! suspension point. Blocking substrates (the virtual cluster, native
-//! threads) resolve the receive future on its first poll — they block
-//! *inside* the poll, so driving their protocol futures with
-//! [`drive_sync`] never actually suspends. The cooperative substrate
-//! ([`TaskTransport`]) returns `Pending` on an empty mailbox, which is
-//! what lets one OS thread interleave thousands of workers.
+//! The protocol loops are `async`: [`Transport::recv`] and
+//! [`Transport::compute`] are their suspension points. Blocking
+//! substrates (the virtual cluster, native threads) resolve both futures
+//! on their first poll — they block *inside* the poll, so driving their
+//! protocol futures with [`drive_sync`] never actually suspends. The
+//! cooperative substrates suspend for real: [`TaskTransport`] returns
+//! `Pending` on an empty mailbox, and [`VirtualTransport`] additionally
+//! parks inside `compute` until the charged work completes on the task's
+//! machine — which is what lets one OS thread interleave thousands of
+//! workers in FIFO order or under a virtual clock, respectively.
 //!
 //! All transports account per-process metrics into the same
 //! [`ProcStats`] shape, which is what lets the engines return one unified
@@ -17,7 +21,7 @@
 
 use crate::domain::PtsProblem;
 use crate::messages::PtsMsg;
-use pts_vcluster::{ProcCtx, ProcId, ProcStats, TaskCtx};
+use pts_vcluster::{ProcCtx, ProcId, ProcStats, TaskCtx, VirtualTaskCtx};
 use std::future::Future;
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
@@ -32,7 +36,15 @@ pub trait Transport<P: PtsProblem> {
     fn now(&self) -> f64;
     /// Charge CPU work (advances virtual time; wall-clock engines only
     /// record it — real computation takes real time).
-    fn compute(&mut self, work: f64);
+    ///
+    /// Like [`Transport::recv`] this is a suspension point: on the
+    /// virtual-time cooperative substrate ([`VirtualTransport`]) the task
+    /// parks until the charged work completes on its machine, which is
+    /// how one OS thread interleaves thousands of workers *in virtual
+    /// time*. All other transports resolve on first poll (blocking
+    /// substrates block inside the call; wall-clock engines only record
+    /// the units).
+    fn compute(&mut self, work: f64) -> impl Future<Output = ()>;
     /// Deliver `msg` to the process at rank `dst`.
     fn send(&mut self, dst: usize, msg: PtsMsg<P>);
     /// Wait for the next message — the protocol's main suspension point.
@@ -96,8 +108,11 @@ impl<P: PtsProblem> Transport<P> for SimTransport<P> {
         self.ctx.now()
     }
 
-    fn compute(&mut self, work: f64) {
+    fn compute(&mut self, work: f64) -> impl Future<Output = ()> {
+        // Blocks inside the call (virtual-cluster token hand-off); the
+        // returned future is already complete.
         self.ctx.compute(work);
+        std::future::ready(())
     }
 
     fn send(&mut self, dst: usize, msg: PtsMsg<P>) {
@@ -189,9 +204,10 @@ impl<P: PtsProblem> Transport<P> for ThreadTransport<P> {
         self.start.elapsed().as_secs_f64()
     }
 
-    fn compute(&mut self, work: f64) {
+    fn compute(&mut self, work: f64) -> impl Future<Output = ()> {
         // Real computation takes real wall time; only record the units.
         self.stats.work_done += work;
+        std::future::ready(())
     }
 
     fn send(&mut self, dst: usize, msg: PtsMsg<P>) {
@@ -248,8 +264,10 @@ impl<P: PtsProblem> Transport<P> for TaskTransport<P> {
         self.ctx.now()
     }
 
-    fn compute(&mut self, work: f64) {
+    fn compute(&mut self, work: f64) -> impl Future<Output = ()> {
+        // Wall-clock cooperative substrate: record the units only.
         self.ctx.compute(work);
+        std::future::ready(())
     }
 
     fn send(&mut self, dst: usize, msg: PtsMsg<P>) {
@@ -268,6 +286,52 @@ impl<P: PtsProblem> Transport<P> for TaskTransport<P> {
 
     fn yield_now(&mut self) -> impl Future<Output = ()> {
         self.ctx.yield_now()
+    }
+}
+
+/// Virtual-time cooperative transport: ranks coincide with task ids
+/// (tasks are spawned in rank order by
+/// [`crate::virtual_engine::VirtualEngine`]). Both `recv` *and*
+/// `compute` suspend — a parked future stands in for a parked simulated
+/// process, so the discrete-event executor can interleave thousands of
+/// workers under one virtual clock, bit-identically to the
+/// thread-per-process virtual cluster.
+///
+/// `yield_now` keeps the default no-op, matching [`SimTransport`]: on a
+/// virtual-time substrate `compute` itself is the scheduling point, so
+/// peers already interleave mid-stretch.
+pub struct VirtualTransport<P: PtsProblem> {
+    /// The virtual-time task handle this transport wraps.
+    pub ctx: VirtualTaskCtx<PtsMsg<P>>,
+}
+
+impl<P: PtsProblem> Transport<P> for VirtualTransport<P> {
+    fn rank(&self) -> usize {
+        self.ctx.id()
+    }
+
+    fn now(&self) -> f64 {
+        self.ctx.now()
+    }
+
+    fn compute(&mut self, work: f64) -> impl Future<Output = ()> {
+        // Suspends until the charged work completes on this task's
+        // machine (speed + background load), advancing virtual time.
+        self.ctx.compute(work)
+    }
+
+    fn send(&mut self, dst: usize, msg: PtsMsg<P>) {
+        let bytes = msg.wire_size();
+        crate::meter::note_send(&msg);
+        self.ctx.send_sized(dst, msg, bytes);
+    }
+
+    fn recv(&mut self) -> impl Future<Output = PtsMsg<P>> {
+        self.ctx.recv()
+    }
+
+    fn try_recv(&mut self) -> Option<PtsMsg<P>> {
+        self.ctx.try_recv()
     }
 }
 
@@ -327,7 +391,7 @@ mod tests {
             let mut a: ThreadTransport<Qap> =
                 ThreadTransport::new(0, start, vec![s0.clone(), s1], r0, Arc::clone(&sk));
             a.send(1, PtsMsg::Investigate { seq: 1 });
-            a.compute(3.0);
+            drive_sync(a.compute(3.0));
             drop(r1);
         }
         let stats = sk.lock().unwrap();
@@ -355,7 +419,7 @@ mod tests {
         });
         cluster.spawn(|ctx| async move {
             let mut t = TaskTransport { ctx };
-            t.compute(1.5);
+            t.compute(1.5).await;
             t.send(0, PtsMsg::Investigate { seq: 9 });
             assert!(matches!(t.recv().await, PtsMsg::Stop));
         });

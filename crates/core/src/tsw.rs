@@ -102,7 +102,7 @@ pub async fn run_tsw<D: PtsDomain, T: Transport<D::Problem>>(
                 cfg.diversify_width,
                 Some(engine.memory()),
             );
-            t.compute(cfg.work.per_diversify_step * depth as f64);
+            t.compute(cfg.work.per_diversify_step * depth as f64).await;
         }
         // Synchronize CLWs with the (possibly diversified) current state:
         // one snapshot allocation shared across the whole CLW group, and
@@ -157,7 +157,7 @@ pub async fn run_tsw<D: PtsDomain, T: Transport<D::Problem>>(
                 cost,
                 moves,
             };
-            t.compute(cfg.work.per_tabu_check);
+            t.compute(cfg.work.per_tabu_check).await;
             if let StepOutcome::Accepted { .. } = engine.step_with(&mut problem, &compound, t.now())
             {
                 for &c in &clws {

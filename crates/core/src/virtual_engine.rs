@@ -1,0 +1,271 @@
+//! The virtual-time cooperative engine ("vt"): paper-style heterogeneity
+//! measurements at thousand-worker scale.
+//!
+//! [`SimEngine`](crate::engine::SimEngine) owns the paper's timing model
+//! — machine speeds, background load, message latency, a deterministic
+//! virtual clock — but pays one OS thread per logical process, so
+//! Fig.-11-style measurements stop at tens of workers.
+//! [`AsyncEngine`](crate::async_engine::AsyncEngine) multiplexes
+//! thousands of logical workers on one thread, but only knows wall
+//! clock. [`VirtualEngine`] is both at once: the same master/TSW/CLW
+//! protocol runs as futures on
+//! [`pts_vcluster::virtual_runtime::VirtualTaskCluster`], a
+//! discrete-event scheduler whose `compute` and `recv` suspend under the
+//! *same* virtual clock and machine model as the simulated cluster.
+//!
+//! The resulting timeline is **bit-identical** to
+//! [`SimEngine`](crate::engine::SimEngine)'s on the same
+//! [`ClusterSpec`] — end time, utilization, per-process accounting,
+//! forced reports, and the search trajectory all match exactly (the
+//! `determinism` and `vt_scenarios` integration suites pin this) — while
+//! an `n_tsw = 1024` heterogeneous run fits in one OS thread's worth of
+//! resources. This is what lets the paper's utilization/speedup and
+//! half-report-vs-wait-all claims be measured far beyond the twelve
+//! workstations of the original testbed, deterministically, in CI.
+
+use crate::config::PtsConfig;
+use crate::domain::{PtsDomain, SearchOutcome, SnapshotOf};
+use crate::engine::{EngineOutput, ExecutionEngine};
+use crate::master::{run_master, run_sub_master};
+use crate::messages::PtsMsg;
+use crate::report::{ClockDomain, RunReport};
+use crate::transport::VirtualTransport;
+use crate::{clw::run_clw, tsw::run_tsw};
+use pts_vcluster::topology::{paper_cluster, round_robin_assignment};
+use pts_vcluster::{ClusterSpec, VirtualTaskCluster};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Virtual-time cooperative engine: the deterministic heterogeneous
+/// cluster timing model at cooperative-futures scale.
+///
+/// ```
+/// use pts_core::{Pts, SimEngine, VirtualEngine};
+/// use pts_core::qap_domain::QapDomain;
+///
+/// let run = Pts::builder()
+///     .tsw_workers(3)
+///     .clw_workers(2)
+///     .global_iters(2)
+///     .local_iters(3)
+///     .seed(5)
+///     .build()
+///     .expect("valid configuration");
+/// let domain = QapDomain::random(16, 2);
+/// let vt = run.execute(&domain, &VirtualEngine::paper());
+/// let sim = run.execute(&domain, &SimEngine::paper());
+/// // Same timing model, same virtual timeline — bit for bit.
+/// assert_eq!(vt.report.end_time, sim.report.end_time);
+/// assert_eq!(vt.outcome.best_cost, sim.outcome.best_cost);
+/// assert_eq!(vt.report.engine, "vt");
+/// ```
+#[derive(Clone, Debug)]
+pub struct VirtualEngine {
+    cluster: ClusterSpec,
+}
+
+impl VirtualEngine {
+    /// Simulate an arbitrary cluster description.
+    ///
+    /// # Panics
+    ///
+    /// If the cluster configures
+    /// [`send_overhead_work`](pts_vcluster::LinkModel::send_overhead_work):
+    /// the cooperative runtime's `send` is not a suspension point, so it
+    /// cannot charge marshalling work to the sender. Use
+    /// [`SimEngine`](crate::engine::SimEngine) for such clusters.
+    pub fn new(cluster: ClusterSpec) -> VirtualEngine {
+        assert!(
+            cluster.link.send_overhead_work == 0.0,
+            "VirtualEngine does not support send_overhead_work; use SimEngine"
+        );
+        VirtualEngine { cluster }
+    }
+
+    /// The paper's twelve-machine cluster (7 fast / 3 medium / 2 slow).
+    pub fn paper() -> VirtualEngine {
+        VirtualEngine::new(paper_cluster())
+    }
+
+    /// The cluster this engine simulates.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+}
+
+impl<D: PtsDomain> ExecutionEngine<D> for VirtualEngine {
+    fn name(&self) -> &'static str {
+        "vt"
+    }
+
+    fn execute(&self, cfg: &PtsConfig, domain: &D, initial: SnapshotOf<D>) -> EngineOutput<D> {
+        let wall = Instant::now();
+        let assignment = round_robin_assignment(&self.cluster, cfg.total_procs());
+        let mut cluster: VirtualTaskCluster<PtsMsg<D::Problem>> =
+            VirtualTaskCluster::new(self.cluster.clone());
+        let outcome_slot: Rc<RefCell<Option<SearchOutcome<SnapshotOf<D>>>>> =
+            Rc::new(RefCell::new(None));
+
+        // Task 0: master. Spawn order must equal rank order
+        // (VirtualTransport identifies rank with task id), and machine
+        // assignment must match SimEngine's for the bit-identical
+        // timeline guarantee.
+        {
+            let cfg = *cfg;
+            let domain = domain.clone();
+            let slot = Rc::clone(&outcome_slot);
+            cluster.spawn(assignment[0], move |ctx| async move {
+                let mut t = VirtualTransport { ctx };
+                let outcome = run_master(&mut t, &cfg, &domain, initial).await;
+                *slot.borrow_mut() = Some(outcome);
+            });
+        }
+        // Tasks 1..=n_tsw: TSWs.
+        for i in 0..cfg.n_tsw {
+            let cfg = *cfg;
+            let domain = domain.clone();
+            let rank = cfg.tsw_rank(i);
+            cluster.spawn(assignment[rank], move |ctx| async move {
+                let mut t = VirtualTransport { ctx };
+                run_tsw(&mut t, &cfg, i, &domain).await;
+            });
+        }
+        // Next tasks: CLWs, grouped by TSW.
+        for i in 0..cfg.n_tsw {
+            for j in 0..cfg.n_clw {
+                let cfg = *cfg;
+                let domain = domain.clone();
+                let rank = cfg.clw_rank(i, j);
+                let tsw_rank = cfg.tsw_rank(i);
+                cluster.spawn(assignment[rank], move |ctx| async move {
+                    let mut t = VirtualTransport { ctx };
+                    run_clw(&mut t, &cfg, tsw_rank, j, &domain).await;
+                });
+            }
+        }
+        // Final tasks: sub-masters of the sharded collection tree (none
+        // under the default flat topology).
+        for s in 0..cfg.n_shards() {
+            let cfg = *cfg;
+            let domain = domain.clone();
+            let rank = cfg.shard_rank(s);
+            cluster.spawn(assignment[rank], move |ctx| async move {
+                let mut t = VirtualTransport { ctx };
+                run_sub_master(&mut t, &cfg, s, &domain).await;
+            });
+        }
+        debug_assert_eq!(cluster.num_spawned(), cfg.total_procs());
+
+        let cluster_report = cluster.run();
+        let outcome = outcome_slot
+            .borrow_mut()
+            .take()
+            .expect("master deposits its outcome");
+        EngineOutput {
+            outcome,
+            report: RunReport {
+                engine: "vt",
+                clock: ClockDomain::Virtual,
+                end_time: cluster_report.end_time,
+                wall_seconds: wall.elapsed().as_secs_f64(),
+                per_proc: cluster_report.per_proc,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Pts;
+    use crate::engine::SimEngine;
+    use crate::qap_domain::QapDomain;
+
+    fn small_run() -> crate::builder::PtsRun {
+        Pts::builder()
+            .tsw_workers(3)
+            .clw_workers(2)
+            .global_iters(2)
+            .local_iters(4)
+            .candidates(4)
+            .depth(2)
+            .seed(42)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn vt_engine_runs_qap_pipeline_in_virtual_time() {
+        let domain = QapDomain::random(20, 5);
+        let out = small_run().execute(&domain, &VirtualEngine::paper());
+        assert!(out.outcome.best_cost <= out.outcome.initial_cost);
+        assert_eq!(out.report.engine, "vt");
+        assert_eq!(out.report.clock, ClockDomain::Virtual);
+        assert_eq!(out.report.num_procs(), small_run().config().total_procs());
+        assert!(out.report.end_time > 0.0, "virtual time must advance");
+        // Virtual utilization is meaningful: busy and wait both accrue.
+        let u = out.report.utilization();
+        assert!(u > 0.0 && u <= 1.0, "vt utilization {u} not in (0, 1]");
+        for (rank, p) in out.report.per_proc.iter().enumerate().skip(1) {
+            assert!(p.messages_sent > 0, "rank {rank} sent nothing");
+            assert!(p.busy_time > 0.0, "rank {rank} never computed");
+        }
+    }
+
+    #[test]
+    fn vt_engine_matches_sim_report_exactly() {
+        // The engine's whole reason to exist: the SimEngine timeline
+        // without the thread-per-process cost. Everything the report
+        // carries — per-process virtual accounting included — must be
+        // bit-identical.
+        let domain = QapDomain::random(18, 9);
+        let sim = small_run().execute(&domain, &SimEngine::paper());
+        let vt = small_run().execute(&domain, &VirtualEngine::paper());
+        assert_eq!(vt.report.end_time, sim.report.end_time);
+        assert_eq!(vt.report.per_proc, sim.report.per_proc);
+        assert_eq!(vt.outcome.best_cost, sim.outcome.best_cost);
+        assert_eq!(
+            vt.outcome.best_per_global_iter,
+            sim.outcome.best_per_global_iter
+        );
+        assert_eq!(vt.outcome.end_time, sim.outcome.end_time);
+        assert_eq!(vt.outcome.forced_reports, sim.outcome.forced_reports);
+    }
+
+    #[test]
+    fn vt_engine_is_deterministic() {
+        let domain = QapDomain::random(18, 9);
+        let a = small_run().execute(&domain, &VirtualEngine::paper());
+        let b = small_run().execute(&domain, &VirtualEngine::paper());
+        assert_eq!(a.outcome.best_cost, b.outcome.best_cost);
+        assert_eq!(a.report.end_time, b.report.end_time);
+        assert_eq!(a.report.per_proc, b.report.per_proc);
+    }
+
+    #[test]
+    #[should_panic(expected = "send_overhead_work")]
+    fn vt_engine_rejects_marshalling_overhead_clusters() {
+        use pts_vcluster::{LinkModel, Machine};
+        VirtualEngine::new(ClusterSpec::new(
+            vec![Machine::new("a", 1.0)],
+            LinkModel {
+                send_overhead_work: 1.0,
+                ..LinkModel::default()
+            },
+        ));
+    }
+
+    #[test]
+    fn vt_engine_is_object_safe_with_the_others() {
+        use crate::engine::{SimEngine, ThreadEngine};
+        use crate::AsyncEngine;
+        let engines: Vec<Box<dyn ExecutionEngine<QapDomain>>> = vec![
+            Box::new(SimEngine::paper()),
+            Box::new(ThreadEngine),
+            Box::new(AsyncEngine::new()),
+            Box::new(VirtualEngine::paper()),
+        ];
+        assert_eq!(engines[3].name(), "vt");
+    }
+}

@@ -62,8 +62,9 @@ impl Transport<Qap> for ScriptTransport {
         self.clock
     }
 
-    fn compute(&mut self, work: f64) {
+    fn compute(&mut self, work: f64) -> impl Future<Output = ()> {
         self.clock += work;
+        std::future::ready(())
     }
 
     fn send(&mut self, dst: usize, msg: PtsMsg<Qap>) {

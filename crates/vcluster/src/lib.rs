@@ -23,10 +23,16 @@
 //! provided by [`topology::paper_cluster`].
 //!
 //! For scale beyond what one-thread-per-process affords, the crate also
-//! ships [`async_runtime`]: the same message-passing process model as
-//! cooperatively scheduled futures on a single OS thread (no virtual
-//! time, wall-clock accounting), so thousands of logical processes fit
-//! on one host.
+//! ships two cooperative runtimes that multiplex thousands of logical
+//! processes as futures on a single OS thread:
+//!
+//! * [`async_runtime`] — deterministic FIFO scheduling, wall-clock
+//!   accounting (no virtual time);
+//! * [`virtual_runtime`] — a discrete-event scheduler with the *same
+//!   virtual clock and machine model* as the token scheduler: runs are
+//!   bit-identical in timeline and accounting to [`runtime::SimBuilder`],
+//!   so paper-style heterogeneity measurements scale to thousands of
+//!   workers.
 
 pub mod async_runtime;
 pub mod machine;
@@ -36,6 +42,7 @@ pub mod metrics;
 pub mod process;
 pub mod runtime;
 pub mod topology;
+pub mod virtual_runtime;
 
 pub use async_runtime::{TaskCluster, TaskCtx};
 pub use machine::{LoadModel, Machine};
@@ -44,3 +51,4 @@ pub use metrics::{ProcStats, RunReport};
 pub use process::{ProcCtx, ProcId};
 pub use runtime::SimBuilder;
 pub use topology::ClusterSpec;
+pub use virtual_runtime::{EventQueue, VirtualTaskCluster, VirtualTaskCtx};

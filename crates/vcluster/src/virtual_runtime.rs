@@ -1,0 +1,837 @@
+//! Virtual-time cooperative runtime: the timing model of the token
+//! scheduler ([`crate::runtime::SimBuilder`]) without its
+//! thread-per-process cost.
+//!
+//! [`SimBuilder`](crate::runtime::SimBuilder) gives every simulated
+//! process an OS thread and advances a virtual clock by handing a token
+//! to the ready process with the smallest `(wake, pid)`. That timing
+//! model is what the paper's measurements need — per-machine speed,
+//! background load, message latency — but one thread per logical process
+//! caps runs at tens of workers. [`crate::async_runtime::TaskCluster`]
+//! scales to thousands of logical processes on one thread, but only
+//! knows wall clock.
+//!
+//! [`VirtualTaskCluster`] is both at once: every logical process is a
+//! *future* (like the task cluster), and the executor is a discrete-event
+//! scheduler over an [`EventQueue`] of `(virtual_time, task)` wake-ups
+//! (like the token scheduler). `compute` charges work against the task's
+//! machine — integrating speed and [`crate::machine::LoadModel`] exactly
+//! as the token scheduler does — and suspends the future until the
+//! charged end time; `recv` parks the future until a message's
+//! [`Envelope::deliver_at`] is reached. Because every scheduling decision
+//! is the same deterministic function of virtual times and task ids that
+//! the token scheduler uses (`(wake, pid)` order, mailbox delivery by
+//! `(arrival, send seq)`, per-route FIFO), a run here is **bit-identical
+//! in timeline and accounting** to the same program under `SimBuilder` —
+//! which the cross-runtime property tests assert — while thousands of
+//! tasks fit in one OS thread.
+//!
+//! One deliberate restriction:
+//! [`crate::message::LinkModel::send_overhead_work`] must be zero. Charging marshalling work inside `send` would make `send` a
+//! suspension point, and this runtime keeps `send` synchronous (only
+//! `compute` and `recv` suspend). [`VirtualTaskCluster::new`] rejects
+//! clusters that configure it; use the token scheduler for those.
+
+use crate::mailbox::{Envelope, Mailbox};
+use crate::metrics::{ProcStats, RunReport};
+use crate::topology::ClusterSpec;
+use std::cell::{Cell, RefCell};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+/// One pending wake-up in the [`EventQueue`].
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// Virtual time at which the task becomes runnable.
+    pub time: f64,
+    /// Schedule ticket: monotonically increasing insertion sequence.
+    pub seq: u64,
+    /// Task to wake.
+    pub task: usize,
+}
+
+// Orderings compare (time, task, seq) — reversed, because BinaryHeap is a
+// max-heap and the queue pops the earliest event first.
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .total_cmp(&self.time)
+            .then(other.task.cmp(&self.task))
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Discrete-event wake-up queue: schedule `(time, task)` entries, pop
+/// them in deterministic earliest-first order, cancel lazily.
+///
+/// Pop order is `(time, task id, schedule seq)`. Breaking time ties by
+/// *task id* — not insertion order — mirrors the token scheduler's
+/// `(wake, pid)` rule, which is what makes the virtual-time executor
+/// bit-identical to [`crate::runtime::SimBuilder`]; the monotonically
+/// increasing `seq` totalizes the order when one task holds several
+/// entries at the same instant (the executor never does, but the queue
+/// does not rely on that).
+///
+/// Cancellation is lazy: a cancelled ticket stays in the heap and is
+/// skipped on pop, so both `schedule` and `cancel` are `O(log n)` /
+/// `O(1)`.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    /// Tickets scheduled and neither popped nor cancelled yet.
+    live: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> EventQueue {
+        EventQueue::default()
+    }
+
+    /// Schedule `task` to wake at `time`; returns the ticket with which
+    /// the entry can be cancelled. `time` must be finite (a wake-up at
+    /// infinity would silently deadlock the drain).
+    pub fn schedule(&mut self, time: f64, task: usize) -> u64 {
+        assert!(time.is_finite(), "wake-up time must be finite, got {time}");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, task });
+        self.live.insert(seq);
+        seq
+    }
+
+    /// Cancel a scheduled entry. Returns `true` if the ticket was still
+    /// live (not yet popped or cancelled).
+    pub fn cancel(&mut self, ticket: u64) -> bool {
+        self.live.remove(&ticket)
+    }
+
+    /// Pop the earliest live event in `(time, task, seq)` order.
+    pub fn pop(&mut self) -> Option<Event> {
+        while let Some(ev) = self.heap.pop() {
+            if self.live.remove(&ev.seq) {
+                return Some(ev);
+            }
+        }
+        None
+    }
+
+    /// Number of live (scheduled, not yet popped or cancelled) entries.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// `true` when no live entries remain.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+}
+
+/// Lifecycle of one task, mirroring the token scheduler's process status.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum TaskStatus {
+    /// Has exactly one wake-up in the event queue (initial start, a
+    /// `compute` end, or an already-scheduled mailbox delivery).
+    Scheduled,
+    /// Currently being polled by the executor.
+    Running,
+    /// Parked in `recv` with an empty mailbox; a send will schedule it.
+    BlockedRecv,
+    /// Finished; sends to it are dropped (undeliverable).
+    Done,
+}
+
+/// Per-task state.
+struct Slot<M> {
+    status: TaskStatus,
+    machine: usize,
+    mailbox: Mailbox<M>,
+    stats: ProcStats,
+    /// Virtual time the current `recv` started blocking (wait accounting).
+    blocked_since: Option<f64>,
+}
+
+/// Shared state of one virtual-time cooperative run.
+struct VHub<M> {
+    cluster: ClusterSpec,
+    now: Cell<f64>,
+    send_seq: Cell<u64>,
+    queue: RefCell<EventQueue>,
+    slots: RefCell<Vec<Slot<M>>>,
+    /// Last delivery time per (src, dst) pair: enforces FIFO channels
+    /// exactly like the token scheduler (a small message never overtakes
+    /// a large one on the same route).
+    pair_last: RefCell<HashMap<(usize, usize), f64>>,
+}
+
+impl<M> VHub<M> {
+    /// Charge `work` units on the task's machine: advance its busy/work
+    /// accounting and schedule its wake-up at the integrated end time.
+    fn begin_compute(&self, id: usize, work: f64) {
+        assert!(work >= 0.0, "work must be non-negative");
+        let now = self.now.get();
+        let end = {
+            let mut slots = self.slots.borrow_mut();
+            let machine = slots[id].machine;
+            let end = self.cluster.machines[machine].compute_end(now, work);
+            let s = &mut slots[id];
+            s.stats.busy_time += end - now;
+            s.stats.work_done += work;
+            s.status = TaskStatus::Scheduled;
+            end
+        };
+        self.queue.borrow_mut().schedule(end, id);
+    }
+
+    /// One `recv` poll: pop an arrived message, or park the task until
+    /// the earliest pending delivery (or until a send schedules it).
+    fn poll_recv(&self, id: usize) -> Poll<M> {
+        let now = self.now.get();
+        let mut slots = self.slots.borrow_mut();
+        let s = &mut slots[id];
+        if let Some(env) = s.mailbox.pop_ready(now) {
+            s.stats.messages_received += 1;
+            if let Some(t0) = s.blocked_since.take() {
+                s.stats.wait_time += now - t0;
+            }
+            return Poll::Ready(env.msg);
+        }
+        if s.blocked_since.is_none() {
+            s.blocked_since = Some(now);
+        }
+        match s.mailbox.earliest() {
+            Some(t) => {
+                // A message is in flight: wake when it arrives. Matching
+                // the token scheduler, a later send with an earlier
+                // delivery does NOT move this wake-up forward.
+                s.status = TaskStatus::Scheduled;
+                drop(slots);
+                self.queue.borrow_mut().schedule(t, id);
+            }
+            None => s.status = TaskStatus::BlockedRecv,
+        }
+        Poll::Pending
+    }
+
+    fn try_recv(&self, id: usize) -> Option<M> {
+        let now = self.now.get();
+        let mut slots = self.slots.borrow_mut();
+        let env = slots[id].mailbox.pop_ready(now)?;
+        slots[id].stats.messages_received += 1;
+        Some(env.msg)
+    }
+
+    fn send(&self, src: usize, dst: usize, msg: M, bytes: u64) {
+        let now = self.now.get();
+        let mut slots = self.slots.borrow_mut();
+        assert!(dst < slots.len(), "send to unknown task {dst}");
+        let src_machine = slots[src].machine;
+        let dst_machine = slots[dst].machine;
+        let mut deliver_at = now
+            + self
+                .cluster
+                .link
+                .transfer_time(src_machine, dst_machine, bytes);
+        {
+            let mut pair = self.pair_last.borrow_mut();
+            let last = pair.entry((src, dst)).or_insert(0.0);
+            deliver_at = deliver_at.max(*last);
+            *last = deliver_at;
+        }
+        let seq = self.send_seq.get() + 1;
+        self.send_seq.set(seq);
+        {
+            let sp = &mut slots[src];
+            sp.stats.messages_sent += 1;
+            sp.stats.bytes_sent += bytes;
+        }
+        let dp = &mut slots[dst];
+        if dp.status == TaskStatus::Done {
+            return; // undeliverable: receiver already finished
+        }
+        dp.mailbox.push(Envelope {
+            deliver_at,
+            seq,
+            msg,
+        });
+        if dp.status == TaskStatus::BlockedRecv {
+            dp.status = TaskStatus::Scheduled;
+            drop(slots);
+            self.queue.borrow_mut().schedule(deliver_at, dst);
+        }
+    }
+}
+
+/// Handle through which a task interacts with the virtual-time runtime —
+/// the cooperative analogue of [`crate::process::ProcCtx`], with
+/// `compute` and `recv` as the suspension points.
+///
+/// Cheap to clone (shares the hub).
+pub struct VirtualTaskCtx<M> {
+    id: usize,
+    hub: Rc<VHub<M>>,
+}
+
+impl<M> VirtualTaskCtx<M> {
+    /// This task's id (spawn order).
+    #[inline]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of tasks in the run.
+    pub fn num_tasks(&self) -> usize {
+        self.hub.slots.borrow().len()
+    }
+
+    /// Index of the machine this task runs on.
+    pub fn machine(&self) -> usize {
+        self.hub.slots.borrow()[self.id].machine
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> f64 {
+        self.hub.now.get()
+    }
+
+    /// Charge `work` units on this task's machine and suspend until the
+    /// charged end time (speed and background load integrate exactly as
+    /// in [`crate::machine::Machine::compute_end`]). Even zero work
+    /// yields through the scheduler, matching the token hand-off of the
+    /// thread-backed runtime.
+    pub fn compute(&self, work: f64) -> impl Future<Output = ()> + '_ {
+        let mut begun = false;
+        std::future::poll_fn(move |_cx| {
+            if begun {
+                // The executor woke us at the charged end time.
+                Poll::Ready(())
+            } else {
+                begun = true;
+                self.hub.begin_compute(self.id, work);
+                Poll::Pending
+            }
+        })
+    }
+
+    /// Deliver a message to task `dst` after the link's transfer time,
+    /// scheduling `dst` if it is parked in `recv`. Sends to finished
+    /// tasks are dropped. `bytes` feeds traffic accounting *and* the
+    /// transfer time.
+    pub fn send_sized(&self, dst: usize, msg: M, bytes: u64) {
+        self.hub.send(self.id, dst, msg, bytes);
+    }
+
+    /// [`VirtualTaskCtx::send_sized`] with the default 1 KiB size.
+    pub fn send(&self, dst: usize, msg: M) {
+        self.send_sized(dst, msg, 1024);
+    }
+
+    /// Take a message that has already *arrived* (its delivery time has
+    /// been reached); never suspends.
+    pub fn try_recv(&self) -> Option<M> {
+        self.hub.try_recv(self.id)
+    }
+
+    /// Wait for the next message, advancing virtual time to its arrival.
+    pub fn recv(&self) -> impl Future<Output = M> + '_ {
+        std::future::poll_fn(move |_cx| self.hub.poll_recv(self.id))
+    }
+}
+
+type TaskFuture = Pin<Box<dyn Future<Output = ()>>>;
+type Spawner<M> = Box<dyn FnOnce(VirtualTaskCtx<M>) -> TaskFuture>;
+
+/// Builder + discrete-event executor: declare the cluster, spawn logical
+/// processes as futures on machines, then run the whole cohort to
+/// completion on the calling thread under the virtual clock.
+pub struct VirtualTaskCluster<M> {
+    cluster: ClusterSpec,
+    spawners: Vec<(usize, Spawner<M>)>,
+}
+
+impl<M> VirtualTaskCluster<M> {
+    /// A cluster with no tasks yet; add them with
+    /// [`VirtualTaskCluster::spawn`].
+    ///
+    /// # Panics
+    ///
+    /// If the cluster's
+    /// [`send_overhead_work`](crate::message::LinkModel::send_overhead_work)
+    /// is non-zero:
+    /// this runtime's `send` never suspends, so it cannot charge
+    /// marshalling work to the sender (use
+    /// [`crate::runtime::SimBuilder`] for such clusters).
+    pub fn new(cluster: ClusterSpec) -> VirtualTaskCluster<M> {
+        assert!(
+            cluster.link.send_overhead_work == 0.0,
+            "the virtual-time task runtime does not support send_overhead_work \
+             (send is not a suspension point); use SimBuilder instead"
+        );
+        VirtualTaskCluster {
+            cluster,
+            spawners: Vec::new(),
+        }
+    }
+
+    /// Register a task on the given machine; returns its id (spawn
+    /// order). `f` receives the task's [`VirtualTaskCtx`] and returns the
+    /// future to drive. Futures need not be `Send` — the whole cohort
+    /// runs on one thread.
+    pub fn spawn<F, Fut>(&mut self, machine: usize, f: F) -> usize
+    where
+        F: FnOnce(VirtualTaskCtx<M>) -> Fut + 'static,
+        Fut: Future<Output = ()> + 'static,
+    {
+        assert!(
+            machine < self.cluster.num_machines(),
+            "machine index {machine} out of range"
+        );
+        let id = self.spawners.len();
+        self.spawners
+            .push((machine, Box::new(move |ctx| Box::pin(f(ctx)))));
+        id
+    }
+
+    /// Number of tasks registered so far.
+    pub fn num_spawned(&self) -> usize {
+        self.spawners.len()
+    }
+
+    /// Drive every task to completion under the virtual clock and report
+    /// per-task metrics (virtual-time accounting, like the token
+    /// scheduler's).
+    ///
+    /// Panics if the cohort deadlocks (all live tasks parked in `recv`
+    /// with no scheduled wake-ups) or any task panics.
+    pub fn run(self) -> RunReport {
+        assert!(!self.spawners.is_empty(), "no tasks spawned");
+        let n = self.spawners.len();
+        let mut queue = EventQueue::new();
+        let slots: Vec<Slot<M>> = self
+            .spawners
+            .iter()
+            .enumerate()
+            .map(|(id, &(machine, _))| {
+                // Every task starts runnable at t = 0, like the token
+                // scheduler's initial Ready(0.0) states.
+                queue.schedule(0.0, id);
+                Slot {
+                    status: TaskStatus::Scheduled,
+                    machine,
+                    mailbox: Mailbox::new(),
+                    stats: ProcStats {
+                        machine,
+                        ..ProcStats::default()
+                    },
+                    blocked_since: None,
+                }
+            })
+            .collect();
+        let hub: Rc<VHub<M>> = Rc::new(VHub {
+            cluster: self.cluster,
+            now: Cell::new(0.0),
+            send_seq: Cell::new(0),
+            queue: RefCell::new(queue),
+            slots: RefCell::new(slots),
+            pair_last: RefCell::new(HashMap::new()),
+        });
+        let mut tasks: Vec<Option<TaskFuture>> = self
+            .spawners
+            .into_iter()
+            .enumerate()
+            .map(|(id, (_machine, f))| {
+                Some(f(VirtualTaskCtx {
+                    id,
+                    hub: Rc::clone(&hub),
+                }))
+            })
+            .collect();
+
+        // Wakers carry no information — readiness lives in the event
+        // queue, driven by compute end times and message deliveries.
+        let waker = Waker::noop();
+        let mut cx = Context::from_waker(waker);
+        let mut live = n;
+        loop {
+            let ev = hub.queue.borrow_mut().pop();
+            let Some(ev) = ev else { break };
+            let id = ev.task;
+            // The clock only moves forward, to the chosen wake-up.
+            hub.now.set(hub.now.get().max(ev.time));
+            {
+                let mut slots = hub.slots.borrow_mut();
+                debug_assert_ne!(slots[id].status, TaskStatus::Done);
+                slots[id].status = TaskStatus::Running;
+            }
+            let task = tasks[id].as_mut().expect("live tasks have futures");
+            if task.as_mut().poll(&mut cx).is_ready() {
+                tasks[id] = None; // release the task's state eagerly
+                let mut slots = hub.slots.borrow_mut();
+                slots[id].status = TaskStatus::Done;
+                slots[id].stats.finished_at = hub.now.get();
+                live -= 1;
+            }
+            // On Pending the suspension point already parked the task:
+            // Scheduled (a queue entry exists) or BlockedRecv.
+        }
+        if live > 0 {
+            let stuck: Vec<usize> = tasks
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.is_some())
+                .map(|(i, _)| i)
+                .collect();
+            panic!(
+                "virtual task cluster deadlock at t={}: tasks {stuck:?} parked in recv \
+                 with no pending messages",
+                hub.now.get()
+            );
+        }
+
+        let slots = hub.slots.borrow();
+        RunReport {
+            end_time: slots
+                .iter()
+                .map(|s| s.stats.finished_at)
+                .fold(0.0, f64::max),
+            per_proc: slots.iter().map(|s| s.stats.clone()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{LoadModel, Machine};
+    use crate::message::LinkModel;
+    use crate::topology::homogeneous;
+    use std::sync::{Arc, Mutex};
+
+    fn two_machines(speed_b: f64) -> ClusterSpec {
+        ClusterSpec::new(
+            vec![Machine::new("a", 1.0), Machine::new("b", speed_b)],
+            LinkModel {
+                latency: 0.5,
+                local_latency: 0.01,
+                bytes_per_sec: 1e9,
+                send_overhead_work: 0.0,
+            },
+        )
+    }
+
+    #[test]
+    fn event_queue_pops_in_time_then_task_order() {
+        let mut q = EventQueue::new();
+        q.schedule(2.0, 1);
+        q.schedule(1.0, 9);
+        q.schedule(1.0, 3);
+        q.schedule(3.0, 0);
+        let order: Vec<(f64, usize)> =
+            std::iter::from_fn(|| q.pop().map(|e| (e.time, e.task))).collect();
+        assert_eq!(order, vec![(1.0, 3), (1.0, 9), (2.0, 1), (3.0, 0)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn event_queue_same_task_same_time_pops_in_schedule_order() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(1.0, 4);
+        let b = q.schedule(1.0, 4);
+        assert_eq!(q.pop().unwrap().seq, a);
+        assert_eq!(q.pop().unwrap().seq, b);
+    }
+
+    #[test]
+    fn event_queue_cancel_is_lazy_and_exact() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(1.0, 0);
+        let b = q.schedule(2.0, 1);
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel reports dead ticket");
+        assert_eq!(q.len(), 1);
+        let popped = q.pop().unwrap();
+        assert_eq!((popped.seq, popped.task), (b, 1));
+        assert!(!q.cancel(b), "popped ticket is no longer live");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn event_queue_rejects_infinite_times() {
+        EventQueue::new().schedule(f64::INFINITY, 0);
+    }
+
+    #[test]
+    fn compute_advances_virtual_time_by_speed() {
+        let mut vt: VirtualTaskCluster<()> = VirtualTaskCluster::new(two_machines(0.5));
+        let times = Arc::new(Mutex::new((0.0, 0.0)));
+        let (tf, ts) = (Arc::clone(&times), Arc::clone(&times));
+        vt.spawn(0, move |ctx| async move {
+            ctx.compute(10.0).await;
+            tf.lock().unwrap().0 = ctx.now();
+        });
+        vt.spawn(1, move |ctx| async move {
+            ctx.compute(10.0).await;
+            ts.lock().unwrap().1 = ctx.now();
+        });
+        let report = vt.run();
+        let (fast, slow) = *times.lock().unwrap();
+        assert!((fast - 10.0).abs() < 1e-9);
+        assert!((slow - 20.0).abs() < 1e-9);
+        assert!((report.end_time - 20.0).abs() < 1e-9);
+        assert!((report.per_proc[0].busy_time - 10.0).abs() < 1e-9);
+        assert!((report.per_proc[1].busy_time - 20.0).abs() < 1e-9);
+        assert_eq!(report.per_proc[1].machine, 1);
+    }
+
+    #[test]
+    fn messages_arrive_after_latency() {
+        let mut vt: VirtualTaskCluster<f64> = VirtualTaskCluster::new(two_machines(1.0));
+        let arrival = Arc::new(Mutex::new((0.0, 0.0)));
+        let arr = Arc::clone(&arrival);
+        let receiver = vt.spawn(1, move |ctx| async move {
+            let sent_at = ctx.recv().await;
+            *arr.lock().unwrap() = (sent_at, ctx.now());
+        });
+        vt.spawn(0, move |ctx| async move {
+            ctx.compute(2.0).await;
+            ctx.send_sized(receiver, ctx.now(), 0);
+        });
+        vt.run();
+        let (sent_at, received_at) = *arrival.lock().unwrap();
+        assert!((sent_at - 2.0).abs() < 1e-9);
+        assert!((received_at - 2.5).abs() < 1e-9, "latency 0.5 applies");
+    }
+
+    #[test]
+    fn recv_accounts_wait_time() {
+        let mut vt: VirtualTaskCluster<u32> = VirtualTaskCluster::new(two_machines(1.0));
+        let rx = vt.spawn(0, move |ctx| async move {
+            let _ = ctx.recv().await;
+        });
+        vt.spawn(1, move |ctx| async move {
+            ctx.compute(4.0).await;
+            ctx.send_sized(rx, 1, 0);
+        });
+        let report = vt.run();
+        assert!(
+            (report.per_proc[0].wait_time - 4.5).abs() < 1e-9,
+            "receiver waits from t=0 to t=4.5, got {}",
+            report.per_proc[0].wait_time
+        );
+        assert_eq!(report.per_proc[0].messages_received, 1);
+        assert_eq!(report.per_proc[1].messages_sent, 1);
+    }
+
+    #[test]
+    fn fifo_holds_when_small_message_follows_large() {
+        // A 1 MB message takes ~1 s on the default link; a 0-byte message
+        // sent right after must NOT overtake it.
+        let mut vt: VirtualTaskCluster<u32> = VirtualTaskCluster::new(homogeneous(2));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let o = Arc::clone(&order);
+        let rx = vt.spawn(0, move |ctx| async move {
+            for _ in 0..2 {
+                let msg = ctx.recv().await;
+                o.lock().unwrap().push(msg);
+            }
+        });
+        vt.spawn(1, move |ctx| async move {
+            ctx.send_sized(rx, 1, 1_000_000); // slow
+            ctx.send_sized(rx, 2, 0); // fast, but must queue behind
+        });
+        vt.run();
+        assert_eq!(*order.lock().unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn simultaneous_wakes_run_in_task_id_order() {
+        // Two receivers get messages deliverable at the same instant; the
+        // lower task id must run first — the token scheduler's
+        // `(wake, pid)` rule.
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut vt: VirtualTaskCluster<u32> = VirtualTaskCluster::new(homogeneous(1));
+        for w in 0..2usize {
+            let l = Arc::clone(&log);
+            vt.spawn(0, move |ctx| async move {
+                let _ = ctx.recv().await;
+                l.lock().unwrap().push(w);
+            });
+        }
+        vt.spawn(0, move |ctx| async move {
+            // Deliberately send to the higher id first: delivery times tie
+            // (same route latency, same size), so id order must win.
+            ctx.send_sized(1, 7, 0);
+            ctx.send_sized(0, 7, 0);
+        });
+        vt.run();
+        assert_eq!(*log.lock().unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn try_recv_respects_delivery_time() {
+        let mut vt: VirtualTaskCluster<u32> = VirtualTaskCluster::new(two_machines(1.0));
+        let got = Arc::new(Mutex::new((None, None)));
+        let g = Arc::clone(&got);
+        let rx = vt.spawn(0, move |ctx| async move {
+            let early = ctx.try_recv(); // nothing has arrived at t=0
+            ctx.compute(10.0).await;
+            let late = ctx.try_recv(); // sent at t~1, arrived long ago
+            *g.lock().unwrap() = (early, late);
+        });
+        vt.spawn(1, move |ctx| async move {
+            ctx.compute(1.0).await;
+            ctx.send_sized(rx, 7, 0);
+        });
+        vt.run();
+        assert_eq!(*got.lock().unwrap(), (None, Some(7)));
+    }
+
+    #[test]
+    fn loaded_machine_is_slower() {
+        let cluster = ClusterSpec::new(
+            vec![
+                Machine::new("free", 1.0),
+                Machine::new("busy", 1.0).with_load(LoadModel::Periodic {
+                    period: 4.0,
+                    duty: 0.5,
+                    busy_factor: 0.25,
+                }),
+            ],
+            LinkModel::default(),
+        );
+        let mut vt: VirtualTaskCluster<()> = VirtualTaskCluster::new(cluster);
+        let times = Arc::new(Mutex::new((0.0, 0.0)));
+        let (ta, tb) = (Arc::clone(&times), Arc::clone(&times));
+        vt.spawn(0, move |ctx| async move {
+            ctx.compute(8.0).await;
+            ta.lock().unwrap().0 = ctx.now();
+        });
+        vt.spawn(1, move |ctx| async move {
+            ctx.compute(8.0).await;
+            tb.lock().unwrap().1 = ctx.now();
+        });
+        vt.run();
+        let (free, busy) = *times.lock().unwrap();
+        assert!((free - 8.0).abs() < 1e-9);
+        assert!(busy > free + 1.0, "load must slow the busy machine");
+    }
+
+    #[test]
+    fn send_to_finished_task_is_dropped() {
+        let mut vt: VirtualTaskCluster<u32> = VirtualTaskCluster::new(homogeneous(2));
+        let early = vt.spawn(0, |ctx| async move {
+            ctx.compute(0.1).await; // dies immediately after
+        });
+        vt.spawn(1, move |ctx| async move {
+            ctx.compute(5.0).await;
+            ctx.send(early, 1); // receiver long dead
+            ctx.compute(1.0).await;
+        });
+        let report = vt.run();
+        assert_eq!(report.per_proc[0].messages_received, 0);
+        assert_eq!(report.per_proc[1].messages_sent, 1, "send still counted");
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        fn run_once() -> (Vec<(u64, u64, f64)>, f64) {
+            let log = Arc::new(Mutex::new(Vec::new()));
+            let mut vt: VirtualTaskCluster<(u64, u64)> = VirtualTaskCluster::new(homogeneous(4));
+            let l = Arc::clone(&log);
+            let master = vt.spawn(0, move |ctx| async move {
+                for _ in 0..9 {
+                    let msg = ctx.recv().await;
+                    let t = ctx.now();
+                    l.lock().unwrap().push((msg.0, msg.1, t));
+                }
+            });
+            for w in 0..3u64 {
+                vt.spawn(1 + w as usize, move |ctx| async move {
+                    for i in 0..3u64 {
+                        ctx.compute(1.0 + w as f64 * 0.3 + i as f64).await;
+                        ctx.send(master, (w, i));
+                    }
+                });
+            }
+            let report = vt.run();
+            let out = log.lock().unwrap().clone();
+            (out, report.end_time)
+        }
+        let (a, end_a) = run_once();
+        let (b, end_b) = run_once();
+        assert_eq!(a, b, "same inputs must replay identically");
+        assert_eq!(end_a, end_b);
+        assert_eq!(a.len(), 9);
+    }
+
+    #[test]
+    fn scales_to_thousands_of_tasks() {
+        // The point of this runtime: virtual-time measurements at worker
+        // counts the thread-backed scheduler cannot reach. 2001 tasks on
+        // a heterogeneous cluster, one OS thread.
+        let mut vt: VirtualTaskCluster<u64> = VirtualTaskCluster::new(homogeneous(12));
+        const N: u64 = 2000;
+        vt.spawn(0, move |ctx| async move {
+            let mut sum = 0u64;
+            for _ in 0..N {
+                sum += ctx.recv().await;
+            }
+            assert_eq!(sum, N * (N + 1) / 2);
+        });
+        for i in 1..=N {
+            vt.spawn((i % 12) as usize, move |ctx| async move {
+                ctx.compute(1.0).await;
+                ctx.send(0, i);
+            });
+        }
+        let report = vt.run();
+        assert_eq!(report.per_proc.len(), N as usize + 1);
+        assert_eq!(report.per_proc[0].messages_received, N);
+        assert!(report.end_time > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_is_detected() {
+        let mut vt: VirtualTaskCluster<u32> = VirtualTaskCluster::new(homogeneous(2));
+        vt.spawn(0, |ctx| async move {
+            let _ = ctx.recv().await; // nobody will ever send
+        });
+        vt.spawn(1, |ctx| async move {
+            ctx.compute(1.0).await;
+        });
+        vt.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "send_overhead_work")]
+    fn rejects_marshalling_overhead() {
+        let cluster = ClusterSpec::new(
+            vec![Machine::new("a", 1.0)],
+            LinkModel {
+                send_overhead_work: 2.0,
+                ..LinkModel::default()
+            },
+        );
+        let _: VirtualTaskCluster<u32> = VirtualTaskCluster::new(cluster);
+    }
+}

@@ -1,12 +1,15 @@
-//! Property tests for the virtual-time runtime: determinism, clock
+//! Property tests for the virtual-time runtimes: determinism, clock
 //! monotonicity, message conservation, and FIFO ordering over randomized
-//! process/topology structures.
+//! process/topology structures — plus the cross-runtime law that the
+//! cooperative discrete-event executor ([`VirtualTaskCluster`]) replays
+//! the token scheduler ([`SimBuilder`]) bit for bit, and model-checked
+//! properties of the [`EventQueue`] that drives it.
 
 use proptest::prelude::*;
 use pts_vcluster::machine::{LoadModel, Machine};
 use pts_vcluster::message::LinkModel;
 use pts_vcluster::topology::ClusterSpec;
-use pts_vcluster::SimBuilder;
+use pts_vcluster::{EventQueue, SimBuilder, VirtualTaskCluster};
 use std::sync::{Arc, Mutex};
 
 /// A randomized star workload: `n_workers` send `msgs_each` messages to a
@@ -35,8 +38,8 @@ fn arb_star() -> impl Strategy<Value = StarSpec> {
 }
 
 /// Run the star workload; return the collector's observation log
-/// `(worker, msg_index, virtual_time)` and the run report end time.
-fn run_star(spec: &StarSpec) -> (Vec<(u64, u64, f64)>, f64) {
+/// `(worker, msg_index, virtual_time)` and the full run report.
+fn run_star(spec: &StarSpec) -> (Vec<(u64, u64, f64)>, pts_vcluster::RunReport) {
     let machines: Vec<Machine> = std::iter::once(Machine::new("hub", 1.0))
         .chain(
             spec.speeds
@@ -78,7 +81,78 @@ fn run_star(spec: &StarSpec) -> (Vec<(u64, u64, f64)>, f64) {
     }
     let report = sim.run();
     let out = log.lock().unwrap().clone();
-    (out, report.end_time)
+    (out, report)
+}
+
+/// The identical star workload on the cooperative virtual-time executor;
+/// returns the observation log, the end time, and the full per-process
+/// accounting for bit-for-bit comparison against the token scheduler.
+fn run_star_vt(spec: &StarSpec) -> (Vec<(u64, u64, f64)>, pts_vcluster::RunReport) {
+    let machines: Vec<Machine> = std::iter::once(Machine::new("hub", 1.0))
+        .chain(
+            spec.speeds
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| Machine::new(format!("w{i}"), s)),
+        )
+        .collect();
+    let cluster = ClusterSpec::new(
+        machines,
+        LinkModel {
+            latency: spec.latency,
+            local_latency: spec.latency / 2.0,
+            bytes_per_sec: 1e9,
+            send_overhead_work: 0.0,
+        },
+    );
+    let n_workers = spec.speeds.len();
+    let total = n_workers * spec.msgs_each;
+    let log: Arc<Mutex<Vec<(u64, u64, f64)>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let mut vt: VirtualTaskCluster<(u64, u64)> = VirtualTaskCluster::new(cluster);
+    let l = Arc::clone(&log);
+    let hub = vt.spawn(0, move |ctx| async move {
+        for _ in 0..total {
+            let (w, i) = ctx.recv().await;
+            let t = ctx.now();
+            l.lock().unwrap().push((w, i, t));
+        }
+    });
+    for w in 0..n_workers {
+        let bursts = spec.bursts.clone();
+        let msgs = spec.msgs_each;
+        vt.spawn(1 + w, move |ctx| async move {
+            for i in 0..msgs {
+                ctx.compute(bursts[i % bursts.len()]).await;
+                ctx.send_sized(hub, (w as u64, i as u64), 64);
+            }
+        });
+    }
+    let report = vt.run();
+    let out = log.lock().unwrap().clone();
+    (out, report)
+}
+
+/// Reference model for the event queue: a plain vector of live entries,
+/// popped by linear minimum scan over `(time, task, seq)`.
+#[derive(Clone, Debug)]
+struct QueueOp {
+    /// `Some((time_offset, task))` = schedule; `None` = pop.
+    schedule: Option<(f64, usize)>,
+    /// When scheduling: index into the live set to also cancel (mod len).
+    cancel_one: bool,
+}
+
+fn arb_queue_ops() -> impl Strategy<Value = Vec<QueueOp>> {
+    proptest::collection::vec(
+        (0usize..4, 0.0f64..5.0, 0usize..8, any::<bool>()).prop_map(
+            |(kind, dt, task, cancel_one)| QueueOp {
+                schedule: (kind != 0).then_some((dt, task)),
+                cancel_one: kind == 2 && cancel_one,
+            },
+        ),
+        1..120,
+    )
 }
 
 proptest! {
@@ -86,26 +160,104 @@ proptest! {
 
     #[test]
     fn replay_is_bit_identical(spec in arb_star()) {
-        let (log_a, end_a) = run_star(&spec);
-        let (log_b, end_b) = run_star(&spec);
+        let (log_a, report_a) = run_star(&spec);
+        let (log_b, report_b) = run_star(&spec);
         prop_assert_eq!(log_a, log_b);
-        prop_assert_eq!(end_a, end_b);
+        prop_assert_eq!(report_a.end_time, report_b.end_time);
     }
 
     #[test]
     fn collector_times_are_monotone(spec in arb_star()) {
-        let (log, end) = run_star(&spec);
+        let (log, report) = run_star(&spec);
         for w in log.windows(2) {
             prop_assert!(w[1].2 >= w[0].2, "receive times must be non-decreasing");
         }
         if let Some(last) = log.last() {
-            prop_assert!(end >= last.2, "run ends after the last receive");
+            prop_assert!(report.end_time >= last.2, "run ends after the last receive");
         }
     }
 
     #[test]
+    fn vt_executor_matches_token_scheduler_bit_for_bit(spec in arb_star()) {
+        // The cooperative discrete-event executor is not "close to" the
+        // thread-backed token scheduler — it IS the same timing model:
+        // observation log, end time, and every per-process counter
+        // (busy/wait virtual seconds included) must be equal, bit for
+        // bit, over arbitrary star workloads.
+        let (log_sim, report_sim) = run_star(&spec);
+        let (log_vt, report_vt) = run_star_vt(&spec);
+        prop_assert_eq!(log_sim, log_vt);
+        prop_assert_eq!(report_sim.end_time, report_vt.end_time);
+        prop_assert_eq!(report_sim.per_proc, report_vt.per_proc);
+    }
+
+    #[test]
+    fn event_queue_preserves_total_order_and_drains(ops in arb_queue_ops()) {
+        // Model-checked: the queue pops exactly the live-set minimum in
+        // (time, task, seq) order, never yields an event before (or after)
+        // its scheduled time once the clock reaches it, never yields a
+        // cancelled entry, and drains to quiescence.
+        let mut q = EventQueue::new();
+        let mut model: Vec<(f64, usize, u64)> = Vec::new();
+        let mut clock = 0.0f64;
+        let pop_min = |q: &mut EventQueue, model: &mut Vec<(f64, usize, u64)>,
+                           clock: &mut f64| {
+            let expect = model
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2))
+                })
+                .map(|(i, _)| i);
+            match (q.pop(), expect) {
+                (None, None) => {}
+                (Some(ev), Some(i)) => {
+                    let (t, task, seq) = model.remove(i);
+                    assert_eq!((ev.time, ev.task, ev.seq), (t, task, seq));
+                    // "Never run a task early": the executor clock jumps
+                    // TO the event's time, never past a later event, and
+                    // schedules are never in the past — so pop times are
+                    // non-decreasing.
+                    assert!(
+                        ev.time >= *clock,
+                        "event at {} popped after clock reached {}",
+                        ev.time,
+                        *clock
+                    );
+                    *clock = clock.max(ev.time);
+                }
+                (got, want) => panic!("queue/model diverged: got {got:?}, want index {want:?}"),
+            }
+        };
+        for op in &ops {
+            match op.schedule {
+                Some((dt, task)) => {
+                    let time = clock + dt;
+                    let ticket = q.schedule(time, task);
+                    model.push((time, task, ticket));
+                    if op.cancel_one {
+                        // Cancel the oldest live entry; it must never
+                        // surface from a later pop.
+                        let (_, _, ticket) = model.remove(0);
+                        prop_assert!(q.cancel(ticket), "live ticket must cancel");
+                        prop_assert!(!q.cancel(ticket), "double cancel must report dead");
+                    }
+                }
+                None => pop_min(&mut q, &mut model, &mut clock),
+            }
+            prop_assert_eq!(q.len(), model.len());
+        }
+        // Drain to quiescence: every live entry comes out, in order.
+        while !model.is_empty() {
+            pop_min(&mut q, &mut model, &mut clock);
+        }
+        prop_assert!(q.is_empty());
+        prop_assert!(q.pop().is_none(), "drained queue must stay quiescent");
+    }
+
+    #[test]
     fn all_messages_delivered_exactly_once(spec in arb_star()) {
-        let (log, _) = run_star(&spec);
+        let (log, _report) = run_star(&spec);
         prop_assert_eq!(log.len(), spec.speeds.len() * spec.msgs_each);
         let mut seen = std::collections::HashSet::new();
         for &(w, i, _) in &log {

@@ -3,8 +3,8 @@
 //!
 //! ```text
 //! pts circuits                      list the paper's benchmark circuits
-//! pts run [options]                 one PTS run (sim or thread engine,
-//!                                   placement or QAP problem)
+//! pts run [options]                 one PTS run (sim/threads/async/vt
+//!                                   engine, placement or QAP problem)
 //! pts sweep --what clw|tsw [...]    quality/speedup sweep (Figs 5-8 style)
 //! pts generate --cells N [...]      emit a synthetic netlist (text format)
 //! pts show --file netlist.txt      parse a netlist file and print stats
@@ -14,7 +14,7 @@
 
 use parallel_tabu_search::core::{
     common_quality_target, speedup_sweep, AsyncEngine, CostKind, ExecutionEngine, Pts, PtsDomain,
-    PtsRun, QapDomain, SimEngine, SnapshotMode, SyncPolicy, ThreadEngine,
+    PtsRun, QapDomain, SimEngine, SnapshotMode, SyncPolicy, ThreadEngine, VirtualEngine,
 };
 use parallel_tabu_search::netlist::{
     benchmark_names, by_name, format, generate, CircuitSpec, Netlist, NetlistStats, TimingGraph,
@@ -64,7 +64,7 @@ USAGE:
   pts circuits
   pts run      [--problem placement|qap] [--circuit NAME | --qap-size N]
                [--tsw N] [--clw N] [--global N] [--local N]
-               [--engine sim|threads|async] [--sync half|all] [--no-diversify]
+               [--engine sim|threads|async|vt] [--sync half|all] [--no-diversify]
                [--differentiate] [--cost fuzzy|weighted] [--seed N]
                [--candidates N] [--depth N] [--report-fraction F]
                [--shard-fanout N|auto]  (0 = flat master, >= 2 = sub-master
@@ -195,8 +195,9 @@ fn pick_engine<D: PtsDomain>(opts: &Opts) -> Result<Box<dyn ExecutionEngine<D>>,
         "sim" => Ok(Box::new(SimEngine::paper())),
         "threads" => Ok(Box::new(ThreadEngine)),
         "async" => Ok(Box::new(AsyncEngine::new())),
+        "vt" => Ok(Box::new(VirtualEngine::paper())),
         other => Err(format!(
-            "--engine must be 'sim', 'threads', or 'async', got '{other}'"
+            "--engine must be 'sim', 'threads', 'async', or 'vt', got '{other}'"
         )),
     }
 }
@@ -205,6 +206,7 @@ fn engine_label(name: &str) -> &'static str {
     match name {
         "sim" => "the 12-machine virtual cluster",
         "async" => "cooperative tasks on one thread",
+        "vt" => "the 12-machine virtual cluster (cooperative, thousand-worker scale)",
         _ => "native threads",
     }
 }

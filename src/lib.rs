@@ -20,9 +20,10 @@
 //! ## Quickstart
 //!
 //! Configure a run with the validated builder, pick an execution engine
-//! (the simulated heterogeneous cluster, native threads, or cooperative
-//! async tasks — all behind the same [`core::ExecutionEngine`] trait),
-//! and run any wired-in problem domain:
+//! (the simulated heterogeneous cluster, native threads, cooperative
+//! async tasks, or the virtual-time cooperative engine — all behind the
+//! same [`core::ExecutionEngine`] trait), and run any wired-in problem
+//! domain:
 //!
 //! ```
 //! use parallel_tabu_search::prelude::*;
@@ -63,7 +64,7 @@ pub mod prelude {
         run_sequential_baseline, AsyncEngine, ClockDomain, ConfigError, CostKind, DeltaSnapshot,
         ExecutionEngine, MasterOutcome, PlacementDomain, PlacementRunOutput, Pts, PtsConfig,
         PtsDomain, PtsRun, QapDomain, RunBuilder, RunReport, SimEngine, SnapshotMode, SyncPolicy,
-        ThreadEngine,
+        ThreadEngine, VirtualEngine,
     };
     pub use pts_netlist::{benchmark_names, by_name, Netlist, TimingGraph};
     pub use pts_place::{Evaluator, Layout, Placement};

@@ -1,8 +1,8 @@
-//! The sim engine, the native thread engine, and the cooperative async
-//! engine run the same protocol code behind one `ExecutionEngine` trait;
-//! all must produce valid, improving searches with the same unified
-//! report shape — and the two deterministic engines (sim, async) must
-//! agree on the search itself.
+//! The sim engine, the native thread engine, and the two cooperative
+//! engines (async, vt) run the same protocol code behind one
+//! `ExecutionEngine` trait; all must produce valid, improving searches
+//! with the same unified report shape — and the deterministic engines
+//! (sim, async, vt) must agree on the search itself.
 
 use parallel_tabu_search::prelude::*;
 use std::sync::Arc;
@@ -22,8 +22,12 @@ fn run() -> PtsRun {
 #[test]
 fn all_engines_improve_and_stay_consistent() {
     let netlist = Arc::new(by_name("c532").unwrap());
-    let engines: [&dyn ExecutionEngine<PlacementDomain>; 3] =
-        [&SimEngine::paper(), &ThreadEngine, &AsyncEngine::new()];
+    let engines: [&dyn ExecutionEngine<PlacementDomain>; 4] = [
+        &SimEngine::paper(),
+        &ThreadEngine,
+        &AsyncEngine::new(),
+        &VirtualEngine::paper(),
+    ];
     let mut initial_costs = Vec::new();
     for engine in engines {
         let out = run().run_placement(netlist.clone(), engine);
@@ -43,8 +47,44 @@ fn all_engines_improve_and_stay_consistent() {
         initial_costs.push(o.initial_cost);
     }
     // Same frozen cost scheme ⇒ identical initial cost across engines.
-    assert!((initial_costs[0] - initial_costs[1]).abs() < 1e-12);
-    assert!((initial_costs[0] - initial_costs[2]).abs() < 1e-12);
+    for cost in &initial_costs[1..] {
+        assert!((initial_costs[0] - cost).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn vt_engine_matches_async_and_threads_best_cost_under_wait_all() {
+    // Under WaitAll nothing in the search trajectory depends on timing
+    // (no ForceReport/CutShort is ever sent), so the virtual-clock vt
+    // engine, the FIFO async engine, and the genuinely parallel thread
+    // engine must all walk the exact same search, round for round.
+    let domain = QapDomain::random(24, 3);
+    let run = Pts::builder()
+        .tsw_workers(3)
+        .clw_workers(2)
+        .global_iters(3)
+        .local_iters(4)
+        .candidates(5)
+        .depth(2)
+        .sync(SyncPolicy::WaitAll)
+        .seed(0xFEED)
+        .build()
+        .unwrap();
+    let vt = run.execute(&domain, &VirtualEngine::paper());
+    let task = run.execute(&domain, &AsyncEngine::new());
+    let thr = run.execute(&domain, &ThreadEngine);
+    assert_eq!(vt.outcome.initial_cost, task.outcome.initial_cost);
+    assert_eq!(
+        vt.outcome.best_per_global_iter, task.outcome.best_per_global_iter,
+        "vt diverged from the async engine mid-search"
+    );
+    assert_eq!(vt.outcome.best_cost, task.outcome.best_cost);
+    assert_eq!(vt.outcome.best_cost, thr.outcome.best_cost);
+    assert_eq!(
+        vt.outcome.best_per_global_iter, thr.outcome.best_per_global_iter,
+        "vt diverged from the thread engine mid-search"
+    );
+    assert_eq!(vt.outcome.forced_reports, 0);
 }
 
 #[test]
@@ -286,8 +326,12 @@ fn delta_mode_is_bit_identical_to_full_mode_on_all_engines() {
             .build()
             .unwrap()
     };
-    let engines: [&dyn ExecutionEngine<QapDomain>; 3] =
-        [&SimEngine::paper(), &ThreadEngine, &AsyncEngine::new()];
+    let engines: [&dyn ExecutionEngine<QapDomain>; 4] = [
+        &SimEngine::paper(),
+        &ThreadEngine,
+        &AsyncEngine::new(),
+        &VirtualEngine::paper(),
+    ];
     for engine in engines {
         for fanout in [0usize, 2] {
             let delta = build(SnapshotMode::Delta, fanout).execute(&domain, engine);

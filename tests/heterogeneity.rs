@@ -2,79 +2,102 @@
 //! iteration budget on the 12-machine heterogeneous cluster, the
 //! half-report run finishes in far less time than the wait-all run, at
 //! comparable final quality.
+//!
+//! Every claim is checked on *both* virtual-time engines — the
+//! thread-per-process simulated cluster (`sim`) and the cooperative
+//! discrete-event engine (`vt`) — at sizes parameterized through the
+//! shared scenario helper; `tests/vt_scenarios.rs` extends the same
+//! scenarios to thousand-worker scale, which only `vt` can reach.
 
+mod common;
+
+use common::scenario;
 use parallel_tabu_search::prelude::*;
 use std::sync::Arc;
 
-fn run(sync: SyncPolicy) -> PtsRun {
-    Pts::builder()
-        .tsw_workers(4)
-        .clw_workers(4)
-        .global_iters(3)
-        .local_iters(6)
-        .sync(sync)
-        .build()
-        .unwrap()
+/// The suite's iteration budget (3 global x 6 local), at any worker shape.
+fn run(n_tsw: usize, n_clw: usize, sync: SyncPolicy) -> PtsRun {
+    scenario(n_tsw, n_clw, 3, 6, sync).build().unwrap()
 }
 
 #[test]
 fn half_report_finishes_faster_at_comparable_quality() {
     let netlist = Arc::new(by_name("c532").unwrap());
-    let het = run(SyncPolicy::HalfReport).run_placement(netlist.clone(), &SimEngine::paper());
-    let hom = run(SyncPolicy::WaitAll).run_placement(netlist, &SimEngine::paper());
+    // The paper-scale shape on both engines, plus a larger shape on the
+    // cooperative engine (where worker count is no longer capped by OS
+    // threads).
+    let cases: [(&dyn ExecutionEngine<PlacementDomain>, usize, usize); 3] = [
+        (&SimEngine::paper(), 4, 4),
+        (&VirtualEngine::paper(), 4, 4),
+        (&VirtualEngine::paper(), 12, 2),
+    ];
+    for (engine, n_tsw, n_clw) in cases {
+        let het = run(n_tsw, n_clw, SyncPolicy::HalfReport).run_placement(netlist.clone(), engine);
+        let hom = run(n_tsw, n_clw, SyncPolicy::WaitAll).run_placement(netlist.clone(), engine);
 
-    assert!(
-        het.outcome.end_time < hom.outcome.end_time,
-        "half-report ({:.2}) must beat wait-all ({:.2}) in virtual time: \
-         slow machines stop gating every round",
-        het.outcome.end_time,
-        hom.outcome.end_time
-    );
-    assert!(
-        het.outcome.forced_reports > 0,
-        "the heterogeneous run must actually force stragglers"
-    );
-    assert_eq!(
-        hom.outcome.forced_reports, 0,
-        "the wait-all run never forces anyone"
-    );
-    // Quality parity: the paper observed "no noticeable differences";
-    // allow a modest band.
-    let q_het = het.outcome.best_cost;
-    let q_hom = hom.outcome.best_cost;
-    assert!(
-        q_het <= q_hom * 1.25 + 0.05,
-        "half-report quality ({q_het}) must stay comparable to wait-all ({q_hom})"
-    );
+        let tag = format!("{} {n_tsw}x{n_clw}", engine.name());
+        assert!(
+            het.outcome.end_time < hom.outcome.end_time,
+            "{tag}: half-report ({:.2}) must beat wait-all ({:.2}) in virtual time: \
+             slow machines stop gating every round",
+            het.outcome.end_time,
+            hom.outcome.end_time
+        );
+        assert!(
+            het.outcome.forced_reports > 0,
+            "{tag}: the heterogeneous run must actually force stragglers"
+        );
+        assert_eq!(
+            hom.outcome.forced_reports, 0,
+            "{tag}: the wait-all run never forces anyone"
+        );
+        // Quality parity: the paper observed "no noticeable differences";
+        // allow a modest band.
+        let q_het = het.outcome.best_cost;
+        let q_hom = hom.outcome.best_cost;
+        assert!(
+            q_het <= q_hom * 1.25 + 0.05,
+            "{tag}: half-report quality ({q_het}) must stay comparable to wait-all ({q_hom})"
+        );
+    }
 }
 
 #[test]
 fn wait_all_gated_by_slowest_machine() {
     // On a homogeneous cluster wait-all and half-report should take
     // similar time (nobody is a straggler); on the paper's heterogeneous
-    // cluster the gap must be large.
+    // cluster the gap must be large. Identical claim on both virtual-time
+    // engines — their timelines are bit-identical by construction, so
+    // this also cross-checks the vt scheduler against the sim one.
     let netlist = Arc::new(by_name("highway").unwrap());
 
-    let end_time = |cluster: ClusterSpec, sync| {
-        let out = run(sync).run_placement(netlist.clone(), &SimEngine::new(cluster));
-        out.outcome.end_time
-    };
+    type EngineCtor = fn(ClusterSpec) -> Box<dyn ExecutionEngine<PlacementDomain>>;
+    let ctors: [(&str, EngineCtor); 2] = [
+        ("sim", |c| Box::new(SimEngine::new(c))),
+        ("vt", |c| Box::new(VirtualEngine::new(c))),
+    ];
+    for (name, ctor) in ctors {
+        let end_time = |cluster: ClusterSpec, sync| {
+            let out = run(4, 4, sync).run_placement(netlist.clone(), ctor(cluster).as_ref());
+            out.outcome.end_time
+        };
 
-    let het_gap = end_time(paper_cluster(), SyncPolicy::WaitAll)
-        / end_time(paper_cluster(), SyncPolicy::HalfReport);
-    let hom_gap = end_time(homogeneous(12), SyncPolicy::WaitAll)
-        / end_time(homogeneous(12), SyncPolicy::HalfReport);
+        let het_gap = end_time(paper_cluster(), SyncPolicy::WaitAll)
+            / end_time(paper_cluster(), SyncPolicy::HalfReport);
+        let hom_gap = end_time(homogeneous(12), SyncPolicy::WaitAll)
+            / end_time(homogeneous(12), SyncPolicy::HalfReport);
 
-    assert!(
-        het_gap > hom_gap,
-        "heterogeneity must amplify the wait-all penalty \
-         (het ratio {het_gap:.2} vs hom ratio {hom_gap:.2})"
-    );
-    assert!(
-        het_gap > 1.3,
-        "on the paper cluster, wait-all should cost at least 30% more time \
-         (ratio {het_gap:.2})"
-    );
+        assert!(
+            het_gap > hom_gap,
+            "{name}: heterogeneity must amplify the wait-all penalty \
+             (het ratio {het_gap:.2} vs hom ratio {hom_gap:.2})"
+        );
+        assert!(
+            het_gap > 1.3,
+            "{name}: on the paper cluster, wait-all should cost at least 30% more time \
+             (ratio {het_gap:.2})"
+        );
+    }
 }
 
 #[test]
@@ -82,14 +105,19 @@ fn half_report_speeds_up_qap_runs_too() {
     // The heterogeneity mechanism is problem-independent: the same gap
     // must appear when the pipeline runs quadratic assignment.
     let domain = QapDomain::random(24, 5);
-    let het = run(SyncPolicy::HalfReport).execute(&domain, &SimEngine::paper());
-    let hom = run(SyncPolicy::WaitAll).execute(&domain, &SimEngine::paper());
-    assert!(
-        het.outcome.end_time < hom.outcome.end_time,
-        "half-report ({:.2}) must beat wait-all ({:.2}) on QAP as well",
-        het.outcome.end_time,
-        hom.outcome.end_time
-    );
-    assert!(het.outcome.forced_reports > 0);
-    assert_eq!(hom.outcome.forced_reports, 0);
+    let engines: [&dyn ExecutionEngine<QapDomain>; 2] =
+        [&SimEngine::paper(), &VirtualEngine::paper()];
+    for engine in engines {
+        let het = run(4, 4, SyncPolicy::HalfReport).execute(&domain, engine);
+        let hom = run(4, 4, SyncPolicy::WaitAll).execute(&domain, engine);
+        assert!(
+            het.outcome.end_time < hom.outcome.end_time,
+            "{}: half-report ({:.2}) must beat wait-all ({:.2}) on QAP as well",
+            engine.name(),
+            het.outcome.end_time,
+            hom.outcome.end_time
+        );
+        assert!(het.outcome.forced_reports > 0, "{}", engine.name());
+        assert_eq!(hom.outcome.forced_reports, 0, "{}", engine.name());
+    }
 }

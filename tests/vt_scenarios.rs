@@ -1,0 +1,261 @@
+//! The vt scenario matrix: paper-style heterogeneity claims pinned at
+//! thousand-worker scale.
+//!
+//! `SimEngine` spends one OS thread per logical process, so Fig.-11-style
+//! measurements (half-report vs wait-all timing on a heterogeneous
+//! cluster) historically stopped at tens of workers. `VirtualEngine`
+//! carries the *same* virtual clock and machine model on cooperative
+//! futures, so the same claims run — deterministically, in CI — at
+//! `n_tsw` = 12, 256 and 1024 on one OS thread, across a scenario matrix
+//! of sync policy x cluster shape x shard fan-out x snapshot mode.
+//!
+//! The small-scale corner of the matrix is also executed on `SimEngine`
+//! and compared bit-for-bit: the large-scale numbers are extrapolations
+//! of a timing model whose implementation is *proven identical* where
+//! both engines can run.
+
+mod common;
+
+use common::{scaled_paper_cluster, scenario};
+use parallel_tabu_search::prelude::*;
+
+#[test]
+fn scaled_cluster_at_twelve_is_the_paper_cluster() {
+    assert_eq!(scaled_paper_cluster(12), paper_cluster());
+}
+
+#[test]
+fn scaled_cluster_keeps_all_three_classes() {
+    for n in [3usize, 12, 36, 100] {
+        let c = scaled_paper_cluster(n);
+        assert_eq!(c.num_machines(), n);
+        for speed in [1.0, 0.6, 0.35] {
+            assert!(
+                c.machines.iter().any(|m| m.speed == speed),
+                "n={n}: missing speed class {speed}"
+            );
+        }
+    }
+}
+
+/// One half-report-vs-wait-all pair on a heterogeneous cluster: the
+/// Fig. 11 claim at an arbitrary scale. Large scales run through the
+/// sharded collection tree (`shard_fanout_auto`) — with a flat master,
+/// O(`n_tsw`) per-report handling makes rank 0 the critical path at
+/// thousand-worker scale and the sync policy stops mattering, which is
+/// precisely why the sub-master tree exists. Returns the wait-all /
+/// half-report end-time ratio after asserting the timing, forcing, and
+/// quality invariants.
+fn assert_half_report_wins(
+    n_tsw: usize,
+    n_clw: usize,
+    cluster: ClusterSpec,
+    domain: &QapDomain,
+) -> f64 {
+    let build = |sync| {
+        let mut b = scenario(n_tsw, n_clw, 2, 3, sync)
+            .candidates(4)
+            .depth(2)
+            .differentiate_streams(true)
+            .seed(0xBEE5);
+        if n_tsw > 64 {
+            b = b.shard_fanout_auto();
+        }
+        b.build().unwrap()
+    };
+    let het = build(SyncPolicy::HalfReport).execute(domain, &VirtualEngine::new(cluster.clone()));
+    let hom = build(SyncPolicy::WaitAll).execute(domain, &VirtualEngine::new(cluster));
+
+    let tag = format!("n_tsw={n_tsw}");
+    assert!(
+        het.outcome.end_time < hom.outcome.end_time,
+        "{tag}: half-report ({:.2}) must beat wait-all ({:.2}) in virtual time",
+        het.outcome.end_time,
+        hom.outcome.end_time
+    );
+    assert!(
+        het.outcome.forced_reports > 0,
+        "{tag}: half-report must force stragglers on a heterogeneous cluster"
+    );
+    assert_eq!(
+        hom.outcome.forced_reports, 0,
+        "{tag}: wait-all never forces anyone"
+    );
+    // Quality parity within the paper's "no noticeable differences" band.
+    assert!(
+        het.outcome.best_cost <= hom.outcome.best_cost * 1.25,
+        "{tag}: half-report quality ({}) must stay comparable to wait-all ({})",
+        het.outcome.best_cost,
+        hom.outcome.best_cost
+    );
+    // Both improve on the shared initial solution.
+    assert!(het.outcome.best_cost < het.outcome.initial_cost, "{tag}");
+    hom.outcome.end_time / het.outcome.end_time
+}
+
+#[test]
+fn half_report_beats_wait_all_at_n12() {
+    let domain = QapDomain::random(64, 7);
+    assert_half_report_wins(12, 2, scaled_paper_cluster(12), &domain);
+}
+
+#[test]
+fn half_report_beats_wait_all_at_n256() {
+    let domain = QapDomain::random(64, 7);
+    assert_half_report_wins(256, 1, scaled_paper_cluster(24), &domain);
+}
+
+#[test]
+fn half_report_beats_wait_all_at_n1024_on_one_os_thread() {
+    // The acceptance bar: an n_tsw = 1024 heterogeneous HalfReport run —
+    // 2049 logical processes — completes under the virtual clock on the
+    // calling thread (the vt engine spawns no OS threads at all), and
+    // still shows the paper's half-report win.
+    let domain = QapDomain::random(64, 7);
+    let speedup = assert_half_report_wins(1024, 1, scaled_paper_cluster(48), &domain);
+    assert!(
+        speedup > 1.05,
+        "the half-report win must not vanish at scale (ratio {speedup:.3})"
+    );
+}
+
+#[test]
+fn scenario_matrix_sync_x_cluster_x_fanout_x_snapshot() {
+    // The full matrix at n_tsw = 64: every combination of sync policy,
+    // cluster shape, shard fan-out, and snapshot mode must complete and
+    // obey the protocol invariants — and forced reports appear exactly
+    // under HalfReport (never under WaitAll).
+    type ClusterCtor = fn() -> ClusterSpec;
+    let domain = QapDomain::random(48, 11);
+    let clusters: [(&str, ClusterCtor); 3] = [
+        ("paper12", paper_cluster),
+        ("het36", || scaled_paper_cluster(36)),
+        ("hom12", || homogeneous(12)),
+    ];
+    for (shape, cluster) in clusters {
+        for fanout in [0usize, 8] {
+            for sync in [SyncPolicy::HalfReport, SyncPolicy::WaitAll] {
+                let run = |mode| {
+                    scenario(64, 1, 2, 3, sync)
+                        .candidates(4)
+                        .depth(2)
+                        .differentiate_streams(true)
+                        .shard_fanout(fanout)
+                        .snapshot_mode(mode)
+                        .seed(0xFACE)
+                        .build()
+                        .unwrap()
+                        .execute(&domain, &VirtualEngine::new(cluster()))
+                };
+                let delta = run(SnapshotMode::Delta);
+                let tag = format!("{shape} fanout={fanout} {sync:?}");
+                assert!(
+                    delta.outcome.best_cost < delta.outcome.initial_cost,
+                    "{tag}: must improve"
+                );
+                assert!(delta.report.end_time > 0.0, "{tag}");
+                let u = delta.report.utilization();
+                assert!(u > 0.0 && u <= 1.0, "{tag}: utilization {u} not in (0, 1]");
+                match sync {
+                    SyncPolicy::WaitAll => assert_eq!(
+                        delta.outcome.forced_reports, 0,
+                        "{tag}: wait-all never forces"
+                    ),
+                    SyncPolicy::HalfReport => {
+                        if shape != "hom12" {
+                            assert!(
+                                delta.outcome.forced_reports > 0,
+                                "{tag}: heterogeneous half-report must force stragglers"
+                            );
+                        }
+                    }
+                }
+                // The snapshot-mode axis: a wire format, not a search
+                // change. Under WaitAll nothing depends on timing, so the
+                // trajectory must be bit-identical across modes (under
+                // HalfReport the vt clock legitimately *sees* the smaller
+                // delta messages arrive earlier, like the sim engine).
+                if sync == SyncPolicy::WaitAll {
+                    let full = run(SnapshotMode::Full);
+                    assert_eq!(
+                        delta.outcome.best_per_global_iter, full.outcome.best_per_global_iter,
+                        "{tag}: delta mode changed the WaitAll trajectory"
+                    );
+                    assert_eq!(delta.outcome.best_cost, full.outcome.best_cost, "{tag}");
+                    assert!(
+                        delta.report.total_bytes() < full.report.total_bytes(),
+                        "{tag}: delta mode must cut wire bytes"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn vt_matches_sim_bit_for_bit_across_the_matrix_corner() {
+    // Where both engines can run (small worker counts), every matrix cell
+    // must produce the *same run* on vt and sim — not statistically, but
+    // bit-for-bit: timeline, per-process accounting, forces, trajectory.
+    // This is what licenses reading the thousand-worker vt numbers as
+    // "what SimEngine would have measured".
+    let domain = QapDomain::random(24, 3);
+    for fanout in [0usize, 2] {
+        for sync in [SyncPolicy::HalfReport, SyncPolicy::WaitAll] {
+            for mode in [SnapshotMode::Delta, SnapshotMode::Full] {
+                let run = scenario(5, 2, 3, 4, sync)
+                    .candidates(4)
+                    .depth(2)
+                    .shard_fanout(fanout)
+                    .snapshot_mode(mode)
+                    .seed(0xFEED)
+                    .build()
+                    .unwrap();
+                let sim = run.execute(&domain, &SimEngine::paper());
+                let vt = run.execute(&domain, &VirtualEngine::paper());
+                let tag = format!("fanout={fanout} {sync:?} {mode:?}");
+                assert_eq!(vt.report.end_time, sim.report.end_time, "{tag}");
+                assert_eq!(vt.report.per_proc, sim.report.per_proc, "{tag}");
+                assert_eq!(vt.report.utilization(), sim.report.utilization(), "{tag}");
+                assert_eq!(vt.outcome.best_cost, sim.outcome.best_cost, "{tag}");
+                assert_eq!(vt.outcome.best, sim.outcome.best, "{tag}");
+                assert_eq!(
+                    vt.outcome.best_per_global_iter, sim.outcome.best_per_global_iter,
+                    "{tag}"
+                );
+                assert_eq!(
+                    vt.outcome.forced_reports, sim.outcome.forced_reports,
+                    "{tag}"
+                );
+                assert_eq!(vt.outcome.end_time, sim.outcome.end_time, "{tag}");
+            }
+        }
+    }
+}
+
+#[test]
+fn utilization_improves_under_half_report_at_scale() {
+    // The paper's utilization argument: forcing stragglers keeps fast
+    // machines from idling at the barrier, so overall busy/(busy+wait)
+    // rises. Measured here at a scale the thread-backed simulator cannot
+    // reach.
+    let domain = QapDomain::random(64, 7);
+    let run = |sync| {
+        scenario(256, 1, 2, 3, sync)
+            .candidates(4)
+            .depth(2)
+            .differentiate_streams(true)
+            .seed(0xBEE5)
+            .build()
+            .unwrap()
+            .execute(&domain, &VirtualEngine::new(scaled_paper_cluster(24)))
+    };
+    let het = run(SyncPolicy::HalfReport);
+    let hom = run(SyncPolicy::WaitAll);
+    assert!(
+        het.report.utilization() > hom.report.utilization(),
+        "half-report utilization ({:.3}) must beat wait-all ({:.3})",
+        het.report.utilization(),
+        hom.report.utilization()
+    );
+}
