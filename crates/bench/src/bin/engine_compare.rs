@@ -18,6 +18,10 @@
 //!   sim engine's timing model (bit-identical timeline) at async scale —
 //!   so it also runs every point, and uniquely reports virtual end time
 //!   and utilization at `n_tsw = 1024`;
+//! * `proc` runs one OS process per rank over a socket star (this binary
+//!   re-enters itself as the workers), measuring what real process
+//!   isolation and the explicit wire codec cost; its flat rows run at
+//!   `n_tsw = 4` and `64`, higher points under `PTS_FULL=1`;
 //! * the `root msgs` column counts rank 0's sent+received messages: flat
 //!   collection is O(`n_tsw`) at the root, the sharded tree is
 //!   O(fan-out) per round at every process;
@@ -44,8 +48,8 @@
 
 use pts_bench::emit;
 use pts_core::{
-    take_snapshot_meter, AsyncEngine, ExecutionEngine, Pts, QapDomain, RunBuilder, SimEngine,
-    SnapshotMeter, SnapshotMode, ThreadEngine, VirtualEngine,
+    take_snapshot_meter, AsyncEngine, ExecutionEngine, ProcEngine, Pts, QapDomain, RunBuilder,
+    SimEngine, SnapshotMeter, SnapshotMode, ThreadEngine, VirtualEngine,
 };
 use pts_util::csv::CsvWriter;
 use pts_util::table::{fmt_f64, Table};
@@ -263,6 +267,9 @@ fn check_baseline(delta: &WireRun, reduction: f64) -> bool {
 }
 
 fn main() {
+    // The proc rows spawn worker ranks by re-entering this binary.
+    pts_core::proc::maybe_worker();
+
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wire_check = args.iter().any(|a| a == "--wire-check");
     let wire_write = args.iter().any(|a| a == "--wire-only");
@@ -295,7 +302,7 @@ fn main() {
 
 fn run_engine_table() {
     let full_profile = std::env::var("PTS_FULL").map(|v| v == "1").unwrap_or(false);
-    println!("== Engine comparison: sim vs threads vs async vs vt, flat vs sharded, at n_tsw = 4, 64, 1024 ==\n");
+    println!("== Engine comparison: sim vs threads vs async vs vt vs proc, flat vs sharded, at n_tsw = 4, 64, 1024 ==\n");
 
     // One QAP instance for the whole sweep; workers outnumber facilities
     // at the top end (ranges wrap), so streams are differentiated.
@@ -332,11 +339,15 @@ fn run_engine_table() {
         // (a fan-out of 1 is rejected at validation) in case the sweep
         // ever gains a tiny point.
         let fanout = ((n_tsw as f64).sqrt().round() as usize).max(2);
-        let engines: [(&str, &dyn ExecutionEngine<QapDomain>); 4] = [
+        let proc_engine = ProcEngine::from_current_exe().expect("own path resolvable");
+        let engines: [(&str, &dyn ExecutionEngine<QapDomain>); 5] = [
             ("sim", &SimEngine::paper()),
             ("threads", &ThreadEngine),
             ("async", &AsyncEngine::new()),
             ("vt", &VirtualEngine::paper()),
+            // One OS process per rank over a socket star: the real
+            // cross-process deployment the wire codec exists for.
+            ("proc", &proc_engine),
         ];
         for (name, engine) in engines {
             for shard_fanout in [0usize, fanout] {
@@ -423,7 +434,7 @@ fn run_engine_table() {
     }
 
     emit("engine_compare", &table, &csv);
-    println!("\n(sim/threads at n_tsw = 1024 and all sharded sim/threads rows run only with PTS_FULL=1.)");
+    println!("\n(sim/threads/proc at n_tsw = 1024 and all sharded sim/threads/proc rows run only with PTS_FULL=1 — proc at 1024 means 2049 OS processes.)");
     println!("(root msgs: rank-0 sent+received — O(n_tsw) flat, O(fan-out) sharded.)");
     println!("(wire MB / snap allocs: simulated traffic and full-solution materializations — both drop under the default delta snapshot mode; see BENCH_wire.json.)\n");
 }

@@ -21,6 +21,7 @@
 //! cluster's search results seed-for-seed.
 
 use crate::config::PtsConfig;
+use crate::control::RunControl;
 use crate::domain::{PtsDomain, SearchOutcome, SnapshotOf};
 use crate::engine::{EngineOutput, ExecutionEngine};
 use crate::master::{run_master, run_sub_master};
@@ -84,7 +85,8 @@ impl<D: PtsDomain> ExecutionEngine<D> for AsyncEngine {
             let slot = Rc::clone(&outcome_slot);
             cluster.spawn(move |ctx| async move {
                 let mut t = TaskTransport { ctx };
-                let outcome = run_master(&mut t, &cfg, &domain, initial).await;
+                let outcome =
+                    run_master(&mut t, &cfg, &domain, initial, &RunControl::unlimited()).await;
                 *slot.borrow_mut() = Some(outcome);
             });
         }

@@ -19,6 +19,7 @@
 //! same unified [`RunReport`] — no engine-specific output types.
 
 use crate::config::PtsConfig;
+use crate::control::RunControl;
 use crate::domain::{PtsDomain, SearchOutcome, SnapshotOf};
 use crate::master::{run_master, run_sub_master};
 use crate::messages::PtsMsg;
@@ -98,7 +99,13 @@ impl<D: PtsDomain> ExecutionEngine<D> for SimEngine {
             let slot = Arc::clone(&outcome_slot);
             sim.spawn(assignment[0], move |ctx| {
                 let mut t = SimTransport { ctx };
-                let outcome = drive_sync(run_master(&mut t, &cfg, &domain, initial));
+                let outcome = drive_sync(run_master(
+                    &mut t,
+                    &cfg,
+                    &domain,
+                    initial,
+                    &RunControl::unlimited(),
+                ));
                 *slot.lock().unwrap() = Some(outcome);
             });
         }
@@ -267,7 +274,13 @@ impl<D: PtsDomain> ExecutionEngine<D> for ThreadEngine {
                 Arc::clone(&stats_sink),
             );
             master_t.mark_thread_start();
-            drive_sync(run_master(&mut master_t, cfg, domain, initial))
+            drive_sync(run_master(
+                &mut master_t,
+                cfg,
+                domain,
+                initial,
+                &RunControl::unlimited(),
+            ))
         };
 
         for h in handles {

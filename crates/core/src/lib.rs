@@ -45,25 +45,31 @@ pub mod async_engine;
 pub mod builder;
 pub mod clw;
 pub mod config;
+pub mod control;
 pub mod domain;
 pub mod engine;
 pub mod master;
 pub mod messages;
 pub mod meter;
 pub mod placement_problem;
+pub mod proc;
 pub mod qap_domain;
 pub mod report;
 pub mod run;
+pub mod serve;
+pub mod socket;
 pub mod speedup;
 pub mod transport;
 pub mod tsw;
 pub mod virtual_engine;
+pub mod wire;
 
 pub use async_engine::AsyncEngine;
 pub use builder::{ConfigError, PlacementRunOutput, Pts, PtsRun, RunBuilder};
 pub use config::{
     CostKind, PtsConfig, ShardChildren, ShardSpec, SnapshotMode, SyncPolicy, WorkModel,
 };
+pub use control::RunControl;
 pub use domain::{
     DeltaOf, DeltaSnapshot, PtsDomain, PtsProblem, SearchOutcome, SnapshotOf, WireSized,
 };
@@ -71,8 +77,11 @@ pub use engine::{EngineOutput, ExecutionEngine, SimEngine, ThreadEngine};
 pub use messages::{PtsMsg, SharedTabu, SnapshotBase, SnapshotPayload, TabuEntries};
 pub use meter::{take_snapshot_meter, SnapshotMeter};
 pub use placement_problem::{MasterOutcome, PlacementDelta, PlacementDomain, PlacementProblem};
+pub use proc::{ProcDomain, ProcEngine};
 pub use qap_domain::{QapDelta, QapDomain};
 pub use report::{ClockDomain, RunReport};
 pub use run::run_sequential_baseline;
+pub use socket::{SocketRouter, SocketTransport};
 pub use speedup::{common_quality_target, fractional_quality_target, speedup_sweep, SpeedupPoint};
 pub use virtual_engine::VirtualEngine;
+pub use wire::{WireError, WireProblem, WIRE_VERSION};

@@ -37,6 +37,7 @@
 //! `n_rep` and corrupt or deadlock the round.
 
 use crate::config::{PtsConfig, ShardChildren, SyncPolicy};
+use crate::control::RunControl;
 use crate::domain::{PtsDomain, SearchOutcome, SnapshotOf};
 use crate::messages::{PtsMsg, SharedTabu, SnapshotBase, SnapshotPayload};
 use crate::transport::{protocol_warn, Transport};
@@ -350,11 +351,19 @@ fn send_down<D: PtsDomain, T: Transport<D::Problem>>(
 /// `async` over any [`Transport`]: on blocking substrates drive it with
 /// [`crate::transport::drive_sync`]; on the cooperative substrate each
 /// `recv` is a scheduling point.
+///
+/// `ctl` is consulted once per global iteration, at the point where the
+/// master already chooses between "broadcast and continue" and "send
+/// `Stop`": a cancel or expired deadline simply makes the current round
+/// the final one, so an early stop is indistinguishable to the workers
+/// from a configured last round — no new protocol state. Callers without
+/// external control pass [`RunControl::unlimited`].
 pub async fn run_master<D: PtsDomain, T: Transport<D::Problem>>(
     t: &mut T,
     cfg: &PtsConfig,
     domain: &D,
     initial: SnapshotOf<D>,
+    ctl: &RunControl,
 ) -> SearchOutcome<SnapshotOf<D>> {
     // Cost of the initial solution under the (frozen) domain.
     let initial_cost = domain.cost_of(&initial);
@@ -403,8 +412,10 @@ pub async fn run_master<D: PtsDomain, T: Transport<D::Problem>>(
 
         red.merged.record(t.now(), g as u64 + 1, red.best_cost);
         best_per_global_iter.push(red.best_cost);
+        ctl.note_progress(g, red.best_cost);
 
-        if g + 1 < cfg.global_iters {
+        let last_round = g + 1 == cfg.global_iters || ctl.should_stop(t.now());
+        if !last_round {
             // Diff the round winner against the base the children still
             // hold, ship it once per child (Arc clones), then re-anchor
             // the shared base on what was just broadcast.
@@ -413,6 +424,7 @@ pub async fn run_master<D: PtsDomain, T: Transport<D::Problem>>(
             base.advance(g, Arc::clone(&red.best_snapshot));
         } else {
             send_down::<D, T>(t, cfg, children, None);
+            break;
         }
     }
 

@@ -133,6 +133,12 @@ impl WireSized for Placement {
 pub struct PlacementDelta(Vec<(CellId, SlotId)>);
 
 impl PlacementDelta {
+    /// Wrap explicit `(cell, new slot)` entries — the wire decoder's
+    /// constructor.
+    pub fn new(moves: Vec<(CellId, SlotId)>) -> PlacementDelta {
+        PlacementDelta(moves)
+    }
+
     /// The `(cell, new slot)` entries of this delta.
     pub fn moves(&self) -> &[(CellId, SlotId)] {
         &self.0

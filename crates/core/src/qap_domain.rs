@@ -32,6 +32,12 @@ impl WireSized for QapAssignment {
 pub struct QapDelta(Vec<(u32, u32)>);
 
 impl QapDelta {
+    /// Wrap explicit `(facility, new location)` entries — the wire
+    /// decoder's constructor.
+    pub fn new(changes: Vec<(u32, u32)>) -> QapDelta {
+        QapDelta(changes)
+    }
+
     /// The `(facility, new location)` entries of this delta.
     pub fn changes(&self) -> &[(u32, u32)] {
         &self.0

@@ -1,0 +1,778 @@
+//! `pts-serve`: a long-lived search-job service over a socket.
+//!
+//! The paper's PVM testbed was operated batch-style — one run, one
+//! process tree. This module turns the proc engine into a *service*: a
+//! daemon listens on a Unix-domain (or TCP) socket; clients submit search
+//! jobs (a full [`PtsConfig`] plus a [`JobDomainSpec`] and an optional
+//! wall-clock budget) over a small framed protocol; the server queues
+//! jobs FIFO, runs up to `max_concurrent` of them at once — each as its
+//! own [`crate::proc::ProcEngine`] process tree — streams per-round
+//! progress frames back, and delivers a final result frame. A job can be
+//! cancelled explicitly, by its budget expiring, or implicitly by its
+//! client disconnecting; all three routes flip the job's
+//! [`RunControl`], which the master turns into a protocol-clean `Stop`
+//! wave through the shard tree, after which the engine reaps its child
+//! processes — no orphans on any path.
+//!
+//! # Client protocol
+//!
+//! Frames are length-prefixed like the rank protocol
+//! ([`crate::wire::write_frame`]); each body is
+//! `[version][kind][payload]`. Client → server kinds: [`kind::SUBMIT`],
+//! [`kind::CANCEL`]. Server → client: [`kind::ACCEPTED`],
+//! [`kind::PROGRESS`], [`kind::RESULT`], [`kind::ERROR`]. The
+//! [`Client`] type wraps the exchange for tests and tooling.
+
+use crate::config::PtsConfig;
+use crate::control::RunControl;
+use crate::proc::{ProcDomain, ProcEngine};
+use crate::socket::Stream;
+use crate::wire::{self, WireError, WireReader};
+use std::collections::{HashMap, VecDeque};
+use std::io::Write;
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Version byte opening every client-protocol frame.
+pub const SERVE_VERSION: u8 = 1;
+
+/// Client-protocol frame kinds.
+pub mod kind {
+    /// Client → server: submit a job ([`super::JobRequest`] payload).
+    pub const SUBMIT: u8 = 0x01;
+    /// Client → server: cancel a job (`u32` job id).
+    pub const CANCEL: u8 = 0x02;
+    /// Server → client: job accepted (`u32` job id).
+    pub const ACCEPTED: u8 = 0x81;
+    /// Server → client: one global iteration finished
+    /// (`u32` job, `u32` global, `f64` best cost).
+    pub const PROGRESS: u8 = 0x82;
+    /// Server → client: final result ([`super::JobResult`] payload).
+    pub const RESULT: u8 = 0x83;
+    /// Server → client: job failed (`u32` job, string message).
+    pub const ERROR: u8 = 0x84;
+}
+
+/// What problem a submitted job searches.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobDomainSpec {
+    /// Random symmetric QAP instance, deterministic in the seed.
+    QapRandom {
+        /// Instance size (facilities = locations).
+        n: u32,
+        /// Instance seed.
+        seed: u64,
+    },
+    /// A built-in placement benchmark (see
+    /// [`pts_netlist::benchmarks::benchmark_names`]).
+    Bench {
+        /// Benchmark name.
+        name: String,
+    },
+    /// An explicit netlist in the `pts_netlist::format` text format.
+    NetlistText {
+        /// The netlist source text.
+        text: String,
+    },
+}
+
+/// A submitted search job: full run config, problem, optional budget.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobRequest {
+    /// Run configuration (validated server-side).
+    pub cfg: PtsConfig,
+    /// Problem to search.
+    pub spec: JobDomainSpec,
+    /// Wall-clock budget in milliseconds; 0 = unlimited (the configured
+    /// `global_iters` is then the only bound).
+    pub budget_ms: u64,
+}
+
+impl JobRequest {
+    /// Encode as a [`kind::SUBMIT`] payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        wire::put_config(&self.cfg, &mut out);
+        wire::put_u64(&mut out, self.budget_ms);
+        match &self.spec {
+            JobDomainSpec::QapRandom { n, seed } => {
+                out.push(0);
+                wire::put_u32(&mut out, *n);
+                wire::put_u64(&mut out, *seed);
+            }
+            JobDomainSpec::Bench { name } => {
+                out.push(1);
+                put_str(&mut out, name);
+            }
+            JobDomainSpec::NetlistText { text } => {
+                out.push(2);
+                put_str(&mut out, text);
+            }
+        }
+        out
+    }
+
+    /// Decode a [`kind::SUBMIT`] payload.
+    pub fn decode(payload: &[u8]) -> Result<JobRequest, WireError> {
+        let mut r = WireReader::new(payload);
+        let cfg = wire::get_config(&mut r)?;
+        let budget_ms = r.u64()?;
+        let spec = match r.u8()? {
+            0 => JobDomainSpec::QapRandom {
+                n: r.u32()?,
+                seed: r.u64()?,
+            },
+            1 => JobDomainSpec::Bench {
+                name: get_str(&mut r)?,
+            },
+            2 => JobDomainSpec::NetlistText {
+                text: get_str(&mut r)?,
+            },
+            other => return Err(WireError::Tag(other)),
+        };
+        Ok(JobRequest {
+            cfg,
+            spec,
+            budget_ms,
+        })
+    }
+}
+
+/// Final outcome of a job, as delivered in a [`kind::RESULT`] frame.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobResult {
+    /// The job this result belongs to.
+    pub job: u32,
+    /// Best cost found.
+    pub best_cost: f64,
+    /// Cost of the initial solution.
+    pub initial_cost: f64,
+    /// Global iterations actually completed (≤ configured when cancelled
+    /// or out of budget).
+    pub rounds: u32,
+    /// Whether the job was stopped early (cancel or budget).
+    pub cancelled: bool,
+}
+
+impl JobResult {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        wire::put_u32(&mut out, self.job);
+        wire::put_f64(&mut out, self.best_cost);
+        wire::put_f64(&mut out, self.initial_cost);
+        wire::put_u32(&mut out, self.rounds);
+        out.push(self.cancelled as u8);
+        out
+    }
+
+    fn decode(payload: &[u8]) -> Result<JobResult, WireError> {
+        let mut r = WireReader::new(payload);
+        Ok(JobResult {
+            job: r.u32()?,
+            best_cost: r.f64()?,
+            initial_cost: r.f64()?,
+            rounds: r.u32()?,
+            cancelled: r.u8()? != 0,
+        })
+    }
+}
+
+/// One server → client event, decoded.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeEvent {
+    /// The server queued the job under this id.
+    Accepted {
+        /// Assigned job id.
+        job: u32,
+    },
+    /// One global iteration finished.
+    Progress {
+        /// The reporting job.
+        job: u32,
+        /// Completed global iteration (0-based).
+        global: u32,
+        /// Best cost so far.
+        best_cost: f64,
+    },
+    /// The job finished (normally or early).
+    Result(JobResult),
+    /// The job failed before/while running.
+    Error {
+        /// The failing job (0 when no job could be identified).
+        job: u32,
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    wire::put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn get_str(r: &mut WireReader<'_>) -> Result<String, WireError> {
+    let len = r.u32()? as usize;
+    let bytes = r.bytes(len)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed("string not UTF-8"))
+}
+
+fn write_client_frame<W: Write>(w: &mut W, kind: u8, payload: &[u8]) -> std::io::Result<()> {
+    let mut body = Vec::with_capacity(2 + payload.len());
+    body.push(SERVE_VERSION);
+    body.push(kind);
+    body.extend_from_slice(payload);
+    wire::write_frame(w, &body)
+}
+
+fn parse_client_frame(body: &[u8]) -> Result<(u8, &[u8]), WireError> {
+    if body.len() < 2 {
+        return Err(WireError::Truncated);
+    }
+    if body[0] != SERVE_VERSION {
+        return Err(WireError::Version(body[0]));
+    }
+    Ok((body[1], &body[2..]))
+}
+
+/// Blocking client for the serve protocol — what `tests/serve.rs` and
+/// ad-hoc tooling drive the daemon with.
+pub struct Client {
+    stream: Stream,
+}
+
+impl Client {
+    /// Connect to a server address (`unix:<path>` or `tcp:<addr>`),
+    /// retrying while the daemon starts up.
+    pub fn connect(addr: &str, overall: Duration) -> std::io::Result<Client> {
+        Ok(Client {
+            stream: crate::socket::connect_retry(addr, overall)?,
+        })
+    }
+
+    /// Submit a job; the id arrives in the next [`ServeEvent::Accepted`].
+    pub fn submit(&mut self, req: &JobRequest) -> std::io::Result<()> {
+        write_client_frame(&mut self.stream, kind::SUBMIT, &req.encode())
+    }
+
+    /// Ask the server to cancel `job`.
+    pub fn cancel(&mut self, job: u32) -> std::io::Result<()> {
+        let mut payload = Vec::new();
+        wire::put_u32(&mut payload, job);
+        write_client_frame(&mut self.stream, kind::CANCEL, &payload)
+    }
+
+    /// Block for the next server event; `None` when the server closed
+    /// the connection.
+    pub fn next_event(&mut self) -> std::io::Result<Option<ServeEvent>> {
+        loop {
+            let Some(body) = wire::read_frame(&mut self.stream)? else {
+                return Ok(None);
+            };
+            let (k, payload) = parse_client_frame(&body)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+            let mut r = WireReader::new(payload);
+            let bad =
+                |e: WireError| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string());
+            let event = match k {
+                kind::ACCEPTED => ServeEvent::Accepted {
+                    job: r.u32().map_err(bad)?,
+                },
+                kind::PROGRESS => ServeEvent::Progress {
+                    job: r.u32().map_err(bad)?,
+                    global: r.u32().map_err(bad)?,
+                    best_cost: r.f64().map_err(bad)?,
+                },
+                kind::RESULT => ServeEvent::Result(JobResult::decode(payload).map_err(bad)?),
+                kind::ERROR => ServeEvent::Error {
+                    job: r.u32().map_err(bad)?,
+                    message: get_str(&mut r).map_err(bad)?,
+                },
+                _ => continue, // unknown event kinds are skippable
+            };
+            return Ok(Some(event));
+        }
+    }
+}
+
+/// A queued or running job, as the server tracks it.
+struct Job {
+    id: u32,
+    req: JobRequest,
+    ctl: RunControl,
+    writer: Arc<Mutex<Stream>>,
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    /// Jobs not yet finished (queued or running): id → (owning
+    /// connection, control). Cancellation flips the control from here.
+    registry: Mutex<HashMap<u32, (u64, RunControl)>>,
+    shutdown: AtomicBool,
+    worker_exe: PathBuf,
+}
+
+impl Shared {
+    fn cancel_job(&self, job: u32) {
+        if let Some((_, ctl)) = self.registry.lock().unwrap().get(&job) {
+            ctl.cancel();
+        }
+    }
+
+    fn cancel_conn(&self, conn: u64) {
+        for (owner, ctl) in self.registry.lock().unwrap().values() {
+            if *owner == conn {
+                ctl.cancel();
+            }
+        }
+    }
+
+    fn cancel_all(&self) {
+        for (_, ctl) in self.registry.lock().unwrap().values() {
+            ctl.cancel();
+        }
+    }
+}
+
+enum ServeListener {
+    Unix(UnixListener, PathBuf),
+    Tcp(TcpListener),
+}
+
+/// The job daemon: one listening socket, a FIFO queue, and a bounded
+/// pool of job-runner threads.
+pub struct Server {
+    listener: ServeListener,
+    addr: String,
+    max_concurrent: usize,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Listen on a Unix-domain socket at `path` (created; removed on
+    /// drop). `worker_exe` is the binary re-entered for worker ranks —
+    /// it must call [`crate::proc::maybe_worker`] first thing in `main`.
+    pub fn bind_unix(
+        path: impl Into<PathBuf>,
+        max_concurrent: usize,
+        worker_exe: impl Into<PathBuf>,
+    ) -> std::io::Result<Server> {
+        let path = path.into();
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        Ok(Server {
+            addr: format!("unix:{}", path.display()),
+            listener: ServeListener::Unix(listener, path),
+            max_concurrent: max_concurrent.max(1),
+            shared: Arc::new(Shared {
+                queue: Mutex::new(VecDeque::new()),
+                available: Condvar::new(),
+                registry: Mutex::new(HashMap::new()),
+                shutdown: AtomicBool::new(false),
+                worker_exe: worker_exe.into(),
+            }),
+        })
+    }
+
+    /// Listen on TCP (e.g. `127.0.0.1:0` for an ephemeral port).
+    pub fn bind_tcp(
+        addr: &str,
+        max_concurrent: usize,
+        worker_exe: impl Into<PathBuf>,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            addr: format!("tcp:{}", listener.local_addr()?),
+            listener: ServeListener::Tcp(listener),
+            max_concurrent: max_concurrent.max(1),
+            shared: Arc::new(Shared {
+                queue: Mutex::new(VecDeque::new()),
+                available: Condvar::new(),
+                registry: Mutex::new(HashMap::new()),
+                shutdown: AtomicBool::new(false),
+                worker_exe: worker_exe.into(),
+            }),
+        })
+    }
+
+    /// The address clients connect to (`unix:<path>` or `tcp:<addr>`).
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Serve until `stop` becomes true (typically the SIGTERM flag from
+    /// [`install_term_handler`]). On shutdown: cancels every job —
+    /// which stops their masters at the next round boundary and reaps
+    /// their worker processes — drains the runner pool, and returns.
+    pub fn run(&mut self, stop: &AtomicBool) {
+        let runners: Vec<_> = (0..self.max_concurrent)
+            .map(|i| {
+                let shared = Arc::clone(&self.shared);
+                std::thread::Builder::new()
+                    .name(format!("pts-serve-run{i}"))
+                    .spawn(move || runner_loop(shared))
+                    .expect("spawn job runner")
+            })
+            .collect();
+
+        let nonblocking = match &self.listener {
+            ServeListener::Unix(l, _) => l.set_nonblocking(true),
+            ServeListener::Tcp(l) => l.set_nonblocking(true),
+        };
+        if nonblocking.is_err() {
+            stop.store(true, Ordering::Release);
+        }
+
+        let mut next_conn: u64 = 1;
+        while !stop.load(Ordering::Acquire) {
+            let accepted: std::io::Result<Stream> = match &self.listener {
+                ServeListener::Unix(l, _) => l.accept().map(|(s, _)| Stream::Unix(s)),
+                ServeListener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+            };
+            match accepted {
+                Ok(stream) => {
+                    let conn = next_conn;
+                    next_conn += 1;
+                    let shared = Arc::clone(&self.shared);
+                    let _ = std::thread::Builder::new()
+                        .name(format!("pts-serve-conn{conn}"))
+                        .spawn(move || client_loop(shared, stream, conn));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(_) => break,
+            }
+        }
+
+        // Graceful shutdown: every running master stops at its next
+        // round boundary (its engine then reaps its children), queued
+        // jobs never start, runners drain.
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.cancel_all();
+        self.shared.available.notify_all();
+        for r in runners {
+            let _ = r.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if let ServeListener::Unix(_, path) = &self.listener {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Per-connection reader: accepts submissions and cancellations until the
+/// client disconnects; a disconnect cancels everything it submitted.
+fn client_loop(shared: Arc<Shared>, stream: Stream, conn: u64) {
+    static NEXT_JOB: AtomicU32 = AtomicU32::new(1);
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let mut stream = stream;
+    // Poll the stream so a server shutdown unblocks this thread; a
+    // buffered parser keeps partial frames intact across poll ticks.
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .is_err()
+    {
+        return;
+    }
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        match std::io::Read::read(&mut stream, &mut chunk) {
+            Ok(0) => break, // client hung up
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+        // Drain complete frames.
+        while buf.len() >= 4 {
+            let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+            if buf.len() < 4 + len {
+                break;
+            }
+            let body: Vec<u8> = buf.drain(..4 + len).skip(4).collect();
+            let Ok((k, payload)) = parse_client_frame(&body) else {
+                continue;
+            };
+            match k {
+                kind::SUBMIT => match JobRequest::decode(payload) {
+                    Ok(req) => {
+                        let id = NEXT_JOB.fetch_add(1, Ordering::Relaxed);
+                        let mut ctl = RunControl::unlimited();
+                        if req.budget_ms > 0 {
+                            ctl = ctl.with_deadline(req.budget_ms as f64 / 1000.0);
+                        }
+                        shared
+                            .registry
+                            .lock()
+                            .unwrap()
+                            .insert(id, (conn, ctl.clone()));
+                        shared.queue.lock().unwrap().push_back(Job {
+                            id,
+                            req,
+                            ctl,
+                            writer: Arc::clone(&writer),
+                        });
+                        shared.available.notify_one();
+                        let mut ack = Vec::new();
+                        wire::put_u32(&mut ack, id);
+                        let _ =
+                            write_client_frame(&mut *writer.lock().unwrap(), kind::ACCEPTED, &ack);
+                    }
+                    Err(e) => {
+                        let mut payload = Vec::new();
+                        wire::put_u32(&mut payload, 0);
+                        put_str(&mut payload, &format!("bad submit: {e}"));
+                        let _ =
+                            write_client_frame(&mut *writer.lock().unwrap(), kind::ERROR, &payload);
+                    }
+                },
+                kind::CANCEL => {
+                    let mut r = WireReader::new(payload);
+                    if let Ok(job) = r.u32() {
+                        shared.cancel_job(job);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    // Disconnect: whatever this client had queued or running stops.
+    shared.cancel_conn(conn);
+}
+
+/// Job-runner thread: takes jobs FIFO and runs each to completion.
+fn runner_loop(shared: Arc<Shared>) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .available
+                    .wait_timeout(queue, Duration::from_millis(200))
+                    .unwrap();
+                queue = guard;
+            }
+        };
+        let Some(job) = job else { return };
+        let id = job.id;
+        run_job(&shared, job);
+        shared.registry.lock().unwrap().remove(&id);
+    }
+}
+
+fn run_job(shared: &Shared, job: Job) {
+    let send_error = |message: String| {
+        let mut payload = Vec::new();
+        wire::put_u32(&mut payload, job.id);
+        put_str(&mut payload, &message);
+        let _ = write_client_frame(&mut *job.writer.lock().unwrap(), kind::ERROR, &payload);
+    };
+    if job.ctl.is_cancelled() {
+        // Cancelled while queued: report without running anything.
+        let result = JobResult {
+            job: job.id,
+            best_cost: f64::NAN,
+            initial_cost: f64::NAN,
+            rounds: 0,
+            cancelled: true,
+        };
+        let _ = write_client_frame(
+            &mut *job.writer.lock().unwrap(),
+            kind::RESULT,
+            &result.encode(),
+        );
+        return;
+    }
+    if let Err(e) = job.req.cfg.validate() {
+        send_error(format!("invalid config: {e}"));
+        return;
+    }
+    let progress_writer = Arc::clone(&job.writer);
+    let job_id = job.id;
+    let ctl = job.ctl.clone().with_progress(Arc::new(move |global, best| {
+        let mut payload = Vec::new();
+        wire::put_u32(&mut payload, job_id);
+        wire::put_u32(&mut payload, global);
+        wire::put_f64(&mut payload, best);
+        let _ = write_client_frame(
+            &mut *progress_writer.lock().unwrap(),
+            kind::PROGRESS,
+            &payload,
+        );
+    }));
+    let engine = ProcEngine::new(&shared.worker_exe).with_control(ctl.clone());
+
+    let ran = match &job.req.spec {
+        JobDomainSpec::QapRandom { n, seed } => {
+            let domain = crate::qap_domain::QapDomain::random(*n as usize, *seed);
+            run_one(&engine, &job.req.cfg, domain)
+        }
+        JobDomainSpec::Bench { name } => match pts_netlist::benchmarks::by_name(name) {
+            Some(netlist) => {
+                let domain =
+                    crate::placement_problem::PlacementDomain::new(Arc::new(netlist), &job.req.cfg);
+                run_one(&engine, &job.req.cfg, domain)
+            }
+            None => Err(format!("unknown benchmark {name:?}")),
+        },
+        JobDomainSpec::NetlistText { text } => match pts_netlist::format::from_text(text) {
+            Ok(netlist) => {
+                let domain =
+                    crate::placement_problem::PlacementDomain::new(Arc::new(netlist), &job.req.cfg);
+                run_one(&engine, &job.req.cfg, domain)
+            }
+            Err(e) => Err(format!("bad netlist: {e:?}")),
+        },
+    };
+    match ran {
+        Ok((best_cost, initial_cost, rounds)) => {
+            let result = JobResult {
+                job: job.id,
+                best_cost,
+                initial_cost,
+                rounds,
+                cancelled: ctl.is_cancelled() || rounds < job.req.cfg.global_iters,
+            };
+            let _ = write_client_frame(
+                &mut *job.writer.lock().unwrap(),
+                kind::RESULT,
+                &result.encode(),
+            );
+        }
+        Err(message) => send_error(message),
+    }
+}
+
+/// Freeze, execute, reduce: returns (best, initial, completed rounds).
+fn run_one<D: ProcDomain>(
+    engine: &ProcEngine,
+    cfg: &PtsConfig,
+    domain: D,
+) -> Result<(f64, f64, u32), String>
+where
+    D::Problem: crate::wire::WireProblem,
+{
+    let initial = domain.initial(cfg.seed);
+    let domain = domain.freeze(&initial);
+    let output = engine
+        .try_execute(cfg, &domain, initial)
+        .map_err(|e| e.to_string())?;
+    Ok((
+        output.outcome.best_cost,
+        output.outcome.initial_cost,
+        output.outcome.best_per_global_iter.len() as u32,
+    ))
+}
+
+static TERM: AtomicBool = AtomicBool::new(false);
+static TERM_TICKS: AtomicU64 = AtomicU64::new(0);
+
+extern "C" fn on_term(_sig: i32) {
+    TERM.store(true, Ordering::SeqCst);
+    TERM_TICKS.fetch_add(1, Ordering::SeqCst);
+}
+
+// Hand-rolled libc binding, matching the repo's offline-FFI precedent in
+// `pts_util::cputime` (no libc crate in the dependency set).
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+/// The flag [`install_term_handler`] flips on SIGTERM/SIGINT — pass it
+/// to [`Server::run`].
+pub fn term_flag() -> &'static AtomicBool {
+    &TERM
+}
+
+/// Install SIGTERM + SIGINT handlers that flip [`term_flag`] — the
+/// daemon's graceful-shutdown trigger.
+pub fn install_term_handler() {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_term as *const () as usize);
+        signal(SIGINT, on_term as *const () as usize);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_request_roundtrips() {
+        for spec in [
+            JobDomainSpec::QapRandom { n: 12, seed: 7 },
+            JobDomainSpec::Bench {
+                name: "chain16".into(),
+            },
+            JobDomainSpec::NetlistText {
+                text: "circuit x\n".into(),
+            },
+        ] {
+            let req = JobRequest {
+                cfg: PtsConfig {
+                    n_tsw: 3,
+                    seed: 11,
+                    ..PtsConfig::default()
+                },
+                spec,
+                budget_ms: 2500,
+            };
+            let decoded = JobRequest::decode(&req.encode()).unwrap();
+            assert_eq!(decoded, req);
+        }
+    }
+
+    #[test]
+    fn job_result_roundtrips() {
+        let result = JobResult {
+            job: 4,
+            best_cost: 123.5,
+            initial_cost: 200.0,
+            rounds: 9,
+            cancelled: true,
+        };
+        assert_eq!(JobResult::decode(&result.encode()).unwrap(), result);
+    }
+
+    #[test]
+    fn client_frame_version_enforced() {
+        let mut out = Vec::new();
+        write_client_frame(&mut out, kind::ACCEPTED, &[1, 0, 0, 0]).unwrap();
+        let mut r = &out[..];
+        let body = wire::read_frame(&mut r).unwrap().unwrap();
+        let (k, payload) = parse_client_frame(&body).unwrap();
+        assert_eq!(k, kind::ACCEPTED);
+        assert_eq!(payload, &[1, 0, 0, 0]);
+        let mut bad = body.clone();
+        bad[0] = 99;
+        assert!(parse_client_frame(&bad).is_err());
+    }
+}

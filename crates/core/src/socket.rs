@@ -1,0 +1,707 @@
+//! Socket substrate: the PTS protocol over real OS streams.
+//!
+//! Two halves, both speaking the [`crate::wire`] codec:
+//!
+//! * [`SocketRouter`] — the hub of a star topology, owned by the process
+//!   that spawns a run (the [`crate::proc::ProcEngine`] or `pts-serve`).
+//!   It binds one listening socket, barriers until every rank of the
+//!   topology has connected and identified itself, hands each connection
+//!   its setup frame, and then forwards message frames between ranks.
+//!   Forwarding is *opaque*: the router reads the destination rank
+//!   straight out of the fixed frame header ([`crate::wire::peek_dst`])
+//!   and never decodes a payload — so the router is not generic over the
+//!   problem type and one router binary-path serves every domain.
+//! * [`SocketTransport`] — the per-rank endpoint implementing
+//!   [`Transport`]. Like [`crate::transport::ThreadTransport`] it is a
+//!   blocking transport: `recv` resolves on first poll (blocking inside
+//!   the call on a channel fed by a reader thread), so protocol futures
+//!   built over it are driven with [`crate::transport::drive_sync`].
+//!
+//! Ranks connect with bounded-backoff retry (the router may still be
+//! binding when a freshly spawned worker first tries); the router's
+//! barrier has a deadline and fails naming the ranks that never arrived
+//! (a worker that crashed on startup turns into a clear error, not a
+//! hang). A closed connection is wind-down, not failure: an endpoint
+//! whose stream reaches EOF synthesizes [`PtsMsg::Stop`] — the protocol's
+//! ordinary shutdown message — and writes toward a departed peer are
+//! silently dropped, matching `ThreadTransport`'s dropped-receiver rule.
+
+use crate::domain::PtsProblem;
+use crate::messages::PtsMsg;
+use crate::transport::Transport;
+use crate::wire::{self, WireProblem};
+use pts_vcluster::ProcStats;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One byte of handshake version + 4 bytes of rank: what a connecting
+/// rank writes before anything else.
+const HELLO_BYTES: usize = 5;
+
+/// A connected stream of either family. Unix-domain is the default
+/// (lowest latency, no port allocation); TCP loopback is the option for
+/// environments without UDS support in the filesystem.
+pub enum Stream {
+    /// Unix-domain stream socket.
+    Unix(UnixStream),
+    /// TCP stream (loopback in practice).
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    /// Clone the underlying socket handle (shared file description).
+    pub fn try_clone(&self) -> std::io::Result<Stream> {
+        Ok(match self {
+            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+        })
+    }
+
+    /// Shut both directions down, unblocking any reader on a clone.
+    pub fn shutdown(&self) {
+        let _ = match self {
+            Stream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
+
+    /// Set (or clear) the read timeout on the socket.
+    pub fn set_read_timeout(&self, d: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_read_timeout(d),
+            Stream::Tcp(s) => s.set_read_timeout(d),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+/// Connect to a router address string (`unix:<path>` or `tcp:<addr>`).
+fn connect_once(addr: &str) -> std::io::Result<Stream> {
+    if let Some(path) = addr.strip_prefix("unix:") {
+        Ok(Stream::Unix(UnixStream::connect(path)?))
+    } else if let Some(sock) = addr.strip_prefix("tcp:") {
+        Ok(Stream::Tcp(TcpStream::connect(sock)?))
+    } else {
+        Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("address {addr:?} has neither unix: nor tcp: scheme"),
+        ))
+    }
+}
+
+/// Connect with bounded exponential backoff — a freshly spawned worker
+/// may beat the router to its own socket. Backoff starts at 10 ms,
+/// doubles to a 200 ms ceiling, and gives up at `overall`.
+pub fn connect_retry(addr: &str, overall: Duration) -> std::io::Result<Stream> {
+    let deadline = Instant::now() + overall;
+    let mut pause = Duration::from_millis(10);
+    loop {
+        match connect_once(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if Instant::now() + pause >= deadline {
+                    return Err(std::io::Error::new(
+                        e.kind(),
+                        format!("router at {addr} unreachable after {overall:?}: {e}"),
+                    ));
+                }
+                std::thread::sleep(pause);
+                pause = (pause * 2).min(Duration::from_millis(200));
+            }
+        }
+    }
+}
+
+/// Per-rank traffic counters the router accumulates while forwarding —
+/// the source of `messages_sent` / `bytes_sent` / `messages_received` in
+/// the proc engine's [`crate::report::RunReport`] (worker processes take
+/// their local stats with them when they exit; the hub sees every frame).
+pub struct RouterTraffic {
+    sent_msgs: Vec<AtomicU64>,
+    sent_bytes: Vec<AtomicU64>,
+    recv_msgs: Vec<AtomicU64>,
+}
+
+impl RouterTraffic {
+    fn new(n: usize) -> RouterTraffic {
+        RouterTraffic {
+            sent_msgs: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            sent_bytes: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            recv_msgs: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Fold the counters into per-rank [`ProcStats`] (traffic fields
+    /// only; time accounting belongs to each process).
+    pub fn to_proc_stats(&self) -> Vec<ProcStats> {
+        (0..self.sent_msgs.len())
+            .map(|r| ProcStats {
+                messages_sent: self.sent_msgs[r].load(Ordering::Relaxed),
+                bytes_sent: self.sent_bytes[r].load(Ordering::Relaxed),
+                messages_received: self.recv_msgs[r].load(Ordering::Relaxed),
+                ..ProcStats::default()
+            })
+            .collect()
+    }
+}
+
+/// The star hub: accepts one connection per rank, then forwards frames
+/// by destination rank until every connection winds down.
+pub struct SocketRouter {
+    listener: Option<Listener>,
+    addr: String,
+    forwarders: Vec<std::thread::JoinHandle<()>>,
+    writers: Arc<Vec<Mutex<Option<Stream>>>>,
+    traffic: Arc<RouterTraffic>,
+    unix_path: Option<PathBuf>,
+}
+
+impl SocketRouter {
+    /// Bind a fresh Unix-domain socket under the system temp directory
+    /// (unique per process and per router).
+    pub fn bind_unix_auto() -> std::io::Result<SocketRouter> {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "pts-{}-{}.sock",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        Ok(SocketRouter {
+            addr: format!("unix:{}", path.display()),
+            listener: Some(Listener::Unix(listener)),
+            forwarders: Vec::new(),
+            writers: Arc::new(Vec::new()),
+            traffic: Arc::new(RouterTraffic::new(0)),
+            unix_path: Some(path),
+        })
+    }
+
+    /// Bind an ephemeral TCP loopback port.
+    pub fn bind_tcp_loopback() -> std::io::Result<SocketRouter> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = format!("tcp:{}", listener.local_addr()?);
+        Ok(SocketRouter {
+            addr,
+            listener: Some(Listener::Tcp(listener)),
+            forwarders: Vec::new(),
+            writers: Arc::new(Vec::new()),
+            traffic: Arc::new(RouterTraffic::new(0)),
+            unix_path: None,
+        })
+    }
+
+    /// The address workers connect to (`unix:<path>` or `tcp:<addr>`).
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Shared traffic counters (live while forwarders run).
+    pub fn traffic(&self) -> Arc<RouterTraffic> {
+        Arc::clone(&self.traffic)
+    }
+
+    /// Accept until all `total` ranks (0..total) have connected and said
+    /// hello, send `setup` to each as the first frame on its connection,
+    /// and start forwarding. Fails after `timeout`, naming the ranks
+    /// that never arrived.
+    pub fn run_barrier(
+        &mut self,
+        total: usize,
+        setup: &[u8],
+        timeout: Duration,
+    ) -> std::io::Result<()> {
+        let listener = self.listener.take().expect("barrier runs once");
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = std::sync::mpsc::channel::<(u32, Stream)>();
+        let accept_stop = Arc::clone(&stop);
+        let acceptor = std::thread::Builder::new()
+            .name("pts-sock-accept".into())
+            .spawn(move || accept_loop(listener, accept_stop, tx))
+            .expect("spawn acceptor");
+
+        let deadline = Instant::now() + timeout;
+        let mut conns: Vec<Option<Stream>> = (0..total).map(|_| None).collect();
+        let mut have = 0usize;
+        let barrier_result: std::io::Result<()> = loop {
+            if have == total {
+                break Ok(());
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                let missing: Vec<String> = conns
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.is_none())
+                    .map(|(r, _)| r.to_string())
+                    .collect();
+                break Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    format!(
+                        "rank barrier timed out after {timeout:?}: {}/{} connected, \
+                         missing ranks [{}]",
+                        have,
+                        total,
+                        missing.join(", ")
+                    ),
+                ));
+            }
+            match rx.recv_timeout(remaining) {
+                Ok((rank, stream)) => {
+                    let slot = conns.get_mut(rank as usize).ok_or_else(|| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!("rank {rank} outside topology of {total}"),
+                        )
+                    })?;
+                    if slot.is_some() {
+                        break Err(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!("rank {rank} connected twice"),
+                        ));
+                    }
+                    *slot = Some(stream);
+                    have += 1;
+                }
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
+                    break Err(std::io::Error::new(
+                        std::io::ErrorKind::BrokenPipe,
+                        "acceptor thread died",
+                    ));
+                }
+            }
+        };
+        stop.store(true, Ordering::Release);
+        let _ = acceptor.join();
+        barrier_result?;
+
+        // Hand every rank its setup frame, then start forwarding.
+        let mut streams = Vec::with_capacity(total);
+        for (rank, conn) in conns.into_iter().enumerate() {
+            let mut stream = conn.expect("barrier completed");
+            stream.set_read_timeout(None)?;
+            wire::write_frame(&mut stream, setup).map_err(|e| {
+                std::io::Error::new(e.kind(), format!("sending setup to rank {rank}: {e}"))
+            })?;
+            streams.push(stream);
+        }
+        let writers: Arc<Vec<Mutex<Option<Stream>>>> = Arc::new(
+            streams
+                .iter()
+                .map(|s| Mutex::new(s.try_clone().ok()))
+                .collect(),
+        );
+        self.traffic = Arc::new(RouterTraffic::new(total));
+        self.writers = Arc::clone(&writers);
+        for (rank, stream) in streams.into_iter().enumerate() {
+            let writers = Arc::clone(&writers);
+            let traffic = Arc::clone(&self.traffic);
+            let handle = std::thread::Builder::new()
+                .name(format!("pts-sock-fwd{rank}"))
+                .spawn(move || forward_loop(rank, stream, writers, traffic))
+                .expect("spawn forwarder");
+            self.forwarders.push(handle);
+        }
+        Ok(())
+    }
+
+    /// Close every connection and join the forwarder threads. Called
+    /// after the run's processes have exited (or to abort a failed run).
+    pub fn finish(&mut self) {
+        for slot in self.writers.iter() {
+            if let Ok(mut w) = slot.lock() {
+                if let Some(s) = w.take() {
+                    s.shutdown();
+                }
+            }
+        }
+        for handle in self.forwarders.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for SocketRouter {
+    fn drop(&mut self) {
+        self.finish();
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+fn accept_loop(listener: Listener, stop: Arc<AtomicBool>, tx: Sender<(u32, Stream)>) {
+    let set_nonblocking = |l: &Listener| match l {
+        Listener::Unix(l) => l.set_nonblocking(true),
+        Listener::Tcp(l) => l.set_nonblocking(true),
+    };
+    if set_nonblocking(&listener).is_err() {
+        return;
+    }
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let accepted: std::io::Result<Stream> = match &listener {
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+        };
+        match accepted {
+            Ok(stream) => {
+                // Identify the rank; a peer that connects but never says
+                // hello must not wedge the barrier.
+                if stream
+                    .set_read_timeout(Some(Duration::from_secs(5)))
+                    .is_err()
+                {
+                    continue;
+                }
+                let mut stream = stream;
+                let mut hello = [0u8; HELLO_BYTES];
+                if stream.read_exact(&mut hello).is_err() || hello[0] != wire::WIRE_VERSION {
+                    continue;
+                }
+                let rank = u32::from_le_bytes(hello[1..5].try_into().unwrap());
+                if tx.send((rank, stream)).is_err() {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn forward_loop(
+    origin: usize,
+    mut stream: Stream,
+    writers: Arc<Vec<Mutex<Option<Stream>>>>,
+    traffic: Arc<RouterTraffic>,
+) {
+    while let Ok(Some(frame)) = wire::read_frame(&mut stream) {
+        let dst = match wire::peek_dst(&frame) {
+            Ok(d) => d as usize,
+            Err(e) => {
+                crate::transport::protocol_warn(origin, &format!("undecodable frame: {e}"));
+                continue;
+            }
+        };
+        traffic.sent_msgs[origin].fetch_add(1, Ordering::Relaxed);
+        traffic.sent_bytes[origin].fetch_add(frame.len() as u64, Ordering::Relaxed);
+        let Some(slot) = writers.get(dst) else {
+            crate::transport::protocol_warn(origin, &format!("frame for unknown rank {dst}"));
+            continue;
+        };
+        let mut guard = slot.lock().expect("writer lock");
+        // A departed peer's writer is None: drop the frame silently,
+        // matching ThreadTransport's dropped-receiver semantics.
+        if let Some(w) = guard.as_mut() {
+            if wire::write_frame(w, &frame).is_err() {
+                *guard = None;
+            } else {
+                traffic.recv_msgs[dst].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Outcome of [`SocketTransport::handshake`]: the connected stream plus
+/// the raw setup frame the router sent (the caller decodes it — its
+/// contents are domain-specific).
+pub struct Handshake {
+    /// The connected, identified stream.
+    pub stream: Stream,
+    /// The router's setup frame, verbatim.
+    pub setup: Vec<u8>,
+}
+
+/// Per-rank socket endpoint implementing [`Transport`]. A reader thread
+/// decodes incoming frames into a channel; `recv` blocks on that channel
+/// inside first poll, so [`crate::transport::drive_sync`] drives protocol
+/// futures built over this transport.
+pub struct SocketTransport<P: PtsProblem> {
+    rank: usize,
+    start: Instant,
+    writer: Stream,
+    rx: Receiver<PtsMsg<P>>,
+    reader: Option<std::thread::JoinHandle<()>>,
+    stats: ProcStats,
+    eof: bool,
+}
+
+impl<P: WireProblem> SocketTransport<P> {
+    /// Connect to the router (with retry), identify as `rank`, and read
+    /// the setup frame. Domain-independent first phase — the caller
+    /// decodes the setup, recovers the decode context, then finishes
+    /// with [`SocketTransport::new`].
+    pub fn handshake(addr: &str, rank: u32, overall: Duration) -> std::io::Result<Handshake> {
+        let mut stream = connect_retry(addr, overall)?;
+        let mut hello = [0u8; HELLO_BYTES];
+        hello[0] = wire::WIRE_VERSION;
+        hello[1..5].copy_from_slice(&rank.to_le_bytes());
+        stream.write_all(&hello)?;
+        let setup = wire::read_frame(&mut stream)?.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "router closed before setup frame",
+            )
+        })?;
+        Ok(Handshake { stream, setup })
+    }
+
+    /// Wrap an identified stream as rank `rank`'s transport. `ctx` is
+    /// the domain's decode context (from the setup frame, or derived
+    /// locally on the master).
+    pub fn new(stream: Stream, rank: usize, ctx: P::Ctx) -> std::io::Result<SocketTransport<P>> {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut read_half = stream.try_clone()?;
+        let reader = std::thread::Builder::new()
+            .name(format!("pts-sock-rx{rank}"))
+            .spawn(move || {
+                while let Ok(Some(frame)) = wire::read_frame(&mut read_half) {
+                    match wire::decode_msg::<P>(&frame, &ctx) {
+                        Ok((_dst, msg)) => {
+                            if tx.send(msg).is_err() {
+                                return;
+                            }
+                        }
+                        Err(e) => {
+                            crate::transport::protocol_warn(
+                                rank,
+                                &format!("dropping undecodable frame: {e}"),
+                            );
+                        }
+                    }
+                }
+            })?;
+        Ok(SocketTransport {
+            rank,
+            start: Instant::now(),
+            writer: stream,
+            rx,
+            reader: Some(reader),
+            stats: ProcStats::default(),
+            eof: false,
+        })
+    }
+
+    fn recv_blocking(&mut self) -> PtsMsg<P> {
+        if self.eof {
+            return PtsMsg::Stop;
+        }
+        let blocked = Instant::now();
+        let msg = match self.rx.recv() {
+            Ok(msg) => msg,
+            Err(_) => {
+                // Stream EOF (router gone / run torn down): wind down
+                // through the protocol's normal path.
+                self.eof = true;
+                PtsMsg::Stop
+            }
+        };
+        self.stats.wait_time += blocked.elapsed().as_secs_f64();
+        self.stats.messages_received += 1;
+        msg
+    }
+
+    /// Take the locally accounted stats (rank 0 feeds these into the
+    /// run report; worker processes' stats die with the process).
+    pub fn take_stats(&mut self) -> ProcStats {
+        let mut stats = std::mem::take(&mut self.stats);
+        stats.finished_at = self.now();
+        stats
+    }
+}
+
+impl<P: WireProblem> Transport<P> for SocketTransport<P> {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn now(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    fn compute(&mut self, work: f64) -> impl std::future::Future<Output = ()> {
+        // Real computation takes real wall time; only record the units.
+        self.stats.work_done += work;
+        std::future::ready(())
+    }
+
+    fn send(&mut self, dst: usize, msg: PtsMsg<P>) {
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += msg.wire_size();
+        crate::meter::note_send(&msg);
+        let frame = wire::encode_msg(&msg, dst as u32);
+        // A torn-down router means the run is winding up; like a dropped
+        // channel receiver, the write is silently discarded.
+        let _ = wire::write_frame(&mut self.writer, &frame);
+    }
+
+    fn recv(&mut self) -> impl std::future::Future<Output = PtsMsg<P>> {
+        // Blocks inside poll on the reader channel — never `Pending`.
+        std::future::poll_fn(|_cx| std::task::Poll::Ready(self.recv_blocking()))
+    }
+
+    fn try_recv(&mut self) -> Option<PtsMsg<P>> {
+        let msg = self.rx.try_recv().ok()?;
+        self.stats.messages_received += 1;
+        Some(msg)
+    }
+}
+
+impl<P: PtsProblem> Drop for SocketTransport<P> {
+    fn drop(&mut self) {
+        self.writer.shutdown();
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::drive_sync;
+    use pts_tabu::qap::{Qap, QapAssignment};
+    use std::sync::Arc as StdArc;
+
+    fn start_pair(router: &mut SocketRouter) -> (SocketTransport<Qap>, SocketTransport<Qap>) {
+        // Each rank handshakes on its own thread: the setup frame only
+        // arrives once the barrier completes, so sequential handshakes
+        // would deadlock by construction.
+        let joiners: Vec<_> = (0..2u32)
+            .map(|rank| {
+                let addr = router.addr().to_string();
+                std::thread::spawn(move || {
+                    SocketTransport::<Qap>::handshake(&addr, rank, Duration::from_secs(5)).unwrap()
+                })
+            })
+            .collect();
+        router
+            .run_barrier(2, b"setup!", Duration::from_secs(5))
+            .unwrap();
+        let mut handshakes = joiners.into_iter().map(|j| j.join().unwrap());
+        let (h0, h1) = (handshakes.next().unwrap(), handshakes.next().unwrap());
+        assert_eq!(h0.setup, b"setup!");
+        assert_eq!(h1.setup, b"setup!");
+        (
+            SocketTransport::new(h0.stream, 0, ()).unwrap(),
+            SocketTransport::new(h1.stream, 1, ()).unwrap(),
+        )
+    }
+
+    #[test]
+    fn unix_pair_routes_messages() {
+        let mut router = SocketRouter::bind_unix_auto().unwrap();
+        let (mut a, mut b) = start_pair(&mut router);
+        a.send(
+            1,
+            PtsMsg::Init {
+                snapshot: StdArc::new(QapAssignment::new(vec![1, 0, 2])),
+            },
+        );
+        match drive_sync(b.recv()) {
+            PtsMsg::Init { snapshot } => assert_eq!(snapshot.as_slice(), &[1, 0, 2]),
+            other => panic!("got {}", other.tag()),
+        }
+        b.send(0, PtsMsg::Investigate { seq: 4 });
+        assert!(matches!(
+            drive_sync(a.recv()),
+            PtsMsg::Investigate { seq: 4 }
+        ));
+        let traffic = router.traffic().to_proc_stats();
+        assert_eq!(traffic[0].messages_sent, 1);
+        assert_eq!(traffic[1].messages_sent, 1);
+        drop((a, b));
+        router.finish();
+    }
+
+    #[test]
+    fn tcp_pair_routes_messages() {
+        let mut router = SocketRouter::bind_tcp_loopback().unwrap();
+        let (mut a, mut b) = start_pair(&mut router);
+        a.send(1, PtsMsg::Stop);
+        assert!(matches!(drive_sync(b.recv()), PtsMsg::Stop));
+        drop((a, b));
+        router.finish();
+    }
+
+    #[test]
+    fn eof_synthesizes_stop() {
+        let mut router = SocketRouter::bind_unix_auto().unwrap();
+        let (a, mut b) = start_pair(&mut router);
+        drop(a);
+        router.finish(); // closes b's stream too
+        assert!(matches!(drive_sync(b.recv()), PtsMsg::Stop));
+        assert!(
+            matches!(drive_sync(b.recv()), PtsMsg::Stop),
+            "EOF is sticky"
+        );
+    }
+
+    #[test]
+    fn barrier_timeout_names_missing_ranks() {
+        let mut router = SocketRouter::bind_unix_auto().unwrap();
+        let addr = router.addr().to_string();
+        let joiner = std::thread::spawn(move || {
+            SocketTransport::<Qap>::handshake(&addr, 1, Duration::from_secs(5))
+        });
+        let err = router
+            .run_barrier(3, b"", Duration::from_millis(300))
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("missing ranks [0, 2]"), "got: {msg}");
+        // The rank that did connect sees EOF once the router is dropped.
+        drop(router);
+        let _ = joiner.join();
+    }
+
+    #[test]
+    fn connect_retry_gives_up_with_context() {
+        let err = match connect_retry("unix:/nonexistent/pts.sock", Duration::from_millis(80)) {
+            Ok(_) => panic!("connected to a nonexistent socket"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("unreachable"), "got: {err}");
+    }
+}

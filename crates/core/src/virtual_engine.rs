@@ -24,6 +24,7 @@
 //! workstations of the original testbed, deterministically, in CI.
 
 use crate::config::PtsConfig;
+use crate::control::RunControl;
 use crate::domain::{PtsDomain, SearchOutcome, SnapshotOf};
 use crate::engine::{EngineOutput, ExecutionEngine};
 use crate::master::{run_master, run_sub_master};
@@ -117,7 +118,8 @@ impl<D: PtsDomain> ExecutionEngine<D> for VirtualEngine {
             let slot = Rc::clone(&outcome_slot);
             cluster.spawn(assignment[0], move |ctx| async move {
                 let mut t = VirtualTransport { ctx };
-                let outcome = run_master(&mut t, &cfg, &domain, initial).await;
+                let outcome =
+                    run_master(&mut t, &cfg, &domain, initial, &RunControl::unlimited()).await;
                 *slot.borrow_mut() = Some(outcome);
             });
         }

@@ -13,7 +13,7 @@
 use pts_core::config::PtsConfig;
 use pts_core::messages::{PtsMsg, SnapshotPayload};
 use pts_core::transport::{drive_sync, Transport};
-use pts_core::{master, tsw, PtsDomain, QapDomain, SyncPolicy};
+use pts_core::{master, tsw, PtsDomain, QapDomain, RunControl, SyncPolicy};
 use pts_tabu::qap::{Qap, QapAssignment};
 use pts_tabu::search::SearchStats;
 use std::collections::VecDeque;
@@ -149,7 +149,13 @@ fn master_drops_stale_rejects_duplicate_and_ignores_unexpected_reports() {
     ];
 
     let mut t = ScriptTransport::new(cfg.master_rank(), script);
-    let outcome = drive_sync(master::run_master(&mut t, &cfg, &domain, initial));
+    let outcome = drive_sync(master::run_master(
+        &mut t,
+        &cfg,
+        &domain,
+        initial,
+        &RunControl::unlimited(),
+    ));
 
     // The malformed messages influenced nothing: neither the duplicate's
     // 1.0 nor the stale 0.5 nor the out-of-range 0.25 became a best.

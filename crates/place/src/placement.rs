@@ -53,6 +53,38 @@ impl Placement {
         }
     }
 
+    /// Rebuild a placement from an explicit cell → slot assignment (the
+    /// inverse of reading [`Placement::slot_of`] for every cell) — the
+    /// wire-decoder's constructor. Fails when the assignment is not a
+    /// bijection into the layout's slots.
+    pub fn from_slot_assignment(
+        layout: Layout,
+        slot_of_cell: Vec<SlotId>,
+    ) -> Result<Placement, String> {
+        if slot_of_cell.len() > layout.num_slots() {
+            return Err(format!(
+                "{} cells do not fit {} slots",
+                slot_of_cell.len(),
+                layout.num_slots()
+            ));
+        }
+        let mut cell_in_slot = vec![None; layout.num_slots()];
+        for (ci, &slot) in slot_of_cell.iter().enumerate() {
+            if slot.index() >= cell_in_slot.len() {
+                return Err(format!("cell c{ci} assigned to out-of-range slot"));
+            }
+            if cell_in_slot[slot.index()].is_some() {
+                return Err(format!("slot {slot} assigned twice"));
+            }
+            cell_in_slot[slot.index()] = Some(CellId(ci as u32));
+        }
+        Ok(Placement {
+            layout,
+            slot_of_cell,
+            cell_in_slot,
+        })
+    }
+
     #[inline]
     pub fn layout(&self) -> &Layout {
         &self.layout

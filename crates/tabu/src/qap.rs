@@ -151,6 +151,16 @@ impl Qap {
         self.n
     }
 
+    /// The row-major `n × n` flow matrix.
+    pub fn flow_matrix(&self) -> &[f64] {
+        &self.flow
+    }
+
+    /// The row-major `n × n` distance matrix.
+    pub fn dist_matrix(&self) -> &[f64] {
+        &self.dist
+    }
+
     #[inline]
     fn f(&self, i: usize, j: usize) -> f64 {
         self.flow[i * self.n + j]

@@ -1,0 +1,192 @@
+//! `pts-serve` — long-lived parallel-tabu-search job service.
+//!
+//! ```text
+//! pts-serve serve  [--sock PATH | --tcp ADDR] [--max-concurrent N]
+//! pts-serve submit --addr unix:PATH|tcp:ADDR [job options]
+//! ```
+//!
+//! The daemon listens on a Unix-domain socket (default) or TCP, accepts
+//! jobs over the length-prefixed client protocol, runs each on the
+//! multi-process `proc` engine (worker ranks as child OS processes of the
+//! daemon), and streams progress and results back. Jobs queue FIFO, at
+//! most `--max-concurrent` run at once, each under its own iteration and
+//! wall-clock budget. A client disconnect cancels that client's jobs;
+//! SIGTERM drains everything and reaps all children.
+//!
+//! The `submit` subcommand is a thin client for quickstarts and smoke
+//! tests: submit one job, stream its events, print the result.
+
+use parallel_tabu_search::core::serve::{
+    install_term_handler, term_flag, Client, JobDomainSpec, JobRequest, ServeEvent, Server,
+};
+use parallel_tabu_search::core::{Pts, SyncPolicy};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    // Worker-rank re-entry: the daemon spawns `<this exe> __pts-worker ...`
+    // children for every job's ranks.
+    parallel_tabu_search::core::proc::maybe_worker();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, rest) = match args.split_first() {
+        Some((c, r)) if !c.starts_with("--") => (c.as_str(), r),
+        // Bare `pts-serve [--sock ...]` serves.
+        _ => ("serve", &args[..]),
+    };
+    let result = match command {
+        "serve" => cmd_serve(rest),
+        "submit" => cmd_submit(rest),
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}' (try 'pts-serve help')")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "pts-serve — parallel tabu search job service (multi-process engine)
+
+USAGE:
+  pts-serve serve  [--sock PATH] [--tcp ADDR] [--max-concurrent N]
+  pts-serve submit --addr unix:PATH|tcp:ADDR
+                   [--problem qap|bench] [--qap-size N] [--circuit NAME]
+                   [--tsw N] [--clw N] [--global N] [--local N]
+                   [--sync half|all] [--seed N] [--budget-ms N] [--quiet]
+
+The daemon prints its address (`unix:<path>` or `tcp:<host:port>`) on
+stdout once listening; pass that string to `submit --addr`. SIGTERM or
+SIGINT drains the queue, cancels running jobs, reaps worker processes,
+and exits."
+    );
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .filter(|v| !v.starts_with("--"))
+        .cloned()
+}
+
+fn flag_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag_value(args, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("{name} needs a number, got '{v}'")),
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let max_concurrent: usize = flag_num(args, "--max-concurrent", 4)?;
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut server = match (flag_value(args, "--sock"), flag_value(args, "--tcp")) {
+        (Some(_), Some(_)) => return Err("--sock and --tcp are mutually exclusive".into()),
+        (None, Some(addr)) => Server::bind_tcp(&addr, max_concurrent, &exe)
+            .map_err(|e| format!("bind {addr}: {e}"))?,
+        (sock, None) => {
+            let path = sock.unwrap_or_else(|| {
+                std::env::temp_dir()
+                    .join(format!("pts-serve-{}.sock", std::process::id()))
+                    .display()
+                    .to_string()
+            });
+            Server::bind_unix(&path, max_concurrent, &exe)
+                .map_err(|e| format!("bind {path}: {e}"))?
+        }
+    };
+    install_term_handler();
+    // The address line is the machine-readable contract: clients (and the
+    // CI smoke test) read it to find the socket.
+    println!("{}", server.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "pts-serve: listening on {} (max {max_concurrent} concurrent jobs)",
+        server.addr()
+    );
+    server.run(term_flag());
+    eprintln!("pts-serve: shut down");
+    Ok(())
+}
+
+fn cmd_submit(args: &[String]) -> Result<(), String> {
+    let addr = flag_value(args, "--addr").ok_or("submit needs --addr unix:PATH|tcp:ADDR")?;
+    let quiet = args.iter().any(|a| a == "--quiet");
+
+    let mut builder = Pts::builder()
+        .tsw_workers(flag_num(args, "--tsw", 2usize)?)
+        .clw_workers(flag_num(args, "--clw", 1usize)?)
+        .global_iters(flag_num(args, "--global", 4u32)?)
+        .local_iters(flag_num(args, "--local", 10u32)?)
+        .seed(flag_num(args, "--seed", 0xC0FFEEu64)?);
+    builder = match flag_value(args, "--sync").as_deref().unwrap_or("half") {
+        "half" => builder.sync(SyncPolicy::HalfReport),
+        "all" => builder.sync(SyncPolicy::WaitAll),
+        other => return Err(format!("--sync must be 'half' or 'all', got '{other}'")),
+    };
+    let cfg = *builder.build().map_err(|e| e.to_string())?.config();
+
+    let spec = match flag_value(args, "--problem").as_deref().unwrap_or("qap") {
+        "qap" => JobDomainSpec::QapRandom {
+            n: flag_num(args, "--qap-size", 16u32)?,
+            seed: cfg.seed ^ 0xAAAA,
+        },
+        "bench" => JobDomainSpec::Bench {
+            name: flag_value(args, "--circuit").unwrap_or_else(|| "highway".into()),
+        },
+        other => Err(format!("--problem must be 'qap' or 'bench', got '{other}'"))?,
+    };
+    let req = JobRequest {
+        cfg,
+        spec,
+        budget_ms: flag_num(args, "--budget-ms", 0u64)?,
+    };
+
+    let mut client = Client::connect(&addr, Duration::from_secs(10))
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    client.submit(&req).map_err(|e| format!("submit: {e}"))?;
+    loop {
+        match client.next_event().map_err(|e| format!("recv: {e}"))? {
+            None => return Err("server closed the connection before the result".into()),
+            Some(ServeEvent::Accepted { job }) => {
+                if !quiet {
+                    eprintln!("job {job} accepted");
+                }
+            }
+            Some(ServeEvent::Progress {
+                job,
+                global,
+                best_cost,
+            }) => {
+                if !quiet {
+                    eprintln!("job {job}: round {global} best {best_cost:.4}");
+                }
+            }
+            Some(ServeEvent::Error { job, message }) => {
+                return Err(format!("job {job} failed: {message}"));
+            }
+            Some(ServeEvent::Result(r)) => {
+                println!(
+                    "job {} {}: initial {:.4} -> best {:.4} in {} rounds",
+                    r.job,
+                    if r.cancelled { "stopped early" } else { "done" },
+                    r.initial_cost,
+                    r.best_cost,
+                    r.rounds
+                );
+                return Ok(());
+            }
+        }
+    }
+}

@@ -13,8 +13,9 @@
 //! Run `pts help` for all options.
 
 use parallel_tabu_search::core::{
-    common_quality_target, speedup_sweep, AsyncEngine, CostKind, ExecutionEngine, Pts, PtsDomain,
-    PtsRun, QapDomain, SimEngine, SnapshotMode, SyncPolicy, ThreadEngine, VirtualEngine,
+    common_quality_target, speedup_sweep, AsyncEngine, CostKind, ExecutionEngine, ProcDomain,
+    ProcEngine, Pts, PtsRun, QapDomain, SimEngine, SnapshotMode, SyncPolicy, ThreadEngine,
+    VirtualEngine, WireProblem,
 };
 use parallel_tabu_search::netlist::{
     benchmark_names, by_name, format, generate, CircuitSpec, Netlist, NetlistStats, TimingGraph,
@@ -23,6 +24,11 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 fn main() -> ExitCode {
+    // Multi-process engine re-entry: when spawned as
+    // `pts __pts-worker --sock <addr> --rank <n>` this runs the worker
+    // role and exits instead of parsing the CLI.
+    parallel_tabu_search::core::proc::maybe_worker();
+
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
         print_help();
@@ -64,7 +70,7 @@ USAGE:
   pts circuits
   pts run      [--problem placement|qap] [--circuit NAME | --qap-size N]
                [--tsw N] [--clw N] [--global N] [--local N]
-               [--engine sim|threads|async|vt] [--sync half|all] [--no-diversify]
+               [--engine sim|threads|async|vt|proc] [--sync half|all] [--no-diversify]
                [--differentiate] [--cost fuzzy|weighted] [--seed N]
                [--candidates N] [--depth N] [--report-fraction F]
                [--shard-fanout N|auto]  (0 = flat master, >= 2 = sub-master
@@ -189,15 +195,24 @@ fn build_run(opts: &Opts) -> Result<PtsRun, String> {
 }
 
 /// Engine selection: substrates are trait objects behind one interface,
-/// so every problem domain gets both for free.
-fn pick_engine<D: PtsDomain>(opts: &Opts) -> Result<Box<dyn ExecutionEngine<D>>, String> {
+/// so every problem domain gets all five for free. The bound is
+/// `ProcDomain` (not just `PtsDomain`) so `--engine proc` can ship the
+/// instance to worker processes; both CLI domains implement it.
+fn pick_engine<D>(opts: &Opts) -> Result<Box<dyn ExecutionEngine<D>>, String>
+where
+    D: ProcDomain,
+    <D as parallel_tabu_search::core::PtsDomain>::Problem: WireProblem,
+{
     match opts.get("engine").unwrap_or("sim") {
         "sim" => Ok(Box::new(SimEngine::paper())),
         "threads" => Ok(Box::new(ThreadEngine)),
         "async" => Ok(Box::new(AsyncEngine::new())),
         "vt" => Ok(Box::new(VirtualEngine::paper())),
+        "proc" => Ok(Box::new(
+            ProcEngine::from_current_exe().map_err(|e| format!("--engine proc: {e}"))?,
+        )),
         other => Err(format!(
-            "--engine must be 'sim', 'threads', 'async', or 'vt', got '{other}'"
+            "--engine must be 'sim', 'threads', 'async', 'vt', or 'proc', got '{other}'"
         )),
     }
 }
@@ -207,6 +222,7 @@ fn engine_label(name: &str) -> &'static str {
         "sim" => "the 12-machine virtual cluster",
         "async" => "cooperative tasks on one thread",
         "vt" => "the 12-machine virtual cluster (cooperative, thousand-worker scale)",
+        "proc" => "worker processes over sockets",
         _ => "native threads",
     }
 }

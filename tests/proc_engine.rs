@@ -1,0 +1,135 @@
+//! Multi-process engine: worker ranks as child OS processes over a socket
+//! star must carry the protocol to the *same search result* as the
+//! in-process engines. Under `WaitAll` the protocol is deterministic
+//! (every round folds all reports in rank order), so the proc engine is
+//! pinned against [`AsyncEngine`] on both shipped domains — not "roughly
+//! as good", bitwise the same best cost.
+//!
+//! Worker processes re-enter this test binary's companion CLI (`pts`),
+//! which calls `maybe_worker()` first thing in `main`.
+
+use parallel_tabu_search::core::{
+    AsyncEngine, ProcEngine, Pts, PtsRun, QapDomain, RunControl, SyncPolicy,
+};
+use parallel_tabu_search::netlist::by_name;
+use std::sync::Arc;
+
+/// The binary that hosts worker ranks (calls `proc::maybe_worker()`).
+fn worker_exe() -> &'static str {
+    env!("CARGO_BIN_EXE_pts")
+}
+
+fn wait_all_run(n_tsw: usize, n_clw: usize, global: u32) -> PtsRun {
+    Pts::builder()
+        .tsw_workers(n_tsw)
+        .clw_workers(n_clw)
+        .global_iters(global)
+        .local_iters(8)
+        .sync(SyncPolicy::WaitAll)
+        .seed(0xFEED)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn proc_matches_async_on_qap_under_wait_all() {
+    let run = wait_all_run(3, 1, 4);
+    let domain = QapDomain::random(14, 21);
+
+    let async_out = run.execute(&domain, &AsyncEngine::new());
+    let proc_out = run.execute(&domain, &ProcEngine::new(worker_exe()));
+
+    assert_eq!(
+        proc_out.outcome.best_cost, async_out.outcome.best_cost,
+        "proc and async disagree on the QAP best under WaitAll"
+    );
+    assert_eq!(
+        proc_out.outcome.initial_cost,
+        async_out.outcome.initial_cost
+    );
+    assert_eq!(
+        proc_out.outcome.best_per_global_iter, async_out.outcome.best_per_global_iter,
+        "per-round global bests must agree round by round"
+    );
+    assert_eq!(proc_out.report.engine, "proc");
+    assert!(proc_out.report.total_messages() > 0);
+}
+
+#[test]
+fn proc_matches_async_on_placement_under_wait_all() {
+    let run = wait_all_run(2, 1, 3);
+    let netlist = Arc::new(by_name("highway").unwrap());
+
+    let async_out = run.run_placement(Arc::clone(&netlist), &AsyncEngine::new());
+    let proc_out = run.run_placement(netlist, &ProcEngine::new(worker_exe()));
+
+    assert_eq!(
+        proc_out.outcome.best_cost, async_out.outcome.best_cost,
+        "proc and async disagree on the placement best under WaitAll"
+    );
+    assert_eq!(
+        proc_out.outcome.best_per_global_iter,
+        async_out.outcome.best_per_global_iter
+    );
+    // The shipped-back placement is a real, consistent solution.
+    proc_out.outcome.best_placement.check_consistency().unwrap();
+}
+
+#[test]
+fn proc_runs_with_clw_groups_and_shards() {
+    // Deeper topology: CLWs under each TSW plus a sub-master collection
+    // tree — every role must come up as its own OS process.
+    let run = Pts::builder()
+        .tsw_workers(4)
+        .clw_workers(2)
+        .global_iters(2)
+        .local_iters(5)
+        .sync(SyncPolicy::WaitAll)
+        .shard_fanout(2)
+        .seed(7)
+        .build()
+        .unwrap();
+    let domain = QapDomain::random(10, 3);
+    let async_out = run.execute(&domain, &AsyncEngine::new());
+    let proc_out = run.execute(&domain, &ProcEngine::new(worker_exe()));
+    assert_eq!(proc_out.outcome.best_cost, async_out.outcome.best_cost);
+}
+
+#[test]
+fn spawn_failure_is_an_error_not_a_hang() {
+    let run = wait_all_run(2, 1, 2);
+    let domain = QapDomain::random(8, 5);
+    let engine = ProcEngine::new("/nonexistent/pts-worker-binary");
+    let initial = {
+        use parallel_tabu_search::core::PtsDomain;
+        domain.initial(run.config().seed)
+    };
+    let err = engine
+        .try_execute(run.config(), &domain, initial)
+        .err()
+        .expect("spawning a nonexistent worker binary must fail");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("proc engine"),
+        "error should carry engine context, got: {msg}"
+    );
+}
+
+#[test]
+fn cancelled_control_stops_after_first_round() {
+    // A pre-cancelled control: the master still completes one round (the
+    // stop is checked at round boundaries) and then winds the tree down
+    // cleanly — no hang, no orphan children.
+    let run = wait_all_run(2, 1, 6);
+    let domain = QapDomain::random(10, 11);
+    let ctl = RunControl::unlimited();
+    ctl.cancel();
+    let engine = ProcEngine::new(worker_exe()).with_control(ctl);
+    let out = run.execute(&domain, &engine);
+    assert_eq!(
+        out.outcome.best_per_global_iter.len(),
+        1,
+        "a cancelled run stops at the first round boundary"
+    );
+    assert!(out.outcome.best_cost <= out.outcome.initial_cost);
+}

@@ -1,0 +1,278 @@
+//! `pts-serve` job-service behaviour: concurrent jobs under independent
+//! budgets, mid-run cancellation that leaves other jobs untouched, and the
+//! two teardown paths that must never leak worker processes — a client
+//! that dies mid-job, and SIGTERM to the daemon itself.
+//!
+//! The first two tests drive an in-process [`Server`]; the teardown tests
+//! exercise the real `pts-serve` binary, where orphaned worker ranks are
+//! identifiable by the daemon's pid embedded in the router socket path
+//! (`--sock .../pts-<pid>-<n>.sock`).
+
+use parallel_tabu_search::core::serve::{
+    Client, JobDomainSpec, JobRequest, JobResult, ServeEvent, Server,
+};
+use parallel_tabu_search::core::{Pts, SyncPolicy};
+use std::io::BufRead;
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn qap_job(n: u32, seed: u64, global: u32, budget_ms: u64) -> JobRequest {
+    let cfg = *Pts::builder()
+        .tsw_workers(2)
+        .clw_workers(1)
+        .global_iters(global)
+        .local_iters(6)
+        .sync(SyncPolicy::WaitAll)
+        .seed(seed)
+        .build()
+        .unwrap()
+        .config();
+    JobRequest {
+        cfg,
+        spec: JobDomainSpec::QapRandom { n, seed },
+        budget_ms,
+    }
+}
+
+/// Drain events until this client's job finishes; count progress frames.
+fn wait_result(client: &mut Client) -> (JobResult, u32) {
+    let mut progress = 0;
+    loop {
+        match client.next_event().expect("serve stream intact") {
+            Some(ServeEvent::Result(r)) => return (r, progress),
+            Some(ServeEvent::Progress { .. }) => progress += 1,
+            Some(ServeEvent::Accepted { .. }) => {}
+            Some(ServeEvent::Error { job, message }) => {
+                panic!("job {job} failed server-side: {message}")
+            }
+            None => panic!("server closed the stream before the result"),
+        }
+    }
+}
+
+/// In-process daemon on a fresh Unix socket; returns (addr, stop, join).
+fn start_server(
+    name: &str,
+    max_concurrent: usize,
+) -> (String, Arc<AtomicBool>, std::thread::JoinHandle<()>) {
+    let path =
+        std::env::temp_dir().join(format!("pts-serve-test-{}-{name}.sock", std::process::id()));
+    let mut server = Server::bind_unix(&path, max_concurrent, env!("CARGO_BIN_EXE_pts")).unwrap();
+    let addr = server.addr().to_string();
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || server.run(&stop2));
+    (addr, stop, handle)
+}
+
+#[test]
+fn four_concurrent_jobs_run_under_independent_budgets() {
+    let (addr, stop, server) = start_server("concurrent", 4);
+
+    // Four clients, four jobs at once: three unlimited, one with a budget
+    // so tight it must stop at its first round boundary.
+    let handles: Vec<_> = (0..4u64)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let budget_ms = if i == 3 { 1 } else { 0 };
+                let mut client = Client::connect(&addr, Duration::from_secs(10)).unwrap();
+                client.submit(&qap_job(12, 100 + i, 4, budget_ms)).unwrap();
+                wait_result(&mut client)
+            })
+        })
+        .collect();
+    let results: Vec<(JobResult, u32)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    for (r, _) in &results[..3] {
+        assert!(!r.cancelled, "unbudgeted job {} reported cancelled", r.job);
+        assert_eq!(r.rounds, 4, "unbudgeted job {} stopped early", r.job);
+        assert!(r.best_cost <= r.initial_cost);
+    }
+    let (budgeted, _) = &results[3];
+    assert!(budgeted.cancelled, "1ms budget must stop the job early");
+    assert!(
+        budgeted.rounds < 4,
+        "budgeted job completed all rounds anyway"
+    );
+
+    stop.store(true, Ordering::Release);
+    server.join().unwrap();
+}
+
+#[test]
+fn cancelling_one_job_leaves_the_others_untouched() {
+    let (addr, stop, server) = start_server("cancel", 2);
+
+    // A long job (hundreds of rounds) and a short one, running
+    // concurrently on separate connections.
+    let mut long_client = Client::connect(&addr, Duration::from_secs(10)).unwrap();
+    long_client.submit(&qap_job(16, 1, 500, 0)).unwrap();
+    let long_id = match long_client.next_event().unwrap() {
+        Some(ServeEvent::Accepted { job }) => job,
+        other => panic!("expected Accepted, got {other:?}"),
+    };
+
+    let short = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(&addr, Duration::from_secs(10)).unwrap();
+            client.submit(&qap_job(10, 2, 3, 0)).unwrap();
+            wait_result(&mut client)
+        })
+    };
+
+    // Cancel the long job only once it is demonstrably mid-run.
+    loop {
+        match long_client.next_event().unwrap() {
+            Some(ServeEvent::Progress { job, .. }) if job == long_id => break,
+            Some(_) => {}
+            None => panic!("stream closed while waiting for progress"),
+        }
+    }
+    long_client.cancel(long_id).unwrap();
+    let (long_result, _) = wait_result(&mut long_client);
+    assert!(long_result.cancelled, "cancel must mark the job cancelled");
+    assert!(
+        long_result.rounds < 500,
+        "cancelled job ran all 500 rounds ({} reported)",
+        long_result.rounds
+    );
+
+    let (short_result, _) = short.join().unwrap();
+    assert!(
+        !short_result.cancelled,
+        "cancelling job {long_id} must not touch job {}",
+        short_result.job
+    );
+    assert_eq!(short_result.rounds, 3);
+
+    stop.store(true, Ordering::Release);
+    server.join().unwrap();
+}
+
+/// Worker-rank processes spawned (transitively) by daemon `pid`: their
+/// cmdline names a router socket `pts-<pid>-<n>.sock`.
+fn workers_of(pid: u32) -> Vec<u32> {
+    let tag = format!("pts-{pid}-");
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir("/proc") else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.bytes().all(|b| b.is_ascii_digit()) {
+            continue;
+        }
+        let Ok(cmd) = std::fs::read(format!("/proc/{name}/cmdline")) else {
+            continue;
+        };
+        let cmd = String::from_utf8_lossy(&cmd).replace('\0', " ");
+        if cmd.contains("__pts-worker") && cmd.contains(&tag) {
+            out.push(name.parse().unwrap());
+        }
+    }
+    out
+}
+
+// SIGTERM delivery without a libc dependency — same offline-FFI precedent
+// as `pts_util::cputime` and the serve module's signal handler.
+extern "C" {
+    fn kill(pid: i32, sig: i32) -> i32;
+}
+const SIGTERM: i32 = 15;
+
+/// Spawn the real daemon, return (child, its advertised address).
+fn spawn_daemon(name: &str) -> (std::process::Child, String) {
+    let sock =
+        std::env::temp_dir().join(format!("pts-serve-bin-{}-{name}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_pts-serve"))
+        .args(["serve", "--sock"])
+        .arg(&sock)
+        .args(["--max-concurrent", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn pts-serve");
+    let mut addr = String::new();
+    std::io::BufReader::new(child.stdout.take().unwrap())
+        .read_line(&mut addr)
+        .expect("daemon prints its address");
+    (child, addr.trim().to_string())
+}
+
+#[test]
+fn killed_client_gets_its_jobs_cancelled_and_workers_reaped() {
+    let (mut daemon, addr) = spawn_daemon("killclient");
+    let pid = daemon.id();
+
+    {
+        let mut client = Client::connect(&addr, Duration::from_secs(10)).unwrap();
+        client.submit(&qap_job(16, 5, 500, 0)).unwrap();
+        // Wait until the job is running (workers spawned), then die
+        // without so much as a goodbye: dropping the client closes the
+        // socket abruptly, exactly what a killed client process does to
+        // the daemon.
+        loop {
+            match client.next_event().unwrap() {
+                Some(ServeEvent::Progress { .. }) => break,
+                Some(_) => {}
+                None => panic!("stream closed early"),
+            }
+        }
+        assert!(
+            !workers_of(pid).is_empty(),
+            "job should have live worker processes mid-run"
+        );
+    }
+
+    // The daemon must cancel the orphaned job and reap its workers while
+    // continuing to serve. Allow the round in flight to finish.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while !workers_of(pid).is_empty() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "worker processes still alive 30s after their client vanished: {:?}",
+            workers_of(pid)
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // Still serving: a fresh client gets a full run.
+    let mut client = Client::connect(&addr, Duration::from_secs(10)).unwrap();
+    client.submit(&qap_job(10, 6, 2, 0)).unwrap();
+    let (r, _) = wait_result(&mut client);
+    assert!(!r.cancelled);
+
+    unsafe { kill(pid as i32, SIGTERM) };
+    let status = daemon.wait().unwrap();
+    assert!(status.success(), "daemon exited uncleanly: {status:?}");
+}
+
+#[test]
+fn sigterm_drains_jobs_and_leaves_no_orphans() {
+    let (mut daemon, addr) = spawn_daemon("sigterm");
+    let pid = daemon.id();
+
+    let mut client = Client::connect(&addr, Duration::from_secs(10)).unwrap();
+    client.submit(&qap_job(16, 7, 500, 0)).unwrap();
+    loop {
+        match client.next_event().unwrap() {
+            Some(ServeEvent::Progress { .. }) => break,
+            Some(_) => {}
+            None => panic!("stream closed early"),
+        }
+    }
+
+    unsafe { kill(pid as i32, SIGTERM) };
+    let status = daemon.wait().unwrap();
+    assert!(status.success(), "daemon exited uncleanly: {status:?}");
+    assert!(
+        workers_of(pid).is_empty(),
+        "daemon exited but left worker processes: {:?}",
+        workers_of(pid)
+    );
+}

@@ -1,0 +1,270 @@
+//! Wire-codec properties: the explicit byte codec in `pts_core::wire` must
+//! (a) invert itself on every message variant for both shipped domains,
+//! and (b) encode every message at *exactly* the byte count the
+//! [`PtsMsg::wire_size`] model charges — `wire_size` is the codec's model,
+//! and the virtual-time engines' pinned timelines depend on it. The only
+//! bytes a socket carries beyond `wire_size` are the
+//! [`wire::FRAME_LEN_BYTES`] length prefix.
+//!
+//! Identity is checked at the byte level: `encode(decode(encode(m)))`
+//! must equal `encode(m)`. Encoding is deterministic and injective per
+//! field, so byte identity catches any lossy or misaligned field without
+//! requiring `PartialEq` on message payloads (which hold `Arc`s).
+
+use parallel_tabu_search::core::wire::{self, decode_msg, encode_msg, peek_dst, WireProblem};
+use parallel_tabu_search::core::{
+    PlacementDelta, PlacementProblem, PtsMsg, QapDelta, SnapshotPayload,
+};
+use parallel_tabu_search::netlist::by_name;
+use parallel_tabu_search::place::init::random_placement;
+use parallel_tabu_search::tabu::qap::{Qap, QapAssignment};
+use parallel_tabu_search::tabu::search::SearchStats;
+use parallel_tabu_search::tabu::TracePoint;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Deterministic permutation of `0..n` — QAP snapshots must be
+/// assignments, i.e. bijections.
+fn perm(n: usize, seed: u64) -> Vec<usize> {
+    let mut v: Vec<usize> = (0..n).collect();
+    let mut s = seed | 1;
+    for i in (1..n).rev() {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        v.swap(i, (s >> 33) as usize % (i + 1));
+    }
+    v
+}
+
+/// Encode → decode → re-encode; assert byte identity, the model-size pin,
+/// and the routable destination prefix.
+fn check_roundtrip<P: WireProblem>(msg: &PtsMsg<P>, dst: u32, ctx: &P::Ctx) {
+    let buf = encode_msg(msg, dst);
+    // The model pin: encoded body length is exactly wire_size().
+    prop_assert_eq!(buf.len() as u64, msg.wire_size());
+    prop_assert_eq!(peek_dst(&buf).unwrap(), dst);
+    // A socket frame only adds the length prefix.
+    let mut framed = Vec::new();
+    wire::write_frame(&mut framed, &buf).unwrap();
+    prop_assert_eq!(framed.len(), buf.len() + wire::FRAME_LEN_BYTES);
+
+    let (got_dst, decoded) = match decode_msg::<P>(&buf, ctx) {
+        Ok(pair) => pair,
+        Err(e) => panic!("decode {}: {e}", msg.tag()),
+    };
+    prop_assert_eq!(got_dst, dst);
+    prop_assert_eq!(decoded.tag(), msg.tag());
+    let again = encode_msg(&decoded, dst);
+    prop_assert_eq!(&again, &buf, "{} re-encodes differently", msg.tag());
+}
+
+#[allow(clippy::too_many_arguments)]
+fn qap_msg(
+    variant: u8,
+    n: usize,
+    seed: u64,
+    global: u32,
+    seq: u64,
+    cost: f64,
+    tabu: Vec<((u32, u32), u64)>,
+    trace: Vec<(f64, u64, f64)>,
+    moves: Vec<(usize, usize)>,
+    stats: [u64; 5],
+    use_delta: bool,
+) -> PtsMsg<Qap> {
+    let snapshot = Arc::new(QapAssignment::new(perm(n, seed)));
+    let payload = if use_delta {
+        SnapshotPayload::Delta {
+            base_seq: global,
+            delta: Arc::new(QapDelta::new(
+                moves.iter().map(|&(a, b)| (a as u32, b as u32)).collect(),
+            )),
+        }
+    } else {
+        SnapshotPayload::Full(Arc::clone(&snapshot))
+    };
+    let tabu = Arc::new(tabu);
+    let trace: Vec<TracePoint> = trace
+        .into_iter()
+        .map(|(time, iter, best_cost)| TracePoint {
+            time,
+            iter,
+            best_cost,
+        })
+        .collect();
+    let stats = SearchStats {
+        iterations: stats[0],
+        accepted: stats[1],
+        rejected_tabu: stats[2],
+        aspirated: stats[3],
+        improved_best: stats[4],
+    };
+    match variant {
+        0 => PtsMsg::Init { snapshot },
+        1 => PtsMsg::Broadcast {
+            global,
+            snapshot: payload,
+            tabu,
+        },
+        2 => PtsMsg::ForceReport { global },
+        3 => PtsMsg::Report {
+            tsw: n,
+            global,
+            cost,
+            snapshot: payload,
+            tabu,
+            trace,
+            stats,
+        },
+        4 => PtsMsg::GroupReport {
+            shard: n,
+            global,
+            cost,
+            snapshot: payload,
+            tabu,
+            trace,
+            stats,
+            forced: seq,
+        },
+        5 => PtsMsg::GroupBroadcast {
+            global,
+            snapshot: payload,
+            tabu,
+        },
+        6 => PtsMsg::AdoptState {
+            seq: global,
+            snapshot: payload,
+        },
+        7 => PtsMsg::Investigate { seq },
+        8 => PtsMsg::CutShort { seq },
+        9 => PtsMsg::Proposal {
+            clw: n,
+            seq,
+            moves,
+            cost,
+        },
+        10 => PtsMsg::ApplyMoves { moves },
+        _ => PtsMsg::Stop,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn qap_codec_is_identity_at_model_size(
+        variant in 0u8..12,
+        n in 2usize..12,
+        seed in any::<u64>(),
+        dst in 0u32..1024,
+        global in 0u32..100_000,
+        seq in any::<u64>(),
+        cost in -1.0e9f64..1.0e9,
+        tabu in proptest::collection::vec(((0u32..64, 0u32..64), 0u64..1_000_000), 0..6),
+        trace in proptest::collection::vec(
+            (0.0f64..1.0e4, 0u64..1_000_000, -1.0e6f64..1.0e6), 0..5),
+        moves in proptest::collection::vec((0usize..64, 0usize..64), 0..5),
+        stats_seed in 0u64..1_000_000,
+        use_delta in any::<bool>(),
+    ) {
+        let stats = [stats_seed, stats_seed / 2, stats_seed / 3, stats_seed / 5, stats_seed / 7];
+        let msg = qap_msg(
+            variant, n, seed, global, seq, cost, tabu, trace, moves, stats, use_delta,
+        );
+        check_roundtrip::<Qap>(&msg, dst, &());
+    }
+
+    #[test]
+    fn placement_codec_is_identity_at_model_size(
+        variant in 0u8..12,
+        seed in any::<u64>(),
+        dst in 0u32..1024,
+        global in 0u32..100_000,
+        seq in any::<u64>(),
+        cost in 0.0f64..10.0,
+        tabu in proptest::collection::vec(((0u32..64, 0u32..64), 0u64..1_000_000), 0..6),
+        trace in proptest::collection::vec(
+            (0.0f64..1.0e4, 0u64..1_000_000, 0.0f64..10.0), 0..5),
+        moves in proptest::collection::vec((0u32..56, 0u32..56), 0..5),
+        use_delta in any::<bool>(),
+    ) {
+        // A placement snapshot must be a bijection of cells onto slots —
+        // generate real placements of the paper's smallest benchmark.
+        let netlist = by_name("highway").unwrap();
+        let placement = random_placement(&netlist, seed);
+        let ctx = <PlacementProblem as WireProblem>::ctx_of(&placement);
+        let snapshot = Arc::new(placement);
+        let payload = if use_delta {
+            SnapshotPayload::Delta {
+                base_seq: global,
+                delta: Arc::new(PlacementDelta::new(
+                    moves
+                        .iter()
+                        .map(|&(c, s)| (
+                            parallel_tabu_search::netlist::CellId(c),
+                            parallel_tabu_search::place::SlotId(s),
+                        ))
+                        .collect(),
+                )),
+            }
+        } else {
+            SnapshotPayload::Full(Arc::clone(&snapshot))
+        };
+        let tabu = Arc::new(tabu);
+        let trace_points: Vec<TracePoint> = trace
+            .iter()
+            .map(|&(time, iter, best_cost)| TracePoint { time, iter, best_cost })
+            .collect();
+        let stats = SearchStats { iterations: seq % 1000, ..SearchStats::default() };
+        let swap_moves: Vec<(parallel_tabu_search::netlist::CellId, parallel_tabu_search::netlist::CellId)> =
+            moves
+                .iter()
+                .map(|&(a, b)| (
+                    parallel_tabu_search::netlist::CellId(a),
+                    parallel_tabu_search::netlist::CellId(b),
+                ))
+                .collect();
+        let msg: PtsMsg<PlacementProblem> = match variant {
+            0 => PtsMsg::Init { snapshot },
+            1 => PtsMsg::Broadcast { global, snapshot: payload, tabu },
+            2 => PtsMsg::ForceReport { global },
+            3 => PtsMsg::Report {
+                tsw: 3, global, cost, snapshot: payload, tabu,
+                trace: trace_points, stats,
+            },
+            4 => PtsMsg::GroupReport {
+                shard: 2, global, cost, snapshot: payload, tabu,
+                trace: trace_points, stats, forced: seq,
+            },
+            5 => PtsMsg::GroupBroadcast { global, snapshot: payload, tabu },
+            6 => PtsMsg::AdoptState { seq: global, snapshot: payload },
+            7 => PtsMsg::Investigate { seq },
+            8 => PtsMsg::CutShort { seq },
+            9 => PtsMsg::Proposal { clw: 1, seq, moves: swap_moves, cost },
+            10 => PtsMsg::ApplyMoves { moves: swap_moves },
+            _ => PtsMsg::Stop,
+        };
+        check_roundtrip::<PlacementProblem>(&msg, dst, &ctx);
+    }
+
+    #[test]
+    fn saturating_narrowings_are_stable(
+        tenure in any::<u64>(),
+        iter in any::<u64>(),
+    ) {
+        // Fields wider in memory than on the wire (tenure, trace iter)
+        // narrow saturating — and the narrowed message must re-encode to
+        // the same bytes (the codec is idempotent past the first hop).
+        let msg: PtsMsg<Qap> = PtsMsg::Report {
+            tsw: usize::MAX,
+            global: 1,
+            cost: 0.5,
+            snapshot: SnapshotPayload::Full(Arc::new(QapAssignment::new(perm(4, 9)))),
+            tabu: Arc::new(vec![((1, 2), tenure)]),
+            trace: Vec::from([TracePoint { time: 1.0, iter, best_cost: 0.5 }]),
+            stats: SearchStats::default(),
+        };
+        check_roundtrip::<Qap>(&msg, 0, &());
+    }
+}
