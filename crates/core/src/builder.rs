@@ -51,6 +51,8 @@ pub enum ConfigError {
     /// `shard_fanout` of 1 can never contract the collection tree; use 0
     /// (flat) or a fan-out ≥ 2.
     ShardFanoutTooSmall,
+    /// `liveness_timeout` must be finite and ≥ 0 (0 = disabled).
+    LivenessTimeoutInvalid(f64),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -75,6 +77,9 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::ShardFanoutTooSmall => {
                 write!(f, "shard_fanout must be 0 (flat) or >= 2, got 1")
+            }
+            ConfigError::LivenessTimeoutInvalid(v) => {
+                write!(f, "liveness_timeout must be finite and >= 0, got {v}")
             }
         }
     }
@@ -293,6 +298,13 @@ impl RunBuilder {
     /// Virtual work accounting (sim engine).
     pub fn work_model(mut self, work: WorkModel) -> Self {
         self.cfg.work = work;
+        self
+    }
+
+    /// Round-liveness timeout in virtual seconds (0 = disabled). See
+    /// [`PtsConfig::liveness_timeout`].
+    pub fn liveness_timeout(mut self, timeout: f64) -> Self {
+        self.cfg.liveness_timeout = timeout;
         self
     }
 

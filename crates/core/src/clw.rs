@@ -122,7 +122,15 @@ async fn handle<D: PtsDomain, T: Transport<D::Problem>>(
 ) -> bool {
     match msg {
         PtsMsg::Investigate { seq } => {
-            let (moves, cost) = investigate::<D, T>(t, cfg, problem, rng, range, seq).await;
+            let mut tsw_down = false;
+            let (moves, cost) =
+                investigate::<D, T>(t, cfg, problem, rng, range, seq, tsw_rank, &mut tsw_down)
+                    .await;
+            // The TSW died mid-investigation (its Down notice reached the
+            // cut-short poll): there is nobody to propose to — wind down.
+            if tsw_down {
+                return true;
+            }
             t.send(
                 tsw_rank,
                 PtsMsg::Proposal {
@@ -180,6 +188,10 @@ async fn handle<D: PtsDomain, T: Transport<D::Problem>>(
             }
         }
         PtsMsg::Stop => return true,
+        // Death notice: our TSW is gone — nobody will ever Investigate or
+        // Stop us, so wind down now. Anyone else's death is not our
+        // concern (the TSW re-plans around its own losses).
+        PtsMsg::Down { rank } => return rank == tsw_rank,
         // Stale control traffic (CutShort for a finished investigation, a
         // duplicate Init delivered late).
         PtsMsg::CutShort { .. } | PtsMsg::Init { .. } => {}
@@ -195,7 +207,9 @@ async fn handle<D: PtsDomain, T: Transport<D::Problem>>(
 
 /// Build one compound-move proposal. Leaves the problem back at its
 /// starting state; returns the proposed move prefix and the cost it
-/// reaches.
+/// reaches. Sets `tsw_down` (and stops early) if the owning TSW's death
+/// notice arrives at the cut-short poll.
+#[allow(clippy::too_many_arguments)]
 async fn investigate<D: PtsDomain, T: Transport<D::Problem>>(
     t: &mut T,
     cfg: &PtsConfig,
@@ -203,6 +217,8 @@ async fn investigate<D: PtsDomain, T: Transport<D::Problem>>(
     rng: &mut Rng,
     range: (usize, usize),
     seq: u64,
+    tsw_rank: usize,
+    tsw_down: &mut bool,
 ) -> (Vec<MoveOf<D>>, f64) {
     let sampler = CandidateList::new(cfg.candidates);
     let start_cost = problem.cost();
@@ -237,6 +253,11 @@ async fn investigate<D: PtsDomain, T: Transport<D::Problem>>(
             match msg {
                 PtsMsg::CutShort { seq: s } if s == seq => cut = true,
                 PtsMsg::CutShort { .. } => {} // stale
+                PtsMsg::Down { rank } if rank == tsw_rank => {
+                    *tsw_down = true;
+                    cut = true;
+                }
+                PtsMsg::Down { .. } => {}
                 other => {
                     crate::transport::protocol_warn(
                         t.rank(),

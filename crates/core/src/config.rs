@@ -145,6 +145,15 @@ pub struct PtsConfig {
     /// strategies themselves differ (closer to SPDS). See the
     /// `ablation_streams` harness for the comparison.
     pub differentiate_streams: bool,
+    /// Round-liveness timeout in virtual seconds, `0.0` = disabled
+    /// (default). When positive and the substrate supports receive
+    /// deadlines (the vt engine), a collection node waiting on child
+    /// reports — and a TSW waiting on its round broadcast — gives up
+    /// after this long of silence, warns, and completes the round with
+    /// what it has. This is what keeps [`SyncPolicy::WaitAll`] from
+    /// hanging forever on a crashed worker under a
+    /// [`pts_vcluster::FaultPlan`]; fault-free runs never hit it.
+    pub liveness_timeout: f64,
     /// Virtual work accounting (sim engine).
     pub work: WorkModel,
 }
@@ -175,6 +184,7 @@ impl Default for PtsConfig {
             shard_fanout: 0,
             snapshot_mode: SnapshotMode::Delta,
             differentiate_streams: false,
+            liveness_timeout: 0.0,
             work: WorkModel::default(),
         }
     }
@@ -464,6 +474,9 @@ impl PtsConfig {
         }
         if self.shard_fanout == 1 && self.n_tsw > 1 {
             return Err(ConfigError::ShardFanoutTooSmall);
+        }
+        if !(self.liveness_timeout >= 0.0 && self.liveness_timeout.is_finite()) {
+            return Err(ConfigError::LivenessTimeoutInvalid(self.liveness_timeout));
         }
         Ok(())
     }

@@ -83,6 +83,21 @@ impl RunControl {
             f(global, best_cost);
         }
     }
+
+    /// Absolute receive deadline for a collection wait starting at `now`
+    /// under a per-round liveness `timeout`. `None` when `timeout <= 0` —
+    /// liveness disabled, wait indefinitely (the historical behaviour;
+    /// the run deadline alone never interrupts an in-flight wait, it only
+    /// stops the search at round boundaries). With liveness on, the wait
+    /// ends at the sooner of `now + timeout` and the run's own deadline
+    /// (clamped to `now` so an expired deadline times out immediately
+    /// rather than in the past).
+    pub fn recv_deadline(&self, now: f64, timeout: f64) -> Option<f64> {
+        (timeout > 0.0).then(|| match self.deadline {
+            Some(d) => (now + timeout).min(d.max(now)),
+            None => now + timeout,
+        })
+    }
 }
 
 impl std::fmt::Debug for RunControl {
@@ -120,6 +135,27 @@ mod tests {
         let ctl = RunControl::unlimited().with_deadline(5.0);
         assert!(!ctl.should_stop(4.9));
         assert!(ctl.should_stop(5.0));
+    }
+
+    #[test]
+    fn recv_deadline_combines_liveness_and_run_deadline() {
+        let ctl = RunControl::unlimited();
+        assert_eq!(ctl.recv_deadline(10.0, 0.0), None, "liveness off");
+        assert_eq!(ctl.recv_deadline(10.0, 5.0), Some(15.0));
+        let ctl = RunControl::unlimited().with_deadline(12.0);
+        assert_eq!(
+            ctl.recv_deadline(10.0, 0.0),
+            None,
+            "deadline alone never interrupts"
+        );
+        assert_eq!(
+            ctl.recv_deadline(10.0, 5.0),
+            Some(12.0),
+            "run deadline wins"
+        );
+        assert_eq!(ctl.recv_deadline(10.0, 1.0), Some(11.0), "liveness wins");
+        // Past the run deadline: time out immediately, not in the past.
+        assert_eq!(ctl.recv_deadline(20.0, 5.0), Some(20.0));
     }
 
     #[test]

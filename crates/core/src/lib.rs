@@ -48,6 +48,7 @@ pub mod config;
 pub mod control;
 pub mod domain;
 pub mod engine;
+pub mod fault;
 pub mod master;
 pub mod messages;
 pub mod meter;
@@ -74,6 +75,7 @@ pub use domain::{
     DeltaOf, DeltaSnapshot, PtsDomain, PtsProblem, SearchOutcome, SnapshotOf, WireSized,
 };
 pub use engine::{EngineOutput, ExecutionEngine, SimEngine, ThreadEngine};
+pub use fault::{Contention, FaultMix, FaultSpec, WorkerFault};
 pub use messages::{PtsMsg, SharedTabu, SnapshotBase, SnapshotPayload, TabuEntries};
 pub use meter::{take_snapshot_meter, SnapshotMeter};
 pub use placement_problem::{MasterOutcome, PlacementDelta, PlacementDomain, PlacementProblem};

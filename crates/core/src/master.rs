@@ -113,9 +113,22 @@ impl<D: PtsDomain> Reduction<D> {
         self.stats.improved_best += stats.improved_best;
     }
 
-    /// Collect exactly one round-`g` report per TSW in `lo..hi`, applying
+    /// Collect one round-`g` report per *live* TSW in `lo..hi`, applying
     /// the quorum/force policy as this group's parent. Used by the flat
     /// root and by leaf sub-masters.
+    ///
+    /// Fault tolerance: `dead[i - lo]` marks children whose death notice
+    /// ([`PtsMsg::Down`]) has arrived — they are excused from the round
+    /// (a report already folded still counts), excluded from the
+    /// force/quorum arithmetic, and stay dead for the rest of the run.
+    /// `deadline`, when set, bounds the whole collection: silence past it
+    /// (a stalled but not-dead child, e.g. a paused machine) completes
+    /// the round with the reports in hand — the straggler's stale report
+    /// is dropped by the round guard next round and it resynchronizes on
+    /// the broadcast already sitting in its mailbox. Fault-free runs
+    /// (`dead` all false, `deadline` `None`) take exactly the historical
+    /// path.
+    #[allow(clippy::too_many_arguments)]
     async fn collect_tsw_round<T: Transport<D::Problem>>(
         &mut self,
         t: &mut T,
@@ -124,16 +137,59 @@ impl<D: PtsDomain> Reduction<D> {
         g: u32,
         lo: usize,
         hi: usize,
+        dead: &mut [bool],
+        deadline: Option<f64>,
     ) {
         let n = hi - lo;
         let final_round = g + 1 == cfg.global_iters;
-        let quorum = cfg.report_quorum(n);
         let mut reported = vec![false; n];
         let mut n_rep = 0;
         let mut force_sent = false;
 
-        while n_rep < n {
-            match t.recv().await {
+        loop {
+            // Children that died without reporting are excused; the round
+            // completes when every survivor has reported.
+            let excused = dead
+                .iter()
+                .zip(reported.iter())
+                .filter(|&(&d, &r)| d && !r)
+                .count();
+            let n_alive = n - excused;
+            if n_rep >= n_alive {
+                break;
+            }
+            let msg = match deadline {
+                None => t.recv().await,
+                Some(d) => match t.recv_deadline(d).await {
+                    Some(m) => m,
+                    None => {
+                        protocol_warn(
+                            t.rank(),
+                            &format!(
+                                "liveness timeout collecting round {g}: proceeding with {n_rep}/{n_alive} reports"
+                            ),
+                        );
+                        break;
+                    }
+                },
+            };
+            match msg {
+                PtsMsg::Down { rank } => {
+                    let i = rank.wrapping_sub(1); // tsw_rank(i) = 1 + i
+                    if (lo..hi).contains(&i) {
+                        if !dead[i - lo] {
+                            dead[i - lo] = true;
+                            protocol_warn(t.rank(), &format!("TSW {i} (rank {rank}) is down"));
+                        }
+                    } else {
+                        protocol_warn(
+                            t.rank(),
+                            &format!(
+                                "ignoring Down for rank {rank} (not a child of this collector)"
+                            ),
+                        );
+                    }
+                }
                 PtsMsg::Report {
                     tsw,
                     global,
@@ -175,13 +231,21 @@ impl<D: PtsDomain> Reduction<D> {
                     if final_round {
                         self.fold_stats(&stats);
                     }
+                    // Quorum over the children still alive: the dead can
+                    // neither report nor be forced. With no deaths this
+                    // is the historical fixed quorum over all n.
+                    let n_alive = n - dead
+                        .iter()
+                        .zip(reported.iter())
+                        .filter(|&(&d, &r)| d && !r)
+                        .count();
                     if cfg.tsw_sync == SyncPolicy::HalfReport
                         && !force_sent
-                        && n_rep >= quorum
-                        && n_rep < n
+                        && n_rep >= cfg.report_quorum(n_alive)
+                        && n_rep < n_alive
                     {
                         for (idx, done) in reported.iter().enumerate() {
-                            if !done {
+                            if !done && !dead[idx] {
                                 t.send(cfg.tsw_rank(lo + idx), PtsMsg::ForceReport { global: g });
                                 self.forced += 1;
                             }
@@ -202,11 +266,12 @@ impl<D: PtsDomain> Reduction<D> {
         }
     }
 
-    /// Collect exactly one round-`g` `GroupReport` per sub-master in
+    /// Collect one round-`g` `GroupReport` per *live* sub-master in
     /// `lo..hi`. Used by the sharded root and by inner sub-masters; the
     /// straggler policy lives at the leaf level, so group collection
-    /// always waits for every child. `child_forced[s - lo]` tracks each
-    /// subtree's cumulative force count.
+    /// waits for every surviving child. `child_forced[s - lo]` tracks
+    /// each subtree's cumulative force count. `dead` and `deadline` work
+    /// as in [`Reduction::collect_tsw_round`].
     #[allow(clippy::too_many_arguments)]
     async fn collect_group_round<T: Transport<D::Problem>>(
         &mut self,
@@ -217,14 +282,58 @@ impl<D: PtsDomain> Reduction<D> {
         lo: usize,
         hi: usize,
         child_forced: &mut [u64],
+        dead: &mut [bool],
+        deadline: Option<f64>,
     ) {
         let n = hi - lo;
         let final_round = g + 1 == cfg.global_iters;
         let mut reported = vec![false; n];
         let mut n_rep = 0;
+        // Rank of shard 0; shard s occupies shard_rank_base + s.
+        let shard_rank_base = 1 + cfg.n_tsw + cfg.n_tsw * cfg.n_clw;
 
-        while n_rep < n {
-            match t.recv().await {
+        loop {
+            let excused = dead
+                .iter()
+                .zip(reported.iter())
+                .filter(|&(&d, &r)| d && !r)
+                .count();
+            if n_rep >= n - excused {
+                break;
+            }
+            let msg = match deadline {
+                None => t.recv().await,
+                Some(d) => match t.recv_deadline(d).await {
+                    Some(m) => m,
+                    None => {
+                        protocol_warn(
+                            t.rank(),
+                            &format!(
+                                "liveness timeout collecting group round {g}: proceeding with {n_rep}/{} reports",
+                                n - excused
+                            ),
+                        );
+                        break;
+                    }
+                },
+            };
+            match msg {
+                PtsMsg::Down { rank } => {
+                    let s = rank.wrapping_sub(shard_rank_base);
+                    if (lo..hi).contains(&s) {
+                        if !dead[s - lo] {
+                            dead[s - lo] = true;
+                            protocol_warn(t.rank(), &format!("shard {s} (rank {rank}) is down"));
+                        }
+                    } else {
+                        protocol_warn(
+                            t.rank(),
+                            &format!(
+                                "ignoring Down for rank {rank} (not a child of this collector)"
+                            ),
+                        );
+                    }
+                }
                 PtsMsg::GroupReport {
                     shard,
                     global,
@@ -278,6 +387,7 @@ impl<D: PtsDomain> Reduction<D> {
     }
 
     /// One collection round over this node's children.
+    #[allow(clippy::too_many_arguments)]
     async fn collect_round<T: Transport<D::Problem>>(
         &mut self,
         t: &mut T,
@@ -286,11 +396,16 @@ impl<D: PtsDomain> Reduction<D> {
         g: u32,
         children: ShardChildren,
         child_forced: &mut [u64],
+        dead: &mut [bool],
+        deadline: Option<f64>,
     ) {
         match children {
-            ShardChildren::Tsws { lo, hi } => self.collect_tsw_round(t, cfg, base, g, lo, hi).await,
+            ShardChildren::Tsws { lo, hi } => {
+                self.collect_tsw_round(t, cfg, base, g, lo, hi, dead, deadline)
+                    .await
+            }
             ShardChildren::Shards { lo, hi } => {
-                self.collect_group_round(t, cfg, base, g, lo, hi, child_forced)
+                self.collect_group_round(t, cfg, base, g, lo, hi, child_forced, dead, deadline)
                     .await
             }
         }
@@ -405,10 +520,23 @@ pub async fn run_master<D: PtsDomain, T: Transport<D::Problem>>(
     red.merged.record(t.now(), 0, red.best_cost);
     let mut best_per_global_iter = Vec::with_capacity(cfg.global_iters as usize);
     let mut child_forced = vec![0u64; children.len()];
+    // Death notices persist: a child reported down stays excused for
+    // every later round. Always all-false in fault-free runs.
+    let mut dead = vec![false; children.len()];
 
     for g in 0..cfg.global_iters {
-        red.collect_round(t, cfg, &base, g, children, &mut child_forced)
-            .await;
+        let deadline = ctl.recv_deadline(t.now(), cfg.liveness_timeout);
+        red.collect_round(
+            t,
+            cfg,
+            &base,
+            g,
+            children,
+            &mut child_forced,
+            &mut dead,
+            deadline,
+        )
+        .await;
 
         red.merged.record(t.now(), g as u64 + 1, red.best_cost);
         best_per_global_iter.push(red.best_cost);
@@ -513,10 +641,21 @@ pub async fn run_sub_master<D: PtsDomain, T: Transport<D::Problem>>(
     let mut base: BaseOf<D> = SnapshotBase::initial(Arc::clone(&initial));
     let mut red: Reduction<D> = Reduction::new(initial_cost, initial);
     let mut child_forced = vec![0u64; spec.children.len()];
+    let mut dead = vec![false; spec.children.len()];
 
     for g in 0..cfg.global_iters {
-        red.collect_round(t, cfg, &base, g, spec.children, &mut child_forced)
-            .await;
+        let deadline = (cfg.liveness_timeout > 0.0).then(|| t.now() + cfg.liveness_timeout);
+        red.collect_round(
+            t,
+            cfg,
+            &base,
+            g,
+            spec.children,
+            &mut child_forced,
+            &mut dead,
+            deadline,
+        )
+        .await;
 
         // The parent shares `base` (the broadcast chain passed through
         // it), so the upward group best rides the same delta encoding.
@@ -535,9 +674,63 @@ pub async fn run_sub_master<D: PtsDomain, T: Transport<D::Problem>>(
             },
         );
 
-        // Relay the parent's decision down the tree.
+        // Relay the parent's decision down the tree. Under a liveness
+        // timeout a dead or stalled parent cannot hang the subtree: the
+        // wait gives up and winds the subtree down as if Stop arrived.
         loop {
-            match t.recv().await {
+            let msg = match (cfg.liveness_timeout > 0.0).then(|| t.now() + cfg.liveness_timeout) {
+                None => t.recv().await,
+                Some(d) => {
+                    match t.recv_deadline(d).await {
+                        Some(m) => m,
+                        None => {
+                            protocol_warn(
+                            t.rank(),
+                            &format!("liveness timeout awaiting GroupBroadcast {g}: stopping subtree"),
+                        );
+                            send_down::<D, T>(t, cfg, spec.children, None);
+                            return;
+                        }
+                    }
+                }
+            };
+            match msg {
+                PtsMsg::Down { rank } if rank == spec.parent_rank => {
+                    // The parent died: nothing above will ever broadcast
+                    // or Stop again. Wind the subtree down.
+                    protocol_warn(
+                        t.rank(),
+                        &format!("parent rank {rank} is down; stopping subtree"),
+                    );
+                    send_down::<D, T>(t, cfg, spec.children, None);
+                    return;
+                }
+                PtsMsg::Down { rank } => {
+                    // A child died between its report and the broadcast:
+                    // record it so the next collection excuses it.
+                    let idx = match spec.children {
+                        ShardChildren::Tsws { lo, hi } => {
+                            let i = rank.wrapping_sub(1);
+                            (lo..hi).contains(&i).then(|| i - lo)
+                        }
+                        ShardChildren::Shards { lo, hi } => {
+                            let s = rank.wrapping_sub(1 + cfg.n_tsw + cfg.n_tsw * cfg.n_clw);
+                            (lo..hi).contains(&s).then(|| s - lo)
+                        }
+                    };
+                    match idx {
+                        Some(i) => {
+                            if !dead[i] {
+                                dead[i] = true;
+                                protocol_warn(t.rank(), &format!("child rank {rank} is down"));
+                            }
+                        }
+                        None => protocol_warn(
+                            t.rank(),
+                            &format!("ignoring Down for rank {rank} (not parent or child)"),
+                        ),
+                    }
+                }
                 PtsMsg::GroupBroadcast {
                     global,
                     snapshot,

@@ -294,6 +294,15 @@ pub enum PtsMsg<P: PtsProblem> {
         /// Moves to apply to the CLW's local state.
         moves: Vec<P::Move>,
     },
+    /// Runtime → protocol neighbour: the process at `rank` died. Never
+    /// sent by a worker itself — the fault layer synthesizes it at the
+    /// kill instant and delivers it out-of-band (PVM's `pvm_notify`
+    /// model), so it bypasses route faults and FIFO ordering. Receivers
+    /// mark the rank dead and stop waiting for it.
+    Down {
+        /// Rank of the process that died.
+        rank: usize,
+    },
     /// Shut down (master → TSW → CLW).
     Stop,
 }
@@ -359,6 +368,7 @@ impl<P: PtsProblem> PtsMsg<P> {
             PtsMsg::ForceReport { .. }
             | PtsMsg::Investigate { .. }
             | PtsMsg::CutShort { .. }
+            | PtsMsg::Down { .. }
             | PtsMsg::Stop => HDR,
         }
     }
@@ -392,6 +402,7 @@ impl<P: PtsProblem> PtsMsg<P> {
             PtsMsg::CutShort { .. } => "CutShort",
             PtsMsg::Proposal { .. } => "Proposal",
             PtsMsg::ApplyMoves { .. } => "ApplyMoves",
+            PtsMsg::Down { .. } => "Down",
             PtsMsg::Stop => "Stop",
         }
     }

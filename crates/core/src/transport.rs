@@ -53,6 +53,16 @@ pub trait Transport<P: PtsProblem> {
     fn recv(&mut self) -> impl Future<Output = PtsMsg<P>>;
     /// Take a message if one has already arrived; never waits.
     fn try_recv(&mut self) -> Option<PtsMsg<P>>;
+    /// Wait for the next message, giving up at absolute time `deadline`
+    /// (in this transport's clock): `None` means the deadline passed with
+    /// nothing delivered. The default never times out — only substrates
+    /// with a controllable clock (the virtual-time transport) override
+    /// it, which is where the round-liveness timeout is meaningful; on
+    /// blocking substrates a lost peer is a lost channel, not a silence.
+    fn recv_deadline(&mut self, deadline: f64) -> impl Future<Output = Option<PtsMsg<P>>> {
+        let _ = deadline;
+        async move { Some(self.recv().await) }
+    }
     /// Scheduling point inside a long compute stretch. On substrates
     /// where peers progress independently (virtual cluster, threads) this
     /// is a no-op; the cooperative transport re-enqueues the task so
@@ -332,6 +342,13 @@ impl<P: PtsProblem> Transport<P> for VirtualTransport<P> {
 
     fn try_recv(&mut self) -> Option<PtsMsg<P>> {
         self.ctx.try_recv()
+    }
+
+    fn recv_deadline(&mut self, deadline: f64) -> impl Future<Output = Option<PtsMsg<P>>> {
+        // The one substrate where a timeout is well-defined: the
+        // discrete-event queue wakes the task at the deadline if nothing
+        // arrives first.
+        self.ctx.recv_deadline(deadline)
     }
 }
 

@@ -57,6 +57,23 @@ pub async fn run_tsw<D: PtsDomain, T: Transport<D::Problem>>(
     };
     let mut div_rng = crate::clw::worker_rng(cfg.seed, div_salt);
 
+    // Fault tolerance: CLWs whose death notice (PtsMsg::Down) arrived are
+    // excluded from investigations; a parent death winds this worker (and
+    // its surviving CLWs) down. Always all-false / false without faults.
+    let mut clw_dead = vec![false; clws.len()];
+    let mut parent_down = false;
+    // Maps a Down rank onto this TSW's world: its parent, one of its
+    // CLWs, or somebody else's problem.
+    let classify_down = |rank: usize| -> DownWho {
+        if rank == parent {
+            DownWho::Parent
+        } else if let Some(j) = clws.iter().position(|&c| c == rank) {
+            DownWho::Clw(j)
+        } else {
+            DownWho::Other
+        }
+    };
+
     // Wait for Init. The initial solution doubles as the sequence-0
     // snapshot base shared with the parent: reports diff against it
     // until the first broadcast re-anchors it.
@@ -67,6 +84,18 @@ pub async fn run_tsw<D: PtsDomain, T: Transport<D::Problem>>(
                 break (SnapshotBase::<D::Problem>::initial(snapshot), problem);
             }
             PtsMsg::Stop => return,
+            PtsMsg::Down { rank } => match classify_down(rank) {
+                // Parent died before the run even started: release the
+                // CLWs (they are waiting on Init too) and wind down.
+                DownWho::Parent => {
+                    for &c in &clws {
+                        t.send(c, PtsMsg::Stop);
+                    }
+                    return;
+                }
+                DownWho::Clw(j) => clw_dead[j] = true,
+                DownWho::Other => {}
+            },
             _ => {}
         }
     };
@@ -125,33 +154,56 @@ pub async fn run_tsw<D: PtsDomain, T: Transport<D::Problem>>(
         // --- Local iterations -------------------------------------------
         let mut force_pending = false;
         for _li in 0..cfg.local_iters {
+            // With every CLW dead there is nobody left to investigate:
+            // skip straight to the report so the round still completes.
+            if clw_dead.iter().all(|&d| d) {
+                break;
+            }
             // A master ForceReport may already be queued.
             while let Some(msg) = t.try_recv() {
-                if let PtsMsg::ForceReport { global } = msg {
-                    if global == g {
-                        force_pending = true;
-                    }
+                match msg {
+                    PtsMsg::ForceReport { global } if global == g => force_pending = true,
+                    PtsMsg::Down { rank } => match classify_down(rank) {
+                        DownWho::Parent => parent_down = true,
+                        DownWho::Clw(j) => clw_dead[j] = true,
+                        DownWho::Other => {}
+                    },
+                    _ => {}
                 }
             }
-            if force_pending {
+            if force_pending || parent_down {
                 break;
             }
 
             inv_seq += 1;
-            for &c in &clws {
-                t.send(c, PtsMsg::Investigate { seq: inv_seq });
+            for (j, &c) in clws.iter().enumerate() {
+                if !clw_dead[j] {
+                    t.send(c, PtsMsg::Investigate { seq: inv_seq });
+                }
             }
-            let proposals =
-                collect_proposals::<D, T>(t, cfg, tsw_index, g, inv_seq, &clws, &mut force_pending)
-                    .await;
+            let proposals = collect_proposals::<D, T>(
+                t,
+                cfg,
+                tsw_index,
+                g,
+                inv_seq,
+                &clws,
+                &mut force_pending,
+                &mut clw_dead,
+                &mut parent_down,
+            )
+            .await;
 
             // Paper: "The TSW selects the best solution from the CLW that
             // achieves the maximum cost improvement or the least cost
-            // degradation."
-            let (moves, cost) = proposals
+            // degradation." Every *live* CLW answers each investigation;
+            // an empty set means the last of them died mid-collection.
+            let Some((moves, cost)) = proposals
                 .into_iter()
                 .min_by(|a, b| a.1.partial_cmp(&b.1).expect("costs are not NaN"))
-                .expect("every CLW answers each investigation");
+            else {
+                break;
+            };
             let compound = CompoundMove {
                 start_cost: problem.cost(),
                 cost,
@@ -160,18 +212,31 @@ pub async fn run_tsw<D: PtsDomain, T: Transport<D::Problem>>(
             t.compute(cfg.work.per_tabu_check).await;
             if let StepOutcome::Accepted { .. } = engine.step_with(&mut problem, &compound, t.now())
             {
-                for &c in &clws {
-                    t.send(
-                        c,
-                        PtsMsg::ApplyMoves {
-                            moves: compound.moves.clone(),
-                        },
-                    );
+                for (j, &c) in clws.iter().enumerate() {
+                    if !clw_dead[j] {
+                        t.send(
+                            c,
+                            PtsMsg::ApplyMoves {
+                                moves: compound.moves.clone(),
+                            },
+                        );
+                    }
                 }
             }
-            if force_pending {
+            if force_pending || parent_down {
                 break;
             }
+        }
+
+        // The parent died mid-round: nobody will ever answer our report
+        // with a broadcast. Release the surviving CLWs and wind down.
+        if parent_down {
+            for (j, &c) in clws.iter().enumerate() {
+                if !clw_dead[j] {
+                    t.send(c, PtsMsg::Stop);
+                }
+            }
+            return;
         }
 
         // --- Report to the parent collector ------------------------------
@@ -229,12 +294,42 @@ pub async fn run_tsw<D: PtsDomain, T: Transport<D::Problem>>(
                         "dropping Broadcast delta against a base this TSW does not hold",
                     ),
                 },
+                // A *newer* broadcast: the parent moved on without us (our
+                // report or its broadcast got lost to a fault). A full
+                // snapshot resolves against any base — adopt it and rejoin
+                // from there; a delta against a base we never adopted
+                // cannot resolve and is dropped below with the others.
+                PtsMsg::Broadcast {
+                    global,
+                    snapshot,
+                    tabu,
+                } if global > g => {
+                    if let Some(full) = snapshot.resolve(&base) {
+                        engine.adopt(&mut problem, &full, &tabu, t.now());
+                        base.advance(global, full);
+                        break;
+                    }
+                }
                 PtsMsg::Stop => {
                     for &c in &clws {
                         t.send(c, PtsMsg::Stop);
                     }
                     return;
                 }
+                PtsMsg::Down { rank } => match classify_down(rank) {
+                    // The parent died while we awaited its broadcast:
+                    // nothing more is coming — wind the subtree down.
+                    DownWho::Parent => {
+                        for (j, &c) in clws.iter().enumerate() {
+                            if !clw_dead[j] {
+                                t.send(c, PtsMsg::Stop);
+                            }
+                        }
+                        return;
+                    }
+                    DownWho::Clw(j) => clw_dead[j] = true,
+                    DownWho::Other => {}
+                },
                 // Stale: a ForceReport that crossed our round-`g` report
                 // (it must NOT trigger a second report — the parent
                 // already has ours in flight), or leftover control
@@ -260,8 +355,14 @@ pub async fn run_tsw<D: PtsDomain, T: Transport<D::Problem>>(
     }
 }
 
-/// Collect exactly one proposal from every CLW, applying the half-report
+/// Collect one proposal from every *live* CLW, applying the half-report
 /// policy as a parent and watching for the master's ForceReport as a child.
+///
+/// A CLW whose `Down` notice arrives mid-collection is excused from this
+/// and all future investigations; a parent death aborts the collection
+/// (the caller winds the worker down). Without faults every CLW is live
+/// and exactly `clws.len()` proposals come back — the historical contract.
+#[allow(clippy::too_many_arguments)]
 async fn collect_proposals<D: PtsDomain, T: Transport<D::Problem>>(
     t: &mut T,
     cfg: &PtsConfig,
@@ -270,26 +371,40 @@ async fn collect_proposals<D: PtsDomain, T: Transport<D::Problem>>(
     seq: u64,
     clws: &[usize],
     force_pending: &mut bool,
+    clw_dead: &mut [bool],
+    parent_down: &mut bool,
 ) -> Vec<ProposalOf<D>> {
     let n = clws.len();
-    let quorum = cfg.report_quorum(n);
+    let parent = cfg.parent_of_tsw(tsw_index);
     let mut got: Vec<Option<ProposalOf<D>>> = (0..n).map(|_| None).collect();
     let mut n_got = 0;
     let mut cut_sent = false;
 
-    let cut_stragglers = |t: &mut T, got: &[Option<ProposalOf<D>>], cut_sent: &mut bool| {
-        if *cut_sent {
-            return;
-        }
-        for (j, slot) in got.iter().enumerate() {
-            if slot.is_none() {
-                t.send(cfg.clw_rank(tsw_index, j), PtsMsg::CutShort { seq });
+    let cut_stragglers =
+        |t: &mut T, got: &[Option<ProposalOf<D>>], dead: &[bool], cut_sent: &mut bool| {
+            if *cut_sent {
+                return;
             }
-        }
-        *cut_sent = true;
-    };
+            for (j, slot) in got.iter().enumerate() {
+                if slot.is_none() && !dead[j] {
+                    t.send(cfg.clw_rank(tsw_index, j), PtsMsg::CutShort { seq });
+                }
+            }
+            *cut_sent = true;
+        };
 
-    while n_got < n {
+    loop {
+        // A dead CLW that never answered is excused; one that answered
+        // before dying still counts. Recomputed each pass because deaths
+        // land mid-collection.
+        let excused = got
+            .iter()
+            .zip(clw_dead.iter())
+            .filter(|(slot, &dead)| slot.is_none() && dead)
+            .count();
+        if n_got >= n - excused || *parent_down {
+            break;
+        }
         match t.recv().await {
             PtsMsg::Proposal {
                 clw,
@@ -310,17 +425,29 @@ async fn collect_proposals<D: PtsDomain, T: Transport<D::Problem>>(
                 }
                 got[clw] = Some((moves, cost));
                 n_got += 1;
-                if cfg.clw_sync == SyncPolicy::HalfReport && n_got >= quorum && n_got < n {
-                    cut_stragglers(t, &got, &mut cut_sent);
+                let n_live = n - clw_dead.iter().filter(|&&d| d).count();
+                if cfg.clw_sync == SyncPolicy::HalfReport
+                    && n_live > 0
+                    && n_got >= cfg.report_quorum(n_live)
+                    && n_got < n_live
+                {
+                    cut_stragglers(t, &got, clw_dead, &mut cut_sent);
                 }
             }
             PtsMsg::Proposal { .. } => {} // stale seq (cannot normally occur)
             PtsMsg::ForceReport { global: fg } if fg == global => {
                 *force_pending = true;
                 // Hasten the stragglers so this iteration ends quickly.
-                cut_stragglers(t, &got, &mut cut_sent);
+                cut_stragglers(t, &got, clw_dead, &mut cut_sent);
             }
             PtsMsg::ForceReport { .. } | PtsMsg::CutShort { .. } => {}
+            PtsMsg::Down { rank } => {
+                if rank == parent {
+                    *parent_down = true;
+                } else if let Some(j) = clws.iter().position(|&c| c == rank) {
+                    clw_dead[j] = true;
+                }
+            }
             other => {
                 protocol_warn(
                     t.rank(),
@@ -332,5 +459,12 @@ async fn collect_proposals<D: PtsDomain, T: Transport<D::Problem>>(
             }
         }
     }
-    got.into_iter().map(|o| o.expect("all collected")).collect()
+    got.into_iter().flatten().collect()
+}
+
+/// Who a [`PtsMsg::Down`] notice refers to, from one TSW's point of view.
+enum DownWho {
+    Parent,
+    Clw(usize),
+    Other,
 }

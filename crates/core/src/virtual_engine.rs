@@ -27,6 +27,7 @@ use crate::config::PtsConfig;
 use crate::control::RunControl;
 use crate::domain::{PtsDomain, SearchOutcome, SnapshotOf};
 use crate::engine::{EngineOutput, ExecutionEngine};
+use crate::fault::{Contention, FaultSpec};
 use crate::master::{run_master, run_sub_master};
 use crate::messages::PtsMsg;
 use crate::report::{ClockDomain, RunReport};
@@ -64,6 +65,8 @@ use std::time::Instant;
 #[derive(Clone, Debug)]
 pub struct VirtualEngine {
     cluster: ClusterSpec,
+    contention: Contention,
+    faults: FaultSpec,
 }
 
 impl VirtualEngine {
@@ -81,7 +84,11 @@ impl VirtualEngine {
             cluster.link.send_overhead_work == 0.0,
             "VirtualEngine does not support send_overhead_work; use SimEngine"
         );
-        VirtualEngine { cluster }
+        VirtualEngine {
+            cluster,
+            contention: Contention::default(),
+            faults: FaultSpec::default(),
+        }
     }
 
     /// The paper's twelve-machine cluster (7 fast / 3 medium / 2 slow).
@@ -92,6 +99,23 @@ impl VirtualEngine {
     /// The cluster this engine simulates.
     pub fn cluster(&self) -> &ClusterSpec {
         &self.cluster
+    }
+
+    /// Model per-machine contention: processes sharing a machine
+    /// time-slice it, so oversubscribed runs cost more virtual time.
+    /// The default ([`Contention::Exclusive`]) is the classic model —
+    /// and the bit-identical-to-`SimEngine` one.
+    pub fn with_contention(mut self, contention: Contention) -> VirtualEngine {
+        self.contention = contention;
+        self
+    }
+
+    /// Inject a worker-level fault scenario into the run. An empty spec
+    /// (the default) leaves the timeline bit-identical to the fault-free
+    /// engine.
+    pub fn with_faults(mut self, faults: FaultSpec) -> VirtualEngine {
+        self.faults = faults;
+        self
     }
 }
 
@@ -105,6 +129,12 @@ impl<D: PtsDomain> ExecutionEngine<D> for VirtualEngine {
         let assignment = round_robin_assignment(&self.cluster, cfg.total_procs());
         let mut cluster: VirtualTaskCluster<PtsMsg<D::Problem>> =
             VirtualTaskCluster::new(self.cluster.clone());
+        cluster.set_contention(self.contention);
+        if !self.faults.is_empty() {
+            // Task ids equal protocol ranks (spawn order below), so the
+            // worker-level spec lowers directly onto runtime task ids.
+            cluster.set_fault_plan(self.faults.resolve::<D::Problem>(cfg, &assignment));
+        }
         let outcome_slot: Rc<RefCell<Option<SearchOutcome<SnapshotOf<D>>>>> =
             Rc::new(RefCell::new(None));
 

@@ -92,6 +92,7 @@ mod tag {
     pub const PROPOSAL: u8 = 9;
     pub const APPLY_MOVES: u8 = 10;
     pub const STOP: u8 = 11;
+    pub const DOWN: u8 = 12;
 }
 
 /// Why a buffer failed to decode.
@@ -760,6 +761,18 @@ pub fn encode_msg<P: WireProblem>(msg: &PtsMsg<P>, dst: u32) -> Vec<u8> {
                 P::put_move(mv, &mut out);
             }
         }
+        PtsMsg::Down { rank } => {
+            put_header(
+                &mut out,
+                tag::DOWN,
+                PayloadKind::None,
+                dst,
+                narrow(*rank),
+                0,
+                0,
+                0.0,
+            );
+        }
         PtsMsg::Stop => {
             put_header(&mut out, tag::STOP, PayloadKind::None, dst, 0, 0, 0, 0.0);
         }
@@ -914,6 +927,9 @@ pub fn decode_msg<P: WireProblem>(buf: &[u8], ctx: &P::Ctx) -> Result<(u32, PtsM
                 PtsMsg::ApplyMoves { moves }
             }
         }
+        tag::DOWN => PtsMsg::Down {
+            rank: origin as usize,
+        },
         tag::STOP => PtsMsg::Stop,
         other => return Err(WireError::Tag(other)),
     };
@@ -1004,6 +1020,7 @@ pub fn put_config(cfg: &crate::config::PtsConfig, out: &mut Vec<u8>) {
     put_f64(out, cfg.work.per_tabu_check);
     put_f64(out, cfg.work.per_diversify_step);
     put_f64(out, cfg.work.per_report);
+    put_f64(out, cfg.liveness_timeout);
 }
 
 /// Decode a [`crate::config::PtsConfig`] written by [`put_config`].
@@ -1053,6 +1070,7 @@ pub fn get_config(r: &mut WireReader<'_>) -> Result<crate::config::PtsConfig, Wi
             per_diversify_step: r.f64()?,
             per_report: r.f64()?,
         },
+        liveness_timeout: r.f64()?,
     })
 }
 

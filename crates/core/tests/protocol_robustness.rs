@@ -272,6 +272,129 @@ fn sub_master_applies_local_quorum_and_rejects_malformed_reports() {
 }
 
 #[test]
+fn sub_master_survives_tsw_dying_after_its_report() {
+    // The stale-report-guard gap the fault layer closes: TSW 0 reports,
+    // then dies before the broadcast goes out. The sub-master must keep
+    // 0's already-received report in the reduction, keep the force count
+    // at the single force it genuinely sent (to the live straggler), and
+    // complete the round on the survivor's report — no re-force of the
+    // corpse, no excusal of a report already in hand.
+    let cfg = PtsConfig {
+        n_tsw: 4,
+        n_clw: 1,
+        shard_fanout: 2,
+        global_iters: 1,
+        tsw_sync: SyncPolicy::HalfReport,
+        ..PtsConfig::default()
+    };
+    cfg.validate().unwrap();
+    let domain = QapDomain::random(8, 5);
+    let initial = domain.initial(cfg.seed);
+    assert!(domain.cost_of(&initial) > 10.0);
+
+    let snap = initial.clone();
+    let script = vec![
+        PtsMsg::Init {
+            snapshot: Arc::new(snap.clone()),
+        },
+        // TSW 0 reports (quorum of 1 reached -> TSW 1 is forced)...
+        report(0, 0, 3.0, snap.clone()),
+        // ...then dies, after its report but before any broadcast.
+        PtsMsg::Down {
+            rank: cfg.tsw_rank(0),
+        },
+        // The forced straggler still answers.
+        report(1, 0, 2.0, snap.clone()),
+        PtsMsg::Stop,
+    ];
+
+    let shard = 0;
+    let mut t = ScriptTransport::new(cfg.shard_rank(shard), script);
+    drive_sync(master::run_sub_master(&mut t, &cfg, shard, &domain));
+
+    // Exactly one force, to the live straggler — the death did not
+    // trigger a second force pass or a force at the dead rank.
+    let forces: Vec<usize> = t
+        .sent
+        .iter()
+        .filter(|(_, m)| m.tag() == "ForceReport")
+        .map(|(dst, _)| *dst)
+        .collect();
+    assert_eq!(forces, vec![cfg.tsw_rank(1)]);
+    // The GroupReport reduces over BOTH reports (the dead TSW's counts:
+    // it arrived before the death) and carries forced == 1.
+    let group = t
+        .sent
+        .iter()
+        .find_map(|(dst, m)| match m {
+            PtsMsg::GroupReport {
+                cost,
+                forced,
+                stats,
+                ..
+            } if *dst == cfg.master_rank() => Some((*cost, *forced, stats.iterations)),
+            _ => None,
+        })
+        .expect("one GroupReport");
+    assert_eq!(group, (2.0, 1, 2));
+    assert!(t.incoming.is_empty(), "script fully consumed");
+}
+
+#[test]
+fn sub_master_excuses_dead_straggler_and_completes_the_round() {
+    // Dual scenario: the *straggler* dies after being forced and never
+    // answers. The sub-master must excuse it (not wait forever), reduce
+    // over the one real report, and still report forced == 1 — the force
+    // was genuinely sent while the child lived.
+    let cfg = PtsConfig {
+        n_tsw: 4,
+        n_clw: 1,
+        shard_fanout: 2,
+        global_iters: 1,
+        tsw_sync: SyncPolicy::HalfReport,
+        ..PtsConfig::default()
+    };
+    cfg.validate().unwrap();
+    let domain = QapDomain::random(8, 5);
+    let initial = domain.initial(cfg.seed);
+
+    let snap = initial.clone();
+    let script = vec![
+        PtsMsg::Init {
+            snapshot: Arc::new(snap.clone()),
+        },
+        report(0, 0, 3.0, snap.clone()),
+        // The forced straggler dies instead of answering. Without the
+        // excusal the collection would demand a fifth message and panic
+        // (the ScriptTransport models a deadlocked round that way).
+        PtsMsg::Down {
+            rank: cfg.tsw_rank(1),
+        },
+        PtsMsg::Stop,
+    ];
+
+    let shard = 0;
+    let mut t = ScriptTransport::new(cfg.shard_rank(shard), script);
+    drive_sync(master::run_sub_master(&mut t, &cfg, shard, &domain));
+
+    let group = t
+        .sent
+        .iter()
+        .find_map(|(dst, m)| match m {
+            PtsMsg::GroupReport {
+                cost,
+                forced,
+                stats,
+                ..
+            } if *dst == cfg.master_rank() => Some((*cost, *forced, stats.iterations)),
+            _ => None,
+        })
+        .expect("one GroupReport");
+    assert_eq!(group, (3.0, 1, 1));
+    assert!(t.incoming.is_empty(), "script fully consumed");
+}
+
+#[test]
 fn tsw_ignores_force_report_arriving_after_its_own_report() {
     // The force-after-report race: the parent reaches quorum and forces
     // this TSW while its round-0 report is already in flight. The TSW

@@ -1,0 +1,325 @@
+//! Deterministic fault injection and machine contention for the
+//! virtual-time runtime.
+//!
+//! A [`FaultPlan`] is a *schedule* of adversity, fixed before the run
+//! starts and replayed against the discrete-event queue: machines slow
+//! down, pause, or crash at chosen virtual times; routes drop, delay, or
+//! jitter messages inside time windows; tasks die, optionally notifying
+//! their protocol neighbours (the PVM `pvm_notify` model — the runtime,
+//! not the corpse, delivers the death notice). Everything is a pure
+//! function of the plan and the workload, so a failing scenario replays
+//! bit-for-bit from `(seed, plan)`.
+//!
+//! [`Contention`] is orthogonal: it changes how *concurrent* computes on
+//! one machine share it, with or without any faults. Under
+//! [`Contention::Exclusive`] (the historical default) co-located procs
+//! compute as if alone; under [`Contention::TimeSliced`] `k` runnable
+//! procs each advance at `1/k` of the machine's rate — round-robin time
+//! slicing in the fluid limit — so oversubscribed runs cost more virtual
+//! time. A machine hosting a single proc behaves bit-identically in both
+//! modes (its share is exactly `1.0`).
+
+/// How multiple runnable procs on one machine share its cycles.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Contention {
+    /// Every proc computes as if it had the machine to itself (the
+    /// historical model, and what the pinned goldens assume).
+    #[default]
+    Exclusive,
+    /// Processor sharing: `k` concurrently-computing procs each advance
+    /// at `1/k` of the machine's effective rate, re-partitioned whenever
+    /// a compute starts or ends. The fluid limit of round-robin
+    /// scheduling with an infinitesimal quantum.
+    TimeSliced,
+}
+
+/// What an active [`RouteFault`] does to messages crossing its route.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RouteAction {
+    /// The message silently vanishes (counted on the sender as
+    /// [`crate::metrics::ProcStats::messages_dropped`]).
+    Drop,
+    /// Delivery is postponed by the given extra latency; FIFO order on
+    /// the route is preserved (the whole route stalls).
+    Delay(f64),
+    /// Delivery is postponed by a deterministic pseudo-random extra
+    /// latency in `[0, spread)` drawn per message from the plan seed,
+    /// *without* the per-route FIFO clamp — later messages may overtake
+    /// earlier ones (reordering).
+    Jitter(f64),
+}
+
+/// A time-windowed fault on messages from `src` to `dst` (task ids;
+/// `None` = wildcard). Active while `from <= now < until`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RouteFault {
+    /// Sending task, or `None` for any sender.
+    pub src: Option<usize>,
+    /// Receiving task, or `None` for any receiver.
+    pub dst: Option<usize>,
+    /// Virtual time the fault switches on.
+    pub from: f64,
+    /// Virtual time the fault switches off.
+    pub until: f64,
+    /// What happens to matching messages.
+    pub action: RouteAction,
+}
+
+impl RouteFault {
+    pub(crate) fn matches(&self, src: usize, dst: usize, now: f64) -> bool {
+        self.src.is_none_or(|s| s == src)
+            && self.dst.is_none_or(|d| d == dst)
+            && now >= self.from
+            && now < self.until
+    }
+}
+
+/// A machine-level fault.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MachineEvent {
+    /// Multiply the machine's effective speed by `factor` (e.g. `0.2` =
+    /// slowed 5×) from now on, until overwritten by a later event.
+    Slow {
+        /// New speed multiplier (must be positive and finite).
+        factor: f64,
+    },
+    /// Freeze the machine until the given virtual time: in-flight
+    /// computes park and resume where they left off.
+    Pause {
+        /// Virtual time the machine thaws.
+        until: f64,
+    },
+    /// Stop the machine forever. The runtime does **not** kill the tasks
+    /// hosted there — pair the crash with [`FaultPlan::kill_task`]
+    /// entries (as the pts-core fault resolver does) or their computes
+    /// stall and the tasks end [`crate::metrics::TaskFate::Orphaned`].
+    Crash,
+}
+
+pub(crate) enum FaultKind<M> {
+    Machine {
+        machine: usize,
+        event: MachineEvent,
+    },
+    /// Internal: re-evaluate a machine's rate when a pause may expire.
+    Thaw {
+        machine: usize,
+    },
+    Kill {
+        task: usize,
+        notify: Vec<(usize, M)>,
+    },
+}
+
+pub(crate) struct TimedFault<M> {
+    pub at: f64,
+    pub kind: FaultKind<M>,
+}
+
+/// A deterministic schedule of machine, route, and task faults for one
+/// [`crate::VirtualTaskCluster`] run. Build it with the `*_machine` /
+/// [`kill_task`](FaultPlan::kill_task) / [`route`](FaultPlan::route)
+/// methods and install it with
+/// [`crate::VirtualTaskCluster::set_fault_plan`].
+pub struct FaultPlan<M> {
+    pub(crate) timeline: Vec<TimedFault<M>>,
+    pub(crate) routes: Vec<RouteFault>,
+    pub(crate) seed: u64,
+}
+
+impl<M> FaultPlan<M> {
+    /// An empty plan; `seed` feeds the per-message jitter draws.
+    pub fn new(seed: u64) -> FaultPlan<M> {
+        FaultPlan {
+            timeline: Vec::new(),
+            routes: Vec::new(),
+            seed,
+        }
+    }
+
+    fn push(&mut self, at: f64, kind: FaultKind<M>) {
+        assert!(
+            at.is_finite() && at >= 0.0,
+            "fault time must be finite and >= 0, got {at}"
+        );
+        self.timeline.push(TimedFault { at, kind });
+    }
+
+    /// Multiply `machine`'s speed by `factor` from virtual time `at`.
+    pub fn slow_machine(&mut self, at: f64, machine: usize, factor: f64) {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "slow factor must be positive and finite, got {factor}"
+        );
+        self.push(
+            at,
+            FaultKind::Machine {
+                machine,
+                event: MachineEvent::Slow { factor },
+            },
+        );
+    }
+
+    /// Freeze `machine` over `[at, until)`.
+    pub fn pause_machine(&mut self, at: f64, machine: usize, until: f64) {
+        assert!(
+            until > at,
+            "pause must end after it starts ({at} .. {until})"
+        );
+        assert!(until.is_finite(), "use crash_machine for a permanent stall");
+        self.push(
+            at,
+            FaultKind::Machine {
+                machine,
+                event: MachineEvent::Pause { until },
+            },
+        );
+        // The thaw wake-up: without it nothing would reschedule the
+        // parked computes when the pause expires.
+        self.push(until, FaultKind::Thaw { machine });
+    }
+
+    /// Stop `machine` forever from virtual time `at` (see
+    /// [`MachineEvent::Crash`] for the task-kill caveat).
+    pub fn crash_machine(&mut self, at: f64, machine: usize) {
+        self.push(
+            at,
+            FaultKind::Machine {
+                machine,
+                event: MachineEvent::Crash,
+            },
+        );
+    }
+
+    /// Kill `task` at virtual time `at`. Each `(dst, msg)` in `notify` is
+    /// delivered to `dst` at the kill instant by the runtime itself
+    /// (no sender stats, no route faults, no FIFO clamp — death notices
+    /// are out-of-band, like PVM's `pvm_notify`).
+    pub fn kill_task(&mut self, at: f64, task: usize, notify: Vec<(usize, M)>) {
+        self.push(at, FaultKind::Kill { task, notify });
+    }
+
+    /// Add a time-windowed route fault.
+    pub fn route(&mut self, fault: RouteFault) {
+        assert!(
+            fault.until > fault.from,
+            "route fault window must be non-empty ({} .. {})",
+            fault.from,
+            fault.until
+        );
+        self.routes.push(fault);
+    }
+
+    /// `true` when the plan schedules nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.timeline.is_empty() && self.routes.is_empty()
+    }
+
+    /// The scheduled kills as `(at, task, notified task ids)`, in
+    /// insertion order — lets higher-level resolvers assert what they
+    /// lowered without exposing the timeline representation.
+    pub fn kills(&self) -> Vec<(f64, usize, Vec<usize>)> {
+        self.timeline
+            .iter()
+            .filter_map(|e| match &e.kind {
+                FaultKind::Kill { task, notify } => {
+                    Some((e.at, *task, notify.iter().map(|&(to, _)| to).collect()))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of scheduled timeline events (thaws included).
+    pub fn len(&self) -> usize {
+        self.timeline.len()
+    }
+
+    /// Sort the timeline by time, stably — simultaneous faults apply in
+    /// insertion order. Called once when the plan is installed.
+    pub(crate) fn finalize(&mut self) {
+        self.timeline.sort_by(|a, b| a.at.total_cmp(&b.at));
+    }
+}
+
+/// One deterministic draw in `[0, 1)` for jitter: splitmix64 of the plan
+/// seed and the message's global send sequence.
+pub(crate) fn jitter_unit(seed: u64, send_seq: u64) -> f64 {
+    let mut z = seed ^ send_seq.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_sorts_stably_by_time() {
+        let mut plan: FaultPlan<()> = FaultPlan::new(1);
+        plan.slow_machine(5.0, 0, 0.5);
+        plan.crash_machine(2.0, 1);
+        plan.slow_machine(2.0, 2, 0.25);
+        plan.finalize();
+        let order: Vec<(f64, usize)> = plan
+            .timeline
+            .iter()
+            .map(|tf| match tf.kind {
+                FaultKind::Machine { machine, .. } | FaultKind::Thaw { machine } => {
+                    (tf.at, machine)
+                }
+                FaultKind::Kill { task, .. } => (tf.at, task),
+            })
+            .collect();
+        assert_eq!(order, vec![(2.0, 1), (2.0, 2), (5.0, 0)]);
+    }
+
+    #[test]
+    fn pause_schedules_its_thaw() {
+        let mut plan: FaultPlan<u32> = FaultPlan::new(0);
+        plan.pause_machine(1.0, 3, 4.0);
+        assert_eq!(plan.len(), 2);
+        plan.finalize();
+        assert!(matches!(
+            plan.timeline[1].kind,
+            FaultKind::Thaw { machine: 3 }
+        ));
+        assert_eq!(plan.timeline[1].at, 4.0);
+    }
+
+    #[test]
+    fn route_matching_honors_wildcards_and_window() {
+        let rf = RouteFault {
+            src: None,
+            dst: Some(7),
+            from: 1.0,
+            until: 2.0,
+            action: RouteAction::Drop,
+        };
+        assert!(rf.matches(3, 7, 1.5));
+        assert!(rf.matches(9, 7, 1.0));
+        assert!(!rf.matches(3, 8, 1.5), "dst must match");
+        assert!(!rf.matches(3, 7, 2.0), "window is half-open");
+        assert!(!rf.matches(3, 7, 0.5));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_in_unit_range() {
+        for seq in 0..1000 {
+            let a = jitter_unit(0xDEAD, seq);
+            let b = jitter_unit(0xDEAD, seq);
+            assert_eq!(a, b);
+            assert!((0.0..1.0).contains(&a));
+        }
+        assert_ne!(jitter_unit(1, 5), jitter_unit(2, 5), "seed must matter");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_infinite_fault_times() {
+        FaultPlan::<()>::new(0).crash_machine(f64::INFINITY, 0);
+    }
+}

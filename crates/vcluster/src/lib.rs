@@ -35,6 +35,7 @@
 //!   workers.
 
 pub mod async_runtime;
+pub mod fault;
 pub mod machine;
 pub mod mailbox;
 pub mod message;
@@ -45,9 +46,10 @@ pub mod topology;
 pub mod virtual_runtime;
 
 pub use async_runtime::{TaskCluster, TaskCtx};
+pub use fault::{Contention, FaultPlan, MachineEvent, RouteAction, RouteFault};
 pub use machine::{LoadModel, Machine};
 pub use message::LinkModel;
-pub use metrics::{ProcStats, RunReport};
+pub use metrics::{ProcStats, RunReport, TaskFate};
 pub use process::{ProcCtx, ProcId};
 pub use runtime::SimBuilder;
 pub use topology::ClusterSpec;

@@ -96,14 +96,29 @@ impl Machine {
     /// Virtual time to execute `work` units starting at time `start`
     /// (integrates across load boundaries).
     pub fn compute_end(&self, start: f64, work: f64) -> f64 {
+        self.compute_end_scaled(start, work, 1.0)
+    }
+
+    /// [`Machine::compute_end`] with the effective rate multiplied by
+    /// `rate_scale` — the contention/fault hook: a proc holding `1/k` of
+    /// a time-sliced machine (or a machine slowed to `f×` by a fault)
+    /// integrates at `speed × load × rate_scale`. A scale of exactly
+    /// `1.0` is bit-identical to the unscaled integration (IEEE
+    /// multiplication by one is exact), which is what keeps
+    /// uncontended runs on the goldens.
+    pub fn compute_end_scaled(&self, start: f64, work: f64, rate_scale: f64) -> f64 {
         assert!(work >= 0.0);
+        assert!(
+            rate_scale > 0.0 && rate_scale.is_finite(),
+            "rate_scale must be positive and finite, got {rate_scale}"
+        );
         let mut remaining = work;
         let mut t = start;
         let mut guard = 0u32;
         while remaining > 0.0 {
             let factor = self.load.factor_at(t);
             let boundary = self.load.next_boundary(t);
-            let rate = self.speed * factor;
+            let rate = self.speed * factor * rate_scale;
             if rate <= 0.0 {
                 // Fully stalled until the next boundary.
                 assert!(
@@ -124,6 +139,26 @@ impl Machine {
             assert!(guard < 1_000_000, "compute_end failed to converge");
         }
         t
+    }
+
+    /// Work units this machine executes between virtual times `from` and
+    /// `to` at full allocation (speed × load integrated across
+    /// boundaries) — the settling half of the contention model: the
+    /// caller multiplies by the proc's share of the machine.
+    pub fn work_between(&self, from: f64, to: f64) -> f64 {
+        assert!(to >= from, "work_between requires from <= to");
+        let mut total = 0.0;
+        let mut t = from;
+        let mut guard = 0u32;
+        while t < to {
+            let factor = self.load.factor_at(t);
+            let boundary = self.load.next_boundary(t).min(to);
+            total += (boundary - t) * self.speed * factor;
+            t = boundary;
+            guard += 1;
+            assert!(guard < 1_000_000, "work_between failed to converge");
+        }
+        total
     }
 }
 
@@ -223,5 +258,52 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn rejects_zero_speed() {
         Machine::new("broken", 0.0);
+    }
+
+    #[test]
+    fn scaled_compute_is_bitwise_unscaled_at_one() {
+        let m = Machine::new("shared", 1.3).with_load(LoadModel::Periodic {
+            period: 7.0,
+            duty: 0.4,
+            busy_factor: 0.6,
+        });
+        for &(start, work) in &[(0.0, 6.0), (2.5, 0.1), (11.0, 40.0), (3.0, 0.0)] {
+            assert_eq!(
+                m.compute_end(start, work),
+                m.compute_end_scaled(start, work, 1.0),
+                "scale 1.0 must be exact"
+            );
+        }
+    }
+
+    #[test]
+    fn half_scale_takes_twice_as_long_unloaded() {
+        let m = Machine::new("x", 2.0);
+        assert!((m.compute_end_scaled(0.0, 6.0, 0.5) - 6.0).abs() < 1e-12);
+        assert!((m.compute_end(0.0, 6.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn work_between_inverts_compute_end() {
+        let m = Machine::new("shared", 1.0).with_load(LoadModel::Periodic {
+            period: 10.0,
+            duty: 0.5,
+            busy_factor: 0.5,
+        });
+        for &work in &[0.5, 2.5, 6.0, 17.25] {
+            let end = m.compute_end(0.0, work);
+            let back = m.work_between(0.0, end);
+            assert!(
+                (back - work).abs() < 1e-9,
+                "work_between(0, compute_end(0, {work})) = {back}"
+            );
+        }
+        assert_eq!(m.work_between(3.0, 3.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate_scale")]
+    fn rejects_zero_rate_scale() {
+        Machine::new("x", 1.0).compute_end_scaled(0.0, 1.0, 0.0);
     }
 }

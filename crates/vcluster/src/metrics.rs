@@ -1,5 +1,20 @@
 //! Execution metrics collected by the runtime.
 
+/// How a process's run ended. Fault-free runs always report
+/// [`TaskFate::Completed`]; the other fates only appear under a
+/// [`crate::fault::FaultPlan`] on the virtual-time runtime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TaskFate {
+    /// The process's future ran to completion.
+    #[default]
+    Completed,
+    /// Killed by a fault-plan event (worker death / machine crash).
+    Killed,
+    /// Still parked when the run drained: its peers died or its machine
+    /// stalled forever, and nothing could ever wake it again.
+    Orphaned,
+}
+
 /// Per-process counters (virtual-time accounting).
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct ProcStats {
@@ -14,8 +29,12 @@ pub struct ProcStats {
     pub messages_sent: u64,
     pub messages_received: u64,
     pub bytes_sent: u64,
+    /// Sends swallowed by an active route fault (counted on the sender).
+    pub messages_dropped: u64,
     /// Virtual time when the process finished.
     pub finished_at: f64,
+    /// How the process ended ([`TaskFate::Completed`] unless faults ran).
+    pub fate: TaskFate,
 }
 
 /// Whole-run report.

@@ -9,7 +9,7 @@ use proptest::prelude::*;
 use pts_vcluster::machine::{LoadModel, Machine};
 use pts_vcluster::message::LinkModel;
 use pts_vcluster::topology::ClusterSpec;
-use pts_vcluster::{EventQueue, SimBuilder, VirtualTaskCluster};
+use pts_vcluster::{Contention, EventQueue, SimBuilder, VirtualTaskCluster};
 use std::sync::{Arc, Mutex};
 
 /// A randomized star workload: `n_workers` send `msgs_each` messages to a
@@ -87,7 +87,11 @@ fn run_star(spec: &StarSpec) -> (Vec<(u64, u64, f64)>, pts_vcluster::RunReport) 
 /// The identical star workload on the cooperative virtual-time executor;
 /// returns the observation log, the end time, and the full per-process
 /// accounting for bit-for-bit comparison against the token scheduler.
-fn run_star_vt(spec: &StarSpec) -> (Vec<(u64, u64, f64)>, pts_vcluster::RunReport) {
+/// One process per machine, so `contention` must be behaviourally inert.
+fn run_star_vt(
+    spec: &StarSpec,
+    contention: Contention,
+) -> (Vec<(u64, u64, f64)>, pts_vcluster::RunReport) {
     let machines: Vec<Machine> = std::iter::once(Machine::new("hub", 1.0))
         .chain(
             spec.speeds
@@ -110,6 +114,7 @@ fn run_star_vt(spec: &StarSpec) -> (Vec<(u64, u64, f64)>, pts_vcluster::RunRepor
     let log: Arc<Mutex<Vec<(u64, u64, f64)>>> = Arc::new(Mutex::new(Vec::new()));
 
     let mut vt: VirtualTaskCluster<(u64, u64)> = VirtualTaskCluster::new(cluster);
+    vt.set_contention(contention);
     let l = Arc::clone(&log);
     let hub = vt.spawn(0, move |ctx| async move {
         for _ in 0..total {
@@ -185,10 +190,65 @@ proptest! {
         // (busy/wait virtual seconds included) must be equal, bit for
         // bit, over arbitrary star workloads.
         let (log_sim, report_sim) = run_star(&spec);
-        let (log_vt, report_vt) = run_star_vt(&spec);
+        let (log_vt, report_vt) = run_star_vt(&spec, Contention::Exclusive);
         prop_assert_eq!(log_sim, log_vt);
         prop_assert_eq!(report_sim.end_time, report_vt.end_time);
         prop_assert_eq!(report_sim.per_proc, report_vt.per_proc);
+    }
+
+    #[test]
+    fn contention_is_bit_inert_without_machine_sharing(spec in arb_star()) {
+        // The star topology hosts exactly one process per machine, so
+        // time-slicing has nobody to slice between: switching it on must
+        // not move a single bit — log, end time, or per-process
+        // accounting — even though it routes every compute through the
+        // tracked-job path (share 1.0 is IEEE-exact).
+        let (log_ex, report_ex) = run_star_vt(&spec, Contention::Exclusive);
+        let (log_ts, report_ts) = run_star_vt(&spec, Contention::TimeSliced);
+        prop_assert_eq!(log_ex, log_ts);
+        prop_assert_eq!(report_ex.end_time, report_ts.end_time);
+        prop_assert_eq!(report_ex.per_proc, report_ts.per_proc);
+    }
+
+    #[test]
+    fn oversubscription_never_beats_running_alone(
+        works in proptest::collection::vec(0.5f64..10.0, 2..6),
+        speed in 0.3f64..2.0,
+    ) {
+        // All jobs share one time-sliced machine from t=0. Each must
+        // finish no earlier than it would alone on the idle machine, and
+        // the last finisher must account for exactly the summed work
+        // (time-slicing divides the machine, it never creates capacity).
+        let machine = Machine::new("m", speed);
+        let cluster = ClusterSpec::new(vec![machine.clone()], LinkModel::default());
+        let finish: Arc<Mutex<Vec<(usize, f64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut vt: VirtualTaskCluster<()> = VirtualTaskCluster::new(cluster);
+        vt.set_contention(Contention::TimeSliced);
+        for (i, &w) in works.iter().enumerate() {
+            let f = Arc::clone(&finish);
+            vt.spawn(0, move |ctx| async move {
+                ctx.compute(w).await;
+                let t = ctx.now();
+                f.lock().unwrap().push((i, t));
+            });
+        }
+        vt.run();
+        let finish = finish.lock().unwrap().clone();
+        prop_assert_eq!(finish.len(), works.len());
+        let mut last = 0.0f64;
+        for &(i, t) in &finish {
+            let alone = machine.compute_end(0.0, works[i]);
+            prop_assert!(
+                t >= alone - 1e-9,
+                "job {i}: finished at {t} under contention, {alone} alone"
+            );
+            last = last.max(t);
+        }
+        let total = machine.compute_end(0.0, works.iter().sum());
+        prop_assert!(
+            (last - total).abs() < 1e-6,
+            "last finisher {last} must equal the serialized total {total}"
+        );
     }
 
     #[test]

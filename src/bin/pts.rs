@@ -13,9 +13,9 @@
 //! Run `pts help` for all options.
 
 use parallel_tabu_search::core::{
-    common_quality_target, speedup_sweep, AsyncEngine, CostKind, ExecutionEngine, ProcDomain,
-    ProcEngine, Pts, PtsRun, QapDomain, SimEngine, SnapshotMode, SyncPolicy, ThreadEngine,
-    VirtualEngine, WireProblem,
+    common_quality_target, speedup_sweep, AsyncEngine, Contention, CostKind, ExecutionEngine,
+    FaultMix, FaultSpec, ProcDomain, ProcEngine, Pts, PtsConfig, PtsRun, QapDomain, SimEngine,
+    SnapshotMode, SyncPolicy, ThreadEngine, VirtualEngine, WireProblem,
 };
 use parallel_tabu_search::netlist::{
     benchmark_names, by_name, format, generate, CircuitSpec, Netlist, NetlistStats, TimingGraph,
@@ -77,6 +77,11 @@ USAGE:
                                          tree, auto = f ~ sqrt(n_tsw))
                [--snapshot-mode delta|full]  (delta = diff against the last
                                               broadcast, default)
+               [--faults crashes|slowdowns|message-chaos|mixed]
+               [--fault-seed N] [--fault-horizon T]  (seeded fault injection;
+                                                      vt engine only)
+               [--contention]   (time-sliced machine sharing; vt engine only)
+               [--liveness T]   (timeout excusing silent workers; vt engine)
   pts sweep    --what clw|tsw [--max N] [--circuit NAME] [common options]
   pts generate --cells N [--seed N] [--out FILE]
   pts show     --file FILE
@@ -157,6 +162,7 @@ fn build_run(opts: &Opts) -> Result<PtsRun, String> {
         .candidates(opts.parse_num("candidates", 8usize)?)
         .depth(opts.parse_num("depth", 3usize)?)
         .report_fraction(opts.parse_num("report-fraction", 0.5f64)?)
+        .liveness_timeout(opts.parse_num("liveness", 0.0f64)?)
         .seed(opts.parse_num("seed", 0xC0FFEEu64)?);
     builder = match opts.get("shard-fanout") {
         Some("auto") => builder.shard_fanout_auto(),
@@ -198,16 +204,53 @@ fn build_run(opts: &Opts) -> Result<PtsRun, String> {
 /// so every problem domain gets all five for free. The bound is
 /// `ProcDomain` (not just `PtsDomain`) so `--engine proc` can ship the
 /// instance to worker processes; both CLI domains implement it.
-fn pick_engine<D>(opts: &Opts) -> Result<Box<dyn ExecutionEngine<D>>, String>
+fn pick_engine<D>(opts: &Opts, cfg: &PtsConfig) -> Result<Box<dyn ExecutionEngine<D>>, String>
 where
     D: ProcDomain,
     <D as parallel_tabu_search::core::PtsDomain>::Problem: WireProblem,
 {
-    match opts.get("engine").unwrap_or("sim") {
+    let name = opts.get("engine").unwrap_or("sim");
+    if name != "vt" && (opts.flag("faults") || opts.flag("contention")) {
+        return Err(format!(
+            "--faults/--contention need the deterministic virtual clock: \
+             use --engine vt (got --engine {name})"
+        ));
+    }
+    match name {
         "sim" => Ok(Box::new(SimEngine::paper())),
         "threads" => Ok(Box::new(ThreadEngine)),
         "async" => Ok(Box::new(AsyncEngine::new())),
-        "vt" => Ok(Box::new(VirtualEngine::paper())),
+        "vt" => {
+            let mut engine = VirtualEngine::paper();
+            if opts.flag("faults") && opts.get("faults").is_none() {
+                return Err("--faults needs a mix: crashes|slowdowns|message-chaos|mixed".into());
+            }
+            if opts.flag("contention") {
+                engine = engine.with_contention(Contention::TimeSliced);
+            }
+            if let Some(mix) = opts.get("faults") {
+                let mix = FaultMix::parse(mix).ok_or_else(|| {
+                    format!(
+                        "--faults must be 'crashes', 'slowdowns', 'message-chaos', \
+                         or 'mixed', got '{mix}'"
+                    )
+                })?;
+                let fault_seed = opts.parse_num("fault-seed", cfg.seed)?;
+                let horizon: f64 = opts.parse_num("fault-horizon", 300.0f64)?;
+                if !(horizon.is_finite() && horizon > 0.0) {
+                    return Err(format!("--fault-horizon must be positive, got {horizon}"));
+                }
+                // The paper cluster has 12 machines.
+                engine = engine.with_faults(FaultSpec::seeded(fault_seed, mix, cfg, 12, horizon));
+                if cfg.liveness_timeout == 0.0 {
+                    eprintln!(
+                        "note: injecting faults without --liveness; a silent worker \
+                         can stall a WaitAll round until its Down notice arrives"
+                    );
+                }
+            }
+            Ok(Box::new(engine))
+        }
         "proc" => Ok(Box::new(
             ProcEngine::from_current_exe().map_err(|e| format!("--engine proc: {e}"))?,
         )),
@@ -249,8 +292,8 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
 fn cmd_run_placement(opts: &Opts) -> Result<(), String> {
     let netlist = load_circuit(opts)?;
     let run = build_run(opts)?;
-    let engine = pick_engine(opts)?;
     let cfg = run.config();
+    let engine = pick_engine(opts, cfg)?;
     println!(
         "running {} on {}: {} TSW x {} CLW, {} global x {} local iterations",
         netlist.name,
@@ -278,8 +321,8 @@ fn cmd_run_qap(opts: &Opts) -> Result<(), String> {
         return Err("--qap-size must be at least 2".into());
     }
     let run = build_run(opts)?;
-    let engine = pick_engine(opts)?;
     let cfg = run.config();
+    let engine = pick_engine(opts, cfg)?;
     let domain = QapDomain::random(n, cfg.seed ^ 0xAAAA);
     println!(
         "running qap-{n} on {}: {} TSW x {} CLW, {} global x {} local iterations",

@@ -145,6 +145,7 @@ fn qap_msg(
             cost,
         },
         10 => PtsMsg::ApplyMoves { moves },
+        11 => PtsMsg::Down { rank: n },
         _ => PtsMsg::Stop,
     }
 }
@@ -154,7 +155,7 @@ proptest! {
 
     #[test]
     fn qap_codec_is_identity_at_model_size(
-        variant in 0u8..12,
+        variant in 0u8..13,
         n in 2usize..12,
         seed in any::<u64>(),
         dst in 0u32..1024,
@@ -177,7 +178,7 @@ proptest! {
 
     #[test]
     fn placement_codec_is_identity_at_model_size(
-        variant in 0u8..12,
+        variant in 0u8..13,
         seed in any::<u64>(),
         dst in 0u32..1024,
         global in 0u32..100_000,
@@ -243,6 +244,7 @@ proptest! {
             8 => PtsMsg::CutShort { seq },
             9 => PtsMsg::Proposal { clw: 1, seq, moves: swap_moves, cost },
             10 => PtsMsg::ApplyMoves { moves: swap_moves },
+            11 => PtsMsg::Down { rank: 7 },
             _ => PtsMsg::Stop,
         };
         check_roundtrip::<PlacementProblem>(&msg, dst, &ctx);
