@@ -40,16 +40,37 @@
 //! more than 10% over the committed baseline, and the delta/full
 //! reduction must stay ≥ 5×.
 //!
-//! Flags: `--wire-only` runs just the wire pair and rewrites the
-//! baseline (the only mode that writes it); `--wire-check` runs just
-//! the wire pair and *compares* (exit 1 on regression). The default
-//! run prints the full table plus the wire pair and leaves the
-//! committed baseline untouched.
+//! The same file carries the broadcast tabu-payload columns: a second,
+//! longer-horizon pair (`n_tsw = 64`, eight rounds — enough broadcasts
+//! for consecutive rounds to share tabu entries) measures per-round tabu
+//! wire bytes with the `tabu_delta` knob off (full lists, the pre-delta
+//! format) and on (aged-diff against the previous broadcast, fallback to
+//! full when the diff would not pay).
+//!
+//! ## The time benchmark (`BENCH_time.json`)
+//!
+//! Two wall-clock measurements anchor the batched candidate-evaluation
+//! kernel: (a) the QAP-256 kernel microbench — scalar `trial_cost` loop
+//! vs batched `trial_costs` over the same candidate lists, interleaved
+//! in the same process run — whose speedup must stay ≥ 1.5×, and (b)
+//! end-to-end ns per nominal trial on the async engine at `n_tsw` = 4,
+//! 64, 1024 (QAP-256), gated with a deliberately generous 2.5× band
+//! because absolute wall time on shared CI hosts is noisy. The same-run
+//! kernel ratio is the hard floor; the end-to-end figures catch
+//! order-of-magnitude regressions only.
+//!
+//! Flags: `--wire-only` runs just the wire section and rewrites
+//! `BENCH_wire.json` (the only mode that writes it); `--wire-check`
+//! runs just the wire section and *compares* (exit 1 on regression).
+//! `--time-only` / `--time-check` do the same for the time section and
+//! `BENCH_time.json`. The default run prints the full table plus both
+//! benchmark sections and leaves the committed baselines untouched.
 
 use pts_bench::emit;
+use pts_bench::kernel::{bench_qap_kernel, KernelBench};
 use pts_core::{
-    take_snapshot_meter, AsyncEngine, ExecutionEngine, ProcEngine, Pts, QapDomain, RunBuilder,
-    SimEngine, SnapshotMeter, SnapshotMode, ThreadEngine, VirtualEngine,
+    take_snapshot_meter, AsyncEngine, ExecutionEngine, ProcEngine, Pts, PtsConfig, QapDomain,
+    RunBuilder, SimEngine, SnapshotMeter, SnapshotMode, ThreadEngine, VirtualEngine,
 };
 use pts_util::csv::CsvWriter;
 use pts_util::table::{fmt_f64, Table};
@@ -67,11 +88,12 @@ fn builder(n_tsw: usize) -> RunBuilder {
         .seed(0xC0FFEE)
 }
 
-/// One wire-benchmark run: per-round snapshot payload bytes, snapshot
-/// allocations, wall seconds, and the best cost (for the
-/// trajectory-unchanged assertion).
+/// One wire-benchmark run: per-round snapshot payload bytes, per-round
+/// tabu payload bytes, snapshot allocations, wall seconds, and the best
+/// cost (for the trajectory-unchanged assertion).
 struct WireRun {
     bytes_per_round: f64,
+    tabu_bytes_per_round: f64,
     allocs: u64,
     wall_seconds: f64,
     best_cost: f64,
@@ -85,11 +107,23 @@ const WIRE_N_TSW: usize = 1024;
 const WIRE_QAP_N: usize = 256;
 const WIRE_GLOBAL_ITERS: u32 = 2;
 
-fn wire_config(mode: SnapshotMode) -> pts_core::PtsRun {
+/// The tabu-payload pair runs a longer horizon at a smaller width: tabu
+/// lists are tens of entries, not kilobytes, so the interesting quantity
+/// is how their bytes behave across *many* broadcasts — and the delta
+/// encoding only has a usable base from the second broadcast on.
+const TABU_N_TSW: usize = 64;
+const TABU_GLOBAL_ITERS: u32 = 8;
+
+fn wire_builder(
+    n_tsw: usize,
+    global_iters: u32,
+    mode: SnapshotMode,
+    tabu_delta: bool,
+) -> RunBuilder {
     Pts::builder()
-        .tsw_workers(WIRE_N_TSW)
+        .tsw_workers(n_tsw)
         .clw_workers(1)
-        .global_iters(WIRE_GLOBAL_ITERS)
+        .global_iters(global_iters)
         .local_iters(2)
         .candidates(4)
         .depth(2)
@@ -97,23 +131,32 @@ fn wire_config(mode: SnapshotMode) -> pts_core::PtsRun {
         .sync(pts_core::SyncPolicy::WaitAll)
         .shard_fanout_auto()
         .snapshot_mode(mode)
+        .tabu_delta(tabu_delta)
         .seed(0xC0FFEE)
+}
+
+fn wire_config(mode: SnapshotMode) -> pts_core::PtsRun {
+    wire_builder(WIRE_N_TSW, WIRE_GLOBAL_ITERS, mode, false)
         .build()
         .expect("wire benchmark config is valid")
 }
 
-fn wire_run(domain: &QapDomain, mode: SnapshotMode) -> WireRun {
-    let run = wire_config(mode);
+fn meter_run(domain: &QapDomain, run: pts_core::PtsRun, rounds: u32) -> WireRun {
     let _ = take_snapshot_meter(); // drain
     let out = run.execute(domain, &AsyncEngine::new());
     let meter = take_snapshot_meter();
     WireRun {
-        bytes_per_round: meter.round_payload_bytes as f64 / WIRE_GLOBAL_ITERS as f64,
+        bytes_per_round: meter.round_payload_bytes as f64 / rounds as f64,
+        tabu_bytes_per_round: meter.tabu_payload_bytes as f64 / rounds as f64,
         allocs: meter.allocs,
         wall_seconds: out.report.wall_seconds,
         best_cost: out.outcome.best_cost,
         meter,
     }
+}
+
+fn wire_run(domain: &QapDomain, mode: SnapshotMode) -> WireRun {
+    meter_run(domain, wire_config(mode), WIRE_GLOBAL_ITERS)
 }
 
 /// Workspace root (this crate lives at `<root>/crates/bench`).
@@ -174,6 +217,46 @@ fn measure_wire(domain: &QapDomain) -> (WireRun, WireRun, f64) {
     (delta, full, reduction)
 }
 
+/// Run the tabu-payload pair: same QAP-256 domain, `TABU_N_TSW` workers
+/// over `TABU_GLOBAL_ITERS` rounds (delta snapshots in both runs — the
+/// knob under test is `tabu_delta` alone), full tabu lists vs the aged
+/// broadcast diff. Returns (delta-on, delta-off, reduction).
+fn measure_tabu(domain: &QapDomain) -> (WireRun, WireRun, f64) {
+    println!(
+        "== Tabu-payload benchmark: broadcast tabu delta vs full lists, n_tsw = {TABU_N_TSW}, \
+         {TABU_GLOBAL_ITERS} rounds, QAP-{WIRE_QAP_N} =="
+    );
+    let run = |tabu_delta| {
+        let cfg = wire_builder(
+            TABU_N_TSW,
+            TABU_GLOBAL_ITERS,
+            SnapshotMode::Delta,
+            tabu_delta,
+        )
+        .build()
+        .expect("tabu benchmark config is valid");
+        meter_run(domain, cfg, TABU_GLOBAL_ITERS)
+    };
+    let full = run(false);
+    let delta = run(true);
+    assert_eq!(
+        delta.best_cost, full.best_cost,
+        "tabu delta changed the search outcome"
+    );
+    assert!(
+        delta.tabu_bytes_per_round <= full.tabu_bytes_per_round,
+        "tabu delta must never cost bytes (fallback-to-full guarantees this)"
+    );
+    let reduction = full.tabu_bytes_per_round / delta.tabu_bytes_per_round;
+    println!(
+        "full lists: {:>8.0} tabu B/round\ntabu delta: {:>8.0} tabu B/round\nreduction: \
+         {reduction:.2}x (same best cost {:.1}; upward Report lists always ship full — only the \
+         broadcast share shrinks)",
+        full.tabu_bytes_per_round, delta.tabu_bytes_per_round, full.best_cost
+    );
+    (delta, full, reduction)
+}
+
 /// Report-only vt row for the wire benchmark: the same delta-mode run on
 /// the virtual-time cooperative engine, which uniquely measures the
 /// *virtual* timeline of the communication-bound regime — end time and
@@ -197,7 +280,15 @@ fn report_wire_vt(domain: &QapDomain) {
     );
 }
 
-fn write_baseline(delta: &WireRun, full: &WireRun, reduction: f64) {
+#[allow(clippy::too_many_arguments)]
+fn write_baseline(
+    delta: &WireRun,
+    full: &WireRun,
+    reduction: f64,
+    tabu_delta: &WireRun,
+    tabu_full: &WireRun,
+    tabu_reduction: f64,
+) {
     let path = baseline_path();
     let json = format!(
         "{{\n  \"n_tsw\": {WIRE_N_TSW},\n  \"qap_n\": {WIRE_QAP_N},\n  \
@@ -208,7 +299,11 @@ fn write_baseline(delta: &WireRun, full: &WireRun, reduction: f64) {
          \"snapshot_bytes_reduction\": {:.2},\n  \
          \"full_snapshot_allocs\": {},\n  \"delta_snapshot_allocs\": {},\n  \
          \"full_wall_seconds\": {:.3},\n  \"delta_wall_seconds\": {:.3},\n  \
-         \"best_cost\": {:.4}\n}}\n",
+         \"best_cost\": {:.4},\n  \
+         \"tabu_n_tsw\": {TABU_N_TSW},\n  \"tabu_global_iters\": {TABU_GLOBAL_ITERS},\n  \
+         \"tabu_bytes_per_round_full_list\": {:.0},\n  \
+         \"tabu_bytes_per_round_delta\": {:.0},\n  \
+         \"tabu_bytes_reduction\": {:.2}\n}}\n",
         full.bytes_per_round,
         delta.bytes_per_round,
         reduction,
@@ -217,6 +312,9 @@ fn write_baseline(delta: &WireRun, full: &WireRun, reduction: f64) {
         full.wall_seconds,
         delta.wall_seconds,
         full.best_cost,
+        tabu_full.tabu_bytes_per_round,
+        tabu_delta.tabu_bytes_per_round,
+        tabu_reduction,
     );
     match std::fs::write(&path, json) {
         Ok(()) => println!("[baseline] wrote {}", path.display()),
@@ -226,7 +324,12 @@ fn write_baseline(delta: &WireRun, full: &WireRun, reduction: f64) {
 
 /// Compare a fresh wire run against the committed baseline. Returns
 /// `false` (and prints why) on regression.
-fn check_baseline(delta: &WireRun, reduction: f64) -> bool {
+fn check_baseline(
+    delta: &WireRun,
+    reduction: f64,
+    tabu_delta: &WireRun,
+    tabu_reduction: f64,
+) -> bool {
     let path = baseline_path();
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
@@ -263,6 +366,206 @@ fn check_baseline(delta: &WireRun, reduction: f64) -> bool {
     } else {
         println!("[wire-check] delta/full reduction {reduction:.2}x (>= 5x required)");
     }
+    match json_number(&text, "tabu_bytes_per_round_delta") {
+        Some(committed_tabu) => {
+            let limit = committed_tabu * 1.10;
+            if tabu_delta.tabu_bytes_per_round > limit {
+                eprintln!(
+                    "[wire-check] REGRESSION: tabu-delta per-round bytes {:.0} exceed committed \
+                     {committed_tabu:.0} by more than 10% (limit {limit:.0})",
+                    tabu_delta.tabu_bytes_per_round
+                );
+                ok = false;
+            } else {
+                println!(
+                    "[wire-check] tabu-delta per-round bytes {:.0} within 10% of committed \
+                     {committed_tabu:.0}",
+                    tabu_delta.tabu_bytes_per_round
+                );
+            }
+        }
+        None => {
+            eprintln!("[wire-check] baseline is missing tabu_bytes_per_round_delta");
+            ok = false;
+        }
+    }
+    // The tabu delta must actually pay on the multi-round regime, not
+    // merely never lose (the fallback already guarantees the latter).
+    if tabu_reduction < 1.1 {
+        eprintln!(
+            "[wire-check] REGRESSION: tabu delta/full reduction {tabu_reduction:.2}x fell below 1.1x"
+        );
+        ok = false;
+    } else {
+        println!("[wire-check] tabu delta/full reduction {tabu_reduction:.2}x (>= 1.1x required)");
+    }
+    ok
+}
+
+/// End-to-end time points: async engine, QAP-256, the engine-table
+/// iteration counts, flat master.
+const TIME_POINTS: [usize; 3] = [4, 64, 1024];
+/// Kernel microbench shape for the gated point: the engine's typical
+/// candidate-list length band, enough rounds for stable aggregates.
+const TIME_KERNEL_BATCH: usize = 32;
+const TIME_KERNEL_ROUNDS: usize = 300;
+
+struct TimePoint {
+    n_tsw: usize,
+    wall_seconds: f64,
+    ns_per_trial: f64,
+}
+
+struct TimeBench {
+    kernel: KernelBench,
+    points: Vec<TimePoint>,
+}
+
+/// Upper-bound trial count a configuration can evaluate: every CLW
+/// investigation runs up to `depth` steps of `candidates` trials per
+/// local iteration (early accepts stop a step short). A *nominal*
+/// denominator — stable across runs of the same config, which is all a
+/// regression trend needs — not an exact evaluation count.
+fn nominal_trials(cfg: &PtsConfig) -> u64 {
+    (cfg.n_tsw * cfg.n_clw * cfg.candidates * cfg.depth) as u64
+        * cfg.global_iters as u64
+        * cfg.local_iters as u64
+}
+
+fn measure_time(domain: &QapDomain) -> TimeBench {
+    println!(
+        "== Time benchmark: QAP-{WIRE_QAP_N} kernel microbench + async end-to-end ns/trial =="
+    );
+    let kernel = bench_qap_kernel(WIRE_QAP_N, TIME_KERNEL_BATCH, TIME_KERNEL_ROUNDS, 17);
+    println!(
+        "kernel (batch {TIME_KERNEL_BATCH}, {TIME_KERNEL_ROUNDS} rounds): scalar {:.1} ns/trial, \
+         batched {:.1} ns/trial, speedup {:.2}x (same-run, bit-identical paths)",
+        kernel.scalar_ns_per_trial,
+        kernel.batched_ns_per_trial,
+        kernel.speedup()
+    );
+    let points = TIME_POINTS
+        .iter()
+        .map(|&n_tsw| {
+            let run = builder(n_tsw).build().expect("time configs are valid");
+            let trials = nominal_trials(run.config());
+            let out = run.execute(domain, &AsyncEngine::new());
+            let p = TimePoint {
+                n_tsw,
+                wall_seconds: out.report.wall_seconds,
+                ns_per_trial: out.report.wall_seconds * 1e9 / trials as f64,
+            };
+            println!(
+                "async n_tsw {:>4}: {:>7.3} s wall, {:>8.0} ns per nominal trial ({} trials)",
+                p.n_tsw, p.wall_seconds, p.ns_per_trial, trials
+            );
+            p
+        })
+        .collect();
+    TimeBench { kernel, points }
+}
+
+fn time_path() -> PathBuf {
+    workspace_root().join("BENCH_time.json")
+}
+
+fn write_time_baseline(t: &TimeBench) {
+    let path = time_path();
+    let mut json = format!(
+        "{{\n  \"qap_n\": {WIRE_QAP_N},\n  \
+         \"kernel_batch\": {TIME_KERNEL_BATCH},\n  \"kernel_rounds\": {TIME_KERNEL_ROUNDS},\n  \
+         \"kernel_scalar_ns_per_trial\": {:.1},\n  \
+         \"kernel_batched_ns_per_trial\": {:.1},\n  \
+         \"kernel_speedup\": {:.2},\n  \
+         \"engine\": \"async\"",
+        t.kernel.scalar_ns_per_trial,
+        t.kernel.batched_ns_per_trial,
+        t.kernel.speedup(),
+    );
+    for p in &t.points {
+        json.push_str(&format!(
+            ",\n  \"wall_seconds_n_tsw_{}\": {:.3},\n  \"ns_per_trial_n_tsw_{}\": {:.0}",
+            p.n_tsw, p.wall_seconds, p.n_tsw, p.ns_per_trial
+        ));
+    }
+    json.push_str("\n}\n");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("[baseline] wrote {}", path.display()),
+        Err(e) => eprintln!("[baseline] failed to write {}: {e}", path.display()),
+    }
+}
+
+/// Gate the fresh time measurements: the same-run kernel speedup is the
+/// hard floor (≥ 1.5×, robust to host noise because both sides run in
+/// the same process seconds apart); the end-to-end points get a
+/// deliberately generous 2.5× band against the committed baseline —
+/// they exist to catch order-of-magnitude regressions, not jitter.
+fn check_time_baseline(t: &TimeBench) -> bool {
+    let mut ok = true;
+    if t.kernel.speedup() < 1.5 {
+        eprintln!(
+            "[time-check] REGRESSION: batched kernel speedup {:.2}x fell below the 1.5x floor \
+             (scalar {:.1} ns, batched {:.1} ns)",
+            t.kernel.speedup(),
+            t.kernel.scalar_ns_per_trial,
+            t.kernel.batched_ns_per_trial
+        );
+        ok = false;
+    } else {
+        println!(
+            "[time-check] batched kernel speedup {:.2}x (>= 1.5x required, same-run)",
+            t.kernel.speedup()
+        );
+    }
+    let path = time_path();
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("[time-check] cannot read {}: {e}", path.display());
+            return false;
+        }
+    };
+    match json_number(&text, "kernel_speedup") {
+        Some(committed) if committed >= 1.5 => {
+            println!("[time-check] committed kernel speedup {committed:.2}x (>= 1.5x required)");
+        }
+        Some(committed) => {
+            eprintln!(
+                "[time-check] REGRESSION: committed kernel speedup {committed:.2}x is below 1.5x \
+                 — rewrite BENCH_time.json from a healthy build"
+            );
+            ok = false;
+        }
+        None => {
+            eprintln!("[time-check] baseline is missing kernel_speedup");
+            ok = false;
+        }
+    }
+    for p in &t.points {
+        let key = format!("ns_per_trial_n_tsw_{}", p.n_tsw);
+        match json_number(&text, &key) {
+            Some(committed) => {
+                let limit = committed * 2.5;
+                if p.ns_per_trial > limit {
+                    eprintln!(
+                        "[time-check] REGRESSION: {key} {:.0} exceeds committed {committed:.0} \
+                         by more than 2.5x (limit {limit:.0})",
+                        p.ns_per_trial
+                    );
+                    ok = false;
+                } else {
+                    println!(
+                        "[time-check] {key} {:.0} within 2.5x of committed {committed:.0}",
+                        p.ns_per_trial
+                    );
+                }
+            }
+            None => {
+                eprintln!("[time-check] baseline is missing {key}");
+                ok = false;
+            }
+        }
+    }
     ok
 }
 
@@ -273,30 +576,62 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wire_check = args.iter().any(|a| a == "--wire-check");
     let wire_write = args.iter().any(|a| a == "--wire-only");
+    let time_check = args.iter().any(|a| a == "--time-check");
+    let time_write = args.iter().any(|a| a == "--time-only");
+    let wire_flagged = wire_check || wire_write;
+    let time_flagged = time_check || time_write;
 
-    if !wire_check && !wire_write {
+    if !wire_flagged && !time_flagged {
         run_engine_table();
     }
 
-    // One instance for the whole wire section: the vt report row must
-    // measure the exact regime the gated pair (and BENCH_wire.json)
-    // measures, not a same-constants reconstruction that could drift.
+    // One QAP-256 instance shared by every benchmark section: the vt
+    // report row and the time points must measure the exact regime the
+    // gated wire pair (and the committed baselines) measures, not a
+    // same-constants reconstruction that could drift.
     let wire_domain = QapDomain::random(WIRE_QAP_N, 17);
-    let (delta, full, reduction) = measure_wire(&wire_domain);
-    report_wire_vt(&wire_domain);
-    if wire_check {
-        if !check_baseline(&delta, reduction) {
-            std::process::exit(1);
+
+    if !time_flagged {
+        let (delta, full, reduction) = measure_wire(&wire_domain);
+        let (tabu_delta, tabu_full, tabu_reduction) = measure_tabu(&wire_domain);
+        report_wire_vt(&wire_domain);
+        if wire_check {
+            if !check_baseline(&delta, reduction, &tabu_delta, tabu_reduction) {
+                std::process::exit(1);
+            }
+        } else if wire_write {
+            // Only an explicit --wire-only rewrites the committed baseline —
+            // a plain table run must never silently re-anchor the CI gate.
+            write_baseline(
+                &delta,
+                &full,
+                reduction,
+                &tabu_delta,
+                &tabu_full,
+                tabu_reduction,
+            );
+        } else {
+            println!(
+                "(committed wire baseline untouched: rewrite deliberately with --wire-only, \
+                 compare with --wire-check)"
+            );
         }
-    } else if wire_write {
-        // Only an explicit --wire-only rewrites the committed baseline —
-        // a plain table run must never silently re-anchor the CI gate.
-        write_baseline(&delta, &full, reduction);
-    } else {
-        println!(
-            "(committed baseline untouched: rewrite deliberately with --wire-only, \
-             compare with --wire-check)"
-        );
+    }
+
+    if !wire_flagged {
+        let time = measure_time(&wire_domain);
+        if time_check {
+            if !check_time_baseline(&time) {
+                std::process::exit(1);
+            }
+        } else if time_write {
+            write_time_baseline(&time);
+        } else {
+            println!(
+                "(committed time baseline untouched: rewrite deliberately with --time-only, \
+                 compare with --time-check)"
+            );
+        }
     }
 }
 
@@ -314,6 +649,8 @@ fn run_engine_table() {
         "master",
         "best cost",
         "host wall s",
+        "ns/trial",
+        "cand batch",
         "messages",
         "root msgs",
         "wire MB",
@@ -326,6 +663,8 @@ fn run_engine_table() {
         "master",
         "best_cost",
         "wall_seconds",
+        "ns_per_trial",
+        "candidate_batch",
         "messages",
         "root_messages",
         "wire_mb",
@@ -378,6 +717,8 @@ fn run_engine_table() {
                         "- (PTS_FULL=1)".to_string(),
                         "-".to_string(),
                         "-".to_string(),
+                        run.config().candidates.to_string(),
+                        "-".to_string(),
                         "-".to_string(),
                         "-".to_string(),
                         "-".to_string(),
@@ -392,6 +733,8 @@ fn run_engine_table() {
                         "skipped".to_string(),
                         "skipped".to_string(),
                         "skipped".to_string(),
+                        run.config().candidates.to_string(),
+                        "skipped".to_string(),
                         "skipped".to_string(),
                         "skipped".to_string(),
                         "skipped".to_string(),
@@ -405,12 +748,19 @@ fn run_engine_table() {
                 let root = &out.report.per_proc[0];
                 let root_msgs = root.messages_sent + root.messages_received;
                 let wire_mb = out.report.total_bytes() as f64 / 1e6;
+                // Host wall time over the nominal trial budget: an
+                // end-to-end throughput figure (messaging and scheduling
+                // included), comparable across engines at fixed n_tsw.
+                let ns_per_trial =
+                    out.report.wall_seconds * 1e9 / nominal_trials(run.config()) as f64;
                 table.row([
                     n_tsw.to_string(),
                     name.to_string(),
                     master.clone(),
                     fmt_f64(out.outcome.best_cost),
                     format!("{:.3}", out.report.wall_seconds),
+                    format!("{ns_per_trial:.0}"),
+                    run.config().candidates.to_string(),
                     out.report.total_messages().to_string(),
                     root_msgs.to_string(),
                     format!("{wire_mb:.2}"),
@@ -423,6 +773,8 @@ fn run_engine_table() {
                     master,
                     fmt_f64(out.outcome.best_cost),
                     format!("{:.4}", out.report.wall_seconds),
+                    format!("{ns_per_trial:.1}"),
+                    run.config().candidates.to_string(),
                     out.report.total_messages().to_string(),
                     root_msgs.to_string(),
                     format!("{wire_mb:.4}"),

@@ -12,6 +12,8 @@
 //! Set `PTS_FULL=1` for the paper-scale profile (more iterations, all
 //! circuits).
 
+pub mod kernel;
+
 use pts_core::{PlacementRunOutput, Pts, PtsConfig, SimEngine};
 use pts_netlist::Netlist;
 use pts_util::csv::CsvWriter;

@@ -308,6 +308,13 @@ impl RunBuilder {
         self
     }
 
+    /// Delta-encode broadcast tabu lists (default off). See
+    /// [`PtsConfig::tabu_delta`].
+    pub fn tabu_delta(mut self, on: bool) -> Self {
+        self.cfg.tabu_delta = on;
+        self
+    }
+
     /// Validate everything; a returned [`PtsRun`] is guaranteed runnable.
     pub fn build(mut self) -> Result<PtsRun, ConfigError> {
         if self.auto_fanout {

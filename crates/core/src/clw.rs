@@ -17,7 +17,7 @@ use crate::domain::{DeltaSnapshot, PtsDomain};
 use crate::messages::{PtsMsg, SnapshotPayload};
 use crate::meter;
 use crate::transport::Transport;
-use pts_tabu::candidate::CandidateList;
+use pts_tabu::candidate::{CandidateList, CandidateScratch};
 use pts_tabu::problem::SearchProblem;
 use pts_util::Rng;
 
@@ -70,6 +70,9 @@ pub async fn run_clw<D: PtsDomain, T: Transport<D::Problem>>(
     // with exactly one sync per round).
     let mut adopt_seq: u32 = 0;
 
+    // One set of batch buffers serves every investigation this CLW runs.
+    let mut scratch: CandidateScratch<MoveOf<D>> = CandidateScratch::new();
+
     for msg in std::mem::take(&mut backlog) {
         if handle::<D, T>(
             t,
@@ -80,6 +83,7 @@ pub async fn run_clw<D: PtsDomain, T: Transport<D::Problem>>(
             &mut rng,
             &mut problem,
             &mut adopt_seq,
+            &mut scratch,
             msg,
         )
         .await
@@ -98,6 +102,7 @@ pub async fn run_clw<D: PtsDomain, T: Transport<D::Problem>>(
             &mut rng,
             &mut problem,
             &mut adopt_seq,
+            &mut scratch,
             msg,
         )
         .await
@@ -118,14 +123,24 @@ async fn handle<D: PtsDomain, T: Transport<D::Problem>>(
     rng: &mut Rng,
     problem: &mut D::Problem,
     adopt_seq: &mut u32,
+    scratch: &mut CandidateScratch<MoveOf<D>>,
     msg: PtsMsg<D::Problem>,
 ) -> bool {
     match msg {
         PtsMsg::Investigate { seq } => {
             let mut tsw_down = false;
-            let (moves, cost) =
-                investigate::<D, T>(t, cfg, problem, rng, range, seq, tsw_rank, &mut tsw_down)
-                    .await;
+            let (moves, cost) = investigate::<D, T>(
+                t,
+                cfg,
+                problem,
+                rng,
+                range,
+                seq,
+                tsw_rank,
+                &mut tsw_down,
+                scratch,
+            )
+            .await;
             // The TSW died mid-investigation (its Down notice reached the
             // cut-short poll): there is nobody to propose to — wind down.
             if tsw_down {
@@ -219,6 +234,7 @@ async fn investigate<D: PtsDomain, T: Transport<D::Problem>>(
     seq: u64,
     tsw_rank: usize,
     tsw_down: &mut bool,
+    scratch: &mut CandidateScratch<MoveOf<D>>,
 ) -> (Vec<MoveOf<D>>, f64) {
     let sampler = CandidateList::new(cfg.candidates);
     let start_cost = problem.cost();
@@ -226,9 +242,12 @@ async fn investigate<D: PtsDomain, T: Transport<D::Problem>>(
     let mut cost_after: Vec<f64> = Vec::with_capacity(cfg.depth);
 
     for step in 0..cfg.depth {
-        // m trial evaluations + one commit of the winner.
+        // m trial evaluations + one commit of the winner. The whole batch
+        // is still charged as ONE compute call — the virtual-time ledger
+        // (and thus every pinned sim/vt golden) is oblivious to whether
+        // the trials ran through the scalar loop or the batched kernel.
         t.compute(cfg.work.per_trial * cfg.candidates as f64).await;
-        let cand = sampler.sample_best(problem, rng, Some(range));
+        let cand = sampler.sample_best_with(problem, rng, Some(range), scratch);
         problem.apply(&cand.mv);
         t.compute(cfg.work.per_commit).await;
         applied.push(cand.mv);

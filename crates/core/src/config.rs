@@ -154,6 +154,16 @@ pub struct PtsConfig {
     /// hanging forever on a crashed worker under a
     /// [`pts_vcluster::FaultPlan`]; fault-free runs never hit it.
     pub liveness_timeout: f64,
+    /// Delta-encode the tabu list riding `Broadcast`/`GroupBroadcast`
+    /// against the previous round's list (uniform-aging diff with
+    /// fallback-to-full, mirroring [`SnapshotMode::Delta`] for
+    /// snapshots). Off by default: with the knob off every broadcast
+    /// carries the full list and wire sizes are bit-identical to the
+    /// pre-delta protocol, which the pinned virtual-time goldens rely
+    /// on. Turning it on changes message *sizes* (and thus virtual
+    /// timelines) but never the search trajectory — the resolved list
+    /// is always exactly the sender's.
+    pub tabu_delta: bool,
     /// Virtual work accounting (sim engine).
     pub work: WorkModel,
 }
@@ -185,6 +195,7 @@ impl Default for PtsConfig {
             snapshot_mode: SnapshotMode::Delta,
             differentiate_streams: false,
             liveness_timeout: 0.0,
+            tabu_delta: false,
             work: WorkModel::default(),
         }
     }

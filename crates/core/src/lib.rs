@@ -76,7 +76,7 @@ pub use domain::{
 };
 pub use engine::{EngineOutput, ExecutionEngine, SimEngine, ThreadEngine};
 pub use fault::{Contention, FaultMix, FaultSpec, WorkerFault};
-pub use messages::{PtsMsg, SharedTabu, SnapshotBase, SnapshotPayload, TabuEntries};
+pub use messages::{PtsMsg, SharedTabu, SnapshotBase, SnapshotPayload, TabuEntries, TabuPayload};
 pub use meter::{take_snapshot_meter, SnapshotMeter};
 pub use placement_problem::{MasterOutcome, PlacementDelta, PlacementDomain, PlacementProblem};
 pub use proc::{ProcDomain, ProcEngine};

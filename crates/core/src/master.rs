@@ -39,7 +39,7 @@
 use crate::config::{PtsConfig, ShardChildren, SyncPolicy};
 use crate::control::RunControl;
 use crate::domain::{PtsDomain, SearchOutcome, SnapshotOf};
-use crate::messages::{PtsMsg, SharedTabu, SnapshotBase, SnapshotPayload};
+use crate::messages::{PtsMsg, SharedTabu, SnapshotBase, SnapshotPayload, TabuBase, TabuPayload};
 use crate::transport::{protocol_warn, Transport};
 use pts_tabu::search::SearchStats;
 use pts_tabu::trace::Trace;
@@ -49,6 +49,7 @@ use std::sync::Arc;
 type BaseOf<D> = SnapshotBase<<D as PtsDomain>::Problem>;
 type PayloadOf<D> = SnapshotPayload<<D as PtsDomain>::Problem>;
 type TabuOf<D> = SharedTabu<<D as PtsDomain>::Problem>;
+type TabuPayloadOf<D> = TabuPayload<<D as PtsDomain>::Problem>;
 
 /// Running reduction state shared by the root master and every
 /// sub-master: the best solution seen in this node's subtree (kept
@@ -421,7 +422,7 @@ impl<D: PtsDomain> Reduction<D> {
 /// `None` for `Stop` after the final round. Cloning the payload per
 /// child is O(1) — the snapshot (or delta) and tabu list sit behind
 /// `Arc`s.
-type Winner<'a, D> = Option<(u32, &'a PayloadOf<D>, &'a TabuOf<D>)>;
+type Winner<'a, D> = Option<(u32, &'a PayloadOf<D>, &'a TabuPayloadOf<D>)>;
 
 /// Send the round-`g` winner (or `Stop` after the final round) down to
 /// this node's children.
@@ -438,7 +439,7 @@ fn send_down<D: PtsDomain, T: Transport<D::Problem>>(
                     Some((global, snapshot, tabu)) => PtsMsg::Broadcast {
                         global,
                         snapshot: snapshot.clone(),
-                        tabu: Arc::clone(tabu),
+                        tabu: tabu.clone(),
                     },
                     None => PtsMsg::Stop,
                 };
@@ -451,7 +452,7 @@ fn send_down<D: PtsDomain, T: Transport<D::Problem>>(
                     Some((global, snapshot, tabu)) => PtsMsg::GroupBroadcast {
                         global,
                         snapshot: snapshot.clone(),
-                        tabu: Arc::clone(tabu),
+                        tabu: tabu.clone(),
                     },
                     None => PtsMsg::Stop,
                 };
@@ -516,6 +517,11 @@ pub async fn run_master<D: PtsDomain, T: Transport<D::Problem>>(
     // The base every child currently shares with this node: the initial
     // solution, re-anchored on each broadcast sent below.
     let mut base: BaseOf<D> = SnapshotBase::initial(Arc::clone(&initial));
+    // The tabu list the children last adopted: empty at the start (no
+    // tabu entries exist anywhere before the first local iteration),
+    // then each broadcast's list. Only the root needs one — sub-masters
+    // relay tabu payloads verbatim.
+    let mut tabu_base: TabuBase<D::Problem> = TabuBase::initial();
     let mut red: Reduction<D> = Reduction::new(initial_cost, initial);
     red.merged.record(t.now(), 0, red.best_cost);
     let mut best_per_global_iter = Vec::with_capacity(cfg.global_iters as usize);
@@ -548,8 +554,10 @@ pub async fn run_master<D: PtsDomain, T: Transport<D::Problem>>(
             // hold, ship it once per child (Arc clones), then re-anchor
             // the shared base on what was just broadcast.
             let payload = SnapshotPayload::encode(cfg.snapshot_mode, &base, &red.best_snapshot);
-            send_down::<D, T>(t, cfg, children, Some((g, &payload, &red.best_tabu)));
+            let tabu_payload = TabuPayload::encode(cfg.tabu_delta, &tabu_base, &red.best_tabu);
+            send_down::<D, T>(t, cfg, children, Some((g, &payload, &tabu_payload)));
             base.advance(g, Arc::clone(&red.best_snapshot));
+            tabu_base.advance(g, Arc::clone(&red.best_tabu));
         } else {
             send_down::<D, T>(t, cfg, children, None);
             break;

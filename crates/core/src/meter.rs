@@ -25,6 +25,7 @@ static ROUND_PAYLOAD_BYTES: AtomicU64 = AtomicU64::new(0);
 static INIT_PAYLOAD_BYTES: AtomicU64 = AtomicU64::new(0);
 static SNAPSHOT_ALLOCS: AtomicU64 = AtomicU64::new(0);
 static PAYLOAD_SENDS: AtomicU64 = AtomicU64::new(0);
+static TABU_PAYLOAD_BYTES: AtomicU64 = AtomicU64::new(0);
 
 /// A reading of the snapshot meters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -46,6 +47,12 @@ pub struct SnapshotMeter {
     /// recipient — the allocation floor the `Arc` fan-out removed;
     /// compare with [`SnapshotMeter::allocs`].
     pub payload_sends: u64,
+    /// Wire bytes of tabu-list payloads across all tabu-bearing traffic
+    /// (`Broadcast`/`GroupBroadcast` payloads — delta-encoded when
+    /// [`crate::config::PtsConfig::tabu_delta`] is on — plus the full
+    /// lists riding `Report`/`GroupReport`). The broadcast share is what
+    /// the tabu-delta knob shrinks.
+    pub tabu_payload_bytes: u64,
 }
 
 impl SnapshotMeter {
@@ -58,6 +65,13 @@ impl SnapshotMeter {
 /// Account one sent message's snapshot payload (called by the transports
 /// per send).
 pub(crate) fn note_send<P: PtsProblem>(msg: &PtsMsg<P>) {
+    // Tabu accounting first: a tabu-bearing message with an *empty* list
+    // adds 0 bytes anyway, but the counter must not depend on whether the
+    // message also carries a snapshot.
+    let tabu_bytes = msg.tabu_wire_bytes();
+    if tabu_bytes > 0 {
+        TABU_PAYLOAD_BYTES.fetch_add(tabu_bytes, Ordering::Relaxed);
+    }
     let bytes = msg.snapshot_wire_bytes();
     if bytes == 0 {
         return;
@@ -83,6 +97,7 @@ pub fn take_snapshot_meter() -> SnapshotMeter {
         init_payload_bytes: INIT_PAYLOAD_BYTES.swap(0, Ordering::Relaxed),
         allocs: SNAPSHOT_ALLOCS.swap(0, Ordering::Relaxed),
         payload_sends: PAYLOAD_SENDS.swap(0, Ordering::Relaxed),
+        tabu_payload_bytes: TABU_PAYLOAD_BYTES.swap(0, Ordering::Relaxed),
     }
 }
 
@@ -107,6 +122,11 @@ mod tests {
             seq: 0,
             snapshot: SnapshotPayload::Full(snap),
         });
+        note_send::<Qap>(&PtsMsg::Broadcast {
+            global: 0,
+            snapshot: SnapshotPayload::Full(Arc::new(QapAssignment::new((0..10).collect()))),
+            tabu: crate::messages::TabuPayload::Full(Arc::new(vec![((0, 1), 3), ((2, 3), 2)])),
+        });
         note_send::<Qap>(&PtsMsg::Stop); // no payload
         record_snapshot_alloc();
         let m = take_snapshot_meter();
@@ -115,5 +135,6 @@ mod tests {
         assert!(m.payload_bytes() >= 160);
         assert!(m.allocs >= 1);
         assert!(m.payload_sends >= 2);
+        assert!(m.tabu_payload_bytes >= 24, "two 12-byte tabu entries");
     }
 }

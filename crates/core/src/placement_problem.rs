@@ -115,6 +115,13 @@ impl SearchProblem for PlacementProblem {
     fn restore(&mut self, snapshot: &Placement) {
         self.eval.adopt_placement(snapshot.clone());
     }
+
+    fn trial_costs(&mut self, moves: &[SwapMove], out: &mut Vec<f64>) {
+        // Batched kernel: same per-trial computation against the shared
+        // incremental caches, with the affected-net scratch reused across
+        // the whole batch (see `Evaluator::trial_swaps`).
+        self.eval.trial_swaps(moves, out);
+    }
 }
 
 impl DiversifiableProblem for PlacementProblem {}
@@ -343,6 +350,23 @@ mod tests {
             pr.apply(&mv);
             assert!((pr.cost() - predicted).abs() < 1e-9);
             pr.undo(&mv);
+        }
+    }
+
+    #[test]
+    fn batched_trial_costs_bit_identical_to_scalar() {
+        let mut pr = problem(2);
+        let mut rng = Rng::new(21);
+        for _ in 0..15 {
+            let mut moves = Vec::new();
+            pr.sample_moves(&mut rng, Some((5, 25)), 8, &mut moves);
+            let scalar: Vec<f64> = moves.iter().map(|mv| pr.trial_cost(mv)).collect();
+            let mut batched = Vec::new();
+            pr.trial_costs(&moves, &mut batched);
+            for (s, b) in scalar.iter().zip(batched.iter()) {
+                assert_eq!(s.to_bits(), b.to_bits(), "batched kernel diverged");
+            }
+            pr.apply(&moves[0]);
         }
     }
 

@@ -16,7 +16,7 @@
 
 use crate::config::{PtsConfig, SyncPolicy};
 use crate::domain::PtsDomain;
-use crate::messages::{PtsMsg, SnapshotBase, SnapshotPayload};
+use crate::messages::{PtsMsg, SnapshotBase, SnapshotPayload, TabuBase};
 use crate::meter;
 use crate::transport::{protocol_warn, Transport};
 use pts_tabu::aspiration::Aspiration;
@@ -105,6 +105,10 @@ pub async fn run_tsw<D: PtsDomain, T: Transport<D::Problem>>(
     // payloads diff against it (delta mode only; in full mode the base
     // is never consulted, so the per-round capture below is skipped).
     let mut clw_sync = SnapshotBase::<D::Problem>::initial(Arc::clone(&base.snapshot));
+    // The tabu list of the last adopted broadcast — the base a broadcast
+    // tabu delta resolves against. Starts empty at sequence 0, matching
+    // the master's side.
+    let mut tabu_base = TabuBase::<D::Problem>::initial();
 
     let engine_cfg = TabuSearchConfig {
         tenure: cfg.tenure,
@@ -198,9 +202,10 @@ pub async fn run_tsw<D: PtsDomain, T: Transport<D::Problem>>(
             // achieves the maximum cost improvement or the least cost
             // degradation." Every *live* CLW answers each investigation;
             // an empty set means the last of them died mid-collection.
-            let Some((moves, cost)) = proposals
-                .into_iter()
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("costs are not NaN"))
+            // Total order on costs: a NaN-costed proposal (a poisoned
+            // evaluator on one CLW) ranks above every real cost and loses
+            // to any finite sibling instead of panicking the worker.
+            let Some((moves, cost)) = proposals.into_iter().min_by(|a, b| a.1.total_cmp(&b.1))
             else {
                 break;
             };
@@ -278,18 +283,20 @@ pub async fn run_tsw<D: PtsDomain, T: Transport<D::Problem>>(
                     global,
                     snapshot,
                     tabu,
-                } if global == g => match snapshot.resolve(&base) {
-                    Some(full) => {
-                        engine.adopt(&mut problem, &full, &tabu, t.now());
+                } if global == g => match (snapshot.resolve(&base), tabu.resolve(&tabu_base)) {
+                    (Some(full), Some(full_tabu)) => {
+                        engine.adopt(&mut problem, &full, &full_tabu, t.now());
                         // The adopted broadcast becomes the base the next
-                        // report is diffed against — both ends re-anchor.
+                        // report is diffed against — both ends re-anchor
+                        // (solution and tabu list alike).
                         base.advance(global, full);
+                        tabu_base.advance(global, full_tabu);
                         break;
                     }
                     // A broadcast delta against a base this TSW does not
                     // hold: protocol violation — warn and drop, like the
                     // collectors' hardening paths.
-                    None => protocol_warn(
+                    _ => protocol_warn(
                         t.rank(),
                         "dropping Broadcast delta against a base this TSW does not hold",
                     ),
@@ -304,9 +311,12 @@ pub async fn run_tsw<D: PtsDomain, T: Transport<D::Problem>>(
                     snapshot,
                     tabu,
                 } if global > g => {
-                    if let Some(full) = snapshot.resolve(&base) {
-                        engine.adopt(&mut problem, &full, &tabu, t.now());
+                    if let (Some(full), Some(full_tabu)) =
+                        (snapshot.resolve(&base), tabu.resolve(&tabu_base))
+                    {
+                        engine.adopt(&mut problem, &full, &full_tabu, t.now());
                         base.advance(global, full);
+                        tabu_base.advance(global, full_tabu);
                         break;
                     }
                 }

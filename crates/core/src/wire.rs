@@ -22,7 +22,7 @@
 //! | 0      | 1    | codec version ([`WIRE_VERSION`]) |
 //! | 1      | 1    | variant tag ([`tag` constants](self)) |
 //! | 2      | 1    | snapshot-payload kind: 0 none, 1 full, 2 delta |
-//! | 3      | 1    | reserved (0) |
+//! | 3      | 1    | tabu-payload kind: 0 full list, 1 delta (broadcasts only; 0 elsewhere) |
 //! | 4      | 4    | destination rank (router addressing) |
 //! | 8      | 4    | origin index (`tsw` / `shard` / `clw` field) |
 //! | 12     | 4    | aux count (tabu entries or moves) |
@@ -53,7 +53,7 @@
 //! [`Layout`]: pts_place::layout::Layout
 
 use crate::domain::{DeltaOf, PtsProblem};
-use crate::messages::{PtsMsg, SnapshotPayload, TabuEntries};
+use crate::messages::{PtsMsg, SnapshotPayload, TabuEntries, TabuPayload};
 use pts_tabu::search::SearchStats;
 use pts_tabu::trace::TracePoint;
 use std::cmp::Ordering;
@@ -77,6 +77,12 @@ const TRACE_POINT: usize = 20;
 const MOVE: usize = 8;
 /// Delta-payload header: `u32` base sequence + 4 reserved bytes.
 const DELTA_HDR: usize = 8;
+/// Tabu-delta tail: `u32` base sequence + `u32` removed count + `u64`
+/// uniform aging decrement. Written *after* the removed attributes so the
+/// decoder can size the variable sections from the end of the body.
+const TABU_DELTA_TAIL: usize = 16;
+/// Model bytes per bare tabu attribute (a removed-entry marker).
+const TABU_ATTR: usize = 8;
 
 /// Variant tags (header offset 1).
 mod tag {
@@ -530,6 +536,74 @@ fn get_tabu<P: WireProblem>(r: &mut WireReader<'_>, n: usize) -> Result<TabuEntr
     Ok(tabu)
 }
 
+/// Header aux count of a broadcast tabu payload: full entries, or delta
+/// `added` entries (the removed count rides the delta tail instead).
+fn tabu_aux<P: PtsProblem>(tabu: &TabuPayload<P>) -> u32 {
+    match tabu {
+        TabuPayload::Full(t) => narrow(t.len()),
+        TabuPayload::Delta { added, .. } => narrow(added.len()),
+    }
+}
+
+/// Encode a broadcast tabu payload body. Full lists emit exactly the
+/// bytes the pre-delta codec did; deltas emit `added` entries, `removed`
+/// attributes, then the [`TABU_DELTA_TAIL`] — tail-last so the decoder
+/// can size the sections from the body end. Emits exactly
+/// `tabu.wire_bytes()` bytes either way.
+fn put_tabu_payload<P: WireProblem>(tabu: &TabuPayload<P>, out: &mut Vec<u8>) {
+    match tabu {
+        TabuPayload::Full(t) => put_tabu::<P>(t, out),
+        TabuPayload::Delta {
+            base_seq,
+            aged,
+            added,
+            removed,
+        } => {
+            put_tabu::<P>(added, out);
+            for attr in removed.iter() {
+                P::put_attr(attr, out);
+            }
+            put_u32(out, *base_seq);
+            put_u32(out, narrow(removed.len()));
+            put_u64(out, *aged);
+        }
+    }
+}
+
+/// Decode a broadcast tabu payload occupying exactly `nbytes` bytes with
+/// `aux` entries (full list) or `aux` added entries (delta).
+fn get_tabu_payload<P: WireProblem>(
+    r: &mut WireReader<'_>,
+    delta: bool,
+    aux: usize,
+    nbytes: usize,
+) -> Result<TabuPayload<P>, WireError> {
+    if !delta {
+        return Ok(TabuPayload::Full(Arc::new(get_tabu::<P>(r, aux)?)));
+    }
+    let n_removed = nbytes
+        .checked_sub(TABU_DELTA_TAIL + TABU_ENTRY * aux)
+        .filter(|rest| rest.is_multiple_of(TABU_ATTR))
+        .map(|rest| rest / TABU_ATTR)
+        .ok_or(WireError::Malformed("tabu delta sections disagree"))?;
+    let added = get_tabu::<P>(r, aux)?;
+    let mut removed = Vec::with_capacity(n_removed);
+    for _ in 0..n_removed {
+        removed.push(P::get_attr(r)?);
+    }
+    let base_seq = r.u32()?;
+    if r.u32()? as usize != n_removed {
+        return Err(WireError::Malformed("tabu removed counts disagree"));
+    }
+    let aged = r.u64()?;
+    Ok(TabuPayload::Delta {
+        base_seq,
+        aged,
+        added: Arc::new(added),
+        removed: Arc::new(removed),
+    })
+}
+
 fn put_trace(trace: &[TracePoint], out: &mut Vec<u8>) {
     for p in trace {
         put_f64(out, p.time);
@@ -592,12 +666,14 @@ pub fn encode_msg<P: WireProblem>(msg: &PtsMsg<P>, dst: u32) -> Vec<u8> {
                 PayloadKind::of(snapshot),
                 dst,
                 0,
-                narrow(tabu.len()),
+                tabu_aux(tabu),
                 *global as u64,
                 0.0,
             );
+            // Header byte 3 is the tabu-payload kind (0 full, 1 delta).
+            out[3] = tabu.is_delta() as u8;
             put_payload(snapshot, &mut out);
-            put_tabu::<P>(tabu, &mut out);
+            put_tabu_payload::<P>(tabu, &mut out);
         }
         PtsMsg::ForceReport { global } => {
             put_header(
@@ -680,12 +756,13 @@ pub fn encode_msg<P: WireProblem>(msg: &PtsMsg<P>, dst: u32) -> Vec<u8> {
                 PayloadKind::of(snapshot),
                 dst,
                 0,
-                narrow(tabu.len()),
+                tabu_aux(tabu),
                 *global as u64,
                 0.0,
             );
+            out[3] = tabu.is_delta() as u8;
             put_payload(snapshot, &mut out);
-            put_tabu::<P>(tabu, &mut out);
+            put_tabu_payload::<P>(tabu, &mut out);
         }
         PtsMsg::AdoptState { seq, snapshot } => {
             put_header(
@@ -811,7 +888,11 @@ pub fn decode_msg<P: WireProblem>(buf: &[u8], ctx: &P::Ctx) -> Result<(u32, PtsM
     }
     let variant = h.u8()?;
     let kind = PayloadKind::from_byte(h.u8()?)?;
-    let _reserved = h.u8()?;
+    let tabu_delta = match h.u8()? {
+        0 => false,
+        1 => true,
+        other => return Err(WireError::Tag(other)),
+    };
     let dst = h.u32()?;
     let origin = h.u32()?;
     let aux = h.u32()? as usize;
@@ -829,13 +910,29 @@ pub fn decode_msg<P: WireProblem>(buf: &[u8], ctx: &P::Ctx) -> Result<(u32, PtsM
             }
         }
         tag::BROADCAST | tag::GROUP_BROADCAST => {
+            // Full tabu body: `aux` entries. Delta body: `aux` added
+            // entries + the removed attributes + the fixed tail; either
+            // way, everything after the snapshot payload.
+            let tabu_bytes = if tabu_delta {
+                let min = TABU_DELTA_TAIL + TABU_ENTRY * aux;
+                if body.len() < min {
+                    return Err(WireError::Truncated);
+                }
+                // The removed count in the tail sizes the middle section;
+                // get_tabu_payload cross-checks it against the arithmetic.
+                let tail = &body[body.len() - TABU_DELTA_TAIL..];
+                let n_removed = u32::from_le_bytes(tail[4..8].try_into().unwrap()) as usize;
+                min + TABU_ATTR * n_removed
+            } else {
+                TABU_ENTRY * aux
+            };
             let snap_bytes = body
                 .len()
-                .checked_sub(TABU_ENTRY * aux)
+                .checked_sub(tabu_bytes)
                 .ok_or(WireError::Truncated)?;
             let mut r = WireReader::new(body);
             let snapshot = get_payload::<P>(&mut r, kind, snap_bytes, ctx)?;
-            let tabu = Arc::new(get_tabu::<P>(&mut r, aux)?);
+            let tabu = get_tabu_payload::<P>(&mut r, tabu_delta, aux, tabu_bytes)?;
             let global = seq as u32;
             if variant == tag::BROADCAST {
                 PtsMsg::Broadcast {
@@ -1021,6 +1118,7 @@ pub fn put_config(cfg: &crate::config::PtsConfig, out: &mut Vec<u8>) {
     put_f64(out, cfg.work.per_diversify_step);
     put_f64(out, cfg.work.per_report);
     put_f64(out, cfg.liveness_timeout);
+    out.push(cfg.tabu_delta as u8);
 }
 
 /// Decode a [`crate::config::PtsConfig`] written by [`put_config`].
@@ -1071,6 +1169,7 @@ pub fn get_config(r: &mut WireReader<'_>) -> Result<crate::config::PtsConfig, Wi
             per_report: r.f64()?,
         },
         liveness_timeout: r.f64()?,
+        tabu_delta: r.u8()? != 0,
     })
 }
 
@@ -1134,6 +1233,64 @@ mod tests {
     }
 
     #[test]
+    fn broadcast_tabu_payloads_roundtrip_at_model_size() {
+        let snapshot = SnapshotPayload::Full(Arc::new(QapAssignment::new(vec![1, 0, 3, 2])));
+        // Full list: the pre-delta encoding, byte-identical sizes.
+        let full: PtsMsg<Qap> = PtsMsg::Broadcast {
+            global: 4,
+            snapshot: snapshot.clone(),
+            tabu: TabuPayload::Full(Arc::new(vec![((0, 1), 5), ((2, 3), 9)])),
+        };
+        match roundtrip(&full, 3) {
+            PtsMsg::Broadcast { global, tabu, .. } => {
+                assert_eq!(global, 4);
+                assert!(!tabu.is_delta());
+                match tabu {
+                    TabuPayload::Full(t) => assert_eq!(*t, vec![((0, 1), 5), ((2, 3), 9)]),
+                    TabuPayload::Delta { .. } => unreachable!(),
+                }
+            }
+            other => panic!("decoded {}", other.tag()),
+        }
+
+        // Delta: added + removed + aged must survive the tail-last layout,
+        // including the empty-sections corners.
+        for (added, removed, aged) in [
+            (vec![((7, 8), 6u64)], vec![(1u32, 2u32), (3, 4)], 3u64),
+            (vec![], vec![], 0),
+            (vec![((1, 2), 1), ((3, 4), 2)], vec![], u64::MAX),
+        ] {
+            let msg: PtsMsg<Qap> = PtsMsg::GroupBroadcast {
+                global: 2,
+                snapshot: snapshot.clone(),
+                tabu: TabuPayload::Delta {
+                    base_seq: 9,
+                    aged,
+                    added: Arc::new(added.clone()),
+                    removed: Arc::new(removed.clone()),
+                },
+            };
+            match roundtrip(&msg, 1) {
+                PtsMsg::GroupBroadcast { tabu, .. } => match tabu {
+                    TabuPayload::Delta {
+                        base_seq,
+                        aged: got_aged,
+                        added: got_added,
+                        removed: got_removed,
+                    } => {
+                        assert_eq!(base_seq, 9);
+                        assert_eq!(got_aged, aged);
+                        assert_eq!(*got_added, added);
+                        assert_eq!(*got_removed, removed);
+                    }
+                    TabuPayload::Full(_) => panic!("delta decoded as full"),
+                },
+                other => panic!("decoded {}", other.tag()),
+            }
+        }
+    }
+
+    #[test]
     fn config_roundtrips() {
         let cfg = crate::config::PtsConfig {
             n_tsw: 9,
@@ -1141,6 +1298,7 @@ mod tests {
             shard_fanout: 3,
             tsw_sync: crate::config::SyncPolicy::WaitAll,
             snapshot_mode: crate::config::SnapshotMode::Full,
+            tabu_delta: true,
             seed: 0xDEADBEEF,
             ..crate::config::PtsConfig::default()
         };

@@ -79,6 +79,11 @@ impl RowAreaModel {
 
     /// New `max_width` if a cell of width `wa` in `row_a` swapped with a
     /// cell of width `wb` in `row_b`.
+    ///
+    /// Read-only and O(1) against the cached top-3, so the batched
+    /// candidate evaluator calls it once per candidate with no per-batch
+    /// setup to hoist.
+    #[inline]
     pub fn trial_max(&self, row_a: usize, wa: u64, row_b: usize, wb: u64) -> u64 {
         if row_a == row_b || wa == wb {
             return self.max_width();

@@ -116,11 +116,30 @@ impl WirelengthModel {
         a: CellId,
         b: CellId,
     ) -> WireTrial {
+        let mut nets = Vec::new();
+        let delta = self.trial_swap_into(netlist, placement, a, b, &mut nets);
+        WireTrial { delta, nets }
+    }
+
+    /// [`WirelengthModel::trial_swap`] into a caller-owned buffer: `nets`
+    /// is cleared and refilled with the `(net, new_hpwl)` pairs; the total
+    /// delta is returned. Same computation in the same order as the
+    /// allocating form — this is the batch kernel's entry point, letting
+    /// one buffer serve a whole candidate batch.
+    pub fn trial_swap_into(
+        &mut self,
+        netlist: &Netlist,
+        placement: &Placement,
+        a: CellId,
+        b: CellId,
+        nets: &mut Vec<(NetId, f64)>,
+    ) -> f64 {
         self.collect_affected(netlist, a, b);
         let pa = placement.position(a);
         let pb = placement.position(b);
         let mut delta = 0.0;
-        let mut nets = Vec::with_capacity(self.affected.len());
+        nets.clear();
+        nets.reserve(self.affected.len());
         for i in 0..self.affected.len() {
             let nid = self.affected[i];
             let net = netlist.net(nid);
@@ -129,7 +148,7 @@ impl WirelengthModel {
             delta += new_len - self.hpwl[nid.index()];
             nets.push((nid, new_len));
         }
-        WireTrial { delta, nets }
+        delta
     }
 
     /// Apply a swap that the placement is about to make (or just made):
@@ -306,6 +325,27 @@ mod tests {
                     return;
                 }
             }
+        }
+    }
+
+    #[test]
+    fn trial_swap_into_matches_allocating_form_bitwise() {
+        let (nl, p) = setup(6);
+        let mut wl = WirelengthModel::new(&nl, &p);
+        let mut rng = Rng::new(13);
+        let mut buf: Vec<(NetId, f64)> = Vec::new();
+        for _ in 0..100 {
+            let a = CellId(rng.index(nl.num_cells()) as u32);
+            let mut b = a;
+            while b == a {
+                b = CellId(rng.index(nl.num_cells()) as u32);
+            }
+            // Reused buffer (stale contents from the previous iteration)
+            // must not leak into the result.
+            let delta = wl.trial_swap_into(&nl, &p, a, b, &mut buf);
+            let trial = wl.trial_swap(&nl, &p, a, b);
+            assert_eq!(delta.to_bits(), trial.delta.to_bits());
+            assert_eq!(buf, trial.nets);
         }
     }
 

@@ -15,6 +15,38 @@ pub struct Candidate<M> {
     pub trial_cost: f64,
 }
 
+/// Reusable buffers for batched candidate sampling and evaluation.
+///
+/// The batched samplers fill `moves` via [`SearchProblem::sample_moves`]
+/// and `costs` via [`SearchProblem::trial_costs`]; owning one scratch per
+/// search loop (engine, CLW, compound builder) and threading it through
+/// the `_with` samplers keeps the hot path free of per-step allocation.
+/// The buffers are plain state — cloning an engine clones them, and stale
+/// contents are overwritten (cleared) by every batch.
+#[derive(Clone, Debug)]
+pub struct CandidateScratch<M> {
+    /// Sampled moves of the current batch.
+    moves: Vec<M>,
+    /// Trial costs, index-aligned with `moves`.
+    costs: Vec<f64>,
+}
+
+impl<M> CandidateScratch<M> {
+    /// Empty scratch; buffers grow to the candidate-list size on first use.
+    pub fn new() -> CandidateScratch<M> {
+        CandidateScratch {
+            moves: Vec::new(),
+            costs: Vec::new(),
+        }
+    }
+}
+
+impl<M> Default for CandidateScratch<M> {
+    fn default() -> Self {
+        CandidateScratch::new()
+    }
+}
+
 /// Candidate list sampler.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CandidateList {
@@ -29,42 +61,84 @@ impl CandidateList {
     }
 
     /// Sample `size` moves and return them sorted by ascending trial cost.
+    ///
+    /// Convenience form of [`CandidateList::sample_sorted_with`] with a
+    /// throwaway scratch; loops should hold their own scratch instead.
     pub fn sample_sorted<P: SearchProblem>(
         &self,
         problem: &mut P,
         rng: &mut Rng,
         range: Option<(usize, usize)>,
     ) -> Vec<Candidate<P::Move>> {
-        let mut out = Vec::with_capacity(self.size);
-        for _ in 0..self.size {
-            let mv = problem.sample_move(rng, range);
-            let trial_cost = problem.trial_cost(&mv);
-            out.push(Candidate { mv, trial_cost });
-        }
-        out.sort_by(|a, b| {
-            a.trial_cost
-                .partial_cmp(&b.trial_cost)
-                .expect("trial costs must not be NaN")
-        });
+        let mut scratch = CandidateScratch::new();
+        self.sample_sorted_with(problem, rng, range, &mut scratch)
+    }
+
+    /// Batched [`CandidateList::sample_sorted`]: one `sample_moves` +
+    /// `trial_costs` round trip through `scratch`, then a stable sort by
+    /// ascending trial cost ([`f64::total_cmp`], so a NaN-costed candidate
+    /// ranks last instead of panicking mid-run).
+    pub fn sample_sorted_with<P: SearchProblem>(
+        &self,
+        problem: &mut P,
+        rng: &mut Rng,
+        range: Option<(usize, usize)>,
+        scratch: &mut CandidateScratch<P::Move>,
+    ) -> Vec<Candidate<P::Move>> {
+        problem.sample_moves(rng, range, self.size, &mut scratch.moves);
+        problem.trial_costs(&scratch.moves, &mut scratch.costs);
+        let mut out: Vec<Candidate<P::Move>> = scratch
+            .moves
+            .iter()
+            .cloned()
+            .zip(scratch.costs.iter().copied())
+            .map(|(mv, trial_cost)| Candidate { mv, trial_cost })
+            .collect();
+        out.sort_by(|a, b| a.trial_cost.total_cmp(&b.trial_cost));
         out
     }
 
     /// Sample and return only the best move.
+    ///
+    /// Convenience form of [`CandidateList::sample_best_with`] with a
+    /// throwaway scratch; loops should hold their own scratch instead.
     pub fn sample_best<P: SearchProblem>(
         &self,
         problem: &mut P,
         rng: &mut Rng,
         range: Option<(usize, usize)>,
     ) -> Candidate<P::Move> {
-        let mut best: Option<Candidate<P::Move>> = None;
-        for _ in 0..self.size {
-            let mv = problem.sample_move(rng, range);
-            let trial_cost = problem.trial_cost(&mv);
-            if best.as_ref().is_none_or(|b| trial_cost < b.trial_cost) {
-                best = Some(Candidate { mv, trial_cost });
+        let mut scratch = CandidateScratch::new();
+        self.sample_best_with(problem, rng, range, &mut scratch)
+    }
+
+    /// Batched [`CandidateList::sample_best`]: the whole batch is sampled
+    /// up front (`sample_moves` consumes exactly the scalar loop's RNG
+    /// draws in the same order), trial-costed in one kernel call, and
+    /// scanned for the first strict minimum — the same winner and
+    /// tie-breaking as the one-at-a-time loop (earliest-sampled wins ties;
+    /// a NaN cost never displaces an earlier candidate).
+    pub fn sample_best_with<P: SearchProblem>(
+        &self,
+        problem: &mut P,
+        rng: &mut Rng,
+        range: Option<(usize, usize)>,
+        scratch: &mut CandidateScratch<P::Move>,
+    ) -> Candidate<P::Move> {
+        problem.sample_moves(rng, range, self.size, &mut scratch.moves);
+        problem.trial_costs(&scratch.moves, &mut scratch.costs);
+        debug_assert_eq!(scratch.moves.len(), self.size);
+        debug_assert_eq!(scratch.costs.len(), self.size);
+        let mut best = 0;
+        for i in 1..scratch.costs.len() {
+            if scratch.costs[i] < scratch.costs[best] {
+                best = i;
             }
         }
-        best.expect("size >= 1 guarantees a candidate")
+        Candidate {
+            mv: scratch.moves[best].clone(),
+            trial_cost: scratch.costs[best],
+        }
     }
 }
 
@@ -113,5 +187,112 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn rejects_empty_list() {
         CandidateList::new(0);
+    }
+
+    #[test]
+    fn batched_best_matches_scalar_reference_loop() {
+        // The pre-batching reference semantics, inlined: sample one move at
+        // a time, keep the first strict minimum.
+        let mut q = Qap::random(18, 8);
+        let cl = CandidateList::new(9);
+        let mut rng_a = Rng::new(31);
+        let mut rng_b = Rng::new(31);
+        let mut scratch = CandidateScratch::new();
+        for _ in 0..50 {
+            let mut best: Option<Candidate<(usize, usize)>> = None;
+            for _ in 0..cl.size {
+                let mv = q.sample_move(&mut rng_a, Some((2, 11)));
+                let trial_cost = q.trial_cost(&mv);
+                if best.as_ref().is_none_or(|b| trial_cost < b.trial_cost) {
+                    best = Some(Candidate { mv, trial_cost });
+                }
+            }
+            let reference = best.unwrap();
+            let batched = cl.sample_best_with(&mut q, &mut rng_b, Some((2, 11)), &mut scratch);
+            assert_eq!(reference.mv, batched.mv, "winner diverged");
+            assert_eq!(reference.trial_cost.to_bits(), batched.trial_cost.to_bits());
+            // Both paths must leave the RNG streams aligned.
+            q.apply(&batched.mv);
+        }
+        assert_eq!(rng_a.next_u64(), rng_b.next_u64(), "RNG streams diverged");
+    }
+
+    #[test]
+    fn nan_costs_rank_last_without_panicking() {
+        // A problem that costs one specific move as NaN: ranking must not
+        // panic, and the NaN candidate must never win.
+        struct NanProblem {
+            q: Qap,
+            poison: (usize, usize),
+        }
+        impl SearchProblem for NanProblem {
+            type Move = (usize, usize);
+            type Attribute = (u32, u32);
+            type Snapshot = crate::qap::QapAssignment;
+            fn cost(&self) -> f64 {
+                self.q.cost()
+            }
+            fn domain_size(&self) -> usize {
+                self.q.domain_size()
+            }
+            fn sample_move(&mut self, rng: &mut Rng, range: Option<(usize, usize)>) -> Self::Move {
+                self.q.sample_move(rng, range)
+            }
+            fn trial_cost(&mut self, mv: &Self::Move) -> f64 {
+                if *mv == self.poison {
+                    f64::NAN
+                } else {
+                    self.q.trial_cost(mv)
+                }
+            }
+            fn apply(&mut self, mv: &Self::Move) {
+                self.q.apply(mv);
+            }
+            fn undo(&mut self, mv: &Self::Move) {
+                self.q.undo(mv);
+            }
+            fn attributes(&self, mv: &Self::Move) -> crate::problem::AttrPair<Self::Attribute> {
+                SearchProblem::attributes(&self.q, mv)
+            }
+            fn snapshot(&self) -> Self::Snapshot {
+                self.q.snapshot()
+            }
+            fn restore(&mut self, snapshot: &Self::Snapshot) {
+                self.q.restore(snapshot);
+            }
+        }
+        let mut rng = Rng::new(12);
+        let mut p = NanProblem {
+            q: Qap::random(6, 2),
+            poison: (0, 0),
+        };
+        // Find an actual samplable move to poison, then rank repeatedly.
+        p.poison = p.q.sample_move(&mut rng, None);
+        let cl = CandidateList::new(12);
+        for _ in 0..20 {
+            let sorted = cl.sample_sorted(&mut p, &mut rng, None);
+            for w in sorted.windows(2) {
+                assert!(w[0].trial_cost.total_cmp(&w[1].trial_cost).is_le());
+            }
+            if sorted.iter().any(|c| c.trial_cost.is_nan()) {
+                assert!(
+                    sorted.last().unwrap().trial_cost.is_nan(),
+                    "NaN candidates must rank last"
+                );
+            }
+            // Scalar first-wins semantics (preserved bit-for-bit by the
+            // batched scan): a NaN in slot 0 is never displaced, because
+            // `x < NaN` is false for every x. So the poisoned move may win
+            // only when it was the *first* candidate sampled.
+            let mut peek = rng.clone();
+            let first_mv = p.sample_move(&mut peek, None);
+            let best = cl.sample_best(&mut p, &mut rng, None);
+            if best.trial_cost.is_nan() {
+                assert_eq!(
+                    first_mv, p.poison,
+                    "a NaN candidate may only win from slot 0"
+                );
+            }
+        }
     }
 }

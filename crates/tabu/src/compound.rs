@@ -10,7 +10,7 @@
 //! to depth `d`, stop early on improvement over the starting cost, and keep
 //! only the best prefix of the chain.
 
-use crate::candidate::CandidateList;
+use crate::candidate::{CandidateList, CandidateScratch};
 use crate::problem::SearchProblem;
 use pts_util::Rng;
 
@@ -55,6 +55,23 @@ pub fn build_compound<P: SearchProblem>(
     depth: usize,
     early_accept: bool,
 ) -> CompoundMove<P::Move> {
+    let mut scratch = CandidateScratch::new();
+    build_compound_with(problem, rng, range, m, depth, early_accept, &mut scratch)
+}
+
+/// [`build_compound`] with a caller-owned candidate scratch, so a search
+/// loop building many compound moves reuses one set of batch buffers
+/// instead of allocating per elementary step.
+#[allow(clippy::too_many_arguments)]
+pub fn build_compound_with<P: SearchProblem>(
+    problem: &mut P,
+    rng: &mut Rng,
+    range: Option<(usize, usize)>,
+    m: usize,
+    depth: usize,
+    early_accept: bool,
+    scratch: &mut CandidateScratch<P::Move>,
+) -> CompoundMove<P::Move> {
     assert!(depth >= 1, "compound depth must be at least 1");
     let sampler = CandidateList::new(m);
     let start_cost = problem.cost();
@@ -62,7 +79,7 @@ pub fn build_compound<P: SearchProblem>(
     let mut applied: Vec<P::Move> = Vec::with_capacity(depth);
     let mut cost_after: Vec<f64> = Vec::with_capacity(depth);
     for _ in 0..depth {
-        let cand = sampler.sample_best(problem, rng, range);
+        let cand = sampler.sample_best_with(problem, rng, range, scratch);
         problem.apply(&cand.mv);
         applied.push(cand.mv);
         let c = problem.cost();
@@ -82,12 +99,14 @@ pub fn build_compound<P: SearchProblem>(
         }
     }
     // The paper's CLW always proposes a move ("degrades it the least"):
-    // if no prefix improves, keep the single least-bad elementary move.
+    // if no prefix improves, keep the single least-bad elementary move
+    // (total order, so a NaN-costed step cannot panic the worker; NaN
+    // ranks above every real cost and is never picked against one).
     if best_len == 0 {
         let (idx, &c) = cost_after
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN costs"))
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .expect("depth >= 1");
         // Least-bad prefix is the one ending at the minimum cost.
         best_len = idx + 1;

@@ -78,4 +78,44 @@ pub trait SearchProblem {
 
     /// Restore a snapshot.
     fn restore(&mut self, snapshot: &Self::Snapshot);
+
+    /// Sample `count` candidate moves into `out` (cleared first).
+    ///
+    /// Contract: consumes exactly the RNG draws of `count` successive
+    /// [`SearchProblem::sample_move`] calls, in the same order — the
+    /// parallel pipeline relies on batched and scalar sampling being
+    /// RNG-stream-identical. The default does exactly that; override only
+    /// to restructure the loop, never to change the draw sequence.
+    fn sample_moves(
+        &mut self,
+        rng: &mut Rng,
+        range: Option<(usize, usize)>,
+        count: usize,
+        out: &mut Vec<Self::Move>,
+    ) {
+        out.clear();
+        out.reserve(count);
+        for _ in 0..count {
+            let mv = self.sample_move(rng, range);
+            out.push(mv);
+        }
+    }
+
+    /// Trial-cost a batch of moves into `out` (cleared first), without
+    /// mutating state: `out[i]` must be bitwise equal to what
+    /// `trial_cost(&moves[i])` would return in the current state.
+    ///
+    /// The default is the scalar loop; implementations override it to
+    /// amortize cache traffic and per-call setup across the batch (the
+    /// hot path of the candidate-list worker), but must keep every
+    /// floating-point operation order intact so batched evaluation stays
+    /// bit-identical to the scalar path.
+    fn trial_costs(&mut self, moves: &[Self::Move], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(moves.len());
+        for mv in moves {
+            let c = self.trial_cost(mv);
+            out.push(c);
+        }
+    }
 }

@@ -9,7 +9,8 @@
 //! sequential use.
 
 use crate::aspiration::Aspiration;
-use crate::compound::{apply_compound, build_compound, undo_compound, CompoundMove};
+use crate::candidate::CandidateScratch;
+use crate::compound::{apply_compound, build_compound_with, undo_compound, CompoundMove};
 use crate::memory::FrequencyMemory;
 use crate::problem::SearchProblem;
 use crate::tabu_list::TabuList;
@@ -105,6 +106,8 @@ pub struct TabuEngine<P: SearchProblem> {
     iter: u64,
     stats: SearchStats,
     trace: Trace,
+    /// Batch buffers for candidate sampling, reused across every step.
+    scratch: CandidateScratch<P::Move>,
 }
 
 impl<P: SearchProblem> TabuEngine<P> {
@@ -124,6 +127,7 @@ impl<P: SearchProblem> TabuEngine<P> {
             iter: 0,
             stats: SearchStats::default(),
             trace,
+            scratch: CandidateScratch::new(),
         }
     }
 
@@ -194,13 +198,14 @@ impl<P: SearchProblem> TabuEngine<P> {
     /// Run one local iteration: build a compound move locally and feed it
     /// through the tabu test.
     pub fn step(&mut self, problem: &mut P, now: f64) -> StepOutcome {
-        let compound = build_compound(
+        let compound = build_compound_with(
             problem,
             &mut self.rng,
             self.config.range,
             self.config.candidates,
             self.config.depth,
             self.config.early_accept,
+            &mut self.scratch,
         );
         // `build_compound` leaves the chain applied; the tabu test needs the
         // pre-compound state.

@@ -1,0 +1,329 @@
+//! The batched candidate-evaluation contract, cross-crate: batched
+//! sampling and trial-costing must be *bit-identical* to the scalar
+//! path on every domain — same RNG draws, same winners, same cost bits
+//! — because the parallel pipeline's determinism goldens ride on it.
+//! Also proves the `SearchProblem` default implementations hold the
+//! contract for a minimal third-party problem that overrides neither
+//! batch hook.
+
+use parallel_tabu_search::core::PlacementProblem;
+use parallel_tabu_search::netlist::{generate, CircuitSpec, TimingGraph};
+use parallel_tabu_search::place::eval::{EvalConfig, Evaluator};
+use parallel_tabu_search::place::init::random_placement;
+use parallel_tabu_search::prelude::*;
+use parallel_tabu_search::tabu::candidate::{Candidate, CandidateList, CandidateScratch};
+use parallel_tabu_search::tabu::problem::AttrPair;
+use parallel_tabu_search::tabu::Qap;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A deliberately third-party-shaped problem: no incremental caches, no
+/// batch-hook overrides — `sample_moves` and `trial_costs` come from the
+/// trait defaults. Items on a shelf, cost `Σ value[k] · (k+1)` (lower is
+/// better, so descending values are optimal); small value alphabets make
+/// exact trial-cost ties common, exercising first-wins tie-breaking.
+#[derive(Clone, Debug)]
+struct ShelfOrder {
+    values: Vec<u16>,
+}
+
+impl SearchProblem for ShelfOrder {
+    type Move = (usize, usize);
+    type Attribute = (u32, u32);
+    type Snapshot = Vec<u16>;
+
+    fn cost(&self) -> f64 {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(k, &v)| v as f64 * (k as f64 + 1.0))
+            .sum()
+    }
+
+    fn domain_size(&self) -> usize {
+        self.values.len()
+    }
+
+    fn sample_move(&mut self, rng: &mut Rng, range: Option<(usize, usize)>) -> Self::Move {
+        let (lo, hi) = range.unwrap_or((0, self.values.len()));
+        // a == b is allowed: a degenerate swap trial-costs to the current
+        // cost, another source of exact ties.
+        (rng.range(lo, hi), rng.index(self.values.len()))
+    }
+
+    fn trial_cost(&mut self, mv: &Self::Move) -> f64 {
+        let (a, b) = *mv;
+        let mut c = 0.0;
+        for (k, &v) in self.values.iter().enumerate() {
+            let v = if k == a {
+                self.values[b]
+            } else if k == b {
+                self.values[a]
+            } else {
+                v
+            };
+            c += v as f64 * (k as f64 + 1.0);
+        }
+        c
+    }
+
+    fn apply(&mut self, mv: &Self::Move) {
+        self.values.swap(mv.0, mv.1);
+    }
+
+    fn undo(&mut self, mv: &Self::Move) {
+        self.values.swap(mv.0, mv.1);
+    }
+
+    fn attributes(&self, mv: &Self::Move) -> AttrPair<Self::Attribute> {
+        (
+            (mv.0 as u32, self.values[mv.0] as u32),
+            Some((mv.1 as u32, self.values[mv.1] as u32)),
+        )
+    }
+
+    fn snapshot(&self) -> Self::Snapshot {
+        self.values.clone()
+    }
+
+    fn restore(&mut self, snapshot: &Self::Snapshot) {
+        self.values.clone_from(snapshot);
+    }
+}
+
+/// Scalar reference for `sample_best_with`: one move at a time, keep the
+/// first strict minimum — the pre-batching engine loop, inlined.
+fn scalar_best<P: SearchProblem>(
+    p: &mut P,
+    rng: &mut Rng,
+    range: Option<(usize, usize)>,
+    size: usize,
+) -> Candidate<P::Move> {
+    let mut best: Option<Candidate<P::Move>> = None;
+    for _ in 0..size {
+        let mv = p.sample_move(rng, range);
+        let trial_cost = p.trial_cost(&mv);
+        if best.as_ref().is_none_or(|b| trial_cost < b.trial_cost) {
+            best = Some(Candidate { mv, trial_cost });
+        }
+    }
+    best.expect("size >= 1")
+}
+
+fn small_circuit(seed: u64) -> CircuitSpec {
+    CircuitSpec {
+        name: format!("batch{seed}"),
+        n_inputs: 4,
+        n_outputs: 3,
+        n_flipflops: 2,
+        n_logic: 24,
+        depth: 4,
+        fanout_tail: 0.15,
+        seed,
+    }
+}
+
+fn placement_problem(seed: u64) -> PlacementProblem {
+    let nl = Arc::new(generate(&small_circuit(seed)));
+    let tg = Arc::new(TimingGraph::build(&nl).unwrap());
+    let p = random_placement(&nl, seed);
+    PlacementProblem::new(Evaluator::new(nl, tg, p, EvalConfig::default()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn qap_batched_costs_match_scalar_bitwise(
+        n in 4usize..32,
+        seed in 0u64..5000,
+        batch in 1usize..24,
+        steps in 1usize..8,
+    ) {
+        let mut q = Qap::random(n, seed);
+        let mut rng = Rng::new(seed ^ 0xABCD);
+        let mut batched = Vec::new();
+        for _ in 0..steps {
+            let mut moves = Vec::new();
+            q.sample_moves(&mut rng, None, batch, &mut moves);
+            let scalar: Vec<f64> = moves.iter().map(|mv| q.trial_cost(mv)).collect();
+            q.trial_costs(&moves, &mut batched);
+            prop_assert_eq!(scalar.len(), batched.len());
+            for (s, b) in scalar.iter().zip(batched.iter()) {
+                prop_assert_eq!(s.to_bits(), b.to_bits(), "QAP batched kernel diverged");
+            }
+            let mv = q.sample_move(&mut rng, None);
+            q.apply(&mv);
+        }
+    }
+
+    #[test]
+    fn batched_sampling_consumes_identical_rng_stream(
+        n in 4usize..32,
+        seed in 0u64..5000,
+        batch in 1usize..24,
+        anchored in any::<bool>(),
+    ) {
+        let mut q = Qap::random(n, seed);
+        let range = anchored.then(|| (0, (n / 2).max(1)));
+        let mut a = Rng::new(seed);
+        let mut b = Rng::new(seed);
+        let mut batch_moves = Vec::new();
+        q.sample_moves(&mut a, range, batch, &mut batch_moves);
+        let scalar: Vec<_> = (0..batch).map(|_| q.sample_move(&mut b, range)).collect();
+        prop_assert_eq!(batch_moves, scalar);
+        prop_assert_eq!(a.next_u64(), b.next_u64(), "RNG streams diverged");
+    }
+
+    #[test]
+    fn shelf_ties_resolve_first_wins(
+        n in 3usize..24,
+        // Tiny value alphabet: many duplicate values, hence many exact
+        // trial-cost ties for the first-wins scan to break.
+        values_seed in 0u64..5000,
+        size in 1usize..16,
+        steps in 1usize..8,
+    ) {
+        let mut vrng = Rng::new(values_seed);
+        let values: Vec<u16> = (0..n).map(|_| vrng.index(3) as u16).collect();
+        let mut p = ShelfOrder { values };
+        let mut rng_a = Rng::new(values_seed ^ 0x77);
+        let mut rng_b = rng_a.clone();
+        let cl = CandidateList::new(size);
+        let mut scratch = CandidateScratch::new();
+        for _ in 0..steps {
+            let reference = scalar_best(&mut p, &mut rng_a, None, size);
+            let batched = cl.sample_best_with(&mut p, &mut rng_b, None, &mut scratch);
+            prop_assert_eq!(&reference.mv, &batched.mv, "tie broken differently");
+            prop_assert_eq!(reference.trial_cost.to_bits(), batched.trial_cost.to_bits());
+            p.apply(&batched.mv);
+        }
+        prop_assert_eq!(rng_a.next_u64(), rng_b.next_u64(), "RNG streams diverged");
+    }
+
+    #[test]
+    fn default_impls_match_scalar_loops_bitwise(
+        n in 3usize..24,
+        seed in 0u64..5000,
+        batch in 1usize..16,
+    ) {
+        // ShelfOrder overrides neither batch hook: this pins the *trait
+        // defaults* to the contract a third-party problem inherits.
+        let mut vrng = Rng::new(seed);
+        let values: Vec<u16> = (0..n).map(|_| vrng.index(100) as u16).collect();
+        let mut p = ShelfOrder { values };
+        let mut a = Rng::new(seed ^ 0x1234);
+        let mut b = a.clone();
+        let mut moves = Vec::new();
+        p.sample_moves(&mut a, None, batch, &mut moves);
+        let scalar_moves: Vec<_> = (0..batch).map(|_| p.sample_move(&mut b, None)).collect();
+        prop_assert_eq!(&moves, &scalar_moves);
+        prop_assert_eq!(a.next_u64(), b.next_u64());
+        let mut batched = Vec::new();
+        p.trial_costs(&moves, &mut batched);
+        let scalar: Vec<f64> = moves.iter().map(|mv| p.trial_cost(mv)).collect();
+        prop_assert_eq!(batched.len(), scalar.len());
+        for (sc, ba) in scalar.iter().zip(batched.iter()) {
+            prop_assert_eq!(sc.to_bits(), ba.to_bits(), "default trial_costs diverged");
+        }
+        // And the sorted sampler built on those defaults agrees with a
+        // reference ranking assembled from scalar calls only.
+        let mut rng_c = Rng::new(seed ^ 0x9999);
+        let mut rng_d = rng_c.clone();
+        let cl = CandidateList::new(batch);
+        let mut scratch = CandidateScratch::new();
+        let sorted = cl.sample_sorted_with(&mut p, &mut rng_c, None, &mut scratch);
+        let mut reference: Vec<Candidate<(usize, usize)>> = (0..batch)
+            .map(|_| {
+                let mv = p.sample_move(&mut rng_d, None);
+                let trial_cost = p.trial_cost(&mv);
+                Candidate { mv, trial_cost }
+            })
+            .collect();
+        reference.sort_by(|x, y| x.trial_cost.total_cmp(&y.trial_cost));
+        prop_assert_eq!(sorted.len(), reference.len());
+        for (s, r) in sorted.iter().zip(reference.iter()) {
+            prop_assert_eq!(&s.mv, &r.mv);
+            prop_assert_eq!(s.trial_cost.to_bits(), r.trial_cost.to_bits());
+        }
+    }
+}
+
+proptest! {
+    // Placement evaluation builds HPWL + STA models per case — keep the
+    // case count modest.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn placement_batched_costs_match_scalar_bitwise(
+        seed in 0u64..2000,
+        batch in 1usize..16,
+        steps in 1usize..5,
+    ) {
+        let mut pr = placement_problem(seed);
+        let n = pr.domain_size();
+        let mut rng = Rng::new(seed ^ 0xF00);
+        let mut batched = Vec::new();
+        for _ in 0..steps {
+            let mut moves = Vec::new();
+            pr.sample_moves(&mut rng, Some((0, n / 2)), batch, &mut moves);
+            let scalar: Vec<f64> = moves.iter().map(|mv| pr.trial_cost(mv)).collect();
+            pr.trial_costs(&moves, &mut batched);
+            prop_assert_eq!(scalar.len(), batched.len());
+            for (s, b) in scalar.iter().zip(batched.iter()) {
+                prop_assert_eq!(s.to_bits(), b.to_bits(), "placement batched kernel diverged");
+            }
+            pr.apply(&moves[0]);
+        }
+    }
+}
+
+#[test]
+fn all_equal_costs_pick_the_first_sampled_move() {
+    // Every value identical ⇒ every swap trial-costs to exactly the
+    // current cost: the batched scan must keep slot 0, like the scalar
+    // first-strict-minimum loop.
+    let mut p = ShelfOrder {
+        values: vec![5; 12],
+    };
+    let cl = CandidateList::new(10);
+    let mut scratch = CandidateScratch::new();
+    for seed in 0..20 {
+        let mut rng_a = Rng::new(seed);
+        let mut rng_b = rng_a.clone();
+        let first = p.sample_move(&mut rng_a, None);
+        let best = cl.sample_best_with(&mut p, &mut rng_b, None, &mut scratch);
+        assert_eq!(
+            best.mv, first,
+            "an all-tie batch must keep the first candidate"
+        );
+        assert_eq!(best.trial_cost.to_bits(), p.cost().to_bits());
+    }
+}
+
+#[test]
+fn empty_improvement_batch_keeps_scalar_winner() {
+    // Descending distinct values are the exact optimum of ShelfOrder:
+    // every real swap strictly worsens the cost. The batched winner must
+    // still match the scalar reference (no "improving move" shortcut may
+    // change selection), and must never claim an improvement.
+    let n = 16;
+    let mut p = ShelfOrder {
+        values: (0..n as u16).rev().map(|v| v * 10).collect(),
+    };
+    let current = p.cost();
+    let cl = CandidateList::new(8);
+    let mut scratch = CandidateScratch::new();
+    for seed in 0..20 {
+        let mut rng_a = Rng::new(seed);
+        let mut rng_b = rng_a.clone();
+        let reference = scalar_best(&mut p, &mut rng_a, None, cl.size);
+        let batched = cl.sample_best_with(&mut p, &mut rng_b, None, &mut scratch);
+        assert_eq!(reference.mv, batched.mv);
+        assert_eq!(reference.trial_cost.to_bits(), batched.trial_cost.to_bits());
+        assert!(
+            batched.trial_cost >= current,
+            "no candidate can beat the optimum"
+        );
+    }
+}

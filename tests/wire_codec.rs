@@ -13,7 +13,7 @@
 
 use parallel_tabu_search::core::wire::{self, decode_msg, encode_msg, peek_dst, WireProblem};
 use parallel_tabu_search::core::{
-    PlacementDelta, PlacementProblem, PtsMsg, QapDelta, SnapshotPayload,
+    PlacementDelta, PlacementProblem, PtsMsg, QapDelta, SnapshotPayload, TabuPayload,
 };
 use parallel_tabu_search::netlist::by_name;
 use parallel_tabu_search::place::init::random_placement;
@@ -72,6 +72,7 @@ fn qap_msg(
     moves: Vec<(usize, usize)>,
     stats: [u64; 5],
     use_delta: bool,
+    tabu_delta: bool,
 ) -> PtsMsg<Qap> {
     let snapshot = Arc::new(QapAssignment::new(perm(n, seed)));
     let payload = if use_delta {
@@ -85,6 +86,18 @@ fn qap_msg(
         SnapshotPayload::Full(Arc::clone(&snapshot))
     };
     let tabu = Arc::new(tabu);
+    // Broadcast-shaped messages carry a `TabuPayload`; exercise both the
+    // full-list wrapper and the aged-diff delta encoding.
+    let tabu_payload = if tabu_delta {
+        TabuPayload::Delta {
+            base_seq: global,
+            aged: seq % 17,
+            added: Arc::clone(&tabu),
+            removed: Arc::new(moves.iter().map(|&(a, b)| (a as u32, b as u32)).collect()),
+        }
+    } else {
+        TabuPayload::Full(Arc::clone(&tabu))
+    };
     let trace: Vec<TracePoint> = trace
         .into_iter()
         .map(|(time, iter, best_cost)| TracePoint {
@@ -105,7 +118,7 @@ fn qap_msg(
         1 => PtsMsg::Broadcast {
             global,
             snapshot: payload,
-            tabu,
+            tabu: tabu_payload,
         },
         2 => PtsMsg::ForceReport { global },
         3 => PtsMsg::Report {
@@ -130,7 +143,7 @@ fn qap_msg(
         5 => PtsMsg::GroupBroadcast {
             global,
             snapshot: payload,
-            tabu,
+            tabu: tabu_payload,
         },
         6 => PtsMsg::AdoptState {
             seq: global,
@@ -168,10 +181,11 @@ proptest! {
         moves in proptest::collection::vec((0usize..64, 0usize..64), 0..5),
         stats_seed in 0u64..1_000_000,
         use_delta in any::<bool>(),
+        tabu_delta in any::<bool>(),
     ) {
         let stats = [stats_seed, stats_seed / 2, stats_seed / 3, stats_seed / 5, stats_seed / 7];
         let msg = qap_msg(
-            variant, n, seed, global, seq, cost, tabu, trace, moves, stats, use_delta,
+            variant, n, seed, global, seq, cost, tabu, trace, moves, stats, use_delta, tabu_delta,
         );
         check_roundtrip::<Qap>(&msg, dst, &());
     }
@@ -189,6 +203,7 @@ proptest! {
             (0.0f64..1.0e4, 0u64..1_000_000, 0.0f64..10.0), 0..5),
         moves in proptest::collection::vec((0u32..56, 0u32..56), 0..5),
         use_delta in any::<bool>(),
+        tabu_delta in any::<bool>(),
     ) {
         // A placement snapshot must be a bijection of cells onto slots —
         // generate real placements of the paper's smallest benchmark.
@@ -213,6 +228,16 @@ proptest! {
             SnapshotPayload::Full(Arc::clone(&snapshot))
         };
         let tabu = Arc::new(tabu);
+        let tabu_payload = if tabu_delta {
+            TabuPayload::Delta {
+                base_seq: global,
+                aged: seq % 17,
+                added: Arc::clone(&tabu),
+                removed: Arc::new(moves.clone()),
+            }
+        } else {
+            TabuPayload::Full(Arc::clone(&tabu))
+        };
         let trace_points: Vec<TracePoint> = trace
             .iter()
             .map(|&(time, iter, best_cost)| TracePoint { time, iter, best_cost })
@@ -228,7 +253,7 @@ proptest! {
                 .collect();
         let msg: PtsMsg<PlacementProblem> = match variant {
             0 => PtsMsg::Init { snapshot },
-            1 => PtsMsg::Broadcast { global, snapshot: payload, tabu },
+            1 => PtsMsg::Broadcast { global, snapshot: payload, tabu: tabu_payload },
             2 => PtsMsg::ForceReport { global },
             3 => PtsMsg::Report {
                 tsw: 3, global, cost, snapshot: payload, tabu,
@@ -238,7 +263,7 @@ proptest! {
                 shard: 2, global, cost, snapshot: payload, tabu,
                 trace: trace_points, stats, forced: seq,
             },
-            5 => PtsMsg::GroupBroadcast { global, snapshot: payload, tabu },
+            5 => PtsMsg::GroupBroadcast { global, snapshot: payload, tabu: tabu_payload },
             6 => PtsMsg::AdoptState { seq: global, snapshot: payload },
             7 => PtsMsg::Investigate { seq },
             8 => PtsMsg::CutShort { seq },
