@@ -137,6 +137,7 @@ impl<D: PtsDomain> ExecutionEngine<D> for AsyncEngine {
                 end_time: cluster_report.end_time,
                 wall_seconds,
                 per_proc: cluster_report.per_proc,
+                dead_ranks: vec![],
             },
         }
     }

@@ -315,6 +315,20 @@ impl RunBuilder {
         self
     }
 
+    /// Proc-engine worker heartbeat interval in milliseconds
+    /// (0 = disabled). See [`PtsConfig::heartbeat_ms`].
+    pub fn heartbeat_ms(mut self, ms: u64) -> Self {
+        self.cfg.heartbeat_ms = ms;
+        self
+    }
+
+    /// Proc-engine reap grace window in milliseconds. See
+    /// [`PtsConfig::reap_grace_ms`].
+    pub fn reap_grace_ms(mut self, ms: u64) -> Self {
+        self.cfg.reap_grace_ms = ms;
+        self
+    }
+
     /// Validate everything; a returned [`PtsRun`] is guaranteed runnable.
     pub fn build(mut self) -> Result<PtsRun, ConfigError> {
         if self.auto_fanout {

@@ -164,6 +164,21 @@ pub struct PtsConfig {
     /// timelines) but never the search trajectory — the resolved list
     /// is always exactly the sender's.
     pub tabu_delta: bool,
+    /// Worker heartbeat interval in milliseconds for the proc engine,
+    /// `0` = disabled (default). When positive, every worker process
+    /// writes a socket-layer liveness beacon at this cadence so the
+    /// router's supervisor can tell a *hung* child (stale heartbeat,
+    /// announced down and excused) from a merely quiet one. Heartbeats
+    /// are consumed at the router: they never reach the protocol and
+    /// never change a search trajectory. Ignored by the in-process
+    /// engines.
+    pub heartbeat_ms: u64,
+    /// Grace window in milliseconds the proc engine grants children to
+    /// exit on their own before killing stragglers outright (both on the
+    /// normal wind-down path and when aborting a failed spawn/barrier).
+    /// Default 2000; widen on slow CI hosts. Stragglers past the window
+    /// are still killed and reaped unconditionally.
+    pub reap_grace_ms: u64,
     /// Virtual work accounting (sim engine).
     pub work: WorkModel,
 }
@@ -196,6 +211,8 @@ impl Default for PtsConfig {
             differentiate_streams: false,
             liveness_timeout: 0.0,
             tabu_delta: false,
+            heartbeat_ms: 0,
+            reap_grace_ms: 2000,
             work: WorkModel::default(),
         }
     }

@@ -159,6 +159,7 @@ impl<D: PtsDomain> ExecutionEngine<D> for SimEngine {
                 end_time: cluster_report.end_time,
                 wall_seconds: wall.elapsed().as_secs_f64(),
                 per_proc: cluster_report.per_proc,
+                dead_ranks: vec![],
             },
         }
     }
@@ -297,6 +298,7 @@ impl<D: PtsDomain> ExecutionEngine<D> for ThreadEngine {
                 end_time: wall_seconds,
                 wall_seconds,
                 per_proc,
+                dead_ranks: vec![],
             },
         }
     }

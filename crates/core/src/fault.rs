@@ -409,24 +409,35 @@ impl FaultSpec {
 /// parent that would otherwise wait on its report, and the children that
 /// would otherwise wait on its broadcasts.
 fn death_notifies<P: PtsProblem>(cfg: &PtsConfig, rank: usize) -> Vec<(usize, PtsMsg<P>)> {
-    let notice = |to: usize| (to, PtsMsg::Down { rank });
+    down_recipients(cfg, rank)
+        .into_iter()
+        .map(|to| (to, PtsMsg::Down { rank }))
+        .collect()
+}
+
+/// The ranks a dying `rank` owes a [`PtsMsg::Down`] notice: the parent
+/// that would otherwise wait on its report, and the children that would
+/// otherwise wait on its broadcasts. Rank 0 (the master) notifies nobody
+/// — its death ends the run. Non-generic on purpose: the socket router
+/// precomputes these routes to synthesize Down frames on a real worker's
+/// EOF, mirroring what the vt fault injector delivers virtually.
+pub fn down_recipients(cfg: &PtsConfig, rank: usize) -> Vec<usize> {
     let tsw_lo = 1;
     let clw_lo = 1 + cfg.n_tsw;
     let shard_lo = 1 + cfg.n_tsw + cfg.n_tsw * cfg.n_clw;
     if rank == 0 {
-        // The master is never killed (resolver invariant).
+        // The master's death is fatal, not excusable.
         Vec::new()
     } else if rank < clw_lo {
         // A TSW: parent collector + its CLW group.
         let i = rank - tsw_lo;
         std::iter::once(cfg.parent_of_tsw(i))
             .chain(cfg.clw_ranks(i))
-            .map(notice)
             .collect()
     } else if rank < shard_lo {
         // A CLW: just its TSW.
         let i = (rank - clw_lo) / cfg.n_clw;
-        vec![notice(cfg.tsw_rank(i))]
+        vec![cfg.tsw_rank(i)]
     } else {
         // A sub-master: its parent and every child of its shard.
         let spec = cfg.shard_spec(rank - shard_lo);
@@ -434,10 +445,7 @@ fn death_notifies<P: PtsProblem>(cfg: &PtsConfig, rank: usize) -> Vec<(usize, Pt
             ShardChildren::Tsws { lo, hi } => (lo..hi).map(|i| cfg.tsw_rank(i)).collect(),
             ShardChildren::Shards { lo, hi } => (lo..hi).map(|s| cfg.shard_rank(s)).collect(),
         };
-        std::iter::once(spec.parent_rank)
-            .chain(children)
-            .map(notice)
-            .collect()
+        std::iter::once(spec.parent_rank).chain(children).collect()
     }
 }
 

@@ -20,6 +20,20 @@
 //! is deterministic), and runs the rank's role exactly as the thread
 //! engine's threads do. Nothing in `master.rs`/`tsw.rs`/`clw.rs` knows
 //! whether its peers share its address space.
+//!
+//! # Supervision
+//!
+//! Real processes die. The engine runs a monitor thread alongside the
+//! master that polls every child with `try_wait`: a nonzero exit marks
+//! that rank down at the router (its protocol neighbours receive
+//! [`crate::PtsMsg::Down`] and excuse it through the same
+//! quorum-over-the-living machinery the vt engine exercises), and the
+//! run completes degraded-but-truthful — [`RunReport::dead_ranks`]
+//! lists every rank that was lost. With `heartbeat_ms > 0` workers
+//! also beacon on idle streams, so a *hung* child (alive but silent)
+//! is excused once its stream has been quiet for three beacon
+//! intervals. Clean exits are never excused: a worker only exits zero
+//! after the protocol's own `Stop` wind-down.
 
 use crate::config::PtsConfig;
 use crate::control::RunControl;
@@ -33,6 +47,8 @@ use crate::wire::{self, WireError, WireProblem, WireReader};
 use crate::{clw::run_clw, tsw::run_tsw};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// How long a worker keeps retrying its first connect, and how long the
@@ -40,8 +56,12 @@ use std::time::{Duration, Instant};
 const CONNECT_OVERALL: Duration = Duration::from_secs(10);
 const BARRIER_TIMEOUT: Duration = Duration::from_secs(20);
 /// Grace period for children to exit after the protocol's `Stop` before
-/// they are killed.
+/// they are killed. Failure paths (spawn or barrier errors) use the
+/// shorter, configurable `PtsConfig::reap_grace_ms` instead — there is
+/// no protocol left to wind down.
 const REAP_TIMEOUT: Duration = Duration::from_secs(10);
+/// How often the supervisor polls children for exits and stale streams.
+const MONITOR_TICK: Duration = Duration::from_millis(25);
 
 /// A domain that can be reconstructed inside another OS process from a
 /// byte specification — the proc engine's serialization boundary for
@@ -186,8 +206,54 @@ where
     let domain = domain.freeze(&initial);
     let mut t = SocketTransport::<D::Problem>::new(stream, rank, ctx)
         .map_err(|e| format!("transport: {e}"))?;
+    if cfg.heartbeat_ms > 0 {
+        t.start_heartbeat(Duration::from_millis(cfg.heartbeat_ms));
+    }
     run_role(&mut t, cfg, &domain, rank);
     Ok(())
+}
+
+/// Test/chaos instrumentation: crash this worker when
+/// `PTS_CHAOS_CRASH_RANKS` (comma-separated rank list) names it. The
+/// crash is a hard `abort` — no wind-down, no `Stop` — so the parent
+/// sees exactly what a SIGKILL or OOM kill looks like. Two knobs shape
+/// it:
+///
+/// - `PTS_CHAOS_CRASH_ONCE=<path>`: only the process that wins creating
+///   `<path>` crashes, so a retry test loses exactly one attempt.
+/// - `PTS_CHAOS_CRASH_AFTER_MS=<n>`: arm a timer and crash mid-run
+///   instead of immediately after the handshake.
+///
+/// Deliberately inert unless the environment opts in; production runs
+/// never set these.
+fn chaos_maybe_crash(rank: u32) {
+    let Ok(ranks) = std::env::var("PTS_CHAOS_CRASH_RANKS") else {
+        return;
+    };
+    if !ranks.split(',').any(|r| r.trim().parse() == Ok(rank)) {
+        return;
+    }
+    if let Ok(token) = std::env::var("PTS_CHAOS_CRASH_ONCE") {
+        let won = std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&token)
+            .is_ok();
+        if !won {
+            return;
+        }
+    }
+    let delay_ms: u64 = std::env::var("PTS_CHAOS_CRASH_AFTER_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    if delay_ms == 0 {
+        std::process::abort();
+    }
+    std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(delay_ms));
+        std::process::abort();
+    });
 }
 
 /// Worker-process entry: connect to `addr`, handshake as `rank`, decode
@@ -197,6 +263,9 @@ pub fn worker_main(addr: &str, rank: u32) -> Result<(), String> {
     // byte. QAP's problem type anchors the generic handshake call.
     let hs = SocketTransport::<pts_tabu::qap::Qap>::handshake(addr, rank, CONNECT_OVERALL)
         .map_err(|e| format!("rank {rank} handshake: {e}"))?;
+    // After the handshake so the barrier completes and the crash lands
+    // on a live, routed rank — the case supervision must survive.
+    chaos_maybe_crash(rank);
     let mut r = WireReader::new(&hs.setup);
     let version = r.u8().map_err(|e| format!("setup: {e}"))?;
     if version != wire::WIRE_VERSION {
@@ -351,12 +420,22 @@ impl ProcEngine {
             SocketKind::Unix => SocketRouter::bind_unix_auto()?,
             SocketKind::Tcp => SocketRouter::bind_tcp_loopback()?,
         };
+        // Arm supervision before any stream exists: a rank's EOF (or an
+        // explicit `mark_down` from the monitor below) notifies exactly
+        // its protocol neighbours, mirroring `fault::death_notifies`.
+        router.set_down_routes(
+            (0..cfg.total_procs())
+                .map(|r| crate::fault::down_recipients(cfg, r))
+                .collect(),
+        );
         let addr = router.addr().to_string();
         let total = cfg.total_procs();
         let setup = encode_setup(cfg, domain, &initial);
+        let failure_grace = Duration::from_millis(cfg.reap_grace_ms);
 
         // Children first (they retry-connect while the barrier runs).
-        let mut children: Vec<Child> = Vec::with_capacity(total - 1);
+        // Rank-tagged so the monitor can name the rank a corpse held.
+        let mut children: Vec<(usize, Child)> = Vec::with_capacity(total - 1);
         for rank in 1..total {
             let spawned = Command::new(&self.worker_exe)
                 .arg("__pts-worker")
@@ -365,9 +444,9 @@ impl ProcEngine {
                 .stdin(Stdio::null())
                 .spawn();
             match spawned {
-                Ok(child) => children.push(child),
+                Ok(child) => children.push((rank, child)),
                 Err(e) => {
-                    reap(&mut children, Duration::from_secs(2));
+                    reap(&mut children, failure_grace);
                     return Err(ProcError::Io(std::io::Error::new(
                         e.kind(),
                         format!("spawning worker rank {rank}: {e}"),
@@ -389,12 +468,80 @@ impl ProcEngine {
             (hs, barrier_result) => {
                 // Either failure wedges the run; tear everything down.
                 router.finish();
-                reap(&mut children, Duration::from_secs(2));
+                reap(&mut children, failure_grace);
                 if let Err(e) = barrier_result {
                     return Err(ProcError::Io(e));
                 }
                 return Err(ProcError::Io(hs.err().expect("one side failed")));
             }
+        };
+
+        // Supervisor: poll children while the master runs. An abnormal
+        // exit marks the rank down (neighbours excuse it and the run
+        // degrades instead of hanging); so does a stream gone silent
+        // past three heartbeat intervals when beacons are enabled. Clean
+        // exits are the protocol's own wind-down — never excused.
+        let children = Arc::new(Mutex::new(children));
+        let dead = Arc::new(Mutex::new(Vec::<usize>::new()));
+        let monitor_stop = Arc::new(AtomicBool::new(false));
+        let monitor = {
+            let children = Arc::clone(&children);
+            let dead = Arc::clone(&dead);
+            let stop = Arc::clone(&monitor_stop);
+            let sup = router.supervisor();
+            let stale_after = (cfg.heartbeat_ms > 0).then(|| (3 * cfg.heartbeat_ms).max(1_000));
+            std::thread::Builder::new()
+                .name("pts-proc-monitor".into())
+                .spawn(move || {
+                    let mut settled = vec![false; total];
+                    while !stop.load(Ordering::Acquire) {
+                        {
+                            let mut kids = children.lock().expect("children lock");
+                            for (rank, child) in kids.iter_mut() {
+                                if settled[*rank] {
+                                    continue;
+                                }
+                                match child.try_wait() {
+                                    Ok(Some(status)) if !status.success() => {
+                                        settled[*rank] = true;
+                                        dead.lock().expect("dead lock").push(*rank);
+                                        sup.mark_down(*rank);
+                                    }
+                                    Ok(Some(_)) => settled[*rank] = true,
+                                    Ok(None) => {
+                                        if let Some(limit) = stale_after {
+                                            if sup.idle_ms(*rank).is_some_and(|ms| ms > limit) {
+                                                settled[*rank] = true;
+                                                dead.lock().expect("dead lock").push(*rank);
+                                                sup.mark_down(*rank);
+                                            }
+                                        }
+                                    }
+                                    Err(_) => {}
+                                }
+                            }
+                        }
+                        std::thread::sleep(MONITOR_TICK);
+                    }
+                    // Final sweep: a crash in the last tick (the master can
+                    // finish a degraded round well inside MONITOR_TICK of
+                    // the kill) must still reach `dead`. Only exit statuses
+                    // count here — staleness is meaningless at teardown,
+                    // when every stream goes quiet.
+                    let mut kids = children.lock().expect("children lock");
+                    for (rank, child) in kids.iter_mut() {
+                        if settled[*rank] {
+                            continue;
+                        }
+                        if let Ok(Some(status)) = child.try_wait() {
+                            settled[*rank] = true;
+                            if !status.success() {
+                                dead.lock().expect("dead lock").push(*rank);
+                            }
+                        }
+                    }
+                })
+                .expect("spawn monitor thread")
         };
 
         // Rank 0 derives the decode context locally — its copy of the
@@ -410,8 +557,17 @@ impl ProcEngine {
             stats
         };
         drop(t);
+        monitor_stop.store(true, Ordering::Release);
+        let _ = monitor.join();
+        let mut children = Arc::try_unwrap(children)
+            .expect("monitor joined; no other owner")
+            .into_inner()
+            .expect("children lock");
         reap(&mut children, REAP_TIMEOUT);
         router.finish();
+        let mut dead_ranks = dead.lock().expect("dead lock").clone();
+        dead_ranks.sort_unstable();
+        dead_ranks.dedup();
 
         // Rank 0's counters are its own (accurate local accounting);
         // worker ranks' traffic comes from the hub, which saw every
@@ -432,17 +588,21 @@ impl ProcEngine {
                 end_time: per_proc[0].finished_at,
                 wall_seconds: wall.elapsed().as_secs_f64(),
                 per_proc,
+                dead_ranks,
             },
         })
     }
 }
 
 /// Wait up to `timeout` for children to exit on their own (the protocol's
-/// `Stop` normally gets them there), then kill and reap stragglers.
-fn reap(children: &mut Vec<Child>, timeout: Duration) {
+/// `Stop` normally gets them there), then kill and reap stragglers. The
+/// grace window is a parameter — wind-down uses [`REAP_TIMEOUT`], error
+/// paths the configurable `PtsConfig::reap_grace_ms` — but stragglers
+/// are killed unconditionally either way: no path leaves an orphan.
+fn reap(children: &mut Vec<(usize, Child)>, timeout: Duration) {
     let deadline = Instant::now() + timeout;
     loop {
-        children.retain_mut(|c| !matches!(c.try_wait(), Ok(Some(_))));
+        children.retain_mut(|(_, c)| !matches!(c.try_wait(), Ok(Some(_))));
         if children.is_empty() {
             return;
         }
@@ -451,7 +611,7 @@ fn reap(children: &mut Vec<Child>, timeout: Duration) {
         }
         std::thread::sleep(Duration::from_millis(20));
     }
-    for c in children.iter_mut() {
+    for (_, c) in children.iter_mut() {
         let _ = c.kill();
         let _ = c.wait();
     }
@@ -537,12 +697,15 @@ mod tests {
 
     #[test]
     fn reap_kills_stragglers() {
-        let mut children = vec![Command::new("sleep")
-            .arg("30")
-            .stdin(Stdio::null())
-            .spawn()
-            .unwrap()];
-        let id = children[0].id();
+        let mut children = vec![(
+            1usize,
+            Command::new("sleep")
+                .arg("30")
+                .stdin(Stdio::null())
+                .spawn()
+                .unwrap(),
+        )];
+        let id = children[0].1.id();
         reap(&mut children, Duration::from_millis(100));
         assert!(children.is_empty());
         // The process must actually be gone.

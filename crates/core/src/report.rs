@@ -42,6 +42,13 @@ pub struct RunReport {
     /// time (`getrusage(RUSAGE_THREAD)`); the async engine reports 0 busy
     /// time (all workers share the calling thread).
     pub per_proc: Vec<ProcStats>,
+    /// Ranks observed to die mid-run (sorted, deduplicated). Populated
+    /// only by the proc engine's supervisor — abnormal child exits and
+    /// stale heartbeats; the in-process engines cannot lose a rank and
+    /// the vt engine's injected faults are part of the scenario, not an
+    /// observation. A non-empty list marks a degraded-but-truthful run:
+    /// the search completed over the quorum of the living.
+    pub dead_ranks: Vec<usize>,
 }
 
 impl RunReport {
@@ -105,6 +112,7 @@ mod tests {
             end_time: 12.0,
             wall_seconds: 0.5,
             per_proc: vec![proc(6.0, 2.0, 3, 300), proc(2.0, 6.0, 1, 100)],
+            dead_ranks: vec![],
         };
         assert_eq!(r.num_procs(), 2);
         assert_eq!(r.total_messages(), 4);
@@ -120,6 +128,7 @@ mod tests {
             end_time: 0.0,
             wall_seconds: 0.0,
             per_proc: vec![],
+            dead_ranks: vec![],
         };
         assert_eq!(r.utilization(), 0.0);
     }

@@ -14,14 +14,29 @@
 //! wave through the shard tree, after which the engine reaps its child
 //! processes — no orphans on any path.
 //!
+//! # Retry
+//!
+//! A job whose attempt crashes (engine error) or completes *degraded*
+//! (the proc engine lost worker ranks mid-run — see
+//! [`crate::report::RunReport::dead_ranks`]) is retried up to its
+//! [`JobRequest::max_restarts`] budget: the client sees a
+//! [`kind::RETRYING`] frame, the job re-enters the queue after a capped
+//! exponential backoff (250 ms doubling to 5 s), and its registry entry
+//! — hence cancellation — survives the wait. The wall-clock budget is
+//! job-level: restarts never extend it. Exhausting the restart budget is
+//! a final [`kind::ERROR`]: a client that asked for restarts asked for a
+//! clean run. Only jobs submitted with `max_restarts = 0` have degraded
+//! completions delivered truthfully as results.
+//!
 //! # Client protocol
 //!
 //! Frames are length-prefixed like the rank protocol
 //! ([`crate::wire::write_frame`]); each body is
 //! `[version][kind][payload]`. Client → server kinds: [`kind::SUBMIT`],
 //! [`kind::CANCEL`]. Server → client: [`kind::ACCEPTED`],
-//! [`kind::PROGRESS`], [`kind::RESULT`], [`kind::ERROR`]. The
-//! [`Client`] type wraps the exchange for tests and tooling.
+//! [`kind::PROGRESS`], [`kind::RESULT`], [`kind::ERROR`],
+//! [`kind::RETRYING`]. The [`Client`] type wraps the exchange for tests
+//! and tooling.
 
 use crate::config::PtsConfig;
 use crate::control::RunControl;
@@ -35,7 +50,7 @@ use std::os::unix::net::UnixListener;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Version byte opening every client-protocol frame.
 pub const SERVE_VERSION: u8 = 1;
@@ -55,6 +70,9 @@ pub mod kind {
     pub const RESULT: u8 = 0x83;
     /// Server → client: job failed (`u32` job, string message).
     pub const ERROR: u8 = 0x84;
+    /// Server → client: an attempt failed; the job re-queues after
+    /// backoff (`u32` job, `u32` restart number, 1-based).
+    pub const RETRYING: u8 = 0x85;
 }
 
 /// What problem a submitted job searches.
@@ -90,6 +108,9 @@ pub struct JobRequest {
     /// Wall-clock budget in milliseconds; 0 = unlimited (the configured
     /// `global_iters` is then the only bound).
     pub budget_ms: u64,
+    /// How many times a crashed or degraded attempt may be restarted
+    /// before the failure is final. 0 = never retry.
+    pub max_restarts: u32,
 }
 
 impl JobRequest {
@@ -98,6 +119,7 @@ impl JobRequest {
         let mut out = Vec::new();
         wire::put_config(&self.cfg, &mut out);
         wire::put_u64(&mut out, self.budget_ms);
+        wire::put_u32(&mut out, self.max_restarts);
         match &self.spec {
             JobDomainSpec::QapRandom { n, seed } => {
                 out.push(0);
@@ -121,6 +143,7 @@ impl JobRequest {
         let mut r = WireReader::new(payload);
         let cfg = wire::get_config(&mut r)?;
         let budget_ms = r.u64()?;
+        let max_restarts = r.u32()?;
         let spec = match r.u8()? {
             0 => JobDomainSpec::QapRandom {
                 n: r.u32()?,
@@ -138,6 +161,7 @@ impl JobRequest {
             cfg,
             spec,
             budget_ms,
+            max_restarts,
         })
     }
 }
@@ -207,6 +231,14 @@ pub enum ServeEvent {
         /// Human-readable reason.
         message: String,
     },
+    /// An attempt crashed or degraded; the server will retry after
+    /// backoff.
+    Retrying {
+        /// The retrying job.
+        job: u32,
+        /// Which restart this is (1-based).
+        attempt: u32,
+    },
 }
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
@@ -233,7 +265,10 @@ fn parse_client_frame(body: &[u8]) -> Result<(u8, &[u8]), WireError> {
         return Err(WireError::Truncated);
     }
     if body[0] != SERVE_VERSION {
-        return Err(WireError::Version(body[0]));
+        return Err(WireError::VersionMismatch {
+            got: body[0],
+            want: SERVE_VERSION,
+        });
     }
     Ok((body[1], &body[2..]))
 }
@@ -248,8 +283,10 @@ impl Client {
     /// Connect to a server address (`unix:<path>` or `tcp:<addr>`),
     /// retrying while the daemon starts up.
     pub fn connect(addr: &str, overall: Duration) -> std::io::Result<Client> {
+        // Clients have no rank; jitter the retry backoff from the pid so
+        // a herd of client processes spreads out like respawned workers.
         Ok(Client {
-            stream: crate::socket::connect_retry(addr, overall)?,
+            stream: crate::socket::connect_retry(addr, overall, u64::from(std::process::id()))?,
         })
     }
 
@@ -291,6 +328,10 @@ impl Client {
                     job: r.u32().map_err(bad)?,
                     message: get_str(&mut r).map_err(bad)?,
                 },
+                kind::RETRYING => ServeEvent::Retrying {
+                    job: r.u32().map_err(bad)?,
+                    attempt: r.u32().map_err(bad)?,
+                },
                 _ => continue, // unknown event kinds are skippable
             };
             return Ok(Some(event));
@@ -304,6 +345,10 @@ struct Job {
     req: JobRequest,
     ctl: RunControl,
     writer: Arc<Mutex<Stream>>,
+    /// Restarts consumed so far (0 on first submission).
+    attempt: u32,
+    /// Backoff gate: runners skip the job until this instant.
+    not_before: Instant,
 }
 
 struct Shared {
@@ -531,6 +576,8 @@ fn client_loop(shared: Arc<Shared>, stream: Stream, conn: u64) {
                             req,
                             ctl,
                             writer: Arc::clone(&writer),
+                            attempt: 0,
+                            not_before: Instant::now(),
                         });
                         shared.available.notify_one();
                         let mut ack = Vec::new();
@@ -560,18 +607,22 @@ fn client_loop(shared: Arc<Shared>, stream: Stream, conn: u64) {
     shared.cancel_conn(conn);
 }
 
-/// Job-runner thread: takes jobs FIFO and runs each to completion.
+/// Job-runner thread: takes ready jobs FIFO (skipping jobs still inside
+/// their retry backoff) and runs each attempt; a retryable failure puts
+/// the job back in the queue instead of finishing it.
 fn runner_loop(shared: Arc<Shared>) {
     loop {
         let job = {
             let mut queue = shared.queue.lock().unwrap();
             loop {
-                if let Some(job) = queue.pop_front() {
-                    break Some(job);
+                let now = Instant::now();
+                if let Some(pos) = queue.iter().position(|j| j.not_before <= now) {
+                    break queue.remove(pos);
                 }
                 if shared.shutdown.load(Ordering::Acquire) {
                     break None;
                 }
+                // The 200 ms tick doubles as the backoff-expiry poll.
                 let (guard, _) = shared
                     .available
                     .wait_timeout(queue, Duration::from_millis(200))
@@ -581,17 +632,43 @@ fn runner_loop(shared: Arc<Shared>) {
         };
         let Some(job) = job else { return };
         let id = job.id;
-        run_job(&shared, job);
-        shared.registry.lock().unwrap().remove(&id);
+        match run_job(&shared, job) {
+            JobOutcome::Done => {
+                shared.registry.lock().unwrap().remove(&id);
+            }
+            JobOutcome::Requeue(job) => {
+                let job = *job;
+                // Registry entry survives: the job is still cancellable
+                // (and owned by its connection) while it backs off.
+                shared.queue.lock().unwrap().push_back(job);
+                shared.available.notify_one();
+            }
+        }
     }
 }
 
-fn run_job(shared: &Shared, job: Job) {
+/// What a single attempt did to its job. The boxed variant keeps the
+/// enum pointer-sized (`Job` carries the full request).
+enum JobOutcome {
+    /// Final frame sent; drop the registry entry.
+    Done,
+    /// Attempt failed retryably; the job goes back in the queue.
+    Requeue(Box<Job>),
+}
+
+/// Capped exponential backoff: 250 ms doubling per restart, 5 s ceiling.
+fn retry_backoff(restarts: u32) -> Duration {
+    Duration::from_millis(250u64.saturating_mul(1 << restarts.min(5)).min(5_000))
+}
+
+fn run_job(shared: &Shared, mut job: Job) -> JobOutcome {
+    let job_id = job.id;
+    let writer = Arc::clone(&job.writer);
     let send_error = |message: String| {
         let mut payload = Vec::new();
-        wire::put_u32(&mut payload, job.id);
+        wire::put_u32(&mut payload, job_id);
         put_str(&mut payload, &message);
-        let _ = write_client_frame(&mut *job.writer.lock().unwrap(), kind::ERROR, &payload);
+        let _ = write_client_frame(&mut *writer.lock().unwrap(), kind::ERROR, &payload);
     };
     if job.ctl.is_cancelled() {
         // Cancelled while queued: report without running anything.
@@ -607,14 +684,14 @@ fn run_job(shared: &Shared, job: Job) {
             kind::RESULT,
             &result.encode(),
         );
-        return;
+        return JobOutcome::Done;
     }
     if let Err(e) = job.req.cfg.validate() {
+        // Deterministic failure — retrying cannot help.
         send_error(format!("invalid config: {e}"));
-        return;
+        return JobOutcome::Done;
     }
     let progress_writer = Arc::clone(&job.writer);
-    let job_id = job.id;
     let ctl = job.ctl.clone().with_progress(Arc::new(move |global, best| {
         let mut payload = Vec::new();
         wire::put_u32(&mut payload, job_id);
@@ -650,8 +727,40 @@ fn run_job(shared: &Shared, job: Job) {
             Err(e) => Err(format!("bad netlist: {e:?}")),
         },
     };
+    // A crashed attempt (engine error) or a degraded one (worker ranks
+    // died mid-run) is retried while the restart budget and the job's
+    // own control allow it.
+    let failed = match &ran {
+        Err(_) => true,
+        Ok((_, _, _, dead_ranks)) => !dead_ranks.is_empty(),
+    };
+    if failed && !ctl.is_cancelled() && job.attempt < job.req.max_restarts {
+        let restart = job.attempt + 1;
+        let mut payload = Vec::new();
+        wire::put_u32(&mut payload, job_id);
+        wire::put_u32(&mut payload, restart);
+        let _ = write_client_frame(&mut *job.writer.lock().unwrap(), kind::RETRYING, &payload);
+        job.not_before = Instant::now() + retry_backoff(job.attempt);
+        job.attempt = restart;
+        return JobOutcome::Requeue(Box::new(job));
+    }
     match ran {
-        Ok((best_cost, initial_cost, rounds)) => {
+        Ok((_, _, _, dead_ranks))
+            if !dead_ranks.is_empty() && job.req.max_restarts > 0 && !ctl.is_cancelled() =>
+        {
+            // The client asked for clean runs (a restart budget) and
+            // never got one: exhausting the budget is a failure, not a
+            // quietly-degraded result.
+            send_error(format!(
+                "{} worker rank(s) died mid-run; restart budget exhausted after {} attempts",
+                dead_ranks.len(),
+                job.attempt + 1,
+            ));
+        }
+        Ok((best_cost, initial_cost, rounds, _dead_ranks)) => {
+            // With no restart budget (or a cancelled control), a
+            // degraded completion is delivered truthfully — the quorum
+            // machinery kept the search sound over the surviving ranks.
             let result = JobResult {
                 job: job.id,
                 best_cost,
@@ -665,16 +774,21 @@ fn run_job(shared: &Shared, job: Job) {
                 &result.encode(),
             );
         }
+        Err(message) if job.attempt > 0 => {
+            send_error(format!("{message} (after {} attempts)", job.attempt + 1));
+        }
         Err(message) => send_error(message),
     }
+    JobOutcome::Done
 }
 
-/// Freeze, execute, reduce: returns (best, initial, completed rounds).
+/// Freeze, execute, reduce: returns (best, initial, completed rounds,
+/// ranks lost mid-run — empty on a clean attempt).
 fn run_one<D: ProcDomain>(
     engine: &ProcEngine,
     cfg: &PtsConfig,
     domain: D,
-) -> Result<(f64, f64, u32), String>
+) -> Result<(f64, f64, u32, Vec<usize>), String>
 where
     D::Problem: crate::wire::WireProblem,
 {
@@ -687,6 +801,7 @@ where
         output.outcome.best_cost,
         output.outcome.initial_cost,
         output.outcome.best_per_global_iter.len() as u32,
+        output.report.dead_ranks,
     ))
 }
 
@@ -744,6 +859,7 @@ mod tests {
                 },
                 spec,
                 budget_ms: 2500,
+                max_restarts: 3,
             };
             let decoded = JobRequest::decode(&req.encode()).unwrap();
             assert_eq!(decoded, req);
@@ -760,6 +876,15 @@ mod tests {
             cancelled: true,
         };
         assert_eq!(JobResult::decode(&result.encode()).unwrap(), result);
+    }
+
+    #[test]
+    fn retry_backoff_doubles_then_caps() {
+        assert_eq!(retry_backoff(0), Duration::from_millis(250));
+        assert_eq!(retry_backoff(1), Duration::from_millis(500));
+        assert_eq!(retry_backoff(4), Duration::from_millis(4000));
+        assert_eq!(retry_backoff(5), Duration::from_millis(5000));
+        assert_eq!(retry_backoff(40), Duration::from_millis(5000));
     }
 
     #[test]

@@ -21,10 +21,25 @@
 //! binding when a freshly spawned worker first tries); the router's
 //! barrier has a deadline and fails naming the ranks that never arrived
 //! (a worker that crashed on startup turns into a clear error, not a
-//! hang). A closed connection is wind-down, not failure: an endpoint
-//! whose stream reaches EOF synthesizes [`PtsMsg::Stop`] — the protocol's
-//! ordinary shutdown message — and writes toward a departed peer are
-//! silently dropped, matching `ThreadTransport`'s dropped-receiver rule.
+//! hang).
+//!
+//! The router is also the run's *supervisor*. A worker stream reaching
+//! EOF — clean exit or SIGKILL, the socket cannot tell — makes the router
+//! synthesize [`PtsMsg::Down`] frames to that rank's protocol neighbours
+//! (routes precomputed by the engine via
+//! [`SocketRouter::set_down_routes`]), so masters excuse the dead through
+//! the same quorum-over-the-living machinery the virtual engines use.
+//! Because each origin's frames are read and forwarded by one thread in
+//! order, the Down always trails anything the departed rank actually
+//! sent: a clean wind-down delivers its `Stop`s first and the trailing
+//! Down lands on peers that are already gone. Heartbeat frames
+//! ([`crate::wire::encode_heartbeat_frame`]) keep the router's last-seen
+//! clock advancing on idle streams so a *hung* (not dead) child is
+//! distinguishable from a quiet one. On the endpoint side, a transport
+//! whose own stream reaches EOF synthesizes [`PtsMsg::Stop`] — the
+//! protocol's ordinary shutdown message — and writes toward a departed
+//! peer are silently dropped, matching `ThreadTransport`'s
+//! dropped-receiver rule.
 
 use crate::domain::PtsProblem;
 use crate::messages::PtsMsg;
@@ -126,21 +141,26 @@ fn connect_once(addr: &str) -> std::io::Result<Stream> {
 
 /// Connect with bounded exponential backoff — a freshly spawned worker
 /// may beat the router to its own socket. Backoff starts at 10 ms,
-/// doubles to a 200 ms ceiling, and gives up at `overall`.
-pub fn connect_retry(addr: &str, overall: Duration) -> std::io::Result<Stream> {
+/// doubles to a 200 ms ceiling, and gives up at `overall`. Each pause is
+/// jittered from `seed` (uniform in [pause/2, pause]) so a batch of
+/// simultaneously respawned workers spreads out instead of hammering the
+/// router in lockstep; callers pass a per-rank seed.
+pub fn connect_retry(addr: &str, overall: Duration, seed: u64) -> std::io::Result<Stream> {
     let deadline = Instant::now() + overall;
+    let mut rng = pts_util::Rng::new(seed ^ 0x0C04_4EC7);
     let mut pause = Duration::from_millis(10);
     loop {
         match connect_once(addr) {
             Ok(s) => return Ok(s),
             Err(e) => {
-                if Instant::now() + pause >= deadline {
+                let jittered = pause.mul_f64(0.5 + 0.5 * rng.next_f64());
+                if Instant::now() + jittered >= deadline {
                     return Err(std::io::Error::new(
                         e.kind(),
                         format!("router at {addr} unreachable after {overall:?}: {e}"),
                     ));
                 }
-                std::thread::sleep(pause);
+                std::thread::sleep(jittered);
                 pause = (pause * 2).min(Duration::from_millis(200));
             }
         }
@@ -188,6 +208,16 @@ pub struct SocketRouter {
     forwarders: Vec<std::thread::JoinHandle<()>>,
     writers: Arc<Vec<Mutex<Option<Stream>>>>,
     traffic: Arc<RouterTraffic>,
+    /// Per-rank death-notice recipients (protocol neighbours), set by the
+    /// engine before the barrier. Empty routes mean EOF stays silent.
+    down_routes: Arc<Vec<Vec<usize>>>,
+    /// Per-rank "Down already announced" latches (idempotence: EOF and an
+    /// engine-side `mark_down` may race).
+    down_flags: Arc<Vec<AtomicBool>>,
+    /// Per-rank last-frame-seen clock, milliseconds since `epoch`.
+    /// Heartbeats refresh it without being forwarded.
+    last_seen: Arc<Vec<AtomicU64>>,
+    epoch: Instant,
     unix_path: Option<PathBuf>,
 }
 
@@ -209,6 +239,10 @@ impl SocketRouter {
             forwarders: Vec::new(),
             writers: Arc::new(Vec::new()),
             traffic: Arc::new(RouterTraffic::new(0)),
+            down_routes: Arc::new(Vec::new()),
+            down_flags: Arc::new(Vec::new()),
+            last_seen: Arc::new(Vec::new()),
+            epoch: Instant::now(),
             unix_path: Some(path),
         })
     }
@@ -223,6 +257,10 @@ impl SocketRouter {
             forwarders: Vec::new(),
             writers: Arc::new(Vec::new()),
             traffic: Arc::new(RouterTraffic::new(0)),
+            down_routes: Arc::new(Vec::new()),
+            down_flags: Arc::new(Vec::new()),
+            last_seen: Arc::new(Vec::new()),
+            epoch: Instant::now(),
             unix_path: None,
         })
     }
@@ -235,6 +273,47 @@ impl SocketRouter {
     /// Shared traffic counters (live while forwarders run).
     pub fn traffic(&self) -> Arc<RouterTraffic> {
         Arc::clone(&self.traffic)
+    }
+
+    /// Install per-rank death-notice routes: when rank `r`'s stream
+    /// reaches EOF (or the engine calls [`SocketRouter::mark_down`]), the
+    /// router writes a synthesized [`PtsMsg::Down`]`{rank: r}` frame to
+    /// every rank in `routes[r]`. Must be called before the barrier; with
+    /// no routes installed, EOF stays silent (the pre-supervision
+    /// behaviour, which `pts-serve`'s setup-only paths rely on).
+    pub fn set_down_routes(&mut self, routes: Vec<Vec<usize>>) {
+        self.down_routes = Arc::new(routes);
+    }
+
+    /// Announce rank `rank` as down to its route neighbours now, without
+    /// waiting for its stream to reach EOF — the engine's supervisor
+    /// calls this when `try_wait` sees an abnormal child exit or a
+    /// heartbeat goes stale. Idempotent per rank.
+    pub fn mark_down(&self, rank: usize) {
+        announce_down(rank, &self.down_routes, &self.down_flags, &self.writers);
+    }
+
+    /// Milliseconds since the router last saw a frame (heartbeats
+    /// included) from `rank`. `None` before the barrier or for an unknown
+    /// rank.
+    pub fn idle_ms(&self, rank: usize) -> Option<u64> {
+        let seen = self.last_seen.get(rank)?.load(Ordering::Relaxed);
+        Some((self.epoch.elapsed().as_millis() as u64).saturating_sub(seen))
+    }
+
+    /// A cloneable handle over the supervision state
+    /// ([`SocketRouter::mark_down`] / [`SocketRouter::idle_ms`]) for the
+    /// engine's monitor thread, which runs while the router itself is
+    /// parked in the master's call stack. Take it *after* the barrier —
+    /// the per-rank state is sized there.
+    pub fn supervisor(&self) -> RouterSupervisor {
+        RouterSupervisor {
+            down_routes: Arc::clone(&self.down_routes),
+            down_flags: Arc::clone(&self.down_flags),
+            writers: Arc::clone(&self.writers),
+            last_seen: Arc::clone(&self.last_seen),
+            epoch: self.epoch,
+        }
     }
 
     /// Accept until all `total` ranks (0..total) have connected and said
@@ -330,12 +409,23 @@ impl SocketRouter {
         );
         self.traffic = Arc::new(RouterTraffic::new(total));
         self.writers = Arc::clone(&writers);
+        self.down_flags = Arc::new((0..total).map(|_| AtomicBool::new(false)).collect());
+        let now_ms = self.epoch.elapsed().as_millis() as u64;
+        self.last_seen = Arc::new((0..total).map(|_| AtomicU64::new(now_ms)).collect());
         for (rank, stream) in streams.into_iter().enumerate() {
             let writers = Arc::clone(&writers);
             let traffic = Arc::clone(&self.traffic);
+            let routes = Arc::clone(&self.down_routes);
+            let flags = Arc::clone(&self.down_flags);
+            let last_seen = Arc::clone(&self.last_seen);
+            let epoch = self.epoch;
             let handle = std::thread::Builder::new()
                 .name(format!("pts-sock-fwd{rank}"))
-                .spawn(move || forward_loop(rank, stream, writers, traffic))
+                .spawn(move || {
+                    forward_loop(
+                        rank, stream, writers, traffic, routes, flags, last_seen, epoch,
+                    )
+                })
                 .expect("spawn forwarder");
             self.forwarders.push(handle);
         }
@@ -364,6 +454,30 @@ impl Drop for SocketRouter {
         if let Some(path) = &self.unix_path {
             let _ = std::fs::remove_file(path);
         }
+    }
+}
+
+/// Detached view of a router's supervision state — see
+/// [`SocketRouter::supervisor`].
+#[derive(Clone)]
+pub struct RouterSupervisor {
+    down_routes: Arc<Vec<Vec<usize>>>,
+    down_flags: Arc<Vec<AtomicBool>>,
+    writers: Arc<Vec<Mutex<Option<Stream>>>>,
+    last_seen: Arc<Vec<AtomicU64>>,
+    epoch: Instant,
+}
+
+impl RouterSupervisor {
+    /// Same as [`SocketRouter::mark_down`].
+    pub fn mark_down(&self, rank: usize) {
+        announce_down(rank, &self.down_routes, &self.down_flags, &self.writers);
+    }
+
+    /// Same as [`SocketRouter::idle_ms`].
+    pub fn idle_ms(&self, rank: usize) -> Option<u64> {
+        let seen = self.last_seen.get(rank)?.load(Ordering::Relaxed);
+        Some((self.epoch.elapsed().as_millis() as u64).saturating_sub(seen))
     }
 }
 
@@ -411,13 +525,26 @@ fn accept_loop(listener: Listener, stop: Arc<AtomicBool>, tx: Sender<(u32, Strea
     }
 }
 
+#[allow(clippy::too_many_arguments)] // supervision state shared per forwarder
 fn forward_loop(
     origin: usize,
     mut stream: Stream,
     writers: Arc<Vec<Mutex<Option<Stream>>>>,
     traffic: Arc<RouterTraffic>,
+    routes: Arc<Vec<Vec<usize>>>,
+    flags: Arc<Vec<AtomicBool>>,
+    last_seen: Arc<Vec<AtomicU64>>,
+    epoch: Instant,
 ) {
     while let Ok(Some(frame)) = wire::read_frame(&mut stream) {
+        if let Some(seen) = last_seen.get(origin) {
+            seen.store(epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
+        }
+        if wire::is_heartbeat(&frame) {
+            // Liveness beacon: last-seen refreshed above, never forwarded
+            // and never counted — heartbeats are supervision, not traffic.
+            continue;
+        }
         let dst = match wire::peek_dst(&frame) {
             Ok(d) => d as usize,
             Err(e) => {
@@ -442,6 +569,44 @@ fn forward_loop(
             }
         }
     }
+    // EOF — clean exit or a killed process, the socket cannot tell. Tell
+    // the rank's protocol neighbours it is down; the quorum machinery
+    // sorts death from wind-down (a clean exit's Stop frames were
+    // forwarded above, by this same thread, before this notice).
+    announce_down(origin, &routes, &flags, &writers);
+}
+
+/// Write a synthesized `Down{origin}` frame to each of `origin`'s route
+/// neighbours, exactly once per rank across EOF/`mark_down` races.
+/// Synthesized frames bypass the traffic counters: they are supervision,
+/// and counting them would make fault-free teardown stats racy.
+fn announce_down(
+    origin: usize,
+    routes: &[Vec<usize>],
+    flags: &[AtomicBool],
+    writers: &[Mutex<Option<Stream>>],
+) {
+    let Some(flag) = flags.get(origin) else {
+        return;
+    };
+    if flag.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let Some(recipients) = routes.get(origin) else {
+        return;
+    };
+    for &dst in recipients {
+        let Some(slot) = writers.get(dst) else {
+            continue;
+        };
+        let frame = wire::encode_down_frame(origin, dst as u32);
+        let mut guard = slot.lock().expect("writer lock");
+        if let Some(w) = guard.as_mut() {
+            if wire::write_frame(w, &frame).is_err() {
+                *guard = None;
+            }
+        }
+    }
 }
 
 /// Outcome of [`SocketTransport::handshake`]: the connected stream plus
@@ -461,9 +626,13 @@ pub struct Handshake {
 pub struct SocketTransport<P: PtsProblem> {
     rank: usize,
     start: Instant,
-    writer: Stream,
+    // Shared with the optional heartbeat thread; the lock serializes
+    // whole frames so a beacon never interleaves a protocol message.
+    writer: Arc<Mutex<Stream>>,
     rx: Receiver<PtsMsg<P>>,
     reader: Option<std::thread::JoinHandle<()>>,
+    heartbeat: Option<std::thread::JoinHandle<()>>,
+    hb_stop: Arc<AtomicBool>,
     stats: ProcStats,
     eof: bool,
 }
@@ -474,7 +643,7 @@ impl<P: WireProblem> SocketTransport<P> {
     /// decodes the setup, recovers the decode context, then finishes
     /// with [`SocketTransport::new`].
     pub fn handshake(addr: &str, rank: u32, overall: Duration) -> std::io::Result<Handshake> {
-        let mut stream = connect_retry(addr, overall)?;
+        let mut stream = connect_retry(addr, overall, rank as u64)?;
         let mut hello = [0u8; HELLO_BYTES];
         hello[0] = wire::WIRE_VERSION;
         hello[1..5].copy_from_slice(&rank.to_le_bytes());
@@ -498,6 +667,10 @@ impl<P: WireProblem> SocketTransport<P> {
             .name(format!("pts-sock-rx{rank}"))
             .spawn(move || {
                 while let Ok(Some(frame)) = wire::read_frame(&mut read_half) {
+                    if wire::is_heartbeat(&frame) {
+                        // Beacons are router-facing; never surface them.
+                        continue;
+                    }
                     match wire::decode_msg::<P>(&frame, &ctx) {
                         Ok((_dst, msg)) => {
                             if tx.send(msg).is_err() {
@@ -516,12 +689,52 @@ impl<P: WireProblem> SocketTransport<P> {
         Ok(SocketTransport {
             rank,
             start: Instant::now(),
-            writer: stream,
+            writer: Arc::new(Mutex::new(stream)),
             rx,
             reader: Some(reader),
+            heartbeat: None,
+            hb_stop: Arc::new(AtomicBool::new(false)),
             stats: ProcStats::default(),
             eof: false,
         })
+    }
+
+    /// Start a liveness beacon: every `interval`, write a heartbeat frame
+    /// so the router's last-seen clock for this rank keeps advancing even
+    /// while the protocol is quiet (a long local search). The beacon
+    /// stops when the transport drops or the stream dies; a zero interval
+    /// is a no-op.
+    pub fn start_heartbeat(&mut self, interval: Duration) {
+        if self.heartbeat.is_some() || interval.is_zero() {
+            return;
+        }
+        let writer = Arc::clone(&self.writer);
+        let stop = Arc::clone(&self.hb_stop);
+        let frame = wire::encode_heartbeat_frame(self.rank as u32);
+        let handle = std::thread::Builder::new()
+            .name(format!("pts-sock-hb{}", self.rank))
+            .spawn(move || {
+                // Short ticks make drop responsive even under long
+                // intervals; frames only go out each full interval.
+                let tick = Duration::from_millis(25).min(interval);
+                let mut next = Instant::now() + interval;
+                loop {
+                    std::thread::sleep(tick);
+                    if stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    if Instant::now() < next {
+                        continue;
+                    }
+                    next = Instant::now() + interval;
+                    let mut w = writer.lock().expect("writer lock");
+                    if wire::write_frame(&mut *w, &frame).is_err() {
+                        return; // stream gone: the run is over
+                    }
+                }
+            })
+            .expect("spawn heartbeat");
+        self.heartbeat = Some(handle);
     }
 
     fn recv_blocking(&mut self) -> PtsMsg<P> {
@@ -541,6 +754,31 @@ impl<P: WireProblem> SocketTransport<P> {
         self.stats.wait_time += blocked.elapsed().as_secs_f64();
         self.stats.messages_received += 1;
         msg
+    }
+
+    fn recv_deadline_blocking(&mut self, deadline: f64) -> Option<PtsMsg<P>> {
+        if self.eof {
+            return Some(PtsMsg::Stop);
+        }
+        let blocked = Instant::now();
+        let remaining = deadline - self.now();
+        let got = if remaining <= 0.0 {
+            self.rx.try_recv().ok()
+        } else {
+            match self.rx.recv_timeout(Duration::from_secs_f64(remaining)) {
+                Ok(msg) => Some(msg),
+                Err(RecvTimeoutError::Timeout) => None,
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.eof = true;
+                    Some(PtsMsg::Stop)
+                }
+            }
+        };
+        self.stats.wait_time += blocked.elapsed().as_secs_f64();
+        if got.is_some() {
+            self.stats.messages_received += 1;
+        }
+        got
     }
 
     /// Take the locally accounted stats (rank 0 feeds these into the
@@ -574,7 +812,8 @@ impl<P: WireProblem> Transport<P> for SocketTransport<P> {
         let frame = wire::encode_msg(&msg, dst as u32);
         // A torn-down router means the run is winding up; like a dropped
         // channel receiver, the write is silently discarded.
-        let _ = wire::write_frame(&mut self.writer, &frame);
+        let mut w = self.writer.lock().expect("writer lock");
+        let _ = wire::write_frame(&mut *w, &frame);
     }
 
     fn recv(&mut self) -> impl std::future::Future<Output = PtsMsg<P>> {
@@ -587,11 +826,29 @@ impl<P: WireProblem> Transport<P> for SocketTransport<P> {
         self.stats.messages_received += 1;
         Some(msg)
     }
+
+    fn recv_deadline(
+        &mut self,
+        deadline: f64,
+    ) -> impl std::future::Future<Output = Option<PtsMsg<P>>> {
+        // Wall clock is controllable enough here: a dead peer is an EOF,
+        // but a *hung* peer is silence — bound the wait so the protocol's
+        // liveness timeouts work on real sockets, not just virtual time.
+        std::future::poll_fn(move |_cx| {
+            std::task::Poll::Ready(self.recv_deadline_blocking(deadline))
+        })
+    }
 }
 
 impl<P: PtsProblem> Drop for SocketTransport<P> {
     fn drop(&mut self) {
-        self.writer.shutdown();
+        self.hb_stop.store(true, Ordering::Release);
+        if let Ok(w) = self.writer.lock() {
+            w.shutdown();
+        }
+        if let Some(hb) = self.heartbeat.take() {
+            let _ = hb.join();
+        }
         if let Some(reader) = self.reader.take() {
             let _ = reader.join();
         }
@@ -698,10 +955,87 @@ mod tests {
 
     #[test]
     fn connect_retry_gives_up_with_context() {
-        let err = match connect_retry("unix:/nonexistent/pts.sock", Duration::from_millis(80)) {
+        let start = Instant::now();
+        let err = match connect_retry("unix:/nonexistent/pts.sock", Duration::from_millis(80), 3) {
             Ok(_) => panic!("connected to a nonexistent socket"),
             Err(e) => e,
         };
         assert!(err.to_string().contains("unreachable"), "got: {err}");
+        // Jitter must not break the overall-deadline contract.
+        assert!(
+            start.elapsed() < Duration::from_millis(500),
+            "gave up far past the 80ms deadline: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn eof_announces_down_to_route_neighbours() {
+        let mut router = SocketRouter::bind_unix_auto().unwrap();
+        // Rank 0's death notifies rank 1; rank 1's death notifies nobody.
+        router.set_down_routes(vec![vec![1], vec![]]);
+        let (a, mut b) = start_pair(&mut router);
+        drop(a); // rank 0 "dies": its stream reaches EOF at the router
+        match drive_sync(b.recv()) {
+            PtsMsg::Down { rank: 0 } => {}
+            other => panic!("expected Down{{0}}, got {}", other.tag()),
+        }
+        drop(b);
+        router.finish();
+    }
+
+    #[test]
+    fn mark_down_is_idempotent_with_eof() {
+        let mut router = SocketRouter::bind_unix_auto().unwrap();
+        router.set_down_routes(vec![vec![1], vec![]]);
+        let (a, mut b) = start_pair(&mut router);
+        // The engine's supervisor announces first; the later EOF must not
+        // produce a second notice.
+        router.mark_down(0);
+        router.mark_down(0);
+        drop(a);
+        assert!(matches!(drive_sync(b.recv()), PtsMsg::Down { rank: 0 }));
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(b.try_recv().is_none(), "Down{{0}} announced more than once");
+        drop(b);
+        router.finish();
+    }
+
+    #[test]
+    fn heartbeats_refresh_idle_clock_without_surfacing() {
+        let mut router = SocketRouter::bind_unix_auto().unwrap();
+        let (mut a, mut b) = start_pair(&mut router);
+        a.start_heartbeat(Duration::from_millis(20));
+        std::thread::sleep(Duration::from_millis(250));
+        let idle_a = router.idle_ms(0).unwrap();
+        let idle_b = router.idle_ms(1).unwrap();
+        assert!(
+            idle_a < 150,
+            "beacons should keep rank 0 fresh ({idle_a}ms idle)"
+        );
+        assert!(idle_b >= 150, "silent rank 1 should look idle ({idle_b}ms)");
+        // Beacons are consumed by the router, never delivered as messages.
+        assert!(b.try_recv().is_none());
+        drop((a, b));
+        router.finish();
+    }
+
+    #[test]
+    fn recv_deadline_times_out_on_silence() {
+        let mut router = SocketRouter::bind_unix_auto().unwrap();
+        let (mut a, mut b) = start_pair(&mut router);
+        let t0 = Instant::now();
+        let deadline = b.now() + 0.15;
+        assert!(drive_sync(b.recv_deadline(deadline)).is_none());
+        assert!(t0.elapsed() >= Duration::from_millis(120));
+        // The transport is still usable after a timeout.
+        a.send(1, PtsMsg::Investigate { seq: 4 });
+        let deadline = b.now() + 5.0;
+        assert!(matches!(
+            drive_sync(b.recv_deadline(deadline)),
+            Some(PtsMsg::Investigate { seq: 4 })
+        ));
+        drop((a, b));
+        router.finish();
     }
 }

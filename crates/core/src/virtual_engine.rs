@@ -202,6 +202,7 @@ impl<D: PtsDomain> ExecutionEngine<D> for VirtualEngine {
                 end_time: cluster_report.end_time,
                 wall_seconds: wall.elapsed().as_secs_f64(),
                 per_proc: cluster_report.per_proc,
+                dead_ranks: vec![],
             },
         }
     }

@@ -60,7 +60,7 @@ use std::cmp::Ordering;
 use std::sync::Arc;
 
 /// Codec version stamped into every frame header; decoding any other
-/// version fails with [`WireError::Version`].
+/// version fails with [`WireError::VersionMismatch`].
 pub const WIRE_VERSION: u8 = 1;
 
 /// Bytes of length prefix framing each message on a stream — the only
@@ -99,13 +99,23 @@ mod tag {
     pub const APPLY_MOVES: u8 = 10;
     pub const STOP: u8 = 11;
     pub const DOWN: u8 = 12;
+    /// Socket-layer liveness beacon. Never surfaces as a [`PtsMsg`]: the
+    /// router consumes it to refresh the sender's last-seen clock, and
+    /// transports drop it on read. Kept out of the protocol enum so the
+    /// `wire_size` model and the virtual engines are untouched.
+    pub const HEARTBEAT: u8 = 13;
 }
 
 /// Why a buffer failed to decode.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum WireError {
     /// The frame's version byte does not match [`WIRE_VERSION`].
-    Version(u8),
+    VersionMismatch {
+        /// Version byte found in the frame header.
+        got: u8,
+        /// Version this codec speaks (always [`WIRE_VERSION`]).
+        want: u8,
+    },
     /// Unknown variant tag or payload kind.
     Tag(u8),
     /// The buffer ended before the structure it claims to hold.
@@ -117,8 +127,8 @@ pub enum WireError {
 impl std::fmt::Display for WireError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            WireError::Version(v) => {
-                write!(f, "wire version {v} (this codec speaks {WIRE_VERSION})")
+            WireError::VersionMismatch { got, want } => {
+                write!(f, "wire version {got} (this codec speaks {want})")
             }
             WireError::Tag(t) => write!(f, "unknown wire tag {t}"),
             WireError::Truncated => write!(f, "truncated frame"),
@@ -870,9 +880,56 @@ pub fn peek_dst(buf: &[u8]) -> Result<u32, WireError> {
         return Err(WireError::Truncated);
     }
     if buf[0] != WIRE_VERSION {
-        return Err(WireError::Version(buf[0]));
+        return Err(WireError::VersionMismatch {
+            got: buf[0],
+            want: WIRE_VERSION,
+        });
     }
     Ok(u32::from_le_bytes(buf[4..8].try_into().unwrap()))
+}
+
+/// Is this frame a socket-layer heartbeat? Heartbeats never decode to a
+/// [`PtsMsg`]; the router and transports must drop them after noting the
+/// sender is alive.
+pub fn is_heartbeat(buf: &[u8]) -> bool {
+    buf.len() >= 2 && buf[0] == WIRE_VERSION && buf[1] == tag::HEARTBEAT
+}
+
+/// Encode a header-only heartbeat frame from `origin`. The destination
+/// field is a sentinel: the router consumes heartbeats instead of
+/// forwarding them.
+pub fn encode_heartbeat_frame(origin: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HDR);
+    put_header(
+        &mut out,
+        tag::HEARTBEAT,
+        PayloadKind::None,
+        u32::MAX,
+        origin,
+        0,
+        0,
+        0.0,
+    );
+    out
+}
+
+/// Encode a [`PtsMsg::Down`] frame for `dead_rank` addressed to `dst`,
+/// without naming a problem type — byte-identical to
+/// `encode_msg(&PtsMsg::Down { rank }, dst)`, so the router (which is
+/// generic over nothing) can synthesize death notices on a worker EOF.
+pub fn encode_down_frame(dead_rank: usize, dst: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HDR);
+    put_header(
+        &mut out,
+        tag::DOWN,
+        PayloadKind::None,
+        dst,
+        narrow(dead_rank),
+        0,
+        0,
+        0.0,
+    );
+    out
 }
 
 /// Decode a message encoded by [`encode_msg`]. Returns the destination
@@ -884,7 +941,10 @@ pub fn decode_msg<P: WireProblem>(buf: &[u8], ctx: &P::Ctx) -> Result<(u32, PtsM
     let mut h = WireReader::new(&buf[..HDR]);
     let version = h.u8()?;
     if version != WIRE_VERSION {
-        return Err(WireError::Version(version));
+        return Err(WireError::VersionMismatch {
+            got: version,
+            want: WIRE_VERSION,
+        });
     }
     let variant = h.u8()?;
     let kind = PayloadKind::from_byte(h.u8()?)?;
@@ -1119,6 +1179,8 @@ pub fn put_config(cfg: &crate::config::PtsConfig, out: &mut Vec<u8>) {
     put_f64(out, cfg.work.per_report);
     put_f64(out, cfg.liveness_timeout);
     out.push(cfg.tabu_delta as u8);
+    put_u64(out, cfg.heartbeat_ms);
+    put_u64(out, cfg.reap_grace_ms);
 }
 
 /// Decode a [`crate::config::PtsConfig`] written by [`put_config`].
@@ -1170,6 +1232,8 @@ pub fn get_config(r: &mut WireReader<'_>) -> Result<crate::config::PtsConfig, Wi
         },
         liveness_timeout: r.f64()?,
         tabu_delta: r.u8()? != 0,
+        heartbeat_ms: r.u64()?,
+        reap_grace_ms: r.u64()?,
     })
 }
 
@@ -1215,11 +1279,38 @@ mod tests {
         let msg: PtsMsg<Qap> = PtsMsg::Stop;
         let mut buf = encode_msg(&msg, 0);
         buf[0] = 9;
-        assert_eq!(
-            decode_msg::<Qap>(&buf, &()).err(),
-            Some(WireError::Version(9))
+        let want = WireError::VersionMismatch {
+            got: 9,
+            want: WIRE_VERSION,
+        };
+        assert_eq!(decode_msg::<Qap>(&buf, &()).err(), Some(want.clone()));
+        assert_eq!(peek_dst(&buf), Err(want));
+    }
+
+    #[test]
+    fn down_frame_helper_matches_encode_msg() {
+        let msg: PtsMsg<Qap> = PtsMsg::Down { rank: 17 };
+        assert_eq!(encode_down_frame(17, 4), encode_msg(&msg, 4));
+        match decode_msg::<Qap>(&encode_down_frame(17, 4), &()).unwrap() {
+            (4, PtsMsg::Down { rank: 17 }) => {}
+            other => panic!("decoded {:?}", (other.0, other.1.tag())),
+        }
+    }
+
+    #[test]
+    fn heartbeats_are_recognized_and_never_decode() {
+        let hb = encode_heartbeat_frame(3);
+        assert!(is_heartbeat(&hb));
+        assert!(
+            decode_msg::<Qap>(&hb, &()).is_err(),
+            "heartbeats are socket-layer only"
         );
-        assert_eq!(peek_dst(&buf), Err(WireError::Version(9)));
+        // Every protocol message is *not* a heartbeat, and a wrong-version
+        // beacon is not one either (it must fall through to the version check).
+        assert!(!is_heartbeat(&encode_msg(&PtsMsg::<Qap>::Stop, 0)));
+        let mut bad = encode_heartbeat_frame(3);
+        bad[0] = 9;
+        assert!(!is_heartbeat(&bad));
     }
 
     #[test]
@@ -1300,6 +1391,8 @@ mod tests {
             snapshot_mode: crate::config::SnapshotMode::Full,
             tabu_delta: true,
             seed: 0xDEADBEEF,
+            heartbeat_ms: 250,
+            reap_grace_ms: 7000,
             ..crate::config::PtsConfig::default()
         };
         let mut buf = Vec::new();

@@ -10,8 +10,10 @@
 //! multi-process `proc` engine (worker ranks as child OS processes of the
 //! daemon), and streams progress and results back. Jobs queue FIFO, at
 //! most `--max-concurrent` run at once, each under its own iteration and
-//! wall-clock budget. A client disconnect cancels that client's jobs;
-//! SIGTERM drains everything and reaps all children.
+//! wall-clock budget. A crashed or degraded attempt is retried with
+//! capped exponential backoff up to the job's `--max-restarts` budget.
+//! A client disconnect cancels that client's jobs; SIGTERM drains
+//! everything and reaps all children.
 //!
 //! The `submit` subcommand is a thin client for quickstarts and smoke
 //! tests: submit one job, stream its events, print the result.
@@ -61,7 +63,8 @@ USAGE:
   pts-serve submit --addr unix:PATH|tcp:ADDR
                    [--problem qap|bench] [--qap-size N] [--circuit NAME]
                    [--tsw N] [--clw N] [--global N] [--local N]
-                   [--sync half|all] [--seed N] [--budget-ms N] [--quiet]
+                   [--sync half|all] [--seed N] [--budget-ms N]
+                   [--max-restarts N] [--quiet]
 
 The daemon prints its address (`unix:<path>` or `tcp:<host:port>`) on
 stdout once listening; pass that string to `submit --addr`. SIGTERM or
@@ -151,6 +154,7 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
         cfg,
         spec,
         budget_ms: flag_num(args, "--budget-ms", 0u64)?,
+        max_restarts: flag_num(args, "--max-restarts", 0u32)?,
     };
 
     let mut client = Client::connect(&addr, Duration::from_secs(10))
@@ -175,6 +179,11 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
             }
             Some(ServeEvent::Error { job, message }) => {
                 return Err(format!("job {job} failed: {message}"));
+            }
+            Some(ServeEvent::Retrying { job, attempt }) => {
+                if !quiet {
+                    eprintln!("job {job}: attempt crashed, retrying (restart {attempt})");
+                }
             }
             Some(ServeEvent::Result(r)) => {
                 println!(

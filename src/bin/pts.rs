@@ -81,7 +81,11 @@ USAGE:
                [--fault-seed N] [--fault-horizon T]  (seeded fault injection;
                                                       vt engine only)
                [--contention]   (time-sliced machine sharing; vt engine only)
-               [--liveness T]   (timeout excusing silent workers; vt engine)
+               [--liveness T]   (timeout excusing silent workers; vt + proc)
+               [--heartbeat-ms N]  (proc engine: worker liveness beacons on
+                                    idle streams; 0 = disabled)
+               [--reap-grace-ms N] (proc engine: grace before stragglers
+                                    are killed on teardown; default 2000)
   pts sweep    --what clw|tsw [--max N] [--circuit NAME] [common options]
   pts generate --cells N [--seed N] [--out FILE]
   pts show     --file FILE
@@ -163,6 +167,8 @@ fn build_run(opts: &Opts) -> Result<PtsRun, String> {
         .depth(opts.parse_num("depth", 3usize)?)
         .report_fraction(opts.parse_num("report-fraction", 0.5f64)?)
         .liveness_timeout(opts.parse_num("liveness", 0.0f64)?)
+        .heartbeat_ms(opts.parse_num("heartbeat-ms", 0u64)?)
+        .reap_grace_ms(opts.parse_num("reap-grace-ms", 2000u64)?)
         .seed(opts.parse_num("seed", 0xC0FFEEu64)?);
     builder = match opts.get("shard-fanout") {
         Some("auto") => builder.shard_fanout_auto(),

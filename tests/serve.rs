@@ -1,7 +1,9 @@
 //! `pts-serve` job-service behaviour: concurrent jobs under independent
-//! budgets, mid-run cancellation that leaves other jobs untouched, and the
+//! budgets, mid-run cancellation that leaves other jobs untouched, the
 //! two teardown paths that must never leak worker processes — a client
-//! that dies mid-job, and SIGTERM to the daemon itself.
+//! that dies mid-job, and SIGTERM to the daemon itself — and job-level
+//! retry: a crashed attempt announced with a `retrying` frame, restarted
+//! up to `max_restarts`, and failed with a final error past that.
 //!
 //! The first two tests drive an in-process [`Server`]; the teardown tests
 //! exercise the real `pts-serve` binary, where orphaned worker ranks are
@@ -33,6 +35,7 @@ fn qap_job(n: u32, seed: u64, global: u32, budget_ms: u64) -> JobRequest {
         cfg,
         spec: JobDomainSpec::QapRandom { n, seed },
         budget_ms,
+        max_restarts: 0,
     }
 }
 
@@ -44,6 +47,7 @@ fn wait_result(client: &mut Client) -> (JobResult, u32) {
             Some(ServeEvent::Result(r)) => return (r, progress),
             Some(ServeEvent::Progress { .. }) => progress += 1,
             Some(ServeEvent::Accepted { .. }) => {}
+            Some(ServeEvent::Retrying { .. }) => {}
             Some(ServeEvent::Error { job, message }) => {
                 panic!("job {job} failed server-side: {message}")
             }
@@ -186,17 +190,27 @@ const SIGTERM: i32 = 15;
 
 /// Spawn the real daemon, return (child, its advertised address).
 fn spawn_daemon(name: &str) -> (std::process::Child, String) {
+    spawn_daemon_env(name, &[])
+}
+
+/// Like [`spawn_daemon`], with extra environment variables set on the
+/// daemon (inherited by its worker processes). Chaos knobs go through
+/// here so they stay scoped to one daemon — never `set_var` in a test
+/// binary whose tests run in parallel.
+fn spawn_daemon_env(name: &str, envs: &[(&str, String)]) -> (std::process::Child, String) {
     let sock =
         std::env::temp_dir().join(format!("pts-serve-bin-{}-{name}.sock", std::process::id()));
     let _ = std::fs::remove_file(&sock);
-    let mut child = Command::new(env!("CARGO_BIN_EXE_pts-serve"))
-        .args(["serve", "--sock"])
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_pts-serve"));
+    cmd.args(["serve", "--sock"])
         .arg(&sock)
         .args(["--max-concurrent", "2"])
         .stdout(Stdio::piped())
-        .stderr(Stdio::null())
-        .spawn()
-        .expect("spawn pts-serve");
+        .stderr(Stdio::null());
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let mut child = cmd.spawn().expect("spawn pts-serve");
     let mut addr = String::new();
     std::io::BufReader::new(child.stdout.take().unwrap())
         .read_line(&mut addr)
@@ -273,6 +287,105 @@ fn sigterm_drains_jobs_and_leaves_no_orphans() {
     assert!(
         workers_of(pid).is_empty(),
         "daemon exited but left worker processes: {:?}",
+        workers_of(pid)
+    );
+}
+
+#[test]
+fn crashed_attempt_is_retried_and_other_jobs_are_untouched() {
+    // One crash, total: the first worker process to win the token file
+    // aborts right after its handshake; every later attempt runs clean.
+    let token =
+        std::env::temp_dir().join(format!("pts-serve-retry-once-{}.token", std::process::id()));
+    let _ = std::fs::remove_file(&token);
+    let (mut daemon, addr) = spawn_daemon_env(
+        "retryonce",
+        &[
+            ("PTS_CHAOS_CRASH_RANKS", "1".into()),
+            ("PTS_CHAOS_CRASH_ONCE", token.display().to_string()),
+        ],
+    );
+    let pid = daemon.id();
+
+    // Job A: its first attempt loses rank 1 and must be retried.
+    let mut a = Client::connect(&addr, Duration::from_secs(10)).unwrap();
+    let mut req = qap_job(10, 21, 3, 0);
+    req.max_restarts = 2;
+    a.submit(&req).unwrap();
+
+    // The client must see the retry announced before any result.
+    let restart = loop {
+        match a.next_event().unwrap() {
+            Some(ServeEvent::Retrying { attempt, .. }) => break attempt,
+            Some(ServeEvent::Error { job, message }) => {
+                panic!("job {job} failed instead of retrying: {message}")
+            }
+            Some(ServeEvent::Result(r)) => panic!("result before any retry: {r:?}"),
+            Some(_) => {}
+            None => panic!("stream closed before the retry"),
+        }
+    };
+    assert_eq!(restart, 1, "first restart should be announced as #1");
+
+    // Job B, submitted after the crash token is spent, must be
+    // completely unaffected by A's retry.
+    let mut b = Client::connect(&addr, Duration::from_secs(10)).unwrap();
+    b.submit(&qap_job(10, 22, 3, 0)).unwrap();
+    let (rb, _) = wait_result(&mut b);
+    assert!(!rb.cancelled, "job B was disturbed by job A's retry");
+    assert_eq!(rb.rounds, 3);
+
+    // A's second attempt runs clean.
+    let (ra, _) = wait_result(&mut a);
+    assert!(!ra.cancelled, "retried job should finish cleanly");
+    assert_eq!(ra.rounds, 3);
+
+    unsafe { kill(pid as i32, SIGTERM) };
+    let status = daemon.wait().unwrap();
+    assert!(status.success(), "daemon exited uncleanly: {status:?}");
+    assert!(
+        workers_of(pid).is_empty(),
+        "retry path left worker processes: {:?}",
+        workers_of(pid)
+    );
+    let _ = std::fs::remove_file(&token);
+}
+
+#[test]
+fn restart_budget_exhausts_to_a_final_error() {
+    // No token: rank 1 aborts on every attempt, so the restart budget
+    // runs dry and the job must fail — loudly, not with a shrug.
+    let (mut daemon, addr) =
+        spawn_daemon_env("retryexhaust", &[("PTS_CHAOS_CRASH_RANKS", "1".into())]);
+    let pid = daemon.id();
+
+    let mut client = Client::connect(&addr, Duration::from_secs(10)).unwrap();
+    let mut req = qap_job(10, 23, 2, 0);
+    req.max_restarts = 2;
+    client.submit(&req).unwrap();
+
+    let mut restarts = Vec::new();
+    let error = loop {
+        match client.next_event().unwrap() {
+            Some(ServeEvent::Retrying { attempt, .. }) => restarts.push(attempt),
+            Some(ServeEvent::Error { message, .. }) => break message,
+            Some(ServeEvent::Result(r)) => panic!("exhausted job delivered a result: {r:?}"),
+            Some(_) => {}
+            None => panic!("stream closed before the final error"),
+        }
+    };
+    assert_eq!(restarts, vec![1, 2], "every restart must be announced");
+    assert!(
+        error.contains("restart budget exhausted"),
+        "error should name the exhausted budget, got: {error}"
+    );
+
+    unsafe { kill(pid as i32, SIGTERM) };
+    let status = daemon.wait().unwrap();
+    assert!(status.success(), "daemon exited uncleanly: {status:?}");
+    assert!(
+        workers_of(pid).is_empty(),
+        "exhausted retries left worker processes: {:?}",
         workers_of(pid)
     );
 }

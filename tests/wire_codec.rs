@@ -11,7 +11,9 @@
 //! field, so byte identity catches any lossy or misaligned field without
 //! requiring `PartialEq` on message payloads (which hold `Arc`s).
 
-use parallel_tabu_search::core::wire::{self, decode_msg, encode_msg, peek_dst, WireProblem};
+use parallel_tabu_search::core::wire::{
+    self, decode_msg, encode_msg, peek_dst, WireError, WireProblem,
+};
 use parallel_tabu_search::core::{
     PlacementDelta, PlacementProblem, PtsMsg, QapDelta, SnapshotPayload, TabuPayload,
 };
@@ -273,6 +275,30 @@ proptest! {
             _ => PtsMsg::Stop,
         };
         check_roundtrip::<PlacementProblem>(&msg, dst, &ctx);
+    }
+
+    #[test]
+    fn any_wrong_version_byte_is_a_typed_mismatch(
+        got in any::<u8>(),
+        variant in 0u8..13,
+        n in 2usize..12,
+        seed in any::<u64>(),
+        dst in 0u32..1024,
+    ) {
+        // Cross-version compatibility: a frame stamped with any other
+        // codec version must fail decoding with the typed error — never a
+        // garbage decode, never a panic — on both the full decoder and
+        // the router's header-only peek. Remap the one valid byte rather
+        // than discarding the case.
+        let got = if got == wire::WIRE_VERSION { got.wrapping_add(1) } else { got };
+        let msg = qap_msg(
+            variant, n, seed, 1, 2, 0.5, vec![], vec![], vec![], [0; 5], false, false,
+        );
+        let mut buf = encode_msg(&msg, dst);
+        buf[0] = got;
+        let want = WireError::VersionMismatch { got, want: wire::WIRE_VERSION };
+        prop_assert_eq!(decode_msg::<Qap>(&buf, &()).err(), Some(want.clone()));
+        prop_assert_eq!(peek_dst(&buf).err(), Some(want));
     }
 
     #[test]
