@@ -13,8 +13,11 @@ fn cfg() -> PtsConfig {
         n_clw: 2,
         global_iters: 3,
         local_iters: 8,
-        candidates: 6,
-        depth: 2,
+        search: pts_core::SearchStrategy {
+            candidates: 6,
+            depth: 2,
+            ..Default::default()
+        },
         ..PtsConfig::default()
     }
 }

@@ -164,7 +164,7 @@ fn main() {
         let netlist = circuit(name);
         for g in [budget / 15, budget / 30].iter().filter(|&&g| g >= 1) {
             let (g, l) = (*g, budget / *g);
-            let mut cfg = base;
+            let mut cfg = base.clone();
             cfg.n_tsw = 4;
             cfg.n_clw = 1;
             cfg.global_iters = g;

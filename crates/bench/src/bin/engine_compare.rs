@@ -69,8 +69,9 @@
 use pts_bench::emit;
 use pts_bench::kernel::{bench_qap_kernel, KernelBench};
 use pts_core::{
-    take_snapshot_meter, AsyncEngine, ExecutionEngine, ProcEngine, Pts, PtsConfig, QapDomain,
-    RunBuilder, SimEngine, SnapshotMeter, SnapshotMode, ThreadEngine, VirtualEngine,
+    take_snapshot_meter, take_trials, AsyncEngine, ExecutionEngine, ProcEngine, Pts, PtsConfig,
+    QapDomain, RunBuilder, SearchStrategy, SimEngine, SnapshotMeter, SnapshotMode, ThreadEngine,
+    VirtualEngine,
 };
 use pts_util::csv::CsvWriter;
 use pts_util::table::{fmt_f64, Table};
@@ -423,13 +424,39 @@ struct TimeBench {
 
 /// Upper-bound trial count a configuration can evaluate: every CLW
 /// investigation runs up to `depth` steps of `candidates` trials per
-/// local iteration (early accepts stop a step short). A *nominal*
-/// denominator — stable across runs of the same config, which is all a
-/// regression trend needs — not an exact evaluation count.
+/// local iteration. Early accepts, forced-early rounds, cut-short
+/// investigations and dead CLWs all evaluate *fewer* — the exact count
+/// comes from `pts_core::take_trials()`, metered at the batch that
+/// actually executed. This nominal figure survives only as the fallback
+/// denominator for the proc engine, whose evaluations happen in worker
+/// OS processes where the parent's meter cannot see them.
 fn nominal_trials(cfg: &PtsConfig) -> u64 {
-    (cfg.n_tsw * cfg.n_clw * cfg.candidates * cfg.depth) as u64
+    (cfg.n_tsw * cfg.n_clw * cfg.search.candidates * cfg.search.depth) as u64
         * cfg.global_iters as u64
         * cfg.local_iters as u64
+}
+
+/// Exact-first trial denominator: the metered count when the run
+/// executed in this process, the nominal upper bound otherwise (proc
+/// workers meter in their own address spaces). Returns the count and
+/// whether it is exact.
+fn measured_trials(cfg: &PtsConfig) -> (u64, bool) {
+    let measured = take_trials();
+    if measured > 0 {
+        (measured, true)
+    } else {
+        (nominal_trials(cfg), false)
+    }
+}
+
+/// Portfolio column cell: `uniform` when every TSW group runs the single
+/// `search` strategy, `k-strat` for a k-entry heterogeneous portfolio.
+fn portfolio_label(cfg: &PtsConfig) -> String {
+    if cfg.portfolio.is_empty() {
+        "uniform".to_string()
+    } else {
+        format!("{}-strat", cfg.portfolio.len())
+    }
 }
 
 fn measure_time(domain: &QapDomain) -> TimeBench {
@@ -448,15 +475,17 @@ fn measure_time(domain: &QapDomain) -> TimeBench {
         .iter()
         .map(|&n_tsw| {
             let run = builder(n_tsw).build().expect("time configs are valid");
-            let trials = nominal_trials(run.config());
+            let _ = take_trials(); // drain any prior section's count
             let out = run.execute(domain, &AsyncEngine::new());
+            let (trials, exact) = measured_trials(run.config());
+            assert!(exact, "async runs in-process; the trial meter must see it");
             let p = TimePoint {
                 n_tsw,
                 wall_seconds: out.report.wall_seconds,
                 ns_per_trial: out.report.wall_seconds * 1e9 / trials as f64,
             };
             println!(
-                "async n_tsw {:>4}: {:>7.3} s wall, {:>8.0} ns per nominal trial ({} trials)",
+                "async n_tsw {:>4}: {:>7.3} s wall, {:>8.0} ns per trial ({} trials, exact)",
                 p.n_tsw, p.wall_seconds, p.ns_per_trial, trials
             );
             p
@@ -647,6 +676,7 @@ fn run_engine_table() {
         "n_tsw",
         "engine",
         "master",
+        "portfolio",
         "best cost",
         "host wall s",
         "ns/trial",
@@ -661,6 +691,7 @@ fn run_engine_table() {
         "n_tsw",
         "engine",
         "master",
+        "portfolio",
         "best_cost",
         "wall_seconds",
         "ns_per_trial",
@@ -714,10 +745,11 @@ fn run_engine_table() {
                         n_tsw.to_string(),
                         name.to_string(),
                         master.clone(),
+                        portfolio_label(run.config()),
                         "- (PTS_FULL=1)".to_string(),
                         "-".to_string(),
                         "-".to_string(),
-                        run.config().candidates.to_string(),
+                        run.config().search.candidates.to_string(),
                         "-".to_string(),
                         "-".to_string(),
                         "-".to_string(),
@@ -730,10 +762,11 @@ fn run_engine_table() {
                         n_tsw.to_string(),
                         name.to_string(),
                         master,
+                        portfolio_label(run.config()),
                         "skipped".to_string(),
                         "skipped".to_string(),
                         "skipped".to_string(),
-                        run.config().candidates.to_string(),
+                        run.config().search.candidates.to_string(),
                         "skipped".to_string(),
                         "skipped".to_string(),
                         "skipped".to_string(),
@@ -743,24 +776,34 @@ fn run_engine_table() {
                     continue;
                 }
                 let _ = take_snapshot_meter(); // drain
+                let _ = take_trials(); // drain
                 let out = run.execute(&domain, engine);
                 let meter = take_snapshot_meter();
                 let root = &out.report.per_proc[0];
                 let root_msgs = root.messages_sent + root.messages_received;
                 let wire_mb = out.report.total_bytes() as f64 / 1e6;
-                // Host wall time over the nominal trial budget: an
-                // end-to-end throughput figure (messaging and scheduling
-                // included), comparable across engines at fixed n_tsw.
-                let ns_per_trial =
-                    out.report.wall_seconds * 1e9 / nominal_trials(run.config()) as f64;
+                // Host wall time over the trial count: an end-to-end
+                // throughput figure (messaging and scheduling included),
+                // comparable across engines at fixed n_tsw. Exact where
+                // the run executed in-process; the proc engine's workers
+                // meter in their own address spaces, so its rows fall
+                // back to the nominal upper bound (marked with a `~`).
+                let (trials, exact) = measured_trials(run.config());
+                let ns_per_trial = out.report.wall_seconds * 1e9 / trials as f64;
+                let ns_cell = if exact {
+                    format!("{ns_per_trial:.0}")
+                } else {
+                    format!("~{ns_per_trial:.0}")
+                };
                 table.row([
                     n_tsw.to_string(),
                     name.to_string(),
                     master.clone(),
+                    portfolio_label(run.config()),
                     fmt_f64(out.outcome.best_cost),
                     format!("{:.3}", out.report.wall_seconds),
-                    format!("{ns_per_trial:.0}"),
-                    run.config().candidates.to_string(),
+                    ns_cell,
+                    run.config().search.candidates.to_string(),
                     out.report.total_messages().to_string(),
                     root_msgs.to_string(),
                     format!("{wire_mb:.2}"),
@@ -771,10 +814,11 @@ fn run_engine_table() {
                     n_tsw.to_string(),
                     name.to_string(),
                     master,
+                    portfolio_label(run.config()),
                     fmt_f64(out.outcome.best_cost),
                     format!("{:.4}", out.report.wall_seconds),
                     format!("{ns_per_trial:.1}"),
-                    run.config().candidates.to_string(),
+                    run.config().search.candidates.to_string(),
                     out.report.total_messages().to_string(),
                     root_msgs.to_string(),
                     format!("{wire_mb:.4}"),
@@ -783,10 +827,84 @@ fn run_engine_table() {
                 ]);
             }
         }
+
+        // The portfolio column's non-uniform case: one sharded vt row
+        // per scale running a two-strategy portfolio (the pinned
+        // vt_scenarios pair — an intensifier and a diversifier), so the
+        // table shows what the heterogeneous mode costs and wins next
+        // to the uniform rows it rides alongside.
+        let run = builder(n_tsw)
+            .shard_fanout(fanout)
+            .portfolio([
+                SearchStrategy {
+                    tenure: 5,
+                    candidates: 6,
+                    depth: 3,
+                    ..Default::default()
+                },
+                SearchStrategy {
+                    tenure: 13,
+                    candidates: 4,
+                    depth: 2,
+                    ..Default::default()
+                },
+            ])
+            .build()
+            .expect("sweep configs are valid");
+        let _ = take_snapshot_meter();
+        let _ = take_trials();
+        let out = run.execute(&domain, &VirtualEngine::paper());
+        let meter = take_snapshot_meter();
+        let root = &out.report.per_proc[0];
+        let root_msgs = root.messages_sent + root.messages_received;
+        let wire_mb = out.report.total_bytes() as f64 / 1e6;
+        let (trials, exact) = measured_trials(run.config());
+        assert!(exact, "vt runs in-process; trials must be metered");
+        let ns_per_trial = out.report.wall_seconds * 1e9 / trials as f64;
+        let batches = run
+            .config()
+            .portfolio
+            .iter()
+            .map(|s| s.candidates.to_string())
+            .collect::<Vec<_>>()
+            .join("/");
+        let master = format!("shard/{fanout}");
+        table.row([
+            n_tsw.to_string(),
+            "vt".to_string(),
+            master.clone(),
+            portfolio_label(run.config()),
+            fmt_f64(out.outcome.best_cost),
+            format!("{:.3}", out.report.wall_seconds),
+            format!("{ns_per_trial:.0}"),
+            batches.clone(),
+            out.report.total_messages().to_string(),
+            root_msgs.to_string(),
+            format!("{wire_mb:.2}"),
+            meter.allocs.to_string(),
+            out.report.num_procs().to_string(),
+        ]);
+        csv.row([
+            n_tsw.to_string(),
+            "vt".to_string(),
+            master,
+            portfolio_label(run.config()),
+            fmt_f64(out.outcome.best_cost),
+            format!("{:.4}", out.report.wall_seconds),
+            format!("{ns_per_trial:.1}"),
+            batches,
+            out.report.total_messages().to_string(),
+            root_msgs.to_string(),
+            format!("{wire_mb:.4}"),
+            meter.allocs.to_string(),
+            out.report.num_procs().to_string(),
+        ]);
     }
 
     emit("engine_compare", &table, &csv);
     println!("\n(sim/threads/proc at n_tsw = 1024 and all sharded sim/threads/proc rows run only with PTS_FULL=1 — proc at 1024 means 2049 OS processes.)");
     println!("(root msgs: rank-0 sent+received — O(n_tsw) flat, O(fan-out) sharded.)");
+    println!("(ns/trial: wall time over the *metered* evaluation count — exact, early accepts and cut-shorts included; `~` marks proc rows, whose workers meter in their own processes, so the nominal upper bound is used.)");
+    println!("(portfolio: `uniform` = single strategy; `k-strat` = heterogeneous portfolio — the 2-strat vt rows run the pinned intensify/diversify pair from tests/vt_scenarios.rs; see `pts run --portfolio`.)");
     println!("(wire MB / snap allocs: simulated traffic and full-solution materializations — both drop under the default delta snapshot mode; see BENCH_wire.json.)\n");
 }

@@ -37,7 +37,7 @@ fn main() {
         let mut best_split = (0u32, 0u32);
         let mut best_cost = f64::INFINITY;
         for &(g, l) in &splits {
-            let mut cfg = base;
+            let mut cfg = base.clone();
             cfg.n_tsw = 4;
             cfg.n_clw = 1;
             cfg.global_iters = g;

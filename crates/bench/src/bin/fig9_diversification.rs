@@ -30,7 +30,7 @@ fn main() {
         cfg_div.n_tsw = 4;
         cfg_div.n_clw = 1;
         cfg_div.diversify = true;
-        let mut cfg_plain = cfg_div;
+        let mut cfg_plain = cfg_div.clone();
         cfg_plain.diversify = false;
 
         let with = mean_best_cost(&cfg_div, &netlist, &seed_list);

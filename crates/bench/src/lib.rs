@@ -73,7 +73,7 @@ pub fn base_config(profile: Profile) -> PtsConfig {
 
 /// Run a configuration on the 12-machine paper cluster (virtual).
 pub fn run_on_paper_cluster(cfg: &PtsConfig, netlist: Arc<Netlist>) -> PlacementRunOutput {
-    Pts::from_config(*cfg)
+    Pts::from_config(cfg.clone())
         .build()
         .expect("harness configs are valid")
         .run_placement(netlist, &SimEngine::paper())
@@ -95,7 +95,7 @@ pub fn mean_best_cost(cfg: &PtsConfig, netlist: &Arc<Netlist>, seeds: &[u64]) ->
     let sum: f64 = seeds
         .iter()
         .map(|&seed| {
-            let mut c = *cfg;
+            let mut c = cfg.clone();
             c.seed = seed;
             run_on_paper_cluster(&c, netlist.clone()).outcome.best_cost
         })
@@ -132,7 +132,7 @@ pub fn averaged_speedup_sweep(
     for &seed in seeds {
         let mut traces = Vec::new();
         for &n in ns {
-            let mut cfg = *base;
+            let mut cfg = base.clone();
             cfg.seed = seed;
             configure(&mut cfg, n);
             let out = run_on_paper_cluster(&cfg, netlist.clone());

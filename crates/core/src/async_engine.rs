@@ -80,7 +80,7 @@ impl<D: PtsDomain> ExecutionEngine<D> for AsyncEngine {
         // Task 0: master. Spawn order must equal rank order (TaskTransport
         // identifies rank with task id).
         {
-            let cfg = *cfg;
+            let cfg = cfg.clone();
             let domain = domain.clone();
             let slot = Rc::clone(&outcome_slot);
             cluster.spawn(move |ctx| async move {
@@ -92,7 +92,7 @@ impl<D: PtsDomain> ExecutionEngine<D> for AsyncEngine {
         }
         // Tasks 1..=n_tsw: TSWs.
         for i in 0..cfg.n_tsw {
-            let cfg = *cfg;
+            let cfg = cfg.clone();
             let domain = domain.clone();
             cluster.spawn(move |ctx| async move {
                 let mut t = TaskTransport { ctx };
@@ -102,7 +102,7 @@ impl<D: PtsDomain> ExecutionEngine<D> for AsyncEngine {
         // Next tasks: CLWs, grouped by TSW.
         for i in 0..cfg.n_tsw {
             for j in 0..cfg.n_clw {
-                let cfg = *cfg;
+                let cfg = cfg.clone();
                 let domain = domain.clone();
                 let tsw_rank = cfg.tsw_rank(i);
                 cluster.spawn(move |ctx| async move {
@@ -114,7 +114,7 @@ impl<D: PtsDomain> ExecutionEngine<D> for AsyncEngine {
         // Final tasks: sub-masters of the sharded collection tree (none
         // under the default flat topology).
         for s in 0..cfg.n_shards() {
-            let cfg = *cfg;
+            let cfg = cfg.clone();
             let domain = domain.clone();
             cluster.spawn(move |ctx| async move {
                 let mut t = TaskTransport { ctx };

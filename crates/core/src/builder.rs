@@ -22,13 +22,14 @@
 //! assert!(out.outcome.best_cost <= out.outcome.initial_cost);
 //! ```
 
-use crate::config::{CostKind, PtsConfig, SnapshotMode, SyncPolicy, WorkModel};
+use crate::config::{CostKind, PtsConfig, SearchStrategy, SnapshotMode, SyncPolicy, WorkModel};
 use crate::domain::{PtsDomain, SnapshotOf};
 use crate::engine::{EngineOutput, ExecutionEngine};
 use crate::placement_problem::{MasterOutcome, PlacementDomain};
 use crate::report::RunReport;
 use pts_netlist::Netlist;
 use pts_place::placement::Placement;
+use pts_tabu::aspiration::Aspiration;
 use std::sync::Arc;
 
 /// Why a configuration failed validation.
@@ -53,6 +54,9 @@ pub enum ConfigError {
     ShardFanoutTooSmall,
     /// `liveness_timeout` must be finite and ≥ 0 (0 = disabled).
     LivenessTimeoutInvalid(f64),
+    /// The strategy portfolio holds at most 255 entries (ids ride one
+    /// wire byte).
+    PortfolioTooLarge(usize),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -80,6 +84,9 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::LivenessTimeoutInvalid(v) => {
                 write!(f, "liveness_timeout must be finite and >= 0, got {v}")
+            }
+            ConfigError::PortfolioTooLarge(n) => {
+                write!(f, "portfolio holds at most 255 strategies, got {n}")
             }
         }
     }
@@ -165,21 +172,22 @@ impl RunBuilder {
         self
     }
 
-    /// Candidate pairs sampled per elementary move (`m`).
+    /// Candidate pairs sampled per elementary move (`m`) of the uniform
+    /// strategy.
     pub fn candidates(mut self, m: usize) -> Self {
-        self.cfg.candidates = m;
+        self.cfg.search.candidates = m;
         self
     }
 
-    /// Compound move depth (`d`).
+    /// Compound move depth (`d`) of the uniform strategy.
     pub fn depth(mut self, d: usize) -> Self {
-        self.cfg.depth = d;
+        self.cfg.search.depth = d;
         self
     }
 
-    /// Tabu tenure in local iterations.
+    /// Tabu tenure in local iterations of the uniform strategy.
     pub fn tenure(mut self, tenure: u64) -> Self {
-        self.cfg.tenure = tenure;
+        self.cfg.search.tenure = tenure;
         self
     }
 
@@ -189,15 +197,37 @@ impl RunBuilder {
         self
     }
 
-    /// Diversification moves per global iteration (`0` = auto-scale).
+    /// Diversification moves per global iteration (`0` = auto-scale) of
+    /// the uniform strategy.
     pub fn diversify_depth(mut self, depth: usize) -> Self {
-        self.cfg.diversify_depth = depth;
+        self.cfg.search.diversify_depth = depth;
         self
     }
 
-    /// Moves sampled per diversification step.
+    /// Moves sampled per diversification step of the uniform strategy.
     pub fn diversify_width(mut self, width: usize) -> Self {
-        self.cfg.diversify_width = width;
+        self.cfg.search.diversify_width = width;
+        self
+    }
+
+    /// Aspiration policy of the uniform strategy.
+    pub fn aspiration(mut self, asp: Aspiration) -> Self {
+        self.cfg.search.aspiration = asp;
+        self
+    }
+
+    /// Replace the whole uniform strategy at once.
+    pub fn search_strategy(mut self, strategy: SearchStrategy) -> Self {
+        self.cfg.search = strategy;
+        self
+    }
+
+    /// Heterogeneous strategy portfolio (empty = uniform run). TSW group
+    /// `g` starts on `portfolio[g % len]`; the root's epsilon-greedy
+    /// reallocator may reassign groups between rounds. See
+    /// [`PtsConfig::portfolio`].
+    pub fn portfolio<I: IntoIterator<Item = SearchStrategy>>(mut self, strategies: I) -> Self {
+        self.cfg.portfolio = strategies.into_iter().collect();
         self
     }
 
@@ -558,6 +588,43 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(run.config().snapshot_mode, SnapshotMode::Full);
+    }
+
+    #[test]
+    fn builder_portfolio_is_validated_per_entry() {
+        assert_eq!(
+            Pts::builder()
+                .portfolio([SearchStrategy {
+                    depth: 0,
+                    ..SearchStrategy::default()
+                }])
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroMoveBudget
+        );
+        assert_eq!(
+            Pts::builder()
+                .portfolio(vec![SearchStrategy::default(); 300])
+                .build()
+                .unwrap_err(),
+            ConfigError::PortfolioTooLarge(300)
+        );
+        let run = Pts::builder()
+            .portfolio([
+                SearchStrategy::default(),
+                SearchStrategy {
+                    tenure: 15,
+                    aspiration: Aspiration::None,
+                    ..SearchStrategy::default()
+                },
+            ])
+            .build()
+            .unwrap();
+        assert_eq!(run.config().portfolio.len(), 2);
+        // The uniform knob setters keep targeting the uniform strategy.
+        let run = Pts::builder().tenure(11).candidates(5).build().unwrap();
+        assert_eq!(run.config().search.tenure, 11);
+        assert_eq!(run.config().search.candidates, 5);
     }
 
     #[test]

@@ -127,11 +127,12 @@ async fn handle<D: PtsDomain, T: Transport<D::Problem>>(
     msg: PtsMsg<D::Problem>,
 ) -> bool {
     match msg {
-        PtsMsg::Investigate { seq } => {
+        PtsMsg::Investigate { seq, strategy } => {
             let mut tsw_down = false;
             let (moves, cost) = investigate::<D, T>(
                 t,
                 cfg,
+                strategy,
                 problem,
                 rng,
                 range,
@@ -228,6 +229,7 @@ async fn handle<D: PtsDomain, T: Transport<D::Problem>>(
 async fn investigate<D: PtsDomain, T: Transport<D::Problem>>(
     t: &mut T,
     cfg: &PtsConfig,
+    strategy: u8,
     problem: &mut D::Problem,
     rng: &mut Rng,
     range: (usize, usize),
@@ -236,17 +238,25 @@ async fn investigate<D: PtsDomain, T: Transport<D::Problem>>(
     tsw_down: &mut bool,
     scratch: &mut CandidateScratch<MoveOf<D>>,
 ) -> (Vec<MoveOf<D>>, f64) {
-    let sampler = CandidateList::new(cfg.candidates);
+    // The search knobs come from the *investigation's* strategy stamp, not
+    // a config global: under a portfolio the owning TSW may be reassigned
+    // between rounds, and the stamp keeps CLWs in lockstep with it.
+    let strat = cfg.strategy(strategy);
+    let sampler = CandidateList::new(strat.candidates);
     let start_cost = problem.cost();
-    let mut applied: Vec<MoveOf<D>> = Vec::with_capacity(cfg.depth);
-    let mut cost_after: Vec<f64> = Vec::with_capacity(cfg.depth);
+    let mut applied: Vec<MoveOf<D>> = Vec::with_capacity(strat.depth);
+    let mut cost_after: Vec<f64> = Vec::with_capacity(strat.depth);
 
-    for step in 0..cfg.depth {
+    for step in 0..strat.depth {
         // m trial evaluations + one commit of the winner. The whole batch
         // is still charged as ONE compute call — the virtual-time ledger
         // (and thus every pinned sim/vt golden) is oblivious to whether
         // the trials ran through the scalar loop or the batched kernel.
-        t.compute(cfg.work.per_trial * cfg.candidates as f64).await;
+        t.compute(cfg.work.per_trial * strat.candidates as f64)
+            .await;
+        // Exact trial metering: count the batch only when it actually
+        // executes (cut-short / forced-early / dead paths never get here).
+        meter::record_trials(strat.candidates as u64);
         let cand = sampler.sample_best_with(problem, rng, Some(range), scratch);
         problem.apply(&cand.mv);
         t.compute(cfg.work.per_commit).await;
@@ -258,7 +268,7 @@ async fn investigate<D: PtsDomain, T: Transport<D::Problem>>(
             break;
         }
         // Nothing left to cut after the final step; skip the yield/poll.
-        if step + 1 == cfg.depth {
+        if step + 1 == strat.depth {
             break;
         }
         // Heterogeneity: the TSW may cut the investigation short. Yield

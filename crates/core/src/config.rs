@@ -3,6 +3,7 @@
 use crate::builder::ConfigError;
 use pts_place::eval::{EvalConfig, SchemeChoice};
 use pts_place::fuzzy::GoalConfig;
+use pts_tabu::aspiration::Aspiration;
 
 /// Parent/child synchronization policy — the paper's heterogeneity knob.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -72,8 +73,71 @@ impl Default for WorkModel {
     }
 }
 
-/// Full configuration of a PTS run.
+/// One tabu-search parameterization: the per-worker knobs that define
+/// *how* a TSW searches (as opposed to the topology/protocol knobs that
+/// stay on [`PtsConfig`]). A run carries one uniform strategy
+/// ([`PtsConfig::search`]) plus an optional heterogeneous
+/// [`PtsConfig::portfolio`] assigned per TSW group.
 #[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SearchStrategy {
+    /// Candidate pairs sampled per elementary move (`m`).
+    pub candidates: usize,
+    /// Compound move depth (`d`).
+    pub depth: usize,
+    /// Tabu tenure in local iterations.
+    pub tenure: u64,
+    /// Number of diversification moves; `0` = auto (scaled to circuit
+    /// size, see [`SearchStrategy::effective_diversify_depth`]).
+    pub diversify_depth: usize,
+    /// Moves sampled per diversification step.
+    pub diversify_width: usize,
+    /// When a tabu move is accepted anyway.
+    pub aspiration: Aspiration,
+}
+
+impl Default for SearchStrategy {
+    fn default() -> Self {
+        SearchStrategy {
+            candidates: 8,
+            depth: 3,
+            tenure: 7,
+            diversify_depth: 0, // auto: scale with circuit size
+            diversify_width: 4,
+            aspiration: Aspiration::BestCost,
+        }
+    }
+}
+
+impl SearchStrategy {
+    /// Diversification moves per global iteration. An explicit
+    /// `diversify_depth` is used as-is; `0` scales with the square root of
+    /// the circuit size (clamped to `[3, 16]`). Sub-linear scaling matters:
+    /// the paper itself warns that "too much diversification without
+    /// enough local investigation might mislead the search", and linear
+    /// depth on a 2000-cell circuit is exactly that failure mode.
+    pub fn effective_diversify_depth(&self, n_cells: usize) -> usize {
+        if self.diversify_depth > 0 {
+            self.diversify_depth
+        } else {
+            (((n_cells as f64).sqrt() / 3.0).round() as usize).clamp(3, 16)
+        }
+    }
+
+    /// Structural validity of this strategy's knobs (shared between the
+    /// uniform strategy and every portfolio entry).
+    pub fn validate(&self, diversify: bool) -> Result<(), ConfigError> {
+        if self.candidates == 0 || self.depth == 0 {
+            return Err(ConfigError::ZeroMoveBudget);
+        }
+        if diversify && self.diversify_width == 0 {
+            return Err(ConfigError::ZeroDiversifyWidth);
+        }
+        Ok(())
+    }
+}
+
+/// Full configuration of a PTS run.
+#[derive(Clone, Debug, PartialEq)]
 pub struct PtsConfig {
     /// Number of tabu search workers (high-level parallelization).
     pub n_tsw: usize,
@@ -83,20 +147,21 @@ pub struct PtsConfig {
     pub global_iters: u32,
     /// Local iterations per TSW per global iteration.
     pub local_iters: u32,
-    /// Candidate pairs sampled per elementary move (`m`).
-    pub candidates: usize,
-    /// Compound move depth (`d`).
-    pub depth: usize,
-    /// Tabu tenure in local iterations.
-    pub tenure: u64,
+    /// The uniform search strategy: every TSW runs these knobs when
+    /// [`PtsConfig::portfolio`] is empty, and any group the portfolio
+    /// does not cover falls back to it.
+    pub search: SearchStrategy,
+    /// Heterogeneous strategy portfolio. Empty (default) = uniform: every
+    /// worker runs [`PtsConfig::search`], bit-identical to the
+    /// pre-portfolio protocol. Non-empty: TSW group `g` (see
+    /// [`PtsConfig::group_of_tsw`]) starts on strategy `g % len`, and the
+    /// root's adaptive reallocator may reassign groups between rounds
+    /// (see `crate::master`). At most 255 entries — strategy ids ride a
+    /// single wire byte.
+    pub portfolio: Vec<SearchStrategy>,
     /// Perform the Kelly-style diversification step at the start of each
     /// global iteration.
     pub diversify: bool,
-    /// Number of diversification moves; `0` = auto (scaled to circuit
-    /// size, see [`PtsConfig::effective_diversify_depth`]).
-    pub diversify_depth: usize,
-    /// Moves sampled per diversification step.
-    pub diversify_width: usize,
     /// Master ↔ TSW synchronization.
     pub tsw_sync: SyncPolicy,
     /// TSW ↔ CLW synchronization.
@@ -190,12 +255,9 @@ impl Default for PtsConfig {
             n_clw: 1,
             global_iters: 10,
             local_iters: 20,
-            candidates: 8,
-            depth: 3,
-            tenure: 7,
+            search: SearchStrategy::default(),
+            portfolio: Vec::new(),
             diversify: true,
-            diversify_depth: 0, // auto: scale with circuit size
-            diversify_width: 4,
             tsw_sync: SyncPolicy::HalfReport,
             clw_sync: SyncPolicy::HalfReport,
             report_fraction: 0.5,
@@ -445,18 +507,85 @@ impl PtsConfig {
         ((n_children as f64 * self.report_fraction).ceil() as usize).clamp(1, n_children)
     }
 
-    /// Diversification moves per global iteration. An explicit
-    /// `diversify_depth` is used as-is; `0` scales with the square root of
-    /// the circuit size (clamped to `[3, 16]`). Sub-linear scaling matters:
-    /// the paper itself warns that "too much diversification without
-    /// enough local investigation might mislead the search", and linear
-    /// depth on a 2000-cell circuit is exactly that failure mode.
+    /// Diversification moves per global iteration under the *uniform*
+    /// strategy; strategy-aware callers use
+    /// [`SearchStrategy::effective_diversify_depth`] on the strategy they
+    /// currently run.
     pub fn effective_diversify_depth(&self, n_cells: usize) -> usize {
-        if self.diversify_depth > 0 {
-            self.diversify_depth
+        self.search.effective_diversify_depth(n_cells)
+    }
+
+    /// The strategy behind wire id `id`: the portfolio entry when one is
+    /// configured, the uniform strategy otherwise. Out-of-range ids (a
+    /// corrupt or cross-version frame) clamp into the portfolio rather
+    /// than panicking — strategy ids are routing hints, not trusted
+    /// indices.
+    pub fn strategy(&self, id: u8) -> &SearchStrategy {
+        if self.portfolio.is_empty() {
+            &self.search
         } else {
-            (((n_cells as f64).sqrt() / 3.0).round() as usize).clamp(3, 16)
+            &self.portfolio[id as usize % self.portfolio.len()]
         }
+    }
+
+    /// Number of strategy *groups*: the root's direct children — every
+    /// TSW is its own group when flat, each top-level subtree is one
+    /// group when sharded. This is the granularity at which portfolio
+    /// strategies are assigned and reallocated.
+    pub fn n_groups(&self) -> usize {
+        self.root_children().len()
+    }
+
+    /// Strategy group TSW `i` belongs to: the index of the root's direct
+    /// child whose subtree contains it.
+    pub fn group_of_tsw(&self, i: usize) -> usize {
+        assert!(i < self.n_tsw);
+        if self.is_flat() {
+            return i;
+        }
+        let levels = self.shard_levels();
+        let mut idx = i / self.shard_fanout;
+        for _ in 1..levels.len() {
+            idx /= self.shard_fanout;
+        }
+        idx
+    }
+
+    /// Strategy group sub-master `shard` serves: the index of the root's
+    /// direct child whose subtree contains it (its own index within the
+    /// top level for a top-level shard).
+    pub fn group_of_shard(&self, shard: usize) -> usize {
+        let levels = self.shard_levels();
+        assert!(shard < self.n_shards(), "shard {shard} out of range");
+        let mut level = 0;
+        let mut level_lo = 0;
+        while shard >= level_lo + levels[level] {
+            level_lo += levels[level];
+            level += 1;
+        }
+        let mut j = shard - level_lo;
+        for _ in level + 1..levels.len() {
+            j /= self.shard_fanout;
+        }
+        j
+    }
+
+    /// Initial strategy id of group `g`: round-robin over the portfolio
+    /// (`0` — the uniform strategy — when no portfolio is configured).
+    /// Every process derives the same round-0 assignment locally from
+    /// the config; later rounds may be reassigned by the root's
+    /// reallocator via the strategy byte on `Broadcast`/`GroupBroadcast`.
+    pub fn initial_strategy_of_group(&self, g: usize) -> u8 {
+        if self.portfolio.is_empty() {
+            0
+        } else {
+            (g % self.portfolio.len()) as u8
+        }
+    }
+
+    /// Initial strategy id of TSW `i` (its group's round-0 assignment).
+    pub fn initial_strategy_of_tsw(&self, i: usize) -> u8 {
+        self.initial_strategy_of_group(self.group_of_tsw(i))
     }
 
     /// Translate to the placement evaluator configuration.
@@ -488,17 +617,18 @@ impl PtsConfig {
         if self.global_iters == 0 || self.local_iters == 0 {
             return Err(ConfigError::ZeroIterations);
         }
-        if self.candidates == 0 || self.depth == 0 {
-            return Err(ConfigError::ZeroMoveBudget);
+        self.search.validate(self.diversify)?;
+        if self.portfolio.len() > 255 {
+            return Err(ConfigError::PortfolioTooLarge(self.portfolio.len()));
+        }
+        for s in &self.portfolio {
+            s.validate(self.diversify)?;
         }
         if !(self.report_fraction > 0.0 && self.report_fraction <= 1.0) {
             return Err(ConfigError::ReportFractionOutOfRange(self.report_fraction));
         }
         if !(0.0..=1.0).contains(&self.beta) {
             return Err(ConfigError::BetaOutOfRange(self.beta));
-        }
-        if self.diversify && self.diversify_width == 0 {
-            return Err(ConfigError::ZeroDiversifyWidth);
         }
         if self.shard_fanout == 1 && self.n_tsw > 1 {
             return Err(ConfigError::ShardFanoutTooSmall);
@@ -899,10 +1029,114 @@ mod tests {
         assert_eq!(cfg.effective_diversify_depth(1451), 13);
         assert_eq!(cfg.effective_diversify_depth(2243), 16);
         let explicit = PtsConfig {
-            diversify_depth: 11,
+            search: SearchStrategy {
+                diversify_depth: 11,
+                ..SearchStrategy::default()
+            },
             ..PtsConfig::default()
         };
         assert_eq!(explicit.effective_diversify_depth(2243), 11);
+    }
+
+    #[test]
+    fn strategy_resolution_and_initial_assignment() {
+        // Empty portfolio: every id resolves to the uniform strategy and
+        // every group starts on id 0.
+        let uniform = PtsConfig::default();
+        assert_eq!(uniform.strategy(0), &uniform.search);
+        assert_eq!(uniform.strategy(7), &uniform.search);
+        assert_eq!(uniform.initial_strategy_of_group(3), 0);
+        // Two-strategy portfolio over 4 flat TSWs: round-robin start,
+        // out-of-range ids clamp instead of panicking.
+        let a = SearchStrategy {
+            tenure: 3,
+            ..SearchStrategy::default()
+        };
+        let b = SearchStrategy {
+            tenure: 19,
+            ..SearchStrategy::default()
+        };
+        let cfg = PtsConfig {
+            portfolio: vec![a, b],
+            ..PtsConfig::default()
+        };
+        cfg.validate().unwrap();
+        assert_eq!(cfg.n_groups(), 4);
+        for i in 0..4 {
+            assert_eq!(cfg.group_of_tsw(i), i);
+            assert_eq!(cfg.initial_strategy_of_tsw(i), (i % 2) as u8);
+        }
+        assert_eq!(cfg.strategy(0), &a);
+        assert_eq!(cfg.strategy(1), &b);
+        assert_eq!(cfg.strategy(2), &a, "ids wrap into the portfolio");
+    }
+
+    #[test]
+    fn groups_follow_the_shard_tree() {
+        // 8 TSWs, fan-out 4: two top-level shards = two groups.
+        let cfg = PtsConfig {
+            n_tsw: 8,
+            shard_fanout: 4,
+            ..PtsConfig::default()
+        };
+        assert_eq!(cfg.n_groups(), 2);
+        for i in 0..8 {
+            assert_eq!(cfg.group_of_tsw(i), i / 4);
+        }
+        assert_eq!(cfg.group_of_shard(0), 0);
+        assert_eq!(cfg.group_of_shard(1), 1);
+        // Two-level tree (6 TSWs, fan-out 2): groups are the *top* level
+        // children; leaves map through their ancestors.
+        let cfg = PtsConfig {
+            n_tsw: 6,
+            shard_fanout: 2,
+            ..PtsConfig::default()
+        };
+        assert_eq!(cfg.shard_levels(), vec![3, 2]);
+        assert_eq!(cfg.n_groups(), 2);
+        assert_eq!(
+            (0..6).map(|i| cfg.group_of_tsw(i)).collect::<Vec<_>>(),
+            vec![0, 0, 0, 0, 1, 1]
+        );
+        // Leaf shards 0,1 sit under top shard 3 (group 0); leaf 2 under
+        // top shard 4 (group 1); the top shards are their own groups.
+        assert_eq!(cfg.group_of_shard(0), 0);
+        assert_eq!(cfg.group_of_shard(1), 0);
+        assert_eq!(cfg.group_of_shard(2), 1);
+        assert_eq!(cfg.group_of_shard(3), 0);
+        assert_eq!(cfg.group_of_shard(4), 1);
+        // Group of a TSW always matches the group of its leaf shard.
+        for i in 0..6 {
+            assert_eq!(
+                cfg.group_of_tsw(i),
+                cfg.group_of_shard(i / cfg.shard_fanout)
+            );
+        }
+    }
+
+    #[test]
+    fn portfolio_entries_are_validated() {
+        let bad = PtsConfig {
+            portfolio: vec![SearchStrategy {
+                candidates: 0,
+                ..SearchStrategy::default()
+            }],
+            ..PtsConfig::default()
+        };
+        assert_eq!(bad.validate(), Err(ConfigError::ZeroMoveBudget));
+        let bad = PtsConfig {
+            portfolio: vec![SearchStrategy {
+                diversify_width: 0,
+                ..SearchStrategy::default()
+            }],
+            ..PtsConfig::default()
+        };
+        assert_eq!(bad.validate(), Err(ConfigError::ZeroDiversifyWidth));
+        let huge = PtsConfig {
+            portfolio: vec![SearchStrategy::default(); 256],
+            ..PtsConfig::default()
+        };
+        assert_eq!(huge.validate(), Err(ConfigError::PortfolioTooLarge(256)));
     }
 
     #[test]

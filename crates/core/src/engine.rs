@@ -94,7 +94,7 @@ impl<D: PtsDomain> ExecutionEngine<D> for SimEngine {
         // Rank 0: master. Spawn order must equal rank order (SimTransport
         // identifies rank with simulated pid).
         {
-            let cfg = *cfg;
+            let cfg = cfg.clone();
             let domain = domain.clone();
             let slot = Arc::clone(&outcome_slot);
             sim.spawn(assignment[0], move |ctx| {
@@ -111,7 +111,7 @@ impl<D: PtsDomain> ExecutionEngine<D> for SimEngine {
         }
         // Ranks 1..=n_tsw: TSWs.
         for i in 0..cfg.n_tsw {
-            let cfg = *cfg;
+            let cfg = cfg.clone();
             let domain = domain.clone();
             let rank = cfg.tsw_rank(i);
             sim.spawn(assignment[rank], move |ctx| {
@@ -122,7 +122,7 @@ impl<D: PtsDomain> ExecutionEngine<D> for SimEngine {
         // Next ranks: CLWs, grouped by TSW.
         for i in 0..cfg.n_tsw {
             for j in 0..cfg.n_clw {
-                let cfg = *cfg;
+                let cfg = cfg.clone();
                 let domain = domain.clone();
                 let rank = cfg.clw_rank(i, j);
                 let tsw_rank = cfg.tsw_rank(i);
@@ -135,7 +135,7 @@ impl<D: PtsDomain> ExecutionEngine<D> for SimEngine {
         // Final ranks: sub-masters of the sharded collection tree (none
         // under the default flat topology).
         for s in 0..cfg.n_shards() {
-            let cfg = *cfg;
+            let cfg = cfg.clone();
             let domain = domain.clone();
             let rank = cfg.shard_rank(s);
             sim.spawn(assignment[rank], move |ctx| {
@@ -205,7 +205,7 @@ impl<D: PtsDomain> ExecutionEngine<D> for ThreadEngine {
                 receivers[rank].take().expect("receiver unclaimed"),
                 Arc::clone(&stats_sink),
             );
-            let cfg = *cfg;
+            let cfg = cfg.clone();
             let domain = domain.clone();
             handles.push(
                 std::thread::Builder::new()
@@ -228,7 +228,7 @@ impl<D: PtsDomain> ExecutionEngine<D> for ThreadEngine {
                     receivers[rank].take().expect("receiver unclaimed"),
                     Arc::clone(&stats_sink),
                 );
-                let cfg = *cfg;
+                let cfg = cfg.clone();
                 let domain = domain.clone();
                 handles.push(
                     std::thread::Builder::new()
@@ -251,7 +251,7 @@ impl<D: PtsDomain> ExecutionEngine<D> for ThreadEngine {
                 receivers[rank].take().expect("receiver unclaimed"),
                 Arc::clone(&stats_sink),
             );
-            let cfg = *cfg;
+            let cfg = cfg.clone();
             let domain = domain.clone();
             handles.push(
                 std::thread::Builder::new()

@@ -68,7 +68,8 @@ pub mod wire;
 pub use async_engine::AsyncEngine;
 pub use builder::{ConfigError, PlacementRunOutput, Pts, PtsRun, RunBuilder};
 pub use config::{
-    CostKind, PtsConfig, ShardChildren, ShardSpec, SnapshotMode, SyncPolicy, WorkModel,
+    CostKind, PtsConfig, SearchStrategy, ShardChildren, ShardSpec, SnapshotMode, SyncPolicy,
+    WorkModel,
 };
 pub use control::RunControl;
 pub use domain::{
@@ -77,7 +78,7 @@ pub use domain::{
 pub use engine::{EngineOutput, ExecutionEngine, SimEngine, ThreadEngine};
 pub use fault::{Contention, FaultMix, FaultSpec, WorkerFault};
 pub use messages::{PtsMsg, SharedTabu, SnapshotBase, SnapshotPayload, TabuEntries, TabuPayload};
-pub use meter::{take_snapshot_meter, SnapshotMeter};
+pub use meter::{take_snapshot_meter, take_trials, SnapshotMeter};
 pub use placement_problem::{MasterOutcome, PlacementDelta, PlacementDomain, PlacementProblem};
 pub use proc::{ProcDomain, ProcEngine};
 pub use qap_domain::{QapDelta, QapDomain};

@@ -43,7 +43,18 @@ use crate::messages::{PtsMsg, SharedTabu, SnapshotBase, SnapshotPayload, TabuBas
 use crate::transport::{protocol_warn, Transport};
 use pts_tabu::search::SearchStats;
 use pts_tabu::trace::Trace;
+use pts_util::Rng;
 use std::sync::Arc;
+
+/// Exploration rate of the root's epsilon-greedy strategy reallocator:
+/// each group re-rolls a uniformly random portfolio entry with this
+/// probability per round, and exploits the best observed mean cost
+/// improvement otherwise.
+const PORTFOLIO_EPSILON: f64 = 0.2;
+
+/// RNG stream salt for the reallocator — its draws must never perturb
+/// any search stream, so it forks its own generator off the run seed.
+const PORTFOLIO_RNG_SALT: u64 = 0x5052_5446_4F4C_494F; // "PRTFOLIO"
 
 /// Shorthand for the base/payload types over a domain's problem.
 type BaseOf<D> = SnapshotBase<<D as PtsDomain>::Problem>;
@@ -63,10 +74,15 @@ struct Reduction<D: PtsDomain> {
     merged: Trace,
     stats: SearchStats,
     forced: u64,
+    /// Latest *cumulative* best cost each child reported (index = child
+    /// offset within this node's group; seeded with the initial cost).
+    /// The root's strategy reallocator differences consecutive rounds of
+    /// this vector to score portfolio entries.
+    child_cost: Vec<f64>,
 }
 
 impl<D: PtsDomain> Reduction<D> {
-    fn new(initial_cost: f64, initial: Arc<SnapshotOf<D>>) -> Reduction<D> {
+    fn new(initial_cost: f64, initial: Arc<SnapshotOf<D>>, n_children: usize) -> Reduction<D> {
         Reduction {
             best_cost: initial_cost,
             best_snapshot: initial,
@@ -74,6 +90,7 @@ impl<D: PtsDomain> Reduction<D> {
             merged: Trace::new(),
             stats: SearchStats::default(),
             forced: 0,
+            child_cost: vec![initial_cost; n_children],
         }
     }
 
@@ -223,6 +240,7 @@ impl<D: PtsDomain> Reduction<D> {
                     }
                     reported[tsw - lo] = true;
                     n_rep += 1;
+                    self.child_cost[tsw - lo] = cost;
                     t.compute(cfg.work.per_report).await;
                     self.merged = Trace::merge([&self.merged, &Trace::from_points(trace)]);
                     self.offer(t.rank(), base, cost, snapshot, tabu);
@@ -344,6 +362,12 @@ impl<D: PtsDomain> Reduction<D> {
                     trace,
                     stats,
                     forced,
+                    // The root scores strategies against its own
+                    // assignment map (deterministic even where a relayed
+                    // tag could lag a round); the tag and the qps are
+                    // diagnostics for observers on the wire.
+                    strategy: _,
+                    qps: _,
                 } => {
                     if global < g {
                         continue; // stale
@@ -366,6 +390,7 @@ impl<D: PtsDomain> Reduction<D> {
                     }
                     reported[shard - lo] = true;
                     n_rep += 1;
+                    self.child_cost[shard - lo] = cost;
                     t.compute(cfg.work.per_report).await;
                     self.merged = Trace::merge([&self.merged, &Trace::from_points(trace)]);
                     self.offer(t.rank(), base, cost, snapshot, tabu);
@@ -424,13 +449,33 @@ impl<D: PtsDomain> Reduction<D> {
 /// `Arc`s.
 type Winner<'a, D> = Option<(u32, &'a PayloadOf<D>, &'a TabuPayloadOf<D>)>;
 
+/// Strategy ids riding a downward broadcast: one per child (the root's
+/// reallocator output — child `lo + k` gets entry `k`) or one for the
+/// whole subtree (sub-master relays: everything below a sub-master is a
+/// single group). Always `Uniform(0)` in uniform runs.
+#[derive(Clone, Copy)]
+enum StrategyDown<'a> {
+    Uniform(u8),
+    PerChild(&'a [u8]),
+}
+
+impl StrategyDown<'_> {
+    fn of(&self, idx: usize) -> u8 {
+        match *self {
+            StrategyDown::Uniform(s) => s,
+            StrategyDown::PerChild(v) => v[idx],
+        }
+    }
+}
+
 /// Send the round-`g` winner (or `Stop` after the final round) down to
-/// this node's children.
+/// this node's children, stamping each child's strategy assignment.
 fn send_down<D: PtsDomain, T: Transport<D::Problem>>(
     t: &mut T,
     cfg: &PtsConfig,
     children: ShardChildren,
     msg: Winner<'_, D>,
+    strat: StrategyDown<'_>,
 ) {
     match children {
         ShardChildren::Tsws { lo, hi } => {
@@ -440,6 +485,7 @@ fn send_down<D: PtsDomain, T: Transport<D::Problem>>(
                         global,
                         snapshot: snapshot.clone(),
                         tabu: tabu.clone(),
+                        strategy: strat.of(i - lo),
                     },
                     None => PtsMsg::Stop,
                 };
@@ -453,6 +499,7 @@ fn send_down<D: PtsDomain, T: Transport<D::Problem>>(
                         global,
                         snapshot: snapshot.clone(),
                         tabu: tabu.clone(),
+                        strategy: strat.of(s - lo),
                     },
                     None => PtsMsg::Stop,
                 };
@@ -460,6 +507,26 @@ fn send_down<D: PtsDomain, T: Transport<D::Problem>>(
             }
         }
     }
+}
+
+/// The portfolio entry with the best observed mean cost improvement per
+/// assigned round; never-sampled entries count as infinitely promising
+/// (optimistic initialization), and ties resolve to the lowest id.
+fn best_strategy(score: &[f64], rounds: &[u64]) -> u8 {
+    let mut best = 0usize;
+    let mut best_mean = f64::NEG_INFINITY;
+    for s in 0..score.len() {
+        let mean = if rounds[s] == 0 {
+            f64::INFINITY
+        } else {
+            score[s] / rounds[s] as f64
+        };
+        if mean > best_mean {
+            best_mean = mean;
+            best = s;
+        }
+    }
+    best as u8
 }
 
 /// Run the root-master protocol to completion.
@@ -522,13 +589,30 @@ pub async fn run_master<D: PtsDomain, T: Transport<D::Problem>>(
     // then each broadcast's list. Only the root needs one — sub-masters
     // relay tabu payloads verbatim.
     let mut tabu_base: TabuBase<D::Problem> = TabuBase::initial();
-    let mut red: Reduction<D> = Reduction::new(initial_cost, initial);
+    let mut red: Reduction<D> = Reduction::new(initial_cost, initial, children.len());
     red.merged.record(t.now(), 0, red.best_cost);
     let mut best_per_global_iter = Vec::with_capacity(cfg.global_iters as usize);
     let mut child_forced = vec![0u64; children.len()];
     // Death notices persist: a child reported down stays excused for
     // every later round. Always all-false in fault-free runs.
     let mut dead = vec![false; children.len()];
+
+    // Strategy reallocation state. With an empty portfolio every entry
+    // of `assign` is 0, the scoring/reassignment block below is skipped
+    // entirely (no RNG draws, no behaviour change), and every broadcast
+    // carries strategy byte 0 — bit-identical to the uniform protocol.
+    // With a portfolio: groups start round-robin, each round's per-group
+    // cost improvement is credited to the strategy the group ran, and an
+    // epsilon-greedy step (own RNG stream, deterministic given the run
+    // seed) picks next round's assignment, which rides the broadcast.
+    let n_strategies = cfg.portfolio.len();
+    let mut assign: Vec<u8> = (0..children.len())
+        .map(|g| cfg.initial_strategy_of_group(g))
+        .collect();
+    let mut strat_score = vec![0.0f64; n_strategies];
+    let mut strat_rounds = vec![0u64; n_strategies];
+    let mut prev_cost = vec![initial_cost; children.len()];
+    let mut realloc_rng = Rng::new(cfg.seed ^ PORTFOLIO_RNG_SALT);
 
     for g in 0..cfg.global_iters {
         let deadline = ctl.recv_deadline(t.now(), cfg.liveness_timeout);
@@ -549,17 +633,49 @@ pub async fn run_master<D: PtsDomain, T: Transport<D::Problem>>(
         ctl.note_progress(g, red.best_cost);
 
         let last_round = g + 1 == cfg.global_iters || ctl.should_stop(t.now());
+
+        if n_strategies > 0 {
+            // Credit this round's cost improvement of each group to the
+            // strategy it ran (reports carry cumulative bests, so the
+            // difference is non-negative and dead/silent groups score 0).
+            for g_idx in 0..children.len() {
+                let now_cost = red.child_cost[g_idx];
+                let improvement = (prev_cost[g_idx] - now_cost).max(0.0);
+                prev_cost[g_idx] = now_cost;
+                let s = assign[g_idx] as usize % n_strategies;
+                strat_score[s] += improvement;
+                strat_rounds[s] += 1;
+            }
+            if !last_round {
+                // Epsilon-greedy: explore a random entry, else exploit
+                // the best observed mean improvement.
+                for a in assign.iter_mut() {
+                    *a = if realloc_rng.chance(PORTFOLIO_EPSILON) {
+                        realloc_rng.index(n_strategies) as u8
+                    } else {
+                        best_strategy(&strat_score, &strat_rounds)
+                    };
+                }
+            }
+        }
+
         if !last_round {
             // Diff the round winner against the base the children still
             // hold, ship it once per child (Arc clones), then re-anchor
             // the shared base on what was just broadcast.
             let payload = SnapshotPayload::encode(cfg.snapshot_mode, &base, &red.best_snapshot);
             let tabu_payload = TabuPayload::encode(cfg.tabu_delta, &tabu_base, &red.best_tabu);
-            send_down::<D, T>(t, cfg, children, Some((g, &payload, &tabu_payload)));
+            send_down::<D, T>(
+                t,
+                cfg,
+                children,
+                Some((g, &payload, &tabu_payload)),
+                StrategyDown::PerChild(&assign),
+            );
             base.advance(g, Arc::clone(&red.best_snapshot));
             tabu_base.advance(g, Arc::clone(&red.best_tabu));
         } else {
-            send_down::<D, T>(t, cfg, children, None);
+            send_down::<D, T>(t, cfg, children, None, StrategyDown::Uniform(0));
             break;
         }
     }
@@ -597,7 +713,7 @@ pub async fn run_sub_master<D: PtsDomain, T: Transport<D::Problem>>(
         match t.recv().await {
             PtsMsg::Init { snapshot } => break snapshot,
             PtsMsg::Stop => {
-                send_down::<D, T>(t, cfg, spec.children, None);
+                send_down::<D, T>(t, cfg, spec.children, None, StrategyDown::Uniform(0));
                 return;
             }
             other => {
@@ -647,9 +763,20 @@ pub async fn run_sub_master<D: PtsDomain, T: Transport<D::Problem>>(
     // no TSW improves reduces to the same winner the flat master picks.
     let initial_cost = domain.cost_of(&initial);
     let mut base: BaseOf<D> = SnapshotBase::initial(Arc::clone(&initial));
-    let mut red: Reduction<D> = Reduction::new(initial_cost, initial);
+    let mut red: Reduction<D> = Reduction::new(initial_cost, initial, spec.children.len());
     let mut child_forced = vec![0u64; spec.children.len()];
     let mut dead = vec![false; spec.children.len()];
+
+    // Everything below a sub-master belongs to a single strategy group:
+    // track the group's current strategy (initially the config-derived
+    // round-robin entry, thereafter whatever the parent's broadcast
+    // stamps) to tag upward GroupReports and relay downward. The
+    // quality-per-virtual-second tag is measured per collection round;
+    // both stay 0 on uniform runs so the wire bytes are unchanged.
+    let portfolio_active = !cfg.portfolio.is_empty();
+    let mut cur_strategy = cfg.initial_strategy_of_group(cfg.group_of_shard(shard));
+    let mut prev_best = initial_cost;
+    let mut round_start = t.now();
 
     for g in 0..cfg.global_iters {
         let deadline = (cfg.liveness_timeout > 0.0).then(|| t.now() + cfg.liveness_timeout);
@@ -668,6 +795,18 @@ pub async fn run_sub_master<D: PtsDomain, T: Transport<D::Problem>>(
         // The parent shares `base` (the broadcast chain passed through
         // it), so the upward group best rides the same delta encoding.
         let payload = SnapshotPayload::encode(cfg.snapshot_mode, &base, &red.best_snapshot);
+        let qps = if portfolio_active {
+            let elapsed = t.now() - round_start;
+            let improvement = (prev_best - red.best_cost).max(0.0);
+            if elapsed > 0.0 {
+                improvement / elapsed
+            } else {
+                0.0
+            }
+        } else {
+            0.0
+        };
+        prev_best = red.best_cost;
         t.send(
             spec.parent_rank,
             PtsMsg::GroupReport {
@@ -679,6 +818,8 @@ pub async fn run_sub_master<D: PtsDomain, T: Transport<D::Problem>>(
                 trace: red.merged.points().to_vec(),
                 stats: red.stats,
                 forced: red.subtree_forced(&child_forced),
+                strategy: cur_strategy,
+                qps,
             },
         );
 
@@ -688,19 +829,19 @@ pub async fn run_sub_master<D: PtsDomain, T: Transport<D::Problem>>(
         loop {
             let msg = match (cfg.liveness_timeout > 0.0).then(|| t.now() + cfg.liveness_timeout) {
                 None => t.recv().await,
-                Some(d) => {
-                    match t.recv_deadline(d).await {
-                        Some(m) => m,
-                        None => {
-                            protocol_warn(
+                Some(d) => match t.recv_deadline(d).await {
+                    Some(m) => m,
+                    None => {
+                        protocol_warn(
                             t.rank(),
-                            &format!("liveness timeout awaiting GroupBroadcast {g}: stopping subtree"),
+                            &format!(
+                                "liveness timeout awaiting GroupBroadcast {g}: stopping subtree"
+                            ),
                         );
-                            send_down::<D, T>(t, cfg, spec.children, None);
-                            return;
-                        }
+                        send_down::<D, T>(t, cfg, spec.children, None, StrategyDown::Uniform(0));
+                        return;
                     }
-                }
+                },
             };
             match msg {
                 PtsMsg::Down { rank } if rank == spec.parent_rank => {
@@ -710,7 +851,7 @@ pub async fn run_sub_master<D: PtsDomain, T: Transport<D::Problem>>(
                         t.rank(),
                         &format!("parent rank {rank} is down; stopping subtree"),
                     );
-                    send_down::<D, T>(t, cfg, spec.children, None);
+                    send_down::<D, T>(t, cfg, spec.children, None, StrategyDown::Uniform(0));
                     return;
                 }
                 PtsMsg::Down { rank } => {
@@ -743,20 +884,26 @@ pub async fn run_sub_master<D: PtsDomain, T: Transport<D::Problem>>(
                     global,
                     snapshot,
                     tabu,
+                    strategy,
                 } if global == g => {
                     // Resolve for this node's own base bookkeeping, then
                     // relay the payload verbatim — every process below
                     // holds the same base this payload was diffed
-                    // against, so no re-encode is needed.
+                    // against, so no re-encode is needed. The strategy
+                    // stamp applies to this whole subtree (one group):
+                    // adopt it and relay it unchanged.
                     match snapshot.resolve(&base) {
                         Some(full) => {
+                            cur_strategy = strategy;
                             send_down::<D, T>(
                                 t,
                                 cfg,
                                 spec.children,
                                 Some((global, &snapshot, &tabu)),
+                                StrategyDown::Uniform(strategy),
                             );
                             base.advance(global, full);
+                            round_start = t.now();
                             break;
                         }
                         None => protocol_warn(
@@ -766,7 +913,7 @@ pub async fn run_sub_master<D: PtsDomain, T: Transport<D::Problem>>(
                     }
                 }
                 PtsMsg::Stop => {
-                    send_down::<D, T>(t, cfg, spec.children, None);
+                    send_down::<D, T>(t, cfg, spec.children, None, StrategyDown::Uniform(0));
                     return;
                 }
                 // Stale broadcast from an earlier round: drop.
@@ -785,7 +932,7 @@ pub async fn run_sub_master<D: PtsDomain, T: Transport<D::Problem>>(
     }
     // All global iterations done without receiving Stop (the parent
     // always terminates with Stop, so this is unreachable in practice).
-    send_down::<D, T>(t, cfg, spec.children, None);
+    send_down::<D, T>(t, cfg, spec.children, None, StrategyDown::Uniform(0));
 }
 
 #[cfg(test)]

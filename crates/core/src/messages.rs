@@ -395,6 +395,11 @@ pub enum PtsMsg<P: PtsProblem> {
         /// [`crate::config::PtsConfig::tabu_delta`] is on and that is
         /// smaller.
         tabu: TabuPayload<P>,
+        /// Strategy id the receiving TSW's group runs from this round on
+        /// (see [`crate::config::PtsConfig::portfolio`]). Always `0` in
+        /// uniform runs — it rides the header's otherwise-unused origin
+        /// bytes, so the wire size never changes.
+        strategy: u8,
     },
     /// Master → TSW: report your current best immediately (half-report
     /// sync).
@@ -448,6 +453,17 @@ pub enum PtsMsg<P: PtsProblem> {
         stats: SearchStats,
         /// Cumulative `ForceReport`s issued inside this subtree.
         forced: u64,
+        /// Strategy id this subtree currently runs (`0` in uniform runs;
+        /// rides the header's spare kind byte — reports never carry tabu
+        /// deltas, so the byte was always zero).
+        strategy: u8,
+        /// Observed quality-per-virtual-second of the subtree this round:
+        /// cost improvement divided by elapsed collection time.
+        /// Informational (the root's reallocator scores on the
+        /// deterministic cost improvements, not on this); `0.0` in
+        /// uniform runs, and encoded into tail bytes that were always
+        /// zero, so wire sizes never change.
+        qps: f64,
     },
     /// Parent → sub-master: the global best flowing back down the tree
     /// after a global iteration; leaf sub-masters translate it into a
@@ -462,6 +478,9 @@ pub enum PtsMsg<P: PtsProblem> {
         /// like the snapshot payload — every process below holds the same
         /// tabu base).
         tabu: TabuPayload<P>,
+        /// Strategy id the receiving subtree's group runs from this round
+        /// on (`0` in uniform runs; rides the unused origin bytes).
+        strategy: u8,
     },
     /// TSW → CLW: adopt this solution as the current state. Shared, not
     /// copied, across the TSW's CLW group — and usually a delta: the TSW
@@ -483,6 +502,9 @@ pub enum PtsMsg<P: PtsProblem> {
     Investigate {
         /// Investigation sequence number (stale-proposal guard).
         seq: u64,
+        /// Strategy id whose candidates/depth budget the CLW must use
+        /// (`0` in uniform runs; rides the unused aux bytes).
+        strategy: u8,
     },
     /// TSW → CLW: stop investigating `seq`, report what you have.
     CutShort {
@@ -667,7 +689,10 @@ mod tests {
     fn control_messages_are_small() {
         let msgs: Vec<PtsMsg<PlacementProblem>> = vec![
             PtsMsg::Stop,
-            PtsMsg::Investigate { seq: 1 },
+            PtsMsg::Investigate {
+                seq: 1,
+                strategy: 0,
+            },
             PtsMsg::CutShort { seq: 1 },
             PtsMsg::ForceReport { global: 0 },
         ];
@@ -715,6 +740,8 @@ mod tests {
             trace: vec![],
             stats: SearchStats::default(),
             forced: 2,
+            strategy: 1,
+            qps: 0.25,
         };
         assert!(group.wire_size() >= report.wire_size());
         // And a GroupBroadcast weighs exactly what a Broadcast weighs —
@@ -724,11 +751,13 @@ mod tests {
             global: 0,
             snapshot: full::<Qap>(snapshot.clone()),
             tabu: empty.clone(),
+            strategy: 0,
         };
         let gbcast: PtsMsg<Qap> = PtsMsg::GroupBroadcast {
             global: 0,
             snapshot: full::<Qap>(snapshot),
             tabu: empty,
+            strategy: 0,
         };
         assert_eq!(gbcast.wire_size(), bcast.wire_size());
         assert_eq!(gbcast.tag(), "GroupBroadcast");
@@ -885,7 +914,10 @@ mod tests {
     fn tags_cover_all_variants() {
         let stop: PtsMsg<Qap> = PtsMsg::Stop;
         assert_eq!(stop.tag(), "Stop");
-        let inv: PtsMsg<Qap> = PtsMsg::Investigate { seq: 0 };
+        let inv: PtsMsg<Qap> = PtsMsg::Investigate {
+            seq: 0,
+            strategy: 0,
+        };
         assert_eq!(inv.tag(), "Investigate");
     }
 }

@@ -26,6 +26,7 @@ static INIT_PAYLOAD_BYTES: AtomicU64 = AtomicU64::new(0);
 static SNAPSHOT_ALLOCS: AtomicU64 = AtomicU64::new(0);
 static PAYLOAD_SENDS: AtomicU64 = AtomicU64::new(0);
 static TABU_PAYLOAD_BYTES: AtomicU64 = AtomicU64::new(0);
+static TRIALS: AtomicU64 = AtomicU64::new(0);
 
 /// A reading of the snapshot meters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -89,6 +90,24 @@ pub(crate) fn record_snapshot_alloc() {
     SNAPSHOT_ALLOCS.fetch_add(1, Ordering::Relaxed);
 }
 
+/// Record `n` candidate-move trial evaluations (one compound-move step
+/// samples the strategy's `candidates` moves). Called by the CLW per
+/// *executed* step, so forced-early rounds, cut-short investigations,
+/// and dead workers are naturally excluded — this is the exact count a
+/// per-trial cost denominator needs, where the nominal
+/// `tsws × clws × candidates × depth × iterations` product is only an
+/// upper bound.
+pub(crate) fn record_trials(n: u64) {
+    TRIALS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Read and reset the exact trial-evaluation counter — same discipline as
+/// [`take_snapshot_meter`]: drain before the measured run, read after,
+/// never overlap runs.
+pub fn take_trials() -> u64 {
+    TRIALS.swap(0, Ordering::Relaxed)
+}
+
 /// Read and reset all counters — call before and after the run being
 /// measured (runs must not overlap).
 pub fn take_snapshot_meter() -> SnapshotMeter {
@@ -126,6 +145,7 @@ mod tests {
             global: 0,
             snapshot: SnapshotPayload::Full(Arc::new(QapAssignment::new((0..10).collect()))),
             tabu: crate::messages::TabuPayload::Full(Arc::new(vec![((0, 1), 3), ((2, 3), 2)])),
+            strategy: 0,
         });
         note_send::<Qap>(&PtsMsg::Stop); // no payload
         record_snapshot_alloc();

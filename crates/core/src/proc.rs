@@ -268,10 +268,13 @@ pub fn worker_main(addr: &str, rank: u32) -> Result<(), String> {
     chaos_maybe_crash(rank);
     let mut r = WireReader::new(&hs.setup);
     let version = r.u8().map_err(|e| format!("setup: {e}"))?;
-    if version != wire::WIRE_VERSION {
+    if !(wire::MIN_WIRE_VERSION..=wire::WIRE_VERSION).contains(&version) {
         return Err(format!("setup version {version}"));
     }
-    let cfg = wire::get_config(&mut r).map_err(|e| format!("setup config: {e}"))?;
+    // The config block's layout depends on the frame's declared version
+    // (older masters omit the portfolio tail); thread it through.
+    let cfg =
+        wire::get_config_versioned(&mut r, version).map_err(|e| format!("setup config: {e}"))?;
     let kind = r.u8().map_err(|e| format!("setup kind: {e}"))?;
     match kind {
         <crate::qap_domain::QapDomain as ProcDomain>::KIND => {

@@ -10,7 +10,6 @@ use crate::config::PtsConfig;
 use pts_netlist::{Netlist, TimingGraph};
 use pts_place::eval::Evaluator;
 use pts_place::init::random_placement;
-use pts_tabu::aspiration::Aspiration;
 use pts_tabu::search::{SearchResult, TabuPolicy, TabuSearch, TabuSearchConfig};
 use std::sync::Arc;
 
@@ -26,11 +25,11 @@ pub fn run_sequential_baseline(
     let eval = Evaluator::new(netlist, timing, initial, cfg.eval_config());
     let mut problem = crate::placement_problem::PlacementProblem::new(eval);
     let ts_cfg = TabuSearchConfig {
-        tenure: cfg.tenure,
-        candidates: cfg.candidates,
-        depth: cfg.depth,
+        tenure: cfg.search.tenure,
+        candidates: cfg.search.candidates,
+        depth: cfg.search.depth,
         iterations: cfg.global_iters as u64 * cfg.local_iters as u64,
-        aspiration: Aspiration::BestCost,
+        aspiration: cfg.search.aspiration,
         early_accept: true,
         range: None,
         tabu_policy: TabuPolicy::AnyConstituent,
@@ -51,8 +50,11 @@ mod tests {
             n_clw: 2,
             global_iters: 2,
             local_iters: 4,
-            candidates: 4,
-            depth: 2,
+            search: crate::config::SearchStrategy {
+                candidates: 4,
+                depth: 2,
+                ..Default::default()
+            },
             ..PtsConfig::default()
         };
         let r = run_sequential_baseline(&cfg, Arc::new(highway()));

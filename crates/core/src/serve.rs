@@ -52,8 +52,21 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-/// Version byte opening every client-protocol frame.
-pub const SERVE_VERSION: u8 = 1;
+/// Version byte opening every client-protocol frame the server writes.
+/// Incoming frames are accepted back to [`MIN_SERVE_VERSION`]; a v1
+/// SUBMIT carries a v1 config block (no portfolio tail), which decodes
+/// with portfolio defaults.
+pub const SERVE_VERSION: u8 = 2;
+
+/// Oldest client-frame version still accepted.
+pub const MIN_SERVE_VERSION: u8 = 1;
+
+/// Heartbeat interval (ms) the daemon arms on jobs that did not set one.
+/// A long-lived service cannot afford a hung worker wedging a runner
+/// slot forever, so liveness beacons default *on* here — unlike the
+/// [`ProcEngine`] library default, where `heartbeat_ms = 0` stays off.
+/// Override with [`Server::with_default_heartbeat`] (0 disables).
+pub const DEFAULT_HEARTBEAT_MS: u64 = 500;
 
 /// Client-protocol frame kinds.
 pub mod kind {
@@ -138,10 +151,26 @@ impl JobRequest {
         out
     }
 
-    /// Decode a [`kind::SUBMIT`] payload.
+    /// Decode a [`kind::SUBMIT`] payload written at the current
+    /// [`SERVE_VERSION`].
     pub fn decode(payload: &[u8]) -> Result<JobRequest, WireError> {
+        JobRequest::decode_versioned(payload, SERVE_VERSION)
+    }
+
+    /// Decode a [`kind::SUBMIT`] payload from a frame that declared
+    /// `version` — the config block is not last in the payload, so the
+    /// layout cannot be inferred from the remaining bytes.
+    pub fn decode_versioned(payload: &[u8], version: u8) -> Result<JobRequest, WireError> {
+        if !(MIN_SERVE_VERSION..=SERVE_VERSION).contains(&version) {
+            return Err(WireError::VersionMismatch {
+                got: version,
+                want: SERVE_VERSION,
+            });
+        }
         let mut r = WireReader::new(payload);
-        let cfg = wire::get_config(&mut r)?;
+        // Serve and wire versions bumped in lockstep for the portfolio
+        // config tail; cap so a future serve-only bump keeps decoding.
+        let cfg = wire::get_config_versioned(&mut r, version.min(wire::WIRE_VERSION))?;
         let budget_ms = r.u64()?;
         let max_restarts = r.u32()?;
         let spec = match r.u8()? {
@@ -260,17 +289,19 @@ fn write_client_frame<W: Write>(w: &mut W, kind: u8, payload: &[u8]) -> std::io:
     wire::write_frame(w, &body)
 }
 
-fn parse_client_frame(body: &[u8]) -> Result<(u8, &[u8]), WireError> {
+/// Split a client frame into (version, kind, payload), accepting
+/// versions back to [`MIN_SERVE_VERSION`].
+fn parse_client_frame(body: &[u8]) -> Result<(u8, u8, &[u8]), WireError> {
     if body.len() < 2 {
         return Err(WireError::Truncated);
     }
-    if body[0] != SERVE_VERSION {
+    if !(MIN_SERVE_VERSION..=SERVE_VERSION).contains(&body[0]) {
         return Err(WireError::VersionMismatch {
             got: body[0],
             want: SERVE_VERSION,
         });
     }
-    Ok((body[1], &body[2..]))
+    Ok((body[0], body[1], &body[2..]))
 }
 
 /// Blocking client for the serve protocol — what `tests/serve.rs` and
@@ -309,7 +340,7 @@ impl Client {
             let Some(body) = wire::read_frame(&mut self.stream)? else {
                 return Ok(None);
             };
-            let (k, payload) = parse_client_frame(&body)
+            let (_version, k, payload) = parse_client_frame(&body)
                 .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
             let mut r = WireReader::new(payload);
             let bad =
@@ -359,6 +390,10 @@ struct Shared {
     registry: Mutex<HashMap<u32, (u64, RunControl)>>,
     shutdown: AtomicBool,
     worker_exe: PathBuf,
+    /// Heartbeat interval armed on jobs whose config left it at 0
+    /// ([`DEFAULT_HEARTBEAT_MS`] unless overridden; 0 = keep beacons off,
+    /// the [`ProcEngine`] library default).
+    default_heartbeat_ms: u64,
 }
 
 impl Shared {
@@ -419,6 +454,7 @@ impl Server {
                 registry: Mutex::new(HashMap::new()),
                 shutdown: AtomicBool::new(false),
                 worker_exe: worker_exe.into(),
+                default_heartbeat_ms: DEFAULT_HEARTBEAT_MS,
             }),
         })
     }
@@ -440,8 +476,19 @@ impl Server {
                 registry: Mutex::new(HashMap::new()),
                 shutdown: AtomicBool::new(false),
                 worker_exe: worker_exe.into(),
+                default_heartbeat_ms: DEFAULT_HEARTBEAT_MS,
             }),
         })
+    }
+
+    /// Override the heartbeat interval armed on jobs that did not set
+    /// one (default [`DEFAULT_HEARTBEAT_MS`]; 0 disables the defaulting
+    /// entirely). Call before [`Server::run`].
+    pub fn with_default_heartbeat(mut self, ms: u64) -> Server {
+        Arc::get_mut(&mut self.shared)
+            .expect("set default heartbeat before Server::run")
+            .default_heartbeat_ms = ms;
+        self
     }
 
     /// The address clients connect to (`unix:<path>` or `tcp:<addr>`).
@@ -555,11 +602,11 @@ fn client_loop(shared: Arc<Shared>, stream: Stream, conn: u64) {
                 break;
             }
             let body: Vec<u8> = buf.drain(..4 + len).skip(4).collect();
-            let Ok((k, payload)) = parse_client_frame(&body) else {
+            let Ok((version, k, payload)) = parse_client_frame(&body) else {
                 continue;
             };
             match k {
-                kind::SUBMIT => match JobRequest::decode(payload) {
+                kind::SUBMIT => match JobRequest::decode_versioned(payload, version) {
                     Ok(req) => {
                         let id = NEXT_JOB.fetch_add(1, Ordering::Relaxed);
                         let mut ctl = RunControl::unlimited();
@@ -661,6 +708,19 @@ fn retry_backoff(restarts: u32) -> Duration {
     Duration::from_millis(250u64.saturating_mul(1 << restarts.min(5)).min(5_000))
 }
 
+/// The config an attempt actually runs with: a submission that left
+/// `heartbeat_ms` at 0 inherits the daemon's default so hung workers are
+/// excused by the staleness monitor instead of wedging a runner slot.
+/// An explicit client value (or a 0 daemon default) passes through
+/// untouched.
+fn effective_config(req: &PtsConfig, default_heartbeat_ms: u64) -> PtsConfig {
+    let mut cfg = req.clone();
+    if cfg.heartbeat_ms == 0 {
+        cfg.heartbeat_ms = default_heartbeat_ms;
+    }
+    cfg
+}
+
 fn run_job(shared: &Shared, mut job: Job) -> JobOutcome {
     let job_id = job.id;
     let writer = Arc::clone(&job.writer);
@@ -686,7 +746,8 @@ fn run_job(shared: &Shared, mut job: Job) -> JobOutcome {
         );
         return JobOutcome::Done;
     }
-    if let Err(e) = job.req.cfg.validate() {
+    let cfg = effective_config(&job.req.cfg, shared.default_heartbeat_ms);
+    if let Err(e) = cfg.validate() {
         // Deterministic failure — retrying cannot help.
         send_error(format!("invalid config: {e}"));
         return JobOutcome::Done;
@@ -708,21 +769,21 @@ fn run_job(shared: &Shared, mut job: Job) -> JobOutcome {
     let ran = match &job.req.spec {
         JobDomainSpec::QapRandom { n, seed } => {
             let domain = crate::qap_domain::QapDomain::random(*n as usize, *seed);
-            run_one(&engine, &job.req.cfg, domain)
+            run_one(&engine, &cfg, domain)
         }
         JobDomainSpec::Bench { name } => match pts_netlist::benchmarks::by_name(name) {
             Some(netlist) => {
                 let domain =
-                    crate::placement_problem::PlacementDomain::new(Arc::new(netlist), &job.req.cfg);
-                run_one(&engine, &job.req.cfg, domain)
+                    crate::placement_problem::PlacementDomain::new(Arc::new(netlist), &cfg);
+                run_one(&engine, &cfg, domain)
             }
             None => Err(format!("unknown benchmark {name:?}")),
         },
         JobDomainSpec::NetlistText { text } => match pts_netlist::format::from_text(text) {
             Ok(netlist) => {
                 let domain =
-                    crate::placement_problem::PlacementDomain::new(Arc::new(netlist), &job.req.cfg);
-                run_one(&engine, &job.req.cfg, domain)
+                    crate::placement_problem::PlacementDomain::new(Arc::new(netlist), &cfg);
+                run_one(&engine, &cfg, domain)
             }
             Err(e) => Err(format!("bad netlist: {e:?}")),
         },
@@ -893,11 +954,67 @@ mod tests {
         write_client_frame(&mut out, kind::ACCEPTED, &[1, 0, 0, 0]).unwrap();
         let mut r = &out[..];
         let body = wire::read_frame(&mut r).unwrap().unwrap();
-        let (k, payload) = parse_client_frame(&body).unwrap();
+        let (version, k, payload) = parse_client_frame(&body).unwrap();
+        assert_eq!(version, SERVE_VERSION);
         assert_eq!(k, kind::ACCEPTED);
         assert_eq!(payload, &[1, 0, 0, 0]);
+        // The previous protocol version is still accepted...
+        let mut v1 = body.clone();
+        v1[0] = 1;
+        assert_eq!(parse_client_frame(&v1).map(|(v, _, _)| v), Ok(1));
+        // ...anything else is a typed mismatch.
         let mut bad = body.clone();
         bad[0] = 99;
-        assert!(parse_client_frame(&bad).is_err());
+        assert_eq!(
+            parse_client_frame(&bad).err(),
+            Some(WireError::VersionMismatch {
+                got: 99,
+                want: SERVE_VERSION
+            })
+        );
+    }
+
+    #[test]
+    fn v1_submit_decodes_with_portfolio_defaults() {
+        // A v1 SUBMIT payload: the v1 config block (current encoding
+        // minus the 9-byte aspiration + portfolio tail — default config,
+        // so the tail is exactly 9 bytes), then budget/restarts/spec.
+        let req = JobRequest {
+            cfg: PtsConfig::default(),
+            spec: JobDomainSpec::QapRandom { n: 8, seed: 3 },
+            budget_ms: 1000,
+            max_restarts: 1,
+        };
+        let mut cfg_v2 = Vec::new();
+        wire::put_config(&req.cfg, &mut cfg_v2);
+        let mut payload = cfg_v2[..cfg_v2.len() - 9].to_vec();
+        wire::put_u64(&mut payload, req.budget_ms);
+        wire::put_u32(&mut payload, req.max_restarts);
+        payload.push(0);
+        wire::put_u32(&mut payload, 8);
+        wire::put_u64(&mut payload, 3);
+        let decoded = JobRequest::decode_versioned(&payload, 1).unwrap();
+        assert_eq!(decoded, req);
+        // An out-of-window version is a typed error, not a panic.
+        assert_eq!(
+            JobRequest::decode_versioned(&payload, 7).err(),
+            Some(WireError::VersionMismatch {
+                got: 7,
+                want: SERVE_VERSION
+            })
+        );
+    }
+
+    #[test]
+    fn default_heartbeat_applies_only_when_unset() {
+        let cfg = PtsConfig::default();
+        assert_eq!(cfg.heartbeat_ms, 0, "library default stays off");
+        assert_eq!(effective_config(&cfg, 500).heartbeat_ms, 500);
+        assert_eq!(effective_config(&cfg, 0).heartbeat_ms, 0);
+        let explicit = PtsConfig {
+            heartbeat_ms: 125,
+            ..PtsConfig::default()
+        };
+        assert_eq!(effective_config(&explicit, 500).heartbeat_ms, 125);
     }
 }

@@ -901,10 +901,16 @@ mod tests {
             PtsMsg::Init { snapshot } => assert_eq!(snapshot.as_slice(), &[1, 0, 2]),
             other => panic!("got {}", other.tag()),
         }
-        b.send(0, PtsMsg::Investigate { seq: 4 });
+        b.send(
+            0,
+            PtsMsg::Investigate {
+                seq: 4,
+                strategy: 0,
+            },
+        );
         assert!(matches!(
             drive_sync(a.recv()),
-            PtsMsg::Investigate { seq: 4 }
+            PtsMsg::Investigate { seq: 4, .. }
         ));
         let traffic = router.traffic().to_proc_stats();
         assert_eq!(traffic[0].messages_sent, 1);
@@ -1029,11 +1035,17 @@ mod tests {
         assert!(drive_sync(b.recv_deadline(deadline)).is_none());
         assert!(t0.elapsed() >= Duration::from_millis(120));
         // The transport is still usable after a timeout.
-        a.send(1, PtsMsg::Investigate { seq: 4 });
+        a.send(
+            1,
+            PtsMsg::Investigate {
+                seq: 4,
+                strategy: 0,
+            },
+        );
         let deadline = b.now() + 5.0;
         assert!(matches!(
             drive_sync(b.recv_deadline(deadline)),
-            Some(PtsMsg::Investigate { seq: 4 })
+            Some(PtsMsg::Investigate { seq: 4, .. })
         ));
         drop((a, b));
         router.finish();

@@ -407,7 +407,13 @@ mod tests {
         {
             let mut a: ThreadTransport<Qap> =
                 ThreadTransport::new(0, start, vec![s0.clone(), s1], r0, Arc::clone(&sk));
-            a.send(1, PtsMsg::Investigate { seq: 1 });
+            a.send(
+                1,
+                PtsMsg::Investigate {
+                    seq: 1,
+                    strategy: 0,
+                },
+            );
             drive_sync(a.compute(3.0));
             drop(r1);
         }
@@ -431,13 +437,19 @@ mod tests {
             let mut t = TaskTransport { ctx };
             assert_eq!(Transport::rank(&t), 0);
             assert!(t.try_recv().is_none());
-            assert!(matches!(t.recv().await, PtsMsg::Investigate { seq: 9 }));
+            assert!(matches!(t.recv().await, PtsMsg::Investigate { seq: 9, .. }));
             t.send(1, PtsMsg::Stop);
         });
         cluster.spawn(|ctx| async move {
             let mut t = TaskTransport { ctx };
             t.compute(1.5).await;
-            t.send(0, PtsMsg::Investigate { seq: 9 });
+            t.send(
+                0,
+                PtsMsg::Investigate {
+                    seq: 9,
+                    strategy: 0,
+                },
+            );
             assert!(matches!(t.recv().await, PtsMsg::Stop));
         });
         let report = cluster.run();

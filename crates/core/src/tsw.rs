@@ -19,7 +19,6 @@ use crate::domain::PtsDomain;
 use crate::messages::{PtsMsg, SnapshotBase, SnapshotPayload, TabuBase};
 use crate::meter;
 use crate::transport::{protocol_warn, Transport};
-use pts_tabu::aspiration::Aspiration;
 use pts_tabu::compound::CompoundMove;
 use pts_tabu::problem::SearchProblem;
 use pts_tabu::search::{StepOutcome, TabuEngine, TabuPolicy, TabuSearchConfig};
@@ -110,12 +109,17 @@ pub async fn run_tsw<D: PtsDomain, T: Transport<D::Problem>>(
     // the master's side.
     let mut tabu_base = TabuBase::<D::Problem>::initial();
 
+    // The strategy this TSW currently searches with. Uniform runs keep
+    // strategy 0 (== `cfg.search`) for the whole run; under a portfolio the
+    // root's reallocator reassigns it via the strategy byte on Broadcast.
+    let mut cur_strategy = cfg.initial_strategy_of_tsw(tsw_index);
+    let strat = *cfg.strategy(cur_strategy);
     let engine_cfg = TabuSearchConfig {
-        tenure: cfg.tenure,
-        candidates: cfg.candidates,
-        depth: cfg.depth,
+        tenure: strat.tenure,
+        candidates: strat.candidates,
+        depth: strat.depth,
         iterations: cfg.local_iters as u64,
-        aspiration: Aspiration::BestCost,
+        aspiration: strat.aspiration,
         early_accept: true,
         range: None,
         tabu_policy: TabuPolicy::AnyConstituent,
@@ -127,12 +131,13 @@ pub async fn run_tsw<D: PtsDomain, T: Transport<D::Problem>>(
     for g in 0..cfg.global_iters {
         // --- Diversification over this TSW's private item subset --------
         if cfg.diversify {
-            let depth = cfg.effective_diversify_depth(n_items);
+            let strat = cfg.strategy(cur_strategy);
+            let depth = strat.effective_diversify_depth(n_items);
             problem.diversify(
                 &mut div_rng,
                 my_range,
                 depth,
-                cfg.diversify_width,
+                strat.diversify_width,
                 Some(engine.memory()),
             );
             t.compute(cfg.work.per_diversify_step * depth as f64).await;
@@ -182,7 +187,13 @@ pub async fn run_tsw<D: PtsDomain, T: Transport<D::Problem>>(
             inv_seq += 1;
             for (j, &c) in clws.iter().enumerate() {
                 if !clw_dead[j] {
-                    t.send(c, PtsMsg::Investigate { seq: inv_seq });
+                    t.send(
+                        c,
+                        PtsMsg::Investigate {
+                            seq: inv_seq,
+                            strategy: cur_strategy,
+                        },
+                    );
                 }
             }
             let proposals = collect_proposals::<D, T>(
@@ -283,9 +294,15 @@ pub async fn run_tsw<D: PtsDomain, T: Transport<D::Problem>>(
                     global,
                     snapshot,
                     tabu,
+                    strategy,
                 } if global == g => match (snapshot.resolve(&base), tabu.resolve(&tabu_base)) {
                     (Some(full), Some(full_tabu)) => {
                         engine.adopt(&mut problem, &full, &full_tabu, t.now());
+                        if strategy != cur_strategy {
+                            let s = cfg.strategy(strategy);
+                            engine.reconfigure(s.tenure, s.candidates, s.depth, s.aspiration);
+                            cur_strategy = strategy;
+                        }
                         // The adopted broadcast becomes the base the next
                         // report is diffed against — both ends re-anchor
                         // (solution and tabu list alike).
@@ -310,11 +327,17 @@ pub async fn run_tsw<D: PtsDomain, T: Transport<D::Problem>>(
                     global,
                     snapshot,
                     tabu,
+                    strategy,
                 } if global > g => {
                     if let (Some(full), Some(full_tabu)) =
                         (snapshot.resolve(&base), tabu.resolve(&tabu_base))
                     {
                         engine.adopt(&mut problem, &full, &full_tabu, t.now());
+                        if strategy != cur_strategy {
+                            let s = cfg.strategy(strategy);
+                            engine.reconfigure(s.tenure, s.candidates, s.depth, s.aspiration);
+                            cur_strategy = strategy;
+                        }
                         base.advance(global, full);
                         tabu_base.advance(global, full_tabu);
                         break;

@@ -143,7 +143,7 @@ impl<D: PtsDomain> ExecutionEngine<D> for VirtualEngine {
         // assignment must match SimEngine's for the bit-identical
         // timeline guarantee.
         {
-            let cfg = *cfg;
+            let cfg = cfg.clone();
             let domain = domain.clone();
             let slot = Rc::clone(&outcome_slot);
             cluster.spawn(assignment[0], move |ctx| async move {
@@ -155,7 +155,7 @@ impl<D: PtsDomain> ExecutionEngine<D> for VirtualEngine {
         }
         // Tasks 1..=n_tsw: TSWs.
         for i in 0..cfg.n_tsw {
-            let cfg = *cfg;
+            let cfg = cfg.clone();
             let domain = domain.clone();
             let rank = cfg.tsw_rank(i);
             cluster.spawn(assignment[rank], move |ctx| async move {
@@ -166,7 +166,7 @@ impl<D: PtsDomain> ExecutionEngine<D> for VirtualEngine {
         // Next tasks: CLWs, grouped by TSW.
         for i in 0..cfg.n_tsw {
             for j in 0..cfg.n_clw {
-                let cfg = *cfg;
+                let cfg = cfg.clone();
                 let domain = domain.clone();
                 let rank = cfg.clw_rank(i, j);
                 let tsw_rank = cfg.tsw_rank(i);
@@ -179,7 +179,7 @@ impl<D: PtsDomain> ExecutionEngine<D> for VirtualEngine {
         // Final tasks: sub-masters of the sharded collection tree (none
         // under the default flat topology).
         for s in 0..cfg.n_shards() {
-            let cfg = *cfg;
+            let cfg = cfg.clone();
             let domain = domain.clone();
             let rank = cfg.shard_rank(s);
             cluster.spawn(assignment[rank], move |ctx| async move {

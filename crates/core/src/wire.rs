@@ -22,10 +22,10 @@
 //! | 0      | 1    | codec version ([`WIRE_VERSION`]) |
 //! | 1      | 1    | variant tag ([`tag` constants](self)) |
 //! | 2      | 1    | snapshot-payload kind: 0 none, 1 full, 2 delta |
-//! | 3      | 1    | tabu-payload kind: 0 full list, 1 delta (broadcasts only; 0 elsewhere) |
+//! | 3      | 1    | tabu-payload kind: 0 full list, 1 delta (broadcasts); strategy id (`GroupReport`); 0 elsewhere |
 //! | 4      | 4    | destination rank (router addressing) |
-//! | 8      | 4    | origin index (`tsw` / `shard` / `clw` field) |
-//! | 12     | 4    | aux count (tabu entries or moves) |
+//! | 8      | 4    | origin index (`tsw` / `shard` / `clw` field; strategy id on broadcasts) |
+//! | 12     | 4    | aux count (tabu entries or moves; strategy id on `Investigate`) |
 //! | 16     | 8    | sequence (`global`, `seq`) |
 //! | 24     | 8    | cost (`f64` bits) |
 //!
@@ -59,9 +59,29 @@ use pts_tabu::trace::TracePoint;
 use std::cmp::Ordering;
 use std::sync::Arc;
 
-/// Codec version stamped into every frame header; decoding any other
-/// version fails with [`WireError::VersionMismatch`].
-pub const WIRE_VERSION: u8 = 1;
+/// Codec version stamped into every frame header. The decoder also
+/// accepts frames back to [`MIN_WIRE_VERSION`] (older fields default);
+/// anything outside that window fails with
+/// [`WireError::VersionMismatch`].
+///
+/// Version history:
+/// * 1 — initial socket codec.
+/// * 2 — portfolio search: strategy ids ride previously-zero header
+///   bytes (`Broadcast`/`GroupBroadcast` origin, `Investigate` aux,
+///   `GroupReport` header byte 3), `GroupReport` carries
+///   quality-per-virtual-second in its formerly reserved tail `u64`, and
+///   the config block grows an aspiration + portfolio tail. No frame
+///   changes size, so v1 frames decode as v2 with all-default strategy
+///   fields.
+pub const WIRE_VERSION: u8 = 2;
+
+/// Oldest frame version this codec still decodes.
+pub const MIN_WIRE_VERSION: u8 = 1;
+
+/// Is `v` a version this codec decodes?
+fn version_ok(v: u8) -> bool {
+    (MIN_WIRE_VERSION..=WIRE_VERSION).contains(&v)
+}
 
 /// Bytes of length prefix framing each message on a stream — the only
 /// per-message wire overhead not counted by [`PtsMsg::wire_size`].
@@ -109,11 +129,12 @@ mod tag {
 /// Why a buffer failed to decode.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum WireError {
-    /// The frame's version byte does not match [`WIRE_VERSION`].
+    /// The frame's version byte is outside the
+    /// [`MIN_WIRE_VERSION`]`..=`[`WIRE_VERSION`] window this codec decodes.
     VersionMismatch {
         /// Version byte found in the frame header.
         got: u8,
-        /// Version this codec speaks (always [`WIRE_VERSION`]).
+        /// Newest version this codec speaks (always [`WIRE_VERSION`]).
         want: u8,
     },
     /// Unknown variant tag or payload kind.
@@ -669,13 +690,14 @@ pub fn encode_msg<P: WireProblem>(msg: &PtsMsg<P>, dst: u32) -> Vec<u8> {
             global,
             snapshot,
             tabu,
+            strategy,
         } => {
             put_header(
                 &mut out,
                 tag::BROADCAST,
                 PayloadKind::of(snapshot),
                 dst,
-                0,
+                *strategy as u32,
                 tabu_aux(tabu),
                 *global as u64,
                 0.0,
@@ -733,6 +755,8 @@ pub fn encode_msg<P: WireProblem>(msg: &PtsMsg<P>, dst: u32) -> Vec<u8> {
             trace,
             stats,
             forced,
+            strategy,
+            qps,
         } => {
             put_header(
                 &mut out,
@@ -744,28 +768,32 @@ pub fn encode_msg<P: WireProblem>(msg: &PtsMsg<P>, dst: u32) -> Vec<u8> {
                 *global as u64,
                 *cost,
             );
+            // Reports never carry tabu deltas, so header byte 3 is free:
+            // it carries the group's current strategy id.
+            out[3] = *strategy;
             put_payload(snapshot, &mut out);
             put_tabu::<P>(tabu, &mut out);
             put_trace(trace, &mut out);
             // 64-byte tail: stats (40) + counts (8) + forced (8) +
-            // reserved (8).
+            // qps (8, formerly reserved).
             put_stats(stats, &mut out);
             put_u32(&mut out, narrow(tabu.len()));
             put_u32(&mut out, narrow(trace.len()));
             put_u64(&mut out, *forced);
-            put_u64(&mut out, 0);
+            put_f64(&mut out, *qps);
         }
         PtsMsg::GroupBroadcast {
             global,
             snapshot,
             tabu,
+            strategy,
         } => {
             put_header(
                 &mut out,
                 tag::GROUP_BROADCAST,
                 PayloadKind::of(snapshot),
                 dst,
-                0,
+                *strategy as u32,
                 tabu_aux(tabu),
                 *global as u64,
                 0.0,
@@ -787,14 +815,14 @@ pub fn encode_msg<P: WireProblem>(msg: &PtsMsg<P>, dst: u32) -> Vec<u8> {
             );
             put_payload(snapshot, &mut out);
         }
-        PtsMsg::Investigate { seq } => {
+        PtsMsg::Investigate { seq, strategy } => {
             put_header(
                 &mut out,
                 tag::INVESTIGATE,
                 PayloadKind::None,
                 dst,
                 0,
-                0,
+                *strategy as u32,
                 *seq,
                 0.0,
             );
@@ -879,7 +907,7 @@ pub fn peek_dst(buf: &[u8]) -> Result<u32, WireError> {
     if buf.len() < HDR {
         return Err(WireError::Truncated);
     }
-    if buf[0] != WIRE_VERSION {
+    if !version_ok(buf[0]) {
         return Err(WireError::VersionMismatch {
             got: buf[0],
             want: WIRE_VERSION,
@@ -892,7 +920,7 @@ pub fn peek_dst(buf: &[u8]) -> Result<u32, WireError> {
 /// [`PtsMsg`]; the router and transports must drop them after noting the
 /// sender is alive.
 pub fn is_heartbeat(buf: &[u8]) -> bool {
-    buf.len() >= 2 && buf[0] == WIRE_VERSION && buf[1] == tag::HEARTBEAT
+    buf.len() >= 2 && version_ok(buf[0]) && buf[1] == tag::HEARTBEAT
 }
 
 /// Encode a header-only heartbeat frame from `origin`. The destination
@@ -940,7 +968,7 @@ pub fn decode_msg<P: WireProblem>(buf: &[u8], ctx: &P::Ctx) -> Result<(u32, PtsM
     }
     let mut h = WireReader::new(&buf[..HDR]);
     let version = h.u8()?;
-    if version != WIRE_VERSION {
+    if !version_ok(version) {
         return Err(WireError::VersionMismatch {
             got: version,
             want: WIRE_VERSION,
@@ -948,10 +976,18 @@ pub fn decode_msg<P: WireProblem>(buf: &[u8], ctx: &P::Ctx) -> Result<(u32, PtsM
     }
     let variant = h.u8()?;
     let kind = PayloadKind::from_byte(h.u8()?)?;
-    let tabu_delta = match h.u8()? {
-        0 => false,
-        1 => true,
-        other => return Err(WireError::Tag(other)),
+    // Header byte 3 is per-variant: the tabu-payload kind on broadcasts,
+    // the strategy id on GroupReport (any value; v1 frames hold 0), and
+    // reserved-zero everywhere else.
+    let byte3 = h.u8()?;
+    let tabu_delta = if variant == tag::GROUP_REPORT {
+        false
+    } else {
+        match byte3 {
+            0 => false,
+            1 => true,
+            other => return Err(WireError::Tag(other)),
+        }
     };
     let dst = h.u32()?;
     let origin = h.u32()?;
@@ -994,17 +1030,22 @@ pub fn decode_msg<P: WireProblem>(buf: &[u8], ctx: &P::Ctx) -> Result<(u32, PtsM
             let snapshot = get_payload::<P>(&mut r, kind, snap_bytes, ctx)?;
             let tabu = get_tabu_payload::<P>(&mut r, tabu_delta, aux, tabu_bytes)?;
             let global = seq as u32;
+            // The strategy id rides the otherwise-unused origin field
+            // (v1 frames always carry 0 there).
+            let strategy = origin as u8;
             if variant == tag::BROADCAST {
                 PtsMsg::Broadcast {
                     global,
                     snapshot,
                     tabu,
+                    strategy,
                 }
             } else {
                 PtsMsg::GroupBroadcast {
                     global,
                     snapshot,
                     tabu,
+                    strategy,
                 }
             }
         }
@@ -1041,6 +1082,7 @@ pub fn decode_msg<P: WireProblem>(buf: &[u8], ctx: &P::Ctx) -> Result<(u32, PtsM
                 }
             } else {
                 let forced = tail.u64()?;
+                let qps = tail.f64()?;
                 PtsMsg::GroupReport {
                     shard: origin as usize,
                     global: seq as u32,
@@ -1050,6 +1092,8 @@ pub fn decode_msg<P: WireProblem>(buf: &[u8], ctx: &P::Ctx) -> Result<(u32, PtsM
                     trace,
                     stats,
                     forced,
+                    strategy: byte3,
+                    qps,
                 }
             }
         }
@@ -1061,7 +1105,10 @@ pub fn decode_msg<P: WireProblem>(buf: &[u8], ctx: &P::Ctx) -> Result<(u32, PtsM
                 snapshot,
             }
         }
-        tag::INVESTIGATE => PtsMsg::Investigate { seq },
+        tag::INVESTIGATE => PtsMsg::Investigate {
+            seq,
+            strategy: aux as u8,
+        },
         tag::CUT_SHORT => PtsMsg::CutShort { seq },
         tag::PROPOSAL | tag::APPLY_MOVES => {
             let expect = MOVE * aux + if variant == tag::PROPOSAL { 16 } else { 0 };
@@ -1133,8 +1180,26 @@ pub fn read_frame<R: std::io::Read>(r: &mut R) -> std::io::Result<Option<Vec<u8>
     Ok(Some(body))
 }
 
+/// Aspiration policy byte for the config block.
+fn asp_byte(a: pts_tabu::aspiration::Aspiration) -> u8 {
+    match a {
+        pts_tabu::aspiration::Aspiration::None => 0,
+        pts_tabu::aspiration::Aspiration::BestCost => 1,
+    }
+}
+
+fn asp_of(b: u8) -> Result<pts_tabu::aspiration::Aspiration, WireError> {
+    match b {
+        0 => Ok(pts_tabu::aspiration::Aspiration::None),
+        1 => Ok(pts_tabu::aspiration::Aspiration::BestCost),
+        other => Err(WireError::Tag(other)),
+    }
+}
+
 /// Encode a [`crate::config::PtsConfig`] (setup and job-submission
 /// frames; fixed field order, not part of any message's `wire_size`).
+/// Always emits the current ([`WIRE_VERSION`]) layout: the v1 field
+/// order followed by the v2 aspiration + portfolio tail.
 pub fn put_config(cfg: &crate::config::PtsConfig, out: &mut Vec<u8>) {
     use crate::config::{CostKind, SnapshotMode, SyncPolicy};
     let sync_byte = |s: SyncPolicy| match s {
@@ -1145,12 +1210,12 @@ pub fn put_config(cfg: &crate::config::PtsConfig, out: &mut Vec<u8>) {
     put_u64(out, cfg.n_clw as u64);
     put_u32(out, cfg.global_iters);
     put_u32(out, cfg.local_iters);
-    put_u64(out, cfg.candidates as u64);
-    put_u64(out, cfg.depth as u64);
-    put_u64(out, cfg.tenure);
+    put_u64(out, cfg.search.candidates as u64);
+    put_u64(out, cfg.search.depth as u64);
+    put_u64(out, cfg.search.tenure);
     out.push(cfg.diversify as u8);
-    put_u64(out, cfg.diversify_depth as u64);
-    put_u64(out, cfg.diversify_width as u64);
+    put_u64(out, cfg.search.diversify_depth as u64);
+    put_u64(out, cfg.search.diversify_width as u64);
     out.push(sync_byte(cfg.tsw_sync));
     out.push(sync_byte(cfg.clw_sync));
     put_f64(out, cfg.report_fraction);
@@ -1181,27 +1246,74 @@ pub fn put_config(cfg: &crate::config::PtsConfig, out: &mut Vec<u8>) {
     out.push(cfg.tabu_delta as u8);
     put_u64(out, cfg.heartbeat_ms);
     put_u64(out, cfg.reap_grace_ms);
+    // v2 tail: the uniform strategy's aspiration, then the portfolio.
+    out.push(asp_byte(cfg.search.aspiration));
+    put_u64(out, cfg.portfolio.len() as u64);
+    for s in &cfg.portfolio {
+        put_u64(out, s.tenure);
+        put_u64(out, s.candidates as u64);
+        put_u64(out, s.depth as u64);
+        put_u64(out, s.diversify_depth as u64);
+        put_u64(out, s.diversify_width as u64);
+        out.push(asp_byte(s.aspiration));
+    }
 }
 
-/// Decode a [`crate::config::PtsConfig`] written by [`put_config`].
+/// Decode a [`crate::config::PtsConfig`] written by [`put_config`] at the
+/// current [`WIRE_VERSION`]. For frames that declared an older version,
+/// use [`get_config_versioned`] — the config block is *not* the last
+/// thing in setup and job frames, so the decoder cannot infer the layout
+/// from the bytes remaining and must be told the carrier's version.
 pub fn get_config(r: &mut WireReader<'_>) -> Result<crate::config::PtsConfig, WireError> {
-    use crate::config::{CostKind, PtsConfig, SnapshotMode, SyncPolicy, WorkModel};
+    get_config_versioned(r, WIRE_VERSION)
+}
+
+/// Decode a config block from a frame whose header declared `version`.
+/// Version-1 blocks stop at `reap_grace_ms`; the aspiration and portfolio
+/// take their defaults (best-cost aspiration, empty portfolio — exactly
+/// the semantics a v1 peer ran with). Unknown versions are rejected with
+/// [`WireError::VersionMismatch`], never a panic.
+pub fn get_config_versioned(
+    r: &mut WireReader<'_>,
+    version: u8,
+) -> Result<crate::config::PtsConfig, WireError> {
+    use crate::config::{CostKind, PtsConfig, SearchStrategy, SnapshotMode, SyncPolicy, WorkModel};
+    if !version_ok(version) {
+        return Err(WireError::VersionMismatch {
+            got: version,
+            want: WIRE_VERSION,
+        });
+    }
     let sync = |b: u8| match b {
         0 => Ok(SyncPolicy::WaitAll),
         1 => Ok(SyncPolicy::HalfReport),
         other => Err(WireError::Tag(other)),
     };
-    Ok(PtsConfig {
-        n_tsw: r.u64()? as usize,
-        n_clw: r.u64()? as usize,
-        global_iters: r.u32()?,
-        local_iters: r.u32()?,
-        candidates: r.u64()? as usize,
-        depth: r.u64()? as usize,
-        tenure: r.u64()?,
-        diversify: r.u8()? != 0,
-        diversify_depth: r.u64()? as usize,
-        diversify_width: r.u64()? as usize,
+    let n_tsw = r.u64()? as usize;
+    let n_clw = r.u64()? as usize;
+    let global_iters = r.u32()?;
+    let local_iters = r.u32()?;
+    let candidates = r.u64()? as usize;
+    let depth = r.u64()? as usize;
+    let tenure = r.u64()?;
+    let diversify = r.u8()? != 0;
+    let diversify_depth = r.u64()? as usize;
+    let diversify_width = r.u64()? as usize;
+    let mut cfg = PtsConfig {
+        n_tsw,
+        n_clw,
+        global_iters,
+        local_iters,
+        search: SearchStrategy {
+            candidates,
+            depth,
+            tenure,
+            diversify_depth,
+            diversify_width,
+            ..SearchStrategy::default()
+        },
+        portfolio: Vec::new(),
+        diversify,
         tsw_sync: sync(r.u8()?)?,
         clw_sync: sync(r.u8()?)?,
         report_fraction: r.f64()?,
@@ -1234,7 +1346,33 @@ pub fn get_config(r: &mut WireReader<'_>) -> Result<crate::config::PtsConfig, Wi
         tabu_delta: r.u8()? != 0,
         heartbeat_ms: r.u64()?,
         reap_grace_ms: r.u64()?,
-    })
+    };
+    if version >= 2 {
+        cfg.search.aspiration = asp_of(r.u8()?)?;
+        let n = r.u64()? as usize;
+        if n > 255 {
+            return Err(WireError::Malformed("portfolio longer than 255 entries"));
+        }
+        let mut portfolio = Vec::with_capacity(n);
+        for _ in 0..n {
+            let tenure = r.u64()?;
+            let candidates = r.u64()? as usize;
+            let depth = r.u64()? as usize;
+            let diversify_depth = r.u64()? as usize;
+            let diversify_width = r.u64()? as usize;
+            let aspiration = asp_of(r.u8()?)?;
+            portfolio.push(SearchStrategy {
+                candidates,
+                depth,
+                tenure,
+                diversify_depth,
+                diversify_width,
+                aspiration,
+            });
+        }
+        cfg.portfolio = portfolio;
+    }
+    Ok(cfg)
 }
 
 #[cfg(test)]
@@ -1266,7 +1404,13 @@ mod tests {
     fn control_messages_roundtrip() {
         for (msg, expect) in [
             (PtsMsg::<Qap>::Stop, "Stop"),
-            (PtsMsg::<Qap>::Investigate { seq: 99 }, "Investigate"),
+            (
+                PtsMsg::<Qap>::Investigate {
+                    seq: 99,
+                    strategy: 2,
+                },
+                "Investigate",
+            ),
             (PtsMsg::<Qap>::CutShort { seq: 3 }, "CutShort"),
             (PtsMsg::<Qap>::ForceReport { global: 5 }, "ForceReport"),
         ] {
@@ -1331,10 +1475,17 @@ mod tests {
             global: 4,
             snapshot: snapshot.clone(),
             tabu: TabuPayload::Full(Arc::new(vec![((0, 1), 5), ((2, 3), 9)])),
+            strategy: 3,
         };
         match roundtrip(&full, 3) {
-            PtsMsg::Broadcast { global, tabu, .. } => {
+            PtsMsg::Broadcast {
+                global,
+                tabu,
+                strategy,
+                ..
+            } => {
                 assert_eq!(global, 4);
+                assert_eq!(strategy, 3);
                 assert!(!tabu.is_delta());
                 match tabu {
                     TabuPayload::Full(t) => assert_eq!(*t, vec![((0, 1), 5), ((2, 3), 9)]),
@@ -1360,6 +1511,7 @@ mod tests {
                     added: Arc::new(added.clone()),
                     removed: Arc::new(removed.clone()),
                 },
+                strategy: 1,
             };
             match roundtrip(&msg, 1) {
                 PtsMsg::GroupBroadcast { tabu, .. } => match tabu {
@@ -1393,12 +1545,51 @@ mod tests {
             seed: 0xDEADBEEF,
             heartbeat_ms: 250,
             reap_grace_ms: 7000,
+            portfolio: vec![
+                crate::config::SearchStrategy {
+                    candidates: 12,
+                    depth: 2,
+                    tenure: 5,
+                    diversify_depth: 4,
+                    diversify_width: 2,
+                    aspiration: pts_tabu::aspiration::Aspiration::None,
+                },
+                crate::config::SearchStrategy::default(),
+            ],
             ..crate::config::PtsConfig::default()
         };
         let mut buf = Vec::new();
         put_config(&cfg, &mut buf);
         let decoded = get_config(&mut WireReader::new(&buf)).unwrap();
         assert_eq!(decoded, cfg);
+    }
+
+    #[test]
+    fn v1_config_decodes_with_portfolio_defaults() {
+        // A v1 config block is the v2 encoding truncated before the
+        // aspiration + portfolio tail (41 bytes per entry + 9 fixed).
+        let cfg = crate::config::PtsConfig {
+            n_tsw: 4,
+            seed: 77,
+            ..crate::config::PtsConfig::default()
+        };
+        let mut buf = Vec::new();
+        put_config(&cfg, &mut buf);
+        let v1 = &buf[..buf.len() - 9];
+        let decoded = get_config_versioned(&mut WireReader::new(v1), 1).unwrap();
+        assert_eq!(decoded, cfg, "v1 defaults: empty portfolio, best-cost");
+        // A v1-declared reader must NOT consume the tail bytes.
+        let mut r = WireReader::new(&buf);
+        let _ = get_config_versioned(&mut r, 1).unwrap();
+        assert_eq!(r.remaining(), 9);
+        // Unknown versions are a typed error, not a panic.
+        assert_eq!(
+            get_config_versioned(&mut WireReader::new(&buf), 9).err(),
+            Some(WireError::VersionMismatch {
+                got: 9,
+                want: WIRE_VERSION
+            })
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! fractions, degenerate worker counts, work-model scaling, and message
 //! accounting — all through the builder / engine-trait API.
 
-use pts_core::{Pts, PtsConfig, SimEngine, SyncPolicy, WorkModel};
+use pts_core::{Pts, PtsConfig, SearchStrategy, SimEngine, SyncPolicy, WorkModel};
 use pts_netlist::{by_name, highway};
 use pts_vcluster::topology::homogeneous;
 use std::sync::Arc;
@@ -13,8 +13,11 @@ fn base() -> PtsConfig {
         n_clw: 2,
         global_iters: 2,
         local_iters: 4,
-        candidates: 4,
-        depth: 2,
+        search: SearchStrategy {
+            candidates: 4,
+            depth: 2,
+            ..Default::default()
+        },
         ..PtsConfig::default()
     }
 }
@@ -110,7 +113,7 @@ fn work_model_scales_virtual_time_not_quality() {
 #[test]
 fn message_accounting_is_complete() {
     let cfg = base();
-    let run = Pts::from_config(cfg).build().unwrap();
+    let run = Pts::from_config(cfg.clone()).build().unwrap();
     let out = run.run_placement(Arc::new(highway()), &SimEngine::paper());
     // Lower bound: every global iteration moves at least
     // (Investigate + Proposal) per CLW per local iteration plus reports

@@ -10,7 +10,7 @@
 //! unexpected — in BOTH debug and release profiles (CI runs the suite
 //! twice for this reason).
 
-use pts_core::config::PtsConfig;
+use pts_core::config::{PtsConfig, SearchStrategy};
 use pts_core::messages::{PtsMsg, SnapshotPayload};
 use pts_core::transport::{drive_sync, Transport};
 use pts_core::{master, tsw, PtsDomain, QapDomain, RunControl, SyncPolicy};
@@ -406,8 +406,11 @@ fn tsw_ignores_force_report_arriving_after_its_own_report() {
         n_clw: 1,
         global_iters: 1,
         local_iters: 1,
-        candidates: 1,
-        depth: 1,
+        search: SearchStrategy {
+            candidates: 1,
+            depth: 1,
+            ..Default::default()
+        },
         diversify: false,
         ..PtsConfig::default()
     };
@@ -462,8 +465,11 @@ fn tsw_force_during_collection_still_yields_one_report() {
         n_clw: 1,
         global_iters: 1,
         local_iters: 5,
-        candidates: 1,
-        depth: 2,
+        search: SearchStrategy {
+            candidates: 1,
+            depth: 2,
+            ..Default::default()
+        },
         diversify: false,
         ..PtsConfig::default()
     };
@@ -513,8 +519,11 @@ fn sharded_tsw_reports_to_its_group_sub_master() {
         shard_fanout: 2,
         global_iters: 1,
         local_iters: 1,
-        candidates: 1,
-        depth: 1,
+        search: SearchStrategy {
+            candidates: 1,
+            depth: 1,
+            ..Default::default()
+        },
         diversify: false,
         ..PtsConfig::default()
     };

@@ -177,6 +177,19 @@ impl<P: SearchProblem> TabuEngine<P> {
         self.tabu.export(self.iter)
     }
 
+    /// Switch the engine's search knobs mid-run (a portfolio strategy
+    /// reassignment). The best-so-far, trace, statistics, frequency
+    /// memory, and RNG stream all carry over untouched; standing tabu
+    /// entries keep the expiry they were inserted with, new entries use
+    /// the new tenure.
+    pub fn reconfigure(&mut self, tenure: u64, candidates: usize, depth: usize, asp: Aspiration) {
+        self.config.tenure = tenure;
+        self.config.candidates = candidates;
+        self.config.depth = depth;
+        self.config.aspiration = asp;
+        self.tabu.set_tenure(tenure);
+    }
+
     /// Adopt a foreign solution plus its tabu list (master broadcast).
     pub fn adopt(
         &mut self,

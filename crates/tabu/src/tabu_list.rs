@@ -31,6 +31,13 @@ impl<A: Eq + Hash + Clone> TabuList<A> {
         self.tenure
     }
 
+    /// Change the tenure for moves made tabu from now on. Entries already
+    /// in the list keep the expiry they were inserted with — a strategy
+    /// switch must not retroactively free (or extend) standing tabus.
+    pub fn set_tenure(&mut self, tenure: u64) {
+        self.tenure = tenure;
+    }
+
     /// Number of attributes currently held (including expired entries not
     /// yet compacted).
     pub fn len(&self) -> usize {

@@ -60,6 +60,9 @@ fn print_help() {
 
 USAGE:
   pts-serve serve  [--sock PATH] [--tcp ADDR] [--max-concurrent N]
+                   [--heartbeat-ms N]  (liveness default applied to jobs
+                                        that did not set their own; 0
+                                        disables; default 500)
   pts-serve submit --addr unix:PATH|tcp:ADDR
                    [--problem qap|bench] [--qap-size N] [--circuit NAME]
                    [--tsw N] [--clw N] [--global N] [--local N]
@@ -92,6 +95,15 @@ fn flag_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Re
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let max_concurrent: usize = flag_num(args, "--max-concurrent", 4)?;
+    // Liveness default for submitted jobs: a daemon hosts other people's
+    // configs, so silent-worker detection is armed unless the job (or an
+    // explicit `--heartbeat-ms 0` here) opts out. The in-process library
+    // default stays off.
+    let heartbeat_ms: u64 = flag_num(
+        args,
+        "--heartbeat-ms",
+        parallel_tabu_search::core::serve::DEFAULT_HEARTBEAT_MS,
+    )?;
     let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
     let mut server = match (flag_value(args, "--sock"), flag_value(args, "--tcp")) {
         (Some(_), Some(_)) => return Err("--sock and --tcp are mutually exclusive".into()),
@@ -108,6 +120,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 .map_err(|e| format!("bind {path}: {e}"))?
         }
     };
+    server = server.with_default_heartbeat(heartbeat_ms);
     install_term_handler();
     // The address line is the machine-readable contract: clients (and the
     // CI smoke test) read it to find the socket.
@@ -138,7 +151,7 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
         "all" => builder.sync(SyncPolicy::WaitAll),
         other => return Err(format!("--sync must be 'half' or 'all', got '{other}'")),
     };
-    let cfg = *builder.build().map_err(|e| e.to_string())?.config();
+    let cfg = builder.build().map_err(|e| e.to_string())?.config().clone();
 
     let spec = match flag_value(args, "--problem").as_deref().unwrap_or("qap") {
         "qap" => JobDomainSpec::QapRandom {

@@ -14,8 +14,8 @@
 
 use parallel_tabu_search::core::{
     common_quality_target, speedup_sweep, AsyncEngine, Contention, CostKind, ExecutionEngine,
-    FaultMix, FaultSpec, ProcDomain, ProcEngine, Pts, PtsConfig, PtsRun, QapDomain, SimEngine,
-    SnapshotMode, SyncPolicy, ThreadEngine, VirtualEngine, WireProblem,
+    FaultMix, FaultSpec, ProcDomain, ProcEngine, Pts, PtsConfig, PtsRun, QapDomain, SearchStrategy,
+    SimEngine, SnapshotMode, SyncPolicy, ThreadEngine, VirtualEngine, WireProblem,
 };
 use parallel_tabu_search::netlist::{
     benchmark_names, by_name, format, generate, CircuitSpec, Netlist, NetlistStats, TimingGraph,
@@ -73,6 +73,12 @@ USAGE:
                [--engine sim|threads|async|vt|proc] [--sync half|all] [--no-diversify]
                [--differentiate] [--cost fuzzy|weighted] [--seed N]
                [--candidates N] [--depth N] [--report-fraction F]
+               [--portfolio S1,S2,...]  (heterogeneous strategy portfolio,
+                                         one entry per TSW group; each entry
+                                         is a named preset — default,
+                                         intensify, diversify, greedy — or
+                                         an explicit tenure:candidates:depth
+                                         triple; omit for a uniform run)
                [--shard-fanout N|auto]  (0 = flat master, >= 2 = sub-master
                                          tree, auto = f ~ sqrt(n_tsw))
                [--snapshot-mode delta|full]  (delta = diff against the last
@@ -155,6 +161,64 @@ fn load_circuit(opts: &Opts) -> Result<Arc<Netlist>, String> {
         .map_err(|e| e.to_string())
 }
 
+/// One `--portfolio` entry: a named preset from the README's strategy
+/// table, or an explicit `tenure:candidates:depth` triple (remaining
+/// knobs at their defaults).
+fn parse_strategy(spec: &str) -> Result<SearchStrategy, String> {
+    match spec {
+        "default" => return Ok(SearchStrategy::default()),
+        // Exploiter: long compound moves over a wide sample, short
+        // memory — digs into the current basin.
+        "intensify" => {
+            return Ok(SearchStrategy {
+                tenure: 5,
+                candidates: 12,
+                depth: 4,
+                diversify_width: 2,
+                ..Default::default()
+            })
+        }
+        // Explorer: long memory, shallow moves, aggressive
+        // diversification — keeps leaving basins.
+        "diversify" => {
+            return Ok(SearchStrategy {
+                tenure: 15,
+                candidates: 6,
+                depth: 2,
+                diversify_width: 8,
+                ..Default::default()
+            })
+        }
+        // Hill-climber: minimal memory, best-of-many single steps.
+        "greedy" => {
+            return Ok(SearchStrategy {
+                tenure: 3,
+                candidates: 16,
+                depth: 1,
+                ..Default::default()
+            })
+        }
+        _ => {}
+    }
+    let parts: Vec<&str> = spec.split(':').collect();
+    let [tenure, candidates, depth] = parts.as_slice() else {
+        return Err(format!(
+            "--portfolio entry '{spec}' is neither a preset (default, intensify, \
+             diversify, greedy) nor a tenure:candidates:depth triple"
+        ));
+    };
+    let num = |what: &str, v: &str| -> Result<usize, String> {
+        v.parse()
+            .map_err(|_| format!("--portfolio entry '{spec}': {what} needs a number, got '{v}'"))
+    };
+    Ok(SearchStrategy {
+        tenure: num("tenure", tenure)? as u64,
+        candidates: num("candidates", candidates)?,
+        depth: num("depth", depth)?,
+        ..Default::default()
+    })
+}
+
 /// Build a validated run from the CLI options; invalid combinations fail
 /// here with the typed `ConfigError` message, not mid-run.
 fn build_run(opts: &Opts) -> Result<PtsRun, String> {
@@ -174,6 +238,13 @@ fn build_run(opts: &Opts) -> Result<PtsRun, String> {
         Some("auto") => builder.shard_fanout_auto(),
         _ => builder.shard_fanout(opts.parse_num("shard-fanout", 0usize)?),
     };
+    if let Some(spec) = opts.get("portfolio") {
+        let strategies: Vec<SearchStrategy> = spec
+            .split(',')
+            .map(parse_strategy)
+            .collect::<Result<_, _>>()?;
+        builder = builder.portfolio(strategies);
+    }
     builder = match opts.get("snapshot-mode").unwrap_or("delta") {
         "delta" => builder.snapshot_mode(SnapshotMode::Delta),
         "full" => builder.snapshot_mode(SnapshotMode::Full),
@@ -389,7 +460,7 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
     let engine = SimEngine::paper();
     let mut traces = Vec::new();
     for n in 1..=max {
-        let mut builder = Pts::from_config(*base.config());
+        let mut builder = Pts::from_config(base.config().clone());
         builder = match what {
             "clw" => builder.tsw_workers(4).clw_workers(n),
             "tsw" => builder.tsw_workers(n).clw_workers(1),

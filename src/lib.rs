@@ -63,8 +63,9 @@ pub mod prelude {
     pub use pts_core::{
         run_sequential_baseline, AsyncEngine, ClockDomain, ConfigError, Contention, CostKind,
         DeltaSnapshot, ExecutionEngine, FaultMix, FaultSpec, MasterOutcome, PlacementDomain,
-        PlacementRunOutput, Pts, PtsConfig, PtsDomain, PtsRun, QapDomain, RunBuilder, RunReport,
-        SimEngine, SnapshotMode, SyncPolicy, ThreadEngine, VirtualEngine, WorkerFault,
+        PlacementRunOutput, ProcEngine, Pts, PtsConfig, PtsDomain, PtsRun, QapDomain, RunBuilder,
+        RunReport, SearchStrategy, SimEngine, SnapshotMode, SyncPolicy, ThreadEngine,
+        VirtualEngine, WorkerFault,
     };
     pub use pts_netlist::{benchmark_names, by_name, Netlist, TimingGraph};
     pub use pts_place::{Evaluator, Layout, Placement};

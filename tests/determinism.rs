@@ -258,6 +258,62 @@ fn tabu_delta_changes_bytes_but_never_the_trajectory() {
 }
 
 #[test]
+fn two_strategy_portfolio_replays_identically_and_vt_matches_sim() {
+    // A heterogeneous portfolio adds strategy stamps to the wire, a
+    // quality-rate reduction at leaf sub-masters, and the root's
+    // epsilon-greedy reallocator — all of which must be functions of the
+    // run seed alone. Identical seeds replay bit-identically, and the vt
+    // engine reproduces the sim engine's whole timeline, reallocation
+    // decisions included.
+    let netlist = Arc::new(by_name("c532").unwrap());
+    let strategies = [
+        SearchStrategy {
+            tenure: 5,
+            candidates: 6,
+            depth: 3,
+            ..Default::default()
+        },
+        SearchStrategy {
+            tenure: 13,
+            candidates: 4,
+            depth: 2,
+            ..Default::default()
+        },
+    ];
+    let run = |nl, engine: &dyn ExecutionEngine<PlacementDomain>| {
+        Pts::builder()
+            .tsw_workers(4)
+            .clw_workers(2)
+            .global_iters(3)
+            .local_iters(5)
+            .seed(7)
+            .sync(SyncPolicy::HalfReport)
+            .shard_fanout(2)
+            .portfolio(strategies)
+            .build()
+            .unwrap()
+            .run_placement(nl, engine)
+    };
+    let a = run(netlist.clone(), &SimEngine::paper());
+    let b = run(netlist.clone(), &SimEngine::paper());
+    assert_eq!(a.outcome.best_cost, b.outcome.best_cost);
+    assert_eq!(a.outcome.best_placement, b.outcome.best_placement);
+    assert_eq!(a.outcome.end_time, b.outcome.end_time);
+    assert_eq!(a.outcome.forced_reports, b.outcome.forced_reports);
+    assert_eq!(a.report.total_messages(), b.report.total_messages());
+    assert_eq!(a.report.total_bytes(), b.report.total_bytes());
+
+    let vt = run(netlist, &VirtualEngine::paper());
+    assert_eq!(vt.outcome.best_cost, a.outcome.best_cost);
+    assert_eq!(vt.outcome.best_placement, a.outcome.best_placement);
+    assert_eq!(vt.outcome.end_time, a.outcome.end_time);
+    assert_eq!(vt.outcome.forced_reports, a.outcome.forced_reports);
+    assert_eq!(vt.report.end_time, a.report.end_time);
+    assert_eq!(vt.report.utilization(), a.report.utilization());
+    assert_eq!(vt.report.per_proc, a.report.per_proc);
+}
+
+#[test]
 fn sequential_baseline_is_deterministic() {
     let netlist = Arc::new(by_name("highway").unwrap());
     let cfg = PtsConfig {

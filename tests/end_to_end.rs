@@ -57,7 +57,7 @@ fn fuzzy_cost_stays_in_unit_interval() {
 
 #[test]
 fn weighted_sum_scheme_works_end_to_end() {
-    let run = Pts::from_config(*small_run().config())
+    let run = Pts::from_config(small_run().config().clone())
         .cost(CostKind::WeightedSum)
         .build()
         .unwrap();
@@ -73,7 +73,7 @@ fn weighted_sum_scheme_works_end_to_end() {
 fn more_iterations_do_not_hurt() {
     let netlist = Arc::new(by_name("c532").unwrap());
     let short = small_run().run_placement(netlist.clone(), &SimEngine::paper());
-    let long_run = Pts::from_config(*small_run().config())
+    let long_run = Pts::from_config(small_run().config().clone())
         .global_iters(6)
         .build()
         .unwrap();

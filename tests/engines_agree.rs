@@ -400,6 +400,73 @@ fn delta_mode_matches_full_mode_under_half_report_on_the_async_engine() {
 }
 
 #[test]
+fn uniform_portfolio_is_identical_to_empty_portfolio_on_all_engines() {
+    // A one-entry portfolio equal to the uniform `search` strategy turns
+    // the whole portfolio machinery on — strategy stamps on the wire, the
+    // leaves' quality-rate reduction, the root's epsilon-greedy
+    // reallocator — while giving it exactly one thing to choose. The
+    // search must be trajectory-identical to the empty-portfolio run on
+    // all five engines, flat and through the sharded collection tree
+    // (WaitAll, so the wall-clock engines are deterministic too).
+    let domain = QapDomain::random(24, 3);
+    let build = |portfolio: bool, fanout: usize| {
+        let mut b = Pts::builder()
+            .tsw_workers(4)
+            .clw_workers(2)
+            .global_iters(3)
+            .local_iters(4)
+            .candidates(5)
+            .depth(2)
+            .sync(SyncPolicy::WaitAll)
+            .shard_fanout(fanout)
+            .seed(0xFEED);
+        if portfolio {
+            // The same knobs the builder calls above set on `search`.
+            b = b.portfolio([SearchStrategy {
+                candidates: 5,
+                depth: 2,
+                ..Default::default()
+            }]);
+        }
+        b.build().unwrap()
+    };
+    let proc_engine = ProcEngine::new(env!("CARGO_BIN_EXE_pts"));
+    let engines: [&dyn ExecutionEngine<QapDomain>; 5] = [
+        &SimEngine::paper(),
+        &ThreadEngine,
+        &AsyncEngine::new(),
+        &VirtualEngine::paper(),
+        &proc_engine,
+    ];
+    for engine in engines {
+        for fanout in [0usize, 2] {
+            let empty = build(false, fanout).execute(&domain, engine);
+            let uniform = build(true, fanout).execute(&domain, engine);
+            assert_eq!(
+                empty.outcome.best_per_global_iter,
+                uniform.outcome.best_per_global_iter,
+                "{} fanout={fanout}: uniform portfolio changed the trajectory",
+                engine.name()
+            );
+            assert_eq!(empty.outcome.best_cost, uniform.outcome.best_cost);
+            assert_eq!(empty.outcome.best, uniform.outcome.best);
+            assert_eq!(empty.outcome.initial_cost, uniform.outcome.initial_cost);
+            // On the virtual-clock engines the whole timeline must match:
+            // strategy ids ride formerly-zero header bytes, so no frame
+            // changes size and no compute charge moves.
+            if engine.name() == "sim" || engine.name() == "vt" {
+                assert_eq!(empty.outcome.end_time, uniform.outcome.end_time);
+                assert_eq!(
+                    empty.report.total_messages(),
+                    uniform.report.total_messages()
+                );
+                assert_eq!(empty.report.total_bytes(), uniform.report.total_bytes());
+            }
+        }
+    }
+}
+
+#[test]
 fn reports_carry_engine_specific_clocks() {
     let netlist = Arc::new(by_name("highway").unwrap());
     let sim = run().run_placement(netlist.clone(), &SimEngine::paper());

@@ -21,7 +21,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn qap_job(n: u32, seed: u64, global: u32, budget_ms: u64) -> JobRequest {
-    let cfg = *Pts::builder()
+    let cfg = Pts::builder()
         .tsw_workers(2)
         .clw_workers(1)
         .global_iters(global)
@@ -30,7 +30,8 @@ fn qap_job(n: u32, seed: u64, global: u32, budget_ms: u64) -> JobRequest {
         .seed(seed)
         .build()
         .unwrap()
-        .config();
+        .config()
+        .clone();
     JobRequest {
         cfg,
         spec: JobDomainSpec::QapRandom { n, seed },
@@ -193,11 +194,25 @@ fn spawn_daemon(name: &str) -> (std::process::Child, String) {
     spawn_daemon_env(name, &[])
 }
 
+/// Like [`spawn_daemon`], with extra CLI arguments after the standard
+/// ones (e.g. `--heartbeat-ms`).
+fn spawn_daemon_args(name: &str, extra_args: &[&str]) -> (std::process::Child, String) {
+    spawn_daemon_full(name, extra_args, &[])
+}
+
 /// Like [`spawn_daemon`], with extra environment variables set on the
 /// daemon (inherited by its worker processes). Chaos knobs go through
 /// here so they stay scoped to one daemon — never `set_var` in a test
 /// binary whose tests run in parallel.
 fn spawn_daemon_env(name: &str, envs: &[(&str, String)]) -> (std::process::Child, String) {
+    spawn_daemon_full(name, &[], envs)
+}
+
+fn spawn_daemon_full(
+    name: &str,
+    extra_args: &[&str],
+    envs: &[(&str, String)],
+) -> (std::process::Child, String) {
     let sock =
         std::env::temp_dir().join(format!("pts-serve-bin-{}-{name}.sock", std::process::id()));
     let _ = std::fs::remove_file(&sock);
@@ -205,6 +220,7 @@ fn spawn_daemon_env(name: &str, envs: &[(&str, String)]) -> (std::process::Child
     cmd.args(["serve", "--sock"])
         .arg(&sock)
         .args(["--max-concurrent", "2"])
+        .args(extra_args)
         .stdout(Stdio::piped())
         .stderr(Stdio::null());
     for (k, v) in envs {
@@ -289,6 +305,42 @@ fn sigterm_drains_jobs_and_leaves_no_orphans() {
         "daemon exited but left worker processes: {:?}",
         workers_of(pid)
     );
+}
+
+#[test]
+fn daemon_default_heartbeat_is_armed_and_overridable() {
+    // The daemon arms a conservative liveness default for jobs that did
+    // not set their own heartbeat (`qap_job` leaves `heartbeat_ms` at the
+    // library default of 0, the field the daemon rewrites). A healthy job
+    // must complete identically under the armed default, an explicit
+    // override, and `--heartbeat-ms 0` (beacons back off, the library
+    // behaviour). The crash-retry tests above are what prove liveness
+    // detection fires when workers actually die; this pins the daemon's
+    // *defaulting* seam end-to-end through the real binary's CLI.
+    for (name, args) in [
+        ("hb-default", &[][..]),
+        ("hb-explicit", &["--heartbeat-ms", "125"][..]),
+        ("hb-off", &["--heartbeat-ms", "0"][..]),
+    ] {
+        let (mut daemon, addr) = spawn_daemon_args(name, args);
+        let pid = daemon.id();
+        let mut client = Client::connect(&addr, Duration::from_secs(10)).unwrap();
+        client.submit(&qap_job(10, 31, 3, 0)).unwrap();
+        let (r, _) = wait_result(&mut client);
+        assert!(!r.cancelled, "{name}: healthy job reported cancelled");
+        assert_eq!(r.rounds, 3, "{name}: healthy job stopped early");
+        unsafe { kill(pid as i32, SIGTERM) };
+        let status = daemon.wait().unwrap();
+        assert!(
+            status.success(),
+            "{name}: daemon exited uncleanly: {status:?}"
+        );
+        assert!(
+            workers_of(pid).is_empty(),
+            "{name}: daemon left worker processes: {:?}",
+            workers_of(pid)
+        );
+    }
 }
 
 #[test]

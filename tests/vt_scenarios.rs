@@ -293,6 +293,67 @@ fn half_report_still_wins_with_a_tenth_of_the_cluster_slowed_five_fold() {
 }
 
 #[test]
+fn mixed_portfolio_matches_or_beats_uniform_best_on_the_paper_cluster() {
+    // The portfolio claim, pinned on the heterogeneous paper cluster: a
+    // two-strategy portfolio — an intensifying profile and a diversifying
+    // profile, round-robined over the TSW groups and reallocated by the
+    // root's epsilon-greedy bandit on observed quality-per-virtual-second
+    // — must match or beat the best *uniform* run of either strategy
+    // alone, under the same seed. A one-entry portfolio is exactly a
+    // uniform run, so the comparison shares every other knob.
+    let domain = QapDomain::random(64, 7);
+    let intensify = SearchStrategy {
+        tenure: 5,
+        candidates: 6,
+        depth: 3,
+        ..Default::default()
+    };
+    let diversify = SearchStrategy {
+        tenure: 13,
+        candidates: 4,
+        depth: 2,
+        ..Default::default()
+    };
+    let run = |portfolio: Vec<SearchStrategy>| {
+        scenario(24, 1, 4, 3, SyncPolicy::HalfReport)
+            .differentiate_streams(true)
+            .shard_fanout(4)
+            .seed(0xF00D)
+            .portfolio(portfolio)
+            .build()
+            .unwrap()
+            .execute(&domain, &VirtualEngine::new(scaled_paper_cluster(24)))
+    };
+    let uniform_a = run(vec![intensify]);
+    let uniform_b = run(vec![diversify]);
+    let mixed = run(vec![intensify, diversify]);
+
+    let uniform_best = uniform_a.outcome.best_cost.min(uniform_b.outcome.best_cost);
+    assert!(
+        mixed.outcome.best_cost <= uniform_best,
+        "mixed portfolio ({}) must match or beat the uniform best ({})",
+        mixed.outcome.best_cost,
+        uniform_best
+    );
+    assert!(mixed.outcome.best_cost < mixed.outcome.initial_cost);
+
+    // Reallocation is part of the run, not a source of nondeterminism:
+    // the bandit draws from an RNG derived from the run seed, so the
+    // whole mixed run — trajectory, timeline, accounting — replays
+    // bit-identically.
+    let replay = run(vec![intensify, diversify]);
+    assert_eq!(replay.outcome.best_cost, mixed.outcome.best_cost);
+    assert_eq!(replay.outcome.best, mixed.outcome.best);
+    assert_eq!(
+        replay.outcome.best_per_global_iter,
+        mixed.outcome.best_per_global_iter
+    );
+    assert_eq!(replay.outcome.end_time, mixed.outcome.end_time);
+    assert_eq!(replay.outcome.forced_reports, mixed.outcome.forced_reports);
+    assert_eq!(replay.report.per_proc, mixed.report.per_proc);
+}
+
+#[test]
 fn utilization_improves_under_half_report_at_scale() {
     // The paper's utilization argument: forcing stragglers keeps fast
     // machines from idling at the barrier, so overall busy/(busy+wait)

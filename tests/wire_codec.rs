@@ -115,12 +115,18 @@ fn qap_msg(
         aspirated: stats[3],
         improved_best: stats[4],
     };
+    // Strategy ids and the group quality rate are ordinary wire fields
+    // since v2 — derive them from the generated inputs so the roundtrip
+    // exercises non-zero values.
+    let strategy = (seed % 251) as u8;
+    let qps = cost / 3.0;
     match variant {
         0 => PtsMsg::Init { snapshot },
         1 => PtsMsg::Broadcast {
             global,
             snapshot: payload,
             tabu: tabu_payload,
+            strategy,
         },
         2 => PtsMsg::ForceReport { global },
         3 => PtsMsg::Report {
@@ -141,17 +147,20 @@ fn qap_msg(
             trace,
             stats,
             forced: seq,
+            strategy,
+            qps,
         },
         5 => PtsMsg::GroupBroadcast {
             global,
             snapshot: payload,
             tabu: tabu_payload,
+            strategy,
         },
         6 => PtsMsg::AdoptState {
             seq: global,
             snapshot: payload,
         },
-        7 => PtsMsg::Investigate { seq },
+        7 => PtsMsg::Investigate { seq, strategy },
         8 => PtsMsg::CutShort { seq },
         9 => PtsMsg::Proposal {
             clw: n,
@@ -162,6 +171,21 @@ fn qap_msg(
         10 => PtsMsg::ApplyMoves { moves },
         11 => PtsMsg::Down { rank: n },
         _ => PtsMsg::Stop,
+    }
+}
+
+/// Reset the v2 strategy carriage to the values a v1 encoder (which had
+/// no portfolio) necessarily produced: zero strategy ids, zero qps.
+fn zero_strategy_fields(msg: &mut PtsMsg<Qap>) {
+    match msg {
+        PtsMsg::Broadcast { strategy, .. }
+        | PtsMsg::GroupBroadcast { strategy, .. }
+        | PtsMsg::Investigate { strategy, .. } => *strategy = 0,
+        PtsMsg::GroupReport { strategy, qps, .. } => {
+            *strategy = 0;
+            *qps = 0.0;
+        }
+        _ => {}
     }
 }
 
@@ -253,9 +277,11 @@ proptest! {
                     parallel_tabu_search::netlist::CellId(b),
                 ))
                 .collect();
+        let strategy = (seed % 251) as u8;
+        let qps = cost / 3.0;
         let msg: PtsMsg<PlacementProblem> = match variant {
             0 => PtsMsg::Init { snapshot },
-            1 => PtsMsg::Broadcast { global, snapshot: payload, tabu: tabu_payload },
+            1 => PtsMsg::Broadcast { global, snapshot: payload, tabu: tabu_payload, strategy },
             2 => PtsMsg::ForceReport { global },
             3 => PtsMsg::Report {
                 tsw: 3, global, cost, snapshot: payload, tabu,
@@ -263,11 +289,11 @@ proptest! {
             },
             4 => PtsMsg::GroupReport {
                 shard: 2, global, cost, snapshot: payload, tabu,
-                trace: trace_points, stats, forced: seq,
+                trace: trace_points, stats, forced: seq, strategy, qps,
             },
-            5 => PtsMsg::GroupBroadcast { global, snapshot: payload, tabu: tabu_payload },
+            5 => PtsMsg::GroupBroadcast { global, snapshot: payload, tabu: tabu_payload, strategy },
             6 => PtsMsg::AdoptState { seq: global, snapshot: payload },
-            7 => PtsMsg::Investigate { seq },
+            7 => PtsMsg::Investigate { seq, strategy },
             8 => PtsMsg::CutShort { seq },
             9 => PtsMsg::Proposal { clw: 1, seq, moves: swap_moves, cost },
             10 => PtsMsg::ApplyMoves { moves: swap_moves },
@@ -285,12 +311,16 @@ proptest! {
         seed in any::<u64>(),
         dst in 0u32..1024,
     ) {
-        // Cross-version compatibility: a frame stamped with any other
-        // codec version must fail decoding with the typed error — never a
-        // garbage decode, never a panic — on both the full decoder and
-        // the router's header-only peek. Remap the one valid byte rather
-        // than discarding the case.
-        let got = if got == wire::WIRE_VERSION { got.wrapping_add(1) } else { got };
+        // Cross-version compatibility: a frame stamped outside the
+        // accepted [MIN_WIRE_VERSION, WIRE_VERSION] window must fail
+        // decoding with the typed error — never a garbage decode, never a
+        // panic — on both the full decoder and the router's header-only
+        // peek. Remap in-window bytes rather than discarding the case.
+        let got = if (wire::MIN_WIRE_VERSION..=wire::WIRE_VERSION).contains(&got) {
+            wire::WIRE_VERSION + 1 + (got - wire::MIN_WIRE_VERSION)
+        } else {
+            got
+        };
         let msg = qap_msg(
             variant, n, seed, 1, 2, 0.5, vec![], vec![], vec![], [0; 5], false, false,
         );
@@ -299,6 +329,38 @@ proptest! {
         let want = WireError::VersionMismatch { got, want: wire::WIRE_VERSION };
         prop_assert_eq!(decode_msg::<Qap>(&buf, &()).err(), Some(want.clone()));
         prop_assert_eq!(peek_dst(&buf).err(), Some(want));
+    }
+
+    #[test]
+    fn v1_frames_decode_with_default_strategy_fields(
+        variant in 0u8..13,
+        n in 2usize..12,
+        seed in any::<u64>(),
+        dst in 0u32..1024,
+        global in 0u32..100_000,
+        seq in any::<u64>(),
+        cost in -1.0e9f64..1.0e9,
+    ) {
+        // Backward compatibility: a v1 peer's frame is byte-for-byte a v2
+        // frame whose strategy bytes are zero and whose GroupReport qps
+        // slot holds the old reserved zero — so restamping the version
+        // byte of such a frame to 1 must decode to the same message, and
+        // its re-encoding (as v2) must differ from the original frame in
+        // the version byte alone. Build the "v1 fixture" that way rather
+        // than from a hand-rolled byte table: the property then holds for
+        // every variant, not one golden.
+        let mut msg = qap_msg(
+            variant, n, seed, global, seq, cost, vec![], vec![], vec![], [0; 5], false, false,
+        );
+        zero_strategy_fields(&mut msg);
+        let mut buf = encode_msg(&msg, dst);
+        buf[0] = wire::MIN_WIRE_VERSION;
+        let (got_dst, decoded) = decode_msg::<Qap>(&buf, &()).expect("v1 frame must decode");
+        prop_assert_eq!(got_dst, dst);
+        prop_assert_eq!(decoded.tag(), msg.tag());
+        let again = encode_msg(&decoded, dst);
+        prop_assert_eq!(again[0], wire::WIRE_VERSION);
+        prop_assert_eq!(&again[1..], &buf[1..], "v1 frame must decode to default strategy fields");
     }
 
     #[test]
